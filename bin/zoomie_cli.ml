@@ -1,0 +1,208 @@
+(* The zoomie command-line tool.
+
+     zoomie devices              list the modeled FPGA devices
+     zoomie sva "<assertion>"    compile an SVA and report resources
+     zoomie matrix               print the SVA feature-support matrix
+     zoomie demo                 run a tiny end-to-end debug session
+
+   Built on cmdliner; `zoomie --help` for details. *)
+
+open Cmdliner
+open Zoomie.Zoomie_api
+
+let devices_cmd =
+  let run () =
+    List.iter
+      (fun device ->
+        Fmt.pr "%a@." Fabric.Device.pp device;
+        Array.iter
+          (fun (slr : Fabric.Device.slr) ->
+            Fmt.pr "  SLR%d: %d region rows, %a%s@." slr.Fabric.Device.slr_index
+              slr.Fabric.Device.region_rows Fabric.Resource.pp
+              (Fabric.Device.slr_resources device slr.Fabric.Device.slr_index)
+              (if slr.Fabric.Device.slr_index = device.Fabric.Device.primary then
+                 "  (primary)"
+               else ""))
+          device.Fabric.Device.slrs)
+      [ Fabric.Device.u200 (); Fabric.Device.u250 () ]
+  in
+  Cmd.v (Cmd.info "devices" ~doc:"List the modeled chiplet FPGA devices")
+    Term.(const run $ const ())
+
+let sva_cmd =
+  let source =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ASSERTION" ~doc:"SVA source text")
+  in
+  let width =
+    Arg.(
+      value & opt int 1
+      & info [ "w"; "width" ] ~docv:"BITS"
+          ~doc:"Default width of referenced signals")
+  in
+  let run source width =
+    match Sva.Compile.compile ~widths:(fun _ -> width) source with
+    | Ok s ->
+      Fmt.pr "synthesized %s: %d FFs, %d LUTs@." s.Sva.Compile.monitor.Sva.Emit.m_name
+        s.Sva.Compile.ffs s.Sva.Compile.luts;
+      Fmt.pr "monitor inputs: %a@."
+        Fmt.(list ~sep:comma (pair ~sep:(any ":") string int))
+        s.Sva.Compile.monitor.Sva.Emit.m_inputs
+    | Error f ->
+      Fmt.pr "not synthesizable: %s@." f.Sva.Compile.reason;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "sva"
+       ~doc:"Compile a SystemVerilog assertion into a hardware monitor")
+    Term.(const run $ source $ width)
+
+let matrix_cmd =
+  let run () =
+    Fmt.pr "%-22s %-26s %s@." "Feature" "Example" "Support";
+    List.iter
+      (fun (feature, example, support) ->
+        Fmt.pr "%-22s %-26s %s@." feature example
+          (Sva.Compile.support_to_string support))
+      (Sva.Compile.feature_matrix ())
+  in
+  Cmd.v
+    (Cmd.info "matrix" ~doc:"Print the SVA feature-support matrix (Table 4)")
+    Term.(const run $ const ())
+
+let demo_cmd =
+  let run () =
+    (* A compact version of examples/quickstart.ml. *)
+    let open Rtl in
+    let mut =
+      let b = Builder.create "demo_counter" in
+      let clk = Builder.clock b "clk" in
+      let count =
+        Builder.reg_fb b ~clock:clk "count" 16 ~next:(fun q ->
+            Expr.(q +: const_int ~width:16 1))
+      in
+      ignore (Builder.output b "value" 16 (Expr.Signal count));
+      Builder.finish b
+    in
+    let top =
+      let b = Builder.create "demo_top" in
+      ignore (Builder.clock b "clk");
+      let v = Builder.wire b "v" 16 in
+      Builder.instantiate b ~inst_name:"dut" ~module_name:"demo_counter"
+        [ Circuit.Read_output ("value", v) ];
+      ignore (Builder.output b "value" 16 (Expr.Signal v));
+      Design.create ~top:"demo_top" [ Builder.finish b; mut ]
+    in
+    let project = create_project top in
+    let project =
+      add_debug project ~mut:"demo_counter"
+        ~watches:[ { Debug.Trigger.w_name = "value"; w_width = 16 } ]
+    in
+    let run = compile_vendor project in
+    Fmt.pr "compiled demo design: fmax %.1f MHz@."
+      run.Vendor.Vivado.timing.Pnr.Timing.fmax_mhz;
+    let board = board project in
+    program_vendor board run;
+    let host = attach project board ~mut_path:"dut" in
+    Debug.Host.break_on_all host [ ("value", Bits.of_int ~width:16 42) ];
+    let hit = Debug.Host.run_until_stop ~max_cycles:500 host in
+    Fmt.pr "value breakpoint at 42: hit=%b, count=%d@." hit
+      (Bits.to_int (Debug.Host.read_register host "count"));
+    Debug.Host.write_register host "count" (Bits.of_int ~width:16 1000);
+    Debug.Host.step host 5;
+    Fmt.pr "inject 1000 + step 5 -> count=%d@."
+      (Bits.to_int (Debug.Host.read_register host "count"));
+    Fmt.pr "JTAG time: %.3fs@." (Debug.Host.jtag_seconds host)
+  in
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Run a tiny end-to-end compile/program/debug session")
+    Term.(const run $ const ())
+
+let verilog_cmd =
+  let workload =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("cohort", `Cohort); ("ariane", `Ariane);
+                            ("beehive", `Beehive); ("zerv", `Zerv) ])) None
+      & info [] ~docv:"DESIGN" ~doc:"cohort | ariane | beehive | zerv")
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to FILE (default stdout)")
+  in
+  let run workload out =
+    let design =
+      match workload with
+      | `Cohort -> Workloads.Cohort.design ()
+      | `Ariane -> Workloads.Ariane.soc ()
+      | `Beehive -> Workloads.Beehive.stack ()
+      | `Zerv ->
+        Rtl.Design.create ~top:"zerv_core" [ Workloads.Serv.core () ]
+    in
+    let text = Rtl.Verilog.of_design design in
+    match out with
+    | None -> print_string text
+    | Some path ->
+      Rtl.Verilog.write_file path text;
+      Fmt.pr "wrote %s (%d bytes)@." path (String.length text)
+  in
+  Cmd.v
+    (Cmd.info "verilog" ~doc:"Emit a bundled workload design as Verilog-2001")
+    Term.(const run $ workload $ out)
+
+let repl_cmd =
+  let script_file =
+    Arg.(
+      value & opt (some string) None
+      & info [ "s"; "script" ] ~docv:"FILE"
+          ~doc:"Command script to execute (default: read from stdin)")
+  in
+  let run script_file =
+    (* Session on the Cohort SoC (the case study 1 workload). *)
+    let monitor =
+      assertion_exn ~widths:Workloads.Cohort.sva_widths Workloads.Cohort.mmu_sva
+    in
+    let project = create_project (Workloads.Cohort.design ()) in
+    let project =
+      add_debug project ~mut:Workloads.Cohort.accel_module
+        ~interfaces:(Workloads.Cohort.interfaces ())
+        ~watches:(Workloads.Cohort.watches ())
+        ~assertions:[ monitor ]
+    in
+    let run = compile_vendor project in
+    let board = board project in
+    program_vendor board run;
+    let host = attach project board ~mut_path:"accel" in
+    Synth.Netsim.poke_input (Bitstream.Board.netsim board) "start"
+      (Rtl.Bits.of_int ~width:1 1);
+    Fmt.pr "attached to %s on a simulated %s; MMU assertion compiled in@."
+      Workloads.Cohort.accel_module
+      (Bitstream.Board.device board).Fabric.Device.name;
+    let script =
+      match script_file with
+      | Some path ->
+        let ic = open_in path in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+      | None -> In_channel.input_all stdin
+    in
+    List.iter print_endline (Debug.Repl.run_script host board script)
+  in
+  Cmd.v
+    (Cmd.info "repl"
+       ~doc:
+         "Drive a scripted debug session on the bundled Cohort SoC (reads           commands from --script or stdin)")
+    Term.(const run $ script_file)
+
+let main =
+  Cmd.group
+    (Cmd.info "zoomie" ~version
+       ~doc:"Software-like FPGA debugging: compile, program, and debug")
+    [ devices_cmd; sva_cmd; matrix_cmd; demo_cmd; verilog_cmd; repl_cmd ]
+
+let () = exit (Cmd.eval main)

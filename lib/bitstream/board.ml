@@ -1,0 +1,377 @@
+(** The simulated FPGA board: a chiplet device, one configuration
+    microcontroller per SLR connected in a ring, and the currently loaded
+    design executing in a netlist simulator.
+
+    The chain dispatcher implements the §4.4 discovery: a run of [k]
+    consecutive empty BOUT writes directs subsequent JTAG operations to the
+    SLR [k] hops from the primary, until another BOUT run appears.  All JTAG
+    traffic is accounted against the {!Jtag} timing model, giving the
+    readback measurements of Table 3. *)
+
+open Zoomie_fabric
+module Netsim = Zoomie_synth.Netsim
+module Netlist = Zoomie_synth.Netlist
+
+type payload = {
+  netlist : Netlist.t;
+  locmap : Loc.map;
+  clock_root : string;
+  freq_mhz : float;
+}
+
+type bitstream = {
+  bs_words : int array;
+  bs_payload : payload option;
+  bs_partial : bool;
+  bs_dynamic : Region.t list;  (** regions being reconfigured *)
+}
+
+type t = {
+  device : Device.t;
+  ucs : Uc.t array;
+  mutable design : (payload * Netsim.t) option;
+  mutable dynamic_regions : Region.t list;
+  mutable jtag_seconds : float;
+  mutable fpga_cycles : int;
+}
+
+let device t = t.device
+let jtag_seconds t = t.jtag_seconds
+let fpga_cycles t = t.fpga_cycles
+
+let netsim t =
+  match t.design with
+  | Some (_, sim) -> sim
+  | None -> invalid_arg "Board: no design loaded"
+
+let payload t =
+  match t.design with
+  | Some (p, _) -> p
+  | None -> invalid_arg "Board: no design loaded"
+
+let uc t i = t.ucs.(i)
+
+(* Iterate FF cells resident on SLR [slr]; honors the CTL0 GSR/capture
+   restriction when set. *)
+let iter_slr_ffs t ~slr f =
+  match t.design with
+  | None -> ()
+  | Some (p, sim) ->
+    let restricted = Uc.gsr_restricted t.ucs.(slr) in
+    Array.iteri
+      (fun i (site : Loc.ff_site) ->
+        if site.f_slr = slr then
+          let visible =
+            (not restricted)
+            || Region.contains_any t.dynamic_regions ~slr ~row:site.f_row
+                 ~col:site.f_col
+          in
+          if visible then f i site sim)
+      p.locmap.Loc.ff_sites
+
+let iter_slr_mem_bits t ~slr f =
+  match t.design with
+  | None -> ()
+  | Some (p, sim) ->
+    let restricted = Uc.gsr_restricted t.ucs.(slr) in
+    Array.iteri
+      (fun mi placement ->
+        let m = p.netlist.Netlist.mems.(mi) in
+        match placement with
+        | Loc.In_bram sites ->
+          let width_blocks = (m.Netlist.mem_width + 35) / 36 in
+          for addr = 0 to m.Netlist.mem_depth - 1 do
+            for bit = 0 to m.Netlist.mem_width - 1 do
+              let brow, bcol, within =
+                Loc.bram_bit_position ~depth:m.Netlist.mem_depth ~addr ~bit
+              in
+              let ordinal = (brow * width_blocks) + bcol in
+              if ordinal < Array.length sites then begin
+                let site = sites.(ordinal) in
+                if site.Loc.b_slr = slr then
+                  let visible =
+                    (not restricted)
+                    || Region.contains_any t.dynamic_regions ~slr
+                         ~row:site.Loc.b_row ~col:site.Loc.b_col
+                  in
+                  if visible then
+                    let minor, word, fbit =
+                      Geometry.bram_location ~tile:site.Loc.b_tile ~bit:within
+                    in
+                    f ~mi ~addr ~bit
+                      ~key:(site.Loc.b_row, site.Loc.b_col, minor)
+                      ~word ~fbit sim
+              end
+            done
+          done
+        | Loc.In_lutram sites ->
+          let depth_units = (m.Netlist.mem_depth + 63) / 64 in
+          for addr = 0 to m.Netlist.mem_depth - 1 do
+            for bit = 0 to m.Netlist.mem_width - 1 do
+              let depth_unit, bitcol, within = Loc.lutram_bit_position ~addr ~bit in
+              let ordinal = (bitcol * depth_units) + depth_unit in
+              if ordinal < Array.length sites then begin
+                let site = sites.(ordinal) in
+                if site.Loc.l_slr = slr then
+                  let visible =
+                    (not restricted)
+                    || Region.contains_any t.dynamic_regions ~slr
+                         ~row:site.Loc.l_row ~col:site.Loc.l_col
+                  in
+                  if visible then
+                    let minor, word, fbit =
+                      Geometry.lut_location ~tile:site.Loc.l_tile
+                        ~site:site.Loc.l_index ~bit:within
+                    in
+                    f ~mi ~addr ~bit
+                      ~key:(site.Loc.l_row, site.Loc.l_col, minor)
+                      ~word ~fbit sim
+              end
+            done
+          done)
+      p.locmap.Loc.mem_placements
+
+(* GCAPTURE: live state -> frames of SLR [slr]. *)
+let capture_slr t slr =
+  let frames = (uc t slr).Uc.frames in
+  iter_slr_ffs t ~slr (fun i site sim ->
+      let minor, word, bit = Loc.ff_frame_bit site in
+      Frames.set_bit frames (site.Loc.f_row, site.Loc.f_col, minor) ~word ~bit
+        (Netsim.ff_value sim i));
+  iter_slr_mem_bits t ~slr (fun ~mi ~addr ~bit ~key ~word ~fbit sim ->
+      Frames.set_bit frames key ~word ~bit:fbit (Netsim.mem_bit sim mi ~addr ~bit))
+
+(* GRESTORE: frames of SLR [slr] -> live state. *)
+let restore_slr t slr =
+  let frames = (uc t slr).Uc.frames in
+  iter_slr_ffs t ~slr (fun i site sim ->
+      let minor, word, bit = Loc.ff_frame_bit site in
+      Netsim.set_ff sim i
+        (Frames.get_bit frames (site.Loc.f_row, site.Loc.f_col, minor) ~word ~bit));
+  iter_slr_mem_bits t ~slr (fun ~mi ~addr ~bit ~key ~word ~fbit sim ->
+      Netsim.set_mem_bit sim mi ~addr ~bit
+        (Frames.get_bit frames key ~word ~bit:fbit));
+  (match t.design with Some (_, sim) -> Netsim.eval_comb sim | None -> ())
+
+(* START: pulse GSR — FFs (within the restriction) take their init value. *)
+let start_slr t slr =
+  iter_slr_ffs t ~slr (fun i _site sim ->
+      Netsim.set_ff sim i (netsim t).Netsim.netlist.Netlist.ffs.(i).Netlist.init)
+
+let create device =
+  let t =
+    {
+      device;
+      ucs = Array.init (Device.num_slrs device) (fun i -> Uc.create ~device ~slr_index:i);
+      design = None;
+      dynamic_regions = [];
+      jtag_seconds = 0.0;
+      fpga_cycles = 0;
+    }
+  in
+  Array.iteri
+    (fun i u ->
+      Uc.set_hooks u
+        {
+          Uc.on_gcapture = (fun () -> capture_slr t i);
+          on_grestore = (fun () -> restore_slr t i);
+          on_start = (fun () -> start_slr t i);
+        })
+    t.ucs;
+  t
+
+(** Execute a JTAG word stream through the chain dispatcher.  Returns read
+    data (FDRO responses etc.) and charges transfer time. *)
+let execute t (stream : int array) =
+  let n_slrs = Device.num_slrs t.device in
+  let primary = t.device.Device.primary in
+  let target = ref primary in
+  let bout_run = ref 0 in
+  let out = ref [] in
+  let out_words = ref 0 in
+  let i = ref 0 in
+  let n = Array.length stream in
+  let take count =
+    let data = Array.sub stream (!i) (min count (n - !i)) in
+    i := !i + Array.length data;
+    data
+  in
+  let extra_seconds = ref 0.0 in
+  let pending_op = ref None in
+  while !i < n do
+    let w = stream.(!i) in
+    incr i;
+    match Packet.decode w with
+    | Packet.Sync ->
+      extra_seconds := !extra_seconds +. Jtag.sync_seconds;
+      target := primary;
+      bout_run := 0
+    | Packet.Dummy -> ()
+    | Packet.Type1 { op = Packet.Op_write; reg; count } -> (
+      match Packet.reg_of_addr reg with
+      | Some Packet.Bout when count = 0 ->
+        (* Consecutive-run semantics: k empty BOUT writes select primary+k. *)
+        incr bout_run;
+        target := (primary + !bout_run) mod n_slrs;
+        extra_seconds := !extra_seconds +. Jtag.hop_seconds
+      | Some r ->
+        bout_run := 0;
+        let data = take count in
+        (match r with
+        | Packet.Cmd ->
+          Array.iter
+            (fun v ->
+              match Packet.command_of_code v with
+              | Some Packet.Cmd_gcapture ->
+                extra_seconds := !extra_seconds +. Jtag.gcapture_seconds
+              | Some Packet.Cmd_grestore ->
+                extra_seconds := !extra_seconds +. Jtag.grestore_seconds
+              | _ -> ())
+            data
+        | _ -> ());
+        if count = 0 && r = Packet.Fdri then pending_op := Some (`Write, r)
+        else Uc.write_reg t.ucs.(!target) r data
+      | None ->
+        bout_run := 0;
+        ignore (take count))
+    | Packet.Type1 { op = Packet.Op_read; reg; count } -> (
+      bout_run := 0;
+      match Packet.reg_of_addr reg with
+      | Some r ->
+        if count = 0 then pending_op := Some (`Read, r)
+        else begin
+          let data = Uc.read_reg t.ucs.(!target) r ~count in
+          out := data :: !out;
+          out_words := !out_words + Array.length data
+        end
+      | None -> ())
+    | Packet.Type2 { op; count } -> (
+      bout_run := 0;
+      match (!pending_op, op) with
+      | Some (`Write, r), Packet.Op_write ->
+        pending_op := None;
+        let data = take count in
+        Uc.write_reg t.ucs.(!target) r data
+      | Some (`Read, r), Packet.Op_read ->
+        pending_op := None;
+        let data = Uc.read_reg t.ucs.(!target) r ~count in
+        out := data :: !out;
+        out_words := !out_words + Array.length data
+      | _ -> ignore (take (match op with Packet.Op_write -> count | _ -> 0)))
+    | Packet.Type1 { op = Packet.Op_nop; _ } | Packet.Raw _ -> bout_run := 0
+  done;
+  t.jtag_seconds <-
+    t.jtag_seconds
+    +. Jtag.transfer_seconds ~words:(n + !out_words)
+    +. !extra_seconds;
+  Array.concat (List.rev !out)
+
+(* Carry live state across a partial reconfiguration: FFs and memories
+   outside the dynamic regions keep their values (matched by RTL name);
+   inside, GSR re-initializes. *)
+let carry_over_state t (fresh : Netsim.t) (p : payload) ~dynamic =
+  match t.design with
+  | None -> ()
+  | Some (old_p, old_sim) ->
+    let old_values = Hashtbl.create 1024 in
+    Array.iteri
+      (fun i (name, bit) ->
+        Hashtbl.replace old_values (name, bit) (Netsim.ff_value old_sim i))
+      old_p.netlist.Netlist.ff_names;
+    Array.iteri
+      (fun i (name, bit) ->
+        let site = p.locmap.Loc.ff_sites.(i) in
+        let in_dynamic =
+          Region.contains_any dynamic ~slr:site.Loc.f_slr ~row:site.Loc.f_row
+            ~col:site.Loc.f_col
+        in
+        if not in_dynamic then
+          match Hashtbl.find_opt old_values (name, bit) with
+          | Some v -> Netsim.set_ff fresh i v
+          | None -> ())
+      p.netlist.Netlist.ff_names;
+    (* Memories: carry whole arrays by name when static. *)
+    let old_mem_index = Hashtbl.create 16 in
+    Array.iteri
+      (fun mi (m : Netlist.mem) -> Hashtbl.replace old_mem_index m.Netlist.mem_name mi)
+      old_p.netlist.Netlist.mems;
+    Array.iteri
+      (fun mi (m : Netlist.mem) ->
+        let in_dynamic =
+          match p.locmap.Loc.mem_placements.(mi) with
+          | Loc.In_bram sites ->
+            Array.exists
+              (fun (s : Loc.bram_site) ->
+                Region.contains_any dynamic ~slr:s.Loc.b_slr ~row:s.Loc.b_row
+                  ~col:s.Loc.b_col)
+              sites
+          | Loc.In_lutram sites ->
+            Array.exists
+              (fun (s : Loc.lut_site) ->
+                Region.contains_any dynamic ~slr:s.Loc.l_slr ~row:s.Loc.l_row
+                  ~col:s.Loc.l_col)
+              sites
+        in
+        if not in_dynamic then
+          match Hashtbl.find_opt old_mem_index m.Netlist.mem_name with
+          | Some old_mi when
+              old_p.netlist.Netlist.mems.(old_mi).Netlist.mem_width = m.Netlist.mem_width
+              && old_p.netlist.Netlist.mems.(old_mi).Netlist.mem_depth = m.Netlist.mem_depth ->
+            for addr = 0 to m.Netlist.mem_depth - 1 do
+              for bit = 0 to m.Netlist.mem_width - 1 do
+                Netsim.set_mem_bit fresh mi ~addr ~bit
+                  (Netsim.mem_bit old_sim old_mi ~addr ~bit)
+              done
+            done
+          | _ -> ())
+      p.netlist.Netlist.mems
+
+(** Program the board.  Full bitstreams replace the design; partial
+    bitstreams swap the dynamic regions while static state carries over.
+    Note: partial reconfiguration leaves each target SLR's CTL0 GSR-mask
+    bit set — the quirk Zoomie must handle before readback (§4.7). *)
+let load t (bs : bitstream) =
+  let (_ : int array) = execute t bs.bs_words in
+  (match bs.bs_payload with
+  | Some p ->
+    let fresh = Netsim.create p.netlist in
+    if bs.bs_partial then begin
+      t.dynamic_regions <- bs.bs_dynamic;
+      carry_over_state t fresh p ~dynamic:bs.bs_dynamic
+    end;
+    (* Board pins are driven by the environment: their values persist
+       across (re)configuration. *)
+    (match t.design with
+    | Some (old_p, old_sim) ->
+      let old_inputs = Hashtbl.create 16 in
+      Array.iter
+        (fun (io : Netlist.io) ->
+          Hashtbl.replace old_inputs
+            (io.Netlist.io_name, io.Netlist.io_bit)
+            (Netsim.get old_sim io.Netlist.io_net))
+        old_p.netlist.Netlist.inputs;
+      Array.iter
+        (fun (io : Netlist.io) ->
+          match Hashtbl.find_opt old_inputs (io.Netlist.io_name, io.Netlist.io_bit) with
+          | Some v -> Netsim.set fresh io.Netlist.io_net v
+          | None -> ())
+        p.netlist.Netlist.inputs
+    | None -> ());
+    t.design <- Some (p, fresh);
+    Netsim.eval_comb fresh
+  | None -> ());
+  (* The primary µc rejects the whole configuration on IDCODE mismatch. *)
+  if (uc t t.device.Device.primary).Uc.idcode_error then
+    invalid_arg "Board.load: IDCODE verification failed on primary SLR"
+
+(** Advance the free-running root clock of the loaded design. *)
+let run t cycles =
+  let p, sim = (payload t, netsim t) in
+  Netsim.step ~n:cycles sim p.clock_root;
+  t.fpga_cycles <- t.fpga_cycles + cycles
+
+(** FPGA wall-clock seconds elapsed so far at the design frequency. *)
+let fpga_seconds t =
+  match t.design with
+  | Some (p, _) -> float_of_int t.fpga_cycles /. (p.freq_mhz *. 1.0e6)
+  | None -> 0.0

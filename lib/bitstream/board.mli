@@ -1,0 +1,131 @@
+(** The simulated FPGA board (an Alveo-class card on a JTAG cable).
+
+    This is the stand-in for the paper's physical U200: a set of per-SLR
+    configuration microcontrollers on the §4 BOUT ring, plus a live
+    netlist-level model of whatever design the configuration frames
+    currently describe.  Every interaction — configuration, readback,
+    state capture/restore — happens by {!execute}-ing real bitstream
+    command words through the primary SLR, exactly the traffic a real
+    cable would carry, with the time charged to the JTAG transport model.
+
+    The substitution this module embodies (see DESIGN.md): the paper's
+    hardware gates become a cycle-accurate netlist simulator whose FF and
+    memory state is indexed by the same logic-location map a real
+    readback flow uses, so all of Zoomie's host-side machinery runs
+    unchanged. *)
+
+module Netsim = Zoomie_synth.Netsim
+module Netlist = Zoomie_synth.Netlist
+open Zoomie_fabric
+
+(** What a bitstream configures, beyond raw frames: the netlist the
+    frames were generated from and the placement that maps state bits to
+    frame addresses.  A real flow recovers this from the checkpoint +
+    logic-location file; we carry it alongside the words. *)
+type payload = {
+  netlist : Netlist.t;
+  locmap : Loc.map;
+  clock_root : string;
+  freq_mhz : float;
+}
+
+type bitstream = {
+  bs_words : int array;  (** the raw configuration command stream *)
+  bs_payload : payload option;
+  bs_partial : bool;  (** partial reconfiguration (state-preserving) *)
+  bs_dynamic : Region.t list;  (** regions being reconfigured *)
+}
+
+type t = {
+  device : Device.t;
+  ucs : Uc.t array;  (** one configuration uc per SLR *)
+  mutable design : (payload * Netsim.t) option;
+  mutable dynamic_regions : Region.t list;
+  mutable jtag_seconds : float;  (** accumulated modeled cable time *)
+  mutable fpga_cycles : int;  (** user-clock cycles executed *)
+}
+
+val create : Device.t -> t
+
+val device : t -> Device.t
+
+(** Modeled seconds spent on the JTAG cable so far (§5.3 accounting). *)
+val jtag_seconds : t -> float
+
+val fpga_cycles : t -> int
+
+(** Modeled wall-clock of the fabric itself: {!fpga_cycles} at the
+    configured user-clock frequency. *)
+val fpga_seconds : t -> float
+
+(** The live design model.  (Re)configuring the board — {!load} or a VTI
+    partial bitstream — replaces the model, so re-fetch this handle after
+    every programming operation.  @raise Invalid_argument if nothing is
+    loaded. *)
+val netsim : t -> Netsim.t
+
+(** Netlist + placement of the currently-configured design.
+    @raise Invalid_argument if nothing is loaded. *)
+val payload : t -> payload
+
+(** The configuration microcontroller of SLR [i] (for tests poking at the
+    §4 mechanics directly). *)
+val uc : t -> int -> Uc.t
+
+(** {1 State movement between fabric and configuration frames}
+
+    These are the GCAPTURE / GRESTORE / start-up mechanics of §4.5,
+    honoring the CTL0 GSR mask restriction of §4.7: when a partial
+    reconfiguration has left the mask set, only state inside the dynamic
+    regions is visible to capture/restore. *)
+
+(** Iterate the FF cells resident on one SLR (index, site, live model). *)
+val iter_slr_ffs : t -> slr:int -> (int -> Loc.ff_site -> Netsim.t -> unit) -> unit
+
+(** Iterate the memory bits resident on one SLR, with both their logical
+    coordinates (memory index, address, bit) and their frame coordinates
+    (site key, frame word, bit-in-word). *)
+val iter_slr_mem_bits :
+  t ->
+  slr:int ->
+  (mi:int ->
+  addr:int ->
+  bit:int ->
+  key:int * int * int ->
+  word:int ->
+  fbit:int ->
+  Netsim.t ->
+  unit) ->
+  unit
+
+(** GCAPTURE on one SLR: snapshot live FF/memory state into its frames. *)
+val capture_slr : t -> int -> unit
+
+(** GRESTORE on one SLR: drive frame contents back into live state. *)
+val restore_slr : t -> int -> unit
+
+(** Release the start-up sequence on one SLR (end of configuration). *)
+val start_slr : t -> int -> unit
+
+(** {1 The cable} *)
+
+(** Push a command stream through the primary SLR's configuration port and
+    return the read-data words it produced.  BOUT writes hop the remainder
+    of the stream one SLR further along the ring (§4.4); time is charged
+    to {!jtag_seconds} per the transport model in {!module:Jtag}. *)
+val execute : t -> int array -> int array
+
+(** Configure the board from a bitstream.  A full bitstream resets and
+    replaces everything.  A partial bitstream ([bs_partial]) swaps in the
+    new design model but carries over all live state outside the dynamic
+    regions — and, like the environment it models, keeps the values being
+    driven into the board's input pins. *)
+val load : t -> bitstream -> unit
+
+(** Used by {!load} for partial reconfiguration; exposed for the VTI
+    tests: copy state (and input-pin drives) from the old model into the
+    new one, except inside [dynamic] regions. *)
+val carry_over_state : t -> Netsim.t -> payload -> dynamic:Region.t list -> unit
+
+(** Advance the user clock [n] cycles (no cable traffic). *)
+val run : t -> int -> unit

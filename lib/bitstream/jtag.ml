@@ -1,0 +1,24 @@
+(** JTAG transport timing model.
+
+    Calibrated so that a naive full-SLR readback of the modeled U200 takes
+    ~33.5 s and an SLR-aware MUT readback ~0.4 s, the regimes reported in
+    Table 3.  The structure of the costs (per-word shift time, fixed
+    sync/setup overhead, per-hop ring latency, capture latency) mirrors the
+    physical transport; only the constants are fitted. *)
+
+(** Seconds to shift one 32-bit configuration word through JTAG. *)
+let word_seconds = 1.26e-5
+
+(** Fixed cost of synchronizing and setting up a command sequence. *)
+let sync_seconds = 0.25
+
+(** Latency of one BOUT hop along the interposer ring. *)
+let hop_seconds = 0.006
+
+(** GCAPTURE: transferring FF/BRAM state into configuration frames. *)
+let gcapture_seconds = 0.08
+
+(** GRESTORE: loading state back from frames. *)
+let grestore_seconds = 0.05
+
+let transfer_seconds ~words = float_of_int words *. word_seconds

@@ -1,0 +1,24 @@
+(** JTAG transport timing model.
+
+    All host-board traffic is charged per word at an effective cable
+    bandwidth calibrated so Table 3's absolute numbers land where the
+    paper reports them (full-SLR sweep ≈ 33.6 s; a Zoomie selective plan
+    ≈ 0.4 s).  Fixed costs model command/state-machine overheads: this is
+    why per-SLR times differ only by their BOUT hops. *)
+
+(** Seconds per 32-bit word shifted through the cable. *)
+val word_seconds : float
+
+(** Fixed cost of a sync/command preamble. *)
+val sync_seconds : float
+
+(** Extra cost of one BOUT ring hop (§4.6: why secondary SLRs read
+    slower). *)
+val hop_seconds : float
+
+val gcapture_seconds : float
+
+val grestore_seconds : float
+
+(** Total modeled time to move [words] words plus per-transfer overhead. *)
+val transfer_seconds : words:int -> float

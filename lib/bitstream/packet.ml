@@ -1,0 +1,162 @@
+(** Bitstream word format: the configuration ISA interpreted by each SLR's
+    microcontroller (§4.1).
+
+    - [0xAA995566] synchronizes the start of a command sequence.
+    - [0xFFFFFFFF] is dummy padding compensating for microcontroller busy
+      time (§4.4).
+    - Type-1 packets carry an opcode, a configuration register address and a
+      short word count; type-2 packets extend the count for long FDRI/FDRO
+      bursts.
+
+    The undocumented [BOUT] register is the heart of the §4.4 discovery:
+    empty writes to it hop JTAG control to the next SLR on the interposer
+    ring. *)
+
+let sync_word = 0xAA995566
+let nop_word = 0xFFFFFFFF
+
+type reg =
+  | Crc
+  | Far    (** frame address *)
+  | Fdri   (** frame data input *)
+  | Fdro   (** frame data output (readback) *)
+  | Cmd
+  | Ctl0
+  | Mask
+  | Stat
+  | Idcode
+  | Bout   (** undocumented: SLR ring hop *)
+
+let reg_addr = function
+  | Crc -> 0
+  | Far -> 1
+  | Fdri -> 2
+  | Fdro -> 3
+  | Cmd -> 4
+  | Ctl0 -> 5
+  | Mask -> 6
+  | Stat -> 7
+  | Idcode -> 12
+  | Bout -> 24
+
+let reg_of_addr = function
+  | 0 -> Some Crc
+  | 1 -> Some Far
+  | 2 -> Some Fdri
+  | 3 -> Some Fdro
+  | 4 -> Some Cmd
+  | 5 -> Some Ctl0
+  | 6 -> Some Mask
+  | 7 -> Some Stat
+  | 12 -> Some Idcode
+  | 24 -> Some Bout
+  | _ -> None
+
+let reg_name = function
+  | Crc -> "CRC"
+  | Far -> "FAR"
+  | Fdri -> "FDRI"
+  | Fdro -> "FDRO"
+  | Cmd -> "CMD"
+  | Ctl0 -> "CTL0"
+  | Mask -> "MASK"
+  | Stat -> "STAT"
+  | Idcode -> "IDCODE"
+  | Bout -> "BOUT"
+
+(** CMD register command codes. *)
+type command =
+  | Cmd_null
+  | Cmd_wcfg      (** enable config-memory writes *)
+  | Cmd_rcfg      (** enable config-memory reads *)
+  | Cmd_start     (** start clocks, raise GSR *)
+  | Cmd_rcrc      (** reset CRC *)
+  | Cmd_gcapture  (** capture FF/BRAM state into config frames *)
+  | Cmd_grestore  (** load FF/BRAM state from config frames *)
+  | Cmd_shutdown
+  | Cmd_desync
+
+let command_code = function
+  | Cmd_null -> 0
+  | Cmd_wcfg -> 1
+  | Cmd_rcfg -> 4
+  | Cmd_start -> 5
+  | Cmd_rcrc -> 7
+  | Cmd_gcapture -> 12
+  | Cmd_grestore -> 10
+  | Cmd_shutdown -> 11
+  | Cmd_desync -> 13
+
+let command_of_code = function
+  | 0 -> Some Cmd_null
+  | 1 -> Some Cmd_wcfg
+  | 4 -> Some Cmd_rcfg
+  | 5 -> Some Cmd_start
+  | 7 -> Some Cmd_rcrc
+  | 12 -> Some Cmd_gcapture
+  | 10 -> Some Cmd_grestore
+  | 11 -> Some Cmd_shutdown
+  | 13 -> Some Cmd_desync
+  | _ -> None
+
+type opcode = Op_nop | Op_read | Op_write
+
+(** Decoded packet header. *)
+type header =
+  | Type1 of { op : opcode; reg : int; count : int }
+  | Type2 of { op : opcode; count : int }
+  | Sync
+  | Dummy
+  | Raw of int  (** unrecognized word *)
+
+let opcode_bits = function Op_nop -> 0 | Op_read -> 1 | Op_write -> 2
+
+let opcode_of_bits = function
+  | 0 -> Some Op_nop
+  | 1 -> Some Op_read
+  | 2 -> Some Op_write
+  | _ -> None
+
+(** Encode a type-1 header: [001 | op(2) | reg(14) | pad(2) | count(11)]. *)
+let type1 ~op ~reg ~count =
+  if count < 0 || count > 0x7FF then invalid_arg "Packet.type1: count";
+  (0b001 lsl 29) lor (opcode_bits op lsl 27) lor ((reg land 0x3FFF) lsl 13)
+  lor (count land 0x7FF)
+
+(** Encode a type-2 header: [010 | op(2) | count(27)]. *)
+let type2 ~op ~count =
+  if count < 0 || count > 0x7FFFFFF then invalid_arg "Packet.type2: count";
+  (0b010 lsl 29) lor (opcode_bits op lsl 27) lor (count land 0x7FFFFFF)
+
+let decode w =
+  if w = sync_word then Sync
+  else if w = nop_word then Dummy
+  else
+    let tag = (w lsr 29) land 0x7 in
+    let opb = (w lsr 27) land 0x3 in
+    match (tag, opcode_of_bits opb) with
+    | 1, Some op ->
+      Type1 { op; reg = (w lsr 13) land 0x3FFF; count = w land 0x7FF }
+    | 2, Some op -> Type2 { op; count = w land 0x7FFFFFF }
+    | _ -> Raw w
+
+(** Frame-address word layout: row[26:19] | col[18:7] | minor[6:0]. *)
+let far_encode ~row ~col ~minor =
+  if minor < 0 || minor > 0x7F then invalid_arg "Packet.far_encode: minor";
+  if col < 0 || col > 0xFFF then invalid_arg "Packet.far_encode: col";
+  if row < 0 || row > 0xFF then invalid_arg "Packet.far_encode: row";
+  (row lsl 19) lor (col lsl 7) lor minor
+
+let far_decode w = ((w lsr 19) land 0xFF, (w lsr 7) land 0xFFF, w land 0x7F)
+
+let pp_header fmt = function
+  | Sync -> Fmt.string fmt "SYNC"
+  | Dummy -> Fmt.string fmt "DUMMY"
+  | Type1 { op; reg; count } ->
+    let o = match op with Op_nop -> "NOP" | Op_read -> "RD" | Op_write -> "WR" in
+    let r = match reg_of_addr reg with Some r -> reg_name r | None -> string_of_int reg in
+    Fmt.pf fmt "T1 %s %s #%d" o r count
+  | Type2 { op; count } ->
+    let o = match op with Op_nop -> "NOP" | Op_read -> "RD" | Op_write -> "WR" in
+    Fmt.pf fmt "T2 %s #%d" o count
+  | Raw w -> Fmt.pf fmt "RAW %08x" w

@@ -1,0 +1,73 @@
+(** The bitstream command ISA: sync word, type-1/type-2 packet headers,
+    configuration registers and CMD codes — including the undocumented
+    [BOUT] register at the heart of §4.4's chiplet discovery.
+
+    Word-accurate in the Xilinx UltraScale+ style: everything the board's
+    configuration microcontrollers parse, and everything {!Program}
+    assembles, goes through these encodings, and the roundtrip is
+    property-tested. *)
+
+(** [0xAA995566]. *)
+val sync_word : int
+
+(** [0xFFFFFFFF] (alignment / pipeline padding). *)
+val nop_word : int
+
+(** Configuration registers.  [Bout] forwards the remainder of the
+    command stream one SLR along the master ring — writing k empty BOUT
+    payloads addresses primary+k (§4.4). *)
+type reg = Crc | Far | Fdri | Fdro | Cmd | Ctl0 | Mask | Stat | Idcode | Bout
+
+val reg_addr : reg -> int
+
+val reg_of_addr : int -> reg option
+
+val reg_name : reg -> string
+
+(** CMD register codes: configuration state-machine commands. *)
+type command =
+  | Cmd_null
+  | Cmd_wcfg  (** enable frame writes through FDRI *)
+  | Cmd_rcfg  (** enable frame reads through FDRO *)
+  | Cmd_start  (** release the start-up sequence *)
+  | Cmd_rcrc
+  | Cmd_gcapture  (** capture live FF state into frames *)
+  | Cmd_grestore  (** drive frame state back into FFs *)
+  | Cmd_shutdown
+  | Cmd_desync
+
+val command_code : command -> int
+
+val command_of_code : int -> command option
+
+type opcode = Op_nop | Op_read | Op_write
+
+(** A decoded packet header.  [Type2] extends the preceding type-1 packet
+    with a large word count (frame data bursts). *)
+type header =
+  | Type1 of { op : opcode; reg : int; count : int }
+  | Type2 of { op : opcode; count : int }
+  | Sync
+  | Dummy
+  | Raw of int
+
+val opcode_bits : opcode -> int
+
+val opcode_of_bits : int -> opcode option
+
+(** Encode a type-1 header. *)
+val type1 : op:opcode -> reg:int -> count:int -> int
+
+(** Encode a type-2 header. *)
+val type2 : op:opcode -> count:int -> int
+
+(** Decode one word as seen by a configuration microcontroller. *)
+val decode : int -> header
+
+(** {1 Frame Address Register layout} *)
+
+val far_encode : row:int -> col:int -> minor:int -> int
+
+val far_decode : int -> int * int * int
+
+val pp_header : Format.formatter -> header -> unit

@@ -1,0 +1,76 @@
+(** Host-side bitstream assembler: builds the word streams the configuration
+    microcontrollers interpret.  Zoomie's host tooling and the vendor
+    bitstream writer both emit through this module, so the §4 mechanics
+    (BOUT hops, IDCODE checks, GSR masks) are exercised by every flow. *)
+
+type t = { mutable buf : int array; mutable count : int }
+
+let create () = { buf = Array.make 256 0; count = 0 }
+
+let emit t w =
+  if t.count = Array.length t.buf then begin
+    let bigger = Array.make (2 * t.count) 0 in
+    Array.blit t.buf 0 bigger 0 t.count;
+    t.buf <- bigger
+  end;
+  t.buf.(t.count) <- w land 0xFFFFFFFF;
+  t.count <- t.count + 1
+
+let words t = Array.sub t.buf 0 t.count
+
+let sync t = emit t Packet.sync_word
+let nop ?(n = 1) t = for _ = 1 to n do emit t Packet.nop_word done
+
+let write_reg t reg values =
+  emit t (Packet.type1 ~op:Packet.Op_write ~reg:(Packet.reg_addr reg)
+            ~count:(List.length values));
+  List.iter (emit t) values
+
+let cmd t c = write_reg t Packet.Cmd [ Packet.command_code c ]
+
+let set_far t ~row ~col ~minor =
+  write_reg t Packet.Far [ Packet.far_encode ~row ~col ~minor ]
+
+(** One empty BOUT write plus padding: hop JTAG control one SLR along the
+    ring (§4.4).  [k] consecutive hops land on primary+k. *)
+let bout_hop t =
+  emit t (Packet.type1 ~op:Packet.Op_write ~reg:(Packet.reg_addr Packet.Bout) ~count:0);
+  nop ~n:4 t
+
+let select_slr t ~hops = for _ = 1 to hops do bout_hop t done
+
+(** Burst-write [frames] consecutive frames starting at the current FAR. *)
+let write_frames t datas =
+  cmd t Packet.Cmd_wcfg;
+  let total = List.fold_left (fun n d -> n + Array.length d) 0 datas in
+  if total <= 0x7FF then
+    emit t (Packet.type1 ~op:Packet.Op_write ~reg:(Packet.reg_addr Packet.Fdri) ~count:total)
+  else begin
+    emit t (Packet.type1 ~op:Packet.Op_write ~reg:(Packet.reg_addr Packet.Fdri) ~count:0);
+    emit t (Packet.type2 ~op:Packet.Op_write ~count:total)
+  end;
+  List.iter (fun d -> Array.iter (emit t) d) datas
+
+(** Request readback of [words] words starting at the current FAR.  The
+    response words appear on the JTAG return path. *)
+let read_frames t ~words:n =
+  cmd t Packet.Cmd_rcfg;
+  if n <= 0x7FF then
+    emit t (Packet.type1 ~op:Packet.Op_read ~reg:(Packet.reg_addr Packet.Fdro) ~count:n)
+  else begin
+    emit t (Packet.type1 ~op:Packet.Op_read ~reg:(Packet.reg_addr Packet.Fdro) ~count:0);
+    emit t (Packet.type2 ~op:Packet.Op_read ~count:n)
+  end
+
+let write_idcode t code = write_reg t Packet.Idcode [ code ]
+
+(** MASK-gated CTL0 update (bit 0 = restrict GSR/capture to the dynamic
+    region during partial reconfiguration). *)
+let set_ctl0 t ~mask ~value =
+  write_reg t Packet.Mask [ mask ];
+  write_reg t Packet.Ctl0 [ value ]
+
+let gcapture t = cmd t Packet.Cmd_gcapture
+let grestore t = cmd t Packet.Cmd_grestore
+let start t = cmd t Packet.Cmd_start
+let desync t = cmd t Packet.Cmd_desync

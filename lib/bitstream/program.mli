@@ -1,0 +1,55 @@
+(** Bitstream assembler: builds the command-word streams the board
+    executes.
+
+    Thin, imperative, append-only — every host-side operation (configure,
+    readback, capture/restore, SLR selection) is phrased as a [Program]
+    so it travels the same path a real cable would. *)
+
+type t
+
+val create : unit -> t
+
+(** Append one raw word. *)
+val emit : t -> int -> unit
+
+(** The assembled stream. *)
+val words : t -> int array
+
+(** {1 The command vocabulary} *)
+
+val sync : t -> unit
+
+val nop : ?n:int -> t -> unit
+
+val write_reg : t -> Packet.reg -> int list -> unit
+
+val cmd : t -> Packet.command -> unit
+
+val set_far : t -> row:int -> col:int -> minor:int -> unit
+
+(** One empty BOUT write: forward the rest of the stream one SLR along
+    the ring (§4.4). *)
+val bout_hop : t -> unit
+
+(** [hops] BOUT writes — address the SLR [hops] positions from primary. *)
+val select_slr : t -> hops:int -> unit
+
+(** WCFG + FDRI burst of whole frames (auto-incrementing FAR). *)
+val write_frames : t -> int array list -> unit
+
+(** RCFG + FDRO read of [words] words. *)
+val read_frames : t -> words:int -> unit
+
+val write_idcode : t -> int -> unit
+
+(** MASK-gated CTL0 update (only masked bits take effect — the mechanism
+    behind the §4.7 GSR quirk). *)
+val set_ctl0 : t -> mask:int -> value:int -> unit
+
+val gcapture : t -> unit
+
+val grestore : t -> unit
+
+val start : t -> unit
+
+val desync : t -> unit

@@ -1,0 +1,67 @@
+(** Per-SLR configuration microcontroller: the §4 mechanics, as ground
+    truth.
+
+    Each SLR owns one of these; they parse the packet stream, maintain
+    FAR auto-increment over the SLR's column geometry, gate CTL0 writes
+    through MASK (the §4.7 GSR-restriction quirk falls out of this), and
+    verify IDCODE {e only on the primary} — mutating a secondary's
+    IDCODE writes is harmless, exactly the §4.5 observation that broke
+    Bitfiltrator's assumptions. *)
+
+open Zoomie_fabric
+
+type mode = Mode_idle | Mode_wcfg | Mode_rcfg
+
+(** Callbacks into the board when configuration commands demand fabric
+    action (GCAPTURE/GRESTORE/START). *)
+type hooks = {
+  on_gcapture : unit -> unit;
+  on_grestore : unit -> unit;
+  on_start : unit -> unit;
+}
+
+val null_hooks : hooks
+
+type t = {
+  slr_index : int;
+  is_primary : bool;
+  expected_idcode : int;
+  layout : Geometry.region_layout;
+  region_rows : int;
+  frames : Frames.t;  (** this SLR's configuration plane *)
+  mutable far : int * int * int;
+  mutable mode : mode;
+  mutable mask : int;
+  mutable ctl0 : int;
+  mutable hooks : hooks;
+  mutable idcode_writes : int list;  (** every IDCODE value seen (newest first) *)
+  mutable idcode_error : bool;  (** primary-only: IDCODE mismatch latched *)
+  mutable synced : bool;
+}
+
+val create : device:Device.t -> slr_index:int -> t
+
+val set_hooks : t -> hooks -> unit
+
+(** Is the CTL0 GSR-mask restriction in force (left set by a partial
+    bitstream until readback clears it, §4.7)? *)
+val gsr_restricted : t -> bool
+
+val num_columns : t -> int
+
+(** FAR auto-increment across (minor, column, row), in this SLR's
+    geometry. *)
+val advance_far : t -> unit
+
+val far_valid : t -> bool
+
+(** FDRI burst: write words into frames starting at FAR. *)
+val write_fdri_words : t -> int array -> unit
+
+(** FDRO burst: read [count] words from frames starting at FAR. *)
+val read_fdro_words : t -> count:int -> int array
+
+(** Register write as decoded from the packet stream. *)
+val write_reg : t -> Packet.reg -> int array -> unit
+
+val read_reg : t -> Packet.reg -> count:int -> int array

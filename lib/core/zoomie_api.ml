@@ -1,0 +1,123 @@
+(** Zoomie: a software-like debugging tool for FPGAs.
+
+    This is the user-facing façade over the full stack:
+
+    - build a hardware {!Project} around your design;
+    - wrap the module under test with {!add_debug} (Debug Controller:
+      gated clock, pause buffers, trigger unit, assertion monitors);
+    - compile with the monolithic vendor flow ({!compile_vendor}) or
+      Zoomie's incremental VTI flow ({!compile_vti} / {!recompile});
+    - {!program} a simulated multi-SLR board and {!attach} a debug
+      session with breakpoints, stepping, full readback, state injection
+      and snapshot replay.
+
+    The submodule aliases re-export the underlying libraries for users who
+    need the lower layers. *)
+
+module Rtl = Zoomie_rtl
+module Sim = Zoomie_sim
+module Fabric = Zoomie_fabric
+module Synth = Zoomie_synth
+module Pnr = Zoomie_pnr
+module Bitstream = Zoomie_bitstream
+module Vendor = Zoomie_vendor
+module Sva = Zoomie_sva
+module Pause = Zoomie_pause
+module Debug = Zoomie_debug
+module Vti = Zoomie_vti
+module Workloads = Zoomie_workloads
+
+let version = "1.0.0"
+
+(** A hardware project: design sources plus target/clocking choices. *)
+type project = {
+  design : Rtl.Design.t;
+  device : Fabric.Device.t;
+  clock_root : string;
+  freq_mhz : float;
+  replicated_units : string list;
+      (** module names synthesized once and stamped per instance *)
+  debug_info : Debug.Controller.info option;
+}
+
+let create_project ?(device = Fabric.Device.u200 ()) ?(clock_root = "clk")
+    ?(freq_mhz = 50.0) ?(replicated_units = []) design =
+  { design; device; clock_root; freq_mhz; replicated_units; debug_info = None }
+
+(** Compile an SVA source string into an assertion monitor for
+    {!add_debug}.  [widths] supplies the bit widths of referenced design
+    signals (default 1). *)
+let assertion ?widths source =
+  match Sva.Compile.compile ?widths source with
+  | Ok s -> Ok s.Sva.Compile.monitor
+  | Error f -> Error f.Sva.Compile.reason
+
+let assertion_exn ?widths source =
+  match assertion ?widths source with
+  | Ok m -> m
+  | Error reason -> invalid_arg ("Zoomie.assertion: " ^ reason)
+
+(** Wrap module [mut] with the Debug Controller.  [interfaces] declares the
+    decoupled interfaces on the MUT boundary (pause buffers), [watches] the
+    signals available to value breakpoints, [assertions] the synthesized
+    SVA monitors. *)
+let add_debug ?(interfaces = []) ?(watches = []) ?(assertions = []) project
+    ~mut =
+  let cfg =
+    {
+      Debug.Controller.mut_module = mut;
+      interfaces;
+      watches;
+      assertions;
+    }
+  in
+  let design, info = Debug.Controller.wrap project.design cfg in
+  { project with design; debug_info = Some info }
+
+(** Monolithic vendor compile (the baseline toolchain). *)
+let compile_vendor ?incremental_from project =
+  Vendor.Vivado.compile ?incremental_from
+    {
+      Vendor.Vivado.device = project.device;
+      design = project.design;
+      clock_root = project.clock_root;
+      freq_mhz = project.freq_mhz;
+      replicated_units = project.replicated_units;
+    }
+
+(** VTI incremental compile: [iterated] lists the instance paths the
+    designer will recompile while debugging; each gets an over-provisioned
+    region ([c], default 0.30) inside [debug_slr]. *)
+let compile_vti ?(c = Vti.Estimate.default_coefficient) ?(debug_slr = 1)
+    project ~iterated =
+  Vti.Flow.compile
+    {
+      Vti.Flow.device = project.device;
+      design = project.design;
+      clock_root = project.clock_root;
+      freq_mhz = project.freq_mhz;
+      replicated_units = project.replicated_units;
+      iterated;
+      c;
+      debug_slr;
+    }
+
+(** One debugging iteration: swap the RTL of the iterated instance at
+    [path] for [circuit] and recompile just that partition. *)
+let recompile build ~path ~circuit = Vti.Flow.recompile build ~path ~circuit
+
+(** Create a board for the project's device. *)
+let board project = Bitstream.Board.create project.device
+
+(** Program a board with a compiled run (vendor or VTI). *)
+let program_vendor board run = Vendor.Vivado.load_onto board run
+let program_vti board build = Vti.Flow.load_onto board build
+
+(** Attach a debug session to the wrapped MUT instance at [mut_path]. *)
+let attach project board ~mut_path =
+  match project.debug_info with
+  | None -> invalid_arg "Zoomie.attach: project has no debug controller (add_debug)"
+  | Some info -> Debug.Host.attach board ~info ~mut_path
+
+(** Pretty-print a utilization report (Table 2 style). *)
+let pp_utilization = Vendor.Vivado.pp_utilization

@@ -1,0 +1,109 @@
+(** Zoomie: a software-like debugging tool for FPGAs — public façade.
+
+    Typical session:
+    {[
+      let project = create_project my_design in
+      let project = add_debug project ~mut:"my_module" ~watches ~assertions in
+      let run     = compile_vendor project in
+      let board   = board project in
+      program_vendor board run;
+      let host    = attach project board ~mut_path:"dut" in
+      Debug.Host.break_on_all host [ ("state", Rtl.Bits.of_int ~width:4 3) ];
+      ignore (Debug.Host.run_until_stop host);
+      Debug.Host.read_state host
+    ]}
+
+    The module aliases re-export the underlying libraries for direct use. *)
+
+module Rtl = Zoomie_rtl
+module Sim = Zoomie_sim
+module Fabric = Zoomie_fabric
+module Synth = Zoomie_synth
+module Pnr = Zoomie_pnr
+module Bitstream = Zoomie_bitstream
+module Vendor = Zoomie_vendor
+module Sva = Zoomie_sva
+module Pause = Zoomie_pause
+module Debug = Zoomie_debug
+module Vti = Zoomie_vti
+module Workloads = Zoomie_workloads
+
+val version : string
+
+(** A hardware project: design sources plus target and clocking choices.
+    [debug_info] is populated by {!add_debug}. *)
+type project = {
+  design : Rtl.Design.t;
+  device : Fabric.Device.t;
+  clock_root : string;
+  freq_mhz : float;
+  replicated_units : string list;
+      (** module names synthesized once and stamped per instance *)
+  debug_info : Debug.Controller.info option;
+}
+
+(** Create a project around a design.  Defaults: Alveo U200, clock ["clk"],
+    50 MHz, no replicated units. *)
+val create_project :
+  ?device:Fabric.Device.t ->
+  ?clock_root:string ->
+  ?freq_mhz:float ->
+  ?replicated_units:string list ->
+  Rtl.Design.t ->
+  project
+
+(** Compile an SVA source string into an assertion monitor for
+    {!add_debug}.  [widths] supplies bit widths of referenced design
+    signals (default 1).  [Error reason] explains unsupported constructs
+    (Table 4's boundary). *)
+val assertion :
+  ?widths:(string -> int) -> string -> (Sva.Emit.monitor, string) result
+
+(** Like {!assertion} but raises [Invalid_argument] on failure. *)
+val assertion_exn : ?widths:(string -> int) -> string -> Sva.Emit.monitor
+
+(** Wrap module [mut] with the Debug Controller: gated clock, pause buffers
+    on the given decoupled [interfaces], Algorithm 1 trigger unit over
+    [watches], and compiled-in [assertions].  Every instance of [mut] in
+    the design is redirected to the wrapper.  Raises [Invalid_argument] if
+    the MUT spans multiple asynchronous clock domains (paper §6.1). *)
+val add_debug :
+  ?interfaces:Pause.Decoupled.t list ->
+  ?watches:Debug.Trigger.watch list ->
+  ?assertions:Sva.Emit.monitor list ->
+  project ->
+  mut:string ->
+  project
+
+(** Monolithic vendor compile (the baseline toolchain).
+    [incremental_from] engages the vendor's checkpoint-reuse mode. *)
+val compile_vendor :
+  ?incremental_from:Vendor.Vivado.run -> project -> Vendor.Vivado.run
+
+(** VTI incremental compile: [iterated] lists the instance paths the
+    designer will recompile while debugging; each gets an over-provisioned
+    region (coefficient [c], default 0.30) inside [debug_slr]. *)
+val compile_vti :
+  ?c:float -> ?debug_slr:int -> project -> iterated:string list -> Vti.Flow.build
+
+(** One debugging iteration: swap the RTL of the iterated instance at
+    [path] for [circuit] and recompile just that partition.  Raises
+    {!Vti.Flow.Partition_overflow} if the new module exceeds its provision. *)
+val recompile :
+  Vti.Flow.build -> path:string -> circuit:Rtl.Circuit.t -> Vti.Flow.build
+
+(** Create a simulated board for the project's device. *)
+val board : project -> Bitstream.Board.t
+
+(** Program a board with a compiled run. *)
+val program_vendor : Bitstream.Board.t -> Vendor.Vivado.run -> unit
+
+val program_vti : Bitstream.Board.t -> Vti.Flow.build -> unit
+
+(** Attach a debug session to the wrapped MUT instance at [mut_path] (its
+    hierarchical instance path in the design).  Requires {!add_debug}. *)
+val attach : project -> Bitstream.Board.t -> mut_path:string -> Debug.Host.t
+
+(** Pretty-print a utilization report (Table 2 style). *)
+val pp_utilization :
+  Format.formatter -> (Fabric.Resource.kind * int * float) list -> unit

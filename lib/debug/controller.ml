@@ -1,0 +1,396 @@
+(** The Debug Controller: an RTL wrapper placed around the module under
+    test (§3.1).
+
+    The wrapper has exactly the MUT's ports, so it transparently replaces
+    every instance of the MUT in the design.  Inside it provides:
+
+    - a glitch-free gated clock driving the MUT (pause/resume/step);
+    - pause buffers on each declared decoupled interface (Figure 3 safety);
+    - the Algorithm 1 trigger unit over watched signals (value breakpoints);
+    - a 64-bit step counter (cycle breakpoints, gdb-style [until]);
+    - synthesized SVA monitors (assertion breakpoints, §3.4);
+    - sticky stop cause and cycle-count status registers.
+
+    Every control register is written through Zoomie's state-injection path
+    and every status register read through readback — no recompilation to
+    change what you debug. *)
+
+open Zoomie_rtl
+module Decoupled = Zoomie_pause.Decoupled
+
+(* Debug register names inside the wrapper (the host addresses them as
+   [<mut instance path>.<name>]). *)
+let ctl_run_reg = "dbg_ctl_run"
+let stop_latched_reg = "dbg_stop_latched"
+let step_counter_reg = "dbg_step_counter"
+let cycle_count_reg = "dbg_cycle_count"
+let assert_enable_reg = "dbg_assert_enable"
+let stop_cause_reg = "dbg_stop_cause"
+let assert_cause_reg = "dbg_assert_cause"
+
+(* Stop-cause bit positions. *)
+let cause_value_bit = 0
+let cause_cycle_bit = 1
+let cause_assert_bit = 2
+let cause_watch_bit = 3
+
+(** Watchpoint config/shadow register names (one pair per watched signal). *)
+let watch_mask_reg (w : Trigger.watch) = "cfg_watch_" ^ w.Trigger.w_name
+let watch_shadow_reg (w : Trigger.watch) = "dbg_shadow_" ^ w.Trigger.w_name
+
+type config = {
+  mut_module : string;
+  interfaces : Decoupled.t list;
+  watches : Trigger.watch list;
+  assertions : Zoomie_sva.Emit.monitor list;
+}
+
+type info = {
+  wrapper_module : string;
+  cfg : config;
+  mut_clock : string;  (** the MUT's root clock name *)
+}
+
+let wrapper_name mut_module = "zoomie_dc_" ^ mut_module
+
+(* The expression reading MUT port [name] inside the wrapper (input ports
+   pass through; output ports are wrapper wires). *)
+let port_reader ~wrapper_inputs ~out_wires name =
+  match List.assoc_opt name out_wires with
+  | Some id -> Expr.Signal id
+  | None -> (
+    match List.assoc_opt name wrapper_inputs with
+    | Some e -> e
+    | None ->
+      invalid_arg (Printf.sprintf "Debug controller: unknown MUT port %S" name))
+
+(** Build the wrapper module and rewrite the design so every instance of
+    the MUT uses it.  The MUT itself moves to instance path [".mut"] inside
+    the wrapper. *)
+let wrap (design : Design.t) (cfg : config) : Design.t * info =
+  let mut = Design.find design cfg.mut_module in
+  let root_clocks =
+    List.filter_map
+      (function Circuit.Root_clock c -> Some c | Circuit.Gated_clock _ -> None)
+      mut.Circuit.clocks
+  in
+  let mut_clock =
+    match root_clocks with
+    | [ c ] -> c
+    | [] -> invalid_arg "Debug controller: MUT has no root clock"
+    | cs ->
+      (* 6.1: precise stepping over multiple asynchronous clock domains is
+         only possible when they are phase-aligned multiples; we require a
+         single root clock and direct users to restructure or restrict the
+         MUT (the same guidance the paper gives). *)
+      invalid_arg
+        (Printf.sprintf
+           "Debug controller: MUT has %d asynchronous root clocks (%s);             precise pausing requires a single clock domain (see paper 6.1)"
+           (List.length cs) (String.concat ", " cs))
+  in
+  let b = Builder.create (wrapper_name cfg.mut_module) in
+  let clk = Builder.clock b mut_clock in
+  (* --- debug state (free clock) --- *)
+  let ctl_run =
+    Builder.reg_fb b ~clock:clk ~init:(Bits.of_int ~width:1 1) ctl_run_reg 1
+      ~next:(fun q -> q)
+  in
+  let stop_latched = Builder.reg b ~clock:clk stop_latched_reg 1 in
+  let step_counter = Builder.reg b ~clock:clk step_counter_reg 64 in
+  let cycle_count = Builder.reg b ~clock:clk cycle_count_reg 64 in
+  let n_assert = List.length cfg.assertions in
+  let assert_enable =
+    if n_assert = 0 then None
+    else
+      Some
+        (Builder.reg_fb b ~clock:clk
+           ~init:(Bits.ones n_assert)
+           assert_enable_reg n_assert
+           ~next:(fun q -> q))
+  in
+  let stop_cause = Builder.reg b ~clock:clk stop_cause_reg 4 in
+  let assert_cause =
+    if n_assert = 0 then None
+    else Some (Builder.reg b ~clock:clk assert_cause_reg n_assert)
+  in
+  (* --- wrapper ports mirror the MUT's --- *)
+  let wrapper_inputs =
+    List.map
+      (fun (s : Circuit.signal) -> (s.name, Builder.input b s.name s.width))
+      (Circuit.inputs mut)
+  in
+  let out_wires =
+    List.map
+      (fun (s : Circuit.signal) ->
+        (s.name, Builder.wire b ("mut_" ^ s.name) s.width))
+      (Circuit.outputs mut)
+  in
+  let read_port = port_reader ~wrapper_inputs ~out_wires in
+  (* --- trigger sources --- *)
+  let watch_signals =
+    List.map (fun (w : Trigger.watch) -> (w.Trigger.w_name, read_port w.Trigger.w_name)) cfg.watches
+  in
+  let value_stop = Trigger.build b ~clock:clk cfg.watches ~signals:watch_signals in
+  let value_stop = Builder.wire_of b "dbg_value_stop" 1 value_stop in
+  (* Watchpoints: break when a watched signal *changes* while running.
+     Each watch keeps a shadow copy updated only in running cycles, so the
+     comparison is against the value of the previous executed MUT cycle. *)
+  let watch_stop_terms = ref [] in
+  let watch_shadow_setup = ref [] in
+  List.iter
+    (fun (w : Trigger.watch) ->
+      let sig_expr = List.assoc w.Trigger.w_name watch_signals in
+      let mask =
+        Builder.reg_fb b ~clock:clk (watch_mask_reg w) 1 ~next:(fun q -> q)
+      in
+      let shadow = Builder.reg b ~clock:clk (watch_shadow_reg w) w.Trigger.w_width in
+      (* The shadow lags the signal by one cycle; [primed] suppresses the
+         first comparison after arming/resuming so the stale delta from the
+         pause window never fires.  Watchpoints take effect from the first
+         executed MUT cycle onward. *)
+      let primed = Builder.reg b ~clock:clk ("dbg_primed_" ^ w.Trigger.w_name) 1 in
+      let changed = Expr.(sig_expr <>: Signal shadow) in
+      watch_stop_terms :=
+        Expr.(Signal mask &: Signal primed &: changed) :: !watch_stop_terms;
+      watch_shadow_setup := (shadow, sig_expr, primed, mask) :: !watch_shadow_setup)
+    cfg.watches;
+  let watch_stop =
+    Builder.wire_of b "dbg_watch_stop" 1 (Expr.tree_or !watch_stop_terms)
+  in
+  (* The cycle breakpoint fires the cycle *after* the counter's final tick,
+     so step(n) executes exactly n MUT cycles. *)
+  let step_done = Builder.reg b ~clock:clk "dbg_step_done" 1 in
+  let cycle_stop = Builder.wire_of b "dbg_cycle_stop" 1 (Expr.Signal step_done) in
+  (* Assertion monitors (instantiated below, on the gated clock). *)
+  let assert_viol_wires =
+    List.mapi
+      (fun i _ -> Builder.wire b (Printf.sprintf "dbg_assert_viol_%d" i) 1)
+      cfg.assertions
+  in
+  let assert_stop_expr =
+    match assert_enable with
+    | None -> Expr.gnd
+    | Some en ->
+      List.fold_left
+        (fun acc (i, w) ->
+          Expr.(acc |: (Signal w &: bit (Signal en) i)))
+        Expr.gnd
+        (List.mapi (fun i w -> (i, w)) assert_viol_wires)
+  in
+  let assert_stop = Builder.wire_of b "dbg_assert_stop" 1 assert_stop_expr in
+  let stop_now =
+    Builder.wire_of b "dbg_stop_now" 1
+      Expr.(value_stop |: cycle_stop |: assert_stop |: watch_stop)
+  in
+  (* Run gate: pause in the exact cycle a trigger activates. *)
+  let run =
+    Builder.wire_of b "dbg_run" 1
+      Expr.(Signal ctl_run &: ~:(Signal stop_latched) &: ~:stop_now)
+  in
+  let pause = Builder.wire_of b "dbg_pause" 1 Expr.(~:run) in
+  (* Watch shadows track the watched signals on the free clock; priming
+     requires one running cycle with the mask set. *)
+  List.iter
+    (fun (shadow, sig_expr, primed, mask) ->
+      Builder.reg_next b shadow sig_expr;
+      Builder.reg_next b primed Expr.(Signal mask &: (Signal primed |: run)))
+    !watch_shadow_setup;
+  (* Registered pause for interface masking (see Pause_buffer timing note). *)
+  let pause_q =
+    Expr.Signal (Builder.reg_fb b ~clock:clk "dbg_pause_q" 1 ~next:(fun _ -> pause))
+  in
+  (* Sticky stop + causes. *)
+  Builder.reg_next b stop_latched Expr.(Signal stop_latched |: stop_now);
+  Builder.reg_next b stop_cause
+    Expr.(
+      Signal stop_cause
+      |: Concat
+           (watch_stop, Concat (assert_stop, Concat (cycle_stop, value_stop))));
+  (match assert_cause with
+  | None -> ()
+  | Some r ->
+    let viols =
+      match assert_viol_wires with
+      | [] -> Expr.gnd
+      | [ w ] -> Expr.Signal w
+      | w :: rest ->
+        List.fold_left
+          (fun acc x -> Expr.Concat (Expr.Signal x, acc))
+          (Expr.Signal w) rest
+    in
+    Builder.reg_next b r Expr.(Signal r |: viols));
+  (* Step counter decrements while running; cycle counter increments. *)
+  Builder.reg_next b step_done
+    Expr.(
+      run &: (Signal step_counter ==: Const (Bits.of_int ~width:64 1))
+      |: (Signal step_done &: Signal stop_latched));
+  Builder.reg_next b step_counter
+    Expr.(
+      mux
+        (run &: Reduce_or (Signal step_counter))
+        (Signal step_counter -: Const (Bits.of_int ~width:64 1))
+        (Signal step_counter));
+  Builder.reg_next b cycle_count
+    Expr.(
+      mux run
+        (Signal cycle_count +: Const (Bits.of_int ~width:64 1))
+        (Signal cycle_count));
+  (* --- the gated clock driving the MUT --- *)
+  let gclk = Builder.gated_clock b ~name:"dbg_gclk" ~parent:clk ~enable:run in
+  (* --- interface classification --- *)
+  let requester_ifs =
+    List.filter (fun (i : Decoupled.t) -> i.Decoupled.mut_is_requester) cfg.interfaces
+  in
+  let responder_ifs =
+    List.filter (fun (i : Decoupled.t) -> not i.Decoupled.mut_is_requester) cfg.interfaces
+  in
+  let is_requester_out name =
+    List.exists
+      (fun (i : Decoupled.t) ->
+        i.Decoupled.valid_signal = name || i.Decoupled.data_signal = name)
+      requester_ifs
+  in
+  let requester_ready_if name =
+    List.find_opt (fun (i : Decoupled.t) -> i.Decoupled.ready_signal = name) requester_ifs
+  in
+  let is_responder_ready name =
+    List.exists (fun (i : Decoupled.t) -> i.Decoupled.ready_signal = name) responder_ifs
+  in
+  (* Pause-buffer wires per requester interface. *)
+  let pb_wires =
+    List.map
+      (fun (i : Decoupled.t) ->
+        let n = i.Decoupled.if_name in
+        ( i,
+          ( Builder.wire b ("pb_" ^ n ^ "_u_ready") 1,
+            Builder.wire b ("pb_" ^ n ^ "_d_valid") 1,
+            Builder.wire b ("pb_" ^ n ^ "_d_data") i.Decoupled.data_width ) ))
+      requester_ifs
+  in
+  (* --- instantiate the MUT on the gated clock --- *)
+  let mut_conns =
+    List.map
+      (fun (s : Circuit.signal) ->
+        (* Requester-side ready comes from the pause buffer; everything else
+           passes straight through. *)
+        let expr =
+          match requester_ready_if s.Circuit.name with
+          | Some i ->
+            let u_ready, _, _ = List.assoc i pb_wires in
+            Expr.Signal u_ready
+          | None -> List.assoc s.Circuit.name wrapper_inputs
+        in
+        Circuit.Drive_input (s.Circuit.name, expr))
+      (Circuit.inputs mut)
+    @ List.map
+        (fun (s : Circuit.signal) ->
+          Circuit.Read_output (s.Circuit.name, List.assoc s.Circuit.name out_wires))
+        (Circuit.outputs mut)
+  in
+  Builder.instantiate b ~inst_name:"mut" ~module_name:cfg.mut_module
+    ~clock_map:[ (mut_clock, gclk) ]
+    mut_conns;
+  (* --- pause buffer instances (free clock) --- *)
+  List.iter
+    (fun ((i : Decoupled.t), (u_ready, d_valid, d_data)) ->
+      Builder.instantiate b
+        ~inst_name:("pb_" ^ i.Decoupled.if_name)
+        ~module_name:("zoomie_pb_" ^ i.Decoupled.if_name)
+        ~clock_map:[ ("clk", mut_clock) ]
+        [
+          Circuit.Drive_input ("pause", pause);
+          Circuit.Drive_input ("u_valid", read_port i.Decoupled.valid_signal);
+          Circuit.Drive_input ("u_data", read_port i.Decoupled.data_signal);
+          Circuit.Drive_input ("d_ready", List.assoc i.Decoupled.ready_signal wrapper_inputs);
+          Circuit.Read_output ("u_ready", u_ready);
+          Circuit.Read_output ("d_valid", d_valid);
+          Circuit.Read_output ("d_data", d_data);
+        ])
+    pb_wires;
+  (* --- assertion monitor instances (gated clock: they sample the design's
+     own time base and freeze with it) --- *)
+  List.iteri
+    (fun idx (m : Zoomie_sva.Emit.monitor) ->
+      let conns =
+        List.map
+          (fun (sig_name, _w) -> Circuit.Drive_input (sig_name, read_port sig_name))
+          m.Zoomie_sva.Emit.m_inputs
+        @ [ Circuit.Read_output ("violation", List.nth assert_viol_wires idx) ]
+      in
+      Builder.instantiate b
+        ~inst_name:(Printf.sprintf "sva_%d" idx)
+        ~module_name:m.Zoomie_sva.Emit.m_circuit.Circuit.name
+        ~clock_map:[ ("clk", gclk) ]
+        conns)
+    cfg.assertions;
+  (* --- wrapper outputs --- *)
+  List.iter
+    (fun (s : Circuit.signal) ->
+      let name = s.Circuit.name in
+      let expr =
+        if is_requester_out name then begin
+          (* Find which interface and which role. *)
+          let i =
+            List.find
+              (fun (i : Decoupled.t) ->
+                i.Decoupled.valid_signal = name || i.Decoupled.data_signal = name)
+              requester_ifs
+          in
+          let _, d_valid, d_data = List.assoc i pb_wires in
+          if i.Decoupled.valid_signal = name then Expr.Signal d_valid
+          else Expr.Signal d_data
+        end
+        else if is_responder_ready name then
+          Zoomie_pause.Pause_buffer.responder_ready_mask ~pause_q
+            ~mut_ready:(Expr.Signal (List.assoc name out_wires))
+        else Expr.Signal (List.assoc name out_wires)
+      in
+      ignore (Builder.output b name s.Circuit.width expr))
+    (Circuit.outputs mut);
+  let wrapper = Builder.finish b in
+  (* --- rebuild the design --- *)
+  let d = Design.copy design in
+  let d = Design.add_module d wrapper in
+  (* Pause buffer modules. *)
+  let d =
+    List.fold_left
+      (fun d (i : Decoupled.t) ->
+        Design.add_module d
+          (Zoomie_pause.Pause_buffer.requester_side
+             ~name:("zoomie_pb_" ^ i.Decoupled.if_name)
+             ~width:i.Decoupled.data_width))
+      d requester_ifs
+  in
+  (* Assertion monitor modules. *)
+  let d =
+    List.fold_left
+      (fun d (m : Zoomie_sva.Emit.monitor) ->
+        Design.add_module d m.Zoomie_sva.Emit.m_circuit)
+      d cfg.assertions
+  in
+  (* Redirect every instance of the MUT to the wrapper. *)
+  let redirect (c : Circuit.t) =
+    let changed = ref false in
+    let instances =
+      List.map
+        (fun (inst : Circuit.instance) ->
+          if inst.Circuit.module_name = cfg.mut_module then begin
+            changed := true;
+            { inst with Circuit.module_name = wrapper.Circuit.name }
+          end
+          else inst)
+        c.Circuit.instances
+    in
+    if !changed then Some { c with Circuit.instances } else None
+  in
+  let d =
+    List.fold_left
+      (fun d name ->
+        if name = wrapper.Circuit.name then d
+        else
+          match redirect (Design.find d name) with
+          | Some c -> Design.replace_module d c
+          | None -> d)
+      d (Design.module_names d)
+  in
+  (d, { wrapper_module = wrapper.Circuit.name; cfg; mut_clock })

@@ -1,0 +1,76 @@
+(** The Debug Controller (§3): the hardware half of Zoomie.
+
+    {!wrap} rewrites a design so that one module — the module under test
+    (MUT) — runs on a glitch-free gated clock owned by the controller.
+    Around it the wrapper instantiates:
+
+    - the {!module:Trigger} unit (value breakpoints, Algorithm 1);
+    - a 64-bit step/cycle counter pair (cycle breakpoints, single-step
+      with an exact [step_done] hand-back);
+    - watchpoint shadows (break when a watched signal {e changes}), each
+      with a priming register so the first observed cycle never
+      spuriously fires;
+    - compiled SVA monitors (assertion breakpoints, {!module:Zoomie_sva});
+    - pause buffers ({!module:Zoomie_pause}) on every decoupled interface
+      crossing the MUT boundary, so freezing the MUT cannot create
+      phantom or lost transactions (Figure 3).
+
+    All controller state is ordinary FFs: the host drives it entirely
+    through readback and state injection, never through recompilation. *)
+
+module Decoupled = Zoomie_pause.Decoupled
+open Zoomie_rtl
+
+(** {1 Controller register names (under the wrapper instance)} *)
+
+val ctl_run_reg : string
+
+val stop_latched_reg : string
+
+val step_counter_reg : string
+
+val cycle_count_reg : string
+
+val assert_enable_reg : string
+
+(** One-hot cause of the current stop; see the [cause_*_bit] indices. *)
+val stop_cause_reg : string
+
+(** Which assertion monitor fired (one bit per assertion). *)
+val assert_cause_reg : string
+
+val cause_value_bit : int
+
+val cause_cycle_bit : int
+
+val cause_assert_bit : int
+
+val cause_watch_bit : int
+
+(** Watchpoint enable mask / last-value shadow for one watched signal. *)
+val watch_mask_reg : Trigger.watch -> string
+
+val watch_shadow_reg : Trigger.watch -> string
+
+(** What to build around the MUT. *)
+type config = {
+  mut_module : string;
+  interfaces : Decoupled.t list;  (** decoupled interfaces crossing the boundary *)
+  watches : Trigger.watch list;  (** signals for value/watch breakpoints *)
+  assertions : Zoomie_sva.Emit.monitor list;
+}
+
+(** Everything the host needs to find the controller after compilation. *)
+type info = { wrapper_module : string; cfg : config; mut_clock : string }
+
+(** Name of the generated wrapper module for a MUT module name. *)
+val wrapper_name : string -> string
+
+(** Wrap [cfg.mut_module] inside design: returns the rewritten design
+    (every former instantiation of the MUT now instantiates the wrapper)
+    and the {!info} handle.
+
+    @raise Invalid_argument for a MUT with multiple clock domains — the
+    single-gated-clock architecture is the paper's §6.1 limitation, and we
+    reject exactly what it rejects. *)
+val wrap : Design.t -> config -> Design.t * info

@@ -1,0 +1,126 @@
+(** The Zoomie debug session: the software half of the Debug Controller.
+
+    Every operation travels through the board's JTAG path — control
+    registers are written by state injection, status registers read by
+    readback — so modeled host times reflect real command traffic.  The
+    API mirrors a software debugger: pause, resume, step, breakpoints,
+    watchpoints, inspect and mutate state, snapshot and replay. *)
+
+open Zoomie_rtl
+module Board = Zoomie_bitstream.Board
+
+type t
+
+(** Attach to the wrapped MUT instance at hierarchical path [mut_path] on a
+    programmed board.
+
+    The session binds to the design configured at attach time.
+    (Re)programming the board — including a VTI partial reconfiguration —
+    swaps in a new netlist and logic-location map, so attach again
+    afterwards, exactly as a hardware debugger reconnects after
+    reprogramming. *)
+val attach : Board.t -> info:Controller.info -> mut_path:string -> t
+
+(** The trigger unit's watched signals (for UIs encoding break values). *)
+val watches : t -> Trigger.watch list
+
+(** {1 Run control} *)
+
+(** Has a breakpoint latched a stop? (One status-register readback.) *)
+val is_stopped : t -> bool
+
+type cause = {
+  value_bp : bool;
+  cycle_bp : bool;
+  assertion_bp : bool;
+  watch_bp : bool;
+  assert_mask : Bits.t option;
+      (** per-assertion violation bits, when assertions are compiled in *)
+}
+
+val stop_cause : t -> cause
+
+(** Names of the assertions whose breakpoints have fired. *)
+val fired_assertions : t -> string list
+
+(** Design cycles the MUT has executed (the controller's counter). *)
+val mut_cycles : t -> int
+
+(** Pause the MUT from the host (e.g. on a perceived hang). *)
+val pause : t -> unit
+
+(** Resume execution; clears latched stop conditions. *)
+val resume : t -> unit
+
+(** Let the FPGA run up to [max_cycles] free-clock cycles, polling for a
+    stop; [true] when a breakpoint fired within the budget. *)
+val run_until_stop : ?max_cycles:int -> t -> bool
+
+(** Execute exactly [n] MUT cycles then stop (gdb's [until]). *)
+val step : t -> int -> unit
+
+(** {1 Breakpoints and watchpoints — all armed at runtime via injection} *)
+
+(** Stop when all (watched signal, value) pairs match simultaneously. *)
+val break_on_all : t -> (string * Bits.t) list -> unit
+
+(** Stop when any one (watched signal, value) pair matches. *)
+val break_on_any : t -> (string * Bits.t) list -> unit
+
+val clear_value_breakpoints : t -> unit
+
+(** Stop in the cycle a watched signal changes value (takes effect from the
+    first executed cycle after arming). *)
+val watch_on : t -> string list -> unit
+
+val watch_off : t -> string list -> unit
+
+(** Enable/disable compiled-in assertion breakpoints by index. *)
+val set_assertion_enables : t -> bool list -> unit
+
+(** {1 State access (paper 3.2, 3.3)} *)
+
+(** Every register inside the wrapped module, by hierarchical name, via
+    SLR-aware readback. *)
+val read_state : t -> (string * Bits.t) list
+
+(** One MUT register by its original (unwrapped) name. *)
+val read_register : t -> string -> Bits.t
+
+(** Overwrite a MUT register (state injection; no recompilation). *)
+val write_register : t -> string -> Bits.t -> unit
+
+(** Read the full contents of a MUT memory by its original name. *)
+val read_memory : t -> string -> Bits.t array
+
+(** Overwrite MUT memory words: [(address, value)] pairs. *)
+val write_memory : t -> string -> (int * Bits.t) list -> unit
+
+(** Snapshot the MUT's registers and memories as configuration frames. *)
+val snapshot : t -> Readback.snapshot
+
+(** Replay a snapshot, leaving the rest of the design untouched. *)
+val restore : t -> Readback.snapshot -> unit
+
+(** Modeled host-side seconds spent on JTAG so far. *)
+val jtag_seconds : t -> float
+
+(** {1 Runtime waveform capture}
+
+    The software-debugger upgrade over an ILA: probes and window chosen
+    {e at runtime}, against an already-paused design.  [trace t ~cycles]
+    single-steps the MUT [cycles] times, reading back the registers whose
+    original name satisfies [signals] (default: all) after every step.
+    The result exports as standard VCD ({!Wave.write}).  Each traced
+    cycle is real JTAG traffic, so wide traces of long windows are slow —
+    exactly the §3.2 trade-off of visibility against cable time. *)
+val trace : ?signals:(string -> bool) -> t -> cycles:int -> Wave.t
+
+(** Registers that differ between two {!read_state} results:
+    [(name, before, after)], sorted by name; a [None] side means the name
+    was absent there.  Pure function — handy for "what moved while I
+    stepped" interrogation. *)
+val diff_states :
+  (string * Bits.t) list ->
+  (string * Bits.t) list ->
+  (string * Bits.t option * Bits.t option) list

@@ -1,0 +1,426 @@
+(** State extraction and injection over JTAG (§3.2, §3.3, §4.7).
+
+    Readback plans enumerate exactly the configuration columns that hold
+    MUT state; the SLR-aware executor hops the BOUT ring to the owning SLR,
+    issues GCAPTURE, reads only those columns and matches the returned bits
+    against RTL register names using the toolchain's logic-location
+    metadata.  The unoptimized baseline scans entire SLRs — the Table 3
+    comparison.
+
+    Injection is a read-modify-write of the owning frames followed by
+    GRESTORE; both paths clear the CTL0 GSR-mask bit first, because partial
+    reconfiguration leaves it set and capture would otherwise skip the
+    static region (§4.7). *)
+
+open Zoomie_fabric
+module Board = Zoomie_bitstream.Board
+module Program = Zoomie_bitstream.Program
+module Netlist = Zoomie_synth.Netlist
+
+type column = { c_slr : int; c_row : int; c_col : int; c_frames : int }
+
+type plan = { columns : column list; total_frames : int }
+
+let frames_in_column device ~slr ~col =
+  let s = Device.slr device slr in
+  Geometry.frames_per_column s.Device.layout.Geometry.columns.(col)
+
+(* Columns containing any FF (or memory site) whose register name passes
+   [select]. *)
+let plan_for device (netlist : Netlist.t) (locmap : Loc.map) ~select =
+  let cols = Hashtbl.create 64 in
+  let note slr row col = Hashtbl.replace cols (slr, row, col) () in
+  Array.iteri
+    (fun i (site : Loc.ff_site) ->
+      let name, _ = netlist.Netlist.ff_names.(i) in
+      if select name then note site.Loc.f_slr site.Loc.f_row site.Loc.f_col)
+    locmap.Loc.ff_sites;
+  Array.iteri
+    (fun mi placement ->
+      let name = netlist.Netlist.mems.(mi).Netlist.mem_name in
+      if select name then
+        match placement with
+        | Loc.In_bram sites ->
+          Array.iter
+            (fun (s : Loc.bram_site) -> note s.Loc.b_slr s.Loc.b_row s.Loc.b_col)
+            sites
+        | Loc.In_lutram sites ->
+          Array.iter
+            (fun (s : Loc.lut_site) -> note s.Loc.l_slr s.Loc.l_row s.Loc.l_col)
+            sites)
+    locmap.Loc.mem_placements;
+  let columns =
+    Hashtbl.fold
+      (fun (slr, row, col) () acc ->
+        { c_slr = slr; c_row = row; c_col = col;
+          c_frames = frames_in_column device ~slr ~col }
+        :: acc)
+      cols []
+    |> List.sort compare
+  in
+  { columns; total_frames = List.fold_left (fun a c -> a + c.c_frames) 0 columns }
+
+(** Unoptimized plan: every frame of SLR [slr] (what a naive tool reads). *)
+let full_slr_plan device ~slr =
+  let s = Device.slr device slr in
+  let columns = ref [] in
+  for row = s.Device.region_rows - 1 downto 0 do
+    for col = Array.length s.Device.layout.Geometry.columns - 1 downto 0 do
+      columns :=
+        { c_slr = slr; c_row = row; c_col = col;
+          c_frames = frames_in_column device ~slr ~col }
+        :: !columns
+    done
+  done;
+  {
+    columns = !columns;
+    total_frames = List.fold_left (fun a c -> a + c.c_frames) 0 !columns;
+  }
+
+let hops_to device slr =
+  let n = Device.num_slrs device in
+  (slr - device.Device.primary + n) mod n
+
+(* Clear the CTL0 GSR-mask bit on [slr] (§4.7: partial reconfiguration does
+   not restore it; readback must not be restricted to the dynamic region). *)
+let emit_clear_mask prog = Program.set_ctl0 prog ~mask:1 ~value:0
+
+(* Read all frames of the plan's columns on one SLR, capturing live state
+   first.  Returns (key -> words) for that SLR. *)
+let read_slr_frames board plan ~slr =
+  let device = Board.device board in
+  let cols = List.filter (fun c -> c.c_slr = slr) plan.columns in
+  if cols = [] then []
+  else begin
+    let prog = Program.create () in
+    Program.sync prog;
+    Program.select_slr prog ~hops:(hops_to device slr);
+    emit_clear_mask prog;
+    Program.gcapture prog;
+    List.iter
+      (fun c ->
+        Program.set_far prog ~row:c.c_row ~col:c.c_col ~minor:0;
+        Program.read_frames prog ~words:(c.c_frames * Geometry.words_per_frame))
+      cols;
+    Program.desync prog;
+    let data = Board.execute board (Program.words prog) in
+    (* Slice the response back into frames, in request order. *)
+    let out = ref [] in
+    let pos = ref 0 in
+    List.iter
+      (fun c ->
+        for minor = 0 to c.c_frames - 1 do
+          let words =
+            Array.sub data !pos Geometry.words_per_frame
+          in
+          pos := !pos + Geometry.words_per_frame;
+          out := ((c.c_row, c.c_col, minor), words) :: !out
+        done)
+      cols;
+    List.rev !out
+  end
+
+(* Bit lookup in the frame response. *)
+let frame_bit frames key ~word ~bit =
+  match List.assoc_opt key frames with
+  | Some words -> (words.(word) lsr bit) land 1 = 1
+  | None -> false
+
+(** Execute a readback plan: returns register name -> value for every FF
+    covered by the plan and passing [select]. *)
+let read_registers board (netlist : Netlist.t) (locmap : Loc.map) plan ~select =
+  let device = Board.device board in
+  let slrs =
+    List.sort_uniq compare (List.map (fun c -> c.c_slr) plan.columns)
+  in
+  ignore device;
+  let per_slr = List.map (fun slr -> (slr, read_slr_frames board plan ~slr)) slrs in
+  let values : (string, Zoomie_rtl.Bits.t) Hashtbl.t = Hashtbl.create 64 in
+  (* Pre-size each register from its highest bit index. *)
+  let widths = Hashtbl.create 64 in
+  Array.iter
+    (fun (name, bit) ->
+      if select name then
+        Hashtbl.replace widths name
+          (max (bit + 1) (try Hashtbl.find widths name with Not_found -> 1)))
+    netlist.Netlist.ff_names;
+  Array.iteri
+    (fun i (site : Loc.ff_site) ->
+      let name, bit = netlist.Netlist.ff_names.(i) in
+      if select name then
+        match List.assoc_opt site.Loc.f_slr per_slr with
+        | None -> ()
+        | Some frames ->
+          let minor, word, fbit = Loc.ff_frame_bit site in
+          let covered =
+            List.mem_assoc (site.Loc.f_row, site.Loc.f_col, minor) frames
+          in
+          if covered then begin
+            let v = frame_bit frames (site.Loc.f_row, site.Loc.f_col, minor) ~word ~bit:fbit in
+            let cur =
+              match Hashtbl.find_opt values name with
+              | Some b -> b
+              | None -> Zoomie_rtl.Bits.zero (Hashtbl.find widths name)
+            in
+            Hashtbl.replace values name
+              (if v then Zoomie_rtl.Bits.set cur bit true else cur)
+          end)
+    locmap.Loc.ff_sites;
+  Hashtbl.fold (fun name v acc -> (name, v) :: acc) values []
+  |> List.sort compare
+
+(** Inject new values into registers: capture, rewrite the owning frames,
+    restore (§3.3).  [updates] maps full hierarchical register names to new
+    values. *)
+let inject_registers board (netlist : Netlist.t) (locmap : Loc.map)
+    (updates : (string * Zoomie_rtl.Bits.t) list) =
+  let device = Board.device board in
+  let want = Hashtbl.create 16 in
+  List.iter (fun (n, v) -> Hashtbl.replace want n v) updates;
+  let select name = Hashtbl.mem want name in
+  let plan = plan_for device netlist locmap ~select in
+  let slrs = List.sort_uniq compare (List.map (fun c -> c.c_slr) plan.columns) in
+  List.iter
+    (fun slr ->
+      (* Capture + read the affected frames. *)
+      let frames = read_slr_frames board plan ~slr in
+      (* Modify the FF bits we own. *)
+      let frames = List.map (fun (k, w) -> (k, Array.copy w)) frames in
+      Array.iteri
+        (fun i (site : Loc.ff_site) ->
+          if site.Loc.f_slr = slr then begin
+            let name, bit = netlist.Netlist.ff_names.(i) in
+            match Hashtbl.find_opt want name with
+            | Some v when bit < Zoomie_rtl.Bits.width v ->
+              let minor, word, fbit = Loc.ff_frame_bit site in
+              (match List.assoc_opt (site.Loc.f_row, site.Loc.f_col, minor) frames with
+              | Some words ->
+                if Zoomie_rtl.Bits.get v bit then
+                  words.(word) <- words.(word) lor (1 lsl fbit)
+                else words.(word) <- words.(word) land lnot (1 lsl fbit)
+              | None -> ())
+            | _ -> ()
+          end)
+        locmap.Loc.ff_sites;
+      (* Write back and restore. *)
+      let prog = Program.create () in
+      Program.sync prog;
+      Program.select_slr prog ~hops:(hops_to device slr);
+      emit_clear_mask prog;
+      List.iter
+        (fun ((row, col, minor), words) ->
+          Program.set_far prog ~row ~col ~minor;
+          Program.write_frames prog [ words ])
+        frames;
+      Program.grestore prog;
+      Program.desync prog;
+      ignore (Board.execute board (Program.words prog)))
+    slrs
+
+(** Full-state snapshot of the planned columns (registers and memories, as
+    raw frames) — replayable later with {!restore_snapshot} (§3.3). *)
+type snapshot = {
+  snap_frames : (int * ((int * int * int) * int array) list) list;  (* per SLR *)
+  snap_cycle : int;
+}
+
+let take_snapshot board plan =
+  let slrs = List.sort_uniq compare (List.map (fun c -> c.c_slr) plan.columns) in
+  {
+    snap_frames = List.map (fun slr -> (slr, read_slr_frames board plan ~slr)) slrs;
+    snap_cycle = Board.fpga_cycles board;
+  }
+
+let restore_snapshot board (snap : snapshot) =
+  let device = Board.device board in
+  List.iter
+    (fun (slr, frames) ->
+      let prog = Program.create () in
+      Program.sync prog;
+      Program.select_slr prog ~hops:(hops_to device slr);
+      emit_clear_mask prog;
+      (* Refresh all frames with the current live state first, so the
+         GRESTORE below only changes what the snapshot covers — "leaving
+         untouched regions intact" (§4.7). *)
+      Program.gcapture prog;
+      List.iter
+        (fun ((row, col, minor), words) ->
+          Program.set_far prog ~row ~col ~minor;
+          Program.write_frames prog [ words ])
+        frames;
+      Program.grestore prog;
+      Program.desync prog;
+      ignore (Board.execute board (Program.words prog)))
+    snap.snap_frames
+
+(* --- snapshot persistence ------------------------------------------- *)
+
+(* A simple self-describing binary format (magic + version + counted
+   sections), so long-running emulation campaigns can bank snapshots on
+   disk and replay them later (§3.3's trillions-of-cycles use case). *)
+
+let snapshot_magic = 0x5A4F4F4D (* "ZOOM" *)
+let snapshot_version = 1
+
+let save_snapshot (snap : snapshot) path =
+  let oc = open_out_bin path in
+  let w32 v = output_binary_int oc v in
+  w32 snapshot_magic;
+  w32 snapshot_version;
+  w32 snap.snap_cycle;
+  w32 (List.length snap.snap_frames);
+  List.iter
+    (fun (slr, frames) ->
+      w32 slr;
+      w32 (List.length frames);
+      List.iter
+        (fun ((row, col, minor), words) ->
+          w32 row;
+          w32 col;
+          w32 minor;
+          w32 (Array.length words);
+          Array.iter w32 words)
+        frames)
+    snap.snap_frames;
+  close_out oc
+
+exception Bad_snapshot of string
+
+let load_snapshot path : snapshot =
+  let ic =
+    try open_in_bin path with Sys_error msg -> raise (Bad_snapshot msg)
+  in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let r32 () =
+        try input_binary_int ic
+        with End_of_file -> raise (Bad_snapshot "truncated snapshot")
+      in
+      if r32 () <> snapshot_magic then raise (Bad_snapshot "bad magic");
+      if r32 () <> snapshot_version then raise (Bad_snapshot "bad version");
+      let snap_cycle = r32 () in
+      let n_slrs = r32 () in
+      let snap_frames =
+        List.init n_slrs (fun _ ->
+            let slr = r32 () in
+            let n = r32 () in
+            ( slr,
+              List.init n (fun _ ->
+                  let row = r32 () in
+                  let col = r32 () in
+                  let minor = r32 () in
+                  let len = r32 () in
+                  ((row, col, minor), Array.init len (fun _ -> r32 () land 0xFFFFFFFF))) ))
+      in
+      { snap_frames; snap_cycle })
+
+(* --- memory contents (3.2/3.3 cover memories, not just registers) ---- *)
+
+(* Frame location of one memory bit, given its placement. *)
+let mem_bit_location (m : Netlist.mem) placement ~addr ~bit =
+  match placement with
+  | Loc.In_bram sites ->
+    let width_blocks = (m.Netlist.mem_width + 35) / 36 in
+    let brow, bcol, within =
+      Loc.bram_bit_position ~depth:m.Netlist.mem_depth ~addr ~bit
+    in
+    let ordinal = (brow * width_blocks) + bcol in
+    if ordinal >= Array.length sites then None
+    else begin
+      let site = sites.(ordinal) in
+      let minor, word, fbit = Geometry.bram_location ~tile:site.Loc.b_tile ~bit:within in
+      Some (site.Loc.b_slr, (site.Loc.b_row, site.Loc.b_col, minor), word, fbit)
+    end
+  | Loc.In_lutram sites ->
+    let depth_units = (m.Netlist.mem_depth + 63) / 64 in
+    let depth_unit, bitcol, within = Loc.lutram_bit_position ~addr ~bit in
+    let ordinal = (bitcol * depth_units) + depth_unit in
+    if ordinal >= Array.length sites then None
+    else begin
+      let site = sites.(ordinal) in
+      let minor, word, fbit =
+        Geometry.lut_location ~tile:site.Loc.l_tile ~site:site.Loc.l_index
+          ~bit:within
+      in
+      Some (site.Loc.l_slr, (site.Loc.l_row, site.Loc.l_col, minor), word, fbit)
+    end
+
+let find_mem (netlist : Netlist.t) name =
+  let found = ref None in
+  Array.iteri
+    (fun mi (m : Netlist.mem) ->
+      if m.Netlist.mem_name = name then found := Some (mi, m))
+    netlist.Netlist.mems;
+  match !found with
+  | Some x -> x
+  | None -> invalid_arg (Printf.sprintf "Readback: unknown memory %S" name)
+
+(** Read the full contents of memory [name] through capture + frame
+    readback. *)
+let read_memory board (netlist : Netlist.t) (locmap : Loc.map) ~name =
+  let device = Board.device board in
+  let mi, m = find_mem netlist name in
+  let placement = locmap.Loc.mem_placements.(mi) in
+  let plan = plan_for device netlist locmap ~select:(fun n -> n = name) in
+  let slrs = List.sort_uniq compare (List.map (fun c -> c.c_slr) plan.columns) in
+  let per_slr = List.map (fun slr -> (slr, read_slr_frames board plan ~slr)) slrs in
+  Array.init m.Netlist.mem_depth (fun addr ->
+      let v = ref (Zoomie_rtl.Bits.zero m.Netlist.mem_width) in
+      for bit = 0 to m.Netlist.mem_width - 1 do
+        match mem_bit_location m placement ~addr ~bit with
+        | None -> ()
+        | Some (slr, key, word, fbit) -> (
+          match List.assoc_opt slr per_slr with
+          | None -> ()
+          | Some frames ->
+            if frame_bit frames key ~word ~bit:fbit then
+              v := Zoomie_rtl.Bits.set !v bit true)
+      done;
+      !v)
+
+(** Overwrite memory words (capture, rewrite frames, restore).  [updates]
+    maps addresses to new values. *)
+let inject_memory board (netlist : Netlist.t) (locmap : Loc.map) ~name
+    (updates : (int * Zoomie_rtl.Bits.t) list) =
+  let device = Board.device board in
+  let mi, m = find_mem netlist name in
+  let placement = locmap.Loc.mem_placements.(mi) in
+  let plan = plan_for device netlist locmap ~select:(fun n -> n = name) in
+  let slrs = List.sort_uniq compare (List.map (fun c -> c.c_slr) plan.columns) in
+  ignore mi;
+  List.iter
+    (fun slr ->
+      let frames = read_slr_frames board plan ~slr in
+      let frames = List.map (fun (k, w) -> (k, Array.copy w)) frames in
+      List.iter
+        (fun (addr, value) ->
+          if addr < 0 || addr >= m.Netlist.mem_depth then
+            invalid_arg "Readback.inject_memory: address out of range";
+          for bit = 0 to m.Netlist.mem_width - 1 do
+            match mem_bit_location m placement ~addr ~bit with
+            | Some (s, key, word, fbit) when s = slr -> (
+              match List.assoc_opt key frames with
+              | Some words ->
+                if
+                  bit < Zoomie_rtl.Bits.width value
+                  && Zoomie_rtl.Bits.get value bit
+                then words.(word) <- words.(word) lor (1 lsl fbit)
+                else words.(word) <- words.(word) land lnot (1 lsl fbit)
+              | None -> ())
+            | _ -> ()
+          done)
+        updates;
+      let prog = Program.create () in
+      Program.sync prog;
+      Program.select_slr prog ~hops:(hops_to device slr);
+      emit_clear_mask prog;
+      List.iter
+        (fun ((row, col, minor), words) ->
+          Program.set_far prog ~row ~col ~minor;
+          Program.write_frames prog [ words ])
+        frames;
+      Program.grestore prog;
+      Program.desync prog;
+      ignore (Board.execute board (Program.words prog)))
+    slrs

@@ -1,0 +1,91 @@
+(** SLR-aware readback and state injection (§3.2, §4.6, Table 3).
+
+    Readback is Zoomie's visibility primitive: pull configuration frames
+    off the board, then use the logic-location map to turn frame bits
+    back into named RTL registers and memory contents.  Injection is the
+    inverse — flip the right frame bits and GRESTORE.
+
+    The Table 3 optimization lives in {!plan_for}: instead of reading
+    every frame of every SLR (the unoptimized baseline that costs ~33 s),
+    the plan covers only the columns that actually hold the selected
+    cells, grouped per SLR so each chiplet is reached with the minimal
+    number of BOUT ring hops — this is what makes the primary SLR
+    (zero hops) measurably fastest. *)
+
+module Board = Zoomie_bitstream.Board
+module Program = Zoomie_bitstream.Program
+module Netlist = Zoomie_synth.Netlist
+open Zoomie_fabric
+open Zoomie_rtl
+
+(** One column of frames to read on one SLR. *)
+type column = { c_slr : int; c_row : int; c_col : int; c_frames : int }
+
+type plan = { columns : column list; total_frames : int }
+
+val frames_in_column : Device.t -> slr:int -> col:int -> int
+
+(** The minimal frame set covering every FF/memory cell whose RTL name
+    satisfies [select] — the §4.6 SLR-aware plan. *)
+val plan_for : Device.t -> Netlist.t -> Loc.map -> select:(string -> bool) -> plan
+
+(** Every frame of one SLR: the unoptimized baseline of Table 3. *)
+val full_slr_plan : Device.t -> slr:int -> plan
+
+(** BOUT ring hops needed to address [slr] from the primary. *)
+val hops_to : Device.t -> int -> int
+
+(** Emit the MASK/CTL0 write clearing the GSR restriction that a partial
+    reconfiguration leaves behind (§4.7) — readback must do this first or
+    captured state outside the dynamic region is garbage. *)
+val emit_clear_mask : Program.t -> unit
+
+(** Execute the [slr] part of a plan: GCAPTURE, hop to the SLR, read each
+    column; returns [(row, col, frame) -> words]. *)
+val read_slr_frames : Board.t -> plan -> slr:int -> ((int * int * int) * int array) list
+
+(** {1 Registers} *)
+
+(** Read every FF whose name satisfies [select], as RTL-named registers
+    (multi-bit registers are reassembled from their per-bit FFs). *)
+val read_registers :
+  Board.t -> Netlist.t -> Loc.map -> plan -> select:(string -> bool) -> (string * Bits.t) list
+
+(** State injection (§3.3): write registers by RTL name through frame
+    writes + GRESTORE.  @raise Not_found for an unknown register. *)
+val inject_registers : Board.t -> Netlist.t -> Loc.map -> (string * Bits.t) list -> unit
+
+(** {1 Memories} *)
+
+(** Full contents of memory [name] (BRAM or LUTRAM), one word per address. *)
+val read_memory : Board.t -> Netlist.t -> Loc.map -> name:string -> Bits.t array
+
+(** Overwrite selected (address, value) words of memory [name]. *)
+val inject_memory :
+  Board.t -> Netlist.t -> Loc.map -> name:string -> (int * Bits.t) list -> unit
+
+(** {1 Snapshots (§3.3 record and replay)} *)
+
+(** A raw-frame snapshot of everything a plan covers, with the cycle
+    counter at capture time. *)
+type snapshot = {
+  snap_frames : (int * ((int * int * int) * int array) list) list;
+  snap_cycle : int;
+}
+
+val take_snapshot : Board.t -> plan -> snapshot
+
+val restore_snapshot : Board.t -> snapshot -> unit
+
+(** {2 Disk persistence} *)
+
+val snapshot_magic : int
+
+val snapshot_version : int
+
+val save_snapshot : snapshot -> string -> unit
+
+exception Bad_snapshot of string
+
+(** @raise Bad_snapshot on a missing, truncated or wrong-version file. *)
+val load_snapshot : string -> snapshot

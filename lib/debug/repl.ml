@@ -1,0 +1,208 @@
+(** A gdb-flavored command interpreter over a debug session.
+
+    Commands (one per line; [#] starts a comment):
+    {v
+      run N               let the FPGA run N free-clock cycles
+      continue [N]        resume and run until a breakpoint (budget N)
+      pause | resume      host-initiated pause / resume
+      step N              execute exactly N MUT cycles
+      break SIG=VAL ...   value breakpoint on all pairs matching
+      break-any SIG=VAL.. value breakpoint on any pair matching
+      watch SIG ...       watchpoint: stop when SIG changes
+      unwatch SIG ...     disarm watchpoints
+      clear               disarm value breakpoints
+      print REG           one MUT register
+      mem NAME ADDR       one memory word
+      state               every MUT register
+      inject REG VAL      overwrite a register (decimal or 0x..)
+      trace N FILE        step N cycles, dump the waveform as VCD to FILE
+      cause | cycles      stop cause / executed MUT cycles
+      status              stopped?
+    v}
+
+    [run_script] executes a whole script and returns the transcript — the
+    debugging equivalent of a testbench, and how the test suite drives it. *)
+
+open Zoomie_rtl
+module Board = Zoomie_bitstream.Board
+
+type command =
+  | Run of int
+  | Continue of int
+  | Pause
+  | Resume
+  | Step of int
+  | Break_all of (string * int) list
+  | Break_any of (string * int) list
+  | Watch of string list
+  | Unwatch of string list
+  | Clear
+  | Print of string
+  | Mem of string * int
+  | State
+  | Inject of string * int
+  | Trace of int * string
+  | Cause
+  | Cycles
+  | Status
+  | Nop
+
+let parse_int s =
+  try
+    Some
+      (if String.length s > 2 && String.sub s 0 2 = "0x" then
+         int_of_string s
+       else int_of_string s)
+  with _ -> None
+
+let parse_pair s =
+  match String.split_on_char '=' s with
+  | [ name; v ] -> (
+    match parse_int v with Some v -> Some (name, v) | None -> None)
+  | _ -> None
+
+let parse_line line : (command, string) result =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let words =
+    String.split_on_char ' ' (String.trim line)
+    |> List.filter (fun w -> w <> "")
+  in
+  match words with
+  | [] -> Ok Nop
+  | [ "run"; n ] -> (
+    match parse_int n with
+    | Some n -> Ok (Run n)
+    | None -> Error "run: bad cycle count")
+  | [ "continue" ] -> Ok (Continue 100_000)
+  | [ "continue"; n ] -> (
+    match parse_int n with
+    | Some n -> Ok (Continue n)
+    | None -> Error "continue: bad budget")
+  | [ "pause" ] -> Ok Pause
+  | [ "resume" ] -> Ok Resume
+  | [ "step"; n ] -> (
+    match parse_int n with Some n -> Ok (Step n) | None -> Error "step: bad count")
+  | "break" :: pairs when pairs <> [] -> (
+    match List.map parse_pair pairs with
+    | l when List.for_all Option.is_some l ->
+      Ok (Break_all (List.map Option.get l))
+    | _ -> Error "break: expected SIG=VAL pairs")
+  | "break-any" :: pairs when pairs <> [] -> (
+    match List.map parse_pair pairs with
+    | l when List.for_all Option.is_some l ->
+      Ok (Break_any (List.map Option.get l))
+    | _ -> Error "break-any: expected SIG=VAL pairs")
+  | "watch" :: names when names <> [] -> Ok (Watch names)
+  | "unwatch" :: names when names <> [] -> Ok (Unwatch names)
+  | [ "clear" ] -> Ok Clear
+  | [ "print"; reg ] -> Ok (Print reg)
+  | [ "mem"; name; addr ] -> (
+    match parse_int addr with
+    | Some a -> Ok (Mem (name, a))
+    | None -> Error "mem: bad address")
+  | [ "state" ] -> Ok State
+  | [ "inject"; reg; v ] -> (
+    match parse_int v with
+    | Some v -> Ok (Inject (reg, v))
+    | None -> Error "inject: bad value")
+  | [ "trace"; n; file ] -> (
+    match parse_int n with
+    | Some n -> Ok (Trace (n, file))
+    | None -> Error "trace: bad cycle count")
+  | [ "cause" ] -> Ok Cause
+  | [ "cycles" ] -> Ok Cycles
+  | [ "status" ] -> Ok Status
+  | w :: _ -> Error (Printf.sprintf "unknown command %S" w)
+
+(* Width of a named watch (for encoding break values). *)
+let watch_width host name =
+  match
+    List.find_opt
+      (fun (w : Trigger.watch) -> w.Trigger.w_name = name)
+      (Host.watches host)
+  with
+  | Some w -> w.Trigger.w_width
+  | None -> 64
+
+let execute host board (cmd : command) : string =
+  match cmd with
+  | Nop -> ""
+  | Run n ->
+    Board.run board n;
+    Printf.sprintf "ran %d cycles" n
+  | Continue budget ->
+    Host.resume host;
+    if Host.run_until_stop ~max_cycles:budget host then "stopped (breakpoint)"
+    else Printf.sprintf "still running after %d cycles" budget
+  | Pause ->
+    Host.pause host;
+    "paused"
+  | Resume ->
+    Host.resume host;
+    "resumed"
+  | Step n ->
+    Host.step host n;
+    Printf.sprintf "stepped %d cycles" n
+  | Break_all pairs ->
+    Host.break_on_all host
+      (List.map (fun (n, v) -> (n, Bits.of_int ~width:(watch_width host n) v)) pairs);
+    "value breakpoint armed (all-of)"
+  | Break_any pairs ->
+    Host.break_on_any host
+      (List.map (fun (n, v) -> (n, Bits.of_int ~width:(watch_width host n) v)) pairs);
+    "value breakpoint armed (any-of)"
+  | Watch names ->
+    Host.watch_on host names;
+    "watchpoints armed"
+  | Unwatch names ->
+    Host.watch_off host names;
+    "watchpoints disarmed"
+  | Clear ->
+    Host.clear_value_breakpoints host;
+    "value breakpoints cleared"
+  | Print reg ->
+    let v = Host.read_register host reg in
+    Printf.sprintf "%s = %s (%d)" reg (Bits.to_string v)
+      (try Bits.to_int v with Invalid_argument _ -> -1)
+  | Mem (name, addr) ->
+    let contents = Host.read_memory host name in
+    if addr < 0 || addr >= Array.length contents then "address out of range"
+    else Printf.sprintf "%s[%d] = %s" name addr (Bits.to_string contents.(addr))
+  | State ->
+    Host.read_state host
+    |> List.map (fun (n, v) -> Printf.sprintf "%s = %s" n (Bits.to_string v))
+    |> String.concat "\n"
+  | Inject (reg, v) ->
+    let width = Bits.width (Host.read_register host reg) in
+    Host.write_register host reg (Bits.of_int ~width v);
+    Printf.sprintf "%s <- %d" reg v
+  | Trace (n, file) ->
+    let wave = Host.trace host ~cycles:n in
+    Wave.write wave file;
+    Printf.sprintf "traced %d cycles of %d signals -> %s" (Wave.cycles wave - 1)
+      (Wave.signal_count wave) file
+  | Cause ->
+    let c = Host.stop_cause host in
+    Printf.sprintf "value=%b cycle=%b assertion=%b watch=%b" c.Host.value_bp
+      c.Host.cycle_bp c.Host.assertion_bp c.Host.watch_bp
+  | Cycles -> Printf.sprintf "mut cycles = %d" (Host.mut_cycles host)
+  | Status -> if Host.is_stopped host then "stopped" else "running"
+
+(** Run a newline-separated script; returns the transcript (one entry per
+    non-empty command, prefixed with the command itself). *)
+let run_script host board script =
+  String.split_on_char '\n' script
+  |> List.filter_map (fun line ->
+         match parse_line line with
+         | Ok Nop -> None
+         | Ok cmd ->
+           let out =
+             try execute host board cmd
+             with Invalid_argument msg -> "error: " ^ msg
+           in
+           Some (Printf.sprintf "> %s\n%s" (String.trim line) out)
+         | Error msg -> Some (Printf.sprintf "> %s\nerror: %s" (String.trim line) msg))

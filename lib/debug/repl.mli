@@ -1,0 +1,43 @@
+(** A scriptable gdb-style command interpreter over {!Host} sessions —
+    the interactive surface of [zoomie repl].
+
+    Commands: [run N], [continue N], [pause], [resume], [step N],
+    [break sig=val ...], [break-any sig=val ...], [watch sig ...],
+    [unwatch sig ...], [clear], [print reg], [mem name addr], [state],
+    [inject reg val], [trace n file.vcd], [cause], [cycles], [status].
+    Blank lines and [#]-comments are ignored. *)
+
+module Board = Zoomie_bitstream.Board
+
+type command =
+  | Run of int
+  | Continue of int
+  | Pause
+  | Resume
+  | Step of int
+  | Break_all of (string * int) list
+  | Break_any of (string * int) list
+  | Watch of string list
+  | Unwatch of string list
+  | Clear
+  | Print of string
+  | Mem of string * int
+  | State
+  | Inject of string * int
+  | Trace of int * string
+  | Cause
+  | Cycles
+  | Status
+  | Nop
+
+(** Parse one input line.  [Error msg] describes the syntax problem. *)
+val parse_line : string -> (command, string) result
+
+(** Execute one command; the result is the text a user would see.  Errors
+    (unknown register, unwatched signal, ...) are caught and reported as
+    ["error: ..."] rather than aborting the session. *)
+val execute : Host.t -> Board.t -> command -> string
+
+(** Run a newline-separated script; returns the per-command transcript
+    (parse errors included in place). *)
+val run_script : Host.t -> Board.t -> string -> string list

@@ -1,0 +1,120 @@
+(** Breakpoint trigger unit — Algorithm 1.
+
+    For every watched signal [i] the unit holds three runtime-writable
+    registers: [RefVal_i], [And_mask_i] and [Or_mask_i]; two global select
+    bits choose how the per-signal matches combine:
+
+    - AND arm: [And_stop = ∀i. (sig_i == RefVal_i) ∨ ¬And_mask_i]
+    - OR arm:  [Or_stop  = ∃i. (sig_i == RefVal_i) ∧ Or_mask_i]
+    - [Stop   = (And_sel ∧ And_stop) ∨ (Or_sel ∧ Or_stop)]
+
+    (The paper's Eq. 1 writes the arm combination as a conjunction; taken
+    literally that prevents using either arm alone, so — like the
+    "arbitrarily combined" prose of §3.4 requires — we implement the
+    masked-AND/OR composition above.)
+
+    All configuration registers have identity next-state functions: they
+    are reconfigured on the fly through Zoomie's state-injection path
+    (§3.3), never by recompilation. *)
+
+open Zoomie_rtl
+
+type watch = { w_name : string; w_width : int }
+
+(** Names of the configuration registers, for the host side. *)
+let refval_reg w = "cfg_ref_" ^ w.w_name
+let and_mask_reg w = "cfg_andmask_" ^ w.w_name
+let or_mask_reg w = "cfg_ormask_" ^ w.w_name
+let and_sel_reg = "cfg_and_sel"
+let or_sel_reg = "cfg_or_sel"
+
+(** Generate the trigger logic inside an existing module under
+    construction.  [signals] supplies the watched expressions.  Returns the
+    stop expression. *)
+let build (b : Builder.t) ~clock (watches : watch list)
+    ~(signals : (string * Expr.t) list) =
+  let cfg name width =
+    Expr.Signal (Builder.reg_fb b ~clock name width ~next:(fun q -> q))
+  in
+  let and_sel = cfg and_sel_reg 1 in
+  let or_sel = cfg or_sel_reg 1 in
+  let per_signal =
+    List.map
+      (fun w ->
+        let refval = cfg (refval_reg w) w.w_width in
+        let and_mask = cfg (and_mask_reg w) 1 in
+        let or_mask = cfg (or_mask_reg w) 1 in
+        let sig_expr =
+          match List.assoc_opt w.w_name signals with
+          | Some e -> e
+          | None ->
+            invalid_arg
+              (Printf.sprintf "Trigger.build: watched signal %S not supplied"
+                 w.w_name)
+        in
+        let matches = Expr.Eq (sig_expr, refval) in
+        (Expr.(matches |: ~:and_mask), Expr.(matches &: or_mask)))
+      watches
+  in
+  let and_stop =
+    List.fold_left (fun acc (a, _) -> Expr.And (acc, a)) Expr.vdd per_signal
+  in
+  let or_stop =
+    List.fold_left (fun acc (_, o) -> Expr.Or (acc, o)) Expr.gnd per_signal
+  in
+  Expr.((and_sel &: and_stop) |: (or_sel &: or_stop))
+
+(** Host-side encoding of a value-breakpoint configuration: which registers
+    to write with which values to arm the breakpoint. *)
+type arm_spec = (string * Bits.t) list
+
+let check_watched watches conds =
+  List.iter
+    (fun (name, _) ->
+      if not (List.exists (fun w -> w.w_name = name) watches) then
+        invalid_arg (Printf.sprintf "Trigger: %S is not watched" name))
+    conds
+
+let arm_with watches conds ~used_mask ~unused_mask ~sels =
+  check_watched watches conds;
+  List.concat_map
+    (fun w ->
+      match List.assoc_opt w.w_name conds with
+      | Some v ->
+        [
+          (refval_reg w, Bits.resize v w.w_width);
+          (and_mask_reg w, Bits.of_int ~width:1 (fst used_mask));
+          (or_mask_reg w, Bits.of_int ~width:1 (snd used_mask));
+        ]
+      | None ->
+        [
+          (and_mask_reg w, Bits.of_int ~width:1 (fst unused_mask));
+          (or_mask_reg w, Bits.of_int ~width:1 (snd unused_mask));
+        ])
+    watches
+  @ [
+      (and_sel_reg, Bits.of_int ~width:1 (fst sels));
+      (or_sel_reg, Bits.of_int ~width:1 (snd sels));
+    ]
+
+(** Break when all the given (signal, value) pairs match simultaneously. *)
+let arm_all watches conds : arm_spec =
+  arm_with watches conds ~used_mask:(1, 0) ~unused_mask:(0, 0) ~sels:(1, 0)
+
+(** Break when any one of the (signal, value) pairs matches. *)
+let arm_any watches conds : arm_spec =
+  arm_with watches conds ~used_mask:(0, 1) ~unused_mask:(0, 0) ~sels:(0, 1)
+
+(** Disarm every value breakpoint. *)
+let disarm (watches : watch list) : arm_spec =
+  List.concat_map
+    (fun w ->
+      [
+        (and_mask_reg w, Bits.of_int ~width:1 0);
+        (or_mask_reg w, Bits.of_int ~width:1 0);
+      ])
+    watches
+  @ [
+      (and_sel_reg, Bits.of_int ~width:1 0);
+      (or_sel_reg, Bits.of_int ~width:1 0);
+    ]

@@ -1,0 +1,55 @@
+(** The trigger unit (Algorithm 1): runtime-configurable value breakpoints.
+
+    For each watched signal the wrapper instantiates a comparator against
+    a {e configuration register} (reference value + per-signal masks); the
+    per-signal hits combine through an AND tree and an OR tree, each with
+    its own select mask.  Because the reference values and masks are
+    ordinary registers reachable by state injection, breakpoints are
+    (re)armed at runtime with zero recompilation — the paper's central
+    trick for software-like conditional breakpoints.
+
+    Host-side arming is pure data: {!arm_all} / {!arm_any} / {!disarm}
+    produce the register writes, {!Host} injects them. *)
+
+open Zoomie_rtl
+
+(** One watched signal, by RTL name and width. *)
+type watch = { w_name : string; w_width : int }
+
+(** {1 Configuration-register naming}
+
+    These names are shared between the RTL generator and the host; they
+    live under the wrapper instance. *)
+
+val refval_reg : watch -> string
+val and_mask_reg : watch -> string
+val or_mask_reg : watch -> string
+
+(** Select masks choosing which watches participate in the AND / OR
+    combine (one bit per watch, in declaration order). *)
+val and_sel_reg : string
+
+val or_sel_reg : string
+
+(** Emit the trigger unit into a wrapper under construction: comparators,
+    masks and the two combine trees.  Returns the 1-bit "trigger fired"
+    expression.  [signals] supplies the watched expressions by name. *)
+val build :
+  Builder.t -> clock:string -> watch list -> signals:(string * Expr.t) list -> Expr.t
+
+(** A set of configuration-register writes ((register name, value) pairs)
+    realizing one breakpoint condition. *)
+type arm_spec = (string * Bits.t) list
+
+(** @raise Invalid_argument naming the offender if a condition mentions a
+    signal that is not watched. *)
+val check_watched : watch list -> (string * 'a) list -> unit
+
+(** Break when {e all} the given (signal = value) conditions hold. *)
+val arm_all : watch list -> (string * Bits.t) list -> arm_spec
+
+(** Break when {e any} of the given (signal = value) conditions holds. *)
+val arm_any : watch list -> (string * Bits.t) list -> arm_spec
+
+(** Clear every value breakpoint. *)
+val disarm : watch list -> arm_spec

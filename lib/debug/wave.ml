@@ -1,0 +1,110 @@
+(** Source-agnostic waveform collection with VCD export.
+
+    {!Host.trace} uses this to give the software-debugger experience the
+    ILA flow needs a recompile for: after a breakpoint, single-step the
+    paused MUT and read the registers of interest back each cycle —
+    producing a standard VCD that any waveform viewer opens, for exactly
+    the signals and window the user asks for, chosen {e at runtime}.
+
+    The collector itself just accepts named samples; it doesn't care
+    whether they came from readback, a simulator, or a file. *)
+
+open Zoomie_rtl
+
+type tracked = {
+  tk_name : string;
+  tk_code : string;
+  tk_width : int;
+  mutable tk_last : Bits.t option;
+}
+
+type t = {
+  scope : string;
+  timescale : string;
+  mutable signals : tracked list;  (* reversed declaration order *)
+  mutable by_name : (string * tracked) list;
+  mutable changes : (int * (tracked * Bits.t) list) list;  (* reversed *)
+  mutable time : int;
+}
+
+(* VCD identifier codes: printable ASCII 33..126, little-endian digits. *)
+let code_of_index i =
+  let base = 94 and first = 33 in
+  let rec go i acc =
+    let digit = Char.chr (first + (i mod base)) in
+    let acc = acc ^ String.make 1 digit in
+    if i < base then acc else go ((i / base) - 1) acc
+  in
+  go i ""
+
+let create ?(timescale = "1ns") ~scope () =
+  { scope; timescale; signals = []; by_name = []; changes = []; time = 0 }
+
+let track t name width =
+  match List.assoc_opt name t.by_name with
+  | Some tk -> tk
+  | None ->
+    let tk =
+      {
+        tk_name = name;
+        tk_code = code_of_index (List.length t.signals);
+        tk_width = width;
+        tk_last = None;
+      }
+    in
+    t.signals <- tk :: t.signals;
+    t.by_name <- (name, tk) :: t.by_name;
+    tk
+
+(** Record one cycle's worth of (name, value) samples; signals are
+    auto-declared on first appearance, and only changes are stored. *)
+let sample t values =
+  let delta =
+    List.filter_map
+      (fun (name, v) ->
+        let tk = track t name (Bits.width v) in
+        match tk.tk_last with
+        | Some prev when Bits.equal prev v -> None
+        | _ ->
+          tk.tk_last <- Some v;
+          Some (tk, v))
+      values
+  in
+  if delta <> [] then t.changes <- (t.time, delta) :: t.changes;
+  t.time <- t.time + 1
+
+let cycles t = t.time
+
+let signal_count t = List.length t.signals
+
+(** Serialize to VCD text. *)
+let contents t =
+  let buf = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "$date zoomie trace $end\n";
+  pr "$version zoomie host-side waveform capture $end\n";
+  pr "$timescale %s $end\n" t.timescale;
+  pr "$scope module %s $end\n"
+    (String.map (fun c -> if c = '.' then '_' else c) t.scope);
+  List.iter
+    (fun tk ->
+      pr "$var wire %d %s %s $end\n" tk.tk_width tk.tk_code
+        (String.map (fun c -> if c = '.' then '_' else c) tk.tk_name))
+    (List.rev t.signals);
+  pr "$upscope $end\n$enddefinitions $end\n";
+  List.iter
+    (fun (time, delta) ->
+      pr "#%d\n" time;
+      List.iter
+        (fun (tk, v) ->
+          if tk.tk_width = 1 then
+            pr "%d%s\n" (if Bits.get v 0 then 1 else 0) tk.tk_code
+          else pr "b%s %s\n" (Bits.to_binary_string v) tk.tk_code)
+        delta)
+    (List.rev t.changes);
+  Buffer.contents buf
+
+let write t path =
+  let oc = open_out path in
+  output_string oc (contents t);
+  close_out oc

@@ -1,0 +1,24 @@
+(** Source-agnostic waveform collection with VCD export.
+
+    {!Host.trace} feeds this from readback; anything producing named
+    [(string * Bits.t)] samples per cycle can use it.  Signals are
+    declared on first appearance and stored change-compressed. *)
+
+open Zoomie_rtl
+
+type t
+
+val create : ?timescale:string -> scope:string -> unit -> t
+
+(** Record one cycle's samples. *)
+val sample : t -> (string * Bits.t) list -> unit
+
+(** Cycles sampled so far. *)
+val cycles : t -> int
+
+val signal_count : t -> int
+
+(** Serialize to VCD text. *)
+val contents : t -> string
+
+val write : t -> string -> unit

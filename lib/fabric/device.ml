@@ -1,0 +1,76 @@
+(** Device catalog: chiplet-based Alveo cards.
+
+    A device is a list of SLRs (chiplets); each SLR is a number of clock-
+    region rows sharing one region layout.  SLR index [primary] hosts the
+    primary configuration microcontroller that commands the others over the
+    interposer ring (§4.3-4.6). *)
+
+type slr = {
+  slr_index : int;
+  region_rows : int;
+  layout : Geometry.region_layout;
+}
+
+type t = {
+  name : string;
+  slrs : slr array;
+  primary : int;  (** index of the primary (master) SLR *)
+  idcode : int32; (** device IDCODE advertised by the primary SLR *)
+}
+
+let make_slrs n rows layout =
+  Array.init n (fun i -> { slr_index = i; region_rows = rows; layout })
+
+(** Alveo U200: three SLRs; the middle one (SLR1) is primary — matching the
+    paper's observation that reading SLR 1 is slightly faster (§5.3). *)
+let u200 () =
+  let layout = Geometry.standard_region () in
+  {
+    name = "xcu200";
+    slrs = make_slrs 3 5 layout;
+    primary = 1;
+    idcode = 0x3842093l;
+  }
+
+(** Alveo U250: four SLRs (used in §4.5 to validate the BOUT repetition
+    pattern). *)
+let u250 () =
+  let layout = Geometry.standard_region () in
+  {
+    name = "xcu250";
+    slrs = make_slrs 4 5 layout;
+    primary = 1;
+    idcode = 0x3844093l;
+  }
+
+let num_slrs t = Array.length t.slrs
+
+let slr t i =
+  if i < 0 || i >= num_slrs t then invalid_arg "Device.slr: bad index";
+  t.slrs.(i)
+
+(** Resource capacity of one SLR. *)
+let slr_resources t i =
+  let s = slr t i in
+  Resource.scale s.region_rows (Geometry.region_resources s.layout)
+
+(** Whole-device capacity (Table 2's denominator). *)
+let resources t =
+  Array.fold_left
+    (fun acc s ->
+      Resource.add acc
+        (Resource.scale s.region_rows (Geometry.region_resources s.layout)))
+    Resource.zero t.slrs
+
+(** Number of configuration frames in one SLR. *)
+let frames_per_slr t i =
+  let s = slr t i in
+  s.region_rows * Geometry.frames_per_region s.layout
+
+(** Configuration bits of one SLR (frames * words * 32). *)
+let config_bytes_per_slr t i =
+  frames_per_slr t i * Geometry.words_per_frame * 4
+
+let pp fmt t =
+  Fmt.pf fmt "%s (%d SLRs, primary SLR%d, %a)" t.name (num_slrs t) t.primary
+    Resource.pp (resources t)

@@ -1,0 +1,45 @@
+(** Device catalog: chiplet (multi-SLR) FPGAs in the Alveo family.
+
+    A device is an array of SLRs — each a stack of clock-region rows over
+    one column layout — plus the identity of the {e primary} SLR (the one
+    whose configuration microcontroller the cable talks to directly; all
+    others are reached over the §4.4 BOUT ring).  Capacities are
+    calibrated to the real parts so Table 2's percentages are
+    meaningful. *)
+
+type slr = {
+  slr_index : int;
+  region_rows : int;
+  layout : Geometry.region_layout;
+}
+
+type t = {
+  name : string;
+  slrs : slr array;
+  primary : int;  (** index of the primary (master) SLR *)
+  idcode : int32;  (** IDCODE advertised by the primary SLR *)
+}
+
+(** Alveo U200: 3 SLRs, middle (SLR1) primary — ~1.18 M LUTs, 2.36 M FFs,
+    2,160 BRAMs, 6,840 DSPs. *)
+val u200 : unit -> t
+
+(** Alveo U250: 4 SLRs; its final SLR needs 3 BOUT pulses (§4.5's
+    repetition-pattern experiment). *)
+val u250 : unit -> t
+
+val num_slrs : t -> int
+
+val slr : t -> int -> slr
+
+val slr_resources : t -> int -> Resource.t
+
+(** Whole-device capacity. *)
+val resources : t -> Resource.t
+
+val frames_per_slr : t -> int -> int
+
+(** Configuration-plane size in bytes (full-bitstream cost driver). *)
+val config_bytes_per_slr : t -> int -> int
+
+val pp : Format.formatter -> t -> unit

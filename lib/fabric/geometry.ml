@@ -1,0 +1,114 @@
+(** Fabric geometry: clock regions, tile columns, sites and configuration
+    frames for an UltraScale+-like chiplet FPGA.
+
+    Every SLR (super logic region, one chiplet die) is a grid of clock-region
+    rows, each containing columns of tiles.  Configuration memory is
+    addressed by frames: a frame is [words_per_frame] 32-bit words and is
+    identified by (region row, column, minor index).  The word/bit mapping of
+    LUT truth tables, FF state and BRAM contents defined here is shared by
+    frame generation (P&R), readback parsing (Zoomie) and the configuration
+    microcontroller, exactly as Vivado's logic-location files tie those
+    together on real silicon. *)
+
+type column_kind = Clb_column of { slicem : bool } | Bram_column | Dsp_column
+
+(* Per-region-column geometry. *)
+let tiles_per_clb_column = 60
+let luts_per_clb_tile = 8
+let ffs_per_clb_tile = 16
+let brams_per_column = 12
+let dsps_per_column = 24
+
+let words_per_frame = 128
+let clb_frames_per_column = 16
+let bram_cfg_frames = 4
+let bram_content_frames_per_tile = 9 (* 36 Kb = 1152 words = 9 frames *)
+let bram_frames_per_column =
+  bram_cfg_frames + (brams_per_column * bram_content_frames_per_tile)
+let dsp_frames_per_column = 8
+
+let frames_per_column = function
+  | Clb_column _ -> clb_frames_per_column
+  | Bram_column -> bram_frames_per_column
+  | Dsp_column -> dsp_frames_per_column
+
+(** Layout of one clock region (identical across rows of an SLR). *)
+type region_layout = { columns : column_kind array }
+
+(** Standard region: 164 CLB columns (alternating SLICEM), 12 BRAM columns
+    and 19 DSP columns, interleaved the way UltraScale+ devices stripe
+    memory columns through the CLB fabric. *)
+let standard_region () =
+  let cols = ref [] in
+  let clb = ref 0 and bram = ref 0 and dsp = ref 0 in
+  (* Interleave: every 15 columns insert a BRAM or DSP column. *)
+  let total = 164 + 12 + 19 in
+  for i = 0 to total - 1 do
+    let kind =
+      if i mod 15 = 7 && !bram < 12 then begin
+        incr bram;
+        Bram_column
+      end
+      else if i mod 10 = 4 && !dsp < 19 then begin
+        incr dsp;
+        Dsp_column
+      end
+      else begin
+        incr clb;
+        Clb_column { slicem = !clb mod 2 = 0 }
+      end
+    in
+    cols := kind :: !cols
+  done;
+  (* Make up any shortfall with plain CLB columns so totals are exact. *)
+  let cols = Array.of_list (List.rev !cols) in
+  let count k = Array.fold_left (fun n c -> if c = k then n + 1 else n) 0 cols in
+  ignore count;
+  { columns = cols }
+
+(** Resource capacity of one clock region. *)
+let region_resources layout =
+  Array.fold_left
+    (fun acc kind ->
+      match kind with
+      | Clb_column { slicem } ->
+        let luts = tiles_per_clb_column * luts_per_clb_tile in
+        Resource.add acc
+          (Resource.make ~lut:luts
+             ~lutram:(if slicem then luts else 0)
+             ~ff:(tiles_per_clb_column * ffs_per_clb_tile)
+             ())
+      | Bram_column -> Resource.add acc (Resource.make ~bram:brams_per_column ())
+      | Dsp_column -> Resource.add acc (Resource.make ~dsp:dsps_per_column ()))
+    Resource.zero layout.columns
+
+let frames_per_region layout =
+  Array.fold_left (fun n k -> n + frames_per_column k) 0 layout.columns
+
+(** Frame address within one SLR. *)
+type frame_addr = { row : int; col : int; minor : int }
+
+(* --- Bit locations inside frames (the "logic location" contract) --- *)
+
+(** Frame bit position of FF [site] (0..15) of CLB tile [tile] (0..59):
+    minor 8, one bit per FF. *)
+let ff_location ~tile ~site =
+  if site < 0 || site >= ffs_per_clb_tile then invalid_arg "ff_location: site";
+  if tile < 0 || tile >= tiles_per_clb_column then invalid_arg "ff_location: tile";
+  (8, tile, site)
+
+(** Frame location of LUT [site] (0..7) truth-table bit [k] (0..63) of CLB
+    tile [tile]: minor = site, two words per tile. *)
+let lut_location ~tile ~site ~bit =
+  if site < 0 || site >= luts_per_clb_tile then invalid_arg "lut_location: site";
+  if bit < 0 || bit >= 64 then invalid_arg "lut_location: bit";
+  (site, (2 * tile) + (bit / 32), bit mod 32)
+
+(** Frame location of BRAM content bit [k] of BRAM [tile] (0..11) in a BRAM
+    column. *)
+let bram_location ~tile ~bit =
+  if tile < 0 || tile >= brams_per_column then invalid_arg "bram_location: tile";
+  if bit < 0 || bit >= 36864 then invalid_arg "bram_location: bit";
+  let minor = bram_cfg_frames + (tile * bram_content_frames_per_tile) + (bit / (words_per_frame * 32)) in
+  let within = bit mod (words_per_frame * 32) in
+  (minor, within / 32, within mod 32)

@@ -1,0 +1,67 @@
+(** Fabric geometry: columns, tiles, sites and their frame addressing.
+
+    The ground truth that frame generation, readback parsing and the
+    configuration microcontrollers all share.  One clock-region "column"
+    is a vertical stack of CLB tiles (8 LUTs + 16 FFs each), BRAM tiles
+    or DSP tiles; its configuration is a run of frames addressed by a
+    minor index, and each site's state sits at a fixed (minor, word, bit)
+    within the column — the mapping {!ff_location}/{!lut_location}/
+    {!bram_location} encode and the logic-location map relies on. *)
+
+type column_kind =
+  | Clb_column of { slicem : bool }  (** [slicem]: LUTs usable as LUTRAM *)
+  | Bram_column
+  | Dsp_column
+
+(** {1 Column dimensions} *)
+
+val tiles_per_clb_column : int
+
+val luts_per_clb_tile : int
+
+val ffs_per_clb_tile : int
+
+val brams_per_column : int
+
+val dsps_per_column : int
+
+(** {1 Frame dimensions} *)
+
+val words_per_frame : int
+
+val clb_frames_per_column : int
+
+val bram_cfg_frames : int
+
+val bram_content_frames_per_tile : int
+
+val bram_frames_per_column : int
+
+val dsp_frames_per_column : int
+
+val frames_per_column : column_kind -> int
+
+(** One clock region's column layout (shared by all rows of an SLR). *)
+type region_layout = { columns : column_kind array }
+
+(** The U200/U250-style region used by the bundled devices. *)
+val standard_region : unit -> region_layout
+
+val region_resources : region_layout -> Resource.t
+
+val frames_per_region : region_layout -> int
+
+type frame_addr = { row : int; col : int; minor : int }
+
+(** {1 Site-to-frame-bit mappings}
+
+    Each returns [(minor, word, bit)] within the site's column. *)
+
+(** FF state bit of site [site] in CLB tile [tile]. *)
+val ff_location : tile:int -> site:int -> int * int * int
+
+(** Truth-table bit [bit] of LUT [site] in CLB tile [tile]. *)
+val lut_location : tile:int -> site:int -> bit:int -> int * int * int
+
+(** Content bit [bit] of the BRAM in tile [tile]. *)
+val bram_location : tile:int -> bit:int -> int * int * int

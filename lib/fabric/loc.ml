@@ -1,0 +1,50 @@
+(** Logic locations: where each netlist cell lives on the fabric.
+
+    The placer produces a {!map}; the board's capture/restore machinery and
+    Zoomie's readback parser both consume it.  This is the analogue of
+    Vivado's logic-location (.ll) metadata that §3.2 relies on to match
+    readback bits with RTL names. *)
+
+type ff_site = { f_slr : int; f_row : int; f_col : int; f_tile : int; f_index : int }
+
+type lut_site = { l_slr : int; l_row : int; l_col : int; l_tile : int; l_index : int }
+
+type bram_site = { b_slr : int; b_row : int; b_col : int; b_tile : int }
+
+type dsp_site = { d_slr : int; d_row : int; d_col : int; d_tile : int }
+
+(** Where the bits of one memory cell live: BRAM blocks or SLICEM LUTs, in
+    ascending order of the memory's linear bit index. *)
+type mem_sites =
+  | In_bram of bram_site array
+  | In_lutram of lut_site array
+
+type map = {
+  ff_sites : ff_site array;       (** indexed by netlist FF cell index *)
+  lut_sites : lut_site array;     (** indexed by netlist LUT cell index *)
+  mem_placements : mem_sites array;  (** indexed by netlist memory index *)
+  dsp_sites : dsp_site array;     (** indexed by netlist DSP cell index *)
+}
+
+(** Frame location (minor, word, bit) of an FF site within its column. *)
+let ff_frame_bit (s : ff_site) =
+  Geometry.ff_location ~tile:s.f_tile ~site:s.f_index
+
+(** Linear bit index of memory bit (addr, bit) given the memory geometry,
+    and its position within the site sequence.
+
+    BRAM: blocks are filled depth-first (1024 entries x 36 bits per block).
+    LUTRAM: one LUT holds a 64 x 1 slice of one data-bit column. *)
+let bram_bit_position ~depth ~addr ~bit =
+  ignore depth;
+  let block_row = addr / 1024 and block_col = bit / 36 in
+  let within = ((addr mod 1024) * 36) + (bit mod 36) in
+  (* Site ordinal: row-major over (depth blocks, width blocks). *)
+  (block_row, block_col, within)
+
+let lutram_bit_position ~addr ~bit =
+  let depth_unit = addr / 64 in
+  let within = addr mod 64 in
+  (* Site ordinal = bit * depth_units + depth_unit, computed by caller with
+     the depth-unit count. *)
+  (depth_unit, bit, within)

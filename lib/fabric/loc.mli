@@ -1,0 +1,36 @@
+(** Logic locations: where each netlist cell lives on the fabric.
+
+    The placer produces a {!map}; the board's capture/restore machinery
+    and Zoomie's readback parser both consume it.  This is the analogue
+    of Vivado's logic-location (.ll) metadata that §3.2 relies on to
+    match readback bits with RTL names. *)
+
+type ff_site = { f_slr : int; f_row : int; f_col : int; f_tile : int; f_index : int }
+
+type lut_site = { l_slr : int; l_row : int; l_col : int; l_tile : int; l_index : int }
+
+type bram_site = { b_slr : int; b_row : int; b_col : int; b_tile : int }
+
+type dsp_site = { d_slr : int; d_row : int; d_col : int; d_tile : int }
+
+(** Where the bits of one memory cell live: BRAM blocks or SLICEM LUTs,
+    in ascending order of the memory's linear bit index. *)
+type mem_sites = In_bram of bram_site array | In_lutram of lut_site array
+
+type map = {
+  ff_sites : ff_site array;  (** indexed by netlist FF cell index *)
+  lut_sites : lut_site array;  (** indexed by netlist LUT cell index *)
+  mem_placements : mem_sites array;  (** indexed by netlist memory index *)
+  dsp_sites : dsp_site array;  (** indexed by netlist DSP cell index *)
+}
+
+(** Frame location (minor, word, bit) of an FF site within its column. *)
+val ff_frame_bit : ff_site -> int * int * int
+
+(** Position of BRAM memory bit (addr, bit): (block row, block column,
+    bit within the block). *)
+val bram_bit_position : depth:int -> addr:int -> bit:int -> int * int * int
+
+(** Position of LUTRAM memory bit (addr, bit): (depth unit, data bit,
+    bit within the LUT). *)
+val lutram_bit_position : addr:int -> bit:int -> int * int * int

@@ -1,0 +1,62 @@
+(** Rectangular placement regions (pblocks): a contiguous range of clock
+    region rows and tile columns within one SLR.  VTI provisions one region
+    per partition; the Debug Controller's readback planner reads only the
+    frames of the regions containing the MUT (§4.7). *)
+
+type t = {
+  slr : int;
+  row_lo : int;
+  row_hi : int;  (** inclusive *)
+  col_lo : int;
+  col_hi : int;  (** inclusive *)
+}
+
+let make ~slr ~row_lo ~row_hi ~col_lo ~col_hi =
+  if row_lo > row_hi || col_lo > col_hi then invalid_arg "Region.make: empty";
+  { slr; row_lo; row_hi; col_lo; col_hi }
+
+let contains t ~slr ~row ~col =
+  slr = t.slr && row >= t.row_lo && row <= t.row_hi && col >= t.col_lo
+  && col <= t.col_hi
+
+let contains_any regions ~slr ~row ~col =
+  List.exists (fun r -> contains r ~slr ~row ~col) regions
+
+let rows t = t.row_hi - t.row_lo + 1
+let cols t = t.col_hi - t.col_lo + 1
+
+(** Resources available inside the region, given the SLR's layout. *)
+let resources (layout : Geometry.region_layout) t =
+  let acc = ref Resource.zero in
+  for col = t.col_lo to min t.col_hi (Array.length layout.columns - 1) do
+    let kind = layout.columns.(col) in
+    let r =
+      match kind with
+      | Geometry.Clb_column { slicem } ->
+        let luts = Geometry.tiles_per_clb_column * Geometry.luts_per_clb_tile in
+        Resource.make ~lut:luts
+          ~lutram:(if slicem then luts else 0)
+          ~ff:(Geometry.tiles_per_clb_column * Geometry.ffs_per_clb_tile)
+          ()
+      | Geometry.Bram_column -> Resource.make ~bram:Geometry.brams_per_column ()
+      | Geometry.Dsp_column -> Resource.make ~dsp:Geometry.dsps_per_column ()
+    in
+    acc := Resource.add !acc r
+  done;
+  Resource.scale (rows t) !acc
+
+(** Frames covered by the region (the optimized readback volume). *)
+let frame_count (layout : Geometry.region_layout) t =
+  let per_row = ref 0 in
+  for col = t.col_lo to min t.col_hi (Array.length layout.columns - 1) do
+    per_row := !per_row + Geometry.frames_per_column layout.columns.(col)
+  done;
+  rows t * !per_row
+
+let overlaps a b =
+  a.slr = b.slr
+  && not (a.col_hi < b.col_lo || b.col_hi < a.col_lo)
+  && not (a.row_hi < b.row_lo || b.row_hi < a.row_lo)
+
+let pp fmt t =
+  Fmt.pf fmt "SLR%d[R%d-%d C%d-%d]" t.slr t.row_lo t.row_hi t.col_lo t.col_hi

@@ -1,0 +1,36 @@
+(** Rectangular placement regions (pblocks): a row/column window on one
+    SLR.
+
+    VTI's partitions and static regions, the vendor flow's whole-device
+    region, and partial-reconfiguration dynamic regions are all values of
+    this type; the board uses [contains_any] to decide which state a
+    partial bitstream may touch. *)
+
+type t = {
+  slr : int;
+  row_lo : int;
+  row_hi : int;  (** inclusive *)
+  col_lo : int;
+  col_hi : int;  (** inclusive *)
+}
+
+val make : slr:int -> row_lo:int -> row_hi:int -> col_lo:int -> col_hi:int -> t
+
+val contains : t -> slr:int -> row:int -> col:int -> bool
+
+val contains_any : t list -> slr:int -> row:int -> col:int -> bool
+
+val rows : t -> int
+
+val cols : t -> int
+
+(** Total resources of the region under a layout. *)
+val resources : Geometry.region_layout -> t -> Resource.t
+
+(** Configuration frames covering the region (partial-bitstream size). *)
+val frame_count : Geometry.region_layout -> t -> int
+
+(** Same SLR and intersecting row/column windows. *)
+val overlaps : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,66 @@
+(** FPGA resource vectors: the five resource classes reported by the vendor
+    toolchain and used by Table 2 and VTI's provisioning formula (§3.5). *)
+
+type kind = Lut | Lutram | Ff | Bram | Dsp
+
+let all_kinds = [ Lut; Lutram; Ff; Bram; Dsp ]
+
+let kind_name = function
+  | Lut -> "LUT"
+  | Lutram -> "LUTRAM"
+  | Ff -> "FF"
+  | Bram -> "BRAM"
+  | Dsp -> "DSP"
+
+type t = { lut : int; lutram : int; ff : int; bram : int; dsp : int }
+
+let zero = { lut = 0; lutram = 0; ff = 0; bram = 0; dsp = 0 }
+
+let make ?(lut = 0) ?(lutram = 0) ?(ff = 0) ?(bram = 0) ?(dsp = 0) () =
+  { lut; lutram; ff; bram; dsp }
+
+let get t = function
+  | Lut -> t.lut
+  | Lutram -> t.lutram
+  | Ff -> t.ff
+  | Bram -> t.bram
+  | Dsp -> t.dsp
+
+let map2 f a b =
+  {
+    lut = f a.lut b.lut;
+    lutram = f a.lutram b.lutram;
+    ff = f a.ff b.ff;
+    bram = f a.bram b.bram;
+    dsp = f a.dsp b.dsp;
+  }
+
+let add a b = map2 ( + ) a b
+let sub a b = map2 ( - ) a b
+let sum l = List.fold_left add zero l
+let scale k t = { lut = k * t.lut; lutram = k * t.lutram; ff = k * t.ff; bram = k * t.bram; dsp = k * t.dsp }
+
+(** Component-wise [a <= b]: does demand [a] fit in capacity [b]? *)
+let fits ~demand ~capacity =
+  List.for_all (fun k -> get demand k <= get capacity k) all_kinds
+
+(** VTI over-provision (§3.5): ER = resource * (1 + c), rounded up. *)
+let over_provision ~c t =
+  let f r = int_of_float (ceil (float_of_int r *. (1.0 +. c))) in
+  { lut = f t.lut; lutram = f t.lutram; ff = f t.ff; bram = f t.bram; dsp = f t.dsp }
+
+(** Utilization of [used] against [capacity] as percentages. *)
+let utilization ~used ~capacity =
+  List.map
+    (fun k ->
+      let cap = get capacity k in
+      let pct =
+        if cap = 0 then 0.0
+        else 100.0 *. float_of_int (get used k) /. float_of_int cap
+      in
+      (k, get used k, pct))
+    all_kinds
+
+let pp fmt t =
+  Fmt.pf fmt "{LUT %d; LUTRAM %d; FF %d; BRAM %d; DSP %d}" t.lut t.lutram t.ff
+    t.bram t.dsp

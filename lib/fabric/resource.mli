@@ -1,0 +1,41 @@
+(** Resource vectors: counts of each fabric cell class.
+
+    The common currency of the toolchain — synthesis reports demand,
+    regions report capacity, VTI over-provisions demand by the §3.5
+    coefficient, and Table 2 prints utilization percentages. *)
+
+type kind = Lut | Lutram | Ff | Bram | Dsp
+
+val all_kinds : kind list
+
+val kind_name : kind -> string
+
+type t = { lut : int; lutram : int; ff : int; bram : int; dsp : int }
+
+val zero : t
+
+val make : ?lut:int -> ?lutram:int -> ?ff:int -> ?bram:int -> ?dsp:int -> unit -> t
+
+val get : t -> kind -> int
+
+val map2 : (int -> int -> int) -> t -> t -> t
+
+val add : t -> t -> t
+
+(** Pointwise subtraction (may go negative; callers clamp if needed). *)
+val sub : t -> t -> t
+
+val sum : t list -> t
+
+val scale : int -> t -> t
+
+(** Does the capacity cover the demand in every class? *)
+val fits : demand:t -> capacity:t -> bool
+
+(** The §3.5 rule: [ER = r x (1 + c)], rounded up per class. *)
+val over_provision : c:float -> t -> t
+
+(** Per-class (kind, used, percent) rows — the Table 2 report. *)
+val utilization : used:t -> capacity:t -> (kind * int * float) list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,39 @@
+(** Decoupled (latency-insensitive) interface descriptions.
+
+    A decoupled interface is a valid/ready handshake with a data payload;
+    the irrevocable flavor additionally requires valid to stay asserted
+    until ready (§3.1).  The Debug Controller interposes a pause buffer on
+    every decoupled interface crossing the MUT boundary. *)
+
+type flavor =
+  | Plain        (** valid may drop before ready *)
+  | Irrevocable  (** valid must hold until the handshake completes *)
+
+type t = {
+  if_name : string;
+  data_width : int;
+  flavor : flavor;
+  (* Signal names on the MUT boundary. *)
+  valid_signal : string;
+  ready_signal : string;
+  data_signal : string;
+  (* Which side of the interface lives inside the MUT. *)
+  mut_is_requester : bool;
+}
+
+let make ?(flavor = Irrevocable) ~name ~data_width ~valid ~ready ~data
+    ~mut_is_requester () =
+  {
+    if_name = name;
+    data_width;
+    flavor;
+    valid_signal = valid;
+    ready_signal = ready;
+    data_signal = data;
+    mut_is_requester;
+  }
+
+let pp fmt t =
+  Fmt.pf fmt "%s(%d bits, %s, MUT is %s)" t.if_name t.data_width
+    (match t.flavor with Plain -> "plain" | Irrevocable -> "irrevocable")
+    (if t.mut_is_requester then "requester" else "responder")

@@ -1,0 +1,35 @@
+(** Description of one decoupled (valid/ready) interface crossing the
+    MUT boundary — what the designer declares so the Debug Controller
+    knows where pause buffers must go (§3.1).
+
+    [mut_is_requester] gives the direction: [true] means the MUT drives
+    [valid]/[data] outward (it needs its stale valid masked while
+    paused); [false] means the MUT consumes (its ready must be masked and
+    in-flight beats buffered). *)
+
+type flavor =
+  | Plain  (** valid may drop before ready (bare handshake) *)
+  | Irrevocable  (** AXI-style: once valid, data holds until accepted *)
+
+type t = {
+  if_name : string;
+  data_width : int;
+  flavor : flavor;
+  valid_signal : string;
+  ready_signal : string;
+  data_signal : string;
+  mut_is_requester : bool;
+}
+
+val make :
+  ?flavor:flavor ->
+  name:string ->
+  data_width:int ->
+  valid:string ->
+  ready:string ->
+  data:string ->
+  mut_is_requester:bool ->
+  unit ->
+  t
+
+val pp : Format.formatter -> t -> unit

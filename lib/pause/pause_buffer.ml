@@ -1,0 +1,127 @@
+(** Pause buffers: make clock-gating a module safe across decoupled
+    interfaces (§3.1, Figure 3).
+
+    The buffer runs on the free (never gated) clock and interposes the
+    MUT-side interface.  It upholds the paper's three guarantees:
+
+    1. a transaction initiated by a paused requester is captured, completed
+       by the buffer and delivered to the responder during the pause;
+    2. a transaction whose completion the frozen requester could not
+       observe is re-acknowledged ("restarted") for it after resume —
+       exactly once, never duplicated downstream;
+    3. with no pending transaction the buffer is combinationally
+       transparent — zero added latency.
+
+    Timing note: in the cycle the trigger fires (T), the requester's
+    outputs are still genuine — the freeze only suppresses its clock edge
+    at the *end* of T.  The stale-valid hazard of Figure 3 therefore only
+    exists from T+1 on, so the interface masks use a registered pause
+    ([pause_q]); the combinational (deep) pause signal touches only the
+    buffer's own flip-flop inputs, keeping the Debug Controller's trigger
+    logic off the design's interface paths — this is how the wrapped
+    250 MHz stack of case study 3 still closes timing.
+
+    The requester is assumed irrevocable (valid holds until ready), the
+    flavor §3.1 calls out; the checker in [test/test_pause.ml] verifies the
+    guarantees exhaustively over bounded traces. *)
+
+open Zoomie_rtl
+
+(** RTL for a requester-side pause buffer: the requester (inside the MUT,
+    on the gated clock) drives [u_valid]/[u_data] and observes [u_ready];
+    the responder sees [d_valid]/[d_data] and drives [d_ready].  [pause] is
+    the Debug Controller's gate signal (high = MUT frozen this cycle).
+
+    Ports: clk, pause, u_valid, u_data, d_ready -> u_ready, d_valid, d_data. *)
+let requester_side ~name ~width =
+  let b = Builder.create name in
+  let clk = Builder.clock b "clk" in
+  let pause = Builder.input b "pause" 1 in
+  let u_valid = Builder.input b "u_valid" 1 in
+  let u_data = Builder.input b "u_data" width in
+  let d_ready = Builder.input b "d_ready" 1 in
+  (* State:
+     pause_q     - pause, one cycle late (interface masking)
+     full        - captured transaction awaiting downstream acceptance
+     buf         - its payload
+     pending_ack - transaction already delivered downstream; the requester
+                   has not yet observed a ready *)
+  let pause_q = Builder.reg_fb b ~clock:clk "pause_q" 1 ~next:(fun _ -> pause) in
+  let full = Builder.reg b ~clock:clk "full" 1 in
+  let buf = Builder.reg b ~clock:clk "buf" width in
+  let pending_ack = Builder.reg b ~clock:clk "pending_ack" 1 in
+  let pq = Expr.Signal pause_q in
+  let fullx = Expr.Signal full in
+  let pendx = Expr.Signal pending_ack in
+  (* Downstream: buffered item first; live traffic is masked from the cycle
+     after the freeze (the stale valid of Figure 3) and while an old
+     transaction awaits re-acknowledgement. *)
+  let d_valid = Expr.(Signal full |: (u_valid &: ~:pq &: ~:pendx)) in
+  let d_valid_w = Builder.wire_of b "d_valid_w" 1 d_valid in
+  let accept_w = Builder.wire_of b "accept" 1 Expr.(d_valid_w &: d_ready) in
+  (* Upstream: transparent ready in passthrough; deferred ack after resume. *)
+  let u_ready_w =
+    Builder.wire_of b "u_ready_w" 1
+      Expr.(u_valid &: ~:pq &: (pendx |: (d_ready &: ~:fullx)))
+  in
+  (* Capture an in-flight request one cycle into the pause. *)
+  let capture_w =
+    Builder.wire_of b "capture" 1
+      Expr.(pq &: pause &: u_valid &: ~:fullx &: ~:pendx)
+  in
+  Builder.reg_next b full
+    Expr.(mux capture_w vdd (mux (accept_w &: fullx) gnd fullx));
+  Builder.reg_next b buf Expr.(mux capture_w u_data (Signal buf));
+  (* The requester misses a completion when the buffered copy is delivered,
+     or when a live handshake fires in the very cycle it froze. *)
+  let completes_frozen = Expr.(accept_w &: (fullx |: pause)) in
+  let ack_consumed = Expr.(pendx &: u_ready_w &: ~:pause) in
+  Builder.reg_next b pending_ack
+    Expr.(mux ack_consumed gnd (mux completes_frozen vdd pendx));
+  ignore (Builder.output b "u_ready" 1 u_ready_w);
+  ignore (Builder.output b "d_valid" 1 d_valid_w);
+  ignore (Builder.output b "d_data" width Expr.(mux (Signal full) (Signal buf) u_data));
+  Builder.finish b
+
+(** Responder-side protection: when the MUT is the responder, masking its
+    ready during pause is sufficient — the external requester simply
+    stalls, which latency-insensitive protocols permit.  Masked with the
+    registered pause for the same timing reason as above; the MUT cannot
+    act on anything it accepts in its freeze cycle anyway. *)
+let responder_ready_mask ~pause_q ~mut_ready = Expr.(mut_ready &: ~:pause_q)
+
+(** Behavioral model — the specification the RTL is tested against. *)
+module Model = struct
+  type t = {
+    mutable pause_q : bool;
+    mutable full : bool;
+    mutable buf : int;
+    mutable pending_ack : bool;
+  }
+
+  let create () = { pause_q = false; full = false; buf = 0; pending_ack = false }
+
+  (** One free-clock cycle; returns the interface outputs
+      (u_ready, d_valid, d_data). *)
+  let step m ~pause ~u_valid ~u_data ~d_ready =
+    let pq = m.pause_q in
+    let d_valid = m.full || (u_valid && (not pq) && not m.pending_ack) in
+    let d_data = if m.full then m.buf else u_data in
+    let accept = d_valid && d_ready in
+    let u_ready =
+      u_valid && (not pq) && (m.pending_ack || (d_ready && not m.full))
+    in
+    let capture = pq && pause && u_valid && (not m.full) && not m.pending_ack in
+    let completes_frozen = accept && (m.full || pause) in
+    let ack_consumed = m.pending_ack && u_ready && not pause in
+    let deliver_buffered = accept && m.full in
+    if capture then begin
+      m.full <- true;
+      m.buf <- u_data
+    end
+    else if deliver_buffered then m.full <- false;
+    if ack_consumed then m.pending_ack <- false
+    else if completes_frozen then m.pending_ack <- true;
+    m.pause_q <- pause;
+    (u_ready, d_valid, d_data)
+end

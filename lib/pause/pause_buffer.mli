@@ -1,0 +1,48 @@
+(** Pause buffers: making clock-gating safe on decoupled interfaces
+    (§3.1, Figure 3).
+
+    Freezing a module mid-handshake breaks the protocol in both
+    directions: a frozen requester keeps asserting a stale [valid] (the
+    responder sees phantom transactions), and a frozen responder drops
+    beats that arrive while it cannot raise [ready].  The pause buffer
+    sits on the boundary and guarantees, for any pause schedule:
+
+    + no transaction is observed twice (phantoms);
+    + no accepted transaction is lost;
+    + order is preserved.
+
+    The interface masks are driven by a {e registered} pause signal
+    ([pause_q]): the stale-valid hazard only exists from the cycle after
+    the freeze takes effect, and using the registered form keeps the
+    (deep) trigger logic out of the MUT's combinational data paths — this
+    is what lets case study 3's 250 MHz engine keep its frequency.
+
+    These guarantees are verified exhaustively over bounded schedules in
+    [test/test_pause.ml] using {!Model} as the specification. *)
+
+open Zoomie_rtl
+
+(** The requester-side buffer as a reusable circuit: catches the beat in
+    flight when pause lands, replays it on resume. *)
+val requester_side : name:string -> width:int -> Circuit.t
+
+(** Responder-side mask: the upstream sees [ready && !pause_q]. *)
+val responder_ready_mask : pause_q:Expr.t -> mut_ready:Expr.t -> Expr.t
+
+(** Executable specification of the requester-side buffer, used as the
+    oracle in the exhaustive bounded-schedule tests. *)
+module Model : sig
+  type t = {
+    mutable pause_q : bool;
+    mutable full : bool;
+    mutable buf : int;
+    mutable pending_ack : bool;
+  }
+
+  val create : unit -> t
+
+  (** One cycle: inputs are the pause request, the upstream beat and the
+      downstream ready; returns (valid, ready, data) as seen downstream. *)
+  val step :
+    t -> pause:bool -> u_valid:bool -> u_data:int -> d_ready:bool -> bool * bool * int
+end

@@ -1,0 +1,89 @@
+(** Configuration-frame generation: turn a placed netlist into per-SLR frame
+    contents (LUT truth tables, FF init values, memory init).  The output
+    feeds bitstream assembly; the same bit positions are later used by
+    GCAPTURE/readback, so what the toolchain writes is exactly what Zoomie
+    reads back. *)
+
+open Zoomie_fabric
+module Netlist = Zoomie_synth.Netlist
+
+type frame_write = {
+  fw_slr : int;
+  fw_key : int * int * int;  (* row, col, minor *)
+  fw_data : int array;       (* words_per_frame words *)
+}
+
+(* Accumulate sparse bit writes per (slr, key) then flatten to frames. *)
+type acc = (int * (int * int * int), int array) Hashtbl.t
+
+let frame (acc : acc) slr key =
+  match Hashtbl.find_opt acc (slr, key) with
+  | Some f -> f
+  | None ->
+    let f = Array.make Geometry.words_per_frame 0 in
+    Hashtbl.add acc (slr, key) f;
+    f
+
+let set_bit acc slr key ~word ~bit v =
+  let f = frame acc slr key in
+  if v then f.(word) <- f.(word) lor (1 lsl bit)
+  else f.(word) <- f.(word) land lnot (1 lsl bit)
+
+let set_word acc slr key ~word v = (frame acc slr key).(word) <- v land 0xFFFFFFFF
+
+(** Generate all frames configured by [netlist] placed at [locmap]. *)
+let generate (netlist : Netlist.t) (locmap : Loc.map) =
+  let acc : acc = Hashtbl.create 4096 in
+  (* LUT truth tables: 64 bits split across two words at the site's minor. *)
+  Array.iteri
+    (fun i (l : Netlist.lut) ->
+      let s = locmap.Loc.lut_sites.(i) in
+      let key_of minor = (s.Loc.l_row, s.Loc.l_col, minor) in
+      let lo = Int64.to_int (Int64.logand l.Netlist.table 0xFFFFFFFFL) in
+      let hi = Int64.to_int (Int64.shift_right_logical l.Netlist.table 32) in
+      let minor, word_lo, _ = Geometry.lut_location ~tile:s.Loc.l_tile ~site:s.Loc.l_index ~bit:0 in
+      set_word acc s.Loc.l_slr (key_of minor) ~word:word_lo lo;
+      let minor2, word_hi, _ = Geometry.lut_location ~tile:s.Loc.l_tile ~site:s.Loc.l_index ~bit:32 in
+      set_word acc s.Loc.l_slr (key_of minor2) ~word:word_hi hi)
+    netlist.Netlist.luts;
+  (* FF init values land in the state frame (captured/restored later). *)
+  Array.iteri
+    (fun i (f : Netlist.ff) ->
+      let s = locmap.Loc.ff_sites.(i) in
+      let minor, word, bit = Loc.ff_frame_bit s in
+      set_bit acc s.Loc.f_slr (s.Loc.f_row, s.Loc.f_col, minor) ~word ~bit f.Netlist.init)
+    netlist.Netlist.ffs;
+  (* Memories initialize to zero: ensure their frames exist so partial
+     bitstreams cover them. *)
+  Array.iteri
+    (fun _mi placement ->
+      match placement with
+      | Loc.In_bram sites ->
+        Array.iter
+          (fun (s : Loc.bram_site) ->
+            for k = 0 to Geometry.bram_content_frames_per_tile - 1 do
+              let minor =
+                Geometry.bram_cfg_frames
+                + (s.Loc.b_tile * Geometry.bram_content_frames_per_tile)
+                + k
+              in
+              ignore (frame acc s.Loc.b_slr (s.Loc.b_row, s.Loc.b_col, minor))
+            done)
+          sites
+      | Loc.In_lutram sites ->
+        Array.iter
+          (fun (s : Loc.lut_site) ->
+            let minor, _, _ =
+              Geometry.lut_location ~tile:s.Loc.l_tile ~site:s.Loc.l_index ~bit:0
+            in
+            ignore (frame acc s.Loc.l_slr (s.Loc.l_row, s.Loc.l_col, minor)))
+          sites)
+    locmap.Loc.mem_placements;
+  Hashtbl.fold
+    (fun (slr, key) data l -> { fw_slr = slr; fw_key = key; fw_data = data } :: l)
+    acc []
+  |> List.sort compare
+
+(** Total configured words (bitstream-size proxy). *)
+let word_count frames =
+  List.length frames * Geometry.words_per_frame

@@ -1,0 +1,20 @@
+(** Configuration-frame generation: the back end of both compile flows.
+
+    Turns a placed netlist into the frame writes a bitstream carries:
+    LUT truth tables, FF initial values and memory initialization, each
+    at the (SLR, row, column, minor) frame address its site's geometry
+    dictates.  The board's configuration microcontrollers consume these
+    via FDRI, and readback re-derives state from the same addresses —
+    so this module and {!Zoomie_debug.Readback} must agree exactly, which
+    the frame-roundtrip tests enforce. *)
+
+module Netlist = Zoomie_synth.Netlist
+open Zoomie_fabric
+
+(** One frame's payload on one SLR: [fw_key] = (row, column, minor). *)
+type frame_write = { fw_slr : int; fw_key : int * int * int; fw_data : int array }
+
+val generate : Netlist.t -> Loc.map -> frame_write list
+
+(** Total configured words of a frame list (bitstream-size proxy). *)
+val word_count : frame_write list -> int

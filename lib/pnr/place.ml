@@ -1,0 +1,117 @@
+(** Placement: assign every netlist cell a fabric site inside the given
+    regions (pblocks), producing the {!Zoomie_fabric.Loc.map} consumed by
+    frame generation and readback.
+
+    The placer is a linear-time column packer: cells are placed in netlist
+    order, which synthesis emits in connectivity-correlated order, so
+    related logic lands in nearby tiles.  Capacity exhaustion raises
+    {!Sites.Out_of_sites} — VTI's provisioning formula exists to prevent
+    exactly that. *)
+
+open Zoomie_fabric
+module Netlist = Zoomie_synth.Netlist
+
+type t = {
+  regions : Region.t list;
+  locmap : Loc.map;
+  used : Resource.t;
+  capacity : Resource.t;
+}
+
+(** Utilization fraction of the most-used resource class (congestion proxy
+    for the timing model). *)
+let peak_utilization t =
+  List.fold_left
+    (fun acc k ->
+      let cap = Resource.get t.capacity k in
+      if cap = 0 then acc
+      else max acc (float_of_int (Resource.get t.used k) /. float_of_int cap))
+    0.0 Resource.all_kinds
+
+let resources_of_netlist (n : Netlist.t) =
+  let lut, lutram, ff, bram = Netlist.resources n in
+  Resource.make ~lut:(lut + lutram) ~lutram ~ff ~bram
+    ~dsp:(Netlist.dsp_blocks n) ()
+
+(** Place [netlist] using an existing allocator (shared between the shell
+    and static stamps in the VTI flow).
+
+    Cells are allocated by merging the LUT, FF and memory arrays at equal
+    fractional progress, so the cells of one linked stamp — which occupy
+    the same fractional range of every array — land in the same physical
+    window.  This is the locality a wirelength-driven placer produces. *)
+let run_with_allocator alloc ~regions (netlist : Netlist.t) =
+  let nl = Array.length netlist.Netlist.luts in
+  let nf = Array.length netlist.Netlist.ffs in
+  let nm = Array.length netlist.Netlist.mems in
+  let lut_sites =
+    Array.make nl { Loc.l_slr = 0; l_row = 0; l_col = 0; l_tile = 0; l_index = 0 }
+  in
+  let ff_sites =
+    Array.make nf { Loc.f_slr = 0; f_row = 0; f_col = 0; f_tile = 0; f_index = 0 }
+  in
+  let mem_placements = Array.make nm (Loc.In_bram [||]) in
+  (* DSP blocks: allocated up front (few, on their own columns). *)
+  let dsp_sites =
+    Array.map (fun _ -> Sites.next_dsp alloc) netlist.Netlist.dsps
+  in
+  let place_mem mi =
+    let m = netlist.Netlist.mems.(mi) in
+    mem_placements.(mi) <-
+      (match m.Netlist.mem_kind with
+      | Netlist.Bram_mem ->
+        let depth_blocks = (m.Netlist.mem_depth + 1023) / 1024 in
+        let width_blocks = (m.Netlist.mem_width + 35) / 36 in
+        let count = max 1 (depth_blocks * width_blocks) in
+        Loc.In_bram (Array.init count (fun _ -> Sites.next_bram alloc))
+      | Netlist.Lutram_mem ->
+        let depth_units = (m.Netlist.mem_depth + 63) / 64 in
+        let count = max 1 (depth_units * m.Netlist.mem_width) in
+        Loc.In_lutram (Array.init count (fun _ -> Sites.next_lutram alloc)))
+  in
+  let il = ref 0 and iff = ref 0 and im = ref 0 in
+  let frac i n = if n = 0 then infinity else float_of_int i /. float_of_int n in
+  while !il < nl || !iff < nf || !im < nm do
+    let fl = frac !il nl and ff_ = frac !iff nf and fm = frac !im nm in
+    if fl <= ff_ && fl <= fm then begin
+      lut_sites.(!il) <- Sites.next_lut alloc;
+      incr il
+    end
+    else if ff_ <= fm then begin
+      ff_sites.(!iff) <- Sites.next_ff alloc;
+      incr iff
+    end
+    else begin
+      place_mem !im;
+      incr im
+    end
+  done;
+  {
+    regions;
+    locmap = { Loc.ff_sites; lut_sites; mem_placements; dsp_sites };
+    used = resources_of_netlist netlist;
+    capacity = Sites.capacity alloc;
+  }
+
+(** Place [netlist] into [regions] of [device]. *)
+let run device ~regions (netlist : Netlist.t) =
+  run_with_allocator (Sites.create device regions) ~regions netlist
+
+(** Concatenate location maps in netlist-link order (shell first, then each
+    stamp): the merged map indexes the linked netlist's cells. *)
+let concat_locmaps (maps : Loc.map list) =
+  {
+    Loc.ff_sites = Array.concat (List.map (fun m -> m.Loc.ff_sites) maps);
+    lut_sites = Array.concat (List.map (fun m -> m.Loc.lut_sites) maps);
+    mem_placements = Array.concat (List.map (fun m -> m.Loc.mem_placements) maps);
+    dsp_sites = Array.concat (List.map (fun m -> m.Loc.dsp_sites) maps);
+  }
+
+(** Whole-device region list (the monolithic vendor flow's "pblock"). *)
+let whole_device_regions device =
+  List.init (Device.num_slrs device) (fun slr ->
+      let s = Device.slr device slr in
+      Region.make ~slr ~row_lo:0
+        ~row_hi:(s.Device.region_rows - 1)
+        ~col_lo:0
+        ~col_hi:(Array.length s.Device.layout.Geometry.columns - 1))

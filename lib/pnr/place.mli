@@ -1,0 +1,39 @@
+(** Placement: assign every netlist cell a fabric site inside a region set.
+
+    Not a wirelength optimizer — a locality-preserving allocator
+    ({!module:Sites}): cell classes are merged proportionally along one
+    tile walk, so the cells of one module land in a small physical
+    window, the way a real placer's wirelength objective clusters them.
+    Per-path timing and routing estimates are then meaningful without an
+    annealing inner loop. *)
+
+module Netlist = Zoomie_synth.Netlist
+open Zoomie_fabric
+
+type t = {
+  regions : Region.t list;
+  locmap : Loc.map;  (** site of every LUT/FF/memory/DSP cell *)
+  used : Resource.t;
+  capacity : Resource.t;
+}
+
+(** Worst fill fraction over resource classes (drives the timing model's
+    utilization penalty). *)
+val peak_utilization : t -> float
+
+(** Resource demand of a netlist (what placement must fit). *)
+val resources_of_netlist : Netlist.t -> Resource.t
+
+(** Place into an existing allocator (used by VTI to pack several
+    partition netlists into disjoint regions of one device).
+    @raise Sites.Out_of_sites when the regions fill up. *)
+val run_with_allocator : Sites.t -> regions:Region.t list -> Netlist.t -> t
+
+(** Place into fresh regions of a device. *)
+val run : Device.t -> regions:Region.t list -> Netlist.t -> t
+
+(** Concatenate per-partition location maps in netlist-linking order. *)
+val concat_locmaps : Loc.map list -> Loc.map
+
+(** One region covering every row/column of every SLR. *)
+val whole_device_regions : Device.t -> Region.t list

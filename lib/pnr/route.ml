@@ -1,0 +1,102 @@
+(** Routing estimate: half-perimeter wirelength and congestion over the
+    placed design.  We do not maze-route every net — like fast analytical
+    routers, we compute per-net HPWL on the tile grid and derive a
+    congestion factor from demand density, which feeds both the timing
+    model and the compile-time cost model. *)
+
+open Zoomie_fabric
+module Netlist = Zoomie_synth.Netlist
+
+(* Planar position of a site: x = global column, y = row * tiles + tile.
+   SLR crossings add a large y offset so interposer hops dominate. *)
+let slr_y_span = 8 * Geometry.tiles_per_clb_column
+
+let lut_pos (s : Loc.lut_site) =
+  (s.Loc.l_col, (s.Loc.l_slr * slr_y_span) + (s.Loc.l_row * Geometry.tiles_per_clb_column) + s.Loc.l_tile)
+
+let ff_pos (s : Loc.ff_site) =
+  (s.Loc.f_col, (s.Loc.f_slr * slr_y_span) + (s.Loc.f_row * Geometry.tiles_per_clb_column) + s.Loc.f_tile)
+
+let dsp_pos (s : Loc.dsp_site) =
+  (s.Loc.d_col, (s.Loc.d_slr * slr_y_span) + (s.Loc.d_row * Geometry.tiles_per_clb_column) + (s.Loc.d_tile * 2))
+
+let bram_pos (s : Loc.bram_site) =
+  (s.Loc.b_col, (s.Loc.b_slr * slr_y_span) + (s.Loc.b_row * Geometry.tiles_per_clb_column) + (s.Loc.b_tile * 5))
+
+type stats = {
+  total_wirelength : int;     (** sum of per-net HPWL in tile units *)
+  num_routed_nets : int;
+  avg_net_length : float;
+  congestion : float;         (** demand density relative to capacity *)
+}
+
+(** Estimate routing of [netlist] under [locmap]. *)
+let estimate (netlist : Netlist.t) (locmap : Loc.map) =
+  (* Gather every (net, position) incidence. *)
+  let bounds : (int, int * int * int * int) Hashtbl.t = Hashtbl.create 4096 in
+  let touch net (x, y) =
+    match Hashtbl.find_opt bounds net with
+    | None -> Hashtbl.replace bounds net (x, x, y, y)
+    | Some (x0, x1, y0, y1) ->
+      Hashtbl.replace bounds net (min x0 x, max x1 x, min y0 y, max y1 y)
+  in
+  Array.iteri
+    (fun i (l : Netlist.lut) ->
+      let pos = lut_pos locmap.Loc.lut_sites.(i) in
+      touch l.Netlist.out pos;
+      Array.iter (fun inp -> touch inp pos) l.Netlist.inputs)
+    netlist.Netlist.luts;
+  Array.iteri
+    (fun i (f : Netlist.ff) ->
+      let pos = ff_pos locmap.Loc.ff_sites.(i) in
+      touch f.Netlist.d pos;
+      touch f.Netlist.q pos)
+    netlist.Netlist.ffs;
+  Array.iteri
+    (fun mi (m : Netlist.mem) ->
+      let pos =
+        match locmap.Loc.mem_placements.(mi) with
+        | Loc.In_bram sites when Array.length sites > 0 -> bram_pos sites.(0)
+        | Loc.In_lutram sites when Array.length sites > 0 -> lut_pos sites.(0)
+        | Loc.In_bram _ | Loc.In_lutram _ -> (0, 0)
+      in
+      List.iter
+        (fun (w : Netlist.mem_write) ->
+          touch w.Netlist.mw_enable pos;
+          Array.iter (fun n -> touch n pos) w.Netlist.mw_addr;
+          Array.iter (fun n -> touch n pos) w.Netlist.mw_data)
+        m.Netlist.mem_writes;
+      List.iter
+        (fun (r : Netlist.mem_read) ->
+          Array.iter (fun n -> touch n pos) r.Netlist.mr_addr;
+          Array.iter (fun n -> touch n pos) r.Netlist.mr_out)
+        m.Netlist.mem_reads)
+    netlist.Netlist.mems;
+  Array.iteri
+    (fun i (d : Netlist.dsp) ->
+      let pos = dsp_pos locmap.Loc.dsp_sites.(i) in
+      Array.iter (fun net -> touch net pos) d.Netlist.dsp_a;
+      Array.iter (fun net -> touch net pos) d.Netlist.dsp_b;
+      Array.iter (fun net -> touch net pos) d.Netlist.dsp_out)
+    netlist.Netlist.dsps;
+  let total = ref 0 and count = ref 0 in
+  Hashtbl.iter
+    (fun _ (x0, x1, y0, y1) ->
+      total := !total + (x1 - x0) + (y1 - y0);
+      incr count)
+    bounds;
+  let num = max 1 !count in
+  (* Congestion: wirelength demand per unit of placed area.  The placer
+     packs cells into [area] tiles; each tile offers a fixed amount of
+     routing capacity. *)
+  (* Normalized so a healthy, dense design sits near 1.0; sustained values
+     above ~1.3 mean the router must detour (rip-up/retry in the cost
+     model, longer wire delays in the timing model). *)
+  let cells = Netlist.num_cells netlist in
+  let congestion = float_of_int !total /. (float_of_int (max 1 cells) *. 20.0) in
+  {
+    total_wirelength = !total;
+    num_routed_nets = !count;
+    avg_net_length = float_of_int !total /. float_of_int num;
+    congestion;
+  }

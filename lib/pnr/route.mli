@@ -1,0 +1,21 @@
+(** Routing estimation: wirelength and congestion from placement.
+
+    Half-perimeter wirelength over each net's placed terminals, on a
+    coordinate grid where SLR crossings cost {!slr_y_span} tiles (SLL
+    hops are expensive).  The congestion figure — demand over a nominal
+    per-tile track capacity — feeds the timing model's detour penalty. *)
+
+module Netlist = Zoomie_synth.Netlist
+open Zoomie_fabric
+
+(** Vertical tile distance charged for crossing between SLRs. *)
+val slr_y_span : int
+
+type stats = {
+  total_wirelength : int;  (** HPWL sum over all nets, in tiles *)
+  num_routed_nets : int;
+  avg_net_length : float;
+  congestion : float;  (** demand/capacity ratio; 1.0 nominal *)
+}
+
+val estimate : Netlist.t -> Loc.map -> stats

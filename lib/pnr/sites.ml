@@ -1,0 +1,174 @@
+(** Site allocator: hands out LUT, FF, SLICEM-LUT and BRAM sites from a
+    list of placement regions.
+
+    All CLB site classes are allocated along a single column-major tile
+    walk, with the FF and LUTRAM pointers tethered to the logic-LUT
+    pointer (never more than [tether_tiles] behind it).  This keeps the
+    cells of one module within a small physical window — the locality a
+    real placer's wirelength objective produces — at the cost of skipping
+    some sites, which is why utilization cannot reach 100 %. *)
+
+open Zoomie_fabric
+
+(* How far (in walk tiles) a trailing pointer may lag the logic pointer. *)
+let tether_tiles = 48
+
+type clb_tile = {
+  t_slr : int;
+  t_row : int;
+  t_col : int;
+  t_tile : int;
+  t_slicem : bool;
+  mutable luts_used : int;  (* logic + lutram share the 8 LUT sites *)
+  mutable ffs_used : int;
+}
+
+type t = {
+  tiles : clb_tile array;       (* walk order *)
+  bram_sites : Loc.bram_site array;
+  dsp_sites : Loc.dsp_site array;
+  mutable lut_ptr : int;        (* first tile that may have free LUTs *)
+  mutable lutram_ptr : int;
+  mutable ff_ptr : int;
+  mutable bram_ptr : int;
+  mutable dsp_ptr : int;
+}
+
+exception Out_of_sites of string
+
+let collect device regions =
+  let tiles = ref [] and brams = ref [] and dsps = ref [] in
+  List.iter
+    (fun (r : Region.t) ->
+      let slr = Device.slr device r.Region.slr in
+      let layout = slr.Device.layout in
+      for row = r.Region.row_lo to min r.Region.row_hi (slr.Device.region_rows - 1) do
+        for col = r.Region.col_lo to min r.Region.col_hi (Array.length layout.Geometry.columns - 1) do
+          match layout.Geometry.columns.(col) with
+          | Geometry.Clb_column { slicem } ->
+            for tile = 0 to Geometry.tiles_per_clb_column - 1 do
+              tiles :=
+                { t_slr = r.Region.slr; t_row = row; t_col = col; t_tile = tile;
+                  t_slicem = slicem; luts_used = 0; ffs_used = 0 }
+                :: !tiles
+            done
+          | Geometry.Bram_column ->
+            for tile = 0 to Geometry.brams_per_column - 1 do
+              brams :=
+                { Loc.b_slr = r.Region.slr; b_row = row; b_col = col; b_tile = tile }
+                :: !brams
+            done
+          | Geometry.Dsp_column ->
+            for tile = 0 to Geometry.dsps_per_column - 1 do
+              dsps :=
+                { Loc.d_slr = r.Region.slr; d_row = row; d_col = col; d_tile = tile }
+                :: !dsps
+            done
+        done
+      done)
+    regions;
+  ( Array.of_list (List.rev !tiles),
+    Array.of_list (List.rev !brams),
+    Array.of_list (List.rev !dsps) )
+
+let create device regions =
+  let tiles, bram_sites, dsp_sites = collect device regions in
+  {
+    tiles;
+    bram_sites;
+    dsp_sites;
+    lut_ptr = 0;
+    lutram_ptr = 0;
+    ff_ptr = 0;
+    bram_ptr = 0;
+    dsp_ptr = 0;
+  }
+
+let lut_site_of tile index =
+  {
+    Loc.l_slr = tile.t_slr;
+    l_row = tile.t_row;
+    l_col = tile.t_col;
+    l_tile = tile.t_tile;
+    l_index = index;
+  }
+
+(** Next logic LUT site: any CLB tile. *)
+let next_lut t =
+  let n = Array.length t.tiles in
+  while t.lut_ptr < n && t.tiles.(t.lut_ptr).luts_used >= Geometry.luts_per_clb_tile do
+    t.lut_ptr <- t.lut_ptr + 1
+  done;
+  if t.lut_ptr >= n then raise (Out_of_sites "LUT");
+  let tile = t.tiles.(t.lut_ptr) in
+  let idx = tile.luts_used in
+  tile.luts_used <- idx + 1;
+  lut_site_of tile idx
+
+(** Next LUTRAM site: a SLICEM tile near the logic frontier. *)
+let next_lutram t =
+  let n = Array.length t.tiles in
+  if t.lutram_ptr < t.lut_ptr - tether_tiles then
+    t.lutram_ptr <- t.lut_ptr - tether_tiles;
+  let p = ref (max 0 t.lutram_ptr) in
+  while
+    !p < n
+    && ((not t.tiles.(!p).t_slicem)
+        || t.tiles.(!p).luts_used >= Geometry.luts_per_clb_tile)
+  do
+    incr p
+  done;
+  if !p >= n then raise (Out_of_sites "LUTRAM (SLICEM)");
+  t.lutram_ptr <- !p;
+  let tile = t.tiles.(!p) in
+  let idx = tile.luts_used in
+  tile.luts_used <- idx + 1;
+  lut_site_of tile idx
+
+(** Next FF site, tethered to the logic frontier. *)
+let next_ff t =
+  let n = Array.length t.tiles in
+  if t.ff_ptr < t.lut_ptr - tether_tiles then t.ff_ptr <- t.lut_ptr - tether_tiles;
+  let p = ref (max 0 t.ff_ptr) in
+  while !p < n && t.tiles.(!p).ffs_used >= Geometry.ffs_per_clb_tile do
+    incr p
+  done;
+  if !p >= n then raise (Out_of_sites "FF");
+  t.ff_ptr <- !p;
+  let tile = t.tiles.(!p) in
+  let idx = tile.ffs_used in
+  tile.ffs_used <- idx + 1;
+  {
+    Loc.f_slr = tile.t_slr;
+    f_row = tile.t_row;
+    f_col = tile.t_col;
+    f_tile = tile.t_tile;
+    f_index = idx;
+  }
+
+let next_dsp t =
+  if t.dsp_ptr >= Array.length t.dsp_sites then raise (Out_of_sites "DSP")
+  else begin
+    let s = t.dsp_sites.(t.dsp_ptr) in
+    t.dsp_ptr <- t.dsp_ptr + 1;
+    s
+  end
+
+let next_bram t =
+  if t.bram_ptr >= Array.length t.bram_sites then raise (Out_of_sites "BRAM");
+  let s = t.bram_sites.(t.bram_ptr) in
+  t.bram_ptr <- t.bram_ptr + 1;
+  s
+
+(** Capacity summary of the allocator's regions. *)
+let capacity t =
+  let lut = ref 0 and lutram = ref 0 and ff = ref 0 in
+  Array.iter
+    (fun tile ->
+      lut := !lut + Geometry.luts_per_clb_tile;
+      if tile.t_slicem then lutram := !lutram + Geometry.luts_per_clb_tile;
+      ff := !ff + Geometry.ffs_per_clb_tile)
+    t.tiles;
+  Resource.make ~lut:!lut ~lutram:!lutram ~ff:!ff
+    ~bram:(Array.length t.bram_sites)
+    ~dsp:(Array.length t.dsp_sites) ()

@@ -1,0 +1,37 @@
+(** Site allocator: hands out LUT, FF, SLICEM-LUT, BRAM and DSP sites
+    from a list of placement regions.
+
+    All CLB site classes are allocated along a single column-major tile
+    walk, with the FF and LUTRAM pointers tethered to the logic-LUT
+    pointer (never more than {!tether_tiles} behind it).  This keeps the
+    cells of one module within a small physical window — the locality a
+    real placer's wirelength objective produces — at the cost of
+    skipping some sites, which is why utilization cannot reach 100 %. *)
+
+open Zoomie_fabric
+
+(** How far (in walk tiles) a trailing pointer may lag the logic pointer. *)
+val tether_tiles : int
+
+type t
+
+exception Out_of_sites of string
+
+(** Allocator over the CLB/BRAM/DSP sites of the given regions. *)
+val create : Device.t -> Region.t list -> t
+
+(** Next logic-LUT site (any CLB tile).  @raise Out_of_sites when full. *)
+val next_lut : t -> Loc.lut_site
+
+(** Next LUTRAM site (a SLICEM tile near the logic frontier). *)
+val next_lutram : t -> Loc.lut_site
+
+(** Next FF site, tethered to the logic frontier. *)
+val next_ff : t -> Loc.ff_site
+
+val next_bram : t -> Loc.bram_site
+
+val next_dsp : t -> Loc.dsp_site
+
+(** Capacity summary of the allocator's regions. *)
+val capacity : t -> Resource.t

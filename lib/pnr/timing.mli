@@ -1,0 +1,49 @@
+(** Per-path static timing analysis over a placed netlist.
+
+    Every FF-to-FF (and port-to-FF) path is walked through the placed
+    LUT/DSP cells it traverses; each hop costs logic delay plus a wire
+    delay that grows with the square root of placed Manhattan distance,
+    inflated by routing congestion and device utilization.  The result is
+    the paper-visible quantities: fmax, whether a frequency constraint is
+    met (§5.2), and the ten slowest endpoints (used to check the paper's
+    claim that no Zoomie-introduced path appears in the top 10). *)
+
+module Netlist = Zoomie_synth.Netlist
+open Zoomie_fabric
+
+(** {1 Delay model constants (ns)} *)
+
+val lut_delay_ns : float
+
+val dsp_delay_ns : float
+
+val clk_to_q_ns : float
+
+val setup_ns : float
+
+val clock_skew_ns : float
+
+val wire_base_ns : float
+
+(** Per-sqrt-tile wire delay. *)
+val wire_sqrt_ns : float
+
+type report = {
+  logic_levels : int;  (** LUT levels on the critical path *)
+  critical_path_ns : float;
+  fmax_mhz : float;
+  congestion : float;
+  worst_from : string;  (** RTL name of the critical path's launch *)
+  worst_to : string;  (** ... and its capture *)
+  top_paths : (string * float) list;  (** 10 slowest endpoints, worst first *)
+}
+
+(** Analyze a placed netlist.  [congestion] is the routing demand/capacity
+    ratio from {!Route.estimate} (1.0 nominal; only values above 1.0
+    penalize); [utilization] is the device fill fraction (quadratic
+    penalty above 50 %).  Both default to benign values for unit tests. *)
+val analyze : ?congestion:float -> ?utilization:float -> Netlist.t -> Loc.map -> report
+
+val meets_timing : report -> mhz:float -> bool
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,283 @@
+(** Arbitrary-width bit vectors.
+
+    Values are stored little-endian in 32-bit limbs packed into OCaml [int]s.
+    All operations are unsigned; widths are explicit and results are always
+    truncated to the declared width.  This is the value domain shared by the
+    RTL IR ({!Expr}), the simulator, the synthesized netlists and the
+    configuration-frame machinery. *)
+
+type t = { width : int; limbs : int array }
+
+let limb_bits = 32
+let limb_mask = 0xFFFFFFFF
+
+let num_limbs width = (width + limb_bits - 1) / limb_bits
+
+(* Mask applied to the top limb so unused high bits stay zero. *)
+let top_mask width =
+  let rem = width mod limb_bits in
+  if rem = 0 then limb_mask else (1 lsl rem) - 1
+
+let normalize t =
+  let n = Array.length t.limbs in
+  if n > 0 then t.limbs.(n - 1) <- t.limbs.(n - 1) land top_mask t.width;
+  t
+
+(** [zero w] is the all-zeros vector of width [w]. *)
+let zero width =
+  if width <= 0 then invalid_arg "Bits.zero: width must be positive";
+  { width; limbs = Array.make (num_limbs width) 0 }
+
+(** [ones w] is the all-ones vector of width [w]. *)
+let ones width =
+  let t = { width; limbs = Array.make (num_limbs width) limb_mask } in
+  normalize t
+
+let width t = t.width
+
+let copy t = { t with limbs = Array.copy t.limbs }
+
+(** [of_int ~width v] truncates the non-negative integer [v] to [width] bits. *)
+let of_int ~width v =
+  if v < 0 then invalid_arg "Bits.of_int: negative value";
+  let t = zero width in
+  let rec fill i v =
+    if v <> 0 && i < Array.length t.limbs then begin
+      t.limbs.(i) <- v land limb_mask;
+      fill (i + 1) (v lsr limb_bits)
+    end
+  in
+  fill 0 v;
+  normalize t
+
+(** [to_int t] interprets [t] as an unsigned integer.
+    Raises [Invalid_argument] when the value does not fit in an OCaml int. *)
+let to_int t =
+  let acc = ref 0 in
+  for i = Array.length t.limbs - 1 downto 0 do
+    if i >= 2 && t.limbs.(i) <> 0 then
+      invalid_arg "Bits.to_int: value too wide";
+    if i < 2 then acc := (!acc lsl limb_bits) lor t.limbs.(i)
+  done;
+  if !acc < 0 then invalid_arg "Bits.to_int: value too wide";
+  !acc
+
+let get t i =
+  if i < 0 || i >= t.width then invalid_arg "Bits.get: index out of range";
+  (t.limbs.(i / limb_bits) lsr (i mod limb_bits)) land 1 = 1
+
+let set t i b =
+  if i < 0 || i >= t.width then invalid_arg "Bits.set: index out of range";
+  let li = i / limb_bits and off = i mod limb_bits in
+  let t = copy t in
+  if b then t.limbs.(li) <- t.limbs.(li) lor (1 lsl off)
+  else t.limbs.(li) <- t.limbs.(li) land lnot (1 lsl off);
+  t
+
+(** In-place bit update; reserved for hot paths (simulator state commit). *)
+let set_inplace t i b =
+  let li = i / limb_bits and off = i mod limb_bits in
+  if b then t.limbs.(li) <- t.limbs.(li) lor (1 lsl off)
+  else t.limbs.(li) <- t.limbs.(li) land lnot (1 lsl off)
+
+let equal a b =
+  a.width = b.width && Array.for_all2 ( = ) a.limbs b.limbs
+
+let is_zero t = Array.for_all (fun l -> l = 0) t.limbs
+
+let map2 f a b =
+  if a.width <> b.width then invalid_arg "Bits: width mismatch";
+  let limbs = Array.map2 f a.limbs b.limbs in
+  normalize { width = a.width; limbs }
+
+let logand a b = map2 ( land ) a b
+let logor a b = map2 ( lor ) a b
+let logxor a b = map2 ( lxor ) a b
+
+let lognot a =
+  normalize { a with limbs = Array.map (fun l -> lnot l land limb_mask) a.limbs }
+
+(** Reduction OR: true when any bit is set. *)
+let reduce_or t = not (is_zero t)
+
+(** Reduction AND: true when every bit is set. *)
+let reduce_and t = equal t (ones t.width)
+
+let reduce_xor t =
+  let parity = ref 0 in
+  for i = 0 to Array.length t.limbs - 1 do
+    let l = ref t.limbs.(i) in
+    while !l <> 0 do
+      parity := !parity lxor (!l land 1);
+      l := !l lsr 1
+    done
+  done;
+  !parity = 1
+
+let add a b =
+  if a.width <> b.width then invalid_arg "Bits.add: width mismatch";
+  let r = zero a.width in
+  let carry = ref 0 in
+  for i = 0 to Array.length r.limbs - 1 do
+    let s = a.limbs.(i) + b.limbs.(i) + !carry in
+    r.limbs.(i) <- s land limb_mask;
+    carry := s lsr limb_bits
+  done;
+  normalize r
+
+let sub a b =
+  if a.width <> b.width then invalid_arg "Bits.sub: width mismatch";
+  let r = zero a.width in
+  let borrow = ref 0 in
+  for i = 0 to Array.length r.limbs - 1 do
+    let s = a.limbs.(i) - b.limbs.(i) - !borrow in
+    if s < 0 then begin
+      r.limbs.(i) <- (s + (1 lsl limb_bits)) land limb_mask;
+      borrow := 1
+    end else begin
+      r.limbs.(i) <- s land limb_mask;
+      borrow := 0
+    end
+  done;
+  normalize r
+
+(** Multiplication truncated to the width of the operands. *)
+let mul a b =
+  if a.width <> b.width then invalid_arg "Bits.mul: width mismatch";
+  let n = Array.length a.limbs in
+  let r = zero a.width in
+  (* 16-bit half-limb schoolbook to stay within the 63-bit int range. *)
+  let halves t =
+    Array.init (2 * n) (fun i ->
+        let l = t.limbs.(i / 2) in
+        if i mod 2 = 0 then l land 0xFFFF else (l lsr 16) land 0xFFFF)
+  in
+  let ha = halves a and hb = halves b in
+  let hr = Array.make (2 * n) 0 in
+  for i = 0 to (2 * n) - 1 do
+    if ha.(i) <> 0 then
+      for j = 0 to (2 * n) - 1 - i do
+        let k = i + j in
+        hr.(k) <- hr.(k) + (ha.(i) * hb.(j))
+      done
+  done;
+  let carry = ref 0 in
+  for k = 0 to (2 * n) - 1 do
+    let v = hr.(k) + !carry in
+    hr.(k) <- v land 0xFFFF;
+    carry := v lsr 16
+  done;
+  for i = 0 to n - 1 do
+    r.limbs.(i) <- hr.(2 * i) lor (hr.((2 * i) + 1) lsl 16)
+  done;
+  normalize r
+
+(** Unsigned comparison: negative, zero or positive as [a] is below,
+    equal to or above [b]. *)
+let compare_u a b =
+  if a.width <> b.width then invalid_arg "Bits.compare_u: width mismatch";
+  let rec go i =
+    if i < 0 then 0
+    else if a.limbs.(i) < b.limbs.(i) then -1
+    else if a.limbs.(i) > b.limbs.(i) then 1
+    else go (i - 1)
+  in
+  go (Array.length a.limbs - 1)
+
+let lt_u a b = compare_u a b < 0
+
+(** [slice t ~hi ~lo] extracts bits [hi..lo] inclusive ([hi >= lo]). *)
+let slice t ~hi ~lo =
+  if lo < 0 || hi >= t.width || hi < lo then
+    invalid_arg "Bits.slice: bad range";
+  let w = hi - lo + 1 in
+  let r = zero w in
+  for i = 0 to w - 1 do
+    if get t (lo + i) then set_inplace r i true
+  done;
+  normalize r
+
+(** [concat hi lo] places [hi] in the upper bits above [lo]. *)
+let concat hi lo =
+  let w = hi.width + lo.width in
+  let r = zero w in
+  for i = 0 to lo.width - 1 do
+    if get lo i then set_inplace r i true
+  done;
+  for i = 0 to hi.width - 1 do
+    if get hi i then set_inplace r (lo.width + i) true
+  done;
+  r
+
+let concat_list = function
+  | [] -> invalid_arg "Bits.concat_list: empty"
+  | hd :: tl -> List.fold_left (fun acc b -> concat acc b) hd tl
+
+let shift_left t n =
+  if n < 0 then invalid_arg "Bits.shift_left";
+  let r = zero t.width in
+  for i = 0 to t.width - 1 - n do
+    if get t i then set_inplace r (i + n) true
+  done;
+  r
+
+let shift_right t n =
+  if n < 0 then invalid_arg "Bits.shift_right";
+  let r = zero t.width in
+  for i = n to t.width - 1 do
+    if get t i then set_inplace r (i - n) true
+  done;
+  r
+
+(** Zero-extend or truncate to [width]. *)
+let resize t width =
+  if width = t.width then t
+  else begin
+    let r = zero width in
+    let n = min width t.width in
+    for i = 0 to n - 1 do
+      if get t i then set_inplace r i true
+    done;
+    r
+  end
+
+(** Uniformly random value of the given width (for property tests). *)
+let random ~width st =
+  let r = zero width in
+  for i = 0 to Array.length r.limbs - 1 do
+    (* Random.State.int is limited to 2^30; compose two 16-bit halves. *)
+    r.limbs.(i) <-
+      Random.State.int st 65536 lor (Random.State.int st 65536 lsl 16)
+  done;
+  normalize r
+
+let to_binary_string t =
+  String.init t.width (fun i -> if get t (t.width - 1 - i) then '1' else '0')
+
+let of_binary_string s =
+  let width = String.length s in
+  if width = 0 then invalid_arg "Bits.of_binary_string: empty";
+  let r = zero width in
+  String.iteri
+    (fun i c ->
+      match c with
+      | '1' -> set_inplace r (width - 1 - i) true
+      | '0' -> ()
+      | _ -> invalid_arg "Bits.of_binary_string: bad char")
+    s;
+  r
+
+let to_hex_string t =
+  let nibbles = (t.width + 3) / 4 in
+  String.init nibbles (fun i ->
+      let nib = nibbles - 1 - i in
+      let v = ref 0 in
+      for b = 0 to 3 do
+        let idx = (nib * 4) + b in
+        if idx < t.width && get t idx then v := !v lor (1 lsl b)
+      done;
+      "0123456789abcdef".[!v])
+
+let pp fmt t = Fmt.pf fmt "%d'h%s" t.width (to_hex_string t)
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,73 @@
+(** Arbitrary-width bit vectors: the value domain shared by the RTL IR, the
+    simulators, synthesized netlists and configuration frames.
+
+    All operations are unsigned; widths are explicit and results are always
+    truncated to the declared width.  Values are immutable except through
+    the explicitly-named in-place helper. *)
+
+type t
+
+(** [zero w] / [ones w]: all-clear / all-set vectors of positive width [w]. *)
+val zero : int -> t
+
+val ones : int -> t
+val width : t -> int
+val copy : t -> t
+
+(** [of_int ~width v] truncates the non-negative [v] to [width] bits. *)
+val of_int : width:int -> int -> t
+
+(** [to_int t] as an unsigned integer.  Raises [Invalid_argument] when the
+    value does not fit in an OCaml [int]. *)
+val to_int : t -> int
+
+val get : t -> int -> bool
+
+(** Functional bit update. *)
+val set : t -> int -> bool -> t
+
+(** In-place bit update; reserved for hot paths. *)
+val set_inplace : t -> int -> bool -> unit
+
+val equal : t -> t -> bool
+val is_zero : t -> bool
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+val lognot : t -> t
+val reduce_or : t -> bool
+val reduce_and : t -> bool
+val reduce_xor : t -> bool
+
+(** Modular arithmetic at the operand width (widths must match). *)
+val add : t -> t -> t
+
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+(** Unsigned three-way comparison. *)
+val compare_u : t -> t -> int
+
+val lt_u : t -> t -> bool
+
+(** [slice t ~hi ~lo] extracts bits [hi..lo] inclusive. *)
+val slice : t -> hi:int -> lo:int -> t
+
+(** [concat hi lo] places [hi] above [lo]. *)
+val concat : t -> t -> t
+
+val concat_list : t list -> t
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+
+(** Zero-extend or truncate to the given width. *)
+val resize : t -> int -> t
+
+(** Uniformly random value (property tests). *)
+val random : width:int -> Random.State.t -> t
+
+val to_binary_string : t -> string
+val of_binary_string : string -> t
+val to_hex_string : t -> string
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

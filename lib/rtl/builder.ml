@@ -1,0 +1,145 @@
+(** Imperative construction API for {!Circuit} values.
+
+    A builder accumulates signals, logic and instances; {!finish} freezes it
+    into an immutable circuit.  Registers are declared first (so their output
+    can appear in feedback expressions) and given their next-state function
+    later with {!reg_next}. *)
+
+type t = {
+  name : string;
+  mutable signals : Circuit.signal list;  (* reversed *)
+  mutable next_id : int;
+  mutable clocks : Circuit.clock list;
+  mutable registers : Circuit.register list;
+  mutable memories : Circuit.memory list;
+  mutable assigns : Circuit.assign list;
+  mutable instances : Circuit.instance list;
+  mutable pending_next : (Expr.signal_id * string) list;
+      (* registers declared but not yet given a next-state *)
+}
+
+let create name =
+  {
+    name;
+    signals = [];
+    next_id = 0;
+    clocks = [];
+    registers = [];
+    memories = [];
+    assigns = [];
+    instances = [];
+    pending_next = [];
+  }
+
+let add_signal t ~name ~width ~direction =
+  if width <= 0 then invalid_arg "Builder: width must be positive";
+  if List.exists (fun (s : Circuit.signal) -> s.name = name) t.signals then
+    invalid_arg (Printf.sprintf "Builder: duplicate signal %S in %s" name t.name);
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  t.signals <- { Circuit.id; name; width; direction } :: t.signals;
+  id
+
+(** Declare an input port; returns an expression reading it. *)
+let input t name width =
+  Expr.Signal (add_signal t ~name ~width ~direction:(Some Circuit.Input))
+
+(** Declare a root clock input. *)
+let clock t name =
+  t.clocks <- Circuit.Root_clock name :: t.clocks;
+  name
+
+(** Declare a gated clock derived from [parent]; ticks when [enable] is true
+    at the parent's rising edge. *)
+let gated_clock t ~name ~parent ~enable =
+  t.clocks <- Circuit.Gated_clock { name; parent; enable } :: t.clocks;
+  name
+
+(** Declare an internal wire driven later via {!assign}. *)
+let wire t name width =
+  add_signal t ~name ~width ~direction:None
+
+(** Drive wire [id] with [rhs]. *)
+let assign t id rhs = t.assigns <- { Circuit.lhs = id; rhs } :: t.assigns
+
+(** Declare and drive a wire in one step; returns the reading expression. *)
+let wire_of t name rhs_width rhs =
+  let id = wire t name rhs_width in
+  assign t id rhs;
+  Expr.Signal id
+
+(** Declare an output port driven by [rhs]. *)
+let output t name width rhs =
+  let id = add_signal t ~name ~width ~direction:(Some Circuit.Output) in
+  assign t id rhs;
+  id
+
+(** Declare an output port that will be driven by an instance output. *)
+let output_signal t name width =
+  add_signal t ~name ~width ~direction:(Some Circuit.Output)
+
+(** Declare a register.  The next-state is supplied later by {!reg_next}
+    (allowing feedback through the returned expression). *)
+let reg t ?enable ?reset ?init ~clock name width =
+  let id = add_signal t ~name ~width ~direction:None in
+  let init = match init with Some b -> b | None -> Bits.zero width in
+  t.registers <-
+    { Circuit.q = id; clock; next = Expr.Signal id; enable; reset; init }
+    :: t.registers;
+  t.pending_next <- (id, name) :: t.pending_next;
+  id
+
+let reg_next t id next =
+  if not (List.mem_assoc id t.pending_next) then
+    invalid_arg "Builder.reg_next: register already finalized or unknown";
+  t.registers <-
+    List.map
+      (fun (r : Circuit.register) -> if r.q = id then { r with next } else r)
+      t.registers;
+  t.pending_next <- List.remove_assoc id t.pending_next
+
+(** Declare a register whose next-state is known immediately. *)
+let reg_fb t ?enable ?reset ?init ~clock name width ~next =
+  let id = reg t ?enable ?reset ?init ~clock name width in
+  reg_next t id (next (Expr.Signal id));
+  id
+
+let memory t ?init ~name ~width ~depth ~writes ~reads () =
+  (match init with
+  | Some contents ->
+    if Array.length contents > depth then
+      invalid_arg "Builder.memory: init longer than depth";
+    Array.iter
+      (fun v ->
+        if Bits.width v <> width then
+          invalid_arg "Builder.memory: init width mismatch")
+      contents
+  | None -> ());
+  t.memories <-
+    { Circuit.mem_name = name; mem_width = width; mem_depth = depth; writes;
+      reads; mem_init = init }
+    :: t.memories
+
+(** Declare a memory read-output wire of the right width. *)
+let mem_read_wire t name width = add_signal t ~name ~width ~direction:None
+
+let instantiate t ?(clock_map = []) ~inst_name ~module_name connections =
+  t.instances <-
+    { Circuit.inst_name; module_name; connections; clock_map } :: t.instances
+
+let finish t : Circuit.t =
+  (match t.pending_next with
+  | [] -> ()
+  | (_, name) :: _ ->
+    invalid_arg
+      (Printf.sprintf "Builder.finish: register %S in %s has no next-state" name
+         t.name));
+  {
+    Circuit.name = t.name;
+    signals = Array.of_list (List.rev t.signals);
+    clocks = List.rev t.clocks;
+    registers = List.rev t.registers;
+    memories = List.rev t.memories;
+    assigns = List.rev t.assigns;
+    instances = List.rev t.instances;
+  }

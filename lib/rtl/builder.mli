@@ -1,0 +1,103 @@
+(** Imperative module builder: the HDL-authoring surface.
+
+    Declare ports, clocks, wires, registers, memories and instances in
+    any order; {!finish} checks that every forward-declared register got
+    its next-state and freezes the {!Circuit.t}.  Registers come in three
+    styles: declare-then-[reg_next] (for cyclic dependencies), [reg_fb]
+    (self-feedback in one call), and plain [reg]. *)
+
+open Expr
+
+type t
+
+val create : string -> t
+
+(** {1 Ports and clocks} *)
+
+(** Declare an input port; returns it as an expression. *)
+val input : t -> string -> int -> Expr.t
+
+(** Declare a root clock (returns its name). *)
+val clock : t -> string -> string
+
+(** Declare a clock gated off [parent] by [enable] — glitch-free BUFGCE
+    semantics; the Debug Controller's pause mechanism. *)
+val gated_clock : t -> name:string -> parent:string -> enable:Expr.t -> string
+
+(** Declare an output port driven by an expression; returns its id. *)
+val output : t -> string -> int -> Expr.t -> signal_id
+
+(** Declare an output port to be driven later (via {!assign}). *)
+val output_signal : t -> string -> int -> signal_id
+
+(** {1 Wires} *)
+
+(** Declare an undriven wire (drive it with {!assign} or an instance). *)
+val wire : t -> string -> int -> signal_id
+
+val assign : t -> signal_id -> Expr.t -> unit
+
+(** Declare and drive a wire in one step; returns it as an expression. *)
+val wire_of : t -> string -> int -> Expr.t -> Expr.t
+
+(** {1 Registers} *)
+
+(** Declare a register; its next-state must follow via {!reg_next}
+    (checked at {!finish}). *)
+val reg :
+  t ->
+  ?enable:Expr.t ->
+  ?reset:Expr.t * Bits.t ->
+  ?init:Bits.t ->
+  clock:string ->
+  string ->
+  int ->
+  signal_id
+
+(** Supply the next-state of a declared register. *)
+val reg_next : t -> signal_id -> Expr.t -> unit
+
+(** Register with self-feedback: [next] receives the register's own
+    current value. *)
+val reg_fb :
+  t ->
+  ?enable:Expr.t ->
+  ?reset:Expr.t * Bits.t ->
+  ?init:Bits.t ->
+  clock:string ->
+  string ->
+  int ->
+  next:(Expr.t -> Expr.t) ->
+  signal_id
+
+(** {1 Memories and instances} *)
+
+(** Declare a memory with its ports; read outputs are wires created with
+    {!mem_read_wire}. *)
+val memory :
+  t ->
+  ?init:Bits.t array ->
+  name:string ->
+  width:int ->
+  depth:int ->
+  writes:Circuit.write_port list ->
+  reads:Circuit.read_port list ->
+  unit ->
+  unit
+
+(** Declare the wire a memory read port drives. *)
+val mem_read_wire : t -> string -> int -> signal_id
+
+(** Instantiate another module.  [clock_map] binds the child's clocks to
+    this module's (defaults to same-name). *)
+val instantiate :
+  t ->
+  ?clock_map:(string * string) list ->
+  inst_name:string ->
+  module_name:string ->
+  Circuit.connection list ->
+  unit
+
+(** Freeze into a circuit.  @raise Invalid_argument if a declared
+    register never received a next-state. *)
+val finish : t -> Circuit.t

@@ -1,0 +1,197 @@
+(** Structural checks over flat circuits: width consistency, single-driver
+    discipline and combinational-cycle detection.  The topological order
+    computed here is reused by the simulator and the synthesizer. *)
+
+type error =
+  | Width_mismatch of { where : string; expected : int; got : int }
+  | Multiple_drivers of string
+  | No_driver of string
+  | Combinational_cycle of string list
+  | Unknown_clock of string
+
+let pp_error fmt = function
+  | Width_mismatch { where; expected; got } ->
+    Fmt.pf fmt "width mismatch at %s: expected %d, got %d" where expected got
+  | Multiple_drivers s -> Fmt.pf fmt "signal %s has multiple drivers" s
+  | No_driver s -> Fmt.pf fmt "signal %s has no driver" s
+  | Combinational_cycle path ->
+    Fmt.pf fmt "combinational cycle: %a" Fmt.(list ~sep:(any " -> ") string) path
+  | Unknown_clock c -> Fmt.pf fmt "unknown clock %s" c
+
+exception Check_error of error
+
+let error_to_string e = Fmt.str "%a" pp_error e
+
+(* Width validation of a single expression tree. *)
+let rec check_widths_expr c ~where e =
+  let w = Circuit.signal_width c in
+  let self = Expr.width_of w e in
+  (match e with
+  | Expr.Const _ | Expr.Signal _ -> ()
+  | Expr.Not a -> ignore (check_widths_expr c ~where a)
+  | Expr.And (a, b) | Expr.Or (a, b) | Expr.Xor (a, b)
+  | Expr.Add (a, b) | Expr.Sub (a, b) | Expr.Mul (a, b)
+  | Expr.Eq (a, b) | Expr.Lt (a, b) ->
+    ignore (check_widths_expr c ~where a);
+    ignore (check_widths_expr c ~where b);
+    let wa = Expr.width_of w a and wb = Expr.width_of w b in
+    if wa <> wb then
+      raise (Check_error (Width_mismatch { where; expected = wa; got = wb }))
+  | Expr.Mux (s, a, b) ->
+    ignore (check_widths_expr c ~where s);
+    ignore (check_widths_expr c ~where a);
+    ignore (check_widths_expr c ~where b);
+    let ws = Expr.width_of w s in
+    if ws <> 1 then
+      raise (Check_error (Width_mismatch { where; expected = 1; got = ws }));
+    let wa = Expr.width_of w a and wb = Expr.width_of w b in
+    if wa <> wb then
+      raise (Check_error (Width_mismatch { where; expected = wa; got = wb }))
+  | Expr.Concat (a, b) ->
+    ignore (check_widths_expr c ~where a);
+    ignore (check_widths_expr c ~where b)
+  | Expr.Slice (a, hi, lo) ->
+    ignore (check_widths_expr c ~where a);
+    let wa = Expr.width_of w a in
+    if lo < 0 || hi >= wa || hi < lo then
+      raise (Check_error (Width_mismatch { where; expected = wa; got = hi + 1 }))
+  | Expr.Shift_left (a, _) | Expr.Shift_right (a, _)
+  | Expr.Reduce_or a | Expr.Reduce_and a | Expr.Reduce_xor a ->
+    ignore (check_widths_expr c ~where a));
+  self
+
+type driver =
+  | By_assign of int   (* index into assigns *)
+  | By_register
+  | By_mem_read
+  | By_input
+
+(** Driver table: for each signal, how it is produced. *)
+let drivers (c : Circuit.t) =
+  let n = Array.length c.signals in
+  let d : driver option array = Array.make n None in
+  let set id who =
+    match d.(id) with
+    | None -> d.(id) <- Some who
+    | Some _ ->
+      raise (Check_error (Multiple_drivers (Circuit.signal_name c id)))
+  in
+  Array.iter
+    (fun (s : Circuit.signal) ->
+      if s.direction = Some Circuit.Input then set s.id By_input)
+    c.signals;
+  List.iter (fun (r : Circuit.register) -> set r.q By_register) c.registers;
+  List.iter
+    (fun (m : Circuit.memory) ->
+      List.iter (fun (r : Circuit.read_port) -> set r.r_out By_mem_read) m.reads)
+    c.memories;
+  List.iteri
+    (fun i (a : Circuit.assign) -> set a.lhs (By_assign i))
+    c.assigns;
+  d
+
+(** Topologically order the assigns so each is evaluated after everything it
+    reads.  Registers, memories and inputs are sources.  Raises on cycles. *)
+let topo_assigns (c : Circuit.t) =
+  let d = drivers c in
+  let assigns = Array.of_list c.assigns in
+  let n = Array.length assigns in
+  let state = Array.make n 0 (* 0 unvisited, 1 visiting, 2 done *) in
+  let order = ref [] in
+  let rec visit i stack =
+    match state.(i) with
+    | 2 -> ()
+    | 1 ->
+      let name j = Circuit.signal_name c assigns.(j).Circuit.lhs in
+      raise (Check_error (Combinational_cycle (List.rev_map name (i :: stack))))
+    | _ ->
+      state.(i) <- 1;
+      Expr.fold_signals
+        (fun () id ->
+          match d.(id) with
+          | Some (By_assign j) -> visit j (i :: stack)
+          | Some (By_register | By_mem_read | By_input) | None -> ())
+        () assigns.(i).Circuit.rhs;
+      state.(i) <- 2;
+      order := i :: !order
+  in
+  for i = 0 to n - 1 do
+    visit i []
+  done;
+  Array.of_list (List.rev_map (fun i -> assigns.(i)) !order)
+
+(** Full structural validation of a flat circuit.  Returns the topologically
+    ordered assigns on success. *)
+let validate (c : Circuit.t) =
+  if c.instances <> [] then
+    invalid_arg "Check.validate: circuit must be flat (no instances)";
+  let w = Circuit.signal_width c in
+  (* Every non-input signal must have a driver. *)
+  let d = drivers c in
+  Array.iter
+    (fun (s : Circuit.signal) ->
+      if d.(s.id) = None then
+        raise (Check_error (No_driver s.name)))
+    c.signals;
+  (* Width checks. *)
+  List.iter
+    (fun (a : Circuit.assign) ->
+      let where = Circuit.signal_name c a.lhs in
+      let got = check_widths_expr c ~where a.rhs in
+      if got <> w a.lhs then
+        raise (Check_error (Width_mismatch { where; expected = w a.lhs; got })))
+    c.assigns;
+  List.iter
+    (fun (r : Circuit.register) ->
+      let where = Circuit.signal_name c r.q in
+      let got = check_widths_expr c ~where r.next in
+      if got <> w r.q then
+        raise (Check_error (Width_mismatch { where; expected = w r.q; got }));
+      Option.iter
+        (fun e ->
+          let we = check_widths_expr c ~where e in
+          if we <> 1 then
+            raise (Check_error (Width_mismatch { where; expected = 1; got = we })))
+        r.enable;
+      Option.iter
+        (fun (e, v) ->
+          let we = check_widths_expr c ~where e in
+          if we <> 1 then
+            raise (Check_error (Width_mismatch { where; expected = 1; got = we }));
+          if Bits.width v <> w r.q then
+            raise
+              (Check_error
+                 (Width_mismatch { where; expected = w r.q; got = Bits.width v })))
+        r.reset)
+    c.registers;
+  (* Clock references must resolve. *)
+  let clock_names = Circuit.clock_names c in
+  let check_clock where name =
+    if not (List.mem name clock_names) then
+      raise (Check_error (Unknown_clock (where ^ ": " ^ name)))
+  in
+  List.iter
+    (fun (r : Circuit.register) ->
+      check_clock (Circuit.signal_name c r.q) r.clock)
+    c.registers;
+  List.iter
+    (fun (m : Circuit.memory) ->
+      List.iter (fun (wp : Circuit.write_port) -> check_clock m.mem_name wp.w_clock) m.writes;
+      List.iter
+        (fun (rp : Circuit.read_port) ->
+          match rp.r_kind with
+          | Circuit.Read_sync clk -> check_clock m.mem_name clk
+          | Circuit.Read_comb -> ())
+        m.reads)
+    c.memories;
+  List.iter
+    (fun clk ->
+      match clk with
+      | Circuit.Root_clock _ -> ()
+      | Circuit.Gated_clock { name; parent; enable } ->
+        check_clock name parent;
+        let we = check_widths_expr c ~where:name enable in
+        if we <> 1 then
+          raise (Check_error (Width_mismatch { where = name; expected = 1; got = we })))
+    c.clocks;
+  topo_assigns c

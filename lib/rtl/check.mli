@@ -1,0 +1,31 @@
+(** Structural validation of circuits: the linter every flow runs before
+    trusting a netlist.
+
+    Checks expression widths, single-driver discipline, driverless wires,
+    clock references, and combinational cycles (via a topological sort of
+    the assign graph that doubles as the simulator's evaluation order). *)
+
+type error =
+  | Width_mismatch of { where : string; expected : int; got : int }
+  | Multiple_drivers of string
+  | No_driver of string
+  | Combinational_cycle of string list  (** the offending signal cycle *)
+  | Unknown_clock of string
+
+val pp_error : Format.formatter -> error -> unit
+
+exception Check_error of error
+
+val error_to_string : error -> string
+
+(** Width of an expression in a circuit's context.
+    @raise Check_error on an internal width mismatch. *)
+val check_widths_expr : Circuit.t -> where:string -> Expr.t -> int
+
+(** Validate a circuit and return its assigns in dependency order.
+    @raise Check_error on the first violation. *)
+val validate : Circuit.t -> Circuit.assign array
+
+(** Dependency-ordered assigns (also used by the simulator).
+    @raise Check_error on a combinational cycle. *)
+val topo_assigns : Circuit.t -> Circuit.assign array

@@ -1,0 +1,127 @@
+(** A single RTL module definition: ports, signals, combinational assigns,
+    registers, memories, derived (gated) clocks and child instances.
+
+    Circuits are built through {!Builder} and composed into a {!Design};
+    {!Flat} elaborates a design into a single flat circuit for simulation,
+    synthesis and checking. *)
+
+type direction = Input | Output
+
+type signal = {
+  id : Expr.signal_id;
+  name : string;
+  width : int;
+  direction : direction option;  (** [None] for internal wires *)
+}
+
+(** Clocks: roots are module inputs driven by the environment; gated clocks
+    tick only when their enable expression (evaluated in the parent domain)
+    is true at the parent's edge.  Gated clocks are the hardware basis of
+    Zoomie's pause mechanism (§3.1/§4.2). *)
+type clock =
+  | Root_clock of string
+  | Gated_clock of { name : string; parent : string; enable : Expr.t }
+
+type register = {
+  q : Expr.signal_id;             (** output signal holding the state *)
+  clock : string;
+  next : Expr.t;
+  enable : Expr.t option;         (** clock-enable, [None] = always *)
+  reset : (Expr.t * Bits.t) option;  (** synchronous reset and reset value *)
+  init : Bits.t;                  (** power-on / GSR value *)
+}
+
+type write_port = {
+  w_clock : string;
+  w_enable : Expr.t;
+  w_addr : Expr.t;
+  w_data : Expr.t;
+}
+
+(** Combinational (LUTRAM-style) or registered (BRAM-style) read. *)
+type read_kind = Read_comb | Read_sync of string (* clock *)
+
+type read_port = {
+  r_addr : Expr.t;
+  r_out : Expr.signal_id;
+  r_kind : read_kind;
+}
+
+type memory = {
+  mem_name : string;
+  mem_width : int;
+  mem_depth : int;
+  writes : write_port list;
+  reads : read_port list;
+  mem_init : Bits.t array option;  (** power-on contents (ROMs, init data) *)
+}
+
+type assign = { lhs : Expr.signal_id; rhs : Expr.t }
+
+(** Port connections of a child instance: inputs are driven by parent
+    expressions; outputs drive parent signals. *)
+type connection =
+  | Drive_input of string * Expr.t          (** child input port name, parent expr *)
+  | Read_output of string * Expr.signal_id  (** child output port name, parent signal *)
+
+type instance = {
+  inst_name : string;
+  module_name : string;
+  connections : connection list;
+  clock_map : (string * string) list;
+      (** child clock name -> parent clock name; unlisted clocks connect to
+          the parent clock of the same name *)
+}
+
+type t = {
+  name : string;
+  signals : signal array;
+  clocks : clock list;
+  registers : register list;
+  memories : memory list;
+  assigns : assign list;
+  instances : instance list;
+}
+
+let signal t id = t.signals.(id)
+let signal_width t id = t.signals.(id).width
+let signal_name t id = t.signals.(id).name
+
+let find_signal t name =
+  let found = ref None in
+  Array.iter (fun (s : signal) -> if s.name = name then found := Some s) t.signals;
+  match !found with
+  | Some s -> s
+  | None -> raise Not_found
+
+let inputs t =
+  Array.to_list t.signals
+  |> List.filter (fun s -> s.direction = Some Input)
+
+let outputs t =
+  Array.to_list t.signals
+  |> List.filter (fun s -> s.direction = Some Output)
+
+let clock_names t =
+  List.map
+    (function Root_clock n -> n | Gated_clock { name; _ } -> name)
+    t.clocks
+
+let is_root_clock t name =
+  List.exists (function Root_clock n -> n = name | Gated_clock _ -> false) t.clocks
+
+(** Rough gate-count proxy: expression nodes + state bits.  Feeds the
+    toolchain cost models before real synthesis numbers exist. *)
+let complexity t =
+  let expr_nodes =
+    List.fold_left (fun acc a -> acc + 1 + Expr.node_count a.rhs) 0 t.assigns
+  in
+  let reg_bits =
+    List.fold_left
+      (fun acc r -> acc + (signal_width t r.q) + Expr.node_count r.next)
+      0 t.registers
+  in
+  let mem_bits =
+    List.fold_left (fun acc m -> acc + (m.mem_width * m.mem_depth / 64)) 0 t.memories
+  in
+  expr_nodes + reg_bits + mem_bits

@@ -1,0 +1,100 @@
+(** One RTL module: signals, clocks, registers, memories, combinational
+    assigns, and instances of other modules.
+
+    Built with {!Builder}, validated by {!Check}, simulated by
+    {!Zoomie_sim.Simulator}, flattened by {!Flat}, synthesized by
+    {!Zoomie_synth.Synthesize}.  Signals are numbered within the module;
+    names become hierarchical (dot-separated) at elaboration. *)
+
+open Expr
+
+type direction = Input | Output
+
+type signal = {
+  id : signal_id;
+  name : string;
+  width : int;
+  direction : direction option;  (** [None] for internal wires *)
+}
+
+(** Gated clocks are first-class: the Debug Controller's pause is a gated
+    clock, and elaboration/synthesis/simulation all preserve the gating
+    chain rather than lowering it to logic. *)
+type clock =
+  | Root_clock of string
+  | Gated_clock of { name : string; parent : string; enable : Expr.t }
+
+type register = {
+  q : signal_id;
+  clock : string;
+  next : Expr.t;
+  enable : Expr.t option;  (** clock enable (maps to the FF's CE pin) *)
+  reset : (Expr.t * Bits.t) option;  (** synchronous reset *)
+  init : Bits.t;  (** power-on / GSR value *)
+}
+
+type write_port = {
+  w_clock : string;
+  w_enable : Expr.t;
+  w_addr : Expr.t;
+  w_data : Expr.t;
+}
+
+type read_kind = Read_comb | Read_sync of string
+
+type read_port = { r_addr : Expr.t; r_out : signal_id; r_kind : read_kind }
+
+type memory = {
+  mem_name : string;
+  mem_width : int;
+  mem_depth : int;
+  writes : write_port list;
+  reads : read_port list;
+  mem_init : Bits.t array option;
+}
+
+type assign = { lhs : signal_id; rhs : Expr.t }
+
+(** Port bindings of an instance. *)
+type connection =
+  | Drive_input of string * Expr.t
+  | Read_output of string * signal_id
+
+type instance = {
+  inst_name : string;
+  module_name : string;
+  connections : connection list;
+  clock_map : (string * string) list;  (** child clock -> parent clock *)
+}
+
+type t = {
+  name : string;
+  signals : signal array;
+  clocks : clock list;
+  registers : register list;
+  memories : memory list;
+  assigns : assign list;
+  instances : instance list;
+}
+
+(** {1 Lookups} *)
+
+val signal : t -> signal_id -> signal
+
+val signal_width : t -> signal_id -> int
+
+val signal_name : t -> signal_id -> string
+
+(** @raise Not_found for an unknown name. *)
+val find_signal : t -> string -> signal
+
+val inputs : t -> signal list
+
+val outputs : t -> signal list
+
+val clock_names : t -> string list
+
+val is_root_clock : t -> string -> bool
+
+(** Rough size metric (signals + assigns + registers + memory bits). *)
+val complexity : t -> int

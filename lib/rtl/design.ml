@@ -1,0 +1,73 @@
+(** A design is a set of module definitions plus a designated top module.
+    Module names are unique; instances refer to modules by name. *)
+
+type t = {
+  modules : (string, Circuit.t) Hashtbl.t;
+  top : string;
+}
+
+let create ~top circuits =
+  let modules = Hashtbl.create 16 in
+  List.iter
+    (fun (c : Circuit.t) ->
+      if Hashtbl.mem modules c.name then
+        invalid_arg (Printf.sprintf "Design: duplicate module %S" c.name);
+      Hashtbl.add modules c.name c)
+    circuits;
+  if not (Hashtbl.mem modules top) then
+    invalid_arg (Printf.sprintf "Design: top module %S not found" top);
+  { modules; top }
+
+let top t = Hashtbl.find t.modules t.top
+let top_name t = t.top
+
+let find t name =
+  match Hashtbl.find_opt t.modules name with
+  | Some c -> c
+  | None -> invalid_arg (Printf.sprintf "Design: unknown module %S" name)
+
+let mem t name = Hashtbl.mem t.modules name
+
+let module_names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.modules []
+  |> List.sort String.compare
+
+(** Replace one module definition (the basis of incremental RTL edits:
+    VTI recompiles only partitions whose module changed). *)
+let replace_module t (c : Circuit.t) =
+  if not (Hashtbl.mem t.modules c.name) then
+    invalid_arg (Printf.sprintf "Design.replace_module: unknown module %S" c.name);
+  Hashtbl.replace t.modules c.name c;
+  t
+
+let add_module t (c : Circuit.t) =
+  Hashtbl.replace t.modules c.name c;
+  t
+
+(** Set a different top module (used when wrapping the design with the
+    Debug Controller). *)
+let with_top t top =
+  if not (Hashtbl.mem t.modules top) then
+    invalid_arg (Printf.sprintf "Design.with_top: unknown module %S" top);
+  { t with top }
+
+let copy t = { t with modules = Hashtbl.copy t.modules }
+
+(** Instance tree: every (hierarchical path, module name) pair reachable
+    from the top. *)
+let rec instances_under t prefix module_name acc =
+  let c = find t module_name in
+  let acc = (prefix, module_name) :: acc in
+  List.fold_left
+    (fun acc (i : Circuit.instance) ->
+      let path = if prefix = "" then i.inst_name else prefix ^ "." ^ i.inst_name in
+      instances_under t path i.module_name acc)
+    acc c.instances
+
+let instance_tree t = List.rev (instances_under t "" t.top [])
+
+(** Hierarchical complexity: sum of per-module complexity over all instances. *)
+let total_complexity t =
+  List.fold_left
+    (fun acc (_, m) -> acc + Circuit.complexity (find t m))
+    0 (instance_tree t)

@@ -1,0 +1,44 @@
+(** A design: a set of named modules and a top.
+
+    Modules reference each other by name through
+    {!Circuit.instantiate}-created instances; {!Flat} elaborates the tree
+    into one flat circuit (or a shell with blackboxed units for
+    hierarchical synthesis).  Values are immutable from the caller's view
+    — rewriting passes ({!Zoomie_debug.Controller.wrap}, ILA insertion)
+    return new designs. *)
+
+type t = { modules : (string, Circuit.t) Hashtbl.t; top : string }
+
+(** @raise Invalid_argument on duplicate module names or a missing top. *)
+val create : top:string -> Circuit.t list -> t
+
+val top : t -> Circuit.t
+
+val top_name : t -> string
+
+(** @raise Not_found for an unknown module. *)
+val find : t -> string -> Circuit.t
+
+val mem : t -> string -> bool
+
+val module_names : t -> string list
+
+(** Functional update: a copy with one module replaced. *)
+val replace_module : t -> Circuit.t -> t
+
+(** Functional update: a copy with one module added. *)
+val add_module : t -> Circuit.t -> t
+
+val with_top : t -> string -> t
+
+val copy : t -> t
+
+(** Every instance of module [name]: [(hierarchical path, module)]. *)
+val instances_under :
+  t -> string -> string -> (string * string) list -> (string * string) list
+
+(** All instances in the design, depth-first from the top. *)
+val instance_tree : t -> (string * string) list
+
+(** Rough size metric over all modules (signals + assigns + registers). *)
+val total_complexity : t -> int

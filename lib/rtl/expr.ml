@@ -1,0 +1,153 @@
+(** Combinational expression AST.
+
+    Expressions reference signals of the enclosing module by integer id
+    (see {!Circuit}).  Widths are fully determined by the leaves, and
+    {!width_of} recomputes them; {!Check} validates that operator operand
+    widths agree. *)
+
+type signal_id = int
+
+type t =
+  | Const of Bits.t
+  | Signal of signal_id
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Xor of t * t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Eq of t * t                 (** 1-bit result *)
+  | Lt of t * t                 (** unsigned, 1-bit result *)
+  | Mux of t * t * t            (** [Mux (sel, on_true, on_false)] *)
+  | Concat of t * t             (** [Concat (hi, lo)] *)
+  | Slice of t * int * int      (** [Slice (e, hi, lo)] *)
+  | Shift_left of t * int
+  | Shift_right of t * int
+  | Reduce_or of t              (** 1-bit result *)
+  | Reduce_and of t             (** 1-bit result *)
+  | Reduce_xor of t             (** 1-bit result *)
+
+(** [width_of lookup e] computes the result width of [e];
+    [lookup] gives the width of a signal id. *)
+let rec width_of lookup = function
+  | Const b -> Bits.width b
+  | Signal id -> lookup id
+  | Not e -> width_of lookup e
+  | And (a, _) | Or (a, _) | Xor (a, _)
+  | Add (a, _) | Sub (a, _) | Mul (a, _) ->
+    width_of lookup a
+  | Eq _ | Lt _ | Reduce_or _ | Reduce_and _ | Reduce_xor _ -> 1
+  | Mux (_, a, _) -> width_of lookup a
+  | Concat (hi, lo) -> width_of lookup hi + width_of lookup lo
+  | Slice (_, hi, lo) -> hi - lo + 1
+  | Shift_left (e, _) | Shift_right (e, _) -> width_of lookup e
+
+(** Fold over every signal id referenced by [e]. *)
+let rec fold_signals f acc = function
+  | Const _ -> acc
+  | Signal id -> f acc id
+  | Not e | Slice (e, _, _) | Shift_left (e, _) | Shift_right (e, _)
+  | Reduce_or e | Reduce_and e | Reduce_xor e ->
+    fold_signals f acc e
+  | And (a, b) | Or (a, b) | Xor (a, b) | Add (a, b) | Sub (a, b)
+  | Mul (a, b) | Eq (a, b) | Lt (a, b) | Concat (a, b) ->
+    fold_signals f (fold_signals f acc a) b
+  | Mux (s, a, b) ->
+    fold_signals f (fold_signals f (fold_signals f acc s) a) b
+
+let signals e = List.rev (fold_signals (fun acc id -> id :: acc) [] e)
+
+(** Rewrite signal ids (used when flattening the hierarchy). *)
+let rec map_signals f = function
+  | Const b -> Const b
+  | Signal id -> f id
+  | Not e -> Not (map_signals f e)
+  | And (a, b) -> And (map_signals f a, map_signals f b)
+  | Or (a, b) -> Or (map_signals f a, map_signals f b)
+  | Xor (a, b) -> Xor (map_signals f a, map_signals f b)
+  | Add (a, b) -> Add (map_signals f a, map_signals f b)
+  | Sub (a, b) -> Sub (map_signals f a, map_signals f b)
+  | Mul (a, b) -> Mul (map_signals f a, map_signals f b)
+  | Eq (a, b) -> Eq (map_signals f a, map_signals f b)
+  | Lt (a, b) -> Lt (map_signals f a, map_signals f b)
+  | Mux (s, a, b) -> Mux (map_signals f s, map_signals f a, map_signals f b)
+  | Concat (a, b) -> Concat (map_signals f a, map_signals f b)
+  | Slice (e, hi, lo) -> Slice (map_signals f e, hi, lo)
+  | Shift_left (e, n) -> Shift_left (map_signals f e, n)
+  | Shift_right (e, n) -> Shift_right (map_signals f e, n)
+  | Reduce_or e -> Reduce_or (map_signals f e)
+  | Reduce_and e -> Reduce_and (map_signals f e)
+  | Reduce_xor e -> Reduce_xor (map_signals f e)
+
+(** Count of primitive operator nodes, used by compile-cost models. *)
+let rec node_count = function
+  | Const _ | Signal _ -> 0
+  | Not e | Slice (e, _, _) | Shift_left (e, _) | Shift_right (e, _)
+  | Reduce_or e | Reduce_and e | Reduce_xor e ->
+    1 + node_count e
+  | And (a, b) | Or (a, b) | Xor (a, b) | Add (a, b) | Sub (a, b)
+  | Mul (a, b) | Eq (a, b) | Lt (a, b) | Concat (a, b) ->
+    1 + node_count a + node_count b
+  | Mux (s, a, b) -> 1 + node_count s + node_count a + node_count b
+
+(** Evaluate [e] with [read] supplying signal values. *)
+let rec eval read e =
+  match e with
+  | Const b -> b
+  | Signal id -> read id
+  | Not e -> Bits.lognot (eval read e)
+  | And (a, b) -> Bits.logand (eval read a) (eval read b)
+  | Or (a, b) -> Bits.logor (eval read a) (eval read b)
+  | Xor (a, b) -> Bits.logxor (eval read a) (eval read b)
+  | Add (a, b) -> Bits.add (eval read a) (eval read b)
+  | Sub (a, b) -> Bits.sub (eval read a) (eval read b)
+  | Mul (a, b) -> Bits.mul (eval read a) (eval read b)
+  | Eq (a, b) ->
+    Bits.of_int ~width:1 (if Bits.equal (eval read a) (eval read b) then 1 else 0)
+  | Lt (a, b) ->
+    Bits.of_int ~width:1 (if Bits.lt_u (eval read a) (eval read b) then 1 else 0)
+  | Mux (s, a, b) ->
+    if Bits.reduce_or (eval read s) then eval read a else eval read b
+  | Concat (hi, lo) -> Bits.concat (eval read hi) (eval read lo)
+  | Slice (e, hi, lo) -> Bits.slice (eval read e) ~hi ~lo
+  | Shift_left (e, n) -> Bits.shift_left (eval read e) n
+  | Shift_right (e, n) -> Bits.shift_right (eval read e) n
+  | Reduce_or e -> Bits.of_int ~width:1 (if Bits.reduce_or (eval read e) then 1 else 0)
+  | Reduce_and e -> Bits.of_int ~width:1 (if Bits.reduce_and (eval read e) then 1 else 0)
+  | Reduce_xor e -> Bits.of_int ~width:1 (if Bits.reduce_xor (eval read e) then 1 else 0)
+
+(* Convenience constructors used heavily by design generators. *)
+
+let const_int ~width v = Const (Bits.of_int ~width v)
+let vdd = Const (Bits.of_int ~width:1 1)
+let gnd = Const (Bits.of_int ~width:1 0)
+let ( &: ) a b = And (a, b)
+let ( |: ) a b = Or (a, b)
+let ( ^: ) a b = Xor (a, b)
+let ( ~: ) a = Not a
+let ( +: ) a b = Add (a, b)
+let ( -: ) a b = Sub (a, b)
+let ( ==: ) a b = Eq (a, b)
+let ( <>: ) a b = Not (Eq (a, b))
+let ( <: ) a b = Lt (a, b)
+let mux s a b = Mux (s, a, b)
+let bit e i = Slice (e, i, i)
+
+(* Balanced reduction trees: unlike a linear fold, these keep logic depth
+   logarithmic, which matters once designs chain hundreds of terms. *)
+let rec tree_reduce f = function
+  | [] -> invalid_arg "Expr.tree_reduce: empty"
+  | [ x ] -> x
+  | l ->
+    let rec split acc n = function
+      | rest when n = 0 -> (List.rev acc, rest)
+      | x :: rest -> split (x :: acc) (n - 1) rest
+      | [] -> (List.rev acc, [])
+    in
+    let half = List.length l / 2 in
+    let a, b = split [] half l in
+    f (tree_reduce f a) (tree_reduce f b)
+
+let tree_and = function [] -> vdd | l -> tree_reduce (fun a b -> And (a, b)) l
+let tree_or = function [] -> gnd | l -> tree_reduce (fun a b -> Or (a, b)) l

@@ -1,0 +1,85 @@
+(** RTL expressions: pure combinational terms over signals.
+
+    Word-level and width-polymorphic — widths are checked by
+    {!Check.check_widths_expr} against the owning circuit, not carried in
+    the term.  The [( &: )]-style operators make builder code read like
+    HDL; [tree_and]/[tree_or] build balanced (log-depth) reductions that
+    synthesis keeps shallow. *)
+
+type signal_id = int
+
+type t =
+  | Const of Bits.t
+  | Signal of signal_id
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Xor of t * t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Eq of t * t  (** 1-bit result *)
+  | Lt of t * t  (** unsigned; 1-bit result *)
+  | Mux of t * t * t  (** select (1 bit), then, else *)
+  | Concat of t * t  (** high part first *)
+  | Slice of t * int * int  (** hi, lo (inclusive) *)
+  | Shift_left of t * int
+  | Shift_right of t * int
+  | Reduce_or of t
+  | Reduce_and of t
+  | Reduce_xor of t
+
+(** Width of a term given signal widths. *)
+val width_of : (signal_id -> int) -> t -> int
+
+val fold_signals : ('a -> signal_id -> 'a) -> 'a -> t -> 'a
+
+(** Signals read by a term (with duplicates). *)
+val signals : t -> signal_id list
+
+(** Substitute signals by terms. *)
+val map_signals : (signal_id -> t) -> t -> t
+
+val node_count : t -> int
+
+(** Evaluate against an environment (the simulator's inner loop). *)
+val eval : (signal_id -> Bits.t) -> t -> Bits.t
+
+(** {1 HDL-flavored constructors} *)
+
+val const_int : width:int -> int -> t
+
+val vdd : t
+
+val gnd : t
+
+val ( &: ) : t -> t -> t
+
+val ( |: ) : t -> t -> t
+
+val ( ^: ) : t -> t -> t
+
+val ( ~: ) : t -> t
+
+val ( +: ) : t -> t -> t
+
+val ( -: ) : t -> t -> t
+
+val ( ==: ) : t -> t -> t
+
+val ( <>: ) : t -> t -> t
+
+val ( <: ) : t -> t -> t
+
+val mux : t -> t -> t -> t
+
+(** Single-bit slice. *)
+val bit : t -> int -> t
+
+val tree_reduce : ('a -> 'a -> 'a) -> 'a list -> 'a
+
+(** Balanced conjunction; [vdd] on the empty list. *)
+val tree_and : t list -> t
+
+(** Balanced disjunction; [gnd] on the empty list. *)
+val tree_or : t list -> t

@@ -1,0 +1,247 @@
+(** Elaboration: inline the instance hierarchy of a {!Design} into a single
+    flat {!Circuit} with dotted hierarchical names.
+
+    Only the top module's ports remain ports; all child ports become wires
+    connected by generated assigns.  Clock connections are resolved through
+    each instance's [clock_map] (defaulting to connect-by-name), so a gated
+    clock created by the Debug Controller wrapper transparently drives the
+    registers of the wrapped module tree. *)
+
+(** A blackboxed instance encountered during elaboration: its ports became
+    shell IOs named [path ^ ":" ^ port]; [bb_clock_env] maps its module-level
+    clock names to flat clock names (for stamping a separately synthesized
+    netlist into place). *)
+type blackbox = {
+  bb_path : string;
+  bb_module : string;
+  bb_clock_env : (string * string) list;
+}
+
+type accum = {
+  mutable signals : Circuit.signal list;  (* reversed *)
+  mutable next_id : int;
+  mutable clocks : Circuit.clock list;    (* reversed *)
+  mutable registers : Circuit.register list;
+  mutable memories : Circuit.memory list;
+  mutable assigns : Circuit.assign list;
+  mutable root_clocks_seen : (string, unit) Hashtbl.t;
+  mutable blackboxes : blackbox list;
+  units : (string, unit) Hashtbl.t;  (* module names to blackbox *)
+}
+
+let fresh_signal acc ~name ~width ~direction =
+  let id = acc.next_id in
+  acc.next_id <- id + 1;
+  acc.signals <- { Circuit.id; name; width; direction } :: acc.signals;
+  id
+
+let prefixed prefix name = if prefix = "" then name else prefix ^ "." ^ name
+
+(* Inline [module_name] at [prefix].  [clock_env] maps the module's root
+   clock names to flat clock names.  Returns the child signal-id ->
+   flat-id map so the caller can wire up port connections. *)
+let rec inline design acc ~prefix ~module_name ~clock_env ~top =
+  let c = Design.find design module_name in
+  let n = Array.length c.Circuit.signals in
+  let sig_map = Array.make n (-1) in
+  Array.iter
+    (fun (s : Circuit.signal) ->
+      let direction = if top then s.direction else None in
+      sig_map.(s.id) <-
+        fresh_signal acc ~name:(prefixed prefix s.name) ~width:s.width ~direction)
+    c.signals;
+  let remap e = Expr.map_signals (fun id -> Expr.Signal sig_map.(id)) e in
+  (* Local clock resolution: module-level clock name -> flat clock name. *)
+  let local = Hashtbl.create 4 in
+  let resolve name =
+    match Hashtbl.find_opt local name with
+    | Some flat -> flat
+    | None -> (
+      match List.assoc_opt name clock_env with
+      | Some flat -> flat
+      | None -> name (* global root clock referenced by its own name *))
+  in
+  List.iter
+    (fun clk ->
+      match clk with
+      | Circuit.Root_clock name ->
+        let flat = resolve name in
+        Hashtbl.replace local name flat;
+        if not (Hashtbl.mem acc.root_clocks_seen flat) then begin
+          (* Only genuinely-global clocks become flat roots; a child root
+             bound to a parent's gated clock resolves to that gated name. *)
+          let already_gated =
+            List.exists
+              (function
+                | Circuit.Gated_clock { name = g; _ } -> g = flat
+                | Circuit.Root_clock _ -> false)
+              acc.clocks
+          in
+          if not already_gated then begin
+            Hashtbl.add acc.root_clocks_seen flat ();
+            acc.clocks <- Circuit.Root_clock flat :: acc.clocks
+          end
+        end
+      | Circuit.Gated_clock { name; parent; enable } ->
+        let flat_name = prefixed prefix name in
+        let flat_parent = resolve parent in
+        Hashtbl.replace local name flat_name;
+        acc.clocks <-
+          Circuit.Gated_clock
+            { name = flat_name; parent = flat_parent; enable = remap enable }
+          :: acc.clocks)
+    c.clocks;
+  List.iter
+    (fun (r : Circuit.register) ->
+      acc.registers <-
+        {
+          r with
+          q = sig_map.(r.q);
+          clock = resolve r.clock;
+          next = remap r.next;
+          enable = Option.map remap r.enable;
+          reset = Option.map (fun (e, v) -> (remap e, v)) r.reset;
+        }
+        :: acc.registers)
+    c.registers;
+  List.iter
+    (fun (m : Circuit.memory) ->
+      acc.memories <-
+        {
+          m with
+          mem_name = prefixed prefix m.mem_name;
+          writes =
+            List.map
+              (fun (w : Circuit.write_port) ->
+                {
+                  Circuit.w_clock = resolve w.w_clock;
+                  w_enable = remap w.w_enable;
+                  w_addr = remap w.w_addr;
+                  w_data = remap w.w_data;
+                })
+              m.writes;
+          reads =
+            List.map
+              (fun (r : Circuit.read_port) ->
+                {
+                  Circuit.r_addr = remap r.r_addr;
+                  r_out = sig_map.(r.r_out);
+                  r_kind =
+                    (match r.r_kind with
+                    | Circuit.Read_comb -> Circuit.Read_comb
+                    | Circuit.Read_sync clk -> Circuit.Read_sync (resolve clk));
+                })
+              m.reads;
+        }
+        :: acc.memories)
+    c.memories;
+  List.iter
+    (fun (a : Circuit.assign) ->
+      acc.assigns <- { Circuit.lhs = sig_map.(a.lhs); rhs = remap a.rhs } :: acc.assigns)
+    c.assigns;
+  List.iter
+    (fun (i : Circuit.instance) ->
+      let child = Design.find design i.module_name in
+      let child_env =
+        List.map
+          (fun clk_name ->
+            let bound =
+              match List.assoc_opt clk_name i.clock_map with
+              | Some parent_name -> parent_name
+              | None -> clk_name
+            in
+            (clk_name, resolve bound))
+          (Circuit.clock_names child)
+      in
+      let path = prefixed prefix i.inst_name in
+      if Hashtbl.mem acc.units i.module_name then begin
+        (* Blackbox: the instance's ports become shell-level IOs.  Inputs of
+           the child are *outputs* of the shell (the shell drives them) and
+           vice versa. *)
+        acc.blackboxes <-
+          { bb_path = path; bb_module = i.module_name; bb_clock_env = child_env }
+          :: acc.blackboxes;
+        List.iter
+          (fun conn ->
+            match conn with
+            | Circuit.Drive_input (port, expr) ->
+              let ps = Circuit.find_signal child port in
+              let id =
+                fresh_signal acc
+                  ~name:(path ^ ":" ^ port)
+                  ~width:ps.width ~direction:(Some Circuit.Output)
+              in
+              acc.assigns <- { Circuit.lhs = id; rhs = remap expr } :: acc.assigns
+            | Circuit.Read_output (port, parent_sig) ->
+              let ps = Circuit.find_signal child port in
+              let id =
+                fresh_signal acc
+                  ~name:(path ^ ":" ^ port)
+                  ~width:ps.width ~direction:(Some Circuit.Input)
+              in
+              acc.assigns <-
+                { Circuit.lhs = sig_map.(parent_sig); rhs = Expr.Signal id }
+                :: acc.assigns)
+          i.connections
+      end
+      else begin
+        let child_map =
+          inline design acc ~prefix:path ~module_name:i.module_name
+            ~clock_env:child_env ~top:false
+        in
+        List.iter
+          (fun conn ->
+            match conn with
+            | Circuit.Drive_input (port, expr) ->
+              let ps = Circuit.find_signal child port in
+              acc.assigns <-
+                { Circuit.lhs = child_map.(ps.id); rhs = remap expr } :: acc.assigns
+            | Circuit.Read_output (port, parent_sig) ->
+              let ps = Circuit.find_signal child port in
+              acc.assigns <-
+                { Circuit.lhs = sig_map.(parent_sig); rhs = Expr.Signal child_map.(ps.id) }
+                :: acc.assigns)
+          i.connections
+      end)
+    c.instances;
+  sig_map
+
+let elaborate_internal design ~units =
+  let unit_tbl = Hashtbl.create 8 in
+  List.iter (fun u -> Hashtbl.replace unit_tbl u ()) units;
+  let acc =
+    {
+      signals = [];
+      next_id = 0;
+      clocks = [];
+      registers = [];
+      memories = [];
+      assigns = [];
+      root_clocks_seen = Hashtbl.create 4;
+      blackboxes = [];
+      units = unit_tbl;
+    }
+  in
+  let top = Design.top design in
+  let (_ : int array) =
+    inline design acc ~prefix:"" ~module_name:top.Circuit.name ~clock_env:[]
+      ~top:true
+  in
+  ( {
+      Circuit.name = top.Circuit.name;
+      signals = Array.of_list (List.rev acc.signals);
+      clocks = List.rev acc.clocks;
+      registers = List.rev acc.registers;
+      memories = List.rev acc.memories;
+      assigns = List.rev acc.assigns;
+      instances = [];
+    },
+    List.rev acc.blackboxes )
+
+(** Elaborate [design] into a flat circuit named after the top module. *)
+let elaborate design : Circuit.t = fst (elaborate_internal design ~units:[])
+
+(** Elaborate with the listed module names left as blackboxes: their ports
+    surface as shell IOs named [path ^ ":" ^ port].  Used by hierarchical
+    synthesis (vendor flow on replicated designs, VTI partitions). *)
+let elaborate_shell design ~units = elaborate_internal design ~units

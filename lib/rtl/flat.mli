@@ -1,0 +1,22 @@
+(** Elaboration: flatten a module tree into one circuit.
+
+    Instances are inlined with dot-separated name prefixes
+    ([cluster0.core0.pc]); formal clocks resolve through each instance's
+    clock environment to root clocks (gated clocks keep their gating
+    chain).  {!elaborate_shell} is the hierarchical-synthesis variant:
+    instances of the listed unit modules are {e not} inlined — each
+    becomes a {!blackbox} record and its ports become boundary signals
+    (named ["path:port"]) for {!Zoomie_synth.Link} to unify later. *)
+
+(** A unit instance left out of the shell. *)
+type blackbox = {
+  bb_path : string;  (** hierarchical instance path *)
+  bb_module : string;
+  bb_clock_env : (string * string) list;  (** formal clock -> root clock *)
+}
+
+(** Inline everything.  @raise Check_error on structural violations. *)
+val elaborate : Design.t -> Circuit.t
+
+(** Inline everything except instances of [units]. *)
+val elaborate_shell : Design.t -> units:string list -> Circuit.t * blackbox list

@@ -1,0 +1,247 @@
+(** Verilog-2001 emission: export circuits and designs as synthesizable
+    Verilog, so Zoomie-generated hardware (Debug Controller wrappers, pause
+    buffers, assertion monitors) can be dropped into an external flow or
+    inspected by hand.
+
+    Gated clocks are emitted as [BUFGCE]-style clock-enable idioms: the
+    register processes of a gated domain are clocked by the parent and
+    guarded by the enable, which is the semantics our simulator implements
+    and what a vendor tool infers onto its clock buffers. *)
+
+let keyword_safe name =
+  (* Hierarchical names carry '.' and ':' after elaboration. *)
+  let buf = Buffer.create (String.length name) in
+  String.iter
+    (fun c ->
+      match c with
+      | '.' | ':' | '/' -> Buffer.add_char buf '_'
+      | c -> Buffer.add_char buf c)
+    name;
+  let s = Buffer.contents buf in
+  match s with
+  | "module" | "input" | "output" | "wire" | "reg" | "assign" | "always"
+  | "begin" | "end" | "if" | "else" | "case" | "endcase" | "endmodule"
+  | "parameter" | "signed" | "integer" ->
+    s ^ "_"
+  | _ -> s
+
+let width_decl w = if w = 1 then "" else Printf.sprintf "[%d:0] " (w - 1)
+
+let rec expr_to_string c (e : Expr.t) =
+  let s = expr_to_string c in
+  let name id = keyword_safe (Circuit.signal_name c id) in
+  match e with
+  | Expr.Const b ->
+    Printf.sprintf "%d'h%s" (Bits.width b) (Bits.to_hex_string b)
+  | Expr.Signal id -> name id
+  | Expr.Not a -> Printf.sprintf "(~%s)" (s a)
+  | Expr.And (a, b) -> Printf.sprintf "(%s & %s)" (s a) (s b)
+  | Expr.Or (a, b) -> Printf.sprintf "(%s | %s)" (s a) (s b)
+  | Expr.Xor (a, b) -> Printf.sprintf "(%s ^ %s)" (s a) (s b)
+  | Expr.Add (a, b) -> Printf.sprintf "(%s + %s)" (s a) (s b)
+  | Expr.Sub (a, b) -> Printf.sprintf "(%s - %s)" (s a) (s b)
+  | Expr.Mul (a, b) -> Printf.sprintf "(%s * %s)" (s a) (s b)
+  | Expr.Eq (a, b) -> Printf.sprintf "(%s == %s)" (s a) (s b)
+  | Expr.Lt (a, b) -> Printf.sprintf "(%s < %s)" (s a) (s b)
+  | Expr.Mux (sel, a, b) -> Printf.sprintf "(%s ? %s : %s)" (s sel) (s a) (s b)
+  | Expr.Concat (hi, lo) -> Printf.sprintf "{%s, %s}" (s hi) (s lo)
+  | Expr.Slice (a, hi, lo) ->
+    if hi = lo then Printf.sprintf "%s[%d]" (s a) hi
+    else Printf.sprintf "%s[%d:%d]" (s a) hi lo
+  | Expr.Shift_left (a, n) -> Printf.sprintf "(%s << %d)" (s a) n
+  | Expr.Shift_right (a, n) -> Printf.sprintf "(%s >> %d)" (s a) n
+  | Expr.Reduce_or a -> Printf.sprintf "(|%s)" (s a)
+  | Expr.Reduce_and a -> Printf.sprintf "(&%s)" (s a)
+  | Expr.Reduce_xor a -> Printf.sprintf "(^%s)" (s a)
+
+(* Clock expression and enable guard for a (possibly gated) clock name. *)
+let rec clock_of c name =
+  let entry =
+    List.find_opt
+      (fun clk ->
+        match clk with
+        | Circuit.Root_clock n -> n = name
+        | Circuit.Gated_clock { name = n; _ } -> n = name)
+      c.Circuit.clocks
+  in
+  match entry with
+  | Some (Circuit.Gated_clock { parent; enable; _ }) ->
+    let root, guards = clock_of c parent in
+    (root, expr_to_string c enable :: guards)
+  | Some (Circuit.Root_clock n) -> (n, [])
+  | None -> (name, [])
+
+(** Emit one circuit as a Verilog module. *)
+let of_circuit (c : Circuit.t) =
+  let buf = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let inputs = Circuit.inputs c and outputs = Circuit.outputs c in
+  let root_clocks =
+    List.filter_map
+      (function Circuit.Root_clock n -> Some n | Circuit.Gated_clock _ -> None)
+      c.Circuit.clocks
+  in
+  let ports =
+    List.map keyword_safe root_clocks
+    @ List.map (fun (s : Circuit.signal) -> keyword_safe s.name) inputs
+    @ List.map (fun (s : Circuit.signal) -> keyword_safe s.name) outputs
+  in
+  pr "module %s (\n  %s\n);\n" (keyword_safe c.Circuit.name)
+    (String.concat ",\n  " ports);
+  List.iter (fun n -> pr "  input wire %s;\n" (keyword_safe n)) root_clocks;
+  List.iter
+    (fun (s : Circuit.signal) ->
+      pr "  input wire %s%s;\n" (width_decl s.width) (keyword_safe s.name))
+    inputs;
+  List.iter
+    (fun (s : Circuit.signal) ->
+      pr "  output wire %s%s;\n" (width_decl s.width) (keyword_safe s.name))
+    outputs;
+  (* Internal declarations. *)
+  let is_reg id =
+    List.exists (fun (r : Circuit.register) -> r.q = id) c.Circuit.registers
+  in
+  Array.iter
+    (fun (s : Circuit.signal) ->
+      if s.direction = None then
+        pr "  %s %s%s;\n"
+          (if is_reg s.id then "reg" else "wire")
+          (width_decl s.width) (keyword_safe s.name))
+    c.Circuit.signals;
+  (* Memories. *)
+  List.iter
+    (fun (m : Circuit.memory) ->
+      pr "  reg %s%s [0:%d];\n" (width_decl m.mem_width)
+        (keyword_safe m.mem_name) (m.mem_depth - 1);
+      (match m.mem_init with
+      | None -> ()
+      | Some init ->
+        pr "  initial begin\n";
+        Array.iteri
+          (fun i v ->
+            pr "    %s[%d] = %d'h%s;\n" (keyword_safe m.mem_name) i
+              (Bits.width v) (Bits.to_hex_string v))
+          init;
+        pr "  end\n"))
+    c.Circuit.memories;
+  (* Combinational assigns. *)
+  List.iter
+    (fun (a : Circuit.assign) ->
+      pr "  assign %s = %s;\n"
+        (keyword_safe (Circuit.signal_name c a.lhs))
+        (expr_to_string c a.rhs))
+    c.Circuit.assigns;
+  (* Memory read ports. *)
+  List.iter
+    (fun (m : Circuit.memory) ->
+      List.iter
+        (fun (rp : Circuit.read_port) ->
+          match rp.r_kind with
+          | Circuit.Read_comb ->
+            pr "  assign %s = %s[%s];\n"
+              (keyword_safe (Circuit.signal_name c rp.r_out))
+              (keyword_safe m.mem_name)
+              (expr_to_string c rp.r_addr)
+          | Circuit.Read_sync clk ->
+            let root, guards = clock_of c clk in
+            pr "  always @(posedge %s) begin\n" (keyword_safe root);
+            let indent = ref "    " in
+            List.iter
+              (fun g ->
+                pr "%sif (%s) begin\n" !indent g;
+                indent := !indent ^ "  ")
+              guards;
+            pr "%s%s <= %s[%s];\n" !indent
+              (keyword_safe (Circuit.signal_name c rp.r_out))
+              (keyword_safe m.mem_name)
+              (expr_to_string c rp.r_addr);
+            List.iter (fun _ -> pr "    end\n") guards;
+            pr "  end\n")
+        m.reads;
+      List.iter
+        (fun (wp : Circuit.write_port) ->
+          let root, guards = clock_of c wp.w_clock in
+          pr "  always @(posedge %s) begin\n" (keyword_safe root);
+          let guards = guards @ [ expr_to_string c wp.w_enable ] in
+          let indent = ref "    " in
+          List.iter
+            (fun g ->
+              pr "%sif (%s) begin\n" !indent g;
+              indent := !indent ^ "  ")
+            guards;
+          pr "%s%s[%s] <= %s;\n" !indent (keyword_safe m.mem_name)
+            (expr_to_string c wp.w_addr)
+            (expr_to_string c wp.w_data);
+          List.iter (fun _ -> pr "    end\n") guards;
+          pr "  end\n")
+        m.writes)
+    c.Circuit.memories;
+  (* Registers: sync reset > clock enable > next. *)
+  List.iter
+    (fun (r : Circuit.register) ->
+      let root, guards = clock_of c r.clock in
+      let q = keyword_safe (Circuit.signal_name c r.q) in
+      pr "  always @(posedge %s) begin\n" (keyword_safe root);
+      let indent = ref "    " in
+      List.iter
+        (fun g ->
+          pr "%sif (%s) begin\n" !indent g;
+          indent := !indent ^ "  ")
+        guards;
+      let body_indent = !indent in
+      (match (r.reset, r.enable) with
+      | Some (rst, v), en ->
+        pr "%sif (%s) %s <= %d'h%s;\n" body_indent (expr_to_string c rst) q
+          (Bits.width v) (Bits.to_hex_string v);
+        (match en with
+        | Some e ->
+          pr "%selse if (%s) %s <= %s;\n" body_indent (expr_to_string c e) q
+            (expr_to_string c r.next)
+        | None ->
+          pr "%selse %s <= %s;\n" body_indent q (expr_to_string c r.next))
+      | None, Some e ->
+        pr "%sif (%s) %s <= %s;\n" body_indent (expr_to_string c e) q
+          (expr_to_string c r.next)
+      | None, None -> pr "%s%s <= %s;\n" body_indent q (expr_to_string c r.next));
+      List.iter (fun _ -> pr "    end\n") guards;
+      pr "  end\n")
+    c.Circuit.registers;
+  (* Instances. *)
+  List.iter
+    (fun (i : Circuit.instance) ->
+      pr "  %s %s (\n" (keyword_safe i.module_name) (keyword_safe i.inst_name);
+      let conns =
+        List.map
+          (fun conn ->
+            match conn with
+            | Circuit.Drive_input (port, e) ->
+              Printf.sprintf "    .%s(%s)" (keyword_safe port) (expr_to_string c e)
+            | Circuit.Read_output (port, sig_id) ->
+              Printf.sprintf "    .%s(%s)" (keyword_safe port)
+                (keyword_safe (Circuit.signal_name c sig_id)))
+          i.connections
+      in
+      (* Clock connections by map (or same-name). *)
+      let clocks =
+        List.map
+          (fun (child, parent) ->
+            Printf.sprintf "    .%s(%s)" (keyword_safe child) (keyword_safe parent))
+          i.clock_map
+      in
+      pr "%s\n  );\n" (String.concat ",\n" (clocks @ conns)))
+    c.Circuit.instances;
+  pr "endmodule\n";
+  Buffer.contents buf
+
+(** Emit a whole design, one module per definition, top last. *)
+let of_design (d : Design.t) =
+  let names = Design.module_names d in
+  let top = Design.top_name d in
+  let others = List.filter (fun n -> n <> top) names in
+  String.concat "\n"
+    (List.map (fun n -> of_circuit (Design.find d n)) (others @ [ top ]))
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc

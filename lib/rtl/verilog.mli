@@ -1,0 +1,17 @@
+(** Verilog-2001 export.
+
+    Emits synthesizable RTL for any circuit or design — including the
+    generated artifacts (Debug Controller wrappers, pause buffers, SVA
+    monitors), so a Zoomie-instrumented design can be taken to a real
+    vendor toolchain.  Gated clocks are emitted as enable guards on the
+    parent clock's always block (the glitch-free BUFGCE idiom). *)
+
+(** Escape identifiers that collide with Verilog keywords. *)
+val keyword_safe : string -> string
+
+val of_circuit : Circuit.t -> string
+
+(** Whole design, one module per circuit, top last. *)
+val of_design : Design.t -> string
+
+val write_file : string -> string -> unit

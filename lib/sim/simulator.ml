@@ -1,0 +1,311 @@
+(** Cycle-accurate simulator for flat circuits.
+
+    The simulator evaluates combinational assigns in topological order and
+    commits register/memory updates on explicit clock edges.  Gated clocks
+    tick with their parent edge only when their enable expression is true —
+    this is what makes the Debug Controller's pause mechanism observable in
+    simulation exactly as on the modeled fabric. *)
+
+open Zoomie_rtl
+
+type memory_state = { words : Bits.t array; width : int }
+
+type t = {
+  circuit : Circuit.t;
+  order : Circuit.assign array;        (* topologically sorted *)
+  values : Bits.t array;               (* current value per signal *)
+  forced : Bits.t option array;        (* active force per signal *)
+  mems : (string * memory_state) array;
+  mem_of_name : (string, int) Hashtbl.t;
+  sync_reads : (int * Circuit.read_port * int) list;
+      (* memory index, port, clock-domain tag; see [clock_tags] *)
+  sig_of_name : (string, int) Hashtbl.t;
+  reg_of_sig : (int, Circuit.register) Hashtbl.t;
+  mutable cycles : int;                (* root-edge count, any clock *)
+  mutable per_clock_cycles : (string * int ref) list;
+}
+
+let circuit t = t.circuit
+
+let create (circuit : Circuit.t) =
+  let order = Check.validate circuit in
+  let n = Array.length circuit.signals in
+  let values =
+    Array.init n (fun i -> Bits.zero circuit.signals.(i).Circuit.width)
+  in
+  (* Registers start at their declared power-on value. *)
+  List.iter
+    (fun (r : Circuit.register) -> values.(r.q) <- r.init)
+    circuit.registers;
+  let mems =
+    Array.of_list
+      (List.map
+         (fun (m : Circuit.memory) ->
+           ( m.mem_name,
+             {
+               words =
+                 Array.init m.mem_depth (fun i ->
+                     match m.mem_init with
+                     | Some init when i < Array.length init -> init.(i)
+                     | _ -> Bits.zero m.mem_width);
+               width = m.mem_width;
+             } ))
+         circuit.memories)
+  in
+  let mem_of_name = Hashtbl.create 8 in
+  Array.iteri (fun i (name, _) -> Hashtbl.add mem_of_name name i) mems;
+  let sig_of_name = Hashtbl.create n in
+  Array.iter
+    (fun (s : Circuit.signal) -> Hashtbl.add sig_of_name s.name s.id)
+    circuit.signals;
+  let reg_of_sig = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Circuit.register) -> Hashtbl.add reg_of_sig r.q r)
+    circuit.registers;
+  let sync_reads =
+    List.concat
+      (List.mapi
+         (fun i (m : Circuit.memory) ->
+           List.filter_map
+             (fun (rp : Circuit.read_port) ->
+               match rp.r_kind with
+               | Circuit.Read_sync _ -> Some (i, rp, 0)
+               | Circuit.Read_comb -> None)
+             m.reads)
+         circuit.memories)
+  in
+  let per_clock_cycles =
+    List.map (fun c -> (c, ref 0)) (Circuit.clock_names circuit)
+  in
+  {
+    circuit;
+    order;
+    values;
+    forced = Array.make n None;
+    mems;
+    mem_of_name;
+    sync_reads;
+    sig_of_name;
+    reg_of_sig;
+    cycles = 0;
+    per_clock_cycles;
+  }
+
+let signal_id t name =
+  match Hashtbl.find_opt t.sig_of_name name with
+  | Some id -> id
+  | None -> invalid_arg (Printf.sprintf "Simulator: unknown signal %S" name)
+
+let read t id =
+  match t.forced.(id) with Some b -> b | None -> t.values.(id)
+
+let eval t e = Expr.eval (read t) e
+
+(* Combinational settle: memories' combinational read ports first (they read
+   committed array state), then assigns in topological order. *)
+let eval_comb t =
+  List.iteri
+    (fun i (m : Circuit.memory) ->
+      let st = snd t.mems.(i) in
+      List.iter
+        (fun (rp : Circuit.read_port) ->
+          match rp.r_kind with
+          | Circuit.Read_comb ->
+            let addr = Bits.to_int (eval t rp.r_addr) in
+            let v =
+              if addr < Array.length st.words then st.words.(addr)
+              else Bits.zero st.width
+            in
+            t.values.(rp.r_out) <- v
+          | Circuit.Read_sync _ -> ())
+        m.reads)
+    t.circuit.memories;
+  Array.iter
+    (fun (a : Circuit.assign) -> t.values.(a.lhs) <- eval t a.rhs)
+    t.order
+
+(** Set an input port value (persists across cycles). *)
+let poke_input t name v =
+  let id = signal_id t name in
+  let s = t.circuit.signals.(id) in
+  if s.direction <> Some Circuit.Input then
+    invalid_arg (Printf.sprintf "Simulator.poke_input: %S is not an input" name);
+  if Bits.width v <> s.width then
+    invalid_arg (Printf.sprintf "Simulator.poke_input: %S width mismatch" name);
+  t.values.(id) <- v
+
+(** Read any signal after the last {!eval_comb}/{!step}. *)
+let peek t name = read t (signal_id t name)
+let peek_id t id = read t id
+
+(** Overwrite register state directly (Zoomie state injection, §3.3). *)
+let poke_register t name v =
+  let id = signal_id t name in
+  if not (Hashtbl.mem t.reg_of_sig id) then
+    invalid_arg (Printf.sprintf "Simulator.poke_register: %S is not a register" name);
+  if Bits.width v <> t.circuit.signals.(id).Circuit.width then
+    invalid_arg "Simulator.poke_register: width mismatch";
+  t.values.(id) <- v
+
+(** Force a signal to a fixed value until {!release}. *)
+let force t name v =
+  let id = signal_id t name in
+  if Bits.width v <> t.circuit.signals.(id).Circuit.width then
+    invalid_arg "Simulator.force: width mismatch";
+  t.forced.(id) <- Some v
+
+let release t name = t.forced.(signal_id t name) <- None
+
+let mem_index t name =
+  match Hashtbl.find_opt t.mem_of_name name with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Simulator: unknown memory %S" name)
+
+let read_memory t name addr =
+  let st = snd t.mems.(mem_index t name) in
+  st.words.(addr)
+
+let write_memory t name addr v =
+  let st = snd t.mems.(mem_index t name) in
+  if Bits.width v <> st.width then
+    invalid_arg "Simulator.write_memory: width mismatch";
+  st.words.(addr) <- v
+
+(* Which clocks tick on a given root edge: the root itself plus any gated
+   clock (transitively) whose enable is true right now. *)
+let ticking_clocks t root =
+  let ticks = Hashtbl.create 4 in
+  Hashtbl.add ticks root ();
+  (* Gated clocks are listed after their parents by construction (parents are
+     declared before children in the wrapper flow); iterate until fixpoint to
+     be safe with arbitrary order. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun clk ->
+        match clk with
+        | Circuit.Root_clock _ -> ()
+        | Circuit.Gated_clock { name; parent; enable } ->
+          if (not (Hashtbl.mem ticks name)) && Hashtbl.mem ticks parent then
+            if Bits.reduce_or (eval t enable) then begin
+              Hashtbl.add ticks name ();
+              changed := true
+            end)
+      t.circuit.clocks
+  done;
+  ticks
+
+(** Apply one rising edge of root clock [root]: settle combinational logic,
+    then atomically update every register and memory clocked by a ticking
+    clock. *)
+let step ?(n = 1) t root =
+  if not (Circuit.is_root_clock t.circuit root) then
+    invalid_arg (Printf.sprintf "Simulator.step: %S is not a root clock" root);
+  for _ = 1 to n do
+    eval_comb t;
+    let ticks = ticking_clocks t root in
+    let updates = ref [] in
+    List.iter
+      (fun (r : Circuit.register) ->
+        if Hashtbl.mem ticks r.clock then begin
+          let enabled =
+            match r.enable with
+            | None -> true
+            | Some e -> Bits.reduce_or (eval t e)
+          in
+          let next =
+            match r.reset with
+            | Some (rst, v) when Bits.reduce_or (eval t rst) -> Some v
+            | _ -> if enabled then Some (eval t r.next) else None
+          in
+          match next with
+          | Some v -> updates := (r.q, v) :: !updates
+          | None -> ()
+        end)
+      t.circuit.registers;
+    (* Memory updates: sync reads sample pre-edge array contents; writes
+       commit after. *)
+    let mem_writes = ref [] in
+    let sync_read_updates = ref [] in
+    List.iteri
+      (fun i (m : Circuit.memory) ->
+        let st = snd t.mems.(i) in
+        List.iter
+          (fun (rp : Circuit.read_port) ->
+            match rp.r_kind with
+            | Circuit.Read_sync clk when Hashtbl.mem ticks clk ->
+              let addr = Bits.to_int (eval t rp.r_addr) in
+              let v =
+                if addr < Array.length st.words then st.words.(addr)
+                else Bits.zero st.width
+              in
+              sync_read_updates := (rp.r_out, v) :: !sync_read_updates
+            | Circuit.Read_sync _ | Circuit.Read_comb -> ())
+          m.reads;
+        List.iter
+          (fun (wp : Circuit.write_port) ->
+            if Hashtbl.mem ticks wp.w_clock
+               && Bits.reduce_or (eval t wp.w_enable)
+            then begin
+              let addr = Bits.to_int (eval t wp.w_addr) in
+              if addr < Array.length st.words then
+                mem_writes := (i, addr, eval t wp.w_data) :: !mem_writes
+            end)
+          m.writes)
+      t.circuit.memories;
+    List.iter (fun (id, v) -> t.values.(id) <- v) !updates;
+    List.iter (fun (id, v) -> t.values.(id) <- v) !sync_read_updates;
+    List.iter
+      (fun (i, addr, v) -> (snd t.mems.(i)).words.(addr) <- v)
+      !mem_writes;
+    t.cycles <- t.cycles + 1;
+    Hashtbl.iter
+      (fun clk () ->
+        match List.assoc_opt clk t.per_clock_cycles with
+        | Some r -> incr r
+        | None -> ())
+      ticks;
+    eval_comb t
+  done
+
+let cycles t = t.cycles
+
+let clock_cycles t clk =
+  match List.assoc_opt clk t.per_clock_cycles with
+  | Some r -> !r
+  | None -> invalid_arg (Printf.sprintf "Simulator.clock_cycles: unknown %S" clk)
+
+(** All register names with current values — the simulator-side analogue of a
+    full state readback. *)
+let register_state t =
+  List.map
+    (fun (r : Circuit.register) ->
+      (Circuit.signal_name t.circuit r.q, read t r.q))
+    t.circuit.registers
+
+(** Snapshot/restore of full architectural state (registers + memories). *)
+type snapshot = {
+  snap_regs : (int * Bits.t) list;
+  snap_mems : (int * Bits.t array) list;
+  snap_cycles : int;
+}
+
+let snapshot t =
+  {
+    snap_regs =
+      List.map (fun (r : Circuit.register) -> (r.q, t.values.(r.q))) t.circuit.registers;
+    snap_mems =
+      Array.to_list t.mems
+      |> List.mapi (fun i (_, st) -> (i, Array.copy st.words));
+    snap_cycles = t.cycles;
+  }
+
+let restore t snap =
+  List.iter (fun (id, v) -> t.values.(id) <- v) snap.snap_regs;
+  List.iter
+    (fun (i, words) ->
+      Array.blit words 0 (snd t.mems.(i)).words 0 (Array.length words))
+    snap.snap_mems;
+  t.cycles <- snap.snap_cycles;
+  eval_comb t

@@ -1,0 +1,58 @@
+(** Cycle-accurate simulator for flat circuits.
+
+    Combinational assigns are evaluated in topological order; register and
+    memory updates commit atomically on explicit clock edges.  Gated clocks
+    tick with their parent edge only when their enable expression is true —
+    the semantics behind the Debug Controller's pause mechanism. *)
+
+open Zoomie_rtl
+
+type t
+
+(** Build a simulator; validates the circuit ({!Check.validate}) and
+    initializes registers to their power-on values. *)
+val create : Circuit.t -> t
+
+val circuit : t -> Circuit.t
+
+(** Dense id of a signal name (for hot-path peeks). *)
+val signal_id : t -> string -> int
+
+(** Settle combinational logic for the current inputs/state. *)
+val eval_comb : t -> unit
+
+(** Set an input port value (persists across cycles). *)
+val poke_input : t -> string -> Bits.t -> unit
+
+(** Read any signal after the last {!eval_comb}/{!step}. *)
+val peek : t -> string -> Bits.t
+
+val peek_id : t -> int -> Bits.t
+
+(** Overwrite register state directly (state injection). *)
+val poke_register : t -> string -> Bits.t -> unit
+
+(** Force a signal to a fixed value until {!release}. *)
+val force : t -> string -> Bits.t -> unit
+
+val release : t -> string -> unit
+val read_memory : t -> string -> int -> Bits.t
+val write_memory : t -> string -> int -> Bits.t -> unit
+
+(** Apply [n] (default 1) rising edges of the named *root* clock. *)
+val step : ?n:int -> t -> string -> unit
+
+(** Total root edges applied so far. *)
+val cycles : t -> int
+
+(** Edges seen by one named clock (gated clocks count only actual ticks). *)
+val clock_cycles : t -> string -> int
+
+(** All registers with their current values (simulator-side readback). *)
+val register_state : t -> (string * Bits.t) list
+
+(** Full architectural state capture/restore (registers and memories). *)
+type snapshot
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit

@@ -1,0 +1,74 @@
+(** Bounded signal tracing: samples a set of signals each cycle into a ring
+    buffer, mimicking the capture window of an on-FPGA logic analyzer.  The
+    vendor ILA model and the Figure 3 waveform demonstration are built on
+    this. *)
+
+open Zoomie_rtl
+
+type t = {
+  sim : Simulator.t;
+  ids : (string * int) array;   (* name, signal id *)
+  depth : int;
+  buffer : (int * Bits.t array) array;  (* cycle stamp, sampled values *)
+  mutable head : int;           (* next write position *)
+  mutable count : int;          (* valid entries *)
+}
+
+let create sim ~signals ~depth =
+  if depth <= 0 then invalid_arg "Trace.create: depth must be positive";
+  let ids =
+    Array.of_list (List.map (fun n -> (n, Simulator.signal_id sim n)) signals)
+  in
+  {
+    sim;
+    ids;
+    depth;
+    buffer = Array.make depth (0, [||]);
+    head = 0;
+    count = 0;
+  }
+
+(** Record the current value of every traced signal. *)
+let sample t =
+  let row = Array.map (fun (_, id) -> Simulator.peek_id t.sim id) t.ids in
+  t.buffer.(t.head) <- (Simulator.cycles t.sim, row);
+  t.head <- (t.head + 1) mod t.depth;
+  t.count <- min (t.count + 1) t.depth
+
+let signals t = Array.to_list (Array.map fst t.ids)
+
+(** Captured window, oldest first: (cycle, name -> value rows). *)
+let window t =
+  let n = t.count in
+  List.init n (fun i ->
+      let idx = (t.head - n + i + t.depth * 2) mod t.depth in
+      t.buffer.(idx))
+
+(** Column for one signal, oldest first. *)
+let history t name =
+  let col = ref (-1) in
+  Array.iteri (fun i (n, _) -> if n = name then col := i) t.ids;
+  if !col < 0 then invalid_arg (Printf.sprintf "Trace.history: %S not traced" name);
+  List.map (fun (cyc, row) -> (cyc, row.(!col))) (window t)
+
+(** Render the window as a compact ASCII waveform (one line per signal, one
+    character per cycle; multi-bit values shown as hex transitions). *)
+let render t =
+  let win = window t in
+  let buf = Buffer.create 256 in
+  Array.iteri
+    (fun col (name, _) ->
+      Buffer.add_string buf (Printf.sprintf "%-24s " name);
+      List.iter
+        (fun (_, row) ->
+          let v = row.(col) in
+          if Bits.width v = 1 then
+            Buffer.add_char buf (if Bits.get v 0 then '#' else '_')
+          else begin
+            Buffer.add_string buf (Bits.to_hex_string v);
+            Buffer.add_char buf ' '
+          end)
+        win;
+      Buffer.add_char buf '\n')
+    t.ids;
+  Buffer.contents buf

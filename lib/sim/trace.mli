@@ -1,0 +1,27 @@
+(** Circular sample buffer over the RTL simulator — the behavioural model
+    of an ILA capture window, and a handy debugging aid in its own right.
+
+    [sample] once per cycle; the buffer keeps the last [depth] samples of
+    the chosen signals.  {!render} pretty-prints the window as aligned
+    columns. *)
+
+open Zoomie_rtl
+
+type t
+
+val create : Simulator.t -> signals:string list -> depth:int -> t
+
+(** Record the signals' current values (overwriting the oldest sample
+    once the buffer is full). *)
+val sample : t -> unit
+
+val signals : t -> string list
+
+(** The buffered window, oldest first: [(cycle, values)] with values in
+    [signals] order. *)
+val window : t -> (int * Bits.t array) list
+
+(** One signal's buffered history, oldest first. *)
+val history : t -> string -> (int * Bits.t) list
+
+val render : t -> string

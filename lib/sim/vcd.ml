@@ -1,0 +1,96 @@
+(** VCD (Value Change Dump) waveform export for the RTL simulator.
+
+    Attach a dumper to a simulator, [sample] once per clock cycle, and
+    [write] a standard VCD file any waveform viewer opens.  This is the
+    offline complement to Zoomie's live readback: snapshots replayed on the
+    simulator can be dumped for post-mortem inspection. *)
+
+open Zoomie_rtl
+
+type tracked = {
+  tk_name : string;
+  tk_id : int;
+  tk_code : string;         (* VCD identifier code *)
+  tk_width : int;
+  mutable tk_last : Bits.t option;
+}
+
+type t = {
+  sim : Simulator.t;
+  signals : tracked list;
+  mutable changes : (int * (tracked * Bits.t) list) list;  (* reversed *)
+  mutable time : int;
+  timescale : string;
+}
+
+(* VCD identifier codes: printable ASCII 33..126, little-endian digits. *)
+let code_of_index i =
+  let base = 94 and first = 33 in
+  let rec go i acc =
+    let digit = Char.chr (first + (i mod base)) in
+    let acc = acc ^ String.make 1 digit in
+    if i < base then acc else go ((i / base) - 1) acc
+  in
+  go i ""
+
+let create ?(timescale = "1ns") sim ~signals =
+  let tracked =
+    List.mapi
+      (fun i name ->
+        {
+          tk_name = name;
+          tk_id = Simulator.signal_id sim name;
+          tk_code = code_of_index i;
+          tk_width = Bits.width (Simulator.peek sim name);
+          tk_last = None;
+        })
+      signals
+  in
+  { sim; signals = tracked; changes = []; time = 0; timescale }
+
+(** Record the current values; emits changes only for signals that moved. *)
+let sample t =
+  let delta =
+    List.filter_map
+      (fun tk ->
+        let v = Simulator.peek_id t.sim tk.tk_id in
+        match tk.tk_last with
+        | Some prev when Bits.equal prev v -> None
+        | _ ->
+          tk.tk_last <- Some v;
+          Some (tk, v))
+      t.signals
+  in
+  if delta <> [] then t.changes <- (t.time, delta) :: t.changes;
+  t.time <- t.time + 1
+
+(** Serialize to VCD text. *)
+let contents t =
+  let buf = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "$date reproduction run $end\n";
+  pr "$version zoomie VCD dumper $end\n";
+  pr "$timescale %s $end\n" t.timescale;
+  pr "$scope module %s $end\n" (Simulator.circuit t.sim).Circuit.name;
+  List.iter
+    (fun tk ->
+      pr "$var wire %d %s %s $end\n" tk.tk_width tk.tk_code
+        (String.map (fun c -> if c = '.' then '_' else c) tk.tk_name))
+    t.signals;
+  pr "$upscope $end\n$enddefinitions $end\n";
+  List.iter
+    (fun (time, delta) ->
+      pr "#%d\n" time;
+      List.iter
+        (fun (tk, v) ->
+          if tk.tk_width = 1 then
+            pr "%d%s\n" (if Bits.get v 0 then 1 else 0) tk.tk_code
+          else pr "b%s %s\n" (Bits.to_binary_string v) tk.tk_code)
+        delta)
+    (List.rev t.changes);
+  Buffer.contents buf
+
+let write t path =
+  let oc = open_out path in
+  output_string oc (contents t);
+  close_out oc

@@ -1,0 +1,21 @@
+(** VCD (Value Change Dump) export from the RTL simulator.
+
+    Attach to a simulator, {!sample} once per clock cycle, {!write} a
+    standard VCD any waveform viewer opens.  The offline complement to
+    Zoomie's live capture: snapshots replayed on the simulator can be
+    dumped for post-mortem inspection.  (For host-side capture over
+    JTAG, see {!Zoomie_debug.Wave}.) *)
+
+type t
+
+(** Track the given signals of a simulator.  @raise Not_found for an
+    unknown signal name. *)
+val create : ?timescale:string -> Simulator.t -> signals:string list -> t
+
+(** Record the current values (change-compressed). *)
+val sample : t -> unit
+
+(** Serialize to VCD text. *)
+val contents : t -> string
+
+val write : t -> string -> unit

@@ -1,0 +1,100 @@
+(** Abstract syntax of the SystemVerilog Assertion subset Zoomie synthesizes
+    (Table 4).  Unsupported constructs are represented so the compiler can
+    reject them with a precise reason rather than failing to parse. *)
+
+(** A reference to a design signal, optionally bit- or range-selected. *)
+type operand =
+  | Sig of { name : string; hi : int option; lo : int option }
+  | Const of int
+  | Past of { name : string; depth : int }  (** $past(sig, n) *)
+
+type cmp = Ceq | Cne | Clt | Cle | Cgt | Cge
+
+(** Boolean layer: cycle-local predicates over design signals. *)
+type boolean =
+  | B_true
+  | B_false
+  | B_sig of operand               (** truthy: reduction-OR of the operand *)
+  | B_cmp of cmp * operand * operand
+  | B_not of boolean
+  | B_and of boolean * boolean
+  | B_or of boolean * boolean
+  | B_rose of string               (** $rose(sig) *)
+  | B_fell of string               (** $fell(sig) *)
+  | B_stable of string             (** $stable(sig) *)
+  | B_isunknown of operand         (** $isunknown — unsynthesizable (4-state) *)
+
+(** Sequence layer. *)
+type sequence =
+  | S_bool of boolean
+  | S_delay of sequence * int * int option * sequence
+      (** [S_delay (a, m, Some n, b)] is [a ##[m:n] b]; [None] = unbounded
+          ([##[m:$]]), which is not synthesizable in finite hardware *)
+  | S_repeat of sequence * int * int option
+      (** [s[*m]] / [s[*m:n]]; only consecutive repetition is supported *)
+  | S_and of sequence * sequence
+  | S_or of sequence * sequence
+  | S_first_match of sequence      (** unsupported *)
+  | S_throughout of boolean * sequence
+
+(** Property layer. *)
+type property =
+  | P_seq of sequence
+  | P_implication of { ante : sequence; cons : property; overlapped : bool }
+  | P_not of property
+
+type assertion = {
+  a_name : string;
+  a_kind : [ `Immediate | `Concurrent ];
+  a_clock : string option;          (** @(posedge clk) *)
+  a_disable : boolean option;       (** disable iff (expr) *)
+  a_disable_async : bool;           (** async reset form — unsupported *)
+  a_property : property;
+  a_local_vars : string list;       (** declared local variables — unsupported *)
+  a_source : string;                (** original text, for reports *)
+}
+
+(* Traversals used by the compiler. *)
+
+let rec boolean_operands = function
+  | B_true | B_false -> []
+  | B_sig op | B_isunknown op -> [ op ]
+  | B_cmp (_, a, b) -> [ a; b ]
+  | B_not b -> boolean_operands b
+  | B_and (a, b) | B_or (a, b) -> boolean_operands a @ boolean_operands b
+  | B_rose s | B_fell s | B_stable s ->
+    [ Sig { name = s; hi = None; lo = None } ]
+
+let rec sequence_booleans = function
+  | S_bool b -> [ b ]
+  | S_delay (a, _, _, b) -> sequence_booleans a @ sequence_booleans b
+  | S_repeat (s, _, _) -> sequence_booleans s
+  | S_and (a, b) | S_or (a, b) -> sequence_booleans a @ sequence_booleans b
+  | S_first_match s -> sequence_booleans s
+  | S_throughout (b, s) -> b :: sequence_booleans s
+
+let rec property_booleans = function
+  | P_seq s -> sequence_booleans s
+  | P_implication { ante; cons; _ } -> sequence_booleans ante @ property_booleans cons
+  | P_not p -> property_booleans p
+
+(** Signal names (with their widest referenced slice bound) appearing in the
+    assertion, used to build the monitor's input ports. *)
+let referenced_signals (a : assertion) =
+  let tbl = Hashtbl.create 8 in
+  let note name hi =
+    let cur = try Hashtbl.find tbl name with Not_found -> 0 in
+    Hashtbl.replace tbl name (max cur hi)
+  in
+  let operand = function
+    | Sig { name; hi; _ } -> note name (match hi with Some h -> h | None -> 0)
+    | Const _ -> ()
+    | Past { name; _ } -> note name 0
+  in
+  let booleans =
+    property_booleans a.a_property
+    @ (match a.a_disable with Some b -> [ b ] | None -> [])
+  in
+  List.iter (fun b -> List.iter operand (boolean_operands b)) booleans;
+  Hashtbl.fold (fun name hi acc -> (name, hi) :: acc) tbl []
+  |> List.sort compare

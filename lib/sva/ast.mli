@@ -1,0 +1,72 @@
+(** SVA abstract syntax: the subset of IEEE 1800 concurrent assertions
+    Zoomie synthesizes (Table 4).
+
+    Constructors outside the synthesizable subset ([S_first_match],
+    [B_isunknown], asynchronous disables, local variables) are kept in
+    the AST so the compiler can reject them {e by name} with the paper's
+    reasons, rather than failing to parse. *)
+
+(** A value term: a (sliced) design signal, an integer literal, or
+    [$past(sig, depth)]. *)
+type operand =
+  | Sig of { name : string; hi : int option; lo : int option }
+  | Const of int
+  | Past of { name : string; depth : int }
+
+type cmp = Ceq | Cne | Clt | Cle | Cgt | Cge
+
+(** Boolean layer: cycle-local predicates over operands. *)
+type boolean =
+  | B_true
+  | B_false
+  | B_sig of operand  (** nonzero test *)
+  | B_cmp of cmp * operand * operand
+  | B_not of boolean
+  | B_and of boolean * boolean
+  | B_or of boolean * boolean
+  | B_rose of string  (** [$rose] *)
+  | B_fell of string  (** [$fell] *)
+  | B_stable of string  (** [$stable] *)
+  | B_isunknown of operand  (** parsed, rejected at synthesis (4-state only) *)
+
+(** Sequence layer: temporal composition. *)
+type sequence =
+  | S_bool of boolean
+  | S_delay of sequence * int * int option * sequence
+      (** [s1 ##m s2] / [s1 ##\[m:n\] s2]; [None] high bound = [$] (infinite,
+          rejected at synthesis) *)
+  | S_repeat of sequence * int * int option  (** [s \[*m\]] / [s \[*m:n\]] *)
+  | S_and of sequence * sequence
+  | S_or of sequence * sequence
+  | S_first_match of sequence  (** parsed, rejected at synthesis *)
+  | S_throughout of boolean * sequence
+
+(** Property layer. *)
+type property =
+  | P_seq of sequence
+  | P_implication of { ante : sequence; cons : property; overlapped : bool }
+      (** [ante |-> cons] (overlapped) or [ante |=> cons] *)
+  | P_not of property
+
+type assertion = {
+  a_name : string;
+  a_kind : [ `Concurrent | `Immediate ];
+  a_clock : string option;  (** [@(posedge clk)] clocking event *)
+  a_disable : boolean option;  (** [disable iff (...)] *)
+  a_disable_async : bool;  (** asynchronous disable: rejected at synthesis *)
+  a_property : property;
+  a_local_vars : string list;  (** local variables: rejected at synthesis *)
+  a_source : string;  (** original text, for diagnostics *)
+}
+
+(** {1 Traversals} *)
+
+val boolean_operands : boolean -> operand list
+
+val sequence_booleans : sequence -> boolean list
+
+val property_booleans : property -> boolean list
+
+(** Design signals an assertion reads, with the [$past] depth needed for
+    each (0 for direct references). *)
+val referenced_signals : assertion -> (string * int) list

@@ -1,0 +1,86 @@
+(** Assertion-synthesis driver: parse SVA source, build the monitor circuit,
+    and report resource usage or a precise unsupported-feature reason.  The
+    support boundary implemented here is Table 4 of the paper. *)
+
+type success = {
+  monitor : Emit.monitor;
+  ast : Ast.assertion;
+  (* Post-synthesis resource usage of the monitor alone (Figure 8 data). *)
+  ffs : int;
+  luts : int;
+}
+
+type failure = { source : string; reason : string }
+
+type result = (success, failure) Stdlib.result
+
+(** Compile one assertion.  [widths] supplies design signal widths (default:
+    1-bit). *)
+let compile ?widths ?name (source : string) : result =
+  match
+    (try Ok (Parser.parse_assertion ?name source) with
+    | Parser.Parse_error m -> Error ("parse error: " ^ m)
+    | Lexer.Lex_error m -> Error ("lex error: " ^ m))
+  with
+  | Error reason -> Error { source; reason }
+  | Ok ast -> (
+    match Emit.build ?widths ast with
+    | monitor ->
+      let _, stats = Zoomie_synth.Synthesize.run monitor.Emit.m_circuit in
+      Ok
+        {
+          monitor;
+          ast;
+          ffs = stats.Zoomie_synth.Synthesize.ff_count;
+          luts = stats.Zoomie_synth.Synthesize.lut_count;
+        }
+    | exception Nfa.Unsupported reason -> Error { source; reason })
+
+(** Table 4: feature support matrix, demonstrated by compiling a canonical
+    example of each feature. *)
+type support = Full | Partial of string | No of string
+
+let feature_matrix () =
+  let probe ?(widths = fun _ -> 4) src = compile ~widths src in
+  let status ?widths src partial =
+    match probe ?widths src with
+    | Ok _ -> ( match partial with None -> Full | Some p -> Partial p)
+    | Error f -> No f.reason
+  in
+  [
+    ("Immediate", "assert (a == b);", status "assert (a == b);" None);
+    ( "System Functions",
+      "$past(signal, 2)",
+      status "assert property (@(posedge clk) $past(sig, 2) == sig);" None );
+    ( "Clocking",
+      "@(posedge clk)",
+      status "assert property (@(posedge clk) a |-> b);" (Some "single clock") );
+    ("Implication", "a |-> b", status "assert property (@(posedge clk) a |-> b);" None);
+    ( "Fixed Delay",
+      "a ##2 b",
+      status "assert property (@(posedge clk) a |-> a ##2 b);" None );
+    ( "Delay Range",
+      "a ##[1:2] b",
+      status "assert property (@(posedge clk) a |-> a ##[1:2] b);" (Some "finite") );
+    ( "Repetition",
+      "(a ##1 b)[*2]",
+      status "assert property (@(posedge clk) c |-> (a ##1 b)[*2]);"
+        (Some "only consecutive") );
+    ( "Sequence Operator",
+      "a and b",
+      status "assert property (@(posedge clk) c |-> ((a ##1 b) and (b ##2 a)));"
+        (Some "finite a and b") );
+    ( "Local Variable",
+      "(a, v=x) ##1 (b == v)",
+      No "local variables require per-thread storage; not synthesized" );
+    ( "Asynchronous Reset",
+      "disable iff (areset)",
+      No "asynchronous aborts would need the reset in every monitor FF; only \
+          synchronous disable iff is synthesized" );
+    ("First Match", "first_match(s)", status "assert property (@(posedge clk) a |-> first_match(b ##[1:2] c));" None);
+  ]
+
+let support_to_string = function
+  | Full -> "full"
+  | Partial p -> p
+  | No _ -> "unsupported"

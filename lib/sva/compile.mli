@@ -1,0 +1,28 @@
+(** Assertion-synthesis driver: parse SVA source, build the monitor
+    circuit, and report resource usage or a precise unsupported-feature
+    reason.  The support boundary implemented here is Table 4 of the
+    paper. *)
+
+type success = {
+  monitor : Emit.monitor;
+  ast : Ast.assertion;
+  ffs : int;   (** post-synthesis FFs of the monitor alone (Figure 8) *)
+  luts : int;  (** post-synthesis LUTs of the monitor alone *)
+}
+
+type failure = { source : string; reason : string }
+
+type result = (success, failure) Stdlib.result
+
+(** Compile one assertion.  [widths] supplies design signal widths
+    (default: 1-bit); [name] overrides the label when the source has none. *)
+val compile : ?widths:(string -> int) -> ?name:string -> string -> result
+
+(** Feature-support classification for one Table 4 row. *)
+type support = Full | Partial of string | No of string
+
+(** The Table 4 matrix, demonstrated by compiling a canonical example of
+    each feature: (feature, example, support). *)
+val feature_matrix : unit -> (string * string * support) list
+
+val support_to_string : support -> string

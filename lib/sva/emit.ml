@@ -1,0 +1,300 @@
+(** Monitor synthesis: compile an assertion into a synthesizable RTL module.
+
+    The monitor samples the referenced design signals on its clock and
+    raises a combinational [violation] output in the exact cycle a property
+    fails — which is what lets the Debug Controller pause the design
+    timing-precisely on an assertion breakpoint (§3.4). *)
+
+open Zoomie_rtl
+
+exception Unsupported = Nfa.Unsupported
+
+type monitor = {
+  m_name : string;
+  m_clock : string option;       (** design clock named in @(posedge …) *)
+  m_circuit : Circuit.t;
+  m_inputs : (string * int) list;  (** design signal -> width to connect *)
+  m_ante_states : int;
+  m_dfa_states : int;
+  m_past_regs : int;
+}
+
+(* Monitor-local context while building the circuit. *)
+type ctx = {
+  b : Builder.t;
+  clk : string;
+  widths : string -> int;
+  sig_exprs : (string, Expr.t * int) Hashtbl.t;   (* input ports *)
+  past_regs : (string * int, Expr.t) Hashtbl.t;   (* (signal, depth) -> q *)
+}
+
+let input_expr ctx name =
+  match Hashtbl.find_opt ctx.sig_exprs name with
+  | Some (e, w) -> (e, w)
+  | None ->
+    let w = max 1 (ctx.widths name) in
+    (* Hierarchical dots are legal in our IR signal names. *)
+    let e = Builder.input ctx.b name w in
+    Hashtbl.add ctx.sig_exprs name (e, w);
+    (e, w)
+
+(* Shift-register chain implementing $past(sig, depth). *)
+let rec past_expr ctx name depth =
+  if depth <= 0 then fst (input_expr ctx name)
+  else
+    match Hashtbl.find_opt ctx.past_regs (name, depth) with
+    | Some e -> e
+    | None ->
+      let prev = past_expr ctx name (depth - 1) in
+      let _, w = input_expr ctx name in
+      let clean = String.map (fun c -> if c = '.' then '_' else c) name in
+      let r =
+        Builder.reg_fb ctx.b ~clock:ctx.clk
+          (Printf.sprintf "past_%s_%d" clean depth)
+          w
+          ~next:(fun _ -> prev)
+      in
+      let e = Expr.Signal r in
+      Hashtbl.add ctx.past_regs (name, depth) e;
+      e
+
+let zext e w target =
+  if w = target then e
+  else Expr.Concat (Expr.const_int ~width:(target - w) 0, e)
+
+let rec operand ctx (op : Ast.operand) : Expr.t * int =
+  match op with
+  | Ast.Const v ->
+    (* Width chosen by the comparison site; default 32. *)
+    (Expr.const_int ~width:32 v, 32)
+  | Ast.Sig { name; hi; lo } -> (
+    let e, w = input_expr ctx name in
+    match (hi, lo) with
+    | Some h, Some l ->
+      if h >= w then (Expr.const_int ~width:(h - l + 1) 0, h - l + 1)
+      else (Expr.Slice (e, h, l), h - l + 1)
+    | _ -> (e, w))
+  | Ast.Past { name; depth } ->
+    let _, w = input_expr ctx name in
+    (past_expr ctx name depth, w)
+
+and boolean ctx (b : Ast.boolean) : Expr.t =
+  match b with
+  | Ast.B_true -> Expr.vdd
+  | Ast.B_false -> Expr.gnd
+  | Ast.B_sig op ->
+    let e, _ = operand ctx op in
+    Expr.Reduce_or e
+  | Ast.B_cmp (c, x, y) ->
+    let ex, wx = operand ctx x in
+    let ey, wy = operand ctx y in
+    let w = max wx wy in
+    let ex = zext ex wx w and ey = zext ey wy w in
+    (match c with
+    | Ast.Ceq -> Expr.Eq (ex, ey)
+    | Ast.Cne -> Expr.Not (Expr.Eq (ex, ey))
+    | Ast.Clt -> Expr.Lt (ex, ey)
+    | Ast.Cge -> Expr.Not (Expr.Lt (ex, ey))
+    | Ast.Cgt -> Expr.Lt (ey, ex)
+    | Ast.Cle -> Expr.Not (Expr.Lt (ey, ex)))
+  | Ast.B_not x -> Expr.Not (boolean ctx x)
+  | Ast.B_and (x, y) -> Expr.And (boolean ctx x, boolean ctx y)
+  | Ast.B_or (x, y) -> Expr.Or (boolean ctx x, boolean ctx y)
+  | Ast.B_rose s ->
+    let e, _ = input_expr ctx s in
+    let p = past_expr ctx s 1 in
+    Expr.(bit e 0 &: ~:(bit p 0))
+  | Ast.B_fell s ->
+    let e, _ = input_expr ctx s in
+    let p = past_expr ctx s 1 in
+    Expr.(~:(bit e 0) &: bit p 0)
+  | Ast.B_stable s ->
+    let e, _ = input_expr ctx s in
+    let p = past_expr ctx s 1 in
+    Expr.Eq (e, p)
+  | Ast.B_isunknown _ ->
+    raise
+      (Unsupported
+         "$isunknown checks for X values, which only exist in 4-state \
+          simulation — unsynthesizable for FPGA")
+
+(* Big OR over a list (gnd when empty). *)
+let or_list = function
+  | [] -> Expr.gnd
+  | hd :: tl -> List.fold_left (fun a b -> Expr.Or (a, b)) hd tl
+
+(* Sum-of-minterms over atom wires for a set of valuations. *)
+let minterms atoms_exprs valuations =
+  let k = List.length atoms_exprs in
+  let term v =
+    List.fold_left
+      (fun (acc, i) a ->
+        let lit = if (v lsr i) land 1 = 1 then a else Expr.Not a in
+        ((match acc with None -> Some lit | Some e -> Some (Expr.And (e, lit))), i + 1))
+      (None, 0) atoms_exprs
+    |> fst
+    |> Option.value ~default:Expr.vdd
+  in
+  ignore k;
+  or_list (List.map term valuations)
+
+(** Build the monitor circuit for a parsed assertion.
+    Raises {!Unsupported} (with a reason) for Table 4's unsupported rows. *)
+let build ?(widths = fun _ -> 1) (a : Ast.assertion) : monitor =
+  if a.Ast.a_local_vars <> [] then raise (Unsupported "local variables");
+  if a.Ast.a_disable_async then raise (Unsupported "asynchronous reset/abort");
+  let name = if a.Ast.a_name = "" then "anon" else a.Ast.a_name in
+  let b = Builder.create ("sva_" ^ name) in
+  let clk = Builder.clock b "clk" in
+  let ctx =
+    { b; clk; widths; sig_exprs = Hashtbl.create 8; past_regs = Hashtbl.create 8 }
+  in
+  let disable_expr =
+    match a.Ast.a_disable with
+    | Some d -> boolean ctx d
+    | None -> Expr.gnd
+  in
+  let dis = Builder.wire_of b "disabled" 1 disable_expr in
+  let gate e = Expr.Mux (dis, Expr.gnd, e) in
+  let violation_terms = ref [] in
+  let ante_states = ref 0 and dfa_states = ref 0 in
+  (* Compile the property. *)
+  let compile_sequence_monitor prefix (s : Ast.sequence) =
+    (* NFA whose match signal we expose (used for P_not). *)
+    let nfa = Nfa.prune (Nfa.of_sequence s) in
+    let atom_list, atom_idx = Nfa.atoms nfa in
+    let atom_exprs = List.map (fun c -> boolean ctx c) atom_list in
+    let atom_arr = Array.of_list atom_exprs in
+    let state_regs =
+      Array.init nfa.Nfa.num_states (fun i ->
+          Builder.reg ctx.b ~clock:clk (Printf.sprintf "%s_s%d" prefix i) 1)
+    in
+    ante_states := !ante_states + nfa.Nfa.num_states;
+    (* The start state is re-armed every cycle: the property is checked at
+       every clock tick. *)
+    let active i =
+      if i = nfa.Nfa.start then Expr.vdd else Expr.Signal state_regs.(i)
+    in
+    (* Next-state and match logic. *)
+    let incoming = Array.make nfa.Nfa.num_states [] in
+    let match_terms = ref [] in
+    List.iter
+      (fun (e : Nfa.edge) ->
+        let fire = Expr.And (active e.Nfa.src, atom_arr.(atom_idx e.Nfa.cond)) in
+        match e.Nfa.dst with
+        | None -> match_terms := fire :: !match_terms
+        | Some d -> incoming.(d) <- fire :: incoming.(d))
+      nfa.Nfa.edges;
+    Array.iteri
+      (fun i r -> Builder.reg_next ctx.b r (gate (or_list incoming.(i))))
+      state_regs;
+    or_list !match_terms
+  in
+  let rec compile_property (p : Ast.property) =
+    match p with
+    | Ast.P_seq s ->
+      (* Must match starting at every cycle: 1 |-> s. *)
+      compile_property
+        (Ast.P_implication
+           { ante = Ast.S_bool Ast.B_true; cons = Ast.P_seq s; overlapped = true })
+    | Ast.P_not (Ast.P_seq s) ->
+      (* Violated whenever s matches. *)
+      let m = compile_sequence_monitor "not" s in
+      violation_terms := m :: !violation_terms
+    | Ast.P_not _ -> raise (Unsupported "'not' of a non-sequence property")
+    | Ast.P_implication { ante; cons; overlapped } ->
+      let cons_seq =
+        match cons with
+        | Ast.P_seq s -> s
+        | _ -> raise (Unsupported "nested implication in consequent")
+      in
+      (* Special case: `ante |-> bool` with single-cycle antecedent booleans
+         reduces nicely, but the generic path handles it too. *)
+      let ante_match =
+        match ante with
+        | Ast.S_bool cond -> boolean ctx cond
+        | _ -> compile_sequence_monitor "ante" ante
+      in
+      let ante_match =
+        Builder.wire_of b "ante_match" 1 (Expr.And (ante_match, Expr.Not dis))
+      in
+      let cons_nfa = Nfa.prune (Nfa.of_sequence cons_seq) in
+      let dfa = Nfa.failure_dfa cons_nfa in
+      let atom_exprs = List.map (fun c -> boolean ctx c) dfa.Nfa.d_atoms in
+      let n_dfa = Array.length dfa.Nfa.d_states in
+      dfa_states := !dfa_states + n_dfa;
+      let dfa_regs =
+        Array.init n_dfa (fun i ->
+            Builder.reg ctx.b ~clock:clk (Printf.sprintf "obl_s%d" i) 1)
+      in
+      let nv = Array.length dfa.Nfa.d_next.(0) in
+      let all_vals = List.init nv (fun v -> v) in
+      (* For a source activity expression, accumulate next-state/violation
+         terms per action. *)
+      let next_terms = Array.make n_dfa [] in
+      let viol_terms = ref [] in
+      let step_from source_expr row =
+        let by_action = Hashtbl.create 8 in
+        List.iter
+          (fun v ->
+            let key =
+              match row.(v) with
+              | Nfa.Satisfied -> `Sat
+              | Nfa.Failed -> `Fail
+              | Nfa.Goto j -> `Goto j
+            in
+            Hashtbl.replace by_action key
+              (v :: (try Hashtbl.find by_action key with Not_found -> [])))
+          all_vals;
+        Hashtbl.iter
+          (fun key vals ->
+            match key with
+            | `Sat -> ()
+            | `Fail ->
+              viol_terms :=
+                Expr.And (source_expr, minterms atom_exprs vals) :: !viol_terms
+            | `Goto j ->
+              next_terms.(j) <-
+                Expr.And (source_expr, minterms atom_exprs vals)
+                :: next_terms.(j))
+          by_action
+      in
+      (* Obligations launched by antecedent matches. *)
+      if overlapped then
+        (* First consequent step happens in the same cycle as the match. *)
+        step_from ante_match dfa.Nfa.d_next.(dfa.Nfa.d_start)
+      else
+        next_terms.(dfa.Nfa.d_start) <- ante_match :: next_terms.(dfa.Nfa.d_start);
+      (* Active obligations step every cycle. *)
+      Array.iteri
+        (fun j reg -> step_from (Expr.Signal reg) dfa.Nfa.d_next.(j))
+        dfa_regs;
+      Array.iteri
+        (fun j reg -> Builder.reg_next ctx.b reg (gate (or_list next_terms.(j))))
+        dfa_regs;
+      violation_terms := or_list !viol_terms :: !violation_terms
+  in
+  (match a.Ast.a_kind with
+  | `Immediate -> (
+    match a.Ast.a_property with
+    | Ast.P_seq (Ast.S_bool cond) ->
+      violation_terms := Expr.Not (boolean ctx cond) :: !violation_terms
+    | _ -> raise (Unsupported "immediate assertion must be boolean"))
+  | `Concurrent -> compile_property a.Ast.a_property);
+  let violation =
+    Expr.And (Expr.Not dis, or_list !violation_terms)
+  in
+  ignore (Builder.output b "violation" 1 violation);
+  let inputs =
+    Hashtbl.fold (fun name (_, w) acc -> (name, w) :: acc) ctx.sig_exprs []
+    |> List.sort compare
+  in
+  {
+    m_name = name;
+    m_clock = a.Ast.a_clock;
+    m_circuit = Builder.finish b;
+    m_inputs = inputs;
+    m_ante_states = !ante_states;
+    m_dfa_states = !dfa_states;
+    m_past_regs = Hashtbl.length ctx.past_regs;
+  }

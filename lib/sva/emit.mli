@@ -1,0 +1,30 @@
+(** Assertion-to-RTL emission (§3.4): compile a parsed SVA into a
+    synthesizable monitor circuit.
+
+    The antecedent sequence becomes an NFA tracked one token per clock;
+    the consequent becomes a failure DFA armed by antecedent matches.
+    The monitor exposes a single [fail] output that the Debug Controller
+    treats as a breakpoint source.  [$past] references become shift
+    registers; comparators share the trigger unit's balanced-tree
+    idioms, so monitors stay small (Figure 8). *)
+
+open Zoomie_rtl
+
+(** A construct outside Table 4's supported subset, with the reason. *)
+exception Unsupported of string
+
+(** A compiled monitor: the circuit plus the statistics Figure 8 reports. *)
+type monitor = {
+  m_name : string;
+  m_clock : string option;  (** the assertion's clocking event, if any *)
+  m_circuit : Circuit.t;
+  m_inputs : (string * int) list;  (** design signals the monitor taps *)
+  m_ante_states : int;  (** antecedent NFA states *)
+  m_dfa_states : int;  (** consequent failure-DFA states *)
+  m_past_regs : int;  (** registers spent on [$past] pipelines *)
+}
+
+(** Build a monitor from a parsed assertion.  [widths] gives the bit
+    width of each referenced design signal (default 1).
+    @raise Unsupported for constructs outside the Table 4 subset. *)
+val build : ?widths:(string -> int) -> Ast.assertion -> monitor

@@ -1,0 +1,116 @@
+(** Tokenizer for the SVA subset.  Identifiers may be hierarchical
+    ([mmu.req_valid]) and escaped names are not needed for our workloads. *)
+
+type token =
+  | Ident of string
+  | Number of int
+  | Dollar of string     (* $past, $rose, ... *)
+  | Lparen | Rparen
+  | Lbracket | Rbracket
+  | Star
+  | Colon
+  | Semi
+  | Comma
+  | Hash_hash            (* ## *)
+  | Overlap_impl         (* |-> *)
+  | Nonoverlap_impl      (* |=> *)
+  | Eq_eq | Bang_eq
+  | Lt | Le | Gt | Ge
+  | Amp_amp | Pipe_pipe | Bang
+  | At
+  | Dollar_end           (* the literal `$` used in unbounded ranges *)
+  | Eof
+
+exception Lex_error of string
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '.' || c = '$'
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let push t = toks := t :: !toks in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '/' && peek 1 = Some '/' then begin
+      while !i < n && src.[!i] <> '\n' do incr i done
+    end
+    else if is_digit c then begin
+      let j = ref !i in
+      while !j < n && (is_digit src.[!j] || src.[!j] = '\'' || src.[!j] = 'h'
+                       || src.[!j] = 'b' || src.[!j] = 'd'
+                       || (src.[!j] >= 'a' && src.[!j] <= 'f')
+                       || (src.[!j] >= 'A' && src.[!j] <= 'F')) do
+        incr j
+      done;
+      let text = String.sub src !i (!j - !i) in
+      i := !j;
+      (* Verilog-style literals: 8'hFF, 1'b0, plain decimal. *)
+      let value =
+        match String.index_opt text '\'' with
+        | None -> int_of_string text
+        | Some q ->
+          let base_char = text.[q + 1] in
+          let digits = String.sub text (q + 2) (String.length text - q - 2) in
+          (match base_char with
+          | 'h' | 'H' -> int_of_string ("0x" ^ digits)
+          | 'b' | 'B' -> int_of_string ("0b" ^ digits)
+          | 'd' | 'D' -> int_of_string digits
+          | _ -> raise (Lex_error ("bad literal " ^ text)))
+      in
+      push (Number value)
+    end
+    else if c = '$' then begin
+      if (match peek 1 with Some c2 -> is_ident_start c2 | None -> false) then begin
+        let j = ref (!i + 1) in
+        while !j < n && is_ident_char src.[!j] do incr j done;
+        push (Dollar (String.sub src (!i + 1) (!j - !i - 1)));
+        i := !j
+      end
+      else begin
+        push Dollar_end;
+        incr i
+      end
+    end
+    else if is_ident_start c then begin
+      let j = ref !i in
+      while !j < n && is_ident_char src.[!j] do incr j done;
+      push (Ident (String.sub src !i (!j - !i)));
+      i := !j
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      let three = if !i + 2 < n then String.sub src !i 3 else "" in
+      if three = "|->" then begin push Overlap_impl; i := !i + 3 end
+      else if three = "|=>" then begin push Nonoverlap_impl; i := !i + 3 end
+      else if two = "##" then begin push Hash_hash; i := !i + 2 end
+      else if two = "==" then begin push Eq_eq; i := !i + 2 end
+      else if two = "!=" then begin push Bang_eq; i := !i + 2 end
+      else if two = "<=" then begin push Le; i := !i + 2 end
+      else if two = ">=" then begin push Ge; i := !i + 2 end
+      else if two = "&&" then begin push Amp_amp; i := !i + 2 end
+      else if two = "||" then begin push Pipe_pipe; i := !i + 2 end
+      else begin
+        (match c with
+        | '(' -> push Lparen
+        | ')' -> push Rparen
+        | '[' -> push Lbracket
+        | ']' -> push Rbracket
+        | '*' -> push Star
+        | ':' -> push Colon
+        | ';' -> push Semi
+        | ',' -> push Comma
+        | '<' -> push Lt
+        | '>' -> push Gt
+        | '!' -> push Bang
+        | '@' -> push At
+        | c -> raise (Lex_error (Printf.sprintf "unexpected character %C" c)));
+        incr i
+      end
+    end
+  done;
+  List.rev (Eof :: !toks)

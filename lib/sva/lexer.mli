@@ -1,0 +1,34 @@
+(** SVA lexer: assertion source text → token stream. *)
+
+type token =
+  | Ident of string
+  | Number of int
+  | Dollar of string  (** [$past], [$rose], ... (name without the [$]) *)
+  | Lparen
+  | Rparen
+  | Lbracket
+  | Rbracket
+  | Star
+  | Colon
+  | Semi
+  | Comma
+  | Hash_hash  (** [##] *)
+  | Overlap_impl  (** [|->] *)
+  | Nonoverlap_impl  (** [|=>] *)
+  | Eq_eq
+  | Bang_eq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Amp_amp
+  | Pipe_pipe
+  | Bang
+  | At
+  | Dollar_end  (** bare [$] (unbounded range) *)
+  | Eof
+
+exception Lex_error of string
+
+(** @raise Lex_error on an unrecognized character. *)
+val tokenize : string -> token list

@@ -1,0 +1,314 @@
+(** Sequence automata.
+
+    Sequences compile to NFAs whose edges each consume one clock cycle;
+    accepting edges ([dst = None]) complete a match in the cycle they fire.
+    Antecedents run the NFA directly (existential match).  Consequents are
+    determinized into a *failure DFA*: per obligation, reaching a subset
+    with a satisfied accepting edge discharges it, while an empty successor
+    subset signals a property violation — the automaton that Zoomie turns
+    into a breakpoint trigger. *)
+
+type cond = Ast.boolean
+
+type edge = { src : int; cond : cond; dst : int option (* None = accept *) }
+
+type t = { num_states : int; start : int; edges : edge list }
+
+exception Unsupported of string
+
+(* Fresh-state allocator threaded through construction. *)
+type builder = { mutable next : int }
+
+let fresh b =
+  let s = b.next in
+  b.next <- s + 1;
+  s
+
+let rec build b (s : Ast.sequence) : int * edge list =
+  match s with
+  | Ast.S_bool cond ->
+    let st = fresh b in
+    (st, [ { src = st; cond; dst = None } ])
+  | Ast.S_delay (a, m, n_opt, c) -> (
+    match n_opt with
+    | None -> raise (Unsupported "unbounded delay range ##[m:$]")
+    | Some n ->
+      if n < m then raise (Unsupported "empty delay range");
+      let a_start, a_edges = build b a in
+      let c_start, c_edges = build b c in
+      (* Wait chain w_1 .. w_{n-1}; entering w_k happens k cycles after the
+         antecedent part completed. *)
+      let waits = Array.init (max 0 (n - 1)) (fun _ -> fresh b) in
+      let wait_edges = ref [] in
+      Array.iteri
+        (fun i w ->
+          (* w_(i+1): forward the token. *)
+          if i + 1 < Array.length waits then
+            wait_edges :=
+              { src = w; cond = Ast.B_true; dst = Some waits.(i + 1) } :: !wait_edges;
+          (* Delay d = i + 2 lands on c's start. *)
+          if i + 2 >= m && i + 2 <= n then
+            wait_edges :=
+              { src = w; cond = Ast.B_true; dst = Some c_start } :: !wait_edges)
+        waits;
+      let c_start_edges = List.filter (fun e -> e.src = c_start) c_edges in
+      (* Redirect a's accepting edges into the chain / c's start; ##0 fuses
+         a's last cycle with c's first cycle. *)
+      let redirected =
+        List.concat_map
+          (fun e ->
+            match e.dst with
+            | Some _ -> [ e ]
+            | None ->
+              let out = ref [] in
+              (* d = 0: fuse conditions of a's accept and c's first step. *)
+              if m = 0 then
+                List.iter
+                  (fun ce ->
+                    out :=
+                      { src = e.src; cond = Ast.B_and (e.cond, ce.cond); dst = ce.dst }
+                      :: !out)
+                  c_start_edges;
+              (* d = 1: straight into c's start. *)
+              if m <= 1 && n >= 1 then out := { e with dst = Some c_start } :: !out;
+              (* d >= 2: into the wait chain. *)
+              if n >= 2 && Array.length waits > 0 then
+                out := { e with dst = Some waits.(0) } :: !out;
+              !out)
+          a_edges
+      in
+      (a_start, redirected @ !wait_edges @ c_edges))
+  | Ast.S_repeat (s, m, n_opt) -> (
+    match n_opt with
+    | None -> raise (Unsupported "unbounded repetition [*m:$]")
+    | Some n ->
+      if m < 1 then raise (Unsupported "zero-count repetition [*0..]");
+      if n < m then raise (Unsupported "empty repetition range");
+      (* s[*k] = s ##1 s ##1 ... (k copies); [*m:n] = union over k. *)
+      let rec rep k =
+        if k = 1 then s else Ast.S_delay (rep (k - 1), 1, Some 1, s)
+      in
+      let alts = List.init (n - m + 1) (fun i -> rep (m + i)) in
+      let combined =
+        match alts with
+        | [] -> assert false
+        | hd :: tl -> List.fold_left (fun acc x -> Ast.S_or (acc, x)) hd tl
+      in
+      build b combined)
+  | Ast.S_or (x, y) ->
+    let xs, xe = build b x in
+    let ys, ye = build b y in
+    let st = fresh b in
+    let dup_start src_start edges =
+      List.filter_map
+        (fun e -> if e.src = src_start then Some { e with src = st } else None)
+        edges
+    in
+    (st, dup_start xs xe @ dup_start ys ye @ xe @ ye)
+  | Ast.S_and (x, y) ->
+    let xs, xe = build b x in
+    let ys, ye = build b y in
+    build_product b (xs, xe) (ys, ye)
+  | Ast.S_first_match _ -> raise (Unsupported "first_match")
+  | Ast.S_throughout (guard, s) ->
+    let st, edges = build b s in
+    ( st,
+      List.map (fun e -> { e with cond = Ast.B_and (guard, e.cond) }) edges )
+
+(* Product for `and`: both sequences start together; the match completes
+   when the later one completes.  Component states extend with Done. *)
+and build_product b (xs, xe) (ys, ye) =
+  let module P = struct
+    type side = St of int | Done
+  end in
+  let open P in
+  let edges_from side_edges st =
+    List.filter (fun e -> e.src = st) side_edges
+  in
+  let pair_ids : (P.side * P.side, int) Hashtbl.t = Hashtbl.create 16 in
+  let out_edges = ref [] in
+  let rec state_of pair =
+    match Hashtbl.find_opt pair_ids pair with
+    | Some id -> id
+    | None ->
+      let id = fresh b in
+      Hashtbl.add pair_ids pair id;
+      expand pair id;
+      id
+  and expand (px, py) id =
+    (* Pseudo-moves of each side: real edges, or a self-loop when Done. *)
+    let moves side edges =
+      match side with
+      | Done -> [ (Ast.B_true, `Stay_done) ]
+      | St s ->
+        List.map
+          (fun e ->
+            ( e.cond,
+              match e.dst with None -> `Accept | Some d -> `Goto d ))
+          (edges_from edges s)
+    in
+    let xmoves = moves px xe and ymoves = moves py ye in
+    List.iter
+      (fun (cx, mx) ->
+        List.iter
+          (fun (cy, my) ->
+            let cond = Ast.B_and (cx, cy) in
+            (* NB: state_of mutates out_edges; it must run before we read
+               the list to prepend the new edge. *)
+            let push dst = out_edges := { src = id; cond; dst } :: !out_edges in
+            match (mx, my) with
+            | `Accept, `Accept | `Accept, `Stay_done | `Stay_done, `Accept ->
+              push None
+            | `Stay_done, `Stay_done ->
+              (* Both already done: no pending obligation; no edge. *)
+              ()
+            | `Accept, `Goto d | `Stay_done, `Goto d ->
+              let dst = state_of (Done, St d) in
+              push (Some dst)
+            | `Goto d, `Accept | `Goto d, `Stay_done ->
+              let dst = state_of (St d, Done) in
+              push (Some dst)
+            | `Goto dx, `Goto dy ->
+              let dst = state_of (St dx, St dy) in
+              push (Some dst))
+          ymoves)
+      xmoves
+  in
+  let start = state_of (St xs, St ys) in
+  (start, !out_edges)
+
+(** Compile a sequence to an NFA. *)
+let of_sequence (s : Ast.sequence) =
+  let b = { next = 0 } in
+  let start, edges = build b s in
+  { num_states = b.next; start; edges }
+
+(* Keep only states reachable from the start (construction garbage and
+   absorbed alternative starts are dropped, then states are renumbered). *)
+let prune (t : t) =
+  let adj = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      Hashtbl.replace adj e.src (e :: (try Hashtbl.find adj e.src with Not_found -> [])))
+    t.edges;
+  let visited = Hashtbl.create 16 in
+  let rec visit s =
+    if not (Hashtbl.mem visited s) then begin
+      Hashtbl.add visited s ();
+      List.iter
+        (fun e -> match e.dst with Some d -> visit d | None -> ())
+        (try Hashtbl.find adj s with Not_found -> [])
+    end
+  in
+  visit t.start;
+  let remap = Hashtbl.create 16 in
+  let counter = ref 0 in
+  Hashtbl.iter
+    (fun s () ->
+      Hashtbl.replace remap s !counter;
+      incr counter)
+    visited;
+  let map s = Hashtbl.find remap s in
+  {
+    num_states = !counter;
+    start = map t.start;
+    edges =
+      List.filter_map
+        (fun e ->
+          if Hashtbl.mem visited e.src then
+            Some { e with src = map e.src; dst = Option.map map e.dst }
+          else None)
+        t.edges;
+  }
+
+(** Distinct edge conditions — the monitor's "atoms", each becoming one
+    combinational wire in hardware. *)
+let atoms (t : t) =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  List.iter
+    (fun e ->
+      if not (Hashtbl.mem seen e.cond) then begin
+        Hashtbl.add seen e.cond (List.length !out);
+        out := e.cond :: !out
+      end)
+    t.edges;
+  (List.rev !out, fun cond -> Hashtbl.find seen cond)
+
+(* --- failure DFA (for consequents) --- *)
+
+module Int_set = Set.Make (Int)
+
+type dfa_action = Goto of int | Satisfied | Failed
+
+type dfa = {
+  d_states : Int_set.t array;    (** subset represented by each DFA state *)
+  d_start : int;
+  d_atoms : cond list;
+  (* transition.(state).(valuation) *)
+  d_next : dfa_action array array;
+}
+
+(** Determinize the NFA into a failure DFA over atom valuations.  Raises
+    {!Unsupported} when the atom count makes the valuation table
+    unreasonable (> 12 atoms). *)
+let failure_dfa (t : t) =
+  let atom_list, atom_index = atoms t in
+  let k = List.length atom_list in
+  if k > 12 then raise (Unsupported "too many distinct boolean conditions");
+  let nv = 1 lsl k in
+  let edges_by_src = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      Hashtbl.replace edges_by_src e.src
+        (e :: (try Hashtbl.find edges_by_src e.src with Not_found -> [])))
+    t.edges;
+  let cond_true valuation cond = (valuation lsr atom_index cond) land 1 = 1 in
+  let states = ref [ Int_set.singleton t.start ] in
+  let index_of = Hashtbl.create 16 in
+  Hashtbl.add index_of (Int_set.singleton t.start) 0;
+  let table = ref [] in
+  let rec process i =
+    if i < List.length !states then begin
+      let subset = List.nth !states i in
+      let row =
+        Array.init nv (fun v ->
+            let accepted = ref false in
+            let next = ref Int_set.empty in
+            Int_set.iter
+              (fun s ->
+                List.iter
+                  (fun e ->
+                    if cond_true v e.cond then
+                      match e.dst with
+                      | None -> accepted := true
+                      | Some d -> next := Int_set.add d !next)
+                  (try Hashtbl.find edges_by_src s with Not_found -> []))
+              subset;
+            if !accepted then Satisfied
+            else if Int_set.is_empty !next then Failed
+            else begin
+              match Hashtbl.find_opt index_of !next with
+              | Some j -> Goto j
+              | None ->
+                let j = List.length !states in
+                states := !states @ [ !next ];
+                Hashtbl.add index_of !next j;
+                Goto j
+            end)
+      in
+      table := row :: !table;
+      process (i + 1)
+    end
+  in
+  process 0;
+  {
+    d_states = Array.of_list (List.map (fun s -> s) !states);
+    d_start = 0;
+    d_atoms = atom_list;
+    d_next = Array.of_list (List.rev !table);
+  }
+
+(** Longest possible match length in cycles (for bounded reference checks);
+    cycles through states bound it by state count. *)
+let max_match_length (t : t) = t.num_states + 1

@@ -1,0 +1,47 @@
+(** Sequence automata: SVA sequences → NFA → failure DFA.
+
+    A sequence becomes an NFA whose edges are guarded by boolean
+    conditions and consume one clock tick each (zero-delay fusion is
+    handled during construction); [dst = None] marks acceptance.  For
+    monitoring, {!failure_dfa} determinizes over the {e atom valuations}
+    (the truth assignments to the distinct boolean guards) into a DFA
+    whose terminal actions say whether the consequent can still match —
+    [Failed] is what becomes the assertion breakpoint. *)
+
+type cond = Ast.boolean
+
+(** One guarded transition; [dst = None] accepts. *)
+type edge = { src : int; cond : cond; dst : int option }
+
+type t = { num_states : int; start : int; edges : edge list }
+
+exception Unsupported of string
+
+(** NFA of a (finite, Table 4-supported) sequence.
+    @raise Unsupported outside that subset. *)
+val of_sequence : Ast.sequence -> t
+
+(** Drop states unreachable from start. *)
+val prune : t -> t
+
+(** Distinct guard conditions and their index function. *)
+val atoms : t -> cond list * (cond -> int)
+
+module Int_set : Set.S with type elt = int
+
+type dfa_action = Goto of int | Satisfied | Failed
+
+(** Deterministic monitor automaton: [d_next.(state).(valuation)] where
+    [valuation] indexes the 2^atoms truth assignments. *)
+type dfa = {
+  d_states : Int_set.t array;
+  d_start : int;
+  d_atoms : cond list;
+  d_next : dfa_action array array;
+}
+
+val failure_dfa : t -> dfa
+
+(** Longest path to acceptance (finite for the supported subset); bounds
+    monitor pipelines. *)
+val max_match_length : t -> int

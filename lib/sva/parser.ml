@@ -1,0 +1,386 @@
+(** Recursive-descent parser for the SVA subset.
+
+    Grammar (simplified):
+    {v
+    assertion  := [name ':'] 'assert' ('property' '(' concur ')' | '(' bool ')') [';']
+    concur     := ['@' '(' 'posedge' id ')'] ['disable' 'iff' '(' bool ')'] prop
+    prop       := 'not' prop | seq (('|->' | '|=>') prop)?
+    seq        := delay_seq (('and' | 'or') delay_seq)*
+    delay_seq  := rep_atom ('##' delay rep_atom)*
+    rep_atom   := atom ('[' '*' n [':' (n|'$')] ']')?
+    atom       := '(' seq ')' | 'first_match' '(' seq ')' | bool_throughout
+    v}
+    Constructs beyond the synthesizable subset (local variables, unbounded
+    ranges, [first_match], [$isunknown]) parse into AST nodes so {!Compile}
+    can report precise unsupported-feature errors. *)
+
+open Ast
+
+exception Parse_error of string
+
+type state = { mutable toks : Lexer.token list }
+
+let peek st = match st.toks with [] -> Lexer.Eof | t :: _ -> t
+let peek2 st = match st.toks with _ :: t :: _ -> t | _ -> Lexer.Eof
+
+let advance st =
+  match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st t what =
+  if peek st = t then advance st
+  else raise (Parse_error (Printf.sprintf "expected %s" what))
+
+let expect_ident st what =
+  match peek st with
+  | Lexer.Ident s ->
+    advance st;
+    s
+  | _ -> raise (Parse_error (Printf.sprintf "expected %s" what))
+
+let expect_number st what =
+  match peek st with
+  | Lexer.Number n ->
+    advance st;
+    n
+  | _ -> raise (Parse_error (Printf.sprintf "expected %s" what))
+
+(* --- boolean layer --- *)
+
+let parse_operand st =
+  match peek st with
+  | Lexer.Number n ->
+    advance st;
+    Const n
+  | Lexer.Dollar "past" ->
+    advance st;
+    expect st Lexer.Lparen "(";
+    let name = expect_ident st "signal" in
+    let depth =
+      if peek st = Lexer.Comma then begin
+        advance st;
+        expect_number st "depth"
+      end
+      else 1
+    in
+    expect st Lexer.Rparen ")";
+    Past { name; depth }
+  | Lexer.Ident name ->
+    advance st;
+    (* A '[' here is a bit-select only when followed by an index; `[*` is a
+       repetition suffix handled at the sequence layer. *)
+    if peek st = Lexer.Lbracket && peek2 st <> Lexer.Star then begin
+      advance st;
+      let hi = expect_number st "bit index" in
+      let lo =
+        if peek st = Lexer.Colon then begin
+          advance st;
+          expect_number st "low index"
+        end
+        else hi
+      in
+      expect st Lexer.Rbracket "]";
+      Sig { name; hi = Some hi; lo = Some lo }
+    end
+    else Sig { name; hi = None; lo = None }
+  | _ -> raise (Parse_error "expected operand")
+
+let rec parse_bool st = parse_bor st
+
+and parse_bor st =
+  let a = parse_band st in
+  if peek st = Lexer.Pipe_pipe then begin
+    advance st;
+    B_or (a, parse_bor st)
+  end
+  else a
+
+and parse_band st =
+  let a = parse_bunary st in
+  if peek st = Lexer.Amp_amp then begin
+    advance st;
+    B_and (a, parse_band st)
+  end
+  else a
+
+and parse_bunary st =
+  match peek st with
+  | Lexer.Bang ->
+    advance st;
+    B_not (parse_bunary st)
+  | _ -> parse_bprimary st
+
+and parse_bprimary st =
+  match peek st with
+  | Lexer.Lparen ->
+    advance st;
+    let b = parse_bool st in
+    expect st Lexer.Rparen ")";
+    parse_cmp_suffix st (bool_as_operand_exn b)
+  | Lexer.Dollar "rose" ->
+    advance st;
+    expect st Lexer.Lparen "(";
+    let s = expect_ident st "signal" in
+    expect st Lexer.Rparen ")";
+    B_rose s
+  | Lexer.Dollar "fell" ->
+    advance st;
+    expect st Lexer.Lparen "(";
+    let s = expect_ident st "signal" in
+    expect st Lexer.Rparen ")";
+    B_fell s
+  | Lexer.Dollar "stable" ->
+    advance st;
+    expect st Lexer.Lparen "(";
+    let s = expect_ident st "signal" in
+    expect st Lexer.Rparen ")";
+    B_stable s
+  | Lexer.Dollar "isunknown" ->
+    advance st;
+    expect st Lexer.Lparen "(";
+    let op = parse_operand st in
+    expect st Lexer.Rparen ")";
+    B_isunknown op
+  | _ ->
+    let a = parse_operand st in
+    parse_cmp_suffix st (`Op a)
+
+(* After a parenthesized boolean we may still see a comparison; to keep the
+   grammar simple we only allow comparisons directly on operands. *)
+and bool_as_operand_exn b = `Bool b
+
+and parse_cmp_suffix st lhs =
+  let cmp_tok =
+    match peek st with
+    | Lexer.Eq_eq -> Some Ceq
+    | Lexer.Bang_eq -> Some Cne
+    | Lexer.Lt -> Some Clt
+    | Lexer.Le -> Some Cle
+    | Lexer.Gt -> Some Cgt
+    | Lexer.Ge -> Some Cge
+    | _ -> None
+  in
+  match (cmp_tok, lhs) with
+  | None, `Op a -> B_sig a
+  | None, `Bool b -> b
+  | Some c, `Op a ->
+    advance st;
+    let b = parse_operand st in
+    B_cmp (c, a, b)
+  | Some _, `Bool _ ->
+    raise (Parse_error "comparison on boolean expression is not supported")
+
+(* --- sequence layer --- *)
+
+(* Does the parenthesized group starting at the current '(' contain
+   sequence-level syntax (##, [* , and/or keywords, implication)? *)
+let paren_is_sequence st =
+  let rec scan toks depth =
+    match toks with
+    | [] -> false
+    | Lexer.Lparen :: rest -> scan rest (depth + 1)
+    | Lexer.Rparen :: rest -> if depth = 1 then false else scan rest (depth - 1)
+    | Lexer.Hash_hash :: _ when depth >= 1 -> true
+    | (Lexer.Overlap_impl | Lexer.Nonoverlap_impl) :: _ when depth >= 1 -> true
+    | Lexer.Star :: _ when depth >= 1 -> true
+    | Lexer.Ident ("and" | "or" | "throughout" | "first_match" | "not") :: _
+      when depth >= 1 ->
+      true
+    | _ :: rest -> scan rest depth
+  in
+  scan st.toks 0
+
+let rec parse_property st =
+  match peek st with
+  | Lexer.Ident "not" ->
+    advance st;
+    P_not (parse_property st)
+  | _ ->
+    let s = parse_seq st in
+    (match peek st with
+    | Lexer.Overlap_impl ->
+      advance st;
+      P_implication { ante = s; cons = parse_property st; overlapped = true }
+    | Lexer.Nonoverlap_impl ->
+      advance st;
+      P_implication { ante = s; cons = parse_property st; overlapped = false }
+    | _ -> P_seq s)
+
+and parse_seq st =
+  let a = parse_delay_seq st in
+  match peek st with
+  | Lexer.Ident "and" ->
+    advance st;
+    S_and (a, parse_seq st)
+  | Lexer.Ident "or" ->
+    advance st;
+    S_or (a, parse_seq st)
+  | _ -> a
+
+and parse_delay_seq st =
+  (* Leading-delay form: `##m s` is sugar for `1'b1 ##m s`. *)
+  let a =
+    ref
+      (if peek st = Lexer.Hash_hash then Ast.S_bool Ast.B_true
+       else parse_rep_atom st)
+  in
+  while peek st = Lexer.Hash_hash do
+    advance st;
+    let m, n = parse_delay st in
+    let b = parse_rep_atom st in
+    a := S_delay (!a, m, n, b)
+  done;
+  !a
+
+and parse_delay st =
+  match peek st with
+  | Lexer.Number m ->
+    advance st;
+    (m, Some m)
+  | Lexer.Lbracket ->
+    advance st;
+    let m = expect_number st "delay low bound" in
+    expect st Lexer.Colon ":";
+    let n =
+      match peek st with
+      | Lexer.Dollar_end ->
+        advance st;
+        None
+      | Lexer.Number n ->
+        advance st;
+        Some n
+      | _ -> raise (Parse_error "expected delay high bound")
+    in
+    expect st Lexer.Rbracket "]";
+    (m, n)
+  | _ -> raise (Parse_error "expected delay")
+
+and parse_rep_atom st =
+  let base = parse_seq_atom st in
+  if peek st = Lexer.Lbracket && peek2 st = Lexer.Star then begin
+    advance st;
+    advance st;
+    let m = expect_number st "repetition count" in
+    let n =
+      if peek st = Lexer.Colon then begin
+        advance st;
+        match peek st with
+        | Lexer.Dollar_end ->
+          advance st;
+          None
+        | Lexer.Number n ->
+          advance st;
+          Some n
+        | _ -> raise (Parse_error "expected repetition bound")
+      end
+      else Some m
+    in
+    expect st Lexer.Rbracket "]";
+    S_repeat (base, m, n)
+  end
+  else base
+
+and parse_seq_atom st =
+  match peek st with
+  | Lexer.Ident "first_match" ->
+    advance st;
+    expect st Lexer.Lparen "(";
+    let s = parse_seq st in
+    expect st Lexer.Rparen ")";
+    S_first_match s
+  | Lexer.Lparen when paren_is_sequence st ->
+    advance st;
+    let s = parse_seq st in
+    expect st Lexer.Rparen ")";
+    s
+  | _ ->
+    let b = parse_bool st in
+    (* `b throughout s` *)
+    if peek st = Lexer.Ident "throughout" then begin
+      advance st;
+      let s = parse_seq_atom st in
+      S_throughout (b, s)
+    end
+    else S_bool b
+
+(* --- assertion layer --- *)
+
+let parse_assertion ?(name = "") source =
+  let st = { toks = Lexer.tokenize source } in
+  let name =
+    match (peek st, peek2 st) with
+    | Lexer.Ident n, Lexer.Colon when n <> "assert" ->
+      advance st;
+      advance st;
+      n
+    | _ -> name
+  in
+  (match peek st with
+  | Lexer.Ident "assert" -> advance st
+  | _ -> raise (Parse_error "expected 'assert'"));
+  let kind =
+    match peek st with
+    | Lexer.Ident "property" ->
+      advance st;
+      `Concurrent
+    | _ -> `Immediate
+  in
+  expect st Lexer.Lparen "(";
+  let result =
+    match kind with
+    | `Immediate ->
+      let b = parse_bool st in
+      {
+        a_name = name;
+        a_kind = `Immediate;
+        a_clock = None;
+        a_disable = None;
+        a_disable_async = false;
+        a_property = P_seq (S_bool b);
+        a_local_vars = [];
+        a_source = source;
+      }
+    | `Concurrent ->
+      let clock =
+        if peek st = Lexer.At then begin
+          advance st;
+          expect st Lexer.Lparen "(";
+          let edge = expect_ident st "posedge" in
+          if edge <> "posedge" then
+            raise (Parse_error "only posedge clocking is supported");
+          let clk = expect_ident st "clock" in
+          expect st Lexer.Rparen ")";
+          Some clk
+        end
+        else None
+      in
+      let disable =
+        if peek st = Lexer.Ident "disable" then begin
+          advance st;
+          (match peek st with
+          | Lexer.Ident "iff" -> advance st
+          | _ -> raise (Parse_error "expected 'iff'"));
+          expect st Lexer.Lparen "(";
+          let b = parse_bool st in
+          expect st Lexer.Rparen ")";
+          Some b
+        end
+        else None
+      in
+      let prop = parse_property st in
+      {
+        a_name = name;
+        a_kind = `Concurrent;
+        a_clock = clock;
+        a_disable = disable;
+        a_disable_async = false;
+        a_property = prop;
+        a_local_vars = [];
+        a_source = source;
+      }
+  in
+  expect st Lexer.Rparen ")";
+  (match peek st with Lexer.Semi -> advance st | _ -> ());
+  (match peek st with
+  | Lexer.Eof -> ()
+  | _ -> raise (Parse_error "trailing tokens after assertion"));
+  result

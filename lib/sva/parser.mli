@@ -1,0 +1,16 @@
+(** SVA parser: recursive descent over {!Lexer} tokens into {!Ast}.
+
+    Accepts the concurrent-assertion grammar of Table 4 (including the
+    constructs synthesis later rejects, so rejection can name them):
+    clocking events, [disable iff], implication, delays [##m] /
+    [##\[m:n\]] (a leading delay sugars to [1 ##m s]), consecutive
+    repetition, sequence [and]/[or], [throughout], [first_match],
+    [$past]/[$rose]/[$fell]/[$stable]/[$isunknown], bit selects and
+    comparisons.  Size-typed number literals ([16'd42]) are accepted and
+    read as their value. *)
+
+exception Parse_error of string
+
+(** Parse [name: assert property (...)] (or a bare property; [name]
+    overrides).  @raise Parse_error with a source-anchored message. *)
+val parse_assertion : ?name:string -> string -> Ast.assertion

@@ -1,0 +1,192 @@
+(** Reference semantics for testing the assertion compiler.
+
+    Two layers:
+    - {!matches}: denotational sequence matching over a finite trace
+      (independent of the NFA construction);
+    - {!Interp}: a software interpreter with exactly the monitor's token
+      semantics (always-armed start, failure-DFA obligations, synchronous
+      disable), used to validate the emitted RTL cycle-by-cycle. *)
+
+open Zoomie_rtl
+
+type trace = { len : int; get : int -> string -> Bits.t }
+
+let get_bits tr t name =
+  if t < 0 then Bits.zero (Bits.width (tr.get 0 name)) else tr.get t name
+
+let operand_value tr t (op : Ast.operand) =
+  match op with
+  | Ast.Const v -> Bits.of_int ~width:32 v
+  | Ast.Sig { name; hi; lo } -> (
+    let v = get_bits tr t name in
+    match (hi, lo) with
+    | Some h, Some l when h < Bits.width v -> Bits.slice v ~hi:h ~lo:l
+    | Some h, Some l -> Bits.zero (h - l + 1)
+    | _ -> v)
+  | Ast.Past { name; depth } -> get_bits tr (t - depth) name
+
+let cmp_bits c a b =
+  let w = max (Bits.width a) (Bits.width b) in
+  let a = Bits.resize a w and b = Bits.resize b w in
+  match c with
+  | Ast.Ceq -> Bits.equal a b
+  | Ast.Cne -> not (Bits.equal a b)
+  | Ast.Clt -> Bits.lt_u a b
+  | Ast.Cge -> not (Bits.lt_u a b)
+  | Ast.Cgt -> Bits.lt_u b a
+  | Ast.Cle -> not (Bits.lt_u b a)
+
+let rec eval_boolean tr t (b : Ast.boolean) =
+  match b with
+  | Ast.B_true -> true
+  | Ast.B_false -> false
+  | Ast.B_sig op -> Bits.reduce_or (operand_value tr t op)
+  | Ast.B_cmp (c, x, y) -> cmp_bits c (operand_value tr t x) (operand_value tr t y)
+  | Ast.B_not x -> not (eval_boolean tr t x)
+  | Ast.B_and (x, y) -> eval_boolean tr t x && eval_boolean tr t y
+  | Ast.B_or (x, y) -> eval_boolean tr t x || eval_boolean tr t y
+  | Ast.B_rose s -> Bits.get (get_bits tr t s) 0 && not (Bits.get (get_bits tr (t - 1) s) 0)
+  | Ast.B_fell s -> (not (Bits.get (get_bits tr t s) 0)) && Bits.get (get_bits tr (t - 1) s) 0
+  | Ast.B_stable s -> Bits.equal (get_bits tr t s) (get_bits tr (t - 1) s)
+  | Ast.B_isunknown _ -> false (* two-state world: never unknown *)
+
+(** Denotational match set: end cycles (inclusive) of matches of [s]
+    starting at [start].  Only matches that end within the trace count. *)
+let rec matches tr (s : Ast.sequence) ~start =
+  if start >= tr.len then []
+  else
+    match s with
+    | Ast.S_bool b -> if eval_boolean tr start b then [ start ] else []
+    | Ast.S_delay (a, m, n_opt, c) ->
+      let n = match n_opt with Some n -> n | None -> tr.len in
+      List.concat_map
+        (fun u ->
+          List.concat_map
+            (fun d ->
+              if d = 0 then
+                (* ##0: c starts the same cycle a ends. *)
+                matches tr c ~start:u
+              else matches tr c ~start:(u + d))
+            (List.init (max 0 (n - m + 1)) (fun i -> m + i)))
+        (matches tr a ~start)
+      |> List.sort_uniq compare
+    | Ast.S_repeat (s1, m, n_opt) ->
+      let n = match n_opt with Some n -> n | None -> tr.len in
+      let rec rep k start =
+        if k = 0 then [ start - 1 ]
+        else
+          List.concat_map (fun u -> rep (k - 1) (u + 1)) (matches tr s1 ~start)
+      in
+      List.concat_map (fun k -> rep k start) (List.init (max 0 (n - m + 1)) (fun i -> m + i))
+      |> List.filter (fun u -> u >= start)
+      |> List.sort_uniq compare
+    | Ast.S_and (a, b) ->
+      let ma = matches tr a ~start and mb = matches tr b ~start in
+      List.concat_map (fun u -> List.map (fun v -> max u v) mb) ma
+      |> List.sort_uniq compare
+    | Ast.S_or (a, b) ->
+      List.sort_uniq compare (matches tr a ~start @ matches tr b ~start)
+    | Ast.S_first_match s1 -> (
+      match matches tr s1 ~start with [] -> [] | u :: _ -> [ u ])
+    | Ast.S_throughout (g, s1) ->
+      matches tr s1 ~start
+      |> List.filter (fun u ->
+             let ok = ref true in
+             for t = start to u do
+               if not (eval_boolean tr t g) then ok := false
+             done;
+             !ok)
+
+(** Software interpreter with exactly the monitor's semantics: returns the
+    violation flag per cycle. *)
+module Interp = struct
+  module Int_set = Set.Make (Int)
+
+  let run (a : Ast.assertion) tr =
+    let viol = Array.make tr.len false in
+    (match a.Ast.a_kind with
+    | `Immediate ->
+      (match a.Ast.a_property with
+      | Ast.P_seq (Ast.S_bool cond) ->
+        for t = 0 to tr.len - 1 do
+          viol.(t) <- not (eval_boolean tr t cond)
+        done
+      | _ -> invalid_arg "Interp: immediate assertion must be boolean")
+    | `Concurrent -> (
+      let disabled t =
+        match a.Ast.a_disable with
+        | Some d -> eval_boolean tr t d
+        | None -> false
+      in
+      let run_implication ante cons_seq overlapped =
+        let ante_nfa = Nfa.prune (Nfa.of_sequence ante) in
+        let dfa = Nfa.failure_dfa (Nfa.prune (Nfa.of_sequence cons_seq)) in
+        let atom_arr = Array.of_list dfa.Nfa.d_atoms in
+        let valuation t =
+          let v = ref 0 in
+          Array.iteri
+            (fun i c -> if eval_boolean tr t c then v := !v lor (1 lsl i))
+            atom_arr;
+          !v
+        in
+        (* NFA activity (start always armed), DFA obligation set. *)
+        let nfa_active = ref Int_set.empty in
+        let dfa_active = ref Int_set.empty in
+        for t = 0 to tr.len - 1 do
+          let dis = disabled t in
+          let act = Int_set.add ante_nfa.Nfa.start !nfa_active in
+          let matched = ref false in
+          let next_nfa = ref Int_set.empty in
+          List.iter
+            (fun (e : Nfa.edge) ->
+              if Int_set.mem e.Nfa.src act && eval_boolean tr t e.Nfa.cond then
+                match e.Nfa.dst with
+                | None -> matched := true
+                | Some d -> next_nfa := Int_set.add d !next_nfa)
+            ante_nfa.Nfa.edges;
+          let ante_match = !matched && not dis in
+          let v = valuation t in
+          let next_dfa = ref Int_set.empty in
+          let fail = ref false in
+          let step j =
+            match dfa.Nfa.d_next.(j).(v) with
+            | Nfa.Satisfied -> ()
+            | Nfa.Failed -> fail := true
+            | Nfa.Goto j' -> next_dfa := Int_set.add j' !next_dfa
+          in
+          Int_set.iter step !dfa_active;
+          if ante_match then
+            if overlapped then step dfa.Nfa.d_start
+            else next_dfa := Int_set.add dfa.Nfa.d_start !next_dfa;
+          viol.(t) <- !fail && not dis;
+          nfa_active := if dis then Int_set.empty else !next_nfa;
+          dfa_active := if dis then Int_set.empty else !next_dfa
+        done
+      in
+      match a.Ast.a_property with
+      | Ast.P_seq s ->
+        run_implication (Ast.S_bool Ast.B_true) s true
+      | Ast.P_implication { ante; cons = Ast.P_seq cons_seq; overlapped } ->
+        run_implication ante cons_seq overlapped
+      | Ast.P_not (Ast.P_seq s) ->
+        (* Violation whenever s matches. *)
+        let nfa = Nfa.prune (Nfa.of_sequence s) in
+        let active = ref Int_set.empty in
+        for t = 0 to tr.len - 1 do
+          let dis = disabled t in
+          let act = Int_set.add nfa.Nfa.start !active in
+          let matched = ref false in
+          let next = ref Int_set.empty in
+          List.iter
+            (fun (e : Nfa.edge) ->
+              if Int_set.mem e.Nfa.src act && eval_boolean tr t e.Nfa.cond then
+                match e.Nfa.dst with
+                | None -> matched := true
+                | Some d -> next := Int_set.add d !next)
+            nfa.Nfa.edges;
+          viol.(t) <- !matched && not dis;
+          active := if dis then Int_set.empty else !next
+        done
+      | _ -> invalid_arg "Interp: unsupported property shape"));
+    viol
+end

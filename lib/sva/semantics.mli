@@ -1,0 +1,31 @@
+(** Reference (denotational) SVA semantics over finite traces.
+
+    The oracle the property tests compare compiled monitors against: a
+    direct, non-clever implementation of sequence matching and property
+    evaluation over a trace of sampled values.  If the synthesized
+    monitor RTL and this module ever disagree, the monitor is wrong. *)
+
+open Zoomie_rtl
+
+(** A finite trace: [get cycle name] is the sampled value. *)
+type trace = { len : int; get : int -> string -> Bits.t }
+
+val get_bits : trace -> int -> string -> Bits.t
+
+val operand_value : trace -> int -> Ast.operand -> Bits.t
+
+val cmp_bits : Ast.cmp -> Bits.t -> Bits.t -> bool
+
+val eval_boolean : trace -> int -> Ast.boolean -> bool
+
+(** End cycles (inclusive) of every match of the sequence beginning at
+    [start]. *)
+val matches : trace -> Ast.sequence -> start:int -> int list
+
+(** NFA-subset interpreter over the same trace type (an independent
+    second implementation, also used as an oracle). *)
+module Interp : sig
+  (** [run a trace].(c) is true iff the assertion {e fails} with its
+      failure reported at cycle [c]. *)
+  val run : Ast.assertion -> trace -> bool array
+end

@@ -1,0 +1,251 @@
+(** Gate-level intermediate representation and RTL bit-blasting.
+
+    Expressions from the flat circuit are lowered to a DAG of 1-bit gates
+    with hash-consing (structural CSE).  {!Lutpack} then covers the DAG with
+    k-input LUTs.  Sources ([Var] nodes) are input-port bits, register
+    outputs and memory read-port outputs. *)
+
+type node =
+  | Const of bool
+  | Var of int            (** external source, dense index *)
+  | Not of int
+  | And of int * int
+  | Or of int * int
+  | Xor of int * int
+  | Mux of int * int * int  (** sel, on_true, on_false *)
+
+type dag = {
+  mutable nodes : node array;
+  mutable len : int;
+  cse : (node, int) Hashtbl.t;
+}
+
+let create_dag () = { nodes = Array.make 1024 (Const false); len = 0; cse = Hashtbl.create 1024 }
+
+let node d i = d.nodes.(i)
+let size d = d.len
+
+let add d n =
+  match Hashtbl.find_opt d.cse n with
+  | Some i -> i
+  | None ->
+    if d.len = Array.length d.nodes then begin
+      let bigger = Array.make (2 * d.len) (Const false) in
+      Array.blit d.nodes 0 bigger 0 d.len;
+      d.nodes <- bigger
+    end;
+    let i = d.len in
+    d.nodes.(i) <- n;
+    d.len <- i + 1;
+    Hashtbl.add d.cse n i;
+    i
+
+(* Constructors with constant folding. *)
+
+let const d b = add d (Const b)
+let var d v = add d (Var v)
+
+let is_const d i = match node d i with Const b -> Some b | _ -> None
+
+let gnot d a =
+  match is_const d a with
+  | Some b -> const d (not b)
+  | None -> (match node d a with Not x -> x | _ -> add d (Not a))
+
+let gand d a b =
+  match (is_const d a, is_const d b) with
+  | Some false, _ | _, Some false -> const d false
+  | Some true, _ -> b
+  | _, Some true -> a
+  | None, None -> if a = b then a else add d (And (min a b, max a b))
+
+let gor d a b =
+  match (is_const d a, is_const d b) with
+  | Some true, _ | _, Some true -> const d true
+  | Some false, _ -> b
+  | _, Some false -> a
+  | None, None -> if a = b then a else add d (Or (min a b, max a b))
+
+let gxor d a b =
+  match (is_const d a, is_const d b) with
+  | Some false, _ -> b
+  | _, Some false -> a
+  | Some true, _ -> gnot d b
+  | _, Some true -> gnot d a
+  | None, None -> if a = b then const d false else add d (Xor (min a b, max a b))
+
+let gmux d s a b =
+  match is_const d s with
+  | Some true -> a
+  | Some false -> b
+  | None -> if a = b then a else add d (Mux (s, a, b))
+
+(* --- word-level helpers over node vectors (lsb first) --- *)
+
+let gand_v d a b = Array.map2 (gand d) a b
+let gor_v d a b = Array.map2 (gor d) a b
+let gxor_v d a b = Array.map2 (gxor d) a b
+let gnot_v d a = Array.map (gnot d) a
+
+(* Ripple-carry adder; returns sum (same width, carry-out dropped). *)
+let gadd_ripple ?(carry_in = None) d a b =
+  let w = Array.length a in
+  let sum = Array.make w 0 in
+  let carry = ref (match carry_in with Some c -> c | None -> const d false) in
+  for i = 0 to w - 1 do
+    let axb = gxor d a.(i) b.(i) in
+    sum.(i) <- gxor d axb !carry;
+    (* carry' = (a & b) | (c & (a ^ b)) *)
+    carry := gor d (gand d a.(i) b.(i)) (gand d !carry axb)
+  done;
+  sum
+
+(* Kogge-Stone parallel-prefix adder: logarithmic carry depth, the delay
+   profile of the FPGA's dedicated carry chains.  Used for wide adders
+   where ripple depth would misrepresent achievable timing. *)
+let gadd_kogge_stone ?(carry_in = None) d a b =
+  let w = Array.length a in
+  let p = Array.init w (fun i -> gxor d a.(i) b.(i)) in
+  let g = Array.init w (fun i -> gand d a.(i) b.(i)) in
+  (* Fold the carry-in into bit 0's generate. *)
+  (match carry_in with
+  | None -> ()
+  | Some c -> g.(0) <- gor d g.(0) (gand d p.(0) c));
+  let gp = Array.init w (fun i -> (g.(i), if i = 0 then const d true else p.(i))) in
+  let cur = ref gp in
+  let dist = ref 1 in
+  while !dist < w do
+    let prev = !cur in
+    cur :=
+      Array.init w (fun i ->
+          if i < !dist then prev.(i)
+          else begin
+            let gi, pi = prev.(i) and gj, pj = prev.(i - !dist) in
+            (gor d gi (gand d pi gj), gand d pi pj)
+          end);
+    dist := !dist * 2
+  done;
+  (* Carry into bit i is the group generate of bits [0, i-1]. *)
+  let carry i =
+    if i = 0 then (match carry_in with Some c -> c | None -> const d false)
+    else fst !cur.(i - 1)
+  in
+  Array.init w (fun i -> gxor d p.(i) (carry i))
+
+let gadd_v ?(carry_in = None) d a b =
+  if Array.length a > 8 then gadd_kogge_stone ~carry_in d a b
+  else gadd_ripple ~carry_in d a b
+
+let gsub_v d a b = gadd_v ~carry_in:(Some (const d true)) d a (gnot_v d b)
+
+(* Shift-and-add multiplier, truncated to operand width. *)
+let gmul_v d a b =
+  let w = Array.length a in
+  let zero = Array.make w (const d false) in
+  let acc = ref zero in
+  for i = 0 to w - 1 do
+    (* partial = (a << i) masked by b.(i) *)
+    let shifted =
+      Array.init w (fun j -> if j < i then const d false else a.(j - i))
+    in
+    let masked = Array.map (fun x -> gand d x b.(i)) shifted in
+    acc := gadd_v d !acc masked
+  done;
+  !acc
+
+(* Balanced reduction: logarithmic depth instead of a linear chain. *)
+let rec reduce_balanced d f (nodes : int list) =
+  match nodes with
+  | [] -> invalid_arg "Gate.reduce_balanced: empty"
+  | [ x ] -> x
+  | l ->
+    let rec halve acc n = function
+      | rest when n = 0 -> (List.rev acc, rest)
+      | x :: rest -> halve (x :: acc) (n - 1) rest
+      | [] -> (List.rev acc, [])
+    in
+    let a, b = halve [] (List.length l / 2) l in
+    f (reduce_balanced d f a) (reduce_balanced d f b)
+
+let geq_v d a b =
+  let bits = Array.map2 (fun x y -> gnot d (gxor d x y)) a b in
+  reduce_balanced d (gand d) (const d true :: Array.to_list bits)
+
+(* Unsigned a < b via borrow of a - b. *)
+let glt_v d a b =
+  let w = Array.length a in
+  let borrow = ref (const d false) in
+  for i = 0 to w - 1 do
+    let diff = gxor d a.(i) b.(i) in
+    (* borrow' = (~a & b) | (~(a ^ b) & borrow) *)
+    borrow :=
+      gor d
+        (gand d (gnot d a.(i)) b.(i))
+        (gand d (gnot d diff) !borrow)
+  done;
+  !borrow
+
+let gmux_v d s a b = Array.map2 (fun x y -> gmux d s x y) a b
+
+let greduce_or d a = reduce_balanced d (gor d) (const d false :: Array.to_list a)
+let greduce_and d a = reduce_balanced d (gand d) (const d true :: Array.to_list a)
+let greduce_xor d a = reduce_balanced d (gxor d) (const d false :: Array.to_list a)
+
+(** Width at or above which multipliers become DSP blocks rather than
+    LUT shift-add trees. *)
+let dsp_mul_threshold = 12
+
+(** Lower an RTL expression to a vector of gate nodes.  [signal_bits id]
+    returns the node vector of signal [id] (must already be defined:
+    callers process assigns in topological order).  [on_mul], when present,
+    intercepts wide multiplications (DSP inference): it receives the
+    operand node vectors and returns the result node vector. *)
+let rec blast ?on_mul d ~signal_bits (e : Zoomie_rtl.Expr.t) : int array =
+  let module E = Zoomie_rtl.Expr in
+  let module B = Zoomie_rtl.Bits in
+  match e with
+  | E.Const b -> Array.init (B.width b) (fun i -> const d (B.get b i))
+  | E.Signal id -> signal_bits id
+  | E.Not a -> gnot_v d (blast ?on_mul d ~signal_bits a)
+  | E.And (a, b) -> gand_v d (blast ?on_mul d ~signal_bits a) (blast ?on_mul d ~signal_bits b)
+  | E.Or (a, b) -> gor_v d (blast ?on_mul d ~signal_bits a) (blast ?on_mul d ~signal_bits b)
+  | E.Xor (a, b) -> gxor_v d (blast ?on_mul d ~signal_bits a) (blast ?on_mul d ~signal_bits b)
+  | E.Add (a, b) -> gadd_v d (blast ?on_mul d ~signal_bits a) (blast ?on_mul d ~signal_bits b)
+  | E.Sub (a, b) -> gsub_v d (blast ?on_mul d ~signal_bits a) (blast ?on_mul d ~signal_bits b)
+  | E.Mul (a, b) -> (
+    let av = blast ?on_mul d ~signal_bits a
+    and bv = blast ?on_mul d ~signal_bits b in
+    match on_mul with
+    | Some f when Array.length av >= dsp_mul_threshold -> f av bv
+    | _ -> gmul_v d av bv)
+  | E.Eq (a, b) ->
+    [| geq_v d (blast ?on_mul d ~signal_bits a) (blast ?on_mul d ~signal_bits b) |]
+  | E.Lt (a, b) ->
+    [| glt_v d (blast ?on_mul d ~signal_bits a) (blast ?on_mul d ~signal_bits b) |]
+  | E.Mux (s, a, b) ->
+    let sv = blast d ~signal_bits s in
+    gmux_v d sv.(0) (blast ?on_mul d ~signal_bits a) (blast ?on_mul d ~signal_bits b)
+  | E.Concat (hi, lo) ->
+    let l = blast d ~signal_bits lo and h = blast d ~signal_bits hi in
+    Array.append l h
+  | E.Slice (a, hi, lo) ->
+    let v = blast d ~signal_bits a in
+    Array.sub v lo (hi - lo + 1)
+  | E.Shift_left (a, n) ->
+    let v = blast d ~signal_bits a in
+    let w = Array.length v in
+    Array.init w (fun i -> if i < n then const d false else v.(i - n))
+  | E.Shift_right (a, n) ->
+    let v = blast d ~signal_bits a in
+    let w = Array.length v in
+    Array.init w (fun i -> if i + n < w then v.(i + n) else const d false)
+  | E.Reduce_or a -> [| greduce_or d (blast ?on_mul d ~signal_bits a) |]
+  | E.Reduce_and a -> [| greduce_and d (blast ?on_mul d ~signal_bits a) |]
+  | E.Reduce_xor a -> [| greduce_xor d (blast ?on_mul d ~signal_bits a) |]
+
+(** Children of a node (empty for sources). *)
+let children = function
+  | Const _ | Var _ -> [||]
+  | Not a -> [| a |]
+  | And (a, b) | Or (a, b) | Xor (a, b) -> [| a; b |]
+  | Mux (s, a, b) -> [| s; a; b |]

@@ -1,0 +1,104 @@
+(** Hash-consed gate DAG: the synthesis intermediate representation.
+
+    Nodes are structurally memoized (automatic CSE) with local
+    simplifications at construction (constant folding, [x & x = x],
+    double negation, mux with equal arms...).  Word-level helpers blast
+    RTL operators into gates: ripple or Kogge-Stone addition (the latter
+    for widths over 8 — logic depth matters more than area at the
+    frequencies the workloads close), balanced comparator/reduction
+    trees, and optional DSP extraction for wide multiplies. *)
+
+type node =
+  | Const of bool
+  | Var of int  (** external input, by caller-chosen id *)
+  | Not of int
+  | And of int * int
+  | Or of int * int
+  | Xor of int * int
+  | Mux of int * int * int  (** select, then-value, else-value *)
+
+type dag
+
+val create_dag : unit -> dag
+
+val node : dag -> int -> node
+
+val size : dag -> int
+
+(** Raw insert (memoized); prefer the smart constructors below. *)
+val add : dag -> node -> int
+
+(** {1 Smart constructors (fold constants, dedup structurally)} *)
+
+val const : dag -> bool -> int
+
+val var : dag -> int -> int
+
+(** [Some b] iff the node is (foldable to) a constant. *)
+val is_const : dag -> int -> bool option
+
+val gnot : dag -> int -> int
+
+val gand : dag -> int -> int -> int
+
+val gor : dag -> int -> int -> int
+
+val gxor : dag -> int -> int -> int
+
+val gmux : dag -> int -> int -> int -> int
+
+(** {1 Word-level operators (LSB-first bit arrays)} *)
+
+val gand_v : dag -> int array -> int array -> int array
+
+val gor_v : dag -> int array -> int array -> int array
+
+val gxor_v : dag -> int array -> int array -> int array
+
+val gnot_v : dag -> int array -> int array
+
+val gadd_ripple : ?carry_in:int option -> dag -> int array -> int array -> int array
+
+(** Parallel-prefix adder: O(log n) depth, used for widths over 8. *)
+val gadd_kogge_stone :
+  ?carry_in:int option -> dag -> int array -> int array -> int array
+
+(** Width-directed choice between ripple and Kogge-Stone. *)
+val gadd_v : ?carry_in:int option -> dag -> int array -> int array -> int array
+
+val gsub_v : dag -> int array -> int array -> int array
+
+(** Shift-and-add multiplier (the LUT fallback below the DSP threshold). *)
+val gmul_v : dag -> int array -> int array -> int array
+
+(** Combine a list with a balanced tree of the operator (log depth). *)
+val reduce_balanced : 'a -> (int -> int -> int) -> int list -> int
+
+val geq_v : dag -> int array -> int array -> int
+
+(** Unsigned less-than. *)
+val glt_v : dag -> int array -> int array -> int
+
+val gmux_v : dag -> int -> int array -> int array -> int array
+
+val greduce_or : dag -> int array -> int
+
+val greduce_and : dag -> int array -> int
+
+val greduce_xor : dag -> int array -> int
+
+(** Multiplies at or above this operand width go to DSP blocks. *)
+val dsp_mul_threshold : int
+
+(** Blast an RTL expression into the DAG.  [signal_bits] resolves signal
+    ids to their bit nodes; [on_mul] intercepts wide multiplies (the DSP
+    inference hook — it returns the product's result bits). *)
+val blast :
+  ?on_mul:(int array -> int array -> int array) ->
+  dag ->
+  signal_bits:(int -> int array) ->
+  Zoomie_rtl.Expr.t ->
+  int array
+
+(** Operand node ids of a node (empty for consts/vars). *)
+val children : node -> int array

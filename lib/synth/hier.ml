@@ -1,0 +1,82 @@
+(** Hierarchical synthesis: synthesize the listed unit modules once each,
+    synthesize the rest of the design as a shell around blackboxes, and link
+    the stamped unit netlists into the shell.
+
+    The resulting netlist is behaviorally identical to flat synthesis, while
+    the *work done* is one synthesis per unique module — the property both
+    the vendor flow (for replicated manycores) and VTI (for partition
+    compiles) depend on. *)
+
+open Zoomie_rtl
+
+type result = {
+  netlist : Netlist.t;
+  shell_stats : Synthesize.stats;
+  unit_stats : (string * Synthesize.stats) list;  (** per unique unit module *)
+  instance_counts : (string * int) list;
+  unique_gate_nodes : int;   (** nodes actually elaborated *)
+  stamped_gate_nodes : int;  (** as-if-flat total (monolithic-cost basis) *)
+}
+
+(** Synthesize one module subtree of [design] in isolation (its ports become
+    netlist IOs). *)
+let synth_module design name =
+  let sub = Design.with_top (Design.copy design) name in
+  let flat = Flat.elaborate sub in
+  Synthesize.run flat
+
+let run (design : Design.t) ~units : result =
+  let shell_circuit, blackboxes = Flat.elaborate_shell design ~units in
+  let shell_netlist, shell_stats = Synthesize.run shell_circuit in
+  (* One synthesis per unique unit module. *)
+  let cache = Hashtbl.create 8 in
+  List.iter
+    (fun (bb : Flat.blackbox) ->
+      if not (Hashtbl.mem cache bb.Flat.bb_module) then
+        Hashtbl.add cache bb.Flat.bb_module (synth_module design bb.Flat.bb_module))
+    blackboxes;
+  let stamps =
+    List.map
+      (fun (bb : Flat.blackbox) ->
+        let netlist, _ = Hashtbl.find cache bb.Flat.bb_module in
+        {
+          Link.st_path = bb.Flat.bb_path;
+          st_netlist = netlist;
+          st_clock_env = bb.Flat.bb_clock_env;
+        })
+      blackboxes
+  in
+  let netlist = Link.link ~shell:shell_netlist stamps in
+  let instance_counts =
+    Hashtbl.fold
+      (fun name _ acc ->
+        let count =
+          List.length
+            (List.filter (fun (bb : Flat.blackbox) -> bb.Flat.bb_module = name) blackboxes)
+        in
+        (name, count) :: acc)
+      cache []
+  in
+  let unit_stats =
+    Hashtbl.fold (fun name (_, st) acc -> (name, st) :: acc) cache []
+  in
+  let unique_gate_nodes =
+    shell_stats.Synthesize.gate_nodes
+    + List.fold_left (fun acc (_, st) -> acc + st.Synthesize.gate_nodes) 0 unit_stats
+  in
+  let stamped_gate_nodes =
+    shell_stats.Synthesize.gate_nodes
+    + List.fold_left
+        (fun acc (name, st) ->
+          let count = List.assoc name instance_counts in
+          acc + (count * st.Synthesize.gate_nodes))
+        0 unit_stats
+  in
+  {
+    netlist;
+    shell_stats;
+    unit_stats;
+    instance_counts;
+    unique_gate_nodes;
+    stamped_gate_nodes;
+  }

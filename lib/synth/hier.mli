@@ -1,0 +1,23 @@
+(** Hierarchical synthesis: synthesize unique units once, stamp per
+    instance, link.
+
+    The Table 1 "unit-based" compilation structure: [units] names the
+    module list whose instances are blackboxed in the shell and
+    synthesized out of context; every instance then reuses its module's
+    gate DAG (the [stamped_gate_nodes] vs [unique_gate_nodes] gap is the
+    compile-work saving the benches report). *)
+
+type result = {
+  netlist : Netlist.t;  (** fully linked whole-design netlist *)
+  shell_stats : Synthesize.stats;
+  unit_stats : (string * Synthesize.stats) list;
+  instance_counts : (string * int) list;
+  unique_gate_nodes : int;  (** gate work actually done *)
+  stamped_gate_nodes : int;  (** gate work a flat flow would have done *)
+}
+
+(** Synthesize one module of a design out of context (boundary nets named
+    ["path:port"] are produced at link time, not here). *)
+val synth_module : Zoomie_rtl.Design.t -> string -> Netlist.t * Synthesize.stats
+
+val run : Zoomie_rtl.Design.t -> units:string list -> result

@@ -1,0 +1,273 @@
+(** Netlist linking: merge a synthesized shell with separately synthesized
+    (and possibly replicated) unit netlists, connecting boundary ports.
+
+    This is the "linking after routing" step of Table 1's VTI column, and it
+    is also how the vendor flow handles massively replicated designs (one
+    synthesis per unique module, stamped per instance).  Boundary nets are
+    unified with a union-find; instance state names are prefixed with the
+    instance path so readback metadata stays hierarchical. *)
+
+(* Union-find over the merged net id space. *)
+module Uf = struct
+  type t = int array
+
+  let create n = Array.init n (fun i -> i)
+
+  let rec find t i = if t.(i) = i then i else begin
+    t.(i) <- find t t.(i);
+    t.(i)
+  end
+
+  let union t a b =
+    let ra = find t a and rb = find t b in
+    if ra <> rb then t.(rb) <- ra
+end
+
+type stamped = {
+  st_path : string;  (** instance path, "." separated *)
+  st_netlist : Netlist.t;
+  st_clock_env : (string * string) list;
+      (** module-level clock name -> flat clock name *)
+}
+
+let is_boundary_name name = String.contains name ':'
+
+(** Link [shell] with the stamped unit instances.  Shell boundary IOs are
+    named [path ^ ":" ^ port] (see {!Zoomie_rtl.Flat.elaborate_shell}). *)
+let link ~(shell : Netlist.t) (stamps : stamped list) : Netlist.t =
+  let total_nets =
+    List.fold_left
+      (fun acc s -> acc + s.st_netlist.Netlist.num_nets)
+      shell.Netlist.num_nets stamps
+  in
+  let uf = Uf.create total_nets in
+  (* Shell boundary index: (name, bit) -> net. *)
+  let shell_io = Hashtbl.create 256 in
+  Array.iter
+    (fun (io : Netlist.io) ->
+      if is_boundary_name io.Netlist.io_name then
+        Hashtbl.replace shell_io (io.Netlist.io_name, io.Netlist.io_bit) io.Netlist.io_net)
+    shell.Netlist.inputs;
+  Array.iter
+    (fun (io : Netlist.io) ->
+      if is_boundary_name io.Netlist.io_name then
+        Hashtbl.replace shell_io (io.Netlist.io_name, io.Netlist.io_bit) io.Netlist.io_net)
+    shell.Netlist.outputs;
+  (* Assign net offsets and unify boundary nets. *)
+  let offsets =
+    let off = ref shell.Netlist.num_nets in
+    List.map
+      (fun s ->
+        let o = !off in
+        off := o + s.st_netlist.Netlist.num_nets;
+        (s, o))
+      stamps
+  in
+  List.iter
+    (fun (s, off) ->
+      let connect (io : Netlist.io) =
+        let key = (s.st_path ^ ":" ^ io.Netlist.io_name, io.Netlist.io_bit) in
+        match Hashtbl.find_opt shell_io key with
+        | Some shell_net -> Uf.union uf shell_net (io.Netlist.io_net + off)
+        | None -> () (* unconnected port: dangles *)
+      in
+      Array.iter connect s.st_netlist.Netlist.inputs;
+      Array.iter connect s.st_netlist.Netlist.outputs)
+    offsets;
+  let remap_shell n = Uf.find uf n in
+  (* Clock renaming for each stamp: roots via env, gated prefixed. *)
+  let clock_rename s =
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun (c : Netlist.clock_tree_entry) ->
+        match c.Netlist.ck_parent with
+        | None ->
+          let mapped =
+            match List.assoc_opt c.Netlist.ck_name s.st_clock_env with
+            | Some f -> f
+            | None -> c.Netlist.ck_name
+          in
+          Hashtbl.replace tbl c.Netlist.ck_name mapped
+        | Some _ ->
+          Hashtbl.replace tbl c.Netlist.ck_name (s.st_path ^ "." ^ c.Netlist.ck_name))
+      s.st_netlist.Netlist.clock_tree;
+    fun name -> match Hashtbl.find_opt tbl name with Some m -> m | None -> name
+  in
+  (* Merge cells. *)
+  let luts = ref [] and ffs = ref [] and mems = ref [] and ff_names = ref [] in
+  let dsps = ref [] in
+  let const_nets = ref [] in
+  Array.iter
+    (fun (l : Netlist.lut) ->
+      luts :=
+        {
+          Netlist.inputs = Array.map remap_shell l.Netlist.inputs;
+          table = l.Netlist.table;
+          out = remap_shell l.Netlist.out;
+        }
+        :: !luts)
+    shell.Netlist.luts;
+  Array.iteri
+    (fun i (f : Netlist.ff) ->
+      ffs :=
+        {
+          f with
+          Netlist.d = remap_shell f.Netlist.d;
+          q = remap_shell f.Netlist.q;
+          ce = Option.map remap_shell f.Netlist.ce;
+        }
+        :: !ffs;
+      ff_names := shell.Netlist.ff_names.(i) :: !ff_names)
+    shell.Netlist.ffs;
+  Array.iter
+    (fun (m : Netlist.mem) ->
+      let rp (r : Netlist.mem_read) =
+        {
+          r with
+          Netlist.mr_addr = Array.map remap_shell r.Netlist.mr_addr;
+          mr_out = Array.map remap_shell r.Netlist.mr_out;
+        }
+      in
+      let wp (w : Netlist.mem_write) =
+        {
+          w with
+          Netlist.mw_enable = remap_shell w.Netlist.mw_enable;
+          mw_addr = Array.map remap_shell w.Netlist.mw_addr;
+          mw_data = Array.map remap_shell w.Netlist.mw_data;
+        }
+      in
+      mems :=
+        {
+          m with
+          Netlist.mem_writes = List.map wp m.Netlist.mem_writes;
+          mem_reads = List.map rp m.Netlist.mem_reads;
+        }
+        :: !mems)
+    shell.Netlist.mems;
+  Array.iter
+    (fun (d : Netlist.dsp) ->
+      dsps :=
+        {
+          Netlist.dsp_a = Array.map remap_shell d.Netlist.dsp_a;
+          dsp_b = Array.map remap_shell d.Netlist.dsp_b;
+          dsp_out = Array.map remap_shell d.Netlist.dsp_out;
+        }
+        :: !dsps)
+    shell.Netlist.dsps;
+  List.iter
+    (fun (net, b) -> const_nets := (remap_shell net, b) :: !const_nets)
+    shell.Netlist.const_nets;
+  let clock_tree = ref (List.rev shell.Netlist.clock_tree) in
+  List.iter
+    (fun (s, off) ->
+      let remap n = Uf.find uf (n + off) in
+      let rename = clock_rename s in
+      let nl = s.st_netlist in
+      Array.iter
+        (fun (l : Netlist.lut) ->
+          luts :=
+            {
+              Netlist.inputs = Array.map remap l.Netlist.inputs;
+              table = l.Netlist.table;
+              out = remap l.Netlist.out;
+            }
+            :: !luts)
+        nl.Netlist.luts;
+      Array.iteri
+        (fun i (f : Netlist.ff) ->
+          ffs :=
+            {
+              Netlist.d = remap f.Netlist.d;
+              q = remap f.Netlist.q;
+              ce = Option.map remap f.Netlist.ce;
+              ff_clock = rename f.Netlist.ff_clock;
+              init = f.Netlist.init;
+            }
+            :: !ffs;
+          let name, bit = nl.Netlist.ff_names.(i) in
+          ff_names := (s.st_path ^ "." ^ name, bit) :: !ff_names)
+        nl.Netlist.ffs;
+      Array.iter
+        (fun (m : Netlist.mem) ->
+          let rp (r : Netlist.mem_read) =
+            {
+              Netlist.mr_addr = Array.map remap r.Netlist.mr_addr;
+              mr_out = Array.map remap r.Netlist.mr_out;
+              mr_sync = Option.map rename r.Netlist.mr_sync;
+            }
+          in
+          let wp (w : Netlist.mem_write) =
+            {
+              Netlist.mw_clock = rename w.Netlist.mw_clock;
+              mw_enable = remap w.Netlist.mw_enable;
+              mw_addr = Array.map remap w.Netlist.mw_addr;
+              mw_data = Array.map remap w.Netlist.mw_data;
+            }
+          in
+          mems :=
+            {
+              m with
+              Netlist.mem_name = s.st_path ^ "." ^ m.Netlist.mem_name;
+              mem_writes = List.map wp m.Netlist.mem_writes;
+              mem_reads = List.map rp m.Netlist.mem_reads;
+            }
+            :: !mems)
+        nl.Netlist.mems;
+      Array.iter
+        (fun (d : Netlist.dsp) ->
+          dsps :=
+            {
+              Netlist.dsp_a = Array.map remap d.Netlist.dsp_a;
+              dsp_b = Array.map remap d.Netlist.dsp_b;
+              dsp_out = Array.map remap d.Netlist.dsp_out;
+            }
+            :: !dsps)
+        nl.Netlist.dsps;
+      List.iter
+        (fun (net, b) -> const_nets := (remap net, b) :: !const_nets)
+        nl.Netlist.const_nets;
+      (* Child gated clocks join the merged tree; roots alias shell clocks. *)
+      List.iter
+        (fun (c : Netlist.clock_tree_entry) ->
+          match c.Netlist.ck_parent with
+          | None ->
+            let mapped = rename c.Netlist.ck_name in
+            if
+              not
+                (List.exists
+                   (fun (e : Netlist.clock_tree_entry) -> e.Netlist.ck_name = mapped)
+                   !clock_tree)
+            then
+              clock_tree :=
+                { Netlist.ck_name = mapped; ck_parent = None; ck_enable = None }
+                :: !clock_tree
+          | Some parent ->
+            clock_tree :=
+              {
+                Netlist.ck_name = rename c.Netlist.ck_name;
+                ck_parent = Some (rename parent);
+                ck_enable = Option.map remap c.Netlist.ck_enable;
+              }
+              :: !clock_tree)
+        nl.Netlist.clock_tree)
+    offsets;
+  (* Real top-level IOs: shell IOs that are not boundary ports. *)
+  let keep_io (io : Netlist.io) =
+    if is_boundary_name io.Netlist.io_name then None
+    else Some { io with Netlist.io_net = remap_shell io.Netlist.io_net }
+  in
+  let inputs = Array.of_list (List.filter_map keep_io (Array.to_list shell.Netlist.inputs)) in
+  let outputs = Array.of_list (List.filter_map keep_io (Array.to_list shell.Netlist.outputs)) in
+  {
+    Netlist.design_name = shell.Netlist.design_name;
+    num_nets = total_nets;
+    luts = Array.of_list (List.rev !luts);
+    ffs = Array.of_list (List.rev !ffs);
+    mems = Array.of_list (List.rev !mems);
+    dsps = Array.of_list (List.rev !dsps);
+    inputs;
+    outputs;
+    clock_tree = List.rev !clock_tree;
+    const_nets = !const_nets;
+    ff_names = Array.of_list (List.rev !ff_names);
+  }

@@ -1,0 +1,32 @@
+(** Netlist linking: merge stamped unit netlists into the shell.
+
+    The out-of-context boundary: the shell synthesizes blackboxed units
+    whose ports become nets named ["path:port"]; each stamp's boundary
+    nets carry the same names.  Linking concatenates the netlists and
+    unifies same-named boundary nets with a union-find, then remaps every
+    cell pin (including FF clock-enables and DSP operands).  This is what
+    makes one synthesized core stampable 5,400 times — and what VTI
+    re-runs in seconds after a partition recompile. *)
+
+(** Union-find over net indices. *)
+module Uf : sig
+  type t
+
+  val create : int -> t
+
+  val find : t -> int -> int
+
+  val union : t -> int -> int -> unit
+end
+
+(** One placed-or-not unit instance to link. *)
+type stamped = {
+  st_path : string;  (** hierarchical instance path *)
+  st_netlist : Netlist.t;
+  st_clock_env : (string * string) list;  (** formal clock -> actual net *)
+}
+
+(** Is this net name an out-of-context boundary (["path:port"])? *)
+val is_boundary_name : string -> bool
+
+val link : shell:Netlist.t -> stamped list -> Netlist.t

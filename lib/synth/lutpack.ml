@@ -1,0 +1,164 @@
+(** LUT covering: map the gate DAG onto 6-input LUTs.
+
+    Greedy cone absorption: a gate absorbs a fanout-1 child's cone when the
+    merged leaf set stays within 6 inputs; every node that remains visible
+    (multi-fanout or requested root) becomes one LUT whose truth table is
+    computed by exhaustive cone evaluation.  Constant folding in {!Gate}
+    guarantees gates have no constant children. *)
+
+let k = 6
+
+module Int_set = Set.Make (Int)
+
+type packed = {
+  luts : Netlist.lut list;
+  node_net : int option array;  (** net carrying each node's value, if any *)
+  const_nets : (Netlist.net * bool) list;
+}
+
+(* Fanout: number of distinct consumers of each node (parents + roots). *)
+let fanouts dag roots =
+  let n = Gate.size dag in
+  let fo = Array.make n 0 in
+  for i = 0 to n - 1 do
+    Array.iter (fun c -> fo.(c) <- fo.(c) + 1) (Gate.children (Gate.node dag i))
+  done;
+  List.iter (fun r -> fo.(r) <- fo.(r) + 1) roots;
+  fo
+
+let is_gate dag i =
+  match Gate.node dag i with
+  | Gate.Const _ | Gate.Var _ -> false
+  | _ -> true
+
+(* Leaf set of each gate's cone after greedy absorption. *)
+let compute_cuts dag fo =
+  let n = Gate.size dag in
+  let cuts = Array.make n Int_set.empty in
+  for i = 0 to n - 1 do
+    match Gate.node dag i with
+    | Gate.Const _ | Gate.Var _ -> cuts.(i) <- Int_set.singleton i
+    | g ->
+      let cut = ref Int_set.empty in
+      let is_const c = match Gate.node dag c with Gate.Const _ -> true | _ -> false in
+      Array.iter
+        (fun c ->
+          if is_const c then () (* constants fold into the truth table *)
+          else if
+            is_gate dag c
+            && (fo.(c) = 1
+               (* Bounded duplication: absorbing a small multi-fanout cone
+                  (e.g. a carry bit) costs little area and halves the depth
+                  of ripple arithmetic, like carry-chain packing. *)
+               || Int_set.cardinal cuts.(c) <= 3)
+          then begin
+            let merged = Int_set.union !cut cuts.(c) in
+            if Int_set.cardinal merged <= k then cut := merged
+            else cut := Int_set.add c !cut
+          end
+          else cut := Int_set.add c !cut)
+        (Gate.children g);
+      (* A pathological wide merge could exceed k via the last child; fall
+         back to direct children as leaves in that case. *)
+      if Int_set.cardinal !cut > k then
+        cut :=
+          Array.fold_left
+            (fun s c -> if is_const c then s else Int_set.add c s)
+            Int_set.empty (Gate.children g);
+      cuts.(i) <- !cut
+  done;
+  cuts
+
+(* Evaluate the cone of [root] under an assignment of its leaves. *)
+let eval_cone dag ~leaves ~assignment root =
+  let memo = Hashtbl.create 16 in
+  let rec go i =
+    match Hashtbl.find_opt memo i with
+    | Some v -> v
+    | None ->
+      let v =
+        match List.assoc_opt i leaves with
+        | Some pos -> (assignment lsr pos) land 1 = 1
+        | None -> (
+          match Gate.node dag i with
+          | Gate.Const b -> b
+          | Gate.Var _ ->
+            (* A Var that is not a leaf cannot occur: Vars are always leaves. *)
+            assert false
+          | Gate.Not a -> not (go a)
+          | Gate.And (a, b) -> go a && go b
+          | Gate.Or (a, b) -> go a || go b
+          | Gate.Xor (a, b) -> go a <> go b
+          | Gate.Mux (s, a, b) -> if go s then go a else go b)
+      in
+      Hashtbl.add memo i v;
+      v
+  in
+  go root
+
+let truth_table dag ~leaves root =
+  let nl = List.length leaves in
+  let table = ref 0L in
+  for a = 0 to (1 lsl nl) - 1 do
+    if eval_cone dag ~leaves ~assignment:a root then
+      table := Int64.logor !table (Int64.shift_left 1L a)
+  done;
+  !table
+
+(** Cover the DAG.  [var_net] maps each [Gate.Var] payload to its external
+    net; [fresh_net] allocates nets for LUT outputs and constant roots;
+    [roots] is every node whose value must be available on a net. *)
+let pack dag ~var_net ~fresh_net ~roots =
+  let n = Gate.size dag in
+  let fo = fanouts dag roots in
+  let cuts = compute_cuts dag fo in
+  (* Which gate nodes must be emitted as LUTs: roots, plus every gate that
+     appears as a leaf of an emitted node, discovered top-down. *)
+  let emit = Array.make n false in
+  List.iter (fun r -> if is_gate dag r then emit.(r) <- true) roots;
+  for i = n - 1 downto 0 do
+    if emit.(i) then
+      Int_set.iter (fun l -> if is_gate dag l then emit.(l) <- true) cuts.(i)
+  done;
+  let node_net = Array.make n None in
+  let const_nets = ref [] in
+  (* Nets for Vars and const roots used directly. *)
+  for i = 0 to n - 1 do
+    match Gate.node dag i with
+    | Gate.Var v -> node_net.(i) <- Some (var_net v)
+    | _ -> ()
+  done;
+  List.iter
+    (fun r ->
+      match Gate.node dag r with
+      | Gate.Const b ->
+        (match node_net.(r) with
+        | Some _ -> ()
+        | None ->
+          let net = fresh_net () in
+          node_net.(r) <- Some net;
+          const_nets := (net, b) :: !const_nets)
+      | _ -> ())
+    roots;
+  (* Emit LUTs bottom-up so leaf nets exist when a parent is built. *)
+  let luts = ref [] in
+  for i = 0 to n - 1 do
+    if emit.(i) then begin
+      let leaves_set = cuts.(i) in
+      let leaves = List.mapi (fun pos l -> (l, pos)) (Int_set.elements leaves_set) in
+      let inputs =
+        Array.of_list
+          (List.map
+             (fun (l, _) ->
+               match node_net.(l) with
+               | Some net -> net
+               | None -> invalid_arg "Lutpack: leaf without net")
+             leaves)
+      in
+      let table = truth_table dag ~leaves i in
+      let out = fresh_net () in
+      node_net.(i) <- Some out;
+      luts := { Netlist.inputs; table; out } :: !luts
+    end
+  done;
+  { luts = List.rev !luts; node_net; const_nets = !const_nets }

@@ -1,0 +1,38 @@
+(** 6-LUT covering: map the gate DAG onto lookup tables.
+
+    Greedy cone absorption over bounded cut enumeration (at most 3 cuts
+    kept per node): each root grows a cone while it still fits [k]
+    inputs, with bounded duplication of small shared nodes — modeling
+    the packing (and carry-chain absorption) a real mapper achieves.
+    Constant children fold directly into truth tables. *)
+
+module Int_set : Set.S with type elt = int
+
+(** Inputs per LUT (6, UltraScale-style). *)
+val k : int
+
+type packed = {
+  luts : Netlist.lut list;
+  node_net : int option array;  (** net carrying each mapped DAG node *)
+  const_nets : (Netlist.net * bool) list;  (** nets pinned to constants *)
+}
+
+(** Fanout count per DAG node, restricted to the cone of [roots]. *)
+val fanouts : Gate.dag -> int list -> int array
+
+val is_gate : Gate.dag -> int -> bool
+
+(** Evaluate a cone over an assignment of its leaves (truth-table row). *)
+val eval_cone : Gate.dag -> leaves:(int * int) list -> assignment:int -> int -> bool
+
+(** 64-entry truth table of a node over its (leaf, position) list. *)
+val truth_table : Gate.dag -> leaves:(int * int) list -> int -> int64
+
+(** Cover the cones of [roots].  [var_net] maps DAG variables to existing
+    netlist nets; [fresh_net] allocates nets for LUT outputs. *)
+val pack :
+  Gate.dag ->
+  var_net:(int -> Netlist.net) ->
+  fresh_net:(unit -> Netlist.net) ->
+  roots:int list ->
+  packed

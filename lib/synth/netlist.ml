@@ -1,0 +1,122 @@
+(** Technology-mapped netlists: LUTs, flip-flops, memories and IOs connected
+    by single-bit nets.  This is what the toolchain places onto the fabric
+    and what actually "executes" on the modeled FPGA board. *)
+
+type net = int
+
+type lut = {
+  inputs : net array;  (** at most 6 *)
+  table : int64;       (** truth table, bit [i] = output for input pattern [i] *)
+  out : net;
+}
+
+type ff = {
+  d : net;
+  q : net;
+  ce : net option;  (** dedicated clock-enable pin (no LUT cost) *)
+  ff_clock : string;
+  init : bool;  (** GSR / power-on value *)
+}
+
+type mem_kind = Lutram_mem | Bram_mem
+
+type mem_write = {
+  mw_clock : string;
+  mw_enable : net;
+  mw_addr : net array;
+  mw_data : net array;
+}
+
+type mem_read = {
+  mr_addr : net array;
+  mr_out : net array;
+  mr_sync : string option;  (** [Some clock] for BRAM-style registered reads *)
+}
+
+type mem = {
+  mem_kind : mem_kind;
+  mem_name : string;   (** hierarchical RTL name, used by readback matching *)
+  mem_width : int;
+  mem_depth : int;
+  mem_writes : mem_write list;
+  mem_reads : mem_read list;
+  mem_init : Zoomie_rtl.Bits.t array option;
+}
+
+(** A DSP-block multiplier: [out = a * b] truncated to the output width
+    (combinational; register stages are the surrounding FFs' business). *)
+type dsp = {
+  dsp_a : net array;
+  dsp_b : net array;
+  dsp_out : net array;
+}
+
+type clock_tree_entry = {
+  ck_name : string;
+  ck_parent : string option;  (** [None] for root clocks *)
+  ck_enable : net option;     (** gating net for derived clocks *)
+}
+
+type io = { io_name : string; io_bit : int; io_net : net }
+
+type t = {
+  design_name : string;
+  num_nets : int;
+  luts : lut array;
+  ffs : ff array;
+  mems : mem array;
+  dsps : dsp array;
+  inputs : io array;   (** environment drives these nets *)
+  outputs : io array;  (** environment reads these nets *)
+  clock_tree : clock_tree_entry list;
+  const_nets : (net * bool) list;  (** nets tied to constants *)
+  ff_names : (string * int) array;
+      (** for FF cell [i]: hierarchical RTL register name and bit index —
+          the §3.2 metadata that lets readback data be matched to RTL names *)
+}
+
+(** Resource usage of a netlist (Table 2 accounting).  LUTRAM memories
+    consume LUTs from the LUTRAM-capable pool; BRAMs are counted in 36 Kb
+    blocks. *)
+let resources t =
+  let bram_blocks (m : mem) =
+    (* 36 Kb block: up to 1024 entries x 36 bits wide per block. *)
+    let depth_blocks = (m.mem_depth + 1023) / 1024 in
+    let width_blocks = (m.mem_width + 35) / 36 in
+    max 1 (depth_blocks * width_blocks)
+  in
+  let lutram_luts (m : mem) =
+    (* One SLICEM LUT implements a 64 x 1 RAM. *)
+    let depth_units = (m.mem_depth + 63) / 64 in
+    max 1 (depth_units * m.mem_width)
+  in
+  let lut = Array.length t.luts in
+  let ff = Array.length t.ffs in
+  let lutram, bram =
+    Array.fold_left
+      (fun (lr, br) m ->
+        match m.mem_kind with
+        | Lutram_mem -> (lr + lutram_luts m, br)
+        | Bram_mem -> (lr, br + bram_blocks m))
+      (0, 0) t.mems
+  in
+  (lut, lutram, ff, bram)
+
+(** DSP48-style blocks consumed (each handles a 27x18 partial product). *)
+let dsp_blocks t =
+  Array.fold_left
+    (fun acc (d : dsp) ->
+      let wa = Array.length d.dsp_a and wb = Array.length d.dsp_b in
+      acc + (max 1 ((wa + 26) / 27) * max 1 ((wb + 17) / 18)))
+    0 t.dsps
+
+(** Total cell count (placement effort unit for the cost model). *)
+let num_cells t =
+  Array.length t.luts + Array.length t.ffs + Array.length t.mems
+  + Array.length t.dsps
+
+let find_input t name =
+  Array.to_list t.inputs |> List.filter (fun io -> io.io_name = name)
+
+let find_output t name =
+  Array.to_list t.outputs |> List.filter (fun io -> io.io_name = name)

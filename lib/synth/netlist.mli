@@ -1,0 +1,91 @@
+(** The mapped netlist: what placement, timing, frame generation and the
+    board's design model all consume.
+
+    Cells reference single-bit {e nets} by index.  Multi-bit RTL
+    registers appear as per-bit FFs whose names are recorded in
+    [ff_names] — the logic-location ("name-to-bit") side of readback.
+    The clock tree preserves gating structure, so the netlist simulator
+    can honor the Debug Controller's pause at netlist level. *)
+
+open Zoomie_rtl
+
+(** A single-bit net, by index. *)
+type net = int
+
+(** A mapped LUT: up to 6 inputs, a 64-entry truth table. *)
+type lut = { inputs : net array; table : int64; out : net }
+
+type ff = {
+  d : net;
+  q : net;
+  ce : net option;  (** clock-enable pin (free on real FFs) *)
+  ff_clock : string;
+  init : bool;  (** power-on / GSR value *)
+}
+
+(** BRAM if any read is synchronous or the memory exceeds the LUTRAM
+    economy threshold; SLICEM LUTRAM otherwise. *)
+type mem_kind = Lutram_mem | Bram_mem
+
+type mem_write = {
+  mw_clock : string;
+  mw_enable : net;
+  mw_addr : net array;
+  mw_data : net array;
+}
+
+type mem_read = {
+  mr_addr : net array;
+  mr_out : net array;
+  mr_sync : string option;  (** [Some clock] for registered reads *)
+}
+
+type mem = {
+  mem_kind : mem_kind;
+  mem_name : string;
+  mem_width : int;
+  mem_depth : int;
+  mem_writes : mem_write list;
+  mem_reads : mem_read list;
+  mem_init : Bits.t array option;
+}
+
+(** An inferred DSP multiplier (27x18-tile granularity at placement). *)
+type dsp = { dsp_a : net array; dsp_b : net array; dsp_out : net array }
+
+type clock_tree_entry = {
+  ck_name : string;
+  ck_parent : string option;  (** [None] for root clocks *)
+  ck_enable : net option;  (** the gate condition, for gated clocks *)
+}
+
+(** One bit of a top-level port. *)
+type io = { io_name : string; io_bit : int; io_net : net }
+
+type t = {
+  design_name : string;
+  num_nets : int;
+  luts : lut array;
+  ffs : ff array;
+  mems : mem array;
+  dsps : dsp array;
+  inputs : io array;
+  outputs : io array;
+  clock_tree : clock_tree_entry list;
+  const_nets : (net * bool) list;  (** nets tied to constants *)
+  ff_names : (string * int) array;  (** (RTL register name, bit) per FF *)
+}
+
+(** (LUTs, LUTRAM-equivalent LUTs, FFs, BRAMs). *)
+val resources : t -> int * int * int * int
+
+(** DSP tiles demanded (wide products use several). *)
+val dsp_blocks : t -> int
+
+(** Total placeable cells. *)
+val num_cells : t -> int
+
+(** All bits of input port [name], ascending. *)
+val find_input : t -> string -> io list
+
+val find_output : t -> string -> io list

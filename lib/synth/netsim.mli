@@ -1,0 +1,78 @@
+(** Cycle-accurate netlist simulator — the "fabric" of the simulated board.
+
+    Evaluates a synthesized {!Netlist.t}: LUTs and DSPs in topological
+    order, then FFs and memory ports on each clock tick.  Gated clocks
+    are honored per tick (a tick names its clock net; only FFs in that
+    domain update), which is what makes the Debug Controller's clock
+    pause real at the netlist level.
+
+    State access is by net index (fast path, used by the board's frame
+    machinery) or by RTL register name (host-facing). *)
+
+open Zoomie_rtl
+
+(** Backing store of one memory cell. *)
+type mem_state = { data : Bytes.t; width : int; depth : int }
+
+type t = {
+  netlist : Netlist.t;
+  values : Bytes.t;  (** one byte per net (current value) *)
+  lut_order : int array;  (** topological order of combinational cells *)
+  mem_states : mem_state array;
+  forced : (int, bool) Hashtbl.t;  (** nets pinned by [force] machinery *)
+  mutable cycles : int;
+}
+
+val create : Netlist.t -> t
+
+val netlist : t -> Netlist.t
+
+(** Topological order of LUT+DSP cells (exposed for the synthesis tests). *)
+val topo_comb : Netlist.t -> int array
+
+(** {1 Net-level access} *)
+
+val get : t -> int -> bool
+
+val set : t -> int -> bool -> unit
+
+(** Integer value of an address bus (LSB first). *)
+val addr_value : t -> int array -> int
+
+(** Settle all combinational logic against current FF/input values. *)
+val eval_comb : t -> unit
+
+(** The transitive set of clock nets that tick when [clock] ticks
+    (a gated clock ticks only while its enable is high {e this cycle}). *)
+val ticking : t -> string -> (string, unit) Hashtbl.t
+
+(** Advance [n] (default 1) cycles of root clock [clock]. *)
+val step : ?n:int -> t -> string -> unit
+
+val cycles : t -> int
+
+(** {1 Pins} *)
+
+val poke_input : t -> string -> Bits.t -> unit
+
+val peek_output : t -> string -> Bits.t
+
+(** {1 State, as the board's frame machinery sees it} *)
+
+val ff_value : t -> int -> bool
+
+val set_ff : t -> int -> bool -> unit
+
+val mem_bit : t -> int -> addr:int -> bit:int -> bool
+
+val set_mem_bit : t -> int -> addr:int -> bit:int -> bool -> unit
+
+(** {1 State, by RTL name}
+
+    Multi-bit registers are reassembled from their per-bit FF cells;
+    names are hierarchical ([cluster0.core0.pc]).
+    @raise Not_found for unknown names. *)
+
+val read_register : t -> string -> Bits.t
+
+val write_register : t -> string -> Bits.t -> unit

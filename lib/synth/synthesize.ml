@@ -1,0 +1,363 @@
+(** Synthesis driver: flat RTL circuit -> technology-mapped {!Netlist}.
+
+    Registers' enable/reset behaviour is folded into the D-input logic (as
+    LUTs in front of the FF), memories become LUTRAM or BRAM cells, and
+    gated clocks keep their enable as a net so the board and netlist
+    simulator reproduce pause semantics exactly. *)
+
+open Zoomie_rtl
+
+type stats = {
+  gate_nodes : int;     (** DAG size before covering *)
+  lut_count : int;
+  ff_count : int;
+  mem_count : int;
+  synth_cells : int;    (** total cells, cost-model unit *)
+}
+
+(* Clock-enable extraction: a next-state of the shape
+   [mux (s, x, q)] (common select across all bits) maps to the FF's
+   dedicated CE pin instead of a LUT mux — exactly what a technology mapper
+   does on CLB flip-flops.  A pure hold ([next = q]) maps to CE = 0. *)
+let extract_ce dag ~q_bits ~next_bits =
+  let n = Array.length next_bits in
+  let sel = ref None in
+  let xs = Array.make n 0 in
+  let all_hold = ref true in
+  let ok = ref true in
+  Array.iteri
+    (fun i nb ->
+      if nb <> q_bits.(i) then all_hold := false;
+      match Gate.node dag nb with
+      | Gate.Mux (s, a, b) when b = q_bits.(i) -> (
+        match !sel with
+        | None ->
+          sel := Some s;
+          xs.(i) <- a
+        | Some s0 when s0 = s -> xs.(i) <- a
+        | Some _ -> ok := false)
+      | _ -> ok := false)
+    next_bits;
+  if !all_hold && n > 0 then (Some (Gate.const dag false), next_bits)
+  else if !ok && n > 0 then (!sel, xs)
+  else (None, next_bits)
+
+(* Fold enable/reset control into CE pin + D logic.  A synchronous reset
+   fires regardless of the enable, so its presence inhibits CE use. *)
+let ff_d_with_control dag ~q_bits ~next_bits ~enable_node ~reset =
+  match reset with
+  | Some (rst_node, value) ->
+    let d = ref next_bits in
+    (match enable_node with
+    | None -> ()
+    | Some en -> d := Array.mapi (fun i nb -> Gate.gmux dag en nb q_bits.(i)) !d);
+    let d =
+      Array.mapi
+        (fun i db -> Gate.gmux dag rst_node (Gate.const dag (Bits.get value i)) db)
+        !d
+    in
+    (None, d)
+  | None ->
+    let ce, d = extract_ce dag ~q_bits ~next_bits in
+    let ce =
+      match (enable_node, ce) with
+      | None, ce -> ce
+      | Some en, None -> Some en
+      | Some en, Some c -> Some (Gate.gand dag en c)
+    in
+    (ce, d)
+
+let run (circuit : Circuit.t) : Netlist.t * stats =
+  let order = Check.validate circuit in
+  let dag = Gate.create_dag () in
+  let net_counter = ref 0 in
+  let fresh_net () =
+    let n = !net_counter in
+    incr net_counter;
+    n
+  in
+  (* Var payloads are allocated densely; var_net_tbl maps them to nets. *)
+  let var_net_tbl = Hashtbl.create 64 in
+  let var_count = ref 0 in
+  let fresh_source () =
+    let v = !var_count in
+    incr var_count;
+    let net = fresh_net () in
+    Hashtbl.add var_net_tbl v net;
+    (Gate.var dag v, net)
+  in
+  (* Signal bit table. *)
+  let nsig = Array.length circuit.signals in
+  let signal_nodes : int array option array = Array.make nsig None in
+  let inputs = ref [] in
+  Array.iter
+    (fun (s : Circuit.signal) ->
+      if s.direction = Some Circuit.Input then begin
+        let bits =
+          Array.init s.width (fun bit ->
+              let node, net = fresh_source () in
+              inputs := { Netlist.io_name = s.name; io_bit = bit; io_net = net } :: !inputs;
+              node)
+        in
+        signal_nodes.(s.id) <- Some bits
+      end)
+    circuit.signals;
+  (* Register outputs are sources. *)
+  let reg_q_nets = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Circuit.register) ->
+      let w = Circuit.signal_width circuit r.q in
+      let nets = Array.make w 0 in
+      let bits =
+        Array.init w (fun bit ->
+            let node, net = fresh_source () in
+            nets.(bit) <- net;
+            node)
+      in
+      Hashtbl.add reg_q_nets r.q nets;
+      signal_nodes.(r.q) <- Some bits)
+    circuit.registers;
+  (* Memory read outputs are sources. *)
+  let mem_out_nets = Hashtbl.create 16 in
+  List.iter
+    (fun (m : Circuit.memory) ->
+      List.iter
+        (fun (rp : Circuit.read_port) ->
+          let w = m.mem_width in
+          let nets = Array.make w 0 in
+          let bits =
+            Array.init w (fun bit ->
+                let node, net = fresh_source () in
+                nets.(bit) <- net;
+                node)
+          in
+          Hashtbl.add mem_out_nets rp.r_out nets;
+          signal_nodes.(rp.r_out) <- Some bits)
+        m.reads)
+    circuit.memories;
+  let signal_bits id =
+    match signal_nodes.(id) with
+    | Some bits -> bits
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Synthesize: signal %S used before definition"
+           (Circuit.signal_name circuit id))
+  in
+  (* Wide multiplications become DSP blocks: operand nodes are recorded
+     for net resolution after LUT covering; outputs are fresh sources. *)
+  let pending_dsps = ref [] in
+  let on_mul a_nodes b_nodes =
+    let out =
+      Array.init (Array.length a_nodes) (fun _ -> fresh_source ())
+    in
+    pending_dsps :=
+      (a_nodes, b_nodes, Array.map snd out) :: !pending_dsps;
+    Array.map fst out
+  in
+  (* Lower combinational assigns in dependency order. *)
+  Array.iter
+    (fun (a : Circuit.assign) ->
+      signal_nodes.(a.lhs) <- Some (Gate.blast ~on_mul dag ~signal_bits a.rhs))
+    order;
+  let blast e = Gate.blast ~on_mul dag ~signal_bits e in
+  let blast1 e = (blast e).(0) in
+  (* FF D-logic. *)
+  let ff_specs =
+    List.map
+      (fun (r : Circuit.register) ->
+        let q_bits = signal_bits r.q in
+        let next_bits = blast r.next in
+        let enable_node = Option.map blast1 r.enable in
+        let reset = Option.map (fun (e, v) -> (blast1 e, v)) r.reset in
+        let ce_node, d_bits =
+          ff_d_with_control dag ~q_bits ~next_bits ~enable_node ~reset
+        in
+        (r, d_bits, ce_node))
+      circuit.registers
+  in
+  (* Memory port logic. *)
+  let mem_specs =
+    List.map
+      (fun (m : Circuit.memory) ->
+        let writes =
+          List.map
+            (fun (wp : Circuit.write_port) ->
+              (wp.w_clock, blast1 wp.w_enable, blast wp.w_addr, blast wp.w_data))
+            m.writes
+        in
+        let reads =
+          List.map
+            (fun (rp : Circuit.read_port) ->
+              let sync =
+                match rp.r_kind with
+                | Circuit.Read_comb -> None
+                | Circuit.Read_sync clk -> Some clk
+              in
+              (blast rp.r_addr, rp.r_out, sync))
+            m.reads
+        in
+        (m, writes, reads))
+      circuit.memories
+  in
+  (* Output port nodes. *)
+  let output_specs =
+    List.filter_map
+      (fun (s : Circuit.signal) ->
+        if s.direction = Some Circuit.Output then Some (s, signal_bits s.id)
+        else None)
+      (Array.to_list circuit.signals)
+  in
+  (* Gated clock enables. *)
+  let clock_specs =
+    List.map
+      (fun clk ->
+        match clk with
+        | Circuit.Root_clock name -> (name, None, None)
+        | Circuit.Gated_clock { name; parent; enable } ->
+          (name, Some parent, Some (blast1 enable)))
+      circuit.clocks
+  in
+  (* Collect roots and cover with LUTs. *)
+  let roots = ref [] in
+  let push_node n = roots := n :: !roots in
+  List.iter
+    (fun (_, d_bits, ce_node) ->
+      Array.iter push_node d_bits;
+      match ce_node with Some n -> push_node n | None -> ())
+    ff_specs;
+  List.iter
+    (fun (_, writes, reads) ->
+      List.iter
+        (fun (_, en, addr, data) ->
+          push_node en;
+          Array.iter push_node addr;
+          Array.iter push_node data)
+        writes;
+      List.iter (fun (addr, _, _) -> Array.iter push_node addr) reads)
+    mem_specs;
+  List.iter (fun (_, bits) -> Array.iter push_node bits) output_specs;
+  List.iter
+    (fun (_, _, en) -> match en with Some n -> push_node n | None -> ())
+    clock_specs;
+  List.iter
+    (fun (a_nodes, b_nodes, _) ->
+      Array.iter push_node a_nodes;
+      Array.iter push_node b_nodes)
+    !pending_dsps;
+  let var_net v = Hashtbl.find var_net_tbl v in
+  let packed = Lutpack.pack dag ~var_net ~fresh_net ~roots:!roots in
+  let net_of n =
+    match packed.node_net.(n) with
+    | Some net -> net
+    | None -> invalid_arg "Synthesize: root node missing net"
+  in
+  (* Constant roots need const nets; Lutpack already allocated them. *)
+  let ffs, ff_names =
+    List.concat_map
+      (fun ((r : Circuit.register), d_bits, ce_node) ->
+        let q_nets = Hashtbl.find reg_q_nets r.q in
+        let name = Circuit.signal_name circuit r.q in
+        let ce = Option.map net_of ce_node in
+        List.init (Array.length d_bits) (fun bit ->
+            ( {
+                Netlist.d = net_of d_bits.(bit);
+                q = q_nets.(bit);
+                ce;
+                ff_clock = r.clock;
+                init = Bits.get r.init bit;
+              },
+              (name, bit) )))
+      ff_specs
+    |> List.split
+  in
+  let mems =
+    List.map
+      (fun ((m : Circuit.memory), writes, reads) ->
+        let mem_kind =
+          (* Distributed (LUT) RAM only for small, combinationally-read
+             memories; registered reads or large arrays infer block RAM. *)
+          let bits = m.mem_width * m.mem_depth in
+          if List.exists (fun (_, _, sync) -> sync <> None) reads || bits > 4096
+          then Netlist.Bram_mem
+          else Netlist.Lutram_mem
+        in
+        {
+          Netlist.mem_kind;
+          mem_name = m.mem_name;
+          mem_width = m.mem_width;
+          mem_depth = m.mem_depth;
+          mem_init = m.mem_init;
+          mem_writes =
+            List.map
+              (fun (clk, en, addr, data) ->
+                {
+                  Netlist.mw_clock = clk;
+                  mw_enable = net_of en;
+                  mw_addr = Array.map net_of addr;
+                  mw_data = Array.map net_of data;
+                })
+              writes;
+          mem_reads =
+            List.map
+              (fun (addr, out_sig, sync) ->
+                {
+                  Netlist.mr_addr = Array.map net_of addr;
+                  mr_out = Hashtbl.find mem_out_nets out_sig;
+                  mr_sync = sync;
+                })
+              reads;
+        })
+      mem_specs
+  in
+  let outputs =
+    List.concat_map
+      (fun ((s : Circuit.signal), bits) ->
+        List.init s.width (fun bit ->
+            { Netlist.io_name = s.name; io_bit = bit; io_net = net_of bits.(bit) }))
+      output_specs
+  in
+  let clock_tree =
+    List.map
+      (fun (name, parent, en) ->
+        {
+          Netlist.ck_name = name;
+          ck_parent = parent;
+          ck_enable = Option.map net_of en;
+        })
+      clock_specs
+  in
+  let dsps =
+    List.rev_map
+      (fun (a_nodes, b_nodes, out_nets) ->
+        {
+          Netlist.dsp_a = Array.map net_of a_nodes;
+          dsp_b = Array.map net_of b_nodes;
+          dsp_out = out_nets;
+        })
+      !pending_dsps
+  in
+  let netlist =
+    {
+      Netlist.design_name = circuit.name;
+      num_nets = !net_counter;
+      luts = Array.of_list packed.luts;
+      ffs = Array.of_list ffs;
+      mems = Array.of_list mems;
+      dsps = Array.of_list dsps;
+      inputs = Array.of_list (List.rev !inputs);
+      outputs = Array.of_list outputs;
+      clock_tree;
+      const_nets = packed.const_nets;
+      ff_names = Array.of_list ff_names;
+    }
+  in
+  let stats =
+    {
+      gate_nodes = Gate.size dag;
+      lut_count = Array.length netlist.luts;
+      ff_count = Array.length netlist.ffs;
+      mem_count = Array.length netlist.mems;
+      synth_cells = Netlist.num_cells netlist;
+    }
+  in
+  (netlist, stats)

@@ -1,0 +1,35 @@
+(** Circuit-to-netlist synthesis: the front half of the toolchain.
+
+    An elaborated {!Zoomie_rtl.Circuit.t} is bit-blasted into the
+    hash-consed gate DAG ({!module:Gate}, with common-subexpression
+    elimination, Kogge-Stone adders and DSP inference for wide
+    multiplies), clock-enable patterns are peeled off FF data inputs, and
+    the remaining combinational cones are covered with 6-LUTs
+    ({!module:Lutpack}).  The output is a flat {!Netlist.t} ready for
+    placement. *)
+
+type stats = {
+  gate_nodes : int;  (** DAG size after CSE — the cost model's work unit *)
+  lut_count : int;
+  ff_count : int;
+  mem_count : int;
+  synth_cells : int;  (** LUTs + FFs + DSPs (placement demand) *)
+}
+
+(** Recognize [q' = mux(ce, x, q)] on a register's next-state bits and
+    return the clock-enable gate (if every bit agrees) plus the stripped
+    data inputs — FF CE pins are free, the mux LUTs are not. *)
+val extract_ce :
+  Gate.dag -> q_bits:int array -> next_bits:int array -> int option * int array
+
+(** [extract_ce] extended with synchronous-reset folding. *)
+val ff_d_with_control :
+  Gate.dag ->
+  q_bits:int array ->
+  next_bits:int array ->
+  enable_node:int option ->
+  reset:(int * Zoomie_rtl.Bits.t) option ->
+  int option * int array
+
+(** Synthesize one flat circuit. *)
+val run : Zoomie_rtl.Circuit.t -> Netlist.t * stats

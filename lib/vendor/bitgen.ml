@@ -1,0 +1,97 @@
+(** Bitstream writer: serialize generated frames into the word streams the
+    configuration microcontrollers execute.
+
+    Chunk order follows the §4.4 observation: the primary SLR's chunk comes
+    first with no BOUT prefix; the k-th secondary chunk is prefixed by k
+    consecutive empty BOUT writes.  Each chunk re-writes the device IDCODE —
+    only the primary's is actually verified (§4.5). *)
+
+open Zoomie_fabric
+module Board = Zoomie_bitstream.Board
+module Program = Zoomie_bitstream.Program
+
+(* Group frame writes per SLR, in FAR order. *)
+let group_frames device frames =
+  let n = Device.num_slrs device in
+  let per_slr = Array.make n [] in
+  List.iter
+    (fun (fw : Zoomie_pnr.Framegen.frame_write) ->
+      per_slr.(fw.Zoomie_pnr.Framegen.fw_slr) <-
+        fw :: per_slr.(fw.Zoomie_pnr.Framegen.fw_slr))
+    frames;
+  Array.map List.rev per_slr
+
+(* SLR visit order: primary, then 1 hop, 2 hops, ... *)
+let ring_order device =
+  let n = Device.num_slrs device in
+  List.init n (fun k -> ((device.Device.primary + k) mod n, k))
+
+let emit_slr_chunk prog ~idcode ~frames =
+  Program.write_idcode prog idcode;
+  List.iter
+    (fun (fw : Zoomie_pnr.Framegen.frame_write) ->
+      let row, col, minor = fw.Zoomie_pnr.Framegen.fw_key in
+      Program.set_far prog ~row ~col ~minor;
+      Program.write_frames prog [ fw.Zoomie_pnr.Framegen.fw_data ])
+    frames
+
+(** Full-device configuration bitstream. *)
+let full device ~frames ~(payload : Board.payload) : Board.bitstream =
+  let prog = Program.create () in
+  let per_slr = group_frames device frames in
+  Program.nop ~n:8 prog;
+  let idcode = Int32.to_int device.Device.idcode in
+  (* Each chunk begins with SYNC, which re-targets the primary; the BOUT
+     run that follows selects the chunk's SLR. *)
+  List.iter
+    (fun (slr, hops) ->
+      Program.sync prog;
+      Program.select_slr prog ~hops;
+      emit_slr_chunk prog ~idcode ~frames:per_slr.(slr))
+    (ring_order device);
+  (* Start clocks and release GSR on every SLR (primary last). *)
+  List.iter
+    (fun (_, hops) ->
+      Program.sync prog;
+      Program.select_slr prog ~hops;
+      Program.start prog)
+    (List.rev (ring_order device));
+  Program.desync prog;
+  {
+    Board.bs_words = Program.words prog;
+    bs_payload = Some payload;
+    bs_partial = false;
+    bs_dynamic = [];
+  }
+
+(** Partial bitstream covering only [dynamic] regions.  Sets the CTL0 GSR
+    mask on every touched SLR and — faithfully to the hardware quirk §4.7
+    documents — does NOT clear it afterwards. *)
+let partial device ~frames ~dynamic ~(payload : Board.payload) : Board.bitstream =
+  let prog = Program.create () in
+  let per_slr = group_frames device frames in
+  let touched =
+    List.filter (fun (slr, _) -> per_slr.(slr) <> []) (ring_order device)
+  in
+  Program.nop ~n:8 prog;
+  let idcode = Int32.to_int device.Device.idcode in
+  List.iter
+    (fun (slr, hops) ->
+      Program.sync prog;
+      Program.select_slr prog ~hops;
+      Program.set_ctl0 prog ~mask:1 ~value:1;
+      emit_slr_chunk prog ~idcode ~frames:per_slr.(slr))
+    touched;
+  List.iter
+    (fun (_, hops) ->
+      Program.sync prog;
+      Program.select_slr prog ~hops;
+      Program.start prog)
+    (List.rev touched);
+  Program.desync prog;
+  {
+    Board.bs_words = Program.words prog;
+    bs_payload = Some payload;
+    bs_partial = true;
+    bs_dynamic = dynamic;
+  }

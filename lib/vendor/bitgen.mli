@@ -1,0 +1,35 @@
+(** Bitstream writer: frames → executable command streams.
+
+    Assembles the multi-SLR command stream a real bitgen would: for each
+    SLR, in ring order, a SYNC (which also resets the ring target back to
+    the primary), IDCODE check, FAR/FDRI frame bursts — reaching
+    secondary SLRs with the §4.4 BOUT hops.  [partial] writes only the
+    dynamic regions' frames and skips the global reset, preserving all
+    other live state (and leaving the §4.7 GSR mask set, exactly like the
+    real tool). *)
+
+module Board = Zoomie_bitstream.Board
+module Program = Zoomie_bitstream.Program
+open Zoomie_fabric
+
+(** Frame writes grouped per SLR. *)
+val group_frames :
+  Device.t -> Zoomie_pnr.Framegen.frame_write list -> Zoomie_pnr.Framegen.frame_write list array
+
+(** [(slr, hops)] in configuration order (primary first). *)
+val ring_order : Device.t -> (int * int) list
+
+(** Full-device bitstream. *)
+val full :
+  Device.t ->
+  frames:Zoomie_pnr.Framegen.frame_write list ->
+  payload:Board.payload ->
+  Board.bitstream
+
+(** Partial (state-preserving) bitstream over the [dynamic] regions. *)
+val partial :
+  Device.t ->
+  frames:Zoomie_pnr.Framegen.frame_write list ->
+  dynamic:Region.t list ->
+  payload:Board.payload ->
+  Board.bitstream

@@ -1,0 +1,173 @@
+(** Integrated Logic Analyzer model (the vendor's print-style debug core).
+
+    The ILA is plain RTL: a BRAM ring buffer capturing the concatenated
+    probe signals every cycle, a runtime-configurable trigger comparator,
+    and a post-trigger countdown.  Its defining limitations — a fixed probe
+    list chosen before compilation, a bounded capture window, and a full
+    recompile whenever the probe set changes — are exactly what §2.2 and
+    case study 1 contrast Zoomie against.
+
+    Runtime configuration (arming, trigger value/mask) is written into the
+    ILA's config registers over the debug hub, modeled as register writes on
+    the executing netlist. *)
+
+open Zoomie_rtl
+
+type probe = { probe_signal : string; probe_width : int }
+
+let capture_depth = 1024
+
+let total_width probes =
+  List.fold_left (fun acc p -> acc + p.probe_width) 0 probes
+
+(** Build the ILA module for the given probe widths.  Ports: [probe] (the
+    concatenated signals), clock [clk].  Internal state (all runtime
+    configurable / readable by name):
+    - [cfg_trig_value], [cfg_trig_mask]: trigger matches when
+      [(probe & mask) == (value & mask)] and mask is nonzero
+    - [cfg_armed]: capture enable
+    - [status_done], [wptr], [trigger_ptr]: readout bookkeeping
+    - memory [buffer]: the capture window *)
+let ila_module ~name probes =
+  let w = total_width probes in
+  if w = 0 then invalid_arg "Ila: no probes";
+  let b = Builder.create name in
+  let clk = Builder.clock b "clk" in
+  let probe = Builder.input b "probe" w in
+  let cfg_trig_value = Builder.reg_fb b ~clock:clk "cfg_trig_value" w ~next:(fun q -> q) in
+  let cfg_trig_mask = Builder.reg_fb b ~clock:clk "cfg_trig_mask" w ~next:(fun q -> q) in
+  let cfg_armed = Builder.reg_fb b ~clock:clk "cfg_armed" 1 ~next:(fun q -> q) in
+  let addr_bits = 10 in
+  let trig_hit = Builder.wire b "trig_hit" 1 in
+  Builder.assign b trig_hit
+    Expr.(
+      Reduce_or (Signal cfg_trig_mask)
+      &: ((probe &: Signal cfg_trig_mask) ==: (Signal cfg_trig_value &: Signal cfg_trig_mask)));
+  (* Post-trigger countdown: capture half a window after the trigger. *)
+  let post_init = capture_depth / 2 in
+  let triggered =
+    Builder.reg_fb b ~clock:clk "triggered" 1 ~next:(fun q ->
+        Expr.(q |: (Signal trig_hit &: Signal cfg_armed)))
+  in
+  let post_count =
+    Builder.reg_fb b ~clock:clk ~init:(Bits.of_int ~width:addr_bits post_init)
+      "post_count" addr_bits
+      ~next:(fun q ->
+        Expr.(
+          mux
+            (Signal triggered &: Reduce_or q)
+            (q -: const_int ~width:addr_bits 1)
+            q))
+  in
+  let status_done = Builder.wire b "status_done" 1 in
+  Builder.assign b status_done
+    Expr.(Signal triggered &: ~:(Reduce_or (Signal post_count)));
+  let capturing = Builder.wire b "capturing" 1 in
+  Builder.assign b capturing Expr.(Signal cfg_armed &: ~:(Signal status_done));
+  let wptr =
+    Builder.reg_fb b ~clock:clk ~enable:(Expr.Signal capturing) "wptr" addr_bits
+      ~next:(fun q -> Expr.(q +: const_int ~width:addr_bits 1))
+  in
+  let trigger_ptr =
+    Builder.reg_fb b ~clock:clk
+      ~enable:Expr.(Signal trig_hit &: ~:(Signal triggered))
+      "trigger_ptr" addr_bits
+      ~next:(fun _ -> Expr.Signal wptr)
+  in
+  ignore trigger_ptr;
+  Builder.memory b ~name:"buffer" ~width:w ~depth:capture_depth
+    ~writes:
+      [ { Circuit.w_clock = clk; w_enable = Expr.Signal capturing;
+          w_addr = Expr.Signal wptr; w_data = probe } ]
+    ~reads:[] ();
+  ignore (Builder.output b "done" 1 (Expr.Signal status_done));
+  Builder.finish b
+
+(** Attach an ILA instance at the top of [design], probing top-level-visible
+    wires (the signals the user "marked for debug").  Returns the rewritten
+    design and the ILA instance name. *)
+let attach (design : Design.t) ~probes =
+  let inst_name = "ila0" in
+  let module_name = "zoomie_vendor_ila" in
+  let ila = ila_module ~name:module_name probes in
+  let top = Design.top design in
+  (* Rebuild the top module with the ILA instance added. *)
+  let probe_expr =
+    match probes with
+    | [] -> invalid_arg "Ila.attach: no probes"
+    | first :: rest ->
+      List.fold_left
+        (fun acc p ->
+          let s = Circuit.find_signal top p.probe_signal in
+          Expr.Concat (Expr.Signal s.Circuit.id, acc))
+        (Expr.Signal (Circuit.find_signal top first.probe_signal).Circuit.id)
+        rest
+  in
+  let clk =
+    match top.Circuit.clocks with
+    | Circuit.Root_clock c :: _ -> c
+    | Circuit.Gated_clock { name; _ } :: _ -> name
+    | [] -> invalid_arg "Ila.attach: top has no clock"
+  in
+  let new_top =
+    {
+      top with
+      Circuit.instances =
+        {
+          Circuit.inst_name;
+          module_name;
+          connections = [ Circuit.Drive_input ("probe", probe_expr) ];
+          clock_map = [ ("clk", clk) ];
+        }
+        :: top.Circuit.instances;
+    }
+  in
+  let d = Design.copy design in
+  let d = Design.add_module d ila in
+  let d = Design.replace_module d new_top in
+  (d, inst_name)
+
+(** Runtime control over the executing netlist (models the BSCAN debug hub). *)
+module Runtime = struct
+  module Netsim = Zoomie_synth.Netsim
+
+  let arm sim ~inst ~trig_value ~trig_mask =
+    Netsim.write_register sim (inst ^ ".cfg_trig_value") trig_value;
+    Netsim.write_register sim (inst ^ ".cfg_trig_mask") trig_mask;
+    Netsim.write_register sim (inst ^ ".cfg_armed") (Bits.of_int ~width:1 1)
+
+  let is_done sim ~inst =
+    Bits.to_int (Netsim.read_register sim (inst ^ ".triggered")) = 1
+    && Bits.to_int (Netsim.read_register sim (inst ^ ".post_count")) = 0
+
+  (** Extract the capture window: rows oldest-first, each the concatenated
+      probe value.  Reads the ILA BRAM the way the host tool dumps it. *)
+  let window sim ~inst ~probes =
+    let nl = Netsim.netlist sim in
+    let w = total_width probes in
+    let mem_index = ref (-1) in
+    Array.iteri
+      (fun i (m : Zoomie_synth.Netlist.mem) ->
+        if m.Zoomie_synth.Netlist.mem_name = inst ^ ".buffer" then mem_index := i)
+      nl.Zoomie_synth.Netlist.mems;
+    if !mem_index < 0 then invalid_arg "Ila.window: buffer not found";
+    let wptr = Bits.to_int (Netsim.read_register sim (inst ^ ".wptr")) in
+    List.init capture_depth (fun k ->
+        let addr = (wptr + k) mod capture_depth in
+        let v = ref (Bits.zero w) in
+        for bit = 0 to w - 1 do
+          if Netsim.mem_bit sim !mem_index ~addr ~bit then v := Bits.set !v bit true
+        done;
+        !v)
+
+  (** Split a captured row back into per-probe values (declaration order). *)
+  let split_row probes row =
+    let rec go probes lo acc =
+      match probes with
+      | [] -> List.rev acc
+      | p :: rest ->
+        let v = Bits.slice row ~hi:(lo + p.probe_width - 1) ~lo in
+        go rest (lo + p.probe_width) ((p.probe_signal, v) :: acc)
+    in
+    go probes 0 []
+end

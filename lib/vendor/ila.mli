@@ -1,0 +1,39 @@
+(** Integrated Logic Analyzer: the traditional debug flow Zoomie replaces.
+
+    An ILA is a compiled-in trace buffer: you choose probes {e before}
+    compiling, the capture window is finite, and changing either means
+    another multi-hour compile — exactly the §2 pain the case studies
+    quantify.  Case study 1's baseline drives this module through five
+    probe-set iterations. *)
+
+open Zoomie_rtl
+
+type probe = { probe_signal : string; probe_width : int }
+
+(** Capture window depth (samples). *)
+val capture_depth : int
+
+val total_width : probe list -> int
+
+(** The ILA core itself: trigger comparator + circular capture BRAM. *)
+val ila_module : name:string -> probe list -> Circuit.t
+
+(** Instantiate an ILA over [probes] in the design's top; returns the
+    rewritten design and the ILA instance name. *)
+val attach : Design.t -> probes:probe list -> Design.t * string
+
+(** Host-side driver (arm, poll, download the window) — the analogue of
+    the vendor's hardware manager. *)
+module Runtime : sig
+  module Netsim = Zoomie_synth.Netsim
+
+  val arm : Netsim.t -> inst:string -> trig_value:Bits.t -> trig_mask:Bits.t -> unit
+
+  val is_done : Netsim.t -> inst:string -> bool
+
+  (** Download the captured window, oldest sample first. *)
+  val window : Netsim.t -> inst:string -> probes:probe list -> Bits.t list
+
+  (** Split one captured row into per-probe values. *)
+  val split_row : probe list -> Bits.t -> (string * Bits.t) list
+end

@@ -1,0 +1,50 @@
+(** The "Vivado" baseline: a monolithic vendor-style compile flow.
+
+    This is the comparator for Figure 7 and §5.2: flat hierarchical
+    synthesis of the whole design (replicated units synthesized once,
+    stamped), whole-device placement, routing estimation, STA, frame
+    generation and a full bitstream — with an incremental mode that,
+    like the real tool, reuses the previous run's placement for
+    unchanged cells but still re-places, re-routes and re-times the
+    {e whole} design, which is why its gain saturates near ~10 % while
+    VTI's partition recompiles win ~18x. *)
+
+module Netlist = Zoomie_synth.Netlist
+module Place = Zoomie_pnr.Place
+module Route = Zoomie_pnr.Route
+module Timing = Zoomie_pnr.Timing
+module Framegen = Zoomie_pnr.Framegen
+module Cost_model = Zoomie_pnr.Cost_model
+module Board = Zoomie_bitstream.Board
+open Zoomie_fabric
+
+type project = {
+  device : Device.t;
+  design : Zoomie_rtl.Design.t;
+  clock_root : string;
+  freq_mhz : float;
+  replicated_units : string list;
+}
+
+type run = {
+  netlist : Netlist.t;
+  placement : Place.t;
+  route : Route.stats;
+  timing : Timing.report;
+  frames : Framegen.frame_write list;
+  bitstream : Board.bitstream;
+  cost : Cost_model.phase;
+  modeled_seconds : float;  (** modeled compile wall-clock *)
+  utilization : (Resource.kind * int * float) list;  (** Table 2 rows *)
+}
+
+(** Compile.  [incremental_from] switches on incremental mode (reuse the
+    prior run's checkpoint); [extra_cells] models attached debug IP such
+    as ILAs when sizing the run. *)
+val compile : ?incremental_from:run -> ?extra_cells:int -> project -> run
+
+(** Program the run's full bitstream onto a board. *)
+val load_onto : Board.t -> run -> unit
+
+(** Print utilization as a Table 2-style report. *)
+val pp_utilization : Format.formatter -> (Resource.kind * int * float) list -> unit

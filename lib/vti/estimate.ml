@@ -1,0 +1,86 @@
+(** VTI resource estimation and region provisioning (§3.5).
+
+    For each iterated partition the estimated requirement per resource
+    class is [ER = resource * (1 + c)] where [c] is the over-provision
+    coefficient trading area for timing (default 0.30, the §5.2 value).  A
+    partition's region must satisfy [A_total >= max_resource ER] for every
+    class.
+
+    All iterated partitions are provisioned inside one SLR (the debug
+    chiplet) to avoid cross-die paths in the debugged logic — §3.5's
+    placement rule for chiplet FPGAs. *)
+
+open Zoomie_fabric
+
+let default_coefficient = 0.30
+
+exception Does_not_fit of string
+
+(** Smallest column span starting at [col_lo] in one region row whose
+    resources cover [need]. *)
+let find_span layout ~row ~slr ~col_lo need =
+  let ncols = Array.length layout.Geometry.columns in
+  let rec widen hi =
+    if hi >= ncols then raise (Does_not_fit "partition does not fit in a row")
+    else begin
+      let r = Region.make ~slr ~row_lo:row ~row_hi:row ~col_lo ~col_hi:hi in
+      if Resource.fits ~demand:need ~capacity:(Region.resources layout r) then r
+      else widen (hi + 1)
+    end
+  in
+  widen col_lo
+
+(** Provision one region per iterated partition inside [debug_slr], packing
+    them left-to-right along region rows from the top.  Returns the
+    partition regions (in input order) and the remaining static regions of
+    the device. *)
+let provision device ~c ~debug_slr (demands : (string * Resource.t) list) =
+  let slr = Device.slr device debug_slr in
+  let layout = slr.Device.layout in
+  let ncols = Array.length layout.Geometry.columns in
+  let row = ref 0 and col = ref 0 in
+  let regions =
+    List.map
+      (fun (name, demand) ->
+        let need = Resource.over_provision ~c demand in
+        let rec attempt () =
+          if !row >= slr.Device.region_rows then
+            raise (Does_not_fit (Printf.sprintf "no room for partition %s" name));
+          match find_span layout ~row:!row ~slr:debug_slr ~col_lo:!col need with
+          | r ->
+            col := r.Region.col_hi + 1;
+            r
+          | exception Does_not_fit _ when !col > 0 ->
+            (* Start a fresh row. *)
+            incr row;
+            col := 0;
+            attempt ()
+        in
+        (name, attempt ()))
+      demands
+  in
+  (* Static regions: the rest of the debug SLR plus all other SLRs. *)
+  let statics = ref [] in
+  (* Remainder of the current partition row. *)
+  if !col < ncols && !row < slr.Device.region_rows then
+    statics :=
+      Region.make ~slr:debug_slr ~row_lo:!row ~row_hi:!row ~col_lo:!col
+        ~col_hi:(ncols - 1)
+      :: !statics;
+  (* Rows below the partition rows. *)
+  if !row + 1 < slr.Device.region_rows then
+    statics :=
+      Region.make ~slr:debug_slr ~row_lo:(!row + 1)
+        ~row_hi:(slr.Device.region_rows - 1) ~col_lo:0 ~col_hi:(ncols - 1)
+      :: !statics;
+  (* Other SLRs entirely. *)
+  Array.iter
+    (fun (s : Device.slr) ->
+      if s.Device.slr_index <> debug_slr then
+        statics :=
+          Region.make ~slr:s.Device.slr_index ~row_lo:0
+            ~row_hi:(s.Device.region_rows - 1) ~col_lo:0
+            ~col_hi:(Array.length s.Device.layout.Geometry.columns - 1)
+          :: !statics)
+    device.Device.slrs;
+  (regions, List.rev !statics)

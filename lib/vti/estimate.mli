@@ -1,0 +1,31 @@
+(** Partition provisioning: the ER = resource x (1 + c) rule of §3.5.
+
+    Each iterated instance's measured demand is inflated by the
+    over-provision coefficient [c] and packed into a contiguous column
+    span of the debug SLR; the remainder of the device becomes the static
+    region.  A larger [c] survives more RTL growth before the
+    {!Flow.Partition_overflow} full-recompile fallback, at the price of
+    fabric the static region cannot use — the §5.2 trade-off. *)
+
+open Zoomie_fabric
+
+(** The paper's default over-provision coefficient (30 %). *)
+val default_coefficient : float
+
+exception Does_not_fit of string
+
+(** Find a column span at [(slr, row)] starting at or after [col_lo]
+    whose resources cover the demand.  @raise Does_not_fit otherwise. *)
+val find_span :
+  Geometry.region_layout -> row:int -> slr:int -> col_lo:int -> Resource.t -> Region.t
+
+(** Place one over-provisioned region per (path, demand), all inside
+    [debug_slr], and return them with the complementary static regions
+    covering the rest of the device.
+    @raise Does_not_fit if the debug SLR runs out of columns. *)
+val provision :
+  Device.t ->
+  c:float ->
+  debug_slr:int ->
+  (string * Resource.t) list ->
+  (string * Region.t) list * Region.t list

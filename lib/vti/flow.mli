@@ -1,0 +1,117 @@
+(** VTI — Virtual-Time Incremental compilation (§3.5).
+
+    The paper's headline compile-time contribution: the designer declares
+    which instances they will iterate on; VTI gives each an
+    over-provisioned private partition ([ER = resource x (1 + c)], see
+    {!module:Estimate}) inside the debug SLR, compiles the static shell
+    once, and thereafter a change to an iterated instance recompiles only
+    its partition and ships a {e partial} bitstream — minutes instead of
+    hours, with every other core's live state preserved across the
+    reload.
+
+    Replicated units (the 5400 identical cores of the §5.1 SoC) are
+    synthesized once and stamped, which is what makes the initial VTI
+    compile competitive with the vendor flow despite the partition
+    constraints. *)
+
+module Netlist = Zoomie_synth.Netlist
+module Synthesize = Zoomie_synth.Synthesize
+module Timing = Zoomie_pnr.Timing
+module Route = Zoomie_pnr.Route
+module Framegen = Zoomie_pnr.Framegen
+module Cost_model = Zoomie_pnr.Cost_model
+module Board = Zoomie_bitstream.Board
+open Zoomie_fabric
+
+(** A compilation project: the design, its unit structure, and the VTI
+    knobs ([c] = over-provision coefficient, [debug_slr] = which chiplet
+    hosts the iterated partitions). *)
+type project = {
+  device : Device.t;
+  design : Zoomie_rtl.Design.t;
+  clock_root : string;
+  freq_mhz : float;
+  replicated_units : string list;  (** module names synthesized once, stamped *)
+  iterated : string list;  (** instance paths given private partitions *)
+  c : float;  (** over-provision coefficient (paper default 0.30) *)
+  debug_slr : int;
+}
+
+(** One compiled unit: either a stamped replica or an iterated partition
+    (the latter carries its reserved region). *)
+type stamp_build = {
+  sb_path : string;
+  sb_module : string;
+  sb_netlist : Netlist.t;
+  sb_stats : Synthesize.stats;
+  sb_locmap : Loc.map;
+  sb_clock_env : (string * string) list;
+  sb_region : Region.t option;  (** [Some r] iff this is an iterated partition *)
+}
+
+(** A full VTI build: shell + stamps, linked; the input to {!recompile}
+    and {!load_onto}. *)
+type build = {
+  project : project;
+  shell_netlist : Netlist.t;
+  shell_stats : Synthesize.stats;
+  shell_locmap : Loc.map;
+  stamps : stamp_build list;
+  partition_regions : (string * Region.t) list;
+  static_regions : Region.t list;
+  netlist : Netlist.t;  (** the linked whole-design netlist *)
+  locmap : Loc.map;
+  route : Route.stats;
+  timing : Timing.report;
+  frames : Framegen.frame_write list;
+  bitstream : Board.bitstream;
+  modeled_seconds : float;  (** modeled compile wall-clock (Figure 7) *)
+  cost : Cost_model.phase;
+}
+
+(** Fixed post-place link/assembly overhead charged to every VTI run. *)
+val link_overhead_s : float
+
+(** Partition compiles run on this many modeled parallel jobs. *)
+val parallel_jobs : int
+
+(** Resource demand of a synthesized netlist (what provisioning sizes). *)
+val demand_of : Netlist.t -> Resource.t
+
+(** Initial compile: synthesize the shell and each unique unit, provision
+    iterated partitions in the debug SLR, place, link, time, and generate
+    the full bitstream.
+
+    @raise Estimate.Provision_failure if the debug SLR cannot fit the
+    requested partitions at coefficient [c]. *)
+val compile : project -> build
+
+(** The changed instance no longer fits its over-provisioned region —
+    the §3.5 failure mode that forces a full recompile. *)
+exception Partition_overflow of string
+
+(** Recompile exactly one iterated partition with new RTL and emit a
+    partial bitstream for its region; everything else is reused.
+    [modeled_seconds] of the result is the incremental cost (the Figure 7
+    iteration time).
+
+    @raise Partition_overflow if the new RTL exceeds the reserved region.
+    @raise Invalid_argument if [path] was not declared iterated. *)
+val recompile : build -> path:string -> circuit:Zoomie_rtl.Circuit.t -> build
+
+(** Program the build's bitstream (full or partial) onto a board. *)
+val load_onto : Board.t -> build -> unit
+
+(** {1 Checkpoints}
+
+    The analogue of a vendor design checkpoint: a build saved to disk so
+    a debugging session can resume without the initial compile. *)
+
+val checkpoint_magic : string
+
+exception Bad_checkpoint of string
+
+val save_checkpoint : build -> string -> unit
+
+(** @raise Bad_checkpoint on a missing/garbled/mismatched file. *)
+val load_checkpoint : string -> build

@@ -1,0 +1,270 @@
+(** An Ariane/CVA6-style core skeleton with full nested-exception CSR
+    semantics — the workload of case study 2 (§5.6) and the assertion set
+    of Figure 8 / §5.4.
+
+    The core implements the RISC-V trap-entry dance: on an exception,
+    [MPIE <- MIE; MIE <- 0; mepc <- pc; mcause <- code; pc <- mtvec]; MRET
+    restores [MIE <- MPIE; MPIE <- 1; pc <- mepc].  When software sets
+    [mtvec] to an unmapped address, the trap handler fetch itself faults
+    and the core loops through nested exceptions — hardware-legal behavior
+    caused by software misconfiguration, which the §5.6 breakpoint
+    [mcause(63) == 0 && MIE == 0 && MPIE == 0] distinguishes in one stop.
+
+    ISA (8-bit opcodes, 16-bit instructions, [imm] in the low byte):
+    {v
+      0 NOP   1 ADDI r0 += imm   2 OUT emit r0   3 CSRW mtvec <- imm
+      4 ECALL (environment trap)  5 MRET   6 J imm   7 ILLEGAL   15 HALT
+    v} *)
+
+open Zoomie_rtl
+
+let op_nop = 0
+let op_addi = 1
+let op_out = 2
+let op_csrw_mtvec = 3
+let op_ecall = 4
+let op_mret = 5
+let op_j = 6
+let op_illegal = 7
+let op_halt = 15
+
+let instr ~op ~imm = ((op land 0xFF) lsl 8) lor (imm land 0xFF)
+
+(* Exception causes (RISC-V encodings). *)
+let cause_instr_access_fault = 1
+let cause_illegal = 2
+let cause_ecall_m = 11
+
+(** Valid instruction address range: [0, 48). *)
+let valid_limit = 48
+
+(** The §5.6 software bug: the trap vector is set to an invalid address, so
+    the first ECALL enters an endless nested-exception loop. *)
+let bad_trap_program =
+  [|
+    instr ~op:op_addi ~imm:5;
+    instr ~op:op_csrw_mtvec ~imm:0xE0; (* invalid: >= valid_limit *)
+    instr ~op:op_out ~imm:0;
+    instr ~op:op_ecall ~imm:0;         (* -> trap -> fetch fault -> loop *)
+    instr ~op:op_out ~imm:0;
+    instr ~op:op_halt ~imm:0;
+  |]
+
+(** A correct program: handler at 32 does MRET. *)
+let good_trap_program =
+  let code =
+    [
+      (0, instr ~op:op_addi ~imm:5);
+      (1, instr ~op:op_csrw_mtvec ~imm:32);
+      (2, instr ~op:op_out ~imm:0);
+      (3, instr ~op:op_ecall ~imm:0);
+      (4, instr ~op:op_out ~imm:0);
+      (5, instr ~op:op_halt ~imm:0);
+      (* handler: *)
+      (32, instr ~op:op_addi ~imm:1);
+      (33, instr ~op:op_mret ~imm:0);
+    ]
+  in
+  let rom = Array.make 64 (instr ~op:op_halt ~imm:0) in
+  List.iter (fun (a, w) -> rom.(a) <- w) code;
+  rom
+
+let core ?(name = "ariane_core") ?(program = bad_trap_program) () =
+  let b = Builder.create name in
+  let clk = Builder.clock b "clk" in
+  let resetn = Builder.input b "resetn" 1 in
+  let out_ready = Builder.input b "out_ready" 1 in
+  let pc = Builder.reg b ~clock:clk "pc" 16 in
+  let r0 = Builder.reg b ~clock:clk "r0" 16 in
+  (* CSR file. *)
+  let mie = Builder.reg b ~clock:clk ~init:(Bits.of_int ~width:1 1) "mie" 1 in
+  let mpie = Builder.reg b ~clock:clk ~init:(Bits.of_int ~width:1 1) "mpie" 1 in
+  let mcause = Builder.reg b ~clock:clk "mcause" 64 in
+  let mepc = Builder.reg b ~clock:clk "mepc" 16 in
+  let mtvec = Builder.reg b ~clock:clk "mtvec" 16 in
+  let halted = Builder.reg b ~clock:clk "halted" 1 in
+  let out_pending = Builder.reg b ~clock:clk "out_pending" 1 in
+  (* Fetch: LUTRAM ROM, one instruction per cycle (fetch+execute fused). *)
+  let rom =
+    if Array.length program > 64 then invalid_arg "Ariane: program too large"
+    else
+      Array.init 64 (fun i ->
+          Bits.of_int ~width:16
+            (if i < Array.length program then program.(i)
+             else instr ~op:op_halt ~imm:0))
+  in
+  let rom_out = Builder.mem_read_wire b "imem_rdata" 16 in
+  Builder.memory b ~init:rom ~name:"imem" ~width:16 ~depth:64 ~writes:[]
+    ~reads:
+      [
+        { Circuit.r_addr = Expr.Slice (Expr.Signal pc, 5, 0); r_out = rom_out;
+          r_kind = Circuit.Read_comb };
+      ]
+    ();
+  let fetch_fault =
+    Expr.(
+      ~:(Lt (Signal pc, const_int ~width:16 valid_limit)))
+  in
+  let opcode = Expr.Slice (Expr.Signal rom_out, 15, 8) in
+  let imm = Expr.Slice (Expr.Signal rom_out, 7, 0) in
+  let imm16 = Expr.Concat (Expr.const_int ~width:8 0, imm) in
+  let is op = Expr.(opcode ==: const_int ~width:8 op) in
+  let known =
+    Expr.(
+      is op_nop |: is op_addi |: is op_out |: is op_csrw_mtvec |: is op_ecall
+      |: is op_mret |: is op_j |: is op_halt)
+  in
+  let running = Expr.(resetn &: ~:(Signal halted) &: ~:(Signal out_pending)) in
+  (* Exception detection (priority: fetch fault, then decode). *)
+  let exc_fetch = Expr.(running &: fetch_fault) in
+  let exc_illegal = Expr.(running &: ~:fetch_fault &: ~:known) in
+  let exc_ecall = Expr.(running &: ~:fetch_fault &: is op_ecall) in
+  let exception_taken =
+    Builder.wire_of b "exception_taken" 1 Expr.(exc_fetch |: exc_illegal |: exc_ecall)
+  in
+  let cause_code =
+    Expr.(
+      mux exc_fetch
+        (const_int ~width:6 cause_instr_access_fault)
+        (mux exc_ecall (const_int ~width:6 cause_ecall_m)
+           (const_int ~width:6 cause_illegal)))
+  in
+  let do_mret = Expr.(running &: ~:fetch_fault &: is op_mret) in
+  let do_halt = Expr.(running &: ~:fetch_fault &: is op_halt) in
+  let do_out = Expr.(running &: ~:fetch_fault &: is op_out) in
+  let out_fire = Expr.(Signal out_pending &: out_ready) in
+  (* PC update. *)
+  Builder.reg_next b pc
+    Expr.(
+      mux (~:resetn) (const_int ~width:16 0)
+        (mux exception_taken (Signal mtvec)
+           (* MRET resumes past the trapping instruction (the handler has no
+              CSR-increment instruction in this tiny ISA). *)
+           (mux do_mret (Signal mepc +: const_int ~width:16 1)
+              (mux
+                 (running &: ~:fetch_fault &: is op_j)
+                 imm16
+                 (mux
+                    (running &: ~:(do_halt |: do_out))
+                    (Signal pc +: const_int ~width:16 1)
+                    (mux out_fire (Signal pc +: const_int ~width:16 1) (Signal pc)))))));
+  (* CSR updates: the §5.6 semantics. *)
+  Builder.reg_next b mie
+    Expr.(
+      mux (~:resetn) vdd
+        (mux exception_taken gnd (mux do_mret (Signal mpie) (Signal mie))));
+  Builder.reg_next b mpie
+    Expr.(
+      mux (~:resetn) vdd
+        (mux exception_taken (Signal mie) (mux do_mret vdd (Signal mpie))));
+  Builder.reg_next b mcause
+    Expr.(
+      mux exception_taken
+        (Concat (const_int ~width:58 0, cause_code))
+        (Signal mcause));
+  Builder.reg_next b mepc
+    Expr.(mux exception_taken (Signal pc) (Signal mepc));
+  Builder.reg_next b mtvec
+    Expr.(
+      mux
+        (running &: ~:fetch_fault &: is op_csrw_mtvec)
+        imm16 (Signal mtvec));
+  Builder.reg_next b r0
+    Expr.(
+      mux
+        (running &: ~:fetch_fault &: is op_addi)
+        (Signal r0 +: imm16)
+        (Signal r0));
+  Builder.reg_next b halted Expr.(Signal halted |: do_halt);
+  Builder.reg_next b out_pending
+    Expr.(mux do_out vdd (mux out_fire gnd (Signal out_pending)));
+  (* Ports. *)
+  ignore (Builder.output b "out_valid" 1 (Expr.Signal out_pending));
+  ignore (Builder.output b "out_data" 16 (Expr.Signal r0));
+  ignore (Builder.output b "dbg_pc" 16 (Expr.Signal pc));
+  ignore (Builder.output b "dbg_mcause" 64 (Expr.Signal mcause));
+  ignore (Builder.output b "dbg_mie" 1 (Expr.Signal mie));
+  ignore (Builder.output b "dbg_mpie" 1 (Expr.Signal mpie));
+  ignore (Builder.output b "dbg_mepc" 16 (Expr.Signal mepc));
+  ignore (Builder.output b "dbg_exc" 1 exception_taken);
+  ignore (Builder.output b "dbg_ecall" 1 exc_ecall);
+  ignore (Builder.output b "dbg_mret" 1 do_mret);
+  ignore (Builder.output b "dbg_halted" 1 (Expr.Signal halted));
+  Builder.finish b
+
+(** Top-level SoC wrapping one core. *)
+let soc ?(program = bad_trap_program) () =
+  let core_mod = core ~program () in
+  let b = Builder.create "ariane_soc" in
+  let _clk = Builder.clock b "clk" in
+  let resetn = Builder.input b "resetn" 1 in
+  let wires =
+    List.map
+      (fun (n, w) -> (n, Builder.wire b (n ^ "_w") w))
+      [
+        ("out_valid", 1); ("out_data", 16); ("dbg_pc", 16); ("dbg_mcause", 64);
+        ("dbg_mie", 1); ("dbg_mpie", 1); ("dbg_mepc", 16); ("dbg_exc", 1);
+        ("dbg_ecall", 1); ("dbg_mret", 1); ("dbg_halted", 1);
+      ]
+  in
+  Builder.instantiate b ~inst_name:"cpu" ~module_name:core_mod.Circuit.name
+    (Circuit.Drive_input ("resetn", resetn)
+     :: Circuit.Drive_input ("out_ready", Expr.vdd)
+     :: List.map (fun (n, w) -> Circuit.Read_output (n, w)) wires);
+  (* Re-expose every core debug port at the top. *)
+  List.iter
+    (fun (n, id) ->
+      let width =
+        match n with
+        | "dbg_mcause" -> 64
+        | "dbg_pc" | "dbg_mepc" | "out_data" -> 16
+        | _ -> 1
+      in
+      ignore (Builder.output b n width (Expr.Signal id)))
+    wires;
+  Design.create ~top:"ariane_soc" [ Builder.finish b; core_mod ]
+
+(** The Figure 8 assertion set: eight SVAs drawn from across the core's
+    modules; #3 uses [$isunknown] and cannot be synthesized (4-state only). *)
+let figure8_assertions =
+  [
+    ( "a1_exc_disables_mie",
+      "a1: assert property (@(posedge clk) disable iff (!resetn) dbg_exc |=> \
+       !dbg_mie);" );
+    ( "a2_exc_saves_pc",
+      "a2: assert property (@(posedge clk) disable iff (!resetn) dbg_exc |=> \
+       dbg_mepc == $past(dbg_pc, 1));" );
+    ( "a3_no_unknown_pc",
+      "a3: assert property (@(posedge clk) !$isunknown(dbg_pc));" );
+    ( "a4_ecall_cause",
+      "a4: assert property (@(posedge clk) disable iff (!resetn) (dbg_exc && \
+       dbg_ecall) |=> dbg_mcause[3:0] == 4'd11);" );
+    ( "a5_mret_restores",
+      "a5: assert property (@(posedge clk) disable iff (!resetn) dbg_mret |=> \
+       dbg_mie == $past(dbg_mpie, 1));" );
+    ( "a6_out_handshake",
+      "a6: assert property (@(posedge clk) disable iff (!resetn) $rose(out_valid) \
+       |-> ##[0:3] out_ready);" );
+    ( "a7_halt_stable",
+      "a7: assert property (@(posedge clk) disable iff (!resetn) dbg_halted |=> \
+       dbg_halted);" );
+    ( "a8_no_double_exc",
+      "a8: assert property (@(posedge clk) disable iff (!resetn) dbg_exc |=> \
+       (!dbg_exc) or (dbg_exc ##1 !dbg_mie));" );
+  ]
+
+let sva_widths = function
+  | "dbg_mcause" -> 64
+  | "dbg_pc" | "dbg_mepc" | "out_data" -> 16
+  | _ -> 1
+
+(** The §5.6 hardware breakpoint: two levels of nesting and about to take a
+    third — [mcause(63) == 0 && MIE == 0 && MPIE == 0]. *)
+let nested_exception_watches =
+  [
+    { Zoomie_debug.Trigger.w_name = "dbg_mcause"; w_width = 64 };
+    { Zoomie_debug.Trigger.w_name = "dbg_mie"; w_width = 1 };
+    { Zoomie_debug.Trigger.w_name = "dbg_mpie"; w_width = 1 };
+    { Zoomie_debug.Trigger.w_name = "dbg_pc"; w_width = 16 };
+    { Zoomie_debug.Trigger.w_name = "dbg_mepc"; w_width = 16 };
+  ]

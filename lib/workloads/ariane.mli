@@ -1,0 +1,65 @@
+(** Ariane-style core with M-mode trap machinery (§5.6, Figure 8).
+
+    A pipeline skeleton with the CSRs case study 2 interrogates (mcause,
+    mepc, mtvec, MIE/MPIE) and real nested-exception semantics: an
+    exception inside an exception handler with interrupts already
+    disabled is the paper's breakpoint condition
+    [mcause(63) == 0 && MIE == 0 && MPIE == 0].  {!bad_trap_program}
+    misconfigures [mtvec] so the core legally loops re-faulting at the
+    handler address — hardware fine, software broken — which one
+    injection of a valid [mtvec] proves. *)
+
+open Zoomie_rtl
+
+(** {1 ISA opcodes} *)
+
+val op_nop : int
+
+val op_addi : int
+
+val op_out : int
+
+val op_csrw_mtvec : int
+
+val op_ecall : int
+
+val op_mret : int
+
+val op_j : int
+
+val op_illegal : int
+
+val op_halt : int
+
+val instr : op:int -> imm:int -> int
+
+(** {1 mcause codes} *)
+
+val cause_instr_access_fault : int
+
+val cause_illegal : int
+
+val cause_ecall_m : int
+
+(** Highest legal instruction address; fetching past it faults. *)
+val valid_limit : int
+
+(** Sets [mtvec] outside the valid range, then traps: the case-study bug. *)
+val bad_trap_program : int array
+
+(** Same flow with a legal [mtvec]: traps nest and unwind cleanly. *)
+val good_trap_program : int array
+
+val core : ?name:string -> ?program:int array -> unit -> Circuit.t
+
+val soc : ?program:int array -> unit -> Design.t
+
+(** The 8 Figure 8 assertions, [(name, source)]; #3 uses [$isunknown] and
+    is rejected by synthesis, as in the paper. *)
+val figure8_assertions : (string * string) list
+
+(** Signal widths for compiling the assertions. *)
+val sva_widths : string -> int
+
+(** The watch set backing the nested-exception breakpoint. *)
+val nested_exception_watches : Zoomie_debug.Trigger.watch list

@@ -1,0 +1,178 @@
+(** A Beehive-style hardware network stack — the case study 3 workload
+    (§5.7).
+
+    Frames arrive from the MAC as an AXI-stream of 64-bit words with no
+    backpressure (a PHY cannot stall the wire).  A drop queue absorbs
+    bursts and discards whole frames when the downstream engine is busy —
+    required for correctness with or without Zoomie, and the reason §6.2's
+    pausing is transparent only *after* this queue.  Behind it, a shallow
+    two-stage protocol engine parses each frame and emits an
+    acknowledgement on a decoupled TX interface.
+
+    The engine (the MUT) is deliberately shallow-logic so the whole stack
+    closes timing at the design's 250 MHz clock even with the Debug
+    Controller attached. *)
+
+open Zoomie_rtl
+
+let engine_module = "beehive_engine"
+
+(** The protocol engine: S1 parses {type, seq, flow}, S2 looks up the
+    expected sequence in a small flow table and emits an ACK.
+
+    Ports: rx_valid/rx_data(64)/rx_ready, tx_valid/tx_data(64)/tx_ready. *)
+let engine ?(name = engine_module) () =
+  let b = Builder.create name in
+  let clk = Builder.clock b "clk" in
+  let rx_valid = Builder.input b "rx_valid" 1 in
+  let rx_data = Builder.input b "rx_data" 64 in
+  let tx_ready = Builder.input b "tx_ready" 1 in
+  (* Stage 1: parse. *)
+  let s1_valid = Builder.reg b ~clock:clk "s1_valid" 1 in
+  let s1_flow = Builder.reg b ~clock:clk "s1_flow" 4 in
+  let s1_seq = Builder.reg b ~clock:clk "s1_seq" 16 in
+  let s1_type = Builder.reg b ~clock:clk "s1_type" 8 in
+  (* Stage 2: respond (skid on tx). *)
+  let s2_valid = Builder.reg b ~clock:clk "s2_valid" 1 in
+  let s2_data = Builder.reg b ~clock:clk "s2_data" 64 in
+  let tx_fire = Expr.(Signal s2_valid &: tx_ready) in
+  let s2_free = Expr.(~:(Signal s2_valid) |: tx_fire) in
+  let s1_advance = Expr.(Signal s1_valid &: s2_free) in
+  let rx_ready_w =
+    Builder.wire_of b "rx_ready_w" 1 Expr.(~:(Signal s1_valid) |: s1_advance)
+  in
+  let rx_fire = Expr.(rx_valid &: rx_ready_w) in
+  Builder.reg_next b s1_valid Expr.(mux rx_fire vdd (mux s1_advance gnd (Signal s1_valid)));
+  Builder.reg_next b s1_flow Expr.(mux rx_fire (Slice (rx_data, 3, 0)) (Signal s1_flow));
+  Builder.reg_next b s1_seq Expr.(mux rx_fire (Slice (rx_data, 31, 16)) (Signal s1_seq));
+  Builder.reg_next b s1_type Expr.(mux rx_fire (Slice (rx_data, 15, 8)) (Signal s1_type));
+  (* Flow table: expected sequence per flow (LUTRAM). *)
+  let exp_out = Builder.mem_read_wire b "flow_rdata" 16 in
+  Builder.memory b ~name:"flow_table" ~width:16 ~depth:16
+    ~writes:
+      [
+        {
+          Circuit.w_clock = clk;
+          w_enable = s1_advance;
+          w_addr = Expr.Signal s1_flow;
+          w_data = Expr.(Signal s1_seq +: const_int ~width:16 1);
+        };
+      ]
+    ~reads:
+      [
+        { Circuit.r_addr = Expr.Signal s1_flow; r_out = exp_out;
+          r_kind = Circuit.Read_comb };
+      ]
+    ();
+  let in_order = Expr.(Signal s1_seq ==: Signal exp_out) in
+  (* ACK word: [63:56 type=0xAC][55:48 flags][47:32 ack seq][31:4 0][3:0 flow] *)
+  let ack_word =
+    Expr.Concat
+      ( Expr.const_int ~width:8 0xAC,
+        Expr.Concat
+          ( Expr.Concat
+              (Expr.const_int ~width:7 0, in_order),
+            Expr.Concat
+              ( Expr.(Signal s1_seq +: const_int ~width:16 1),
+                Expr.Concat (Expr.const_int ~width:28 0, Expr.Signal s1_flow) ) ) )
+  in
+  Builder.reg_next b s2_valid
+    Expr.(mux s1_advance vdd (mux tx_fire gnd (Signal s2_valid)));
+  Builder.reg_next b s2_data Expr.(mux s1_advance ack_word (Signal s2_data));
+  (* Statistics for debugging. *)
+  let frames_seen =
+    Builder.reg_fb b ~clock:clk ~enable:rx_fire "frames_seen" 16 ~next:(fun q ->
+        Expr.(q +: const_int ~width:16 1))
+  in
+  let out_of_order =
+    Builder.reg_fb b ~clock:clk
+      ~enable:Expr.(s1_advance &: ~:in_order)
+      "out_of_order" 16
+      ~next:(fun q -> Expr.(q +: const_int ~width:16 1))
+  in
+  ignore (Builder.output b "rx_ready" 1 rx_ready_w);
+  ignore (Builder.output b "tx_valid" 1 (Expr.Signal s2_valid));
+  ignore (Builder.output b "tx_data" 64 (Expr.Signal s2_data));
+  ignore (Builder.output b "dbg_frames_seen" 16 (Expr.Signal frames_seen));
+  ignore (Builder.output b "dbg_out_of_order" 16 (Expr.Signal out_of_order));
+  Builder.finish b
+
+(** The full stack: MAC RX (no backpressure) -> drop queue -> engine ->
+    MAC TX.  The queue drops whole words when full and counts drops. *)
+let stack () =
+  let eng = engine () in
+  let b = Builder.create "beehive_stack" in
+  let clk = Builder.clock b "clk" in
+  let mac_valid = Builder.input b "mac_valid" 1 in
+  let mac_data = Builder.input b "mac_data" 64 in
+  let tx_ready = Builder.input b "tx_ready" 1 in
+  (* Drop queue: 16-deep circular FIFO in LUTRAM. *)
+  let depth_bits = 4 in
+  let wptr = Builder.reg b ~clock:clk "q_wptr" 5 in
+  let rptr = Builder.reg b ~clock:clk "q_rptr" 5 in
+  let occupancy = Expr.(Signal wptr -: Signal rptr) in
+  let full = Expr.(bit occupancy 4) in
+  let empty = Expr.(Signal wptr ==: Signal rptr) in
+  let enq = Expr.(mac_valid &: ~:full) in
+  let dropped = Expr.(mac_valid &: full) in
+  let q_out = Builder.mem_read_wire b "q_rdata" 64 in
+  Builder.memory b ~name:"drop_queue" ~width:64 ~depth:16
+    ~writes:
+      [
+        { Circuit.w_clock = clk; w_enable = enq;
+          w_addr = Expr.Slice (Expr.Signal wptr, depth_bits - 1, 0);
+          w_data = mac_data };
+      ]
+    ~reads:
+      [
+        { Circuit.r_addr = Expr.Slice (Expr.Signal rptr, depth_bits - 1, 0);
+          r_out = q_out; r_kind = Circuit.Read_comb };
+      ]
+    ();
+  let eng_ready = Builder.wire b "eng_ready" 1 in
+  let deq = Expr.(~:empty &: Signal eng_ready) in
+  Builder.reg_next b wptr Expr.(mux enq (Signal wptr +: const_int ~width:5 1) (Signal wptr));
+  Builder.reg_next b rptr Expr.(mux deq (Signal rptr +: const_int ~width:5 1) (Signal rptr));
+  let drop_count =
+    Builder.reg_fb b ~clock:clk ~enable:dropped "drop_ctr" 16 ~next:(fun q ->
+        Expr.(q +: const_int ~width:16 1))
+  in
+  (* Engine instance. *)
+  let tx_valid = Builder.wire b "tx_valid_w" 1 in
+  let tx_data = Builder.wire b "tx_data_w" 64 in
+  let frames = Builder.wire b "frames_w" 16 in
+  let ooo = Builder.wire b "ooo_w" 16 in
+  Builder.instantiate b ~inst_name:"engine" ~module_name:eng.Circuit.name
+    [
+      Circuit.Drive_input ("rx_valid", Expr.(~:empty));
+      Circuit.Drive_input ("rx_data", Expr.Signal q_out);
+      Circuit.Drive_input ("tx_ready", tx_ready);
+      Circuit.Read_output ("rx_ready", eng_ready);
+      Circuit.Read_output ("tx_valid", tx_valid);
+      Circuit.Read_output ("tx_data", tx_data);
+      Circuit.Read_output ("dbg_frames_seen", frames);
+      Circuit.Read_output ("dbg_out_of_order", ooo);
+    ];
+  ignore (Builder.output b "tx_valid" 1 (Expr.Signal tx_valid));
+  ignore (Builder.output b "tx_data" 64 (Expr.Signal tx_data));
+  ignore (Builder.output b "drop_count" 16 (Expr.Signal drop_count));
+  ignore (Builder.output b "frames_seen" 16 (Expr.Signal frames));
+  ignore (Builder.output b "out_of_order" 16 (Expr.Signal ooo));
+  Design.create ~top:"beehive_stack" [ Builder.finish b; eng ]
+
+(** The engine's decoupled TX interface (MUT is the requester). *)
+let interfaces () =
+  [
+    Zoomie_pause.Decoupled.make ~name:"tx" ~data_width:64 ~valid:"tx_valid"
+      ~ready:"tx_ready" ~data:"tx_data" ~mut_is_requester:true ();
+  ]
+
+let watches () =
+  [
+    { Zoomie_debug.Trigger.w_name = "dbg_frames_seen"; w_width = 16 };
+    { Zoomie_debug.Trigger.w_name = "dbg_out_of_order"; w_width = 16 };
+    { Zoomie_debug.Trigger.w_name = "tx_valid"; w_width = 1 };
+  ]
+
+(** Design clock: 250 MHz (§5.7). *)
+let freq_mhz = 250.0

@@ -1,0 +1,28 @@
+(** Beehive-style network stack: the 250 MHz timing-pressure workload
+    (§5.7, case study 3).
+
+    An AXI-stream protocol engine behind a MAC-side drop queue.  The MAC
+    cannot be back-pressured (packets arrive whether or not anyone
+    listens), so when the Debug Controller pauses the engine the drop
+    queue absorbs — and, when full, drops — arriving frames, keeping the
+    un-pausable side protocol-correct (§6.2).  The engine must still
+    close 250 MHz with the controller attached, which the ablation bench
+    checks feature by feature. *)
+
+open Zoomie_rtl
+
+val engine_module : string
+
+(** The protocol engine (the MUT of case study 3). *)
+val engine : ?name:string -> unit -> Circuit.t
+
+(** The full stack: MAC model + drop queue + engine. *)
+val stack : unit -> Design.t
+
+(** Decoupled interfaces crossing the engine boundary (AXI TX/RX). *)
+val interfaces : unit -> Zoomie_pause.Decoupled.t list
+
+val watches : unit -> Zoomie_debug.Trigger.watch list
+
+(** The stack's clock constraint (250 MHz). *)
+val freq_mhz : float

@@ -1,0 +1,319 @@
+(** A Cohort-style heterogeneous accelerator SoC with the documented TLB
+    acknowledgement bug — the case study 1 workload (§2.2, §5.5).
+
+    The accelerator complex (the MUT) contains a datapath, a load-store
+    unit, and an MMU whose TLB serves two requesters (the LSU, id 0, and a
+    prefetcher, id 1) through a round-robin arbiter.  The bug reproduces
+    the paper's pink-highlighted omission:
+
+    {v  assign ack = tlb_sel_r == i;          // buggy (shipped)
+        assign ack = tlb_sel_r == i && id == i;  // fixed  v}
+
+    With a single requester the SoC streams results correctly; once the
+    prefetcher starts contending, a TLB response is acknowledged to the
+    wrong requester, the LSU waits forever, and the accelerator returns
+    only part of its results before hanging — exactly the §5.5 symptom.
+
+    Debug-visible signals (LSU state, MMU handshake, TLB select) are MUT
+    outputs, so they can be watched by Zoomie's trigger unit or probed by
+    ILAs, and the MMU handshake assertion {!mmu_sva} compiles into an
+    assertion breakpoint. *)
+
+open Zoomie_rtl
+
+let accel_module = "cohort_accel"
+let accel_fixed_module = "cohort_accel_fixed"
+
+(* LSU states. *)
+let lsu_idle = 0
+let lsu_req = 1
+let lsu_wait = 2
+let lsu_write = 3
+
+(** Build the accelerator complex.  [bug] selects the shipped (buggy)
+    acknowledgement equation. *)
+let accel ?(name = accel_module) ~bug () =
+  let b = Builder.create name in
+  let clk = Builder.clock b "clk" in
+  let work_valid = Builder.input b "work_valid" 1 in
+  let work_vaddr = Builder.input b "work_vaddr" 16 in
+  let work_value = Builder.input b "work_value" 16 in
+  let result_ready = Builder.input b "result_ready" 1 in
+  (* --- MMU: pipelined TLB, 3-cycle latency, multiple in flight --- *)
+  (* Pipeline stages shift every cycle; a grant inserts at stage 0 and the
+     response appears at stage 2 with the original requester id. *)
+  let p_valid = Array.init 3 (fun i -> Builder.reg b ~clock:clk (Printf.sprintf "tlb_p%d_valid" i) 1) in
+  let p_id = Array.init 3 (fun i -> Builder.reg b ~clock:clk (Printf.sprintf "tlb_p%d_id" i) 1) in
+  let p_vaddr = Array.init 3 (fun i -> Builder.reg b ~clock:clk (Printf.sprintf "tlb_p%d_vaddr" i) 16) in
+  (* [tlb_sel_r]: the id of the most recently granted requester.  With a
+     single requester in flight it always matches the response; once two
+     requests pipeline, it is stale by the time the older response pops
+     out — the root of the §2.2 bug. *)
+  let tlb_sel_r = Builder.reg b ~clock:clk "tlb_sel_r" 1 in
+  let req0 = Builder.wire b "mmu_req0" 1 in
+  let req1 = Builder.wire b "mmu_req1" 1 in
+  (* LSU has fixed priority; one grant per cycle. *)
+  let grant0 = Builder.wire_of b "mmu_grant0" 1 (Expr.Signal req0) in
+  let grant1 =
+    Builder.wire_of b "mmu_grant1" 1 Expr.(Signal req1 &: ~:(Signal req0))
+  in
+  let any_grant = Expr.(grant0 |: grant1) in
+  Builder.reg_next b p_valid.(0) any_grant;
+  Builder.reg_next b p_id.(0) Expr.(mux grant1 vdd gnd);
+  Builder.reg_next b p_vaddr.(0) work_vaddr;
+  for i = 1 to 2 do
+    Builder.reg_next b p_valid.(i) (Expr.Signal p_valid.(i - 1));
+    Builder.reg_next b p_id.(i) (Expr.Signal p_id.(i - 1));
+    Builder.reg_next b p_vaddr.(i) (Expr.Signal p_vaddr.(i - 1))
+  done;
+  Builder.reg_next b tlb_sel_r
+    Expr.(mux any_grant (mux grant1 vdd gnd) (Signal tlb_sel_r));
+  let resp_valid =
+    Builder.wire_of b "mmu_resp_valid" 1 (Expr.Signal p_valid.(2))
+  in
+  let resp_id = Expr.Signal p_id.(2) in
+  (* Identity-with-offset "translation". *)
+  let paddr = Expr.(Signal p_vaddr.(2) +: const_int ~width:16 0x40) in
+  (* THE BUG (§2.2): the acknowledgement ignores the response id. *)
+  let ack0, ack1 =
+    if bug then
+      (* Shipped version: `ack = tlb_sel_r == i` — stale under pipelining. *)
+      ( Expr.(resp_valid &: (Signal tlb_sel_r ==: const_int ~width:1 0)),
+        Expr.(resp_valid &: (Signal tlb_sel_r ==: const_int ~width:1 1)) )
+    else
+      (* Fixed: `ack = tlb_sel_r == i && id == i` — the id check the paper
+         highlights in pink. *)
+      ( Expr.(resp_valid &: (resp_id ==: const_int ~width:1 0)),
+        Expr.(resp_valid &: (resp_id ==: const_int ~width:1 1)) )
+  in
+  let ack0 = Builder.wire_of b "mmu_ack0" 1 ack0 in
+  let ack1 = Builder.wire_of b "mmu_ack1" 1 ack1 in
+  (* --- LSU: translate each work item, write it over the system bus --- *)
+  let lsu_state = Builder.reg b ~clock:clk "lsu_state" 2 in
+  let lsu_value = Builder.reg b ~clock:clk "lsu_value" 16 in
+  let lsu_paddr = Builder.reg b ~clock:clk "lsu_paddr" 16 in
+  let in_state s = Expr.(Signal lsu_state ==: const_int ~width:2 s) in
+  let work_fire = Expr.(work_valid &: in_state lsu_idle) in
+  Builder.assign b req0 (in_state lsu_req);
+  Builder.reg_next b lsu_state
+    Expr.(
+      mux work_fire (const_int ~width:2 lsu_req)
+        (mux
+           (in_state lsu_req &: grant0)
+           (const_int ~width:2 lsu_wait)
+           (mux
+              (in_state lsu_wait &: ack0)
+              (const_int ~width:2 lsu_write)
+              (mux (in_state lsu_write) (const_int ~width:2 lsu_idle)
+                 (Signal lsu_state)))));
+  Builder.reg_next b lsu_value Expr.(mux work_fire work_value (Signal lsu_value));
+  Builder.reg_next b lsu_paddr
+    Expr.(mux (in_state lsu_wait &: ack0) paddr (Signal lsu_paddr));
+  (* --- system bus + scratch memory (always-ready responder) --- *)
+  let bus_write = in_state lsu_write in
+  Builder.memory b ~name:"dmem" ~width:16 ~depth:256
+    ~writes:
+      [
+        {
+          Circuit.w_clock = clk;
+          w_enable = bus_write;
+          w_addr = Expr.Slice (Expr.Signal lsu_paddr, 7, 0);
+          w_data = Expr.Signal lsu_value;
+        };
+      ]
+    ~reads:[] ();
+  (* --- prefetcher: contends for the TLB after a warm-up period --- *)
+  let pf_timer = Builder.reg b ~clock:clk "pf_timer" 6 in
+  let pf_waiting = Builder.reg b ~clock:clk "pf_waiting" 1 in
+  let pf_active = Expr.(Signal pf_timer ==: const_int ~width:6 40) in
+  Builder.reg_next b pf_timer
+    Expr.(
+      mux pf_active (Signal pf_timer)
+        (Signal pf_timer +: const_int ~width:6 1));
+  Builder.assign b req1 Expr.(pf_active &: ~:(Signal pf_waiting));
+  Builder.reg_next b pf_waiting
+    Expr.(mux grant1 vdd (mux ack1 gnd (Signal pf_waiting)));
+  (* --- datapath: running checksum, result every 4 items --- *)
+  let checksum = Builder.reg b ~clock:clk "checksum" 32 in
+  let items = Builder.reg b ~clock:clk "items_done" 8 in
+  let item_done = in_state lsu_write in
+  Builder.reg_next b checksum
+    Expr.(
+      mux item_done
+        (Signal checksum
+         +: Concat (const_int ~width:16 0, Signal lsu_value))
+        (Signal checksum));
+  Builder.reg_next b items
+    Expr.(mux item_done (Signal items +: const_int ~width:8 1) (Signal items));
+  let result_pending = Builder.reg b ~clock:clk "result_pending" 1 in
+  let emit = Expr.(item_done &: (Slice (Signal items, 1, 0) ==: const_int ~width:2 3)) in
+  Builder.reg_next b result_pending
+    Expr.(mux emit vdd (mux result_ready gnd (Signal result_pending)));
+  (* --- ports --- *)
+  ignore (Builder.output b "work_ready" 1 (in_state lsu_idle));
+  ignore (Builder.output b "result_valid" 1 (Expr.Signal result_pending));
+  ignore (Builder.output b "result_data" 32 (Expr.Signal checksum));
+  (* Debug-visible signals (markable / watchable / assertable). *)
+  ignore (Builder.output b "dbg_lsu_state" 2 (Expr.Signal lsu_state));
+  ignore
+    (Builder.output b "dbg_mmu_busy" 1
+       Expr.(Signal p_valid.(0) |: Signal p_valid.(1) |: Signal p_valid.(2)));
+  ignore (Builder.output b "dbg_mmu_req0" 1 (Expr.Signal req0));
+  ignore (Builder.output b "dbg_mmu_req1" 1 (Expr.Signal req1));
+  ignore (Builder.output b "dbg_mmu_resp_valid" 1 resp_valid);
+  ignore (Builder.output b "dbg_mmu_ack0" 1 ack0);
+  ignore (Builder.output b "dbg_mmu_ack1" 1 ack1);
+  ignore (Builder.output b "dbg_mmu_id" 1 resp_id);
+  ignore (Builder.output b "dbg_tlb_sel" 1 (Expr.Signal tlb_sel_r));
+  ignore (Builder.output b "dbg_items_done" 8 (Expr.Signal items));
+  Builder.finish b
+
+(** The full SoC: a work-item generator feeding the accelerator, plus a
+    result monitor.  The accelerator is instantiated from [accel_version]
+    (buggy or fixed module name), so a bug fix is a module swap — the VTI
+    iteration in case study 1. *)
+let soc ?(accel_version = accel_module) () =
+  let b = Builder.create "cohort_soc" in
+  let clk = Builder.clock b "clk" in
+  let start = Builder.input b "start" 1 in
+  (* Work generator: a counter-driven stream of items. *)
+  let gen = Builder.reg b ~clock:clk "gen_counter" 16 in
+  let work_ready = Builder.wire b "work_ready_w" 1 in
+  let work_valid = start in
+  Builder.reg_next b gen
+    Expr.(
+      mux
+        (work_valid &: Signal work_ready)
+        (Signal gen +: const_int ~width:16 1)
+        (Signal gen));
+  let result_valid = Builder.wire b "result_valid_w" 1 in
+  let result_data = Builder.wire b "result_data_w" 32 in
+  let dbg_items = Builder.wire b "dbg_items_w" 8 in
+  let dbg_lsu_state = Builder.wire b "dbg_lsu_state_w" 2 in
+  Builder.instantiate b ~inst_name:"accel" ~module_name:accel_version
+    [
+      Circuit.Drive_input ("work_valid", work_valid);
+      Circuit.Drive_input ("work_vaddr", Expr.Signal gen);
+      Circuit.Drive_input ("work_value", Expr.Signal gen);
+      Circuit.Drive_input ("result_ready", Expr.vdd);
+      Circuit.Read_output ("work_ready", work_ready);
+      Circuit.Read_output ("result_valid", result_valid);
+      Circuit.Read_output ("result_data", result_data);
+      Circuit.Read_output ("dbg_items_done", dbg_items);
+      Circuit.Read_output ("dbg_lsu_state", dbg_lsu_state);
+    ];
+  (* Result monitor: count received results. *)
+  let results_seen =
+    Builder.reg_fb b ~clock:clk ~enable:(Expr.Signal result_valid) "results_ctr" 8
+      ~next:(fun q -> Expr.(q +: const_int ~width:8 1))
+  in
+  ignore (Builder.output b "result_valid" 1 (Expr.Signal result_valid));
+  ignore (Builder.output b "result_data" 32 (Expr.Signal result_data));
+  ignore (Builder.output b "results_seen" 8 (Expr.Signal results_seen));
+  ignore (Builder.output b "items_done" 8 (Expr.Signal dbg_items));
+  ignore (Builder.output b "lsu_state" 2 (Expr.Signal dbg_lsu_state));
+  Builder.finish b
+
+(** Design with both accelerator versions available; top instantiates the
+    buggy one unless [fixed].  [filler_clusters] adds that many idle
+    18-core zerv tiles around the accelerator, scaling the SoC to the
+    paper's "multi-million gate" regime for the compile-time story without
+    changing its behavior. *)
+let design ?(fixed = false) ?(filler_clusters = 0) () =
+  let version = if fixed then accel_fixed_module else accel_module in
+  let base = soc ~accel_version:version () in
+  let top =
+    if filler_clusters = 0 then base
+    else begin
+      let b = Builder.create "cohort_soc_tiles" in
+      let _clk = Builder.clock b "clk" in
+      let start = Builder.input b "start" 1 in
+      let outs =
+        List.map
+          (fun (s : Circuit.signal) -> (s.name, Builder.wire b (s.name ^ "_w") s.width))
+          (Circuit.outputs base)
+      in
+      Builder.instantiate b ~inst_name:"soc" ~module_name:"cohort_soc"
+        (Circuit.Drive_input ("start", start)
+        :: List.map (fun (n, w) -> Circuit.Read_output (n, w)) outs);
+      let prev_v = ref Expr.gnd and prev_d = ref (Expr.const_int ~width:32 0) in
+      for i = 0 to filler_clusters - 1 do
+        let v = Builder.wire b (Printf.sprintf "tile%d_v" i) 1 in
+        let d = Builder.wire b (Printf.sprintf "tile%d_d" i) 32 in
+        let r = Builder.wire b (Printf.sprintf "tile%d_r" i) 1 in
+        let h = Builder.wire b (Printf.sprintf "tile%d_h" i) 1 in
+        ignore r;
+        ignore h;
+        Builder.instantiate b ~inst_name:(Printf.sprintf "tile%d" i)
+          ~module_name:Manycore.cluster_module
+          [
+            Circuit.Drive_input ("start", start);
+            Circuit.Drive_input ("ring_in_valid", !prev_v);
+            Circuit.Drive_input ("ring_in_data", !prev_d);
+            Circuit.Drive_input ("ring_out_ready", Expr.vdd);
+            Circuit.Read_output ("ring_in_ready", r);
+            Circuit.Read_output ("ring_out_valid", v);
+            Circuit.Read_output ("ring_out_data", d);
+            Circuit.Read_output ("all_halted", h);
+          ];
+        prev_v := Expr.Signal v;
+        prev_d := Expr.Signal d
+      done;
+      List.iter
+        (fun (s : Circuit.signal) ->
+          ignore
+            (Builder.output b s.name s.width (Expr.Signal (List.assoc s.name outs))))
+        (Circuit.outputs base);
+      Builder.finish b
+    end
+  in
+  let modules =
+    (if filler_clusters = 0 then [ base ] else [ top; base ])
+    @ [
+        accel ~name:accel_module ~bug:true ();
+        accel ~name:accel_fixed_module ~bug:false ();
+      ]
+  in
+  let modules =
+    if filler_clusters > 0 then
+      Manycore.cluster ~name:Manycore.cluster_module
+        ~n:Manycore.default_config.Manycore.cores_per_cluster ~debug_slot0:false
+      :: Serv.core ~name:Manycore.core_module ()
+      :: modules
+    else modules
+  in
+  Design.create ~top:top.Circuit.name modules
+
+(** Replicated units to pass to the toolchains when filler tiles are used. *)
+let filler_units = [ Manycore.cluster_module ]
+
+(** Decoupled interfaces of the accelerator MUT. *)
+let interfaces () =
+  [
+    Zoomie_pause.Decoupled.make ~name:"result" ~data_width:32
+      ~valid:"result_valid" ~ready:"result_ready" ~data:"result_data"
+      ~mut_is_requester:true ();
+    Zoomie_pause.Decoupled.make ~name:"work" ~data_width:16 ~valid:"work_valid"
+      ~ready:"work_ready" ~data:"work_value" ~mut_is_requester:false ();
+  ]
+
+(** Watches for the Debug Controller's trigger unit. *)
+let watches () =
+  [
+    { Zoomie_debug.Trigger.w_name = "dbg_lsu_state"; w_width = 2 };
+    { Zoomie_debug.Trigger.w_name = "dbg_mmu_busy"; w_width = 1 };
+    { Zoomie_debug.Trigger.w_name = "dbg_tlb_sel"; w_width = 1 };
+    { Zoomie_debug.Trigger.w_name = "dbg_items_done"; w_width = 8 };
+  ]
+
+(** The MMU handshake assertion: every LSU wait must be acknowledged within
+    8 cycles — violated at the hang, turning the bug into an assertion
+    breakpoint. *)
+let mmu_sva =
+  "lsu_ack_timely: assert property (@(posedge clk) (dbg_lsu_state == 2'd2 && \
+   dbg_mmu_resp_valid) |-> dbg_mmu_ack0);"
+
+let sva_widths = function
+  | "dbg_lsu_state" -> 2
+  | "dbg_items_done" -> 8
+  | _ -> 1

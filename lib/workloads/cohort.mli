@@ -1,0 +1,53 @@
+(** Cohort-style accelerator SoC with the case-study-1 TLB bug (§5.5).
+
+    An accelerator whose LSU translates addresses through a 3-stage
+    pipelined TLB shared with a prefetcher.  The documented bug: the MMU
+    acknowledges responses against [tlb_sel_r] — the {e last granted}
+    requester — instead of the response's own id, so with two requests
+    in flight the ack goes to the wrong unit and the LSU hangs in WAIT.
+    [bug:false] compiles the fixed version (ack by response id).
+
+    The harness reproduces the paper's sessions on this design: the ILA
+    grind (5 probe-set recompiles) vs one Zoomie stop on the MMU
+    handshake assertion, plus a state-injection workaround. *)
+
+open Zoomie_rtl
+
+val accel_module : string
+
+val accel_fixed_module : string
+
+(** {1 LSU FSM states (for readback interpretation)} *)
+
+val lsu_idle : int
+
+val lsu_req : int
+
+val lsu_wait : int
+
+val lsu_write : int
+
+(** The accelerator, buggy or fixed. *)
+val accel : ?name:string -> bug:bool -> unit -> Circuit.t
+
+(** The SoC top around a chosen accelerator version. *)
+val soc : ?accel_version:string -> unit -> Circuit.t
+
+(** Full design.  [fixed] selects the corrected MMU; [filler_clusters]
+    adds compute clusters to give the SoC a realistic compile size for
+    the case-study timing comparison. *)
+val design : ?fixed:bool -> ?filler_clusters:int -> unit -> Design.t
+
+(** Unit-module names of the filler clusters (stamped at compile). *)
+val filler_units : string list
+
+(** Decoupled interfaces crossing the accelerator boundary. *)
+val interfaces : unit -> Zoomie_pause.Decoupled.t list
+
+val watches : unit -> Zoomie_debug.Trigger.watch list
+
+(** The MMU handshake assertion that catches the bug as a breakpoint. *)
+val mmu_sva : string
+
+(** Signal widths for compiling {!mmu_sva}. *)
+val sva_widths : string -> int

@@ -1,0 +1,248 @@
+(** The CoreScore-style manycore SoC: clusters of zerv cores behind a
+    result arbiter and BRAM trace memories, chained through a pipelined
+    collection ring — the 5400-core §5.2 workload.
+
+    Default geometry: 300 clusters x 18 cores = 5400 cores; each cluster
+    carries 7 x 36 Kb BRAM (a 2048-entry trace FIFO and a wide history
+    memory), and the top level adds a 21-block system capture memory —
+    2,121 BRAM blocks total, Table 2's 98 % utilization. *)
+
+open Zoomie_rtl
+
+type config = {
+  clusters : int;
+  cores_per_cluster : int;
+  debug_core : bool;
+      (** give cluster 0 / core 0 a distinct module name so the Debug
+          Controller (or a VTI iteration) targets exactly that instance *)
+  program : int array;
+}
+
+let default_config =
+  {
+    clusters = 300;
+    cores_per_cluster = 18;
+    debug_core = true;
+    program = Serv.demo_program;
+  }
+
+let core_module = "zerv_core"
+let debug_core_module = "zerv_core_dbg"
+let cluster_module = "zerv_cluster"
+let debug_cluster_module = "zerv_cluster_dbg"
+
+(** Instance path of the debuggable core in the full design. *)
+let debug_core_path = "cluster0.core0"
+
+(* One cluster: [n] cores, a fixed-priority result arbiter, BRAM trace
+   memories, and a register-sliced ring join.  [debug_slot0] swaps core 0's
+   module for the debug variant. *)
+let cluster ~name ~n ~debug_slot0 =
+  let b = Builder.create name in
+  let clk = Builder.clock b "clk" in
+  let start = Builder.input b "start" 1 in
+  let ring_in_valid = Builder.input b "ring_in_valid" 1 in
+  let ring_in_data = Builder.input b "ring_in_data" 32 in
+  let ring_out_ready = Builder.input b "ring_out_ready" 1 in
+  (* Core instances. *)
+  let valids = Array.init n (fun i -> Builder.wire b (Printf.sprintf "c%d_valid" i) 1) in
+  let datas = Array.init n (fun i -> Builder.wire b (Printf.sprintf "c%d_data" i) 32) in
+  let halteds = Array.init n (fun i -> Builder.wire b (Printf.sprintf "c%d_halted" i) 1) in
+  let readys = Array.init n (fun i -> Builder.wire b (Printf.sprintf "c%d_ready" i) 1) in
+  for i = 0 to n - 1 do
+    let module_name =
+      if i = 0 && debug_slot0 then debug_core_module else core_module
+    in
+    Builder.instantiate b ~inst_name:(Printf.sprintf "core%d" i)
+      ~module_name
+      [
+        Circuit.Drive_input ("start", start);
+        Circuit.Drive_input ("result_ready", Expr.Signal readys.(i));
+        Circuit.Read_output ("result_valid", valids.(i));
+        Circuit.Read_output ("result_data", datas.(i));
+        Circuit.Read_output ("halted", halteds.(i));
+      ]
+  done;
+  (* Two-slot skid buffer toward the ring: the input-side ready depends
+     only on local occupancy, so backpressure never chains combinationally
+     through the cluster ring. *)
+  let s0v = Builder.reg b ~clock:clk "out_valid" 1 in
+  let s0d = Builder.reg b ~clock:clk "out_data" 32 in
+  let s1v = Builder.reg b ~clock:clk "skid_valid" 1 in
+  let s1d = Builder.reg b ~clock:clk "skid_data" 32 in
+  let in_rdy = Expr.(~:(Signal s1v)) in
+  (* Ring traffic has priority; otherwise fixed-priority arbitration over
+     local cores. *)
+  let grant = Array.init n (fun i -> Builder.wire b (Printf.sprintf "grant%d" i) 1) in
+  let higher = ref ring_in_valid in
+  for i = 0 to n - 1 do
+    Builder.assign b grant.(i)
+      Expr.(Signal valids.(i) &: ~: !higher &: in_rdy);
+    higher := Expr.(!higher |: Signal valids.(i))
+  done;
+  let local_valid =
+    Expr.tree_or (Array.to_list (Array.map (fun g -> Expr.Signal g) grant))
+  in
+  let local_data =
+    Expr.tree_reduce
+      (fun a b -> Expr.Or (a, b))
+      (Array.to_list
+         (Array.mapi
+            (fun i g ->
+              Expr.(mux (Signal g) (Signal datas.(i)) (const_int ~width:32 0)))
+            grant))
+  in
+  Array.iteri (fun i g -> Builder.assign b readys.(i) (Expr.Signal g)) grant;
+  let take_ring = Expr.(ring_in_valid &: in_rdy) in
+  let accept_any = Builder.wire_of b "accept_any" 1 Expr.(take_ring |: local_valid) in
+  let incoming =
+    Builder.wire_of b "incoming" 32 Expr.(mux take_ring ring_in_data local_data)
+  in
+  (* Skid-buffer state machine. *)
+  let drain = Expr.(Signal s0v &: ring_out_ready) in
+  let s0_free = Expr.(drain |: ~:(Signal s0v)) in
+  let take_s0_from_s1 = Builder.wire_of b "t01" 1 Expr.(s0_free &: Signal s1v) in
+  let take_s0_from_in =
+    Builder.wire_of b "t0i" 1 Expr.(s0_free &: ~:(Signal s1v) &: accept_any)
+  in
+  Builder.reg_next b s0v
+    Expr.(take_s0_from_s1 |: take_s0_from_in |: (Signal s0v &: ~:drain));
+  Builder.reg_next b s0d
+    Expr.(
+      mux take_s0_from_s1 (Signal s1d)
+        (mux take_s0_from_in incoming (Signal s0d)));
+  let in_goes_s1 = Expr.(accept_any &: ~:take_s0_from_in) in
+  Builder.reg_next b s1v
+    Expr.(mux take_s0_from_s1 in_goes_s1 (Signal s1v |: in_goes_s1));
+  Builder.reg_next b s1d Expr.(mux in_goes_s1 incoming (Signal s1d));
+  (* Trace memories: a 2048 x 36 event FIFO and a 1024 x 180 history memory
+     (5 + 2 = 7 BRAM blocks). *)
+  let ev_wptr =
+    Builder.reg_fb b ~clock:clk ~enable:accept_any "ev_wptr" 11 ~next:(fun q ->
+        Expr.(q +: const_int ~width:11 1))
+  in
+  let ev_data = Expr.Concat (Expr.const_int ~width:4 0, incoming) in
+  Builder.memory b ~name:"trace_fifo" ~width:36 ~depth:2048
+    ~writes:
+      [
+        { Circuit.w_clock = clk; w_enable = accept_any;
+          w_addr = Expr.Signal ev_wptr; w_data = ev_data };
+      ]
+    ~reads:[] ();
+  let hist_shift = Builder.reg b ~clock:clk "hist_shift" 180 in
+  Builder.reg_next b hist_shift
+    Expr.(
+      mux accept_any
+        (Concat (Slice (Signal hist_shift, 143, 0), ev_data))
+        (Signal hist_shift));
+  let hist_wptr =
+    Builder.reg_fb b ~clock:clk ~enable:accept_any "hist_wptr" 10 ~next:(fun q ->
+        Expr.(q +: const_int ~width:10 1))
+  in
+  Builder.memory b ~name:"history" ~width:180 ~depth:1024
+    ~writes:
+      [
+        { Circuit.w_clock = clk; w_enable = accept_any;
+          w_addr = Expr.Signal hist_wptr; w_data = Expr.Signal hist_shift };
+      ]
+    ~reads:[] ();
+  (* Halt status, registered so the SoC-wide AND never chains. *)
+  let halted_r =
+    Builder.reg_fb b ~clock:clk "halted_r" 1 ~next:(fun _ ->
+        Expr.tree_and (Array.to_list (Array.map (fun h -> Expr.Signal h) halteds)))
+  in
+  ignore (Builder.output b "ring_in_ready" 1 in_rdy);
+  ignore (Builder.output b "ring_out_valid" 1 (Expr.Signal s0v));
+  ignore (Builder.output b "ring_out_data" 32 (Expr.Signal s0d));
+  ignore (Builder.output b "all_halted" 1 (Expr.Signal halted_r));
+  Builder.finish b
+
+(** Build the full SoC design.  Returns the design plus the module names to
+    pass as [replicated_units] to the toolchains. *)
+let design ?(config = default_config) () =
+  let core = Serv.core ~name:core_module ~program:config.program () in
+  let modules = ref [ core ] in
+  if config.debug_core then
+    modules := Serv.core ~name:debug_core_module ~program:config.program () :: !modules;
+  let cl = cluster ~name:cluster_module ~n:config.cores_per_cluster ~debug_slot0:false in
+  modules := cl :: !modules;
+  if config.debug_core then
+    modules :=
+      cluster ~name:debug_cluster_module ~n:config.cores_per_cluster
+        ~debug_slot0:true
+      :: !modules;
+  (* Top level: chain of clusters plus the system capture memory. *)
+  let b = Builder.create "zerv_soc" in
+  let clk = Builder.clock b "clk" in
+  let start = Builder.input b "start" 1 in
+  let result_ready = Builder.input b "result_ready" 1 in
+  let prev_valid = ref Expr.gnd in
+  let prev_data = ref (Expr.const_int ~width:32 0) in
+  let readies = Array.init config.clusters (fun i -> Builder.wire b (Printf.sprintf "rdy%d" i) 1) in
+  let halted_wires = ref [] in
+  for i = 0 to config.clusters - 1 do
+    let v = Builder.wire b (Printf.sprintf "v%d" i) 1 in
+    let d = Builder.wire b (Printf.sprintf "d%d" i) 32 in
+    let h = Builder.wire b (Printf.sprintf "h%d" i) 1 in
+    halted_wires := h :: !halted_wires;
+    let module_name =
+      if i = 0 && config.debug_core then debug_cluster_module else cluster_module
+    in
+    Builder.instantiate b ~inst_name:(Printf.sprintf "cluster%d" i) ~module_name
+      [
+        Circuit.Drive_input ("start", start);
+        Circuit.Drive_input ("ring_in_valid", !prev_valid);
+        Circuit.Drive_input ("ring_in_data", !prev_data);
+        Circuit.Drive_input
+          ( "ring_out_ready",
+            if i = config.clusters - 1 then result_ready else Expr.Signal readies.(i + 1) );
+        Circuit.Read_output ("ring_in_ready", readies.(i));
+        Circuit.Read_output ("ring_out_valid", v);
+        Circuit.Read_output ("ring_out_data", d);
+        Circuit.Read_output ("all_halted", h);
+      ];
+    prev_valid := Expr.Signal v;
+    prev_data := Expr.Signal d
+  done;
+  (* System capture memory: 1024 x 756 (21 BRAM blocks) recording the last
+     outputs as wide snapshots. *)
+  let sys_shift = Builder.reg b ~clock:clk "sys_shift" 756 in
+  let out_fire = Expr.(!prev_valid &: result_ready) in
+  Builder.reg_next b sys_shift
+    Expr.(
+      mux out_fire
+        (Concat (Slice (Signal sys_shift, 723, 0), !prev_data))
+        (Signal sys_shift));
+  let sys_wptr =
+    Builder.reg_fb b ~clock:clk ~enable:out_fire "sys_wptr" 10 ~next:(fun q ->
+        Expr.(q +: const_int ~width:10 1))
+  in
+  Builder.memory b ~name:"sys_capture" ~width:756 ~depth:1024
+    ~writes:
+      [
+        { Circuit.w_clock = clk; w_enable = out_fire;
+          w_addr = Expr.Signal sys_wptr; w_data = Expr.Signal sys_shift };
+      ]
+    ~reads:[] ();
+  ignore (Builder.output b "result_valid" 1 !prev_valid);
+  ignore (Builder.output b "result_data" 32 !prev_data);
+  ignore
+    (Builder.output b "all_halted" 1
+       (Expr.tree_and (List.map (fun h -> Expr.Signal h) !halted_wires)));
+  let top = Builder.finish b in
+  let design = Design.create ~top:"zerv_soc" (top :: !modules) in
+  let units =
+    if config.debug_core then [ cluster_module; debug_cluster_module ]
+    else [ cluster_module ]
+  in
+  (design, units)
+
+(** Units for the VTI flow: static clusters stay coarse (cluster
+    granularity keeps cross-boundary optimization inside each replica),
+    while the debug cluster's cores are blackboxed individually so the
+    debugged core is its own partition. *)
+let core_units ~config =
+  if config.debug_core then [ cluster_module; core_module; debug_core_module ]
+  else [ cluster_module; core_module ]
+
+let total_cores config = config.clusters * config.cores_per_cluster

@@ -1,0 +1,48 @@
+(** The §5.1 manycore SoC: clusters of zerv cores on a skid-buffered
+    result ring.
+
+    At [clusters = 60, cores_per_cluster = 90] this is the 5,400-core
+    CoreScore-style design of Table 2 and Figure 7.  Cluster 0's slot 0
+    hosts the {e debug core} — a distinctly-named module
+    ([debug_core_module]) so VTI can declare it iterated and the Debug
+    Controller can wrap it without touching the 5,399 replicas. *)
+
+open Zoomie_rtl
+
+type config = {
+  clusters : int;
+  cores_per_cluster : int;
+  debug_core : bool;  (** give cluster 0 slot 0 the debug-core module *)
+  program : int array;  (** boot program of every core *)
+}
+
+(** 60 x 90 with a debug core — the paper's SoC. *)
+val default_config : config
+
+(** {1 Module and path names} *)
+
+val core_module : string
+
+val debug_core_module : string
+
+val cluster_module : string
+
+val debug_cluster_module : string
+
+(** Hierarchical path of the debug core: what VTI iterates on. *)
+val debug_core_path : string
+
+(** One cluster of [n] cores on the result ring ([debug_slot0]: slot 0
+    instantiates the debug-core module).  Exposed for workloads that
+    reuse clusters as compile filler (e.g. the Cohort SoC). *)
+val cluster : name:string -> n:int -> debug_slot0:bool -> Circuit.t
+
+(** Build the design.  Returns it with the cluster-level unit-module
+    names (the hierarchical-synthesis stamping set). *)
+val design : ?config:config -> unit -> Design.t * string list
+
+(** Unit modules at core granularity plus the debug core — the
+    replicated-unit list VTI projects use. *)
+val core_units : config:config -> string list
+
+val total_cores : config -> int

@@ -1,0 +1,257 @@
+(** A SERV-style bit-serial core ("zerv") and its result interface — the
+    building block of the §5.2 CoreScore-style manycore.
+
+    Like SERV, the core trades time for area: the ALU datapath is one bit
+    wide and every [xlen]-bit operation executes serially over [xlen]
+    cycles, giving the characteristic high-FF, low-LUT footprint.  A set of
+    free-running CSR counters (mcycle/minstret/watchdog) mirrors SERV's
+    control registers and dominates the FF count, while the instruction ROM
+    lives in an initialized LUTRAM column.
+
+    ISA (16-bit instructions, 2 architectural registers):
+    {v
+      [15:12] opcode   [11:10] rd   [9:8] rs   [7:0] imm8
+      0 LI    rd <- imm8 (zero-extended)
+      1 ADD   rd <- rd + rs
+      2 SUB   rd <- rd - rs
+      3 XOR   rd <- rd ^ rs
+      4 SCRW  scratch[imm8[5:0]] <- rd[9:0]
+      5 SCRR  rd <- scratch[imm8[5:0]] (zero-extended)
+      6 OUT   emit rd on the decoupled result port
+      7 BNZ   if rd != 0 then pc <- imm8[5:0]
+      8 J     pc <- imm8[5:0]
+      15 HALT
+    v}
+
+    The result port is a decoupled (irrevocable) interface, making the core
+    a drop-in MUT for the Debug Controller. *)
+
+open Zoomie_rtl
+
+let op_li = 0
+let op_add = 1
+let op_sub = 2
+let op_xor = 3
+let op_scrw = 4
+let op_scrr = 5
+let op_out = 6
+let op_bnz = 7
+let op_j = 8
+let op_halt = 15
+
+(** Assemble one instruction. *)
+let instr ~op ~rd ~rs ~imm =
+  ((op land 0xF) lsl 12) lor ((rd land 0x3) lsl 10) lor ((rs land 0x3) lsl 8)
+  lor (imm land 0xFF)
+
+(** A small demo program: compute 3 + 4, emit it, then count down from 5
+    emitting each value, then halt. *)
+let demo_program =
+  [|
+    instr ~op:op_li ~rd:0 ~rs:0 ~imm:3;
+    instr ~op:op_li ~rd:1 ~rs:0 ~imm:4;
+    instr ~op:op_add ~rd:0 ~rs:1 ~imm:0;
+    instr ~op:op_out ~rd:0 ~rs:0 ~imm:0;
+    instr ~op:op_li ~rd:0 ~rs:0 ~imm:5;
+    instr ~op:op_li ~rd:1 ~rs:0 ~imm:1;
+    (* loop: *)
+    instr ~op:op_out ~rd:0 ~rs:0 ~imm:0;
+    instr ~op:op_sub ~rd:0 ~rs:1 ~imm:0;
+    instr ~op:op_bnz ~rd:0 ~rs:0 ~imm:6;
+    instr ~op:op_halt ~rd:0 ~rs:0 ~imm:0;
+  |]
+
+(* One-hot state encoding. *)
+let st_fetch = 0
+let st_exec = 1
+let st_out = 2
+let st_halt = 3
+
+(** Build the core module.  [program] fills the 64-entry instruction ROM;
+    [xlen] is the serial datapath width. *)
+let core ?(name = "zerv_core") ?(program = demo_program) ?(xlen = 18) () =
+  let b = Builder.create name in
+  let clk = Builder.clock b "clk" in
+  let start = Builder.input b "start" 1 in
+  let result_ready = Builder.input b "result_ready" 1 in
+  (* Architectural state. *)
+  let pc = Builder.reg b ~clock:clk "pc" 6 in
+  let instr_r = Builder.reg b ~clock:clk "instr" 16 in
+  let acc = Builder.reg b ~clock:clk "acc" xlen in
+  let opb = Builder.reg b ~clock:clk "opb" xlen in
+  let regs = Array.init 2 (fun i -> Builder.reg b ~clock:clk (Printf.sprintf "r%d" i) xlen) in
+  let bitcnt = Builder.reg b ~clock:clk "bitcnt" 5 in
+  let carry = Builder.reg b ~clock:clk "carry" 1 in
+  let state = Builder.reg b ~clock:clk ~init:(Bits.of_int ~width:4 1) "state" 4 in
+  let started = Builder.reg b ~clock:clk "started" 1 in
+  (* SERV-style CSR block: free-running counters (FF-heavy, LUT-light).
+     Like SERV, these are LFSR/ring counters, not binary adders — the same
+     count-state in a fraction of the logic. *)
+  let mcycle =
+    (* 64-bit maximal LFSR (taps 64,63,61,60). *)
+    Builder.reg_fb b ~clock:clk ~init:(Bits.of_int ~width:64 1) "mcycle" 64
+      ~next:(fun q ->
+        let tap i = Expr.bit q i in
+        let fb =
+          Expr.Xor (Expr.Xor (tap 63, tap 62), Expr.Xor (tap 60, tap 59))
+        in
+        Expr.Concat (Expr.Slice (q, 62, 0), fb))
+  in
+  ignore mcycle;
+  let minstret =
+    (* Ring counter rotated on instruction retire. *)
+    Builder.reg b ~clock:clk ~init:(Bits.of_int ~width:32 1) "minstret" 32
+  in
+  let watchdog =
+    Builder.reg b ~clock:clk ~init:(Bits.of_int ~width:24 1) "watchdog" 24
+  in
+  let stx i = Expr.bit (Expr.Signal state) i in
+  let in_fetch = Expr.(stx st_fetch &: Signal started) in
+  let in_exec = stx st_exec in
+  let in_out = stx st_out in
+  (* Instruction ROM: 64 x 16 LUTRAM with baked-in contents (the bitstream
+     initializes LUTRAM exactly like logic LUTs). *)
+  let halt_word = instr ~op:op_halt ~rd:0 ~rs:0 ~imm:0 in
+  let rom_init =
+    Array.init 64 (fun i ->
+        Bits.of_int ~width:16
+          (if i < Array.length program then program.(i) else halt_word))
+  in
+  let rom_out = Builder.mem_read_wire b "imem_rdata" 16 in
+  Builder.memory b ~init:rom_init ~name:"imem" ~width:16 ~depth:64 ~writes:[]
+    ~reads:
+      [
+        { Circuit.r_addr = Expr.Signal pc; r_out = rom_out;
+          r_kind = Circuit.Read_comb };
+      ]
+    ();
+  let rom_value = Expr.Signal rom_out in
+  (* Decode fields of the *latched* instruction... *)
+  let opcode = Expr.Slice (Expr.Signal instr_r, 15, 12) in
+  let rd_sel = Expr.bit (Expr.Signal instr_r) 10 in
+  let imm8 = Expr.Slice (Expr.Signal instr_r, 7, 0) in
+  let is op = Expr.(opcode ==: const_int ~width:4 op) in
+  (* ...and of the instruction being fetched this cycle (operand latch). *)
+  let f_rd_sel = Expr.bit rom_value 10 in
+  let f_rs_sel = Expr.bit rom_value 8 in
+  (* Data scratchpad: 64 x 10 LUTRAM. *)
+  let scr_out = Builder.mem_read_wire b "scr_rdata" 10 in
+  Builder.memory b ~name:"scratch" ~width:10 ~depth:64
+    ~writes:
+      [
+        {
+          Circuit.w_clock = clk;
+          w_enable = Expr.(in_exec &: is op_scrw);
+          w_addr = Expr.Slice (imm8, 5, 0);
+          w_data = Expr.Slice (Expr.Signal acc, 9, 0);
+        };
+      ]
+    ~reads:
+      [
+        { Circuit.r_addr = Expr.Slice (imm8, 5, 0); r_out = scr_out;
+          r_kind = Circuit.Read_comb };
+      ]
+    ();
+  let read_reg sel = Expr.Mux (sel, Expr.Signal regs.(1), Expr.Signal regs.(0)) in
+  let rd_val = read_reg rd_sel in
+  (* Serial ALU: one full-adder bit per cycle; SUB inverts the operand with
+     carry-in 1; XOR bypasses the carry chain. *)
+  let serial = Expr.(is op_add |: is op_sub |: is op_xor) in
+  let a_bit = Expr.bit (Expr.Signal acc) 0 in
+  let b_bit_raw = Expr.bit (Expr.Signal opb) 0 in
+  let b_bit = Expr.(mux (is op_sub) (~:b_bit_raw) b_bit_raw) in
+  let sum_bit =
+    Expr.(mux (is op_xor) (a_bit ^: b_bit_raw) (a_bit ^: b_bit ^: Signal carry))
+  in
+  let carry_next =
+    Expr.((a_bit &: b_bit) |: (Signal carry &: (a_bit ^: b_bit)))
+  in
+  let exec_last = Expr.(Signal bitcnt ==: const_int ~width:5 (xlen - 1)) in
+  let exec_done = Expr.(mux serial exec_last vdd) in
+  (* State transitions. *)
+  let result_fire = Expr.(in_out &: result_ready) in
+  let onehot i = Expr.const_int ~width:4 (1 lsl i) in
+  let next_state =
+    Expr.(
+      mux in_fetch
+        (mux
+           (Slice (rom_value, 15, 12) ==: const_int ~width:4 op_halt)
+           (onehot st_halt) (onehot st_exec))
+        (mux
+           (in_exec &: exec_done)
+           (mux (is op_out) (onehot st_out) (onehot st_fetch))
+           (mux result_fire (onehot st_fetch) (Signal state))))
+  in
+  Builder.reg_next b state Expr.(mux (Signal started) next_state (Signal state));
+  Builder.reg_next b started Expr.(Signal started |: start);
+  Builder.reg_next b instr_r Expr.(mux in_fetch rom_value (Signal instr_r));
+  let branch_taken =
+    Expr.(in_exec &: exec_done &: (is op_j |: (is op_bnz &: Reduce_or rd_val)))
+  in
+  Builder.reg_next b pc
+    Expr.(
+      mux branch_taken
+        (Slice (imm8, 5, 0))
+        (mux
+           ((in_exec &: exec_done &: ~:(is op_out)) |: result_fire)
+           (Signal pc +: const_int ~width:6 1)
+           (Signal pc)));
+  (* acc: loaded with rd at fetch; serial ops shift the result through it. *)
+  let acc_shifted = Expr.Concat (sum_bit, Expr.Slice (Expr.Signal acc, xlen - 1, 1)) in
+  Builder.reg_next b acc
+    Expr.(
+      mux in_fetch (read_reg f_rd_sel)
+        (mux (in_exec &: serial) acc_shifted (Signal acc)));
+  Builder.reg_next b opb
+    Expr.(
+      mux in_fetch (read_reg f_rs_sel)
+        (mux
+           (in_exec &: serial)
+           (Concat (gnd, Slice (Signal opb, xlen - 1, 1)))
+           (Signal opb)));
+  Builder.reg_next b bitcnt
+    Expr.(
+      mux in_fetch (const_int ~width:5 0)
+        (mux (in_exec &: serial) (Signal bitcnt +: const_int ~width:5 1)
+           (Signal bitcnt)));
+  Builder.reg_next b carry
+    Expr.(
+      mux in_fetch (Slice (rom_value, 15, 12) ==: const_int ~width:4 op_sub)
+        (mux (in_exec &: serial) carry_next (Signal carry)));
+  (* Writeback at the end of EXEC. *)
+  let li_value = Expr.Concat (Expr.const_int ~width:(xlen - 8) 0, imm8) in
+  let scr_value = Expr.Concat (Expr.const_int ~width:(xlen - 10) 0, Expr.Signal scr_out) in
+  let wb_en = Expr.(in_exec &: exec_done &: (serial |: is op_li |: is op_scrr)) in
+  let wb_data =
+    Expr.(mux (is op_li) li_value (mux (is op_scrr) scr_value acc_shifted))
+  in
+  Array.iteri
+    (fun i r ->
+      let sel = if i = 0 then Expr.(~:rd_sel) else rd_sel in
+      Builder.reg_next b r Expr.(mux (wb_en &: sel) wb_data (Signal r)))
+    regs;
+  (* CSR counters (ring rotations). *)
+  Builder.reg_next b minstret
+    Expr.(
+      mux (in_exec &: exec_done)
+        (Concat (Slice (Signal minstret, 30, 0), bit (Signal minstret) 31))
+        (Signal minstret));
+  Builder.reg_next b watchdog
+    Expr.(
+      mux in_fetch
+        (Concat (Slice (Signal watchdog, 22, 0), bit (Signal watchdog) 23))
+        (Signal watchdog));
+  (* Decoupled result port (irrevocable: valid holds until ready). *)
+  ignore (Builder.output b "result_valid" 1 in_out);
+  ignore
+    (Builder.output b "result_data" 32
+       (if xlen >= 32 then Expr.Slice (rd_val, 31, 0)
+        else Expr.Concat (Expr.const_int ~width:(32 - xlen) 0, rd_val)));
+  ignore (Builder.output b "halted" 1 (stx st_halt));
+  Builder.finish b
+
+(** The decoupled result interface of a core, for the Debug Controller. *)
+let result_interface () =
+  Zoomie_pause.Decoupled.make ~name:"result" ~data_width:32
+    ~valid:"result_valid" ~ready:"result_ready" ~data:"result_data"
+    ~mut_is_requester:true ()

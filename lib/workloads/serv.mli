@@ -1,0 +1,59 @@
+(** zerv: a SERV-style bit-serial core (~200 LUTs).
+
+    The unit cell of the §5.1 manycore: 16-bit instructions over a small
+    ISA, a LUTRAM register file and instruction ROM, an LFSR cycle
+    counter ([mcycle], whose progress the VTI tests use as evidence of
+    preserved state), and a decoupled result output.  Bit-serial
+    execution keeps it at SERV-class area so 5,400 of them reproduce
+    Table 2's utilization. *)
+
+open Zoomie_rtl
+
+(** {1 ISA opcodes} *)
+
+val op_li : int
+
+val op_add : int
+
+val op_sub : int
+
+val op_xor : int
+
+(** Scratchpad write. *)
+val op_scrw : int
+
+(** Scratchpad read. *)
+val op_scrr : int
+
+(** Emit a register over the result interface. *)
+val op_out : int
+
+(** Branch if nonzero. *)
+val op_bnz : int
+
+val op_j : int
+
+val op_halt : int
+
+(** Assemble one 16-bit instruction. *)
+val instr : op:int -> rd:int -> rs:int -> imm:int -> int
+
+(** The default program: a small compute-and-emit loop. *)
+val demo_program : int array
+
+(** {1 FSM states (for watches and breakpoints)} *)
+
+val st_fetch : int
+
+val st_exec : int
+
+val st_out : int
+
+val st_halt : int
+
+(** Build one core.  [program] seeds the instruction ROM; [xlen]
+    (default 18) is the datapath width. *)
+val core : ?name:string -> ?program:int array -> ?xlen:int -> unit -> Circuit.t
+
+(** The core's decoupled result output, as a pause-buffer declaration. *)
+val result_interface : unit -> Zoomie_pause.Decoupled.t

@@ -1,0 +1,225 @@
+(* Integration tests at the public-API level (Zoomie.Zoomie_api): the
+   exact surface README and the examples use.  Everything below goes
+   through the façade only — if these pass, the quickstart works. *)
+
+open Zoomie.Zoomie_api
+open Rtl
+
+let bits = Bits.of_int
+
+(* The quickstart's shape: a counter MUT emitting an event every 8th
+   count over a decoupled interface, instantiated once in a small top. *)
+let mut_module () =
+  let b = Builder.create "api_mut" in
+  let clk = Builder.clock b "clk" in
+  let ev_ready = Builder.input b "ev_ready" 1 in
+  let count = Builder.reg b ~clock:clk "count" 16 in
+  let pending = Builder.reg b ~clock:clk "pending" 1 in
+  let fire = Expr.(Slice (Signal count, 2, 0) ==: const_int ~width:3 7) in
+  let run = Expr.(~:(Signal pending)) in
+  Builder.reg_next b count
+    Expr.(mux run (Signal count +: const_int ~width:16 1) (Signal count));
+  Builder.reg_next b pending
+    Expr.(
+      mux (run &: fire) vdd
+        (mux (Signal pending &: ev_ready) gnd (Signal pending)));
+  ignore (Builder.output b "ev_valid" 1 (Expr.Signal pending));
+  ignore (Builder.output b "ev_data" 16 (Expr.Signal count));
+  ignore (Builder.output b "dbg_count" 16 (Expr.Signal count));
+  Builder.finish b
+
+let top () =
+  let b = Builder.create "api_top" in
+  let _clk = Builder.clock b "clk" in
+  let ev_valid = Builder.wire b "ev_valid_w" 1 in
+  let ev_data = Builder.wire b "ev_data_w" 16 in
+  let dbg_count = Builder.wire b "dbg_count_w" 16 in
+  Builder.instantiate b ~inst_name:"dut" ~module_name:"api_mut"
+    [
+      Circuit.Drive_input ("ev_ready", Expr.vdd);
+      Circuit.Read_output ("ev_valid", ev_valid);
+      Circuit.Read_output ("ev_data", ev_data);
+      Circuit.Read_output ("dbg_count", dbg_count);
+    ];
+  ignore (Builder.output b "count" 16 (Expr.Signal dbg_count));
+  Design.create ~top:"api_top" [ Builder.finish b; mut_module () ]
+
+let debugged_project () =
+  add_debug (create_project (top ())) ~mut:"api_mut"
+    ~interfaces:
+      [
+        Pause.Decoupled.make ~name:"ev" ~data_width:16 ~valid:"ev_valid"
+          ~ready:"ev_ready" ~data:"ev_data" ~mut_is_requester:true ();
+      ]
+    ~watches:[ { Debug.Trigger.w_name = "dbg_count"; w_width = 16 } ]
+
+let test_project_defaults () =
+  let p = create_project (top ()) in
+  Alcotest.(check string) "clock" "clk" p.clock_root;
+  Alcotest.(check bool) "50 MHz default" true (p.freq_mhz = 50.0);
+  Alcotest.(check bool) "no debug yet" true (p.debug_info = None);
+  Alcotest.(check bool) "version string" true (String.length version > 0)
+
+let test_assertion_surface () =
+  (match assertion "a: assert property (@(posedge clk) v |-> ##1 r);" with
+  | Ok m -> Alcotest.(check string) "named" "a" m.Sva.Emit.m_name
+  | Error e -> Alcotest.failf "should compile: %s" e);
+  (match assertion "b: assert property (@(posedge clk) first_match(v) |-> r);" with
+  | Ok _ -> Alcotest.fail "first_match must be rejected (Table 4)"
+  | Error reason ->
+    Alcotest.(check bool) "reason mentions the construct" true
+      (String.length reason > 0));
+  match assertion_exn "c: assert property (@(posedge clk) not (v ##1 v));" with
+  | m -> Alcotest.(check bool) "monitor has a circuit" true (m.Sva.Emit.m_inputs <> [])
+  | exception Invalid_argument _ -> Alcotest.fail "supported form raised"
+
+let test_vendor_session () =
+  let project = debugged_project () in
+  let run = compile_vendor project in
+  let board = board project in
+  program_vendor board run;
+  let host = attach project board ~mut_path:"dut" in
+  (* Value breakpoint at count = 20, through the façade. *)
+  Debug.Host.break_on_all host [ ("dbg_count", bits ~width:16 20) ];
+  Alcotest.(check bool) "breakpoint hit" true
+    (Debug.Host.run_until_stop ~max_cycles:2000 host);
+  Alcotest.(check int) "stopped at 20" 20
+    (Bits.to_int (Debug.Host.read_register host "count"));
+  (* Injection + stepping, still through the façade. *)
+  Debug.Host.clear_value_breakpoints host;
+  Debug.Host.write_register host "count" (bits ~width:16 1000);
+  Debug.Host.step host 4;
+  Alcotest.(check int) "stepped from injected value" 1004
+    (Bits.to_int (Debug.Host.read_register host "count"))
+
+let test_vti_session () =
+  let module Manycore = Workloads.Manycore in
+  let module Serv = Workloads.Serv in
+  let config = { Manycore.default_config with clusters = 2; cores_per_cluster = 2 } in
+  let design, _ = Manycore.design ~config () in
+  let project =
+    create_project design ~replicated_units:(Manycore.core_units ~config)
+  in
+  let build = compile_vti project ~iterated:[ Manycore.debug_core_path ] in
+  let board = board project in
+  program_vti board build;
+  let program =
+    [|
+      Serv.instr ~op:Serv.op_li ~rd:0 ~rs:0 ~imm:7;
+      Serv.instr ~op:Serv.op_halt ~rd:0 ~rs:0 ~imm:0;
+    |]
+  in
+  let circuit = Serv.core ~name:"api_vti_core" ~program () in
+  let build2 = recompile build ~path:Manycore.debug_core_path ~circuit in
+  Alcotest.(check bool) "partial bitstream" true
+    build2.Vti.Flow.bitstream.Bitstream.Board.bs_partial;
+  program_vti board build2;
+  let sim = Bitstream.Board.netsim board in
+  Synth.Netsim.poke_input sim "start" (bits ~width:1 1);
+  Bitstream.Board.run board 200;
+  Alcotest.(check int) "reconfigured core executed" 7
+    (Bits.to_int (Synth.Netsim.read_register sim "cluster0.core0.r0"))
+
+let suite =
+  [
+    Alcotest.test_case "project defaults" `Quick test_project_defaults;
+    Alcotest.test_case "assertion compile surface" `Quick test_assertion_surface;
+    Alcotest.test_case "vendor debug session" `Quick test_vendor_session;
+    Alcotest.test_case "VTI iterate session" `Quick test_vti_session;
+  ]
+
+(* End-to-end on the 4-SLR U250: the whole stack — compile, program over
+   the longer BOUT ring, breakpoint, readback, injection — must work
+   unchanged on a different chiplet topology. *)
+let test_u250_session () =
+  let device = Fabric.Device.u250 () in
+  let project = create_project ~device (top ()) in
+  let project =
+    add_debug project ~mut:"api_mut"
+      ~interfaces:
+        [
+          Pause.Decoupled.make ~name:"ev" ~data_width:16 ~valid:"ev_valid"
+            ~ready:"ev_ready" ~data:"ev_data" ~mut_is_requester:true ();
+        ]
+      ~watches:[ { Debug.Trigger.w_name = "dbg_count"; w_width = 16 } ]
+  in
+  let run = compile_vendor project in
+  let board = board project in
+  program_vendor board run;
+  let host = attach project board ~mut_path:"dut" in
+  Debug.Host.break_on_all host [ ("dbg_count", Rtl.Bits.of_int ~width:16 15) ];
+  Alcotest.(check bool) "breakpoint on the U250" true
+    (Debug.Host.run_until_stop ~max_cycles:2000 host);
+  Alcotest.(check int) "readback across the 4-SLR ring" 15
+    (Rtl.Bits.to_int (Debug.Host.read_register host "count"));
+  Debug.Host.write_register host "count" (Rtl.Bits.of_int ~width:16 500);
+  Alcotest.(check int) "injection across the ring" 500
+    (Rtl.Bits.to_int (Debug.Host.read_register host "count"))
+
+(* The Wave collector: change compression and late signal declaration. *)
+let test_wave_collector () =
+  let w = Debug.Wave.create ~scope:"t" () in
+  let b v = Rtl.Bits.of_int ~width:8 v in
+  Debug.Wave.sample w [ ("a", b 1) ];
+  Debug.Wave.sample w [ ("a", b 1) ];  (* unchanged: no change record *)
+  Debug.Wave.sample w [ ("a", b 2); ("late", Rtl.Bits.of_int ~width:1 1) ];
+  Alcotest.(check int) "three cycles" 3 (Debug.Wave.cycles w);
+  Alcotest.(check int) "two signals" 2 (Debug.Wave.signal_count w);
+  let vcd = Debug.Wave.contents w in
+  let count_sub sub =
+    let n = ref 0 and i = ref 0 in
+    let ls = String.length sub in
+    while !i + ls <= String.length vcd do
+      if String.sub vcd !i ls = sub then incr n;
+      incr i
+    done;
+    !n
+  in
+  (* 'a' changes at t0 and t2 only -> exactly two 'b...' value lines for
+     its code; timestep #1 must be absent entirely. *)
+  Alcotest.(check int) "a changed twice" 2 (count_sub "\nb");
+  Alcotest.(check int) "no timestep for the idle cycle" 0 (count_sub "#1\n");
+  Alcotest.(check int) "both declared" 2 (count_sub "$var wire")
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "U250 end-to-end session" `Quick test_u250_session;
+      Alcotest.test_case "wave collector" `Quick test_wave_collector;
+    ]
+
+(* diff_states algebra over random state lists. *)
+let prop_diff_states =
+  QCheck2.Test.make ~name:"diff_states algebra" ~count:100 QCheck2.Gen.int
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let rand_state () =
+        List.init (Random.State.int st 12) (fun i ->
+            (Printf.sprintf "r%d" i, bits ~width:8 (Random.State.int st 256)))
+      in
+      let s1 = rand_state () and s2 = rand_state () in
+      let d12 = Debug.Host.diff_states s1 s2 in
+      let d21 = Debug.Host.diff_states s2 s1 in
+      (* Reflexive: no self-differences. *)
+      Debug.Host.diff_states s1 s1 = []
+      (* Symmetric up to swapping before/after. *)
+      && List.sort compare (List.map (fun (n, b, a) -> (n, a, b)) d12)
+         = List.sort compare d21
+      (* Sound: every reported pair really differs. *)
+      && List.for_all
+           (fun (_, b, a) ->
+             match (b, a) with
+             | Some b, Some a -> not (Rtl.Bits.equal b a)
+             | None, Some _ | Some _, None -> true
+             | None, None -> false)
+           d12
+      (* Complete: every name whose values differ is reported. *)
+      && List.for_all
+           (fun (n, v1) ->
+             match List.assoc_opt n s2 with
+             | Some v2 when Rtl.Bits.equal v1 v2 ->
+               not (List.exists (fun (m, _, _) -> m = n) d12)
+             | _ -> List.exists (fun (m, _, _) -> m = n) d12)
+           s1)
+
+let suite = suite @ [ QCheck_alcotest.to_alcotest prop_diff_states ]

@@ -1,0 +1,135 @@
+(* Unit and property tests for the Bits value domain. *)
+
+open Zoomie_rtl
+
+let bits_testable =
+  Alcotest.testable (fun fmt b -> Fmt.string fmt (Bits.to_string b)) Bits.equal
+
+let check_bits = Alcotest.check bits_testable
+
+let test_of_to_int () =
+  Alcotest.(check int) "roundtrip 42" 42 (Bits.to_int (Bits.of_int ~width:8 42));
+  Alcotest.(check int) "truncation" 1 (Bits.to_int (Bits.of_int ~width:1 3));
+  Alcotest.(check int) "wide roundtrip" 123456789
+    (Bits.to_int (Bits.of_int ~width:40 123456789))
+
+let test_zero_ones () =
+  Alcotest.(check bool) "zero is zero" true (Bits.is_zero (Bits.zero 65));
+  Alcotest.(check bool) "ones reduce_and" true (Bits.reduce_and (Bits.ones 65));
+  Alcotest.(check bool) "ones not zero" false (Bits.is_zero (Bits.ones 3))
+
+let test_arith () =
+  let a = Bits.of_int ~width:8 200 and b = Bits.of_int ~width:8 100 in
+  check_bits "add wraps" (Bits.of_int ~width:8 44) (Bits.add a b);
+  check_bits "sub" (Bits.of_int ~width:8 100) (Bits.sub a b);
+  check_bits "sub wraps" (Bits.of_int ~width:8 156) (Bits.sub b a);
+  check_bits "mul wraps" (Bits.of_int ~width:8 ((200 * 100) land 255)) (Bits.mul a b)
+
+let test_slice_concat () =
+  let v = Bits.of_int ~width:12 0xABC in
+  check_bits "slice high" (Bits.of_int ~width:4 0xA) (Bits.slice v ~hi:11 ~lo:8);
+  check_bits "slice low" (Bits.of_int ~width:4 0xC) (Bits.slice v ~hi:3 ~lo:0);
+  let hi = Bits.of_int ~width:4 0xA and lo = Bits.of_int ~width:8 0xBC in
+  check_bits "concat" v (Bits.concat hi lo)
+
+let test_shift () =
+  let v = Bits.of_int ~width:8 0b1011 in
+  check_bits "shl" (Bits.of_int ~width:8 0b101100) (Bits.shift_left v 2);
+  check_bits "shr" (Bits.of_int ~width:8 0b10) (Bits.shift_right v 2);
+  check_bits "shl overflow drops" (Bits.of_int ~width:4 0b1000)
+    (Bits.shift_left (Bits.of_int ~width:4 0b1101) 3)
+
+let test_strings () =
+  let v = Bits.of_binary_string "1010110" in
+  Alcotest.(check int) "of_binary" 0b1010110 (Bits.to_int v);
+  Alcotest.(check string) "to_binary" "1010110" (Bits.to_binary_string v);
+  Alcotest.(check string) "to_hex" "56" (Bits.to_hex_string v)
+
+let test_reduce () =
+  Alcotest.(check bool) "xor odd" true (Bits.reduce_xor (Bits.of_int ~width:8 0b0111));
+  Alcotest.(check bool) "xor even" false (Bits.reduce_xor (Bits.of_int ~width:8 0b0110));
+  Alcotest.(check bool) "or" true (Bits.reduce_or (Bits.of_int ~width:70 1))
+
+let test_compare () =
+  let a = Bits.of_int ~width:48 5 and b = Bits.of_int ~width:48 9 in
+  Alcotest.(check bool) "lt" true (Bits.lt_u a b);
+  Alcotest.(check bool) "not lt" false (Bits.lt_u b a);
+  Alcotest.(check int) "eq compare" 0 (Bits.compare_u a a)
+
+let test_get_set () =
+  let v = Bits.zero 40 in
+  let v = Bits.set v 39 true in
+  Alcotest.(check bool) "bit 39" true (Bits.get v 39);
+  Alcotest.(check bool) "bit 38" false (Bits.get v 38);
+  let v = Bits.set v 39 false in
+  Alcotest.(check bool) "cleared" true (Bits.is_zero v)
+
+(* Property tests. *)
+
+let gen_width = QCheck2.Gen.int_range 1 80
+
+let gen_pair =
+  QCheck2.Gen.(
+    gen_width >>= fun w ->
+    let bits =
+      map
+        (fun seed -> Bits.random ~width:w (Random.State.make [| seed |]))
+        int
+    in
+    pair bits bits)
+
+let prop_add_comm =
+  QCheck2.Test.make ~name:"add commutative" ~count:200 gen_pair (fun (a, b) ->
+      Bits.equal (Bits.add a b) (Bits.add b a))
+
+let prop_sub_inverse =
+  QCheck2.Test.make ~name:"a+b-b = a" ~count:200 gen_pair (fun (a, b) ->
+      Bits.equal a (Bits.sub (Bits.add a b) b))
+
+let prop_demorgan =
+  QCheck2.Test.make ~name:"De Morgan" ~count:200 gen_pair (fun (a, b) ->
+      Bits.equal
+        (Bits.lognot (Bits.logand a b))
+        (Bits.logor (Bits.lognot a) (Bits.lognot b)))
+
+let prop_xor_self =
+  QCheck2.Test.make ~name:"a xor a = 0" ~count:200 gen_pair (fun (a, _) ->
+      Bits.is_zero (Bits.logxor a a))
+
+let prop_binary_roundtrip =
+  QCheck2.Test.make ~name:"binary string roundtrip" ~count:200 gen_pair
+    (fun (a, _) -> Bits.equal a (Bits.of_binary_string (Bits.to_binary_string a)))
+
+let prop_slice_concat =
+  QCheck2.Test.make ~name:"concat(slice hi, slice lo) = id" ~count:200
+    QCheck2.Gen.(
+      int_range 2 60 >>= fun w ->
+      pair (return w) (map (fun s -> Bits.random ~width:w (Random.State.make [| s |])) int))
+    (fun (w, a) ->
+      let mid = w / 2 in
+      let hi = Bits.slice a ~hi:(w - 1) ~lo:mid and lo = Bits.slice a ~hi:(mid - 1) ~lo:0 in
+      Bits.equal a (Bits.concat hi lo))
+
+let prop_compare_total =
+  QCheck2.Test.make ~name:"compare_u antisymmetric" ~count:200 gen_pair
+    (fun (a, b) -> Bits.compare_u a b = -Bits.compare_u b a)
+
+let suite =
+  [
+    Alcotest.test_case "of_int/to_int" `Quick test_of_to_int;
+    Alcotest.test_case "zero/ones" `Quick test_zero_ones;
+    Alcotest.test_case "arithmetic" `Quick test_arith;
+    Alcotest.test_case "slice/concat" `Quick test_slice_concat;
+    Alcotest.test_case "shifts" `Quick test_shift;
+    Alcotest.test_case "string conversions" `Quick test_strings;
+    Alcotest.test_case "reductions" `Quick test_reduce;
+    Alcotest.test_case "comparison" `Quick test_compare;
+    Alcotest.test_case "get/set" `Quick test_get_set;
+    QCheck_alcotest.to_alcotest prop_add_comm;
+    QCheck_alcotest.to_alcotest prop_sub_inverse;
+    QCheck_alcotest.to_alcotest prop_demorgan;
+    QCheck_alcotest.to_alcotest prop_xor_self;
+    QCheck_alcotest.to_alcotest prop_binary_roundtrip;
+    QCheck_alcotest.to_alcotest prop_slice_concat;
+    QCheck_alcotest.to_alcotest prop_compare_total;
+  ]

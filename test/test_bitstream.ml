@@ -1,0 +1,267 @@
+(* Bitstream/configuration tests, including reproductions of the §4.4-4.5
+   reverse-engineering experiments: the BOUT ring-hop selection, IDCODE
+   irrelevance on secondary SLRs, the U250 repetition pattern, and the
+   GSR-mask quirk of partial reconfiguration (§4.7). *)
+
+open Zoomie_rtl
+module Packet = Zoomie_bitstream.Packet
+module Program = Zoomie_bitstream.Program
+module Board = Zoomie_bitstream.Board
+module Uc = Zoomie_bitstream.Uc
+module Device = Zoomie_fabric.Device
+module Geometry = Zoomie_fabric.Geometry
+
+let bits = Bits.of_int
+
+(* --- packet codec --- *)
+
+let test_packet_roundtrip () =
+  let h = Packet.type1 ~op:Packet.Op_write ~reg:(Packet.reg_addr Packet.Far) ~count:1 in
+  (match Packet.decode h with
+  | Packet.Type1 { op = Packet.Op_write; reg; count = 1 }
+    when reg = Packet.reg_addr Packet.Far ->
+    ()
+  | _ -> Alcotest.fail "type1 roundtrip");
+  let h2 = Packet.type2 ~op:Packet.Op_read ~count:123456 in
+  (match Packet.decode h2 with
+  | Packet.Type2 { op = Packet.Op_read; count = 123456 } -> ()
+  | _ -> Alcotest.fail "type2 roundtrip");
+  Alcotest.(check bool) "sync" true (Packet.decode Packet.sync_word = Packet.Sync);
+  Alcotest.(check bool) "dummy" true (Packet.decode Packet.nop_word = Packet.Dummy)
+
+let test_far_roundtrip () =
+  let w = Packet.far_encode ~row:3 ~col:187 ~minor:14 in
+  Alcotest.(check (triple int int int)) "far" (3, 187, 14) (Packet.far_decode w)
+
+let prop_packet_roundtrip =
+  QCheck2.Test.make ~name:"packet header roundtrip" ~count:200 QCheck2.Gen.int
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let op = List.nth [ Packet.Op_nop; Packet.Op_read; Packet.Op_write ] (Random.State.int st 3) in
+      let reg = Random.State.int st 30 in
+      let count = Random.State.int st 2000 in
+      if count <= 0x7FF then
+        match Packet.decode (Packet.type1 ~op ~reg ~count) with
+        | Packet.Type1 { op = o; reg = r; count = c } -> o = op && r = reg && c = count
+        | _ -> false
+      else true)
+
+(* --- the §4.5 experiment: three constant registers, one per SLR --- *)
+
+(* A board whose frames are written directly (no design): we imitate the
+   experiment by writing distinct constants into the same frame address of
+   each SLR, then reading back with and without BOUT hops. *)
+let experiment_board () =
+  let device = Device.u200 () in
+  let board = Board.create device in
+  (* Write constant i into SLR i's frame (0,0,0) word 0, with a chunked
+     bitstream exactly like the §4.4 layout. *)
+  let prog = Program.create () in
+  List.iteri
+    (fun k slr ->
+      ignore slr;
+      Program.sync prog;
+      Program.select_slr prog ~hops:k;
+      Program.write_idcode prog (Int32.to_int device.Device.idcode);
+      Program.set_far prog ~row:0 ~col:0 ~minor:0;
+      Program.write_frames prog
+        [ Array.init Geometry.words_per_frame (fun w -> if w = 0 then 0x1000 + ((device.Device.primary + k) mod 3) else 0) ])
+    [ 0; 1; 2 ];
+  Program.desync prog;
+  let (_ : int array) = Board.execute board (Program.words prog) in
+  (device, board)
+
+let readback_word0 board ~hops =
+  let prog = Program.create () in
+  Program.sync prog;
+  Program.select_slr prog ~hops;
+  Program.set_far prog ~row:0 ~col:0 ~minor:0;
+  Program.read_frames prog ~words:Geometry.words_per_frame;
+  Program.desync prog;
+  let data = Board.execute board (Program.words prog) in
+  data.(0)
+
+let test_bout_selects_slr () =
+  let device, board = experiment_board () in
+  let primary = device.Device.primary in
+  (* No hops: always the primary SLR's value — the Bitfiltrator trap. *)
+  Alcotest.(check int) "no hops -> primary" (0x1000 + primary)
+    (readback_word0 board ~hops:0);
+  (* k hops -> primary + k. *)
+  Alcotest.(check int) "1 hop" (0x1000 + ((primary + 1) mod 3)) (readback_word0 board ~hops:1);
+  Alcotest.(check int) "2 hops" (0x1000 + ((primary + 2) mod 3)) (readback_word0 board ~hops:2)
+
+let test_idcode_ignored_on_secondaries () =
+  (* Mutating the IDCODE written to a secondary SLR has no effect (§4.5);
+     a wrong IDCODE on the primary aborts configuration. *)
+  let device = Device.u200 () in
+  let board = Board.create device in
+  let prog = Program.create () in
+  Program.sync prog;
+  Program.select_slr prog ~hops:1;
+  Program.write_idcode prog 0xDEADBEE;  (* garbage, secondary: ignored *)
+  Program.set_far prog ~row:0 ~col:0 ~minor:0;
+  Program.write_frames prog [ Array.init Geometry.words_per_frame (fun w -> if w = 0 then 77 else 0) ];
+  Program.desync prog;
+  let (_ : int array) = Board.execute board (Program.words prog) in
+  Alcotest.(check int) "secondary configured despite bad idcode" 77
+    (readback_word0 board ~hops:1);
+  (* Primary checks: wrong idcode flags an error. *)
+  let prog2 = Program.create () in
+  Program.sync prog2;
+  Program.write_idcode prog2 0xBAD;
+  Program.desync prog2;
+  let (_ : int array) = Board.execute board (Program.words prog2) in
+  Alcotest.(check bool) "primary flags idcode error" true
+    (Board.uc board device.Device.primary).Uc.idcode_error
+
+let test_u250_repetition_pattern () =
+  (* §4.5: on a 4-SLR U250 the final SLR is reached with 3 BOUT pulses. *)
+  let device = Device.u250 () in
+  let board = Board.create device in
+  let prog = Program.create () in
+  List.iter
+    (fun k ->
+      Program.sync prog;
+      Program.select_slr prog ~hops:k;
+      Program.set_far prog ~row:0 ~col:0 ~minor:0;
+      Program.write_frames prog
+        [ Array.init Geometry.words_per_frame (fun w -> if w = 0 then 0x2000 + k else 0) ])
+    [ 0; 1; 2; 3 ];
+  Program.desync prog;
+  let (_ : int array) = Board.execute board (Program.words prog) in
+  List.iter
+    (fun k ->
+      Alcotest.(check int)
+        (Printf.sprintf "%d hops" k)
+        (0x2000 + k) (readback_word0 board ~hops:k))
+    [ 0; 1; 2; 3 ]
+
+let test_sync_resets_target () =
+  (* After SYNC the chain targets the primary again. *)
+  let _device, board = experiment_board () in
+  let prog = Program.create () in
+  Program.sync prog;
+  Program.select_slr prog ~hops:2;
+  Program.sync prog; (* reset *)
+  Program.set_far prog ~row:0 ~col:0 ~minor:0;
+  Program.read_frames prog ~words:Geometry.words_per_frame;
+  Program.desync prog;
+  let data = Board.execute board (Program.words prog) in
+  Alcotest.(check int) "back to primary" 0x1001 data.(0)
+
+let test_ctl0_mask_gating () =
+  (* CTL0 writes only take effect through MASK-enabled bits. *)
+  let device = Device.u200 () in
+  let board = Board.create device in
+  let uc = Board.uc board device.Device.primary in
+  let prog = Program.create () in
+  Program.sync prog;
+  Program.write_reg prog Packet.Mask [ 0x0 ];
+  Program.write_reg prog Packet.Ctl0 [ 0x1 ];
+  Program.desync prog;
+  let (_ : int array) = Board.execute board (Program.words prog) in
+  Alcotest.(check bool) "masked write ignored" false (Uc.gsr_restricted uc);
+  let prog2 = Program.create () in
+  Program.sync prog2;
+  Program.set_ctl0 prog2 ~mask:1 ~value:1;
+  Program.desync prog2;
+  let (_ : int array) = Board.execute board (Program.words prog2) in
+  Alcotest.(check bool) "unmasked write applies" true (Uc.gsr_restricted uc)
+
+let test_jtag_accounting_scales () =
+  let _device, board = experiment_board () in
+  let t0 = Board.jtag_seconds board in
+  let (_ : int) = readback_word0 board ~hops:0 in
+  let t1 = Board.jtag_seconds board in
+  let (_ : int) = readback_word0 board ~hops:2 in
+  let t2 = Board.jtag_seconds board in
+  Alcotest.(check bool) "time accrues" true (t1 > t0);
+  (* Two hops cost more than zero hops. *)
+  Alcotest.(check bool) "hops cost" true (t2 -. t1 > t1 -. t0)
+
+let test_frame_store () =
+  let f = Zoomie_bitstream.Frames.create () in
+  Zoomie_bitstream.Frames.set_bit f (1, 2, 3) ~word:5 ~bit:17 true;
+  Alcotest.(check bool) "bit set" true
+    (Zoomie_bitstream.Frames.get_bit f (1, 2, 3) ~word:5 ~bit:17);
+  Alcotest.(check bool) "other bit clear" false
+    (Zoomie_bitstream.Frames.get_bit f (1, 2, 3) ~word:5 ~bit:16);
+  Alcotest.(check int) "unconfigured frame reads zero" 0
+    (Zoomie_bitstream.Frames.read_word f (9, 9, 9) 0)
+
+let suite =
+  [
+    Alcotest.test_case "packet roundtrip" `Quick test_packet_roundtrip;
+    Alcotest.test_case "FAR roundtrip" `Quick test_far_roundtrip;
+    QCheck_alcotest.to_alcotest prop_packet_roundtrip;
+    Alcotest.test_case "BOUT selects SLR (4.4)" `Quick test_bout_selects_slr;
+    Alcotest.test_case "IDCODE ignored on secondaries (4.5)" `Quick
+      test_idcode_ignored_on_secondaries;
+    Alcotest.test_case "U250 repetition pattern (4.5)" `Quick test_u250_repetition_pattern;
+    Alcotest.test_case "SYNC resets chain target" `Quick test_sync_resets_target;
+    Alcotest.test_case "CTL0 mask gating" `Quick test_ctl0_mask_gating;
+    Alcotest.test_case "JTAG accounting" `Quick test_jtag_accounting_scales;
+    Alcotest.test_case "frame store" `Quick test_frame_store;
+  ]
+
+(* Robustness: arbitrary word streams never crash the configuration engine
+   (corrupt bitstreams must fail safe, §4.1's µc is a real interpreter). *)
+let prop_executor_total =
+  QCheck2.Test.make ~name:"executor survives random streams" ~count:60
+    QCheck2.Gen.int (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let board = Board.create (Device.u200 ()) in
+      let n = Random.State.int st 300 in
+      let words =
+        Array.init n (fun _ ->
+            match Random.State.int st 6 with
+            | 0 -> Packet.sync_word
+            | 1 -> Packet.nop_word
+            | 2 ->
+              Packet.type1
+                ~op:(List.nth [ Packet.Op_nop; Packet.Op_read; Packet.Op_write ]
+                       (Random.State.int st 3))
+                ~reg:(Random.State.int st 30)
+                ~count:(Random.State.int st 20)
+            | 3 -> Packet.type2 ~op:Packet.Op_write ~count:(Random.State.int st 50)
+            | _ ->
+              Random.State.int st 65536 lor (Random.State.int st 65536 lsl 16))
+      in
+      match Board.execute board words with
+      | (_ : int array) -> true
+      | exception Invalid_argument _ -> true (* explicit rejection is fine *))
+
+(* Property: frames written through FDRI read back identically via FDRO
+   (per SLR, arbitrary addresses). *)
+let prop_frame_write_read =
+  QCheck2.Test.make ~name:"FDRI/FDRO roundtrip" ~count:40 QCheck2.Gen.int
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let device = Device.u200 () in
+      let board = Board.create device in
+      let slr = Random.State.int st 3 in
+      let row = Random.State.int st 5 in
+      let col = Random.State.int st 100 in
+      let data =
+        Array.init Geometry.words_per_frame (fun _ ->
+            Random.State.int st 65536 lor (Random.State.int st 65536 lsl 16))
+      in
+      let hops = (slr - device.Device.primary + 3) mod 3 in
+      let prog = Program.create () in
+      Program.sync prog;
+      Program.select_slr prog ~hops;
+      Program.set_far prog ~row ~col ~minor:2;
+      Program.write_frames prog [ data ];
+      Program.set_far prog ~row ~col ~minor:2;
+      Program.read_frames prog ~words:Geometry.words_per_frame;
+      Program.desync prog;
+      let out = Board.execute board (Program.words prog) in
+      Array.length out = Geometry.words_per_frame && out = data)
+
+let suite =
+  suite
+  @ [
+      QCheck_alcotest.to_alcotest prop_executor_total;
+      QCheck_alcotest.to_alcotest prop_frame_write_read;
+    ]

@@ -1,0 +1,146 @@
+(* Export-path tests: the Verilog emitter and the VCD waveform dumper. *)
+
+open Zoomie_rtl
+
+let bits = Bits.of_int
+
+let find hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i =
+    if i + ln > lh then None
+    else if String.sub hay i ln = needle then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let contains hay needle = find hay needle <> None
+
+let sample_circuit () =
+  let b = Builder.create "sample" in
+  let clk = Builder.clock b "clk" in
+  let en = Builder.input b "en" 1 in
+  let d = Builder.input b "d" 8 in
+  let gclk = Builder.gated_clock b ~name:"gclk" ~parent:clk ~enable:en in
+  let r = Builder.reg b ~clock:gclk ~reset:(en, bits ~width:8 0) "r" 8 in
+  Builder.reg_next b r Expr.(Signal r +: d);
+  let rout = Builder.mem_read_wire b "mo" 8 in
+  Builder.memory b ~name:"m" ~width:8 ~depth:16
+    ~init:(Array.init 4 (fun i -> bits ~width:8 (i * 3)))
+    ~writes:
+      [ { Circuit.w_clock = clk; w_enable = en; w_addr = Expr.Slice (d, 3, 0);
+          w_data = d } ]
+    ~reads:
+      [ { Circuit.r_addr = Expr.Slice (d, 3, 0); r_out = rout;
+          r_kind = Circuit.Read_comb } ]
+    ();
+  ignore (Builder.output b "q" 8 (Expr.Signal r));
+  ignore (Builder.output b "mem_q" 8 (Expr.Signal rout));
+  Builder.finish b
+
+let test_verilog_structure () =
+  let v = Verilog.of_circuit (sample_circuit ()) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true (contains v needle))
+    [
+      "module sample (";
+      "endmodule";
+      "input wire clk";
+      "input wire [7:0] d";
+      "output wire [7:0] q";
+      "reg [7:0] r;";
+      "always @(posedge clk)";
+      (* Gated clock becomes a guard on the parent clock. *)
+      "if (en) begin";
+      (* Memory with init. *)
+      "reg [7:0] m [0:15];";
+      "initial begin";
+      "assign mo = m[";
+    ]
+
+let test_verilog_keyword_escaping () =
+  let b = Builder.create "module" in
+  let _ = Builder.clock b "clk" in
+  let x = Builder.input b "reg" 1 in
+  ignore (Builder.output b "wire" 1 x);
+  let v = Verilog.of_circuit (Builder.finish b) in
+  Alcotest.(check bool) "module name escaped" true (contains v "module module_ (");
+  Alcotest.(check bool) "reg escaped" true (contains v "reg_");
+  Alcotest.(check bool) "wire escaped" true (contains v "wire_")
+
+let test_verilog_hierarchy () =
+  let child =
+    let b = Builder.create "leaf" in
+    let _ = Builder.clock b "clk" in
+    let a = Builder.input b "a" 4 in
+    ignore (Builder.output b "y" 4 Expr.(~:a));
+    Builder.finish b
+  in
+  let top =
+    let b = Builder.create "root" in
+    let _ = Builder.clock b "clk" in
+    let a = Builder.input b "a" 4 in
+    let y = Builder.wire b "y_w" 4 in
+    Builder.instantiate b ~inst_name:"u0" ~module_name:"leaf"
+      [ Circuit.Drive_input ("a", a); Circuit.Read_output ("y", y) ];
+    ignore (Builder.output b "y" 4 (Expr.Signal y));
+    Builder.finish b
+  in
+  let d = Design.create ~top:"root" [ top; child ] in
+  let v = Verilog.of_design d in
+  Alcotest.(check bool) "both modules emitted" true
+    (contains v "module leaf (" && contains v "module root (");
+  Alcotest.(check bool) "instance emitted" true (contains v "leaf u0 (");
+  Alcotest.(check bool) "port connection" true (contains v ".a(a)");
+  (* The top module comes last (definitions before use). *)
+  let leaf_at = Option.get (find v "module leaf (") in
+  let root_at = Option.get (find v "module root (") in
+  Alcotest.(check bool) "leaf before root" true (leaf_at < root_at)
+
+let test_vcd_dump () =
+  let b = Builder.create "counter" in
+  let clk = Builder.clock b "clk" in
+  let c =
+    Builder.reg_fb b ~clock:clk "count" 4 ~next:(fun q ->
+        Expr.(q +: const_int ~width:4 1))
+  in
+  let msb = Builder.wire b "msb" 1 in
+  Builder.assign b msb (Expr.bit (Expr.Signal c) 3);
+  ignore (Builder.output b "o" 4 (Expr.Signal c));
+  let sim = Zoomie_sim.Simulator.create (Builder.finish b) in
+  let vcd = Zoomie_sim.Vcd.create sim ~signals:[ "count"; "msb" ] in
+  for _ = 1 to 20 do
+    Zoomie_sim.Vcd.sample vcd;
+    Zoomie_sim.Simulator.step sim "clk"
+  done;
+  let text = Zoomie_sim.Vcd.contents vcd in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("vcd contains " ^ needle) true (contains text needle))
+    [
+      "$timescale 1ns $end";
+      "$var wire 4 ! count $end";
+      "$var wire 1 \" msb $end";
+      "$enddefinitions $end";
+      "#0";
+      "b0000 !";
+      (* count reaches 8 at time 8: msb rises exactly once on the way up. *)
+      "#8";
+      "1\"";
+    ];
+  (* Change records only on change: count changes every cycle (20 records),
+     msb only twice (0 at start, 1 at 8, 0 at 16). *)
+  let count_changes =
+    String.split_on_char '\n' text
+    |> List.filter (fun l -> String.length l > 1 && l.[0] = 'b')
+    |> List.length
+  in
+  Alcotest.(check int) "one change record per count value" 20 count_changes
+
+let suite =
+  [
+    Alcotest.test_case "verilog: structure" `Quick test_verilog_structure;
+    Alcotest.test_case "verilog: keyword escaping" `Quick test_verilog_keyword_escaping;
+    Alcotest.test_case "verilog: hierarchy" `Quick test_verilog_hierarchy;
+    Alcotest.test_case "vcd: dump" `Quick test_vcd_dump;
+  ]

@@ -1,0 +1,103 @@
+(* Fabric model tests: device capacities (the Table 2 denominators), region
+   arithmetic, frame geometry and bit-location injectivity. *)
+
+module Device = Zoomie_fabric.Device
+module Geometry = Zoomie_fabric.Geometry
+module Region = Zoomie_fabric.Region
+module Resource = Zoomie_fabric.Resource
+
+let test_u200_capacity () =
+  let r = Device.resources (Device.u200 ()) in
+  Alcotest.(check int) "LUTs" 1_180_800 (Resource.get r Resource.Lut);
+  Alcotest.(check int) "FFs" 2_361_600 (Resource.get r Resource.Ff);
+  Alcotest.(check int) "BRAM" 2_160 (Resource.get r Resource.Bram);
+  Alcotest.(check int) "DSP" 6_840 (Resource.get r Resource.Dsp);
+  Alcotest.(check int) "LUTRAM" 590_400 (Resource.get r Resource.Lutram)
+
+let test_u250_bigger () =
+  let u200 = Device.resources (Device.u200 ()) in
+  let u250 = Device.resources (Device.u250 ()) in
+  Alcotest.(check bool) "u250 has 4 SLRs" true (Device.num_slrs (Device.u250 ()) = 4);
+  Alcotest.(check bool) "u250 larger" true
+    (Resource.get u250 Resource.Lut > Resource.get u200 Resource.Lut)
+
+let test_region_resources () =
+  let device = Device.u200 () in
+  let layout = (Device.slr device 0).Device.layout in
+  let whole =
+    Region.make ~slr:0 ~row_lo:0 ~row_hi:4 ~col_lo:0
+      ~col_hi:(Array.length layout.Geometry.columns - 1)
+  in
+  let r = Region.resources layout whole in
+  Alcotest.(check int) "one SLR = third of device" 393_600
+    (Resource.get r Resource.Lut)
+
+let test_region_overlap () =
+  let a = Region.make ~slr:0 ~row_lo:0 ~row_hi:1 ~col_lo:0 ~col_hi:10 in
+  let b = Region.make ~slr:0 ~row_lo:1 ~row_hi:2 ~col_lo:5 ~col_hi:15 in
+  let c = Region.make ~slr:0 ~row_lo:2 ~row_hi:3 ~col_lo:0 ~col_hi:10 in
+  let d = Region.make ~slr:1 ~row_lo:0 ~row_hi:1 ~col_lo:0 ~col_hi:10 in
+  Alcotest.(check bool) "a/b overlap" true (Region.overlaps a b);
+  Alcotest.(check bool) "a/c disjoint rows" false (Region.overlaps a c);
+  Alcotest.(check bool) "a/d different SLR" false (Region.overlaps a d)
+
+let test_frame_counts () =
+  let device = Device.u200 () in
+  (* Every SLR has the same geometry on our devices. *)
+  let f0 = Device.frames_per_slr device 0 in
+  Alcotest.(check bool) "plausible frame count" true (f0 > 10_000 && f0 < 50_000);
+  Alcotest.(check int) "uniform SLRs" f0 (Device.frames_per_slr device 2)
+
+(* FF bit locations must be injective within a column. *)
+let test_ff_location_injective () =
+  let seen = Hashtbl.create 1024 in
+  for tile = 0 to Geometry.tiles_per_clb_column - 1 do
+    for site = 0 to Geometry.ffs_per_clb_tile - 1 do
+      let loc = Geometry.ff_location ~tile ~site in
+      if Hashtbl.mem seen loc then Alcotest.fail "ff location collision";
+      Hashtbl.add seen loc ()
+    done
+  done
+
+let test_lut_location_disjoint_from_ff () =
+  (* LUT config bits and FF state bits live in different minors. *)
+  let minor_ff, _, _ = Geometry.ff_location ~tile:0 ~site:0 in
+  for site = 0 to Geometry.luts_per_clb_tile - 1 do
+    let minor_lut, _, _ = Geometry.lut_location ~tile:0 ~site ~bit:0 in
+    Alcotest.(check bool) "different minors" true (minor_lut <> minor_ff)
+  done
+
+let test_bram_location_bounds () =
+  for tile = 0 to Geometry.brams_per_column - 1 do
+    List.iter
+      (fun bit ->
+        let minor, word, b = Geometry.bram_location ~tile ~bit in
+        Alcotest.(check bool) "minor in range" true
+          (minor >= Geometry.bram_cfg_frames
+          && minor < Geometry.bram_frames_per_column);
+        Alcotest.(check bool) "word in range" true
+          (word >= 0 && word < Geometry.words_per_frame);
+        Alcotest.(check bool) "bit in range" true (b >= 0 && b < 32))
+      [ 0; 1; 35; 36863 ]
+  done
+
+let test_utilization_math () =
+  let capacity = Resource.make ~lut:1000 ~ff:2000 () in
+  let used = Resource.make ~lut:953 ~ff:534 () in
+  let rows = Resource.utilization ~used ~capacity in
+  let _, lut_used, lut_pct = List.find (fun (k, _, _) -> k = Resource.Lut) rows in
+  Alcotest.(check int) "lut used" 953 lut_used;
+  Alcotest.(check (float 0.01)) "lut pct" 95.3 lut_pct
+
+let suite =
+  [
+    Alcotest.test_case "U200 capacities" `Quick test_u200_capacity;
+    Alcotest.test_case "U250 larger" `Quick test_u250_bigger;
+    Alcotest.test_case "region resources" `Quick test_region_resources;
+    Alcotest.test_case "region overlap" `Quick test_region_overlap;
+    Alcotest.test_case "frame counts" `Quick test_frame_counts;
+    Alcotest.test_case "FF locations injective" `Quick test_ff_location_injective;
+    Alcotest.test_case "LUT/FF minors disjoint" `Quick test_lut_location_disjoint_from_ff;
+    Alcotest.test_case "BRAM location bounds" `Quick test_bram_location_bounds;
+    Alcotest.test_case "utilization math" `Quick test_utilization_math;
+  ]

@@ -1,0 +1,155 @@
+(* Hierarchical synthesis and netlist linking: the hier-synthesized netlist
+   must behave exactly like the flat-synthesized one, with consistent
+   hierarchical register names. *)
+
+open Zoomie_rtl
+
+let bits = Bits.of_int
+
+(* A small core with internal state, instantiated several times. *)
+let core_module () =
+  let b = Builder.create "mini_core" in
+  let clk = Builder.clock b "clk" in
+  let din = Builder.input b "din" 8 in
+  let en = Builder.input b "en" 1 in
+  let acc =
+    Builder.reg_fb b ~clock:clk ~enable:en "acc" 8 ~next:(fun q -> Expr.(q +: din))
+  in
+  let shadow =
+    Builder.reg_fb b ~clock:clk "shadow" 8 ~next:(fun _ -> Expr.Signal acc)
+  in
+  ignore (Builder.output b "dout" 8 Expr.(Signal acc ^: Signal shadow));
+  Builder.finish b
+
+let top_design () =
+  let core = core_module () in
+  let b = Builder.create "soc" in
+  let clk = Builder.clock b "clk" in
+  let din = Builder.input b "din" 8 in
+  let en = Builder.input b "en" 1 in
+  let d0 = Builder.wire b "d0" 8 in
+  let d1 = Builder.wire b "d1" 8 in
+  let d2 = Builder.wire b "d2" 8 in
+  Builder.instantiate b ~inst_name:"c0" ~module_name:"mini_core"
+    [ Circuit.Drive_input ("din", din); Circuit.Drive_input ("en", en);
+      Circuit.Read_output ("dout", d0) ];
+  Builder.instantiate b ~inst_name:"c1" ~module_name:"mini_core"
+    [ Circuit.Drive_input ("din", Expr.Signal d0); Circuit.Drive_input ("en", en);
+      Circuit.Read_output ("dout", d1) ];
+  Builder.instantiate b ~inst_name:"c2" ~module_name:"mini_core"
+    [ Circuit.Drive_input ("din", Expr.Signal d1);
+      Circuit.Drive_input ("en", Expr.const_int ~width:1 1);
+      Circuit.Read_output ("dout", d2) ];
+  (* Some shell-side logic too. *)
+  let mix =
+    Builder.reg_fb b ~clock:clk "mix" 8 ~next:(fun q -> Expr.(q ^: Signal d2))
+  in
+  ignore (Builder.output b "out" 8 Expr.(Signal mix +: Signal d0));
+  Design.create ~top:"soc" [ Builder.finish b; core ]
+
+let drive_both flat hier seed cycles =
+  let st = Random.State.make [| seed |] in
+  let mismatches = ref [] in
+  for cycle = 0 to cycles - 1 do
+    let din = Bits.random ~width:8 st in
+    let en = Bits.random ~width:1 st in
+    Zoomie_synth.Netsim.poke_input flat "din" din;
+    Zoomie_synth.Netsim.poke_input hier "din" din;
+    Zoomie_synth.Netsim.poke_input flat "en" en;
+    Zoomie_synth.Netsim.poke_input hier "en" en;
+    Zoomie_synth.Netsim.eval_comb flat;
+    Zoomie_synth.Netsim.eval_comb hier;
+    let a = Zoomie_synth.Netsim.peek_output flat "out" in
+    let b = Zoomie_synth.Netsim.peek_output hier "out" in
+    if not (Bits.equal a b) then
+      mismatches := Printf.sprintf "cycle %d: %s vs %s" cycle (Bits.to_string a) (Bits.to_string b) :: !mismatches;
+    Zoomie_synth.Netsim.step flat "clk";
+    Zoomie_synth.Netsim.step hier "clk"
+  done;
+  !mismatches
+
+let test_hier_equivalence () =
+  let design = top_design () in
+  let flat_netlist, _ = Zoomie_synth.Synthesize.run (Flat.elaborate design) in
+  let hier = Zoomie_synth.Hier.run design ~units:[ "mini_core" ] in
+  let flat = Zoomie_synth.Netsim.create flat_netlist in
+  let hiersim = Zoomie_synth.Netsim.create hier.Zoomie_synth.Hier.netlist in
+  let mism = drive_both flat hiersim 42 30 in
+  Alcotest.(check (list string)) "no mismatches" [] mism
+
+let test_hier_stats () =
+  let design = top_design () in
+  let hier = Zoomie_synth.Hier.run design ~units:[ "mini_core" ] in
+  Alcotest.(check int) "3 instances of mini_core" 3
+    (List.assoc "mini_core" hier.Zoomie_synth.Hier.instance_counts);
+  Alcotest.(check bool) "stamped > unique" true
+    (hier.Zoomie_synth.Hier.stamped_gate_nodes > hier.Zoomie_synth.Hier.unique_gate_nodes)
+
+let test_hier_names () =
+  let design = top_design () in
+  let hier = Zoomie_synth.Hier.run design ~units:[ "mini_core" ] in
+  let sim = Zoomie_synth.Netsim.create hier.Zoomie_synth.Hier.netlist in
+  (* Hierarchical register names are addressable. *)
+  Zoomie_synth.Netsim.write_register sim "c1.acc" (bits ~width:8 0x3C);
+  Alcotest.(check int) "hierarchical name readback" 0x3C
+    (Bits.to_int (Zoomie_synth.Netsim.read_register sim "c1.acc"));
+  (* And flat synthesis produces the same names. *)
+  let flat_netlist, _ = Zoomie_synth.Synthesize.run (Flat.elaborate design) in
+  let names_of nl =
+    Array.to_list nl.Zoomie_synth.Netlist.ff_names
+    |> List.map fst |> List.sort_uniq String.compare
+  in
+  Alcotest.(check (list string)) "same register names"
+    (names_of flat_netlist)
+    (names_of hier.Zoomie_synth.Hier.netlist)
+
+let test_shell_boundary_ports () =
+  let design = top_design () in
+  let shell, bbs = Flat.elaborate_shell design ~units:[ "mini_core" ] in
+  Alcotest.(check int) "3 blackboxes" 3 (List.length bbs);
+  let has name =
+    Array.exists (fun (s : Circuit.signal) -> s.name = name) shell.Circuit.signals
+  in
+  Alcotest.(check bool) "c0:din exists" true (has "c0:din");
+  Alcotest.(check bool) "c2:dout exists" true (has "c2:dout")
+
+let suite =
+  [
+    Alcotest.test_case "hier == flat behavior" `Quick test_hier_equivalence;
+    Alcotest.test_case "instance accounting" `Quick test_hier_stats;
+    Alcotest.test_case "hierarchical names" `Quick test_hier_names;
+    Alcotest.test_case "shell boundary ports" `Quick test_shell_boundary_ports;
+  ]
+
+(* Random hierarchical designs: hier-synthesized == flat-synthesized. *)
+let prop_hier_equivalence =
+  QCheck2.Test.make ~name:"random hierarchy: hier == flat" ~count:40
+    QCheck2.Gen.int (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let design, units = Gen.gen_hier_design st in
+      let flat_nl, _ = Zoomie_synth.Synthesize.run (Flat.elaborate design) in
+      let hier = Zoomie_synth.Hier.run design ~units in
+      let flat = Zoomie_synth.Netsim.create flat_nl in
+      let hsim = Zoomie_synth.Netsim.create hier.Zoomie_synth.Hier.netlist in
+      let ok = ref true in
+      for _ = 0 to 20 do
+        let x = Bits.random ~width:4 st in
+        let en = Bits.random ~width:1 st in
+        Zoomie_synth.Netsim.poke_input flat "x" x;
+        Zoomie_synth.Netsim.poke_input hsim "x" x;
+        Zoomie_synth.Netsim.poke_input flat "en" en;
+        Zoomie_synth.Netsim.poke_input hsim "en" en;
+        Zoomie_synth.Netsim.eval_comb flat;
+        Zoomie_synth.Netsim.eval_comb hsim;
+        if
+          not
+            (Bits.equal
+               (Zoomie_synth.Netsim.peek_output flat "out")
+               (Zoomie_synth.Netsim.peek_output hsim "out"))
+        then ok := false;
+        Zoomie_synth.Netsim.step flat "clk";
+        Zoomie_synth.Netsim.step hsim "clk"
+      done;
+      !ok)
+
+let suite = suite @ [ QCheck_alcotest.to_alcotest prop_hier_equivalence ]

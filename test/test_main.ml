@@ -1,0 +1,21 @@
+(* Aggregates all suites; `dune runtest` runs this executable. *)
+
+let () =
+  Alcotest.run "zoomie"
+    [
+      ("bits", Test_bits.suite);
+      ("rtl", Test_rtl.suite);
+      ("fabric", Test_fabric.suite);
+      ("bitstream", Test_bitstream.suite);
+      ("synth", Test_synth.suite);
+      ("hier", Test_hier.suite);
+      ("sva", Test_sva.suite);
+      ("pause", Test_pause.suite);
+      ("debug", Test_debug.suite);
+      ("vti", Test_vti.suite);
+      ("workloads", Test_workloads.suite);
+      ("pnr", Test_pnr.suite);
+      ("ila", Test_ila.suite);
+      ("export", Test_export.suite);
+      ("api", Test_api.suite);
+    ]

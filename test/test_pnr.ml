@@ -1,0 +1,233 @@
+(* Place-and-route tests: site allocation discipline, placement locality,
+   routing statistics, static timing behavior, frame-generation
+   injectivity, and cost-model monotonicity. *)
+
+open Zoomie_rtl
+module Place = Zoomie_pnr.Place
+module Sites = Zoomie_pnr.Sites
+module Route = Zoomie_pnr.Route
+module Timing = Zoomie_pnr.Timing
+module Framegen = Zoomie_pnr.Framegen
+module Cost_model = Zoomie_pnr.Cost_model
+module Device = Zoomie_fabric.Device
+module Region = Zoomie_fabric.Region
+module Loc = Zoomie_fabric.Loc
+module Geometry = Zoomie_fabric.Geometry
+
+let device = Device.u200 ()
+
+let small_region = Region.make ~slr:0 ~row_lo:0 ~row_hi:0 ~col_lo:0 ~col_hi:20
+
+let test_sites_no_double_booking () =
+  let alloc = Sites.create device [ small_region ] in
+  let seen = Hashtbl.create 256 in
+  for _ = 1 to 500 do
+    let s = Sites.next_lut alloc in
+    let key = (s.Loc.l_col, s.Loc.l_tile, s.Loc.l_index) in
+    if Hashtbl.mem seen key then Alcotest.fail "LUT site double-booked";
+    Hashtbl.add seen key ()
+  done;
+  (* LUTRAM shares the pool: still no collisions. *)
+  for _ = 1 to 100 do
+    let s = Sites.next_lutram alloc in
+    let key = (s.Loc.l_col, s.Loc.l_tile, s.Loc.l_index) in
+    if Hashtbl.mem seen key then Alcotest.fail "LUTRAM site double-booked";
+    Hashtbl.add seen key ()
+  done
+
+let test_sites_exhaustion () =
+  let tiny = Region.make ~slr:0 ~row_lo:0 ~row_hi:0 ~col_lo:0 ~col_hi:0 in
+  let alloc = Sites.create device [ tiny ] in
+  (* One CLB column: 60 tiles x 8 LUTs = 480 sites. *)
+  for _ = 1 to 480 do
+    ignore (Sites.next_lut alloc)
+  done;
+  Alcotest.check_raises "exhausted" (Sites.Out_of_sites "LUT") (fun () ->
+      ignore (Sites.next_lut alloc))
+
+let test_sites_stay_in_region () =
+  let alloc = Sites.create device [ small_region ] in
+  for _ = 1 to 300 do
+    let s = Sites.next_ff alloc in
+    Alcotest.(check bool) "inside region" true
+      (Region.contains small_region ~slr:s.Loc.f_slr ~row:s.Loc.f_row
+         ~col:s.Loc.f_col)
+  done
+
+(* Placement locality: cells of one small module land within a bounded
+   window (the tether), so nets stay short. *)
+let test_placement_locality () =
+  let core = Zoomie_workloads.Serv.core () in
+  let netlist, _ = Zoomie_synth.Synthesize.run core in
+  let pl = Place.run device ~regions:(Place.whole_device_regions device) netlist in
+  let route = Route.estimate netlist pl.Place.locmap in
+  Alcotest.(check bool) "short average nets" true
+    (route.Route.avg_net_length < 12.0)
+
+let test_route_counts_nets () =
+  let b = Builder.create "two_luts" in
+  let _ = Builder.clock b "clk" in
+  let x = Builder.input b "x" 2 in
+  ignore (Builder.output b "o" 1 Expr.(bit x 0 &: bit x 1));
+  let netlist, _ = Zoomie_synth.Synthesize.run (Builder.finish b) in
+  let pl = Place.run device ~regions:(Place.whole_device_regions device) netlist in
+  let route = Route.estimate netlist pl.Place.locmap in
+  Alcotest.(check bool) "nets counted" true (route.Route.num_routed_nets >= 1)
+
+let test_timing_deeper_is_slower () =
+  let chain depth =
+    let b = Builder.create "chain" in
+    let clk = Builder.clock b "clk" in
+    let x = Builder.reg_fb b ~clock:clk "src" 1 ~next:(fun q -> Expr.(~:q)) in
+    let e = ref (Expr.Signal x) in
+    for i = 0 to depth - 1 do
+      (* XOR with a fresh register keeps each level un-collapsible. *)
+      let r = Builder.reg_fb b ~clock:clk (Printf.sprintf "k%d" i) 1 ~next:(fun q -> q) in
+      let id = Builder.wire b (Printf.sprintf "w%d" i) 1 in
+      Builder.assign b id Expr.(!e ^: Signal r);
+      (* force multi-fanout so packing cannot absorb the whole chain *)
+      let id2 = Builder.wire b (Printf.sprintf "v%d" i) 1 in
+      Builder.assign b id2 Expr.(Signal id |: Signal r);
+      ignore (Builder.output b (Printf.sprintf "o%d" i) 1 (Expr.Signal id2));
+      e := Expr.Signal id
+    done;
+    let sink = Builder.reg b ~clock:clk "sink" 1 in
+    Builder.reg_next b sink !e;
+    let netlist, _ = Zoomie_synth.Synthesize.run (Builder.finish b) in
+    let pl = Place.run device ~regions:(Place.whole_device_regions device) netlist in
+    (Timing.analyze netlist pl.Place.locmap).Timing.critical_path_ns
+  in
+  Alcotest.(check bool) "depth 24 slower than depth 4" true (chain 24 > chain 4)
+
+let test_timing_congestion_penalty () =
+  let core = Zoomie_workloads.Serv.core () in
+  let netlist, _ = Zoomie_synth.Synthesize.run core in
+  let pl = Place.run device ~regions:(Place.whole_device_regions device) netlist in
+  let base = Timing.analyze ~utilization:0.1 netlist pl.Place.locmap in
+  let full = Timing.analyze ~utilization:0.98 netlist pl.Place.locmap in
+  Alcotest.(check bool) "full device is slower" true
+    (full.Timing.critical_path_ns > base.Timing.critical_path_ns)
+
+(* Frame generation must never write the same (slr, frame, word) twice for
+   different cells, or configuration would be ambiguous. *)
+let test_framegen_no_overlap () =
+  let core = Zoomie_workloads.Serv.core () in
+  let netlist, _ = Zoomie_synth.Synthesize.run core in
+  let pl = Place.run device ~regions:(Place.whole_device_regions device) netlist in
+  let frames = Framegen.generate netlist pl.Place.locmap in
+  let seen = Hashtbl.create 1024 in
+  List.iter
+    (fun (fw : Framegen.frame_write) ->
+      let key = (fw.Framegen.fw_slr, fw.Framegen.fw_key) in
+      if Hashtbl.mem seen key then Alcotest.fail "duplicate frame write";
+      Hashtbl.add seen key ())
+    frames;
+  Alcotest.(check bool) "frames produced" true (List.length frames > 0)
+
+let test_framegen_covers_luts () =
+  (* Every placed LUT's truth table must land in some generated frame. *)
+  let b = Builder.create "one" in
+  let _ = Builder.clock b "clk" in
+  let x = Builder.input b "x" 3 in
+  ignore (Builder.output b "o" 1 Expr.(bit x 0 &: bit x 1 &: bit x 2));
+  let netlist, _ = Zoomie_synth.Synthesize.run (Builder.finish b) in
+  let pl = Place.run device ~regions:(Place.whole_device_regions device) netlist in
+  let frames = Framegen.generate netlist pl.Place.locmap in
+  let s = pl.Place.locmap.Loc.lut_sites.(0) in
+  let minor, word, _ = Geometry.lut_location ~tile:s.Loc.l_tile ~site:s.Loc.l_index ~bit:0 in
+  let found =
+    List.exists
+      (fun (fw : Framegen.frame_write) ->
+        fw.Framegen.fw_slr = s.Loc.l_slr
+        && fw.Framegen.fw_key = (s.Loc.l_row, s.Loc.l_col, minor)
+        && fw.Framegen.fw_data.(word) <> 0)
+      frames
+  in
+  Alcotest.(check bool) "truth table in frames" true found
+
+(* The top-paths report backs the paper's "no Zoomie paths in the top 10"
+   claim, so its structure must be trustworthy: sorted worst-first, at
+   most ten entries, and headed by the critical path itself. *)
+let test_timing_top_paths_shape () =
+  let core = Zoomie_workloads.Serv.core () in
+  let netlist, _ = Zoomie_synth.Synthesize.run core in
+  let pl = Place.run device ~regions:(Place.whole_device_regions device) netlist in
+  let r = Timing.analyze netlist pl.Place.locmap in
+  Alcotest.(check bool) "at most 10 paths" true (List.length r.Timing.top_paths <= 10);
+  Alcotest.(check bool) "non-empty" true (r.Timing.top_paths <> []);
+  let delays = List.map snd r.Timing.top_paths in
+  Alcotest.(check bool) "sorted worst first" true
+    (delays = List.sort (fun a b -> compare b a) delays);
+  Alcotest.(check (float 1e-9)) "head is the critical path"
+    r.Timing.critical_path_ns (List.hd delays);
+  Alcotest.(check bool) "fmax consistent with critical path" true
+    (abs_float (r.Timing.fmax_mhz -. (1000.0 /. r.Timing.critical_path_ns)) < 1e-6)
+
+let test_timing_congestion_matches_utilization_direction () =
+  let core = Zoomie_workloads.Serv.core () in
+  let netlist, _ = Zoomie_synth.Synthesize.run core in
+  let pl = Place.run device ~regions:(Place.whole_device_regions device) netlist in
+  (* Congestion is a demand/capacity ratio: 1.0 is nominal, above 1.0 the
+     router detours. *)
+  let base = Timing.analyze ~congestion:1.0 netlist pl.Place.locmap in
+  let hot = Timing.analyze ~congestion:3.0 netlist pl.Place.locmap in
+  Alcotest.(check bool) "congested routing is slower" true
+    (hot.Timing.critical_path_ns > base.Timing.critical_path_ns);
+  Alcotest.(check bool) "meets_timing agrees with fmax" true
+    (Timing.meets_timing base ~mhz:(base.Timing.fmax_mhz -. 1.0)
+    && not (Timing.meets_timing base ~mhz:(base.Timing.fmax_mhz +. 1.0)))
+
+let test_cost_model_monotonic () =
+  let base =
+    Cost_model.compile ~gate_nodes:1000 ~cells:1000 ~utilization:0.5
+      ~wirelength:10000 ~congestion:0.5 ~frames:100
+  in
+  let bigger =
+    Cost_model.compile ~gate_nodes:2000 ~cells:2000 ~utilization:0.5
+      ~wirelength:20000 ~congestion:0.5 ~frames:200
+  in
+  let denser =
+    Cost_model.compile ~gate_nodes:1000 ~cells:1000 ~utilization:0.95
+      ~wirelength:10000 ~congestion:0.5 ~frames:100
+  in
+  Alcotest.(check bool) "more work costs more" true
+    (Cost_model.total bigger > Cost_model.total base);
+  Alcotest.(check bool) "high utilization costs more" true
+    (denser.Cost_model.place_s > base.Cost_model.place_s)
+
+let prop_placement_total_sites =
+  QCheck2.Test.make ~name:"allocator never exceeds region capacity" ~count:40
+    QCheck2.Gen.int (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let cols = 1 + Random.State.int st 8 in
+      let region = Region.make ~slr:0 ~row_lo:0 ~row_hi:0 ~col_lo:0 ~col_hi:(cols - 1) in
+      let layout = (Device.slr device 0).Device.layout in
+      let cap = Region.resources layout region in
+      let alloc = Sites.create device [ region ] in
+      let n_luts = Random.State.int st 2000 in
+      (try
+         for _ = 1 to n_luts do
+           ignore (Sites.next_lut alloc)
+         done;
+         true
+       with Sites.Out_of_sites _ ->
+         (* Only allowed if demand genuinely exceeds capacity. *)
+         n_luts > Zoomie_fabric.Resource.get cap Zoomie_fabric.Resource.Lut))
+
+let suite =
+  [
+    Alcotest.test_case "sites: no double booking" `Quick test_sites_no_double_booking;
+    Alcotest.test_case "sites: exhaustion raises" `Quick test_sites_exhaustion;
+    Alcotest.test_case "sites: stay in region" `Quick test_sites_stay_in_region;
+    Alcotest.test_case "placement locality" `Quick test_placement_locality;
+    Alcotest.test_case "route: net counting" `Quick test_route_counts_nets;
+    Alcotest.test_case "timing: depth monotone" `Quick test_timing_deeper_is_slower;
+    Alcotest.test_case "timing: utilization penalty" `Quick test_timing_congestion_penalty;
+    Alcotest.test_case "timing: top-paths report shape" `Quick test_timing_top_paths_shape;
+    Alcotest.test_case "timing: congestion penalty + meets_timing" `Quick
+      test_timing_congestion_matches_utilization_direction;
+    Alcotest.test_case "framegen: no overlapping writes" `Quick test_framegen_no_overlap;
+    Alcotest.test_case "framegen: LUT tables present" `Quick test_framegen_covers_luts;
+    Alcotest.test_case "cost model monotonicity" `Quick test_cost_model_monotonic;
+    QCheck_alcotest.to_alcotest prop_placement_total_sites;
+  ]

@@ -1,0 +1,517 @@
+(* Tests for the RTL IR: builder, checks, elaboration and the cycle-accurate
+   simulator, including gated-clock (pause) semantics. *)
+
+open Zoomie_rtl
+
+let bits = Bits.of_int
+
+(* An 8-bit counter with enable. *)
+let counter_circuit () =
+  let b = Builder.create "counter" in
+  let clk = Builder.clock b "clk" in
+  let en = Builder.input b "en" 1 in
+  let count =
+    Builder.reg_fb b ~clock:clk ~enable:en "count" 8 ~next:(fun q ->
+        Expr.(q +: const_int ~width:8 1))
+  in
+  ignore (Builder.output b "value" 8 (Expr.Signal count));
+  Builder.finish b
+
+let test_counter () =
+  let sim = Zoomie_sim.Simulator.create (counter_circuit ()) in
+  Zoomie_sim.Simulator.poke_input sim "en" (bits ~width:1 1);
+  Zoomie_sim.Simulator.step ~n:5 sim "clk";
+  Alcotest.(check int) "counts to 5" 5 (Bits.to_int (Zoomie_sim.Simulator.peek sim "value"));
+  Zoomie_sim.Simulator.poke_input sim "en" (bits ~width:1 0);
+  Zoomie_sim.Simulator.step ~n:3 sim "clk";
+  Alcotest.(check int) "enable holds" 5 (Bits.to_int (Zoomie_sim.Simulator.peek sim "value"))
+
+let test_reset () =
+  let b = Builder.create "resettable" in
+  let clk = Builder.clock b "clk" in
+  let rst = Builder.input b "rst" 1 in
+  let count =
+    Builder.reg_fb b ~clock:clk ~reset:(rst, bits ~width:4 0) "count" 4
+      ~next:(fun q -> Expr.(q +: const_int ~width:4 1))
+  in
+  ignore (Builder.output b "value" 4 (Expr.Signal count));
+  let sim = Zoomie_sim.Simulator.create (Builder.finish b) in
+  Zoomie_sim.Simulator.poke_input sim "rst" (bits ~width:1 0);
+  Zoomie_sim.Simulator.step ~n:6 sim "clk";
+  Alcotest.(check int) "counted" 6 (Bits.to_int (Zoomie_sim.Simulator.peek sim "value"));
+  Zoomie_sim.Simulator.poke_input sim "rst" (bits ~width:1 1);
+  Zoomie_sim.Simulator.step sim "clk";
+  Alcotest.(check int) "reset" 0 (Bits.to_int (Zoomie_sim.Simulator.peek sim "value"))
+
+let test_gated_clock () =
+  (* Counter on a gated clock: stops ticking when gate_en is low even while
+     the root clock keeps running — the essence of Zoomie pausing. *)
+  let b = Builder.create "gated" in
+  let clk = Builder.clock b "clk" in
+  let gate_en = Builder.input b "gate_en" 1 in
+  let gclk = Builder.gated_clock b ~name:"gclk" ~parent:clk ~enable:gate_en in
+  let free =
+    Builder.reg_fb b ~clock:clk "free" 8 ~next:(fun q ->
+        Expr.(q +: const_int ~width:8 1))
+  in
+  let gated =
+    Builder.reg_fb b ~clock:gclk "gated" 8 ~next:(fun q ->
+        Expr.(q +: const_int ~width:8 1))
+  in
+  ignore (Builder.output b "free_o" 8 (Expr.Signal free));
+  ignore (Builder.output b "gated_o" 8 (Expr.Signal gated));
+  let sim = Zoomie_sim.Simulator.create (Builder.finish b) in
+  Zoomie_sim.Simulator.poke_input sim "gate_en" (bits ~width:1 1);
+  Zoomie_sim.Simulator.step ~n:4 sim "clk";
+  Zoomie_sim.Simulator.poke_input sim "gate_en" (bits ~width:1 0);
+  Zoomie_sim.Simulator.step ~n:3 sim "clk";
+  Alcotest.(check int) "free runs" 7 (Bits.to_int (Zoomie_sim.Simulator.peek sim "free_o"));
+  Alcotest.(check int) "gated paused" 4 (Bits.to_int (Zoomie_sim.Simulator.peek sim "gated_o"));
+  Zoomie_sim.Simulator.poke_input sim "gate_en" (bits ~width:1 1);
+  Zoomie_sim.Simulator.step ~n:2 sim "clk";
+  Alcotest.(check int) "gated resumes" 6 (Bits.to_int (Zoomie_sim.Simulator.peek sim "gated_o"))
+
+let test_memory_comb_read () =
+  let b = Builder.create "lutram" in
+  let clk = Builder.clock b "clk" in
+  let waddr = Builder.input b "waddr" 3 in
+  let wdata = Builder.input b "wdata" 8 in
+  let wen = Builder.input b "wen" 1 in
+  let raddr = Builder.input b "raddr" 3 in
+  let rout = Builder.mem_read_wire b "rdata" 8 in
+  Builder.memory b ~name:"m" ~width:8 ~depth:8
+    ~writes:[ { Circuit.w_clock = clk; w_enable = wen; w_addr = waddr; w_data = wdata } ]
+    ~reads:[ { Circuit.r_addr = raddr; r_out = rout; r_kind = Circuit.Read_comb } ] ();
+  ignore (Builder.output b "out" 8 (Expr.Signal rout));
+  let sim = Zoomie_sim.Simulator.create (Builder.finish b) in
+  Zoomie_sim.Simulator.poke_input sim "wen" (bits ~width:1 1);
+  Zoomie_sim.Simulator.poke_input sim "waddr" (bits ~width:3 3);
+  Zoomie_sim.Simulator.poke_input sim "wdata" (bits ~width:8 0xAB);
+  Zoomie_sim.Simulator.step sim "clk";
+  Zoomie_sim.Simulator.poke_input sim "wen" (bits ~width:1 0);
+  Zoomie_sim.Simulator.poke_input sim "raddr" (bits ~width:3 3);
+  Zoomie_sim.Simulator.eval_comb sim;
+  Alcotest.(check int) "read back" 0xAB
+    (Bits.to_int (Zoomie_sim.Simulator.peek sim "out"))
+
+let test_memory_sync_read () =
+  let b = Builder.create "bram" in
+  let clk = Builder.clock b "clk" in
+  let waddr = Builder.input b "waddr" 4 in
+  let wdata = Builder.input b "wdata" 16 in
+  let wen = Builder.input b "wen" 1 in
+  let raddr = Builder.input b "raddr" 4 in
+  let rout = Builder.mem_read_wire b "rdata" 16 in
+  Builder.memory b ~name:"m" ~width:16 ~depth:16
+    ~writes:[ { Circuit.w_clock = clk; w_enable = wen; w_addr = waddr; w_data = wdata } ]
+    ~reads:[ { Circuit.r_addr = raddr; r_out = rout; r_kind = Circuit.Read_sync clk } ] ();
+  ignore (Builder.output b "out" 16 (Expr.Signal rout));
+  let sim = Zoomie_sim.Simulator.create (Builder.finish b) in
+  Zoomie_sim.Simulator.poke_input sim "wen" (bits ~width:1 1);
+  Zoomie_sim.Simulator.poke_input sim "waddr" (bits ~width:4 9);
+  Zoomie_sim.Simulator.poke_input sim "wdata" (bits ~width:16 0xBEEF);
+  Zoomie_sim.Simulator.step sim "clk";
+  Zoomie_sim.Simulator.poke_input sim "wen" (bits ~width:1 0);
+  Zoomie_sim.Simulator.poke_input sim "raddr" (bits ~width:4 9);
+  (* Sync read: value appears one cycle after the address. *)
+  Zoomie_sim.Simulator.step sim "clk";
+  Alcotest.(check int) "registered read" 0xBEEF
+    (Bits.to_int (Zoomie_sim.Simulator.peek sim "out"))
+
+let test_hierarchy () =
+  (* Child adder instantiated twice; checks flattening and port wiring. *)
+  let child =
+    let b = Builder.create "adder" in
+    let a = Builder.input b "a" 8 in
+    let bb = Builder.input b "b" 8 in
+    ignore (Builder.output b "sum" 8 Expr.(a +: bb));
+    Builder.finish b
+  in
+  let parent =
+    let b = Builder.create "top" in
+    let x = Builder.input b "x" 8 in
+    let y = Builder.input b "y" 8 in
+    let s1 = Builder.wire b "s1" 8 in
+    let s2 = Builder.wire b "s2" 8 in
+    Builder.instantiate b ~inst_name:"u1" ~module_name:"adder"
+      [ Circuit.Drive_input ("a", x); Circuit.Drive_input ("b", y);
+        Circuit.Read_output ("sum", s1) ];
+    Builder.instantiate b ~inst_name:"u2" ~module_name:"adder"
+      [ Circuit.Drive_input ("a", Expr.Signal s1);
+        Circuit.Drive_input ("b", y); Circuit.Read_output ("sum", s2) ];
+    ignore (Builder.output b "total" 8 (Expr.Signal s2));
+    Builder.finish b
+  in
+  let design = Design.create ~top:"top" [ parent; child ] in
+  let flat = Flat.elaborate design in
+  Alcotest.(check bool) "flat has no instances" true (flat.Circuit.instances = []);
+  let sim = Zoomie_sim.Simulator.create flat in
+  Zoomie_sim.Simulator.poke_input sim "x" (bits ~width:8 10);
+  Zoomie_sim.Simulator.poke_input sim "y" (bits ~width:8 7);
+  Zoomie_sim.Simulator.eval_comb sim;
+  Alcotest.(check int) "x + 2y" 24 (Bits.to_int (Zoomie_sim.Simulator.peek sim "total"))
+
+let test_hierarchical_gated_clock () =
+  (* Parent defines a gated clock and binds the child's root clock to it via
+     the instance clock_map — the Debug Controller wrapper pattern. *)
+  let child =
+    let b = Builder.create "ticker" in
+    let clk = Builder.clock b "clk" in
+    let c =
+      Builder.reg_fb b ~clock:clk "c" 8 ~next:(fun q ->
+          Expr.(q +: const_int ~width:8 1))
+    in
+    ignore (Builder.output b "count" 8 (Expr.Signal c));
+    Builder.finish b
+  in
+  let parent =
+    let b = Builder.create "wrapper" in
+    let clk = Builder.clock b "clk" in
+    let pause = Builder.input b "pause" 1 in
+    let gclk =
+      Builder.gated_clock b ~name:"gclk" ~parent:clk ~enable:Expr.(~:pause)
+    in
+    let count = Builder.wire b "child_count" 8 in
+    Builder.instantiate b ~inst_name:"mut" ~module_name:"ticker"
+      ~clock_map:[ ("clk", gclk) ]
+      [ Circuit.Read_output ("count", count) ];
+    ignore (Builder.output b "count" 8 (Expr.Signal count));
+    Builder.finish b
+  in
+  let design = Design.create ~top:"wrapper" [ parent; child ] in
+  let sim = Zoomie_sim.Simulator.create (Flat.elaborate design) in
+  Zoomie_sim.Simulator.poke_input sim "pause" (bits ~width:1 0);
+  Zoomie_sim.Simulator.step ~n:5 sim "clk";
+  Alcotest.(check int) "runs" 5 (Bits.to_int (Zoomie_sim.Simulator.peek sim "count"));
+  Zoomie_sim.Simulator.poke_input sim "pause" (bits ~width:1 1);
+  Zoomie_sim.Simulator.step ~n:4 sim "clk";
+  Alcotest.(check int) "paused" 5 (Bits.to_int (Zoomie_sim.Simulator.peek sim "count"));
+  Zoomie_sim.Simulator.poke_input sim "pause" (bits ~width:1 0);
+  Zoomie_sim.Simulator.step sim "clk";
+  Alcotest.(check int) "resumed" 6 (Bits.to_int (Zoomie_sim.Simulator.peek sim "count"))
+
+let test_comb_cycle_detected () =
+  let b = Builder.create "cyclic" in
+  let _clk = Builder.clock b "clk" in
+  let w1 = Builder.wire b "w1" 1 in
+  let w2 = Builder.wire b "w2" 1 in
+  Builder.assign b w1 (Expr.Not (Expr.Signal w2));
+  Builder.assign b w2 (Expr.Not (Expr.Signal w1));
+  let c = Builder.finish b in
+  Alcotest.check_raises "cycle raises"
+    (Check.Check_error
+       (Check.Combinational_cycle [ "w1"; "w2" ]))
+    (fun () ->
+      try ignore (Check.validate c)
+      with Check.Check_error (Check.Combinational_cycle _) ->
+        raise (Check.Check_error (Check.Combinational_cycle [ "w1"; "w2" ])))
+
+let test_width_mismatch_detected () =
+  let b = Builder.create "badwidth" in
+  let _clk = Builder.clock b "clk" in
+  let x = Builder.input b "x" 4 in
+  let y = Builder.input b "y" 8 in
+  let w = Builder.wire b "w" 8 in
+  Builder.assign b w (Expr.Add (x, y));
+  let c = Builder.finish b in
+  Alcotest.(check bool) "mismatch raises" true
+    (try
+       ignore (Check.validate c);
+       false
+     with Check.Check_error (Check.Width_mismatch _) -> true)
+
+let test_force_release () =
+  let sim = Zoomie_sim.Simulator.create (counter_circuit ()) in
+  Zoomie_sim.Simulator.poke_input sim "en" (bits ~width:1 1);
+  Zoomie_sim.Simulator.step ~n:3 sim "clk";
+  Zoomie_sim.Simulator.force sim "value" (bits ~width:8 99);
+  Alcotest.(check int) "forced" 99 (Bits.to_int (Zoomie_sim.Simulator.peek sim "value"));
+  Zoomie_sim.Simulator.release sim "value";
+  Zoomie_sim.Simulator.eval_comb sim;
+  Alcotest.(check int) "released" 3 (Bits.to_int (Zoomie_sim.Simulator.peek sim "value"))
+
+let test_poke_register () =
+  let sim = Zoomie_sim.Simulator.create (counter_circuit ()) in
+  Zoomie_sim.Simulator.poke_input sim "en" (bits ~width:1 1);
+  Zoomie_sim.Simulator.step ~n:3 sim "clk";
+  Zoomie_sim.Simulator.poke_register sim "count" (bits ~width:8 100);
+  Zoomie_sim.Simulator.step sim "clk";
+  Alcotest.(check int) "injected state continues" 101
+    (Bits.to_int (Zoomie_sim.Simulator.peek sim "value"))
+
+let test_snapshot_restore () =
+  let sim = Zoomie_sim.Simulator.create (counter_circuit ()) in
+  Zoomie_sim.Simulator.poke_input sim "en" (bits ~width:1 1);
+  Zoomie_sim.Simulator.step ~n:7 sim "clk";
+  let snap = Zoomie_sim.Simulator.snapshot sim in
+  Zoomie_sim.Simulator.step ~n:5 sim "clk";
+  Alcotest.(check int) "advanced" 12 (Bits.to_int (Zoomie_sim.Simulator.peek sim "value"));
+  Zoomie_sim.Simulator.restore sim snap;
+  Alcotest.(check int) "restored" 7 (Bits.to_int (Zoomie_sim.Simulator.peek sim "value"));
+  Zoomie_sim.Simulator.step sim "clk";
+  Alcotest.(check int) "replays" 8 (Bits.to_int (Zoomie_sim.Simulator.peek sim "value"))
+
+let test_trace () =
+  let sim = Zoomie_sim.Simulator.create (counter_circuit ()) in
+  let trace = Zoomie_sim.Trace.create sim ~signals:[ "value" ] ~depth:4 in
+  Zoomie_sim.Simulator.poke_input sim "en" (bits ~width:1 1);
+  for _ = 1 to 6 do
+    Zoomie_sim.Simulator.step sim "clk";
+    Zoomie_sim.Trace.sample trace
+  done;
+  let hist = Zoomie_sim.Trace.history trace "value" in
+  Alcotest.(check int) "ring keeps last 4" 4 (List.length hist);
+  Alcotest.(check (list int)) "window values" [ 3; 4; 5; 6 ]
+    (List.map (fun (_, v) -> Bits.to_int v) hist)
+
+let suite =
+  [
+    Alcotest.test_case "counter" `Quick test_counter;
+    Alcotest.test_case "sync reset" `Quick test_reset;
+    Alcotest.test_case "gated clock pauses" `Quick test_gated_clock;
+    Alcotest.test_case "LUTRAM comb read" `Quick test_memory_comb_read;
+    Alcotest.test_case "BRAM sync read" `Quick test_memory_sync_read;
+    Alcotest.test_case "hierarchy flattening" `Quick test_hierarchy;
+    Alcotest.test_case "gated clock across hierarchy" `Quick test_hierarchical_gated_clock;
+    Alcotest.test_case "comb cycle detection" `Quick test_comb_cycle_detected;
+    Alcotest.test_case "width mismatch detection" `Quick test_width_mismatch_detected;
+    Alcotest.test_case "force/release" `Quick test_force_release;
+    Alcotest.test_case "register injection" `Quick test_poke_register;
+    Alcotest.test_case "snapshot/restore" `Quick test_snapshot_restore;
+    Alcotest.test_case "trace ring buffer" `Quick test_trace;
+  ]
+
+(* --- additional simulator coverage ----------------------------------- *)
+
+let test_two_root_clocks () =
+  (* Independent clock domains tick independently. *)
+  let b = Builder.create "dual" in
+  let ca = Builder.clock b "clk_a" in
+  let cb = Builder.clock b "clk_b" in
+  let ra =
+    Builder.reg_fb b ~clock:ca "ra" 8 ~next:(fun q ->
+        Expr.(q +: const_int ~width:8 1))
+  in
+  let rb =
+    Builder.reg_fb b ~clock:cb "rb" 8 ~next:(fun q ->
+        Expr.(q +: const_int ~width:8 1))
+  in
+  ignore (Builder.output b "oa" 8 (Expr.Signal ra));
+  ignore (Builder.output b "ob" 8 (Expr.Signal rb));
+  let sim = Zoomie_sim.Simulator.create (Builder.finish b) in
+  Zoomie_sim.Simulator.step ~n:5 sim "clk_a";
+  Zoomie_sim.Simulator.step ~n:2 sim "clk_b";
+  Alcotest.(check int) "domain a" 5 (Bits.to_int (Zoomie_sim.Simulator.peek sim "oa"));
+  Alcotest.(check int) "domain b" 2 (Bits.to_int (Zoomie_sim.Simulator.peek sim "ob"));
+  Alcotest.(check int) "per-clock counters" 5 (Zoomie_sim.Simulator.clock_cycles sim "clk_a")
+
+let test_nested_gated_clocks () =
+  (* gclk2 is gated off gclk1: both enables must be true to tick. *)
+  let b = Builder.create "nested" in
+  let clk = Builder.clock b "clk" in
+  let e1 = Builder.input b "e1" 1 in
+  let e2 = Builder.input b "e2" 1 in
+  let g1 = Builder.gated_clock b ~name:"g1" ~parent:clk ~enable:e1 in
+  let g2 = Builder.gated_clock b ~name:"g2" ~parent:g1 ~enable:e2 in
+  let r =
+    Builder.reg_fb b ~clock:g2 "r" 8 ~next:(fun q ->
+        Expr.(q +: const_int ~width:8 1))
+  in
+  ignore (Builder.output b "o" 8 (Expr.Signal r));
+  let sim = Zoomie_sim.Simulator.create (Builder.finish b) in
+  let run e1v e2v n =
+    Zoomie_sim.Simulator.poke_input sim "e1" (bits ~width:1 e1v);
+    Zoomie_sim.Simulator.poke_input sim "e2" (bits ~width:1 e2v);
+    Zoomie_sim.Simulator.step ~n sim "clk"
+  in
+  run 1 1 3;
+  run 1 0 3;
+  run 0 1 3;
+  run 1 1 2;
+  Alcotest.(check int) "ticks only when both enabled" 5
+    (Bits.to_int (Zoomie_sim.Simulator.peek sim "o"))
+
+let test_force_propagates () =
+  (* Forcing a wire affects downstream logic and register updates. *)
+  let b = Builder.create "forcing" in
+  let clk = Builder.clock b "clk" in
+  let x = Builder.input b "x" 4 in
+  let mid = Builder.wire b "mid" 4 in
+  Builder.assign b mid Expr.(x +: const_int ~width:4 1);
+  let r = Builder.reg b ~clock:clk "r" 4 in
+  Builder.reg_next b r (Expr.Signal mid);
+  ignore (Builder.output b "o" 4 (Expr.Signal r));
+  let sim = Zoomie_sim.Simulator.create (Builder.finish b) in
+  Zoomie_sim.Simulator.poke_input sim "x" (bits ~width:4 2);
+  Zoomie_sim.Simulator.force sim "mid" (bits ~width:4 9);
+  Zoomie_sim.Simulator.step sim "clk";
+  Alcotest.(check int) "forced value captured" 9
+    (Bits.to_int (Zoomie_sim.Simulator.peek sim "o"));
+  Zoomie_sim.Simulator.release sim "mid";
+  Zoomie_sim.Simulator.step sim "clk";
+  Alcotest.(check int) "normal value after release" 3
+    (Bits.to_int (Zoomie_sim.Simulator.peek sim "o"))
+
+let test_mem_write_and_comb_read_same_cycle () =
+  (* A comb read of the address being written returns the OLD value this
+     cycle (read-before-write array semantics). *)
+  let b = Builder.create "rbw" in
+  let clk = Builder.clock b "clk" in
+  let wen = Builder.input b "wen" 1 in
+  let data = Builder.input b "data" 8 in
+  let rout = Builder.mem_read_wire b "rdata" 8 in
+  Builder.memory b ~name:"m" ~width:8 ~depth:4
+    ~writes:
+      [ { Circuit.w_clock = clk; w_enable = wen;
+          w_addr = Expr.const_int ~width:2 1; w_data = data } ]
+    ~reads:
+      [ { Circuit.r_addr = Expr.const_int ~width:2 1; r_out = rout;
+          r_kind = Circuit.Read_comb } ]
+    ();
+  ignore (Builder.output b "o" 8 (Expr.Signal rout));
+  let sim = Zoomie_sim.Simulator.create (Builder.finish b) in
+  Zoomie_sim.Simulator.poke_input sim "wen" (bits ~width:1 1);
+  Zoomie_sim.Simulator.poke_input sim "data" (bits ~width:8 0x11);
+  Zoomie_sim.Simulator.eval_comb sim;
+  Alcotest.(check int) "before the edge: old value" 0
+    (Bits.to_int (Zoomie_sim.Simulator.peek sim "o"));
+  Zoomie_sim.Simulator.step sim "clk";
+  Alcotest.(check int) "after the edge: new value" 0x11
+    (Bits.to_int (Zoomie_sim.Simulator.peek sim "o"))
+
+let test_mem_init_visible () =
+  let b = Builder.create "rominit" in
+  let _ = Builder.clock b "clk" in
+  let addr = Builder.input b "addr" 2 in
+  let rout = Builder.mem_read_wire b "rdata" 8 in
+  Builder.memory b ~name:"rom" ~width:8 ~depth:4
+    ~init:[| bits ~width:8 10; bits ~width:8 20; bits ~width:8 30 |]
+    ~writes:[]
+    ~reads:
+      [ { Circuit.r_addr = addr; r_out = rout; r_kind = Circuit.Read_comb } ]
+    ();
+  ignore (Builder.output b "o" 8 (Expr.Signal rout));
+  let sim = Zoomie_sim.Simulator.create (Builder.finish b) in
+  List.iter
+    (fun (a, expect) ->
+      Zoomie_sim.Simulator.poke_input sim "addr" (bits ~width:2 a);
+      Zoomie_sim.Simulator.eval_comb sim;
+      Alcotest.(check int) (Printf.sprintf "rom[%d]" a) expect
+        (Bits.to_int (Zoomie_sim.Simulator.peek sim "o")))
+    [ (0, 10); (1, 20); (2, 30); (3, 0) ]
+
+let test_out_of_range_mem_read () =
+  (* Addresses beyond the depth read as zero instead of crashing. *)
+  let b = Builder.create "oob" in
+  let _ = Builder.clock b "clk" in
+  let addr = Builder.input b "addr" 4 in
+  let rout = Builder.mem_read_wire b "rdata" 8 in
+  Builder.memory b ~name:"m" ~width:8 ~depth:5
+    ~init:[| bits ~width:8 7 |]
+    ~writes:[]
+    ~reads:[ { Circuit.r_addr = addr; r_out = rout; r_kind = Circuit.Read_comb } ]
+    ();
+  ignore (Builder.output b "o" 8 (Expr.Signal rout));
+  let sim = Zoomie_sim.Simulator.create (Builder.finish b) in
+  Zoomie_sim.Simulator.poke_input sim "addr" (bits ~width:4 12);
+  Zoomie_sim.Simulator.eval_comb sim;
+  Alcotest.(check int) "OOB reads zero" 0 (Bits.to_int (Zoomie_sim.Simulator.peek sim "o"))
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "two root clocks" `Quick test_two_root_clocks;
+      Alcotest.test_case "nested gated clocks" `Quick test_nested_gated_clocks;
+      Alcotest.test_case "force propagates" `Quick test_force_propagates;
+      Alcotest.test_case "read-before-write memory" `Quick
+        test_mem_write_and_comb_read_same_cycle;
+      Alcotest.test_case "memory init" `Quick test_mem_init_visible;
+      Alcotest.test_case "out-of-range read" `Quick test_out_of_range_mem_read;
+    ]
+
+(* --- structural check diagnostics ------------------------------------ *)
+
+let expect_check_error name build pred =
+  Alcotest.(check bool) name true
+    (try
+       ignore (Check.validate (build ()));
+       false
+     with Check.Check_error e -> pred e)
+
+let test_no_driver_detected () =
+  expect_check_error "undriven wire diagnosed"
+    (fun () ->
+      let b = Builder.create "undriven" in
+      let _ = Builder.clock b "clk" in
+      let w = Builder.wire b "floating" 4 in
+      ignore (Builder.output b "o" 4 (Expr.Signal w));
+      (* output has an assign; "floating"... build a truly undriven one *)
+      let u = Builder.wire b "lonely" 2 in
+      ignore u;
+      Builder.finish b)
+    (function Check.No_driver _ -> true | _ -> false)
+
+let test_multiple_drivers_detected () =
+  expect_check_error "double-driven wire diagnosed"
+    (fun () ->
+      let b = Builder.create "doubled" in
+      let _ = Builder.clock b "clk" in
+      let w = Builder.wire b "w" 1 in
+      Builder.assign b w Expr.vdd;
+      Builder.assign b w Expr.gnd;
+      Builder.finish b)
+    (function Check.Multiple_drivers _ -> true | _ -> false)
+
+let test_unknown_clock_detected () =
+  expect_check_error "bad clock name diagnosed"
+    (fun () ->
+      let b = Builder.create "noclk" in
+      let _ = Builder.clock b "clk" in
+      let r = Builder.reg b ~clock:"phantom_clk" "r" 1 in
+      Builder.reg_next b r (Expr.Signal r);
+      ignore (Builder.output b "o" 1 (Expr.Signal r));
+      Builder.finish b)
+    (function Check.Unknown_clock _ -> true | _ -> false)
+
+let test_error_messages_render () =
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "non-empty rendering" true
+        (String.length (Check.error_to_string e) > 0))
+    [
+      Check.Width_mismatch { where = "x"; expected = 4; got = 8 };
+      Check.Multiple_drivers "w";
+      Check.No_driver "u";
+      Check.Combinational_cycle [ "a"; "b"; "a" ];
+      Check.Unknown_clock "ghost";
+    ]
+
+let test_builder_guards () =
+  (* Duplicate signal names and unfinished registers are caught at build
+     time, before any tool sees the circuit. *)
+  Alcotest.(check bool) "duplicate name" true
+    (try
+       let b = Builder.create "dup" in
+       let _ = Builder.clock b "clk" in
+       let _ = Builder.input b "x" 1 in
+       let _ = Builder.input b "x" 2 in
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "unfinished register" true
+    (try
+       let b = Builder.create "unfinished" in
+       let clk = Builder.clock b "clk" in
+       let _ = Builder.reg b ~clock:clk "r" 4 in
+       ignore (Builder.finish b);
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "check: no driver" `Quick test_no_driver_detected;
+      Alcotest.test_case "check: multiple drivers" `Quick test_multiple_drivers_detected;
+      Alcotest.test_case "check: unknown clock" `Quick test_unknown_clock_detected;
+      Alcotest.test_case "check: error rendering" `Quick test_error_messages_render;
+      Alcotest.test_case "builder guards" `Quick test_builder_guards;
+    ]

@@ -1,0 +1,481 @@
+(* Assertion compiler tests: parser, NFA vs denotational match semantics,
+   emitted monitor vs reference interpreter, Table 4 support boundary, and
+   monitor resource sanity (Figure 8 regime). *)
+
+open Zoomie_rtl
+module Sva = Zoomie_sva
+
+let bits = Bits.of_int
+
+(* --- trace plumbing --- *)
+
+(* A trace over named 1..4-bit signals stored as int arrays. *)
+let make_trace (cols : (string * int * int array) list) =
+  let len =
+    List.fold_left (fun acc (_, _, vs) -> max acc (Array.length vs)) 0 cols
+  in
+  {
+    Sva.Semantics.len;
+    get =
+      (fun t name ->
+        match List.find_opt (fun (n, _, _) -> n = name) cols with
+        | Some (_, w, vs) ->
+          if t < Array.length vs then bits ~width:w vs.(t) else Bits.zero w
+        | None -> Bits.zero 1);
+  }
+
+(* Run the emitted monitor circuit over a trace in the RTL simulator. *)
+let run_monitor (m : Sva.Emit.monitor) (tr : Sva.Semantics.trace) =
+  let sim = Zoomie_sim.Simulator.create m.Sva.Emit.m_circuit in
+  Array.init tr.Sva.Semantics.len (fun t ->
+      List.iter
+        (fun (name, _) ->
+          Zoomie_sim.Simulator.poke_input sim name (tr.Sva.Semantics.get t name))
+        m.Sva.Emit.m_inputs;
+      Zoomie_sim.Simulator.eval_comb sim;
+      let v = Bits.to_int (Zoomie_sim.Simulator.peek sim "violation") = 1 in
+      Zoomie_sim.Simulator.step sim "clk";
+      v)
+
+let compile_exn ?(widths = fun _ -> 1) src =
+  match Sva.Compile.compile ~widths src with
+  | Ok s -> s
+  | Error f -> Alcotest.failf "compile failed: %s (%s)" f.Sva.Compile.reason src
+
+let violations ?widths src cols =
+  let s = compile_exn ?widths src in
+  let tr = make_trace cols in
+  (Array.to_list (run_monitor s.Sva.Compile.monitor tr),
+   Array.to_list (Sva.Semantics.Interp.run s.Sva.Compile.ast tr))
+
+(* --- parser --- *)
+
+let test_parse_basic () =
+  let a =
+    Zoomie_sva.Parser.parse_assertion
+      "ack_valid: assert property (@(posedge clk) disable iff (!resetn) valid |-> ##1 ack);"
+  in
+  Alcotest.(check string) "name" "ack_valid" a.Sva.Ast.a_name;
+  Alcotest.(check (option string)) "clock" (Some "clk") a.Sva.Ast.a_clock;
+  Alcotest.(check bool) "has disable" true (a.Sva.Ast.a_disable <> None);
+  match a.Sva.Ast.a_property with
+  | Sva.Ast.P_implication { overlapped = true; _ } -> ()
+  | _ -> Alcotest.fail "expected overlapped implication"
+
+let test_parse_delay_range () =
+  let a = Sva.Parser.parse_assertion "assert property (@(posedge clk) a |-> b ##[1:3] c);" in
+  match a.Sva.Ast.a_property with
+  | Sva.Ast.P_implication { cons = Sva.Ast.P_seq (Sva.Ast.S_delay (_, 1, Some 3, _)); _ } -> ()
+  | _ -> Alcotest.fail "expected delay range"
+
+let test_parse_repetition () =
+  let a = Sva.Parser.parse_assertion "assert property (@(posedge clk) c |-> (a ##1 b)[*2]);" in
+  match a.Sva.Ast.a_property with
+  | Sva.Ast.P_implication { cons = Sva.Ast.P_seq (Sva.Ast.S_repeat (_, 2, Some 2)); _ } -> ()
+  | _ -> Alcotest.fail "expected repetition"
+
+let test_parse_comparison () =
+  let a = Sva.Parser.parse_assertion "assert (tlb_sel_r == id);" in
+  Alcotest.(check bool) "immediate" true (a.Sva.Ast.a_kind = `Immediate)
+
+let test_parse_verilog_literal () =
+  let a = Sva.Parser.parse_assertion "assert (state != 3'b101);" in
+  match a.Sva.Ast.a_property with
+  | Sva.Ast.P_seq (Sva.Ast.S_bool (Sva.Ast.B_cmp (Sva.Ast.Cne, _, Sva.Ast.Const 5))) -> ()
+  | _ -> Alcotest.fail "expected != 5"
+
+let test_parse_unbounded_rejected () =
+  match Sva.Compile.compile "assert property (@(posedge clk) a |-> b ##[1:$] c);" with
+  | Error f ->
+    Alcotest.(check bool) "mentions unbounded" true
+      (String.length f.Sva.Compile.reason > 0)
+  | Ok _ -> Alcotest.fail "unbounded range must be rejected"
+
+(* --- monitor behavior on handcrafted traces --- *)
+
+let test_simple_implication () =
+  (* valid |-> ##1 ack : violated at the cycle after a valid with no ack. *)
+  let mon, ref_ =
+    violations "assert property (@(posedge clk) valid |-> ##1 ack);"
+      [
+        ("valid", 1, [| 0; 1; 0; 1; 0; 0 |]);
+        ("ack", 1, [| 0; 0; 1; 0; 0; 0 |]);
+      ]
+  in
+  Alcotest.(check (list bool)) "matches reference" ref_ mon;
+  (* valid at 1 acked at 2 (ok); valid at 3 not acked at 4 -> violation at 4 *)
+  Alcotest.(check (list bool)) "expected cycles"
+    [ false; false; false; false; true; false ]
+    mon
+
+let test_overlapped_same_cycle () =
+  (* req |-> gnt : checked in the same cycle. *)
+  let mon, ref_ =
+    violations "assert property (@(posedge clk) req |-> gnt);"
+      [ ("req", 1, [| 1; 1; 0 |]); ("gnt", 1, [| 1; 0; 0 |]) ]
+  in
+  Alcotest.(check (list bool)) "matches reference" ref_ mon;
+  Alcotest.(check (list bool)) "violation at 1" [ false; true; false ] mon
+
+let test_nonoverlapped () =
+  let mon, _ =
+    violations "assert property (@(posedge clk) req |=> gnt);"
+      [ ("req", 1, [| 1; 0; 0 |]); ("gnt", 1, [| 0; 0; 1 |]) ]
+  in
+  Alcotest.(check (list bool)) "violation next cycle" [ false; true; false ] mon
+
+let test_delay_range_tolerance () =
+  (* a |-> ##[1:2] b : b may come 1 or 2 cycles later. *)
+  let mon, ref_ =
+    violations "assert property (@(posedge clk) a |-> ##1 b ##[0:0] b);"
+      [ ("a", 1, [| 1; 0; 0; 0 |]); ("b", 1, [| 0; 1; 0; 0 |]) ]
+  in
+  Alcotest.(check (list bool)) "matches reference" ref_ mon
+
+let test_delay_range_late () =
+  let mk b_vals =
+    violations "assert property (@(posedge clk) a |-> b ##[1:2] c);"
+      [
+        ("a", 1, [| 1; 0; 0; 0; 0 |]);
+        ("b", 1, [| 1; 0; 0; 0; 0 |]);
+        ("c", 1, b_vals);
+      ]
+  in
+  (* c one cycle later: ok *)
+  let m1, r1 = mk [| 0; 1; 0; 0; 0 |] in
+  Alcotest.(check (list bool)) "tolerant ref 1" r1 m1;
+  Alcotest.(check bool) "no violation (d=1)" false (List.mem true m1);
+  (* c two cycles later: ok *)
+  let m2, r2 = mk [| 0; 0; 1; 0; 0 |] in
+  Alcotest.(check (list bool)) "tolerant ref 2" r2 m2;
+  Alcotest.(check bool) "no violation (d=2)" false (List.mem true m2);
+  (* c never: violation once window closes (cycle 2) *)
+  let m3, r3 = mk [| 0; 0; 0; 0; 0 |] in
+  Alcotest.(check (list bool)) "tolerant ref 3" r3 m3;
+  Alcotest.(check (list bool)) "violation at 2" [ false; false; true; false; false ] m3
+
+let test_disable_iff () =
+  let mon, ref_ =
+    violations
+      "assert property (@(posedge clk) disable iff (!resetn) valid |-> ##1 ack);"
+      [
+        ("valid", 1, [| 1; 0; 1; 0 |]);
+        ("ack", 1, [| 0; 0; 0; 0 |]);
+        ("resetn", 1, [| 0; 0; 1; 1 |]);
+      ]
+  in
+  Alcotest.(check (list bool)) "matches reference" ref_ mon;
+  (* valid at 0 ignored (disabled); valid at 2 unacked -> violation at 3. *)
+  Alcotest.(check (list bool)) "only armed violation"
+    [ false; false; false; true ] mon
+
+let test_past () =
+  (* Counter must not repeat: $past(cnt,1) != cnt when enabled. *)
+  let mon, ref_ =
+    violations ~widths:(function "cnt" -> 2 | _ -> 1)
+      "assert property (@(posedge clk) en |-> $past(cnt, 1) != cnt);"
+      [ ("en", 1, [| 0; 1; 1; 1 |]); ("cnt", 2, [| 0; 1; 1; 2 |]) ]
+  in
+  Alcotest.(check (list bool)) "matches reference" ref_ mon;
+  Alcotest.(check (list bool)) "repeat detected at 2"
+    [ false; false; true; false ] mon
+
+let test_rose () =
+  let mon, ref_ =
+    violations "assert property (@(posedge clk) $rose(req) |-> busy);"
+      [ ("req", 1, [| 0; 1; 1; 0; 1 |]); ("busy", 1, [| 0; 0; 1; 0; 1 |]) ]
+  in
+  Alcotest.(check (list bool)) "matches reference" ref_ mon;
+  Alcotest.(check (list bool)) "rising edge at 1 unmet"
+    [ false; true; false; false; false ] mon
+
+let test_repetition_consecutive () =
+  (* start |=> busy[*2] : busy must hold for 2 cycles after start. *)
+  let mon, ref_ =
+    violations "assert property (@(posedge clk) start |=> busy[*2]);"
+      [ ("start", 1, [| 1; 0; 0; 0 |]); ("busy", 1, [| 0; 1; 0; 0 |]) ]
+  in
+  Alcotest.(check (list bool)) "matches reference" ref_ mon;
+  Alcotest.(check (list bool)) "second busy missing -> violation at 2"
+    [ false; false; true; false ] mon
+
+let test_sequence_and () =
+  (* go |-> ((a ##1 a) and (b ##2 b)) *)
+  let mon, ref_ =
+    violations "assert property (@(posedge clk) go |-> ((a ##1 a) and (b ##2 b)));"
+      [
+        ("go", 1, [| 1; 0; 0; 0 |]);
+        ("a", 1, [| 1; 1; 0; 0 |]);
+        ("b", 1, [| 1; 0; 1; 0 |]);
+      ]
+  in
+  Alcotest.(check (list bool)) "matches reference" ref_ mon;
+  Alcotest.(check bool) "satisfied" false (List.mem true mon)
+
+let test_throughout () =
+  let mon, ref_ =
+    violations
+      "assert property (@(posedge clk) go |-> (busy throughout (x ##2 y)));"
+      [
+        ("go", 1, [| 1; 0; 0; 0 |]);
+        ("busy", 1, [| 1; 1; 0; 0 |]);
+        ("x", 1, [| 1; 0; 0; 0 |]);
+        ("y", 1, [| 0; 0; 1; 0 |]);
+      ]
+  in
+  Alcotest.(check (list bool)) "matches reference" ref_ mon;
+  (* busy drops at 2 where y arrives -> violated at 2. *)
+  Alcotest.(check bool) "violated" true (List.mem true mon)
+
+let test_immediate () =
+  let mon, ref_ =
+    violations ~widths:(fun _ -> 4) "assert (a == b);"
+      [ ("a", 4, [| 3; 5; 7 |]); ("b", 4, [| 3; 4; 7 |]) ]
+  in
+  Alcotest.(check (list bool)) "matches reference" ref_ mon;
+  Alcotest.(check (list bool)) "mismatch at 1" [ false; true; false ] mon
+
+(* --- NFA match vs denotational semantics (property) --- *)
+
+let random_trace st len names =
+  let cols = List.map (fun n -> (n, 1, Array.init len (fun _ -> Random.State.int st 2))) names in
+  make_trace cols
+
+let random_sequence st =
+  let b name = Sva.Ast.S_bool (Sva.Ast.B_sig (Sva.Ast.Sig { name; hi = None; lo = None })) in
+  let names = [ "a"; "b"; "c" ] in
+  let rec go depth =
+    if depth = 0 then b (List.nth names (Random.State.int st 3))
+    else
+      match Random.State.int st 5 with
+      | 0 -> b (List.nth names (Random.State.int st 3))
+      | 1 ->
+        let m = 1 + Random.State.int st 2 in
+        let n = m + Random.State.int st 2 in
+        Sva.Ast.S_delay (go (depth - 1), m, Some n, go (depth - 1))
+      | 2 -> Sva.Ast.S_or (go (depth - 1), go (depth - 1))
+      | 3 -> Sva.Ast.S_and (go (depth - 1), go (depth - 1))
+      | _ ->
+        let m = 1 + Random.State.int st 2 in
+        Sva.Ast.S_repeat (b (List.nth names (Random.State.int st 3)), m, Some (m + 1))
+  in
+  go 2
+
+(* NFA-interpreted match-at-cycle flags equal the denotational ones. *)
+let prop_nfa_matches_denotational =
+  QCheck2.Test.make ~name:"NFA matches == denotational matches" ~count:120
+    QCheck2.Gen.int (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let s = random_sequence st in
+      let len = 14 in
+      let tr = random_trace st len [ "a"; "b"; "c" ] in
+      let nfa = Sva.Nfa.prune (Sva.Nfa.of_sequence s) in
+      (* Interpret the NFA with always-armed start. *)
+      let module IS = Set.Make (Int) in
+      let active = ref IS.empty in
+      let nfa_flags = Array.make len false in
+      for t = 0 to len - 1 do
+        let act = IS.add nfa.Sva.Nfa.start !active in
+        let next = ref IS.empty in
+        List.iter
+          (fun (e : Sva.Nfa.edge) ->
+            if IS.mem e.Sva.Nfa.src act && Sva.Semantics.eval_boolean tr t e.Sva.Nfa.cond
+            then
+              match e.Sva.Nfa.dst with
+              | None -> nfa_flags.(t) <- true
+              | Some d -> next := IS.add d !next)
+          nfa.Sva.Nfa.edges;
+        active := !next
+      done;
+      (* Denotational: match ends at t from any start. *)
+      let deno_flags = Array.make len false in
+      for start = 0 to len - 1 do
+        List.iter
+          (fun u -> if u < len then deno_flags.(u) <- true)
+          (Sva.Semantics.matches tr s ~start)
+      done;
+      nfa_flags = deno_flags)
+
+(* Emitted monitor == reference interpreter on random properties/traces. *)
+let prop_monitor_matches_interp =
+  QCheck2.Test.make ~name:"monitor RTL == interpreter" ~count:80
+    QCheck2.Gen.int (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let cons = random_sequence st in
+      let ante = random_sequence st in
+      let overlapped = Random.State.bool st in
+      let ast =
+        {
+          Sva.Ast.a_name = "rand";
+          a_kind = `Concurrent;
+          a_clock = Some "clk";
+          a_disable = None;
+          a_disable_async = false;
+          a_property =
+            Sva.Ast.P_implication { ante; cons = Sva.Ast.P_seq cons; overlapped };
+          a_local_vars = [];
+          a_source = "<generated>";
+        }
+      in
+      match Sva.Emit.build ~widths:(fun _ -> 1) ast with
+      | exception Sva.Nfa.Unsupported _ -> QCheck2.assume_fail ()
+      | monitor ->
+        let len = 16 in
+        let tr = random_trace st len [ "a"; "b"; "c" ] in
+        let hw = run_monitor monitor tr in
+        let sw = Sva.Semantics.Interp.run ast tr in
+        hw = sw)
+
+(* --- Table 4 and resources --- *)
+
+let test_feature_matrix () =
+  let matrix = Sva.Compile.feature_matrix () in
+  let find name =
+    let _, _, s = List.find (fun (n, _, _) -> n = name) matrix in
+    s
+  in
+  Alcotest.(check string) "immediate" "full" (Sva.Compile.support_to_string (find "Immediate"));
+  Alcotest.(check string) "implication" "full" (Sva.Compile.support_to_string (find "Implication"));
+  Alcotest.(check string) "fixed delay" "full" (Sva.Compile.support_to_string (find "Fixed Delay"));
+  Alcotest.(check string) "past" "full" (Sva.Compile.support_to_string (find "System Functions"));
+  Alcotest.(check string) "delay range" "finite" (Sva.Compile.support_to_string (find "Delay Range"));
+  Alcotest.(check string) "repetition" "only consecutive"
+    (Sva.Compile.support_to_string (find "Repetition"));
+  Alcotest.(check string) "local var" "unsupported"
+    (Sva.Compile.support_to_string (find "Local Variable"));
+  Alcotest.(check string) "async reset" "unsupported"
+    (Sva.Compile.support_to_string (find "Asynchronous Reset"));
+  Alcotest.(check string) "first match" "unsupported"
+    (Sva.Compile.support_to_string (find "First Match"))
+
+let test_isunknown_rejected () =
+  match Sva.Compile.compile "assert property (@(posedge clk) !$isunknown(data));" with
+  | Error f ->
+    Alcotest.(check bool) "reason mentions 4-state" true
+      (String.length f.Sva.Compile.reason > 10)
+  | Ok _ -> Alcotest.fail "$isunknown must be unsynthesizable"
+
+let test_monitor_resources () =
+  (* A typical handshake assertion should cost a handful of FFs/LUTs. *)
+  let s =
+    compile_exn
+      "assert property (@(posedge clk) disable iff (!resetn) valid |-> ##1 ack);"
+  in
+  Alcotest.(check bool) "few FFs" true (s.Sva.Compile.ffs <= 10);
+  Alcotest.(check bool) "few LUTs" true (s.Sva.Compile.luts <= 20);
+  Alcotest.(check bool) "nonzero" true (s.Sva.Compile.ffs > 0)
+
+let suite =
+  [
+    Alcotest.test_case "parse basic" `Quick test_parse_basic;
+    Alcotest.test_case "parse delay range" `Quick test_parse_delay_range;
+    Alcotest.test_case "parse repetition" `Quick test_parse_repetition;
+    Alcotest.test_case "parse immediate comparison" `Quick test_parse_comparison;
+    Alcotest.test_case "parse verilog literal" `Quick test_parse_verilog_literal;
+    Alcotest.test_case "unbounded range rejected" `Quick test_parse_unbounded_rejected;
+    Alcotest.test_case "simple implication" `Quick test_simple_implication;
+    Alcotest.test_case "overlapped same cycle" `Quick test_overlapped_same_cycle;
+    Alcotest.test_case "non-overlapped" `Quick test_nonoverlapped;
+    Alcotest.test_case "delay range (##0 chain)" `Quick test_delay_range_tolerance;
+    Alcotest.test_case "delay range tolerance" `Quick test_delay_range_late;
+    Alcotest.test_case "disable iff" `Quick test_disable_iff;
+    Alcotest.test_case "$past" `Quick test_past;
+    Alcotest.test_case "$rose" `Quick test_rose;
+    Alcotest.test_case "consecutive repetition" `Quick test_repetition_consecutive;
+    Alcotest.test_case "sequence and" `Quick test_sequence_and;
+    Alcotest.test_case "throughout" `Quick test_throughout;
+    Alcotest.test_case "immediate assertion" `Quick test_immediate;
+    QCheck_alcotest.to_alcotest prop_nfa_matches_denotational;
+    QCheck_alcotest.to_alcotest prop_monitor_matches_interp;
+    Alcotest.test_case "feature matrix (Table 4)" `Quick test_feature_matrix;
+    Alcotest.test_case "$isunknown rejected" `Quick test_isunknown_rejected;
+    Alcotest.test_case "monitor resources" `Quick test_monitor_resources;
+  ]
+
+(* --- additional assertion coverage ----------------------------------- *)
+
+let test_fell () =
+  let mon, ref_ =
+    violations "assert property (@(posedge clk) $fell(busy) |-> done);"
+      [ ("busy", 1, [| 1; 1; 0; 0; 1; 0 |]); ("done", 1, [| 0; 0; 1; 0; 0; 0 |]) ]
+  in
+  Alcotest.(check (list bool)) "matches reference" ref_ mon;
+  (* falls at 2 (done ok) and at 5 (done missing -> violation). *)
+  Alcotest.(check (list bool)) "second fall unmet"
+    [ false; false; false; false; false; true ] mon
+
+let test_stable_multibit () =
+  let mon, ref_ =
+    violations ~widths:(function "v" -> 4 | _ -> 1)
+      "assert property (@(posedge clk) hold |-> $stable(v));"
+      [ ("hold", 1, [| 0; 1; 1; 1 |]); ("v", 4, [| 3; 3; 3; 9 |]) ]
+  in
+  Alcotest.(check (list bool)) "matches reference" ref_ mon;
+  Alcotest.(check (list bool)) "change under hold flagged"
+    [ false; false; false; true ] mon
+
+let test_not_property () =
+  (* not (a ##1 b): violated whenever the sequence matches. *)
+  let mon, ref_ =
+    violations "assert property (@(posedge clk) not (a ##1 b));"
+      [ ("a", 1, [| 1; 0; 1; 0 |]); ("b", 1, [| 0; 1; 0; 0 |]) ]
+  in
+  Alcotest.(check (list bool)) "matches reference" ref_ mon;
+  Alcotest.(check (list bool)) "match at cycle 1 flagged"
+    [ false; true; false; false ] mon
+
+let test_bit_select () =
+  let mon, _ =
+    violations ~widths:(function "v" -> 8 | _ -> 1)
+      "assert property (@(posedge clk) go |-> v[7:4] == 4'd3);"
+      [ ("go", 1, [| 1; 1 |]); ("v", 8, [| 0x35; 0x45 |]) ]
+  in
+  Alcotest.(check (list bool)) "upper nibble checked" [ false; true ] mon
+
+let test_boolean_precedence () =
+  (* && binds tighter than ||. *)
+  let mon, _ =
+    violations "assert property (@(posedge clk) !(a || b && c));"
+      [ ("a", 1, [| 0; 0; 1 |]); ("b", 1, [| 1; 1; 0 |]); ("c", 1, [| 0; 1; 0 |]) ]
+  in
+  (* a||(b&&c): cycle0 = 0 (ok), cycle1 = 1 (violation), cycle2 = 1. *)
+  Alcotest.(check (list bool)) "precedence" [ false; true; true ] mon
+
+let test_antecedent_sequence () =
+  (* Multi-cycle antecedent: (req ##1 grant) |-> ##1 done. *)
+  let mon, ref_ =
+    violations "assert property (@(posedge clk) (req ##1 grant) |-> ##1 done);"
+      [
+        ("req", 1, [| 1; 0; 0; 1; 0; 0 |]);
+        ("grant", 1, [| 0; 1; 0; 0; 1; 0 |]);
+        ("done", 1, [| 0; 0; 1; 0; 0; 0 |]);
+      ]
+  in
+  Alcotest.(check (list bool)) "matches reference" ref_ mon;
+  (* Second req/grant pair (cycles 3-4) lacks done at 5. *)
+  Alcotest.(check (list bool)) "second pair violates"
+    [ false; false; false; false; false; true ] mon
+
+let test_overlapping_obligations () =
+  (* Back-to-back antecedents create overlapping obligations, all tracked
+     by the shared failure-DFA activity set. *)
+  let mon, ref_ =
+    violations "assert property (@(posedge clk) a |-> ##2 b);"
+      [ ("a", 1, [| 1; 1; 1; 0; 0 |]); ("b", 1, [| 0; 0; 1; 1; 0 |]) ]
+  in
+  Alcotest.(check (list bool)) "matches reference" ref_ mon;
+  (* a@0 -> b@2 ok; a@1 -> b@3 ok; a@2 -> b@4 missing -> violation at 4. *)
+  Alcotest.(check (list bool)) "third obligation fails"
+    [ false; false; false; false; true ] mon
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "$fell" `Quick test_fell;
+      Alcotest.test_case "$stable multibit" `Quick test_stable_multibit;
+      Alcotest.test_case "not property" `Quick test_not_property;
+      Alcotest.test_case "bit select" `Quick test_bit_select;
+      Alcotest.test_case "boolean precedence" `Quick test_boolean_precedence;
+      Alcotest.test_case "sequence antecedent" `Quick test_antecedent_sequence;
+      Alcotest.test_case "overlapping obligations" `Quick test_overlapping_obligations;
+    ]

@@ -1,0 +1,277 @@
+(* Synthesis tests: LUT mapping correctness (netlist behaves exactly like
+   the RTL), resource accounting, and the random-circuit equivalence
+   property that underpins trust in the whole toolchain. *)
+
+open Zoomie_rtl
+
+let bits = Bits.of_int
+
+let synth c = Zoomie_synth.Synthesize.run c
+
+let test_simple_comb () =
+  let b = Builder.create "comb" in
+  let x = Builder.input b "x" 4 in
+  let y = Builder.input b "y" 4 in
+  ignore (Builder.output b "o" 4 Expr.((x &: y) |: (~:x &: const_int ~width:4 5)));
+  let netlist, stats = synth (Builder.finish b) in
+  Alcotest.(check bool) "has luts" true (stats.lut_count > 0);
+  let sim = Zoomie_synth.Netsim.create netlist in
+  Zoomie_synth.Netsim.poke_input sim "x" (bits ~width:4 0b1100);
+  Zoomie_synth.Netsim.poke_input sim "y" (bits ~width:4 0b1010);
+  Zoomie_synth.Netsim.eval_comb sim;
+  Alcotest.(check int) "boolean function" ((0b1100 land 0b1010) lor (lnot 0b1100 land 5 land 0xF))
+    (Bits.to_int (Zoomie_synth.Netsim.peek_output sim "o"))
+
+let test_counter_netlist () =
+  let b = Builder.create "counter" in
+  let clk = Builder.clock b "clk" in
+  let en = Builder.input b "en" 1 in
+  let count =
+    Builder.reg_fb b ~clock:clk ~enable:en "count" 8 ~next:(fun q ->
+        Expr.(q +: const_int ~width:8 1))
+  in
+  ignore (Builder.output b "value" 8 (Expr.Signal count));
+  let netlist, stats = synth (Builder.finish b) in
+  Alcotest.(check int) "8 FFs" 8 stats.ff_count;
+  let sim = Zoomie_synth.Netsim.create netlist in
+  Zoomie_synth.Netsim.poke_input sim "en" (bits ~width:1 1);
+  Zoomie_synth.Netsim.step ~n:200 sim "clk";
+  Alcotest.(check int) "wraps mod 256" (200 land 255)
+    (Bits.to_int (Zoomie_synth.Netsim.peek_output sim "value"))
+
+let test_ff_init () =
+  let b = Builder.create "init" in
+  let clk = Builder.clock b "clk" in
+  let r =
+    Builder.reg_fb b ~clock:clk ~init:(bits ~width:8 0xA5) "r" 8 ~next:(fun q -> q)
+  in
+  ignore (Builder.output b "o" 8 (Expr.Signal r));
+  let netlist, _ = synth (Builder.finish b) in
+  let sim = Zoomie_synth.Netsim.create netlist in
+  Zoomie_synth.Netsim.eval_comb sim;
+  Alcotest.(check int) "GSR value" 0xA5
+    (Bits.to_int (Zoomie_synth.Netsim.peek_output sim "o"))
+
+let test_register_metadata () =
+  let b = Builder.create "meta" in
+  let clk = Builder.clock b "clk" in
+  let r = Builder.reg_fb b ~clock:clk "state_reg" 4 ~next:(fun q -> q) in
+  ignore (Builder.output b "o" 4 (Expr.Signal r));
+  let netlist, _ = synth (Builder.finish b) in
+  let sim = Zoomie_synth.Netsim.create netlist in
+  Zoomie_synth.Netsim.write_register sim "state_reg" (bits ~width:4 0xC);
+  Alcotest.(check int) "read_register matches" 0xC
+    (Bits.to_int (Zoomie_synth.Netsim.read_register sim "state_reg"))
+
+let test_lutram_inference () =
+  let b = Builder.create "lutram" in
+  let clk = Builder.clock b "clk" in
+  let waddr = Builder.input b "waddr" 3 in
+  let wdata = Builder.input b "wdata" 8 in
+  let wen = Builder.input b "wen" 1 in
+  let raddr = Builder.input b "raddr" 3 in
+  let rout = Builder.mem_read_wire b "rdata" 8 in
+  Builder.memory b ~name:"m" ~width:8 ~depth:8
+    ~writes:[ { Circuit.w_clock = clk; w_enable = wen; w_addr = waddr; w_data = wdata } ]
+    ~reads:[ { Circuit.r_addr = raddr; r_out = rout; r_kind = Circuit.Read_comb } ] ();
+  ignore (Builder.output b "out" 8 (Expr.Signal rout));
+  let netlist, _ = synth (Builder.finish b) in
+  Alcotest.(check bool) "is LUTRAM" true
+    (netlist.Zoomie_synth.Netlist.mems.(0).mem_kind = Zoomie_synth.Netlist.Lutram_mem);
+  let _, lutram, _, bram = Zoomie_synth.Netlist.resources netlist in
+  Alcotest.(check int) "8 lutram luts" 8 lutram;
+  Alcotest.(check int) "no bram" 0 bram
+
+let test_bram_inference () =
+  let b = Builder.create "bram" in
+  let clk = Builder.clock b "clk" in
+  let waddr = Builder.input b "waddr" 10 in
+  let wdata = Builder.input b "wdata" 36 in
+  let wen = Builder.input b "wen" 1 in
+  let raddr = Builder.input b "raddr" 10 in
+  let rout = Builder.mem_read_wire b "rdata" 36 in
+  Builder.memory b ~name:"m" ~width:36 ~depth:1024
+    ~writes:[ { Circuit.w_clock = clk; w_enable = wen; w_addr = waddr; w_data = wdata } ]
+    ~reads:[ { Circuit.r_addr = raddr; r_out = rout; r_kind = Circuit.Read_sync clk } ] ();
+  ignore (Builder.output b "out" 36 (Expr.Signal rout));
+  let netlist, _ = synth (Builder.finish b) in
+  let _, _, _, bram = Zoomie_synth.Netlist.resources netlist in
+  Alcotest.(check int) "one 36Kb block" 1 bram
+
+let test_bram_behavior () =
+  let b = Builder.create "bram2" in
+  let clk = Builder.clock b "clk" in
+  let waddr = Builder.input b "waddr" 4 in
+  let wdata = Builder.input b "wdata" 8 in
+  let wen = Builder.input b "wen" 1 in
+  let raddr = Builder.input b "raddr" 4 in
+  let rout = Builder.mem_read_wire b "rdata" 8 in
+  Builder.memory b ~name:"m" ~width:8 ~depth:16
+    ~writes:[ { Circuit.w_clock = clk; w_enable = wen; w_addr = waddr; w_data = wdata } ]
+    ~reads:[ { Circuit.r_addr = raddr; r_out = rout; r_kind = Circuit.Read_sync clk } ] ();
+  ignore (Builder.output b "out" 8 (Expr.Signal rout));
+  let netlist, _ = synth (Builder.finish b) in
+  let sim = Zoomie_synth.Netsim.create netlist in
+  Zoomie_synth.Netsim.poke_input sim "wen" (bits ~width:1 1);
+  Zoomie_synth.Netsim.poke_input sim "waddr" (bits ~width:4 7);
+  Zoomie_synth.Netsim.poke_input sim "wdata" (bits ~width:8 0x5A);
+  Zoomie_synth.Netsim.step sim "clk";
+  Zoomie_synth.Netsim.poke_input sim "wen" (bits ~width:1 0);
+  Zoomie_synth.Netsim.poke_input sim "raddr" (bits ~width:4 7);
+  Zoomie_synth.Netsim.step sim "clk";
+  Alcotest.(check int) "sync readout" 0x5A
+    (Bits.to_int (Zoomie_synth.Netsim.peek_output sim "out"))
+
+let test_gated_clock_netlist () =
+  let b = Builder.create "gated" in
+  let clk = Builder.clock b "clk" in
+  let gate_en = Builder.input b "gate_en" 1 in
+  let gclk = Builder.gated_clock b ~name:"gclk" ~parent:clk ~enable:gate_en in
+  let c =
+    Builder.reg_fb b ~clock:gclk "c" 8 ~next:(fun q ->
+        Expr.(q +: const_int ~width:8 1))
+  in
+  ignore (Builder.output b "o" 8 (Expr.Signal c));
+  let netlist, _ = synth (Builder.finish b) in
+  let sim = Zoomie_synth.Netsim.create netlist in
+  Zoomie_synth.Netsim.poke_input sim "gate_en" (bits ~width:1 1);
+  Zoomie_synth.Netsim.step ~n:4 sim "clk";
+  Zoomie_synth.Netsim.poke_input sim "gate_en" (bits ~width:1 0);
+  Zoomie_synth.Netsim.step ~n:3 sim "clk";
+  Alcotest.(check int) "gated netlist pauses" 4
+    (Bits.to_int (Zoomie_synth.Netsim.peek_output sim "o"))
+
+let test_lut_input_limit () =
+  (* Wide reduction must decompose into multiple <=6-input LUTs. *)
+  let b = Builder.create "wide" in
+  let x = Builder.input b "x" 32 in
+  ignore (Builder.output b "o" 1 (Expr.Reduce_and x));
+  let netlist, _ = synth (Builder.finish b) in
+  Array.iter
+    (fun (l : Zoomie_synth.Netlist.lut) ->
+      Alcotest.(check bool) "<=6 inputs" true (Array.length l.inputs <= 6))
+    netlist.Zoomie_synth.Netlist.luts;
+  Alcotest.(check bool) "decomposed" true
+    (Array.length netlist.Zoomie_synth.Netlist.luts > 1)
+
+(* The big one: random circuits behave identically pre- and post-synthesis. *)
+let prop_equivalence =
+  QCheck2.Test.make ~name:"synthesis preserves semantics" ~count:60
+    QCheck2.Gen.int (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let circuit = Gen.gen_circuit st in
+      match Gen.check_equivalence ~cycles:15 st circuit with
+      | None -> true
+      | Some msg -> QCheck2.Test.fail_report msg)
+
+let suite =
+  [
+    Alcotest.test_case "combinational mapping" `Quick test_simple_comb;
+    Alcotest.test_case "counter netlist" `Quick test_counter_netlist;
+    Alcotest.test_case "FF init (GSR)" `Quick test_ff_init;
+    Alcotest.test_case "register metadata" `Quick test_register_metadata;
+    Alcotest.test_case "LUTRAM inference" `Quick test_lutram_inference;
+    Alcotest.test_case "BRAM inference" `Quick test_bram_inference;
+    Alcotest.test_case "BRAM behavior" `Quick test_bram_behavior;
+    Alcotest.test_case "gated clock in netlist" `Quick test_gated_clock_netlist;
+    Alcotest.test_case "LUT input limit" `Quick test_lut_input_limit;
+    QCheck_alcotest.to_alcotest prop_equivalence;
+  ]
+
+(* --- DSP inference ---------------------------------------------------- *)
+
+let mul_circuit width =
+  let b = Builder.create "muldut" in
+  let clk = Builder.clock b "clk" in
+  let x = Builder.input b "x" width in
+  let y = Builder.input b "y" width in
+  let r = Builder.reg b ~clock:clk "p" width in
+  Builder.reg_next b r Expr.(Mul (x, y));
+  ignore (Builder.output b "p_o" width (Expr.Signal r));
+  Builder.finish b
+
+let test_dsp_inference () =
+  (* Narrow multiplies stay in LUTs; wide ones become DSP blocks. *)
+  let narrow, _ = synth (mul_circuit 8) in
+  Alcotest.(check int) "8-bit: no DSP" 0
+    (Array.length narrow.Zoomie_synth.Netlist.dsps);
+  let wide, _ = synth (mul_circuit 18) in
+  Alcotest.(check int) "18-bit: one DSP cell" 1
+    (Array.length wide.Zoomie_synth.Netlist.dsps);
+  Alcotest.(check int) "one DSP48 block" 1 (Zoomie_synth.Netlist.dsp_blocks wide);
+  (* A 32x32 multiply tiles into multiple DSP48s. *)
+  let big, _ = synth (mul_circuit 32) in
+  Alcotest.(check int) "32-bit: 2x2 blocks" 4 (Zoomie_synth.Netlist.dsp_blocks big)
+
+let test_dsp_behavior () =
+  let netlist, _ = synth (mul_circuit 20) in
+  let sim = Zoomie_synth.Netsim.create netlist in
+  let st = Random.State.make [| 7 |] in
+  for _ = 1 to 50 do
+    let a = Random.State.int st (1 lsl 20) in
+    let b = Random.State.int st (1 lsl 20) in
+    Zoomie_synth.Netsim.poke_input sim "x" (bits ~width:20 a);
+    Zoomie_synth.Netsim.poke_input sim "y" (bits ~width:20 b);
+    Zoomie_synth.Netsim.step sim "clk";
+    Alcotest.(check int)
+      (Printf.sprintf "%d * %d" a b)
+      (a * b land ((1 lsl 20) - 1))
+      (Bits.to_int (Zoomie_synth.Netsim.peek_output sim "p_o"))
+  done
+
+let test_dsp_equivalence_with_rtl () =
+  (* The DSP path agrees with the RTL simulator's Mul. *)
+  let c = mul_circuit 16 in
+  let sim = Zoomie_sim.Simulator.create c in
+  let netlist, _ = synth c in
+  let net = Zoomie_synth.Netsim.create netlist in
+  let st = Random.State.make [| 11 |] in
+  for _ = 1 to 40 do
+    let x = Bits.random ~width:16 st and y = Bits.random ~width:16 st in
+    Zoomie_sim.Simulator.poke_input sim "x" x;
+    Zoomie_sim.Simulator.poke_input sim "y" y;
+    Zoomie_synth.Netsim.poke_input net "x" x;
+    Zoomie_synth.Netsim.poke_input net "y" y;
+    Zoomie_sim.Simulator.step sim "clk";
+    Zoomie_synth.Netsim.step net "clk";
+    Alcotest.(check bool) "dsp == rtl" true
+      (Bits.equal
+         (Zoomie_sim.Simulator.peek sim "p_o")
+         (Zoomie_synth.Netsim.peek_output net "p_o"))
+  done
+
+let test_dsp_placed_and_timed () =
+  let netlist, _ = synth (mul_circuit 24) in
+  let device = Zoomie_fabric.Device.u200 () in
+  let pl =
+    Zoomie_pnr.Place.run device
+      ~regions:(Zoomie_pnr.Place.whole_device_regions device)
+      netlist
+  in
+  Alcotest.(check int) "DSP site assigned" 1
+    (Array.length pl.Zoomie_pnr.Place.locmap.Zoomie_fabric.Loc.dsp_sites);
+  let t = Zoomie_pnr.Timing.analyze netlist pl.Zoomie_pnr.Place.locmap in
+  (* The register->DSP->register path includes the DSP block delay. *)
+  Alcotest.(check bool) "DSP delay on the path" true
+    (t.Zoomie_pnr.Timing.critical_path_ns > 2.6)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "DSP inference thresholds" `Quick test_dsp_inference;
+      Alcotest.test_case "DSP multiply behavior" `Quick test_dsp_behavior;
+      Alcotest.test_case "DSP == RTL Mul" `Quick test_dsp_equivalence_with_rtl;
+      Alcotest.test_case "DSP placement + timing" `Quick test_dsp_placed_and_timed;
+    ]
+
+(* Random equivalence at widths that cross the DSP threshold. *)
+let prop_equivalence_wide =
+  QCheck2.Test.make ~name:"synthesis preserves semantics (wide, DSP)" ~count:30
+    QCheck2.Gen.int (fun seed ->
+      let st = Random.State.make [| seed + 7919 |] in
+      let circuit = Gen.gen_circuit ~max_width:16 st in
+      match Gen.check_equivalence ~cycles:12 st circuit with
+      | None -> true
+      | Some msg -> QCheck2.Test.fail_report msg)
+
+let suite = suite @ [ QCheck_alcotest.to_alcotest prop_equivalence_wide ]

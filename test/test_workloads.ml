@@ -1,0 +1,338 @@
+(* Workload tests: the zerv ISA, the manycore fabric, the Cohort bug (buggy
+   hangs, fixed streams), the Ariane exception semantics, and the Beehive
+   protocol engine.  These designs are the paper's evaluation subjects, so
+   their behavior is part of the reproduction contract. *)
+
+open Zoomie_rtl
+module Serv = Zoomie_workloads.Serv
+module Manycore = Zoomie_workloads.Manycore
+module Cohort = Zoomie_workloads.Cohort
+module Ariane = Zoomie_workloads.Ariane
+module Beehive = Zoomie_workloads.Beehive
+module Netsim = Zoomie_synth.Netsim
+
+let bits = Bits.of_int
+
+let netsim_of design =
+  let netlist, _ = Zoomie_synth.Synthesize.run (Flat.elaborate design) in
+  Netsim.create netlist
+
+let netsim_of_circuit c =
+  let netlist, _ = Zoomie_synth.Synthesize.run c in
+  Netsim.create netlist
+
+(* Run a zerv program and collect OUT values until halt (or timeout). *)
+let run_zerv ?(max_cycles = 3000) program =
+  let sim = netsim_of_circuit (Serv.core ~program ()) in
+  Netsim.poke_input sim "start" (bits ~width:1 1);
+  Netsim.poke_input sim "result_ready" (bits ~width:1 1);
+  let out = ref [] in
+  let cycles = ref 0 in
+  while
+    !cycles < max_cycles
+    && Bits.to_int (Netsim.peek_output sim "halted") = 0
+  do
+    Netsim.step sim "clk";
+    incr cycles;
+    if Bits.to_int (Netsim.peek_output sim "result_valid") = 1 then
+      out := Bits.to_int (Netsim.peek_output sim "result_data") :: !out
+  done;
+  (List.rev !out, Bits.to_int (Netsim.peek_output sim "halted") = 1)
+
+let test_zerv_arithmetic () =
+  let p =
+    [|
+      Serv.instr ~op:Serv.op_li ~rd:0 ~rs:0 ~imm:200;
+      Serv.instr ~op:Serv.op_li ~rd:1 ~rs:0 ~imm:45;
+      Serv.instr ~op:Serv.op_add ~rd:0 ~rs:1 ~imm:0;
+      Serv.instr ~op:Serv.op_out ~rd:0 ~rs:0 ~imm:0;
+      Serv.instr ~op:Serv.op_sub ~rd:0 ~rs:1 ~imm:0;
+      Serv.instr ~op:Serv.op_out ~rd:0 ~rs:0 ~imm:0;
+      Serv.instr ~op:Serv.op_xor ~rd:0 ~rs:1 ~imm:0;
+      Serv.instr ~op:Serv.op_out ~rd:0 ~rs:0 ~imm:0;
+      Serv.instr ~op:Serv.op_halt ~rd:0 ~rs:0 ~imm:0;
+    |]
+  in
+  let out, halted = run_zerv p in
+  Alcotest.(check bool) "halted" true halted;
+  Alcotest.(check (list int)) "add, sub, xor" [ 245; 200; 200 lxor 45 ] out
+
+let test_zerv_scratchpad () =
+  let p =
+    [|
+      Serv.instr ~op:Serv.op_li ~rd:0 ~rs:0 ~imm:123;
+      Serv.instr ~op:Serv.op_scrw ~rd:0 ~rs:0 ~imm:17;
+      Serv.instr ~op:Serv.op_li ~rd:0 ~rs:0 ~imm:0;
+      Serv.instr ~op:Serv.op_scrr ~rd:0 ~rs:0 ~imm:17;
+      Serv.instr ~op:Serv.op_out ~rd:0 ~rs:0 ~imm:0;
+      Serv.instr ~op:Serv.op_halt ~rd:0 ~rs:0 ~imm:0;
+    |]
+  in
+  let out, halted = run_zerv p in
+  Alcotest.(check bool) "halted" true halted;
+  Alcotest.(check (list int)) "scratch roundtrip" [ 123 ] out
+
+let test_zerv_branch_loop () =
+  (* Sum 1..4 via BNZ loop: r0 = counter, scratch as accumulator. *)
+  let p =
+    [|
+      Serv.instr ~op:Serv.op_li ~rd:0 ~rs:0 ~imm:4;   (* counter *)
+      Serv.instr ~op:Serv.op_li ~rd:1 ~rs:0 ~imm:1;
+      (* loop: *)
+      Serv.instr ~op:Serv.op_out ~rd:0 ~rs:0 ~imm:0;
+      Serv.instr ~op:Serv.op_sub ~rd:0 ~rs:1 ~imm:0;
+      Serv.instr ~op:Serv.op_bnz ~rd:0 ~rs:0 ~imm:2;
+      Serv.instr ~op:Serv.op_halt ~rd:0 ~rs:0 ~imm:0;
+    |]
+  in
+  let out, halted = run_zerv p in
+  Alcotest.(check bool) "halted" true halted;
+  Alcotest.(check (list int)) "countdown" [ 4; 3; 2; 1 ] out
+
+let test_zerv_jump () =
+  let p = Array.make 12 (Serv.instr ~op:Serv.op_halt ~rd:0 ~rs:0 ~imm:0) in
+  p.(0) <- Serv.instr ~op:Serv.op_li ~rd:0 ~rs:0 ~imm:9;
+  p.(1) <- Serv.instr ~op:Serv.op_j ~rd:0 ~rs:0 ~imm:8;
+  (* skipped: *)
+  p.(2) <- Serv.instr ~op:Serv.op_li ~rd:0 ~rs:0 ~imm:1;
+  p.(8) <- Serv.instr ~op:Serv.op_out ~rd:0 ~rs:0 ~imm:0;
+  let out, halted = run_zerv p in
+  Alcotest.(check bool) "halted" true halted;
+  Alcotest.(check (list int)) "jump skipped the overwrite" [ 9 ] out
+
+let test_manycore_collects_all () =
+  let config =
+    { Manycore.default_config with clusters = 3; cores_per_cluster = 2 }
+  in
+  let design, units = Manycore.design ~config () in
+  let hier = Zoomie_synth.Hier.run design ~units in
+  let sim = Netsim.create hier.Zoomie_synth.Hier.netlist in
+  Netsim.poke_input sim "start" (bits ~width:1 1);
+  Netsim.poke_input sim "result_ready" (bits ~width:1 1);
+  let n = ref 0 in
+  for _ = 1 to 3000 do
+    Netsim.step sim "clk";
+    if Bits.to_int (Netsim.peek_output sim "result_valid") = 1 then incr n
+  done;
+  (* 6 cores x 6 demo-program results each, all collected over the ring. *)
+  Alcotest.(check int) "all results" 36 !n;
+  Alcotest.(check int) "all halted" 1 (Bits.to_int (Netsim.peek_output sim "all_halted"))
+
+let run_cohort ~fixed cycles =
+  let sim = netsim_of (Cohort.design ~fixed ()) in
+  Netsim.poke_input sim "start" (bits ~width:1 1);
+  Netsim.step ~n:cycles sim "clk";
+  ( Bits.to_int (Netsim.peek_output sim "results_seen"),
+    Bits.to_int (Netsim.peek_output sim "items_done"),
+    Bits.to_int (Netsim.peek_output sim "lsu_state") )
+
+let test_cohort_buggy_hangs () =
+  let results, items, lsu = run_cohort ~fixed:false 2000 in
+  Alcotest.(check bool) "partial results then hang" true (results >= 1 && results <= 3);
+  Alcotest.(check bool) "few items" true (items < 20);
+  Alcotest.(check int) "LSU starved in WAIT" 2 lsu
+
+let test_cohort_fixed_streams () =
+  (* The 8-bit items counter wraps (333 items in 2000 cycles); the results
+     counter is the reliable progress signal. *)
+  let results, _items, _ = run_cohort ~fixed:true 2000 in
+  Alcotest.(check bool) "many results" true (results > 30)
+
+let test_cohort_hang_is_contention () =
+  (* Before the prefetcher activates (cycle ~40), the buggy SoC works. *)
+  let results, items, lsu = run_cohort ~fixed:false 38 in
+  ignore results;
+  Alcotest.(check bool) "items flowing pre-contention" true (items >= 4);
+  Alcotest.(check bool) "not yet starved" true (lsu <> 2 || items >= 4)
+
+let run_ariane program cycles =
+  let sim = netsim_of (Ariane.soc ~program ()) in
+  Netsim.poke_input sim "resetn" (bits ~width:1 1);
+  Netsim.step ~n:cycles sim "clk";
+  let g n = Bits.to_int (Netsim.peek_output sim n) in
+  (g "dbg_halted", g "dbg_pc", g "dbg_mepc", g "dbg_mie", g "dbg_mpie", g "dbg_mcause", g "out_data")
+
+let test_ariane_good_trap () =
+  let halted, _, _, mie, mpie, mcause, r0 = run_ariane Ariane.good_trap_program 100 in
+  Alcotest.(check int) "halted" 1 halted;
+  Alcotest.(check int) "handler ran: r0 = 5 + 1" 6 r0;
+  Alcotest.(check int) "MIE restored" 1 mie;
+  Alcotest.(check int) "MPIE set by mret" 1 mpie;
+  Alcotest.(check int) "ecall cause" Ariane.cause_ecall_m mcause
+
+let test_ariane_bad_trap_loops () =
+  let halted, pc, mepc, mie, mpie, mcause, _ = run_ariane Ariane.bad_trap_program 200 in
+  Alcotest.(check int) "never halts" 0 halted;
+  Alcotest.(check int) "pc == mepc (re-trapping)" pc mepc;
+  Alcotest.(check int) "MIE 0" 0 mie;
+  Alcotest.(check int) "MPIE 0 (nested)" 0 mpie;
+  Alcotest.(check int) "instruction access fault" Ariane.cause_instr_access_fault mcause
+
+let test_ariane_nested_signature_requires_two_levels () =
+  (* After only the first exception, MPIE still holds the old MIE (1). *)
+  let sim = netsim_of (Ariane.soc ~program:Ariane.bad_trap_program ()) in
+  Netsim.poke_input sim "resetn" (bits ~width:1 1);
+  let seen_single = ref false in
+  let seen_nested_at = ref None in
+  for cyc = 1 to 60 do
+    Netsim.step sim "clk";
+    let mie = Bits.to_int (Netsim.peek_output sim "dbg_mie") in
+    let mpie = Bits.to_int (Netsim.peek_output sim "dbg_mpie") in
+    if mie = 0 && mpie = 1 then seen_single := true;
+    if !seen_nested_at = None && mie = 0 && mpie = 0 then seen_nested_at := Some cyc
+  done;
+  Alcotest.(check bool) "single-level state observed first" true !seen_single;
+  Alcotest.(check bool) "then the nested signature" true (!seen_nested_at <> None)
+
+let beehive_send sim w =
+  Netsim.poke_input sim "mac_valid" (bits ~width:1 1);
+  Netsim.poke_input sim "mac_data" (bits ~width:64 w);
+  Netsim.step sim "clk";
+  Netsim.poke_input sim "mac_valid" (bits ~width:1 0);
+  Netsim.step ~n:2 sim "clk"
+
+let beehive_frame ~flow ~seq = (seq lsl 16) lor (1 lsl 8) lor flow
+
+let test_beehive_acks_in_order () =
+  let sim = netsim_of (Beehive.stack ()) in
+  Netsim.poke_input sim "tx_ready" (bits ~width:1 1);
+  List.iter (fun s -> beehive_send sim (beehive_frame ~flow:2 ~seq:s)) [ 0; 1; 2 ];
+  Netsim.step ~n:5 sim "clk";
+  Alcotest.(check int) "3 frames" 3 (Bits.to_int (Netsim.peek_output sim "frames_seen"));
+  Alcotest.(check int) "all in order" 0 (Bits.to_int (Netsim.peek_output sim "out_of_order"))
+
+let test_beehive_detects_reorder () =
+  let sim = netsim_of (Beehive.stack ()) in
+  Netsim.poke_input sim "tx_ready" (bits ~width:1 1);
+  List.iter (fun s -> beehive_send sim (beehive_frame ~flow:2 ~seq:s)) [ 0; 1; 5; 6 ];
+  Netsim.step ~n:5 sim "clk";
+  Alcotest.(check int) "one gap" 1 (Bits.to_int (Netsim.peek_output sim "out_of_order"))
+
+let test_beehive_drop_queue () =
+  let sim = netsim_of (Beehive.stack ()) in
+  (* Stall TX completely; flood the MAC: the 16-deep queue + engine absorb
+     some, the rest are dropped and counted. *)
+  Netsim.poke_input sim "tx_ready" (bits ~width:1 0);
+  Netsim.poke_input sim "mac_valid" (bits ~width:1 1);
+  for s = 0 to 39 do
+    Netsim.poke_input sim "mac_data" (bits ~width:64 (beehive_frame ~flow:1 ~seq:s));
+    Netsim.step sim "clk"
+  done;
+  Netsim.poke_input sim "mac_valid" (bits ~width:1 0);
+  let drops = Bits.to_int (Netsim.read_register sim "drop_ctr") in
+  Alcotest.(check bool) "whole frames dropped" true (drops > 0 && drops < 40);
+  (* Releasing TX drains what was queued, with no duplicates. *)
+  Netsim.poke_input sim "tx_ready" (bits ~width:1 1);
+  Netsim.step ~n:60 sim "clk";
+  let seen = Bits.to_int (Netsim.peek_output sim "frames_seen") in
+  Alcotest.(check int) "seen + dropped = sent" 40 (seen + drops)
+
+let test_beehive_stack_timing () =
+  let d = Beehive.stack () in
+  let netlist, _ = Zoomie_synth.Synthesize.run (Flat.elaborate d) in
+  let device = Zoomie_fabric.Device.u200 () in
+  let pl =
+    Zoomie_pnr.Place.run device
+      ~regions:(Zoomie_pnr.Place.whole_device_regions device)
+      netlist
+  in
+  let route = Zoomie_pnr.Route.estimate netlist pl.Zoomie_pnr.Place.locmap in
+  let t =
+    Zoomie_pnr.Timing.analyze ~congestion:route.Zoomie_pnr.Route.congestion
+      netlist pl.Zoomie_pnr.Place.locmap
+  in
+  Alcotest.(check bool) "250 MHz closes" true
+    (Zoomie_pnr.Timing.meets_timing t ~mhz:Beehive.freq_mhz)
+
+let suite =
+  [
+    Alcotest.test_case "zerv: add/sub/xor" `Quick test_zerv_arithmetic;
+    Alcotest.test_case "zerv: scratchpad" `Quick test_zerv_scratchpad;
+    Alcotest.test_case "zerv: branch loop" `Quick test_zerv_branch_loop;
+    Alcotest.test_case "zerv: jump" `Quick test_zerv_jump;
+    Alcotest.test_case "manycore: ring collects all results" `Quick
+      test_manycore_collects_all;
+    Alcotest.test_case "cohort: buggy version hangs" `Quick test_cohort_buggy_hangs;
+    Alcotest.test_case "cohort: fixed version streams" `Quick test_cohort_fixed_streams;
+    Alcotest.test_case "cohort: works before contention" `Quick
+      test_cohort_hang_is_contention;
+    Alcotest.test_case "ariane: good trap handler" `Quick test_ariane_good_trap;
+    Alcotest.test_case "ariane: bad mtvec loops" `Quick test_ariane_bad_trap_loops;
+    Alcotest.test_case "ariane: nested signature ordering" `Quick
+      test_ariane_nested_signature_requires_two_levels;
+    Alcotest.test_case "beehive: in-order acks" `Quick test_beehive_acks_in_order;
+    Alcotest.test_case "beehive: reorder detection" `Quick test_beehive_detects_reorder;
+    Alcotest.test_case "beehive: drop queue" `Quick test_beehive_drop_queue;
+    Alcotest.test_case "beehive: 250 MHz timing" `Quick test_beehive_stack_timing;
+  ]
+
+(* --- zerv RTL vs a reference ISS, over random programs --------------- *)
+
+(* A direct interpreter of the zerv ISA (the spec in serv.mli).  If the
+   bit-serial datapath and this ever disagree, the core is wrong. *)
+let zerv_iss ?(xlen = 18) program =
+  let mask = (1 lsl xlen) - 1 in
+  let regs = [| 0; 0 |] in
+  let scratch = Array.make 64 0 in
+  let halt_word = Serv.instr ~op:Serv.op_halt ~rd:0 ~rs:0 ~imm:0 in
+  let fetch pc = if pc < Array.length program then program.(pc) else halt_word in
+  let out = ref [] in
+  let pc = ref 0 and steps = ref 0 and halted = ref false in
+  while (not !halted) && !steps < 1000 do
+    incr steps;
+    let w = fetch !pc in
+    let op = (w lsr 12) land 0xF in
+    let rd = (w lsr 10) land 0x1 in
+    let rs = (w lsr 8) land 0x1 in
+    let imm = w land 0xFF in
+    let next = (!pc + 1) land 0x3F in
+    if op = Serv.op_li then (regs.(rd) <- imm; pc := next)
+    else if op = Serv.op_add then (regs.(rd) <- (regs.(rd) + regs.(rs)) land mask; pc := next)
+    else if op = Serv.op_sub then (regs.(rd) <- (regs.(rd) - regs.(rs)) land mask; pc := next)
+    else if op = Serv.op_xor then (regs.(rd) <- regs.(rd) lxor regs.(rs); pc := next)
+    else if op = Serv.op_scrw then (scratch.(imm land 63) <- regs.(rd) land 0x3FF; pc := next)
+    else if op = Serv.op_scrr then (regs.(rd) <- scratch.(imm land 63); pc := next)
+    else if op = Serv.op_out then (out := regs.(rd) :: !out; pc := next)
+    else if op = Serv.op_bnz then pc := (if regs.(rd) <> 0 then imm land 63 else next)
+    else if op = Serv.op_j then pc := imm land 63
+    else halted := true
+  done;
+  List.rev !out
+
+(* Random terminating programs: straight-line bodies with forward-only
+   jumps and branches, HALT-terminated. *)
+let random_zerv_program st =
+  let len = 4 + Random.State.int st 24 in
+  let body =
+    Array.init len (fun i ->
+        let rd = Random.State.int st 2 and rs = Random.State.int st 2 in
+        let imm = Random.State.int st 256 in
+        match Random.State.int st 9 with
+        | 0 -> Serv.instr ~op:Serv.op_li ~rd ~rs ~imm
+        | 1 -> Serv.instr ~op:Serv.op_add ~rd ~rs ~imm:0
+        | 2 -> Serv.instr ~op:Serv.op_sub ~rd ~rs ~imm:0
+        | 3 -> Serv.instr ~op:Serv.op_xor ~rd ~rs ~imm:0
+        | 4 -> Serv.instr ~op:Serv.op_scrw ~rd ~rs ~imm
+        | 5 -> Serv.instr ~op:Serv.op_scrr ~rd ~rs ~imm
+        | 6 -> Serv.instr ~op:Serv.op_out ~rd ~rs ~imm:0
+        | 7 when i + 1 < len ->
+          (* forward jump: target in (i, len], guaranteeing progress *)
+          let tgt = i + 1 + Random.State.int st (len - i) in
+          Serv.instr ~op:Serv.op_j ~rd ~rs ~imm:tgt
+        | _ when i + 1 < len ->
+          let tgt = i + 1 + Random.State.int st (len - i) in
+          Serv.instr ~op:Serv.op_bnz ~rd ~rs ~imm:tgt
+        | _ -> Serv.instr ~op:Serv.op_out ~rd ~rs ~imm:0)
+  in
+  Array.append body [| Serv.instr ~op:Serv.op_halt ~rd:0 ~rs:0 ~imm:0 |]
+
+let prop_zerv_matches_iss =
+  QCheck2.Test.make ~name:"zerv RTL == reference ISS" ~count:40 QCheck2.Gen.int
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let program = random_zerv_program st in
+      let expected = zerv_iss program in
+      let got, halted = run_zerv ~max_cycles:20_000 program in
+      halted && got = expected)
+
+let suite = suite @ [ QCheck_alcotest.to_alcotest prop_zerv_matches_iss ]
