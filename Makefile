@@ -1,0 +1,24 @@
+# Convenience entry points; `make check` is the tier-1 gate.
+
+.PHONY: all build test bench-smoke check clean
+
+all: build
+
+build:
+	dune build
+
+test: build
+	dune runtest
+
+# The readback micro-bench in smoke mode doubles as an end-to-end check:
+# it compiles and programs an 18-core SoC, then fails hard if the indexed
+# engine and the association-list baseline ever disagree on a register.
+bench-smoke:
+	dune exec bench/main.exe -- readback smoke
+
+check: build
+	dune runtest
+	dune exec bench/main.exe -- readback smoke
+
+clean:
+	dune clean

@@ -516,6 +516,102 @@ let ablation () =
 "
 
 (* ------------------------------------------------------------------ *)
+(* Register-extraction throughput: indexed engine vs assoc baseline     *)
+(* ------------------------------------------------------------------ *)
+
+(* Host-side readback parse at manycore scale: compile the SoC, read the
+   debugged cluster's frames once, then measure turning that response into
+   named registers — the indexed Frame_index/site_map engine against the
+   original O(sites x frames) association-list extractor.  This is the
+   host-compute half of Table 3: the cable time is identical for both, so
+   a slow parser erases the SLR-aware win on real designs. *)
+let readback_extraction ~smoke () =
+  header
+    (Printf.sprintf "Readback register-extraction throughput (%s manycore)"
+       (if smoke then "smoke-scale" else "n=5400"));
+  let config =
+    if smoke then
+      { Manycore.default_config with Manycore.clusters = 6; cores_per_cluster = 3 }
+    else Manycore.default_config
+  in
+  pf "(compiling and programming the %d-core SoC...)\n%!"
+    (Manycore.total_cores config);
+  let design, units = Manycore.design ~config () in
+  let project =
+    {
+      Vendor.Vivado.device = Fabric.Device.u200 ();
+      design;
+      clock_root = "clk";
+      freq_mhz = 50.0;
+      replicated_units = units;
+    }
+  in
+  let run = Vendor.Vivado.compile project in
+  let device = Fabric.Device.u200 () in
+  let board = Board.create device in
+  program_vendor board run;
+  let netlist = run.Vendor.Vivado.netlist in
+  let locmap = run.Vendor.Vivado.placement.Pnr.Place.locmap in
+  let sm = Debug.Readback.site_map device netlist locmap in
+  (* The MUT of the measurement: one full 18-core cluster. *)
+  let prefix = "cluster1." in
+  let select name = String.starts_with ~prefix name in
+  let plan = Debug.Readback.plan_of_select sm ~select in
+  let frames = Debug.Readback.read_plan_frames board plan in
+  let per_slr =
+    List.map
+      (fun slr -> (slr, Debug.Readback.Frame_index.to_assoc frames ~slr))
+      (Debug.Readback.Frame_index.slrs frames)
+  in
+  let sites =
+    List.fold_left
+      (fun acc name ->
+        if select name then
+          acc + Option.value ~default:0 (Debug.Readback.register_width sm name)
+        else acc)
+      0
+      (Debug.Readback.register_names sm)
+  in
+  pf "MUT %S: %d frames in the response, ~%d FF sites selected\n%!" prefix
+    (Debug.Readback.Frame_index.length frames)
+    sites;
+  let indexed () = Debug.Readback.extract_registers sm frames ~select in
+  let baseline () =
+    Debug.Readback_baseline.extract_registers netlist locmap per_slr ~select
+  in
+  (* The two parsers must agree exactly before we time anything. *)
+  let a = indexed () and b = baseline () in
+  if
+    List.length a <> List.length b
+    || not
+         (List.for_all2
+            (fun (n1, v1) (n2, v2) -> n1 = n2 && Rtl.Bits.equal v1 v2)
+            a b)
+  then failwith "readback bench: indexed and baseline extraction disagree";
+  let time_one f =
+    let t0 = Unix.gettimeofday () in
+    ignore (f ());
+    Unix.gettimeofday () -. t0
+  in
+  let time_avg f =
+    (* Aim for ~1 s of total measurement per engine. *)
+    let once = time_one f in
+    let reps = max 1 (min 1000 (int_of_float (1.0 /. max 1e-6 once))) in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (f ())
+    done;
+    ((Unix.gettimeofday () -. t0) /. float_of_int reps, reps)
+  in
+  let t_base, r_base = time_avg baseline in
+  let t_idx, r_idx = time_avg indexed in
+  pf "assoc-list baseline : %10.3f ms/extraction  (%d runs)\n" (t_base *. 1e3) r_base;
+  pf "indexed engine      : %10.3f ms/extraction  (%d runs)\n" (t_idx *. 1e3) r_idx;
+  pf "speedup             : %10.1fx\n" (t_base /. t_idx);
+  if t_base /. t_idx < 10.0 && not smoke then
+    pf "WARNING: speedup below the 10x acceptance floor\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -623,11 +719,15 @@ let experiments =
     ("figure3", figure3);
     ("ablation", ablation);
     ("micro", micro);
+    ("readback", readback_extraction ~smoke:false);
   ]
 
 let () =
   match Sys.argv with
   | [| _ |] | [| _; "all" |] -> List.iter (fun (_, f) -> f ()) experiments
+  | [| _; "readback"; "smoke" |] ->
+    (* CI smoke mode: same measurement on a small SoC, seconds not minutes. *)
+    readback_extraction ~smoke:true ()
   | [| _; name |] -> (
     match List.assoc_opt name experiments with
     | Some f -> f ()
@@ -636,5 +736,5 @@ let () =
         (String.concat " " (List.map fst experiments));
       exit 1)
   | _ ->
-    pf "usage: main.exe [experiment]\n";
+    pf "usage: main.exe [experiment] | main.exe readback smoke\n";
     exit 1

@@ -17,7 +17,11 @@ type t = {
   locmap : Zoomie_fabric.Loc.map;
   info : Controller.info;
   mut_path : string;  (** instance path of the wrapped MUT in the design *)
+  site_map : Readback.site_map;
+      (** per-design site index, built once at attach time *)
   mut_plan : Readback.plan;    (** columns holding MUT + controller state *)
+  plan_cache : (string, Readback.plan) Hashtbl.t;
+      (** per-register plans for the hot single-register poll path *)
   mutable poll_chunk : int;    (** design cycles between stop polls *)
 }
 
@@ -36,23 +40,30 @@ let attach board ~(info : Controller.info) ~mut_path =
   let locmap = payload.Board.locmap in
   let prefix = mut_path ^ "." in
   let select name = String.starts_with ~prefix name in
-  let mut_plan =
-    Readback.plan_for (Board.device board) netlist locmap ~select
-  in
-  { board; netlist; locmap; info; mut_path; mut_plan; poll_chunk = 256 }
+  let site_map = Readback.site_map (Board.device board) netlist locmap in
+  let mut_plan = Readback.plan_of_select site_map ~select in
+  { board; netlist; locmap; info; mut_path; site_map; mut_plan;
+    plan_cache = Hashtbl.create 32; poll_chunk = 256 }
 
 (* --- low-level accessors --- *)
 
 let inject t updates =
-  Readback.inject_registers t.board t.netlist t.locmap updates
+  Readback.inject_registers_indexed t.board t.site_map updates
+
+(* Plan for one register, cached: the stop-poll loop reads the same few
+   status registers over and over. *)
+let plan_of_register t name =
+  match Hashtbl.find_opt t.plan_cache name with
+  | Some plan -> plan
+  | None ->
+    let plan = Readback.plan_of_names t.site_map [ name ] in
+    Hashtbl.add t.plan_cache name plan;
+    plan
 
 let read_one t name =
-  let plan =
-    Readback.plan_for (Board.device t.board) t.netlist t.locmap
-      ~select:(fun n -> n = name)
-  in
+  let plan = plan_of_register t name in
   match
-    Readback.read_registers t.board t.netlist t.locmap plan ~select:(fun n ->
+    Readback.read_registers_indexed t.board t.site_map plan ~select:(fun n ->
         n = name)
   with
   | [ (_, v) ] -> v
@@ -209,7 +220,7 @@ let set_assertion_enables t enables =
     hierarchical names, via SLR-aware readback. *)
 let read_state t =
   let prefix = t.mut_path ^ ".mut." in
-  Readback.read_registers t.board t.netlist t.locmap t.mut_plan
+  Readback.read_registers_indexed t.board t.site_map t.mut_plan
     ~select:(fun n -> String.starts_with ~prefix n)
 
 (** Read one MUT register by its original name. *)
@@ -220,11 +231,11 @@ let write_register t name v = inject t [ (mut_reg t name, v) ]
 
 (** Read the full contents of a MUT memory by its original name. *)
 let read_memory t name =
-  Readback.read_memory t.board t.netlist t.locmap ~name:(mut_reg t name)
+  Readback.read_memory_indexed t.board t.site_map ~name:(mut_reg t name)
 
 (** Overwrite MUT memory words: [(address, value)] pairs. *)
 let write_memory t name updates =
-  Readback.inject_memory t.board t.netlist t.locmap ~name:(mut_reg t name) updates
+  Readback.inject_memory_indexed t.board t.site_map ~name:(mut_reg t name) updates
 
 (** Snapshot the MUT (registers + memories, as configuration frames). *)
 let snapshot t = Readback.take_snapshot t.board t.mut_plan

@@ -1,0 +1,87 @@
+(** The pre-index readback executor, retained verbatim-in-spirit from the
+    original association-list implementation.
+
+    This module exists for two reasons only:
+
+    - {b differential testing}: the property suite checks that the indexed
+      engine in {!Readback} extracts exactly the same register values as
+      this reference on random state, and
+    - {b benchmarking}: the [readback] micro-bench measures the indexed
+      engine's register-extraction throughput against this baseline (the
+      O(sites × frames) behavior the Table 3 host path used to have).
+
+    Do not use it on any production path.  Unlike {!Readback}, it keeps
+    the seed's silent-zero semantics: bits whose frames are missing from
+    the response read back as [false]. *)
+
+open Zoomie_fabric
+module Board = Zoomie_bitstream.Board
+module Netlist = Zoomie_synth.Netlist
+
+(* Bit lookup in an association-list frame response — List.assoc_opt per
+   call, the hot-path cost this baseline exists to demonstrate. *)
+let frame_bit frames key ~word ~bit =
+  match List.assoc_opt key frames with
+  | Some words -> (words.(word) lsr bit) land 1 = 1
+  | None -> false
+
+(** The seed register-extraction algorithm: per-SLR association lists of
+    [(row, col, minor) -> words], [List.assoc_opt]/[List.mem_assoc] per FF
+    site. *)
+let extract_registers (netlist : Netlist.t) (locmap : Loc.map)
+    (per_slr : (int * ((int * int * int) * int array) list) list) ~select =
+  let values : (string, Zoomie_rtl.Bits.t) Hashtbl.t = Hashtbl.create 64 in
+  (* Pre-size each register from its highest bit index. *)
+  let widths = Hashtbl.create 64 in
+  Array.iter
+    (fun (name, bit) ->
+      if select name then
+        Hashtbl.replace widths name
+          (max (bit + 1) (try Hashtbl.find widths name with Not_found -> 1)))
+    netlist.Netlist.ff_names;
+  Array.iteri
+    (fun i (site : Loc.ff_site) ->
+      let name, bit = netlist.Netlist.ff_names.(i) in
+      if select name then
+        match List.assoc_opt site.Loc.f_slr per_slr with
+        | None -> ()
+        | Some frames ->
+          let minor, word, fbit = Loc.ff_frame_bit site in
+          let covered =
+            List.mem_assoc (site.Loc.f_row, site.Loc.f_col, minor) frames
+          in
+          if covered then begin
+            let v =
+              frame_bit frames (site.Loc.f_row, site.Loc.f_col, minor) ~word
+                ~bit:fbit
+            in
+            let cur =
+              match Hashtbl.find_opt values name with
+              | Some b -> b
+              | None -> Zoomie_rtl.Bits.zero (Hashtbl.find widths name)
+            in
+            Hashtbl.replace values name
+              (if v then Zoomie_rtl.Bits.set cur bit true else cur)
+          end)
+    locmap.Loc.ff_sites;
+  Hashtbl.fold (fun name v acc -> (name, v) :: acc) values []
+  |> List.sort compare
+
+(** Execute a readback plan with the baseline extractor: frames travel
+    through the same transport as {!Readback.read_slr_frames}, then the
+    response is downgraded to per-SLR association lists and parsed the
+    original way. *)
+let read_registers board (netlist : Netlist.t) (locmap : Loc.map)
+    (plan : Readback.plan) ~select =
+  let slrs =
+    List.sort_uniq compare
+      (List.map (fun (c : Readback.column) -> c.Readback.c_slr) plan.Readback.columns)
+  in
+  let per_slr =
+    List.map
+      (fun slr ->
+        let idx = Readback.read_slr_frames board plan ~slr in
+        (slr, Readback.Frame_index.to_assoc idx ~slr))
+      slrs
+  in
+  extract_registers netlist locmap per_slr ~select

@@ -1,0 +1,24 @@
+(** The pre-index association-list readback executor, retained for
+    differential testing and as the micro-bench baseline.  Not for
+    production use: it keeps the original silent-zero semantics for
+    uncovered frames. *)
+
+open Zoomie_fabric
+open Zoomie_rtl
+module Board = Zoomie_bitstream.Board
+module Netlist = Zoomie_synth.Netlist
+
+(** The seed extraction algorithm over per-SLR association lists
+    [(slr, [(row, col, minor) -> words])] — O(sites × frames). *)
+val extract_registers :
+  Netlist.t ->
+  Loc.map ->
+  (int * ((int * int * int) * int array) list) list ->
+  select:(string -> bool) ->
+  (string * Bits.t) list
+
+(** Execute a plan through the normal transport, then parse the response
+    with the baseline extractor. *)
+val read_registers :
+  Board.t -> Netlist.t -> Loc.map -> Readback.plan -> select:(string -> bool) ->
+  (string * Bits.t) list

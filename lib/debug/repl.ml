@@ -201,8 +201,9 @@ let run_script host board script =
          | Ok Nop -> None
          | Ok cmd ->
            let out =
-             try execute host board cmd
-             with Invalid_argument msg -> "error: " ^ msg
+             try execute host board cmd with
+             | Invalid_argument msg -> "error: " ^ msg
+             | Readback.Readback_error msg -> "error: " ^ msg
            in
            Some (Printf.sprintf "> %s\n%s" (String.trim line) out)
          | Error msg -> Some (Printf.sprintf "> %s\nerror: %s" (String.trim line) msg))

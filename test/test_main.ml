@@ -12,6 +12,7 @@ let () =
       ("sva", Test_sva.suite);
       ("pause", Test_pause.suite);
       ("debug", Test_debug.suite);
+      ("readback", Test_readback.suite);
       ("vti", Test_vti.suite);
       ("workloads", Test_workloads.suite);
       ("pnr", Test_pnr.suite);
