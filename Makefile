@@ -10,15 +10,18 @@ build:
 test: build
 	dune runtest
 
-# The readback micro-bench in smoke mode doubles as an end-to-end check:
-# it compiles and programs an 18-core SoC, then fails hard if the indexed
-# engine and the association-list baseline ever disagree on a register.
+# The smoke benches double as end-to-end checks: `readback smoke` fails
+# hard if the indexed engine and the association-list baseline disagree
+# on a register; `hub smoke` fails hard if the coalesced multi-session
+# sweep ever diverges bit-for-bit from the serialized single-session path.
 bench-smoke:
 	dune exec bench/main.exe -- readback smoke
+	dune exec bench/main.exe -- hub smoke
 
 check: build
 	dune runtest
 	dune exec bench/main.exe -- readback smoke
+	dune exec bench/main.exe -- hub smoke
 
 clean:
 	dune clean

@@ -5,7 +5,7 @@
      dune exec bench/main.exe            # everything
      dune exec bench/main.exe figure7    # one experiment
    Experiments: table1 table2 figure7 tradeoff table3 figure8 table4
-                case1 case2 case3 figure3 micro
+                case1 case2 case3 figure3 micro readback hub
 
    Absolute times are modeled (our substrate is a simulator, not the
    authors' testbed); the shapes — who wins, by what factor, where the
@@ -612,6 +612,170 @@ let readback_extraction ~smoke () =
     pf "WARNING: speedup below the 10x acceptance floor\n"
 
 (* ------------------------------------------------------------------ *)
+(* Hub: cross-session readback coalescing, 1 -> 64 clients             *)
+(* ------------------------------------------------------------------ *)
+
+(* k debug clients share one board through the hub, each selecting an
+   overlapping subset of the debugged SERV core's registers (a shared
+   half plus a rotating remainder, >=50% overlap).  The baseline runs
+   each client's sweep serially through the single-session path; the hub
+   merges all k plans into one deduplicated sweep.  Both are measured in
+   modeled cable seconds off the same board, and every client's values
+   are checked bit-for-bit against its serial result before any number
+   is reported. *)
+let hub_bench ~smoke () =
+  header
+    (Printf.sprintf "Hub: coalesced readback vs serialized sessions (%s manycore)"
+       (if smoke then "smoke-scale" else "n=5400"));
+  let config =
+    if smoke then
+      { Manycore.default_config with Manycore.clusters = 6; cores_per_cluster = 3 }
+    else Manycore.default_config
+  in
+  pf "(compiling and programming the %d-core SoC...)\n%!"
+    (Manycore.total_cores config);
+  let design, units = Manycore.design ~config () in
+  let project = create_project design ~replicated_units:units in
+  let project =
+    add_debug project ~mut:Manycore.debug_core_module
+      ~interfaces:[ Serv.result_interface () ]
+      ~watches:[ { Debug.Trigger.w_name = "halted"; w_width = 1 } ]
+  in
+  let run = compile_vendor project in
+  let board = board project in
+  program_vendor board run;
+  let info = Option.get project.debug_info in
+  (* One single-session host provides the register inventory and the
+     serial-path oracle. *)
+  let probe = attach project board ~mut_path:Manycore.debug_core_path in
+  let sm = Host.site_map probe in
+  let mut_prefix = Host.full_register_name probe "" in
+  let names =
+    List.filter_map
+      (fun n ->
+        if String.starts_with ~prefix:mut_prefix n then
+          Some
+            (String.sub n (String.length mut_prefix)
+               (String.length n - String.length mut_prefix))
+        else None)
+      (Debug.Readback.register_names sm)
+  in
+  let shared = List.filteri (fun i _ -> 2 * i < List.length names) names in
+  let rest = List.filteri (fun i _ -> 2 * i >= List.length names) names in
+  let nrest = List.length rest in
+  (* Client i reads the shared half plus 3 rotating extras: every pair of
+     selections overlaps on at least the shared half (>= 50%). *)
+  let selection i =
+    let extras =
+      if nrest = 0 then []
+      else List.init 3 (fun j -> List.nth rest ((i + j) mod nrest))
+    in
+    List.sort_uniq compare (shared @ extras)
+  in
+  pf "MUT %s: %d registers; selections share %d of ~%d names\n%!"
+    Manycore.debug_core_path (List.length names) (List.length shared)
+    (List.length (selection 0));
+  let ks = if smoke then [ 1; 4; 16 ] else [ 1; 2; 4; 8; 16; 32; 64 ] in
+  pf "\n%-8s %14s %14s %9s %16s\n" "clients" "serialized" "coalesced" "ratio"
+    "frames (sum->1)";
+  let ratio16 = ref None in
+  List.iter
+    (fun k ->
+      let sels = List.init k selection in
+      (* Serial baseline: each client sweeps its own plan, one after the
+         other, through the single-session path. *)
+      let serial_t0 = Board.jtag_seconds board in
+      let serial_results =
+        List.map
+          (fun sel ->
+            let plan = Host.register_plan probe sel in
+            Debug.Readback.read_registers_indexed board sm plan
+              ~select:(fun _ -> true))
+          sels
+      in
+      let serial_seconds = Board.jtag_seconds board -. serial_t0 in
+      (* Hub: all k reads submitted in one tick -> one merged sweep. *)
+      let hub = Hub.Hub.create () in
+      let bid =
+        match Hub.Hub.add_board hub board ~info with
+        | Ok id -> id
+        | Error msg -> failwith ("hub bench: add_board: " ^ msg)
+      in
+      let sessions =
+        List.map
+          (fun _ ->
+            match Hub.Hub.open_session hub ~board:bid with
+            | Ok id -> id
+            | Error msg -> failwith ("hub bench: open_session: " ^ msg))
+          sels
+      in
+      List.iter
+        (fun s ->
+          match
+            Hub.Hub.submit hub
+              (Hub.Protocol.frame s 0
+                 (Hub.Protocol.Attach Manycore.debug_core_path))
+          with
+          | Ok () -> ()
+          | Error msg -> failwith ("hub bench: attach: " ^ msg))
+        sessions;
+      ignore (Hub.Hub.tick hub);
+      List.iter2
+        (fun s sel ->
+          match
+            Hub.Hub.submit hub
+              (Hub.Protocol.frame s 1 (Hub.Protocol.Read_registers sel))
+          with
+          | Ok () -> ()
+          | Error msg -> failwith ("hub bench: submit read: " ^ msg))
+        sessions sels;
+      let hub_t0 = Board.jtag_seconds board in
+      let responses = Hub.Hub.tick hub in
+      let hub_seconds = Board.jtag_seconds board -. hub_t0 in
+      (* Bit-for-bit: every client's hub values == its serial sweep. *)
+      List.iteri
+        (fun i s ->
+          let serial =
+            List.map
+              (fun (n, v) ->
+                ( String.sub n (String.length mut_prefix)
+                    (String.length n - String.length mut_prefix),
+                  v ))
+              (List.nth serial_results i)
+          in
+          match
+            List.find_opt
+              (fun (r : _ Hub.Protocol.frame) ->
+                r.Hub.Protocol.fr_session = s && r.Hub.Protocol.fr_seq = 1)
+              responses
+          with
+          | Some { Hub.Protocol.fr_payload = Hub.Protocol.Values hub_vals; _ }
+            ->
+            if
+              List.length serial <> List.length hub_vals
+              || not
+                   (List.for_all2
+                      (fun (n1, v1) (n2, v2) -> n1 = n2 && Rtl.Bits.equal v1 v2)
+                      (List.sort compare serial)
+                      (List.sort compare hub_vals))
+            then failwith "hub bench: coalesced values diverge from serial sweep"
+          | _ -> failwith "hub bench: missing read response")
+        sessions;
+      let stats = Hub.Hub.stats hub in
+      pf "%-8d %13.3fs %13.3fs %8.1fx %9d -> %d\n%!" k serial_seconds
+        hub_seconds
+        (serial_seconds /. hub_seconds)
+        stats.Hub.Stats.frames_requested stats.Hub.Stats.frames_read;
+      if k = 16 then ratio16 := Some (serial_seconds /. hub_seconds))
+    ks;
+  (match !ratio16 with
+  | Some r ->
+    pf "\n16-client coalescing ratio: %.1fx -> %s (acceptance floor: 4x)\n" r
+      (if r >= 4.0 then "PASS" else "FAIL")
+  | None -> ());
+  pf "(all coalesced results verified bit-for-bit against the serial path)\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -720,6 +884,7 @@ let experiments =
     ("ablation", ablation);
     ("micro", micro);
     ("readback", readback_extraction ~smoke:false);
+    ("hub", hub_bench ~smoke:false);
   ]
 
 let () =
@@ -728,6 +893,9 @@ let () =
   | [| _; "readback"; "smoke" |] ->
     (* CI smoke mode: same measurement on a small SoC, seconds not minutes. *)
     readback_extraction ~smoke:true ()
+  | [| _; "hub"; "smoke" |] ->
+    (* CI smoke mode: same coalescing measurement on a small SoC. *)
+    hub_bench ~smoke:true ()
   | [| _; name |] -> (
     match List.assoc_opt name experiments with
     | Some f -> f ()

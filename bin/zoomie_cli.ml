@@ -199,10 +199,149 @@ let repl_cmd =
          "Drive a scripted debug session on the bundled Cohort SoC (reads           commands from --script or stdin)")
     Term.(const run $ script_file)
 
+let hub_cmd =
+  let clients =
+    Arg.(
+      value & opt int 4
+      & info [ "c"; "clients" ] ~docv:"N" ~doc:"Number of concurrent sessions")
+  in
+  let script_file =
+    Arg.(
+      value & opt (some string) None
+      & info [ "s"; "script" ] ~docv:"FILE"
+          ~doc:
+            "Wire-format request frames (zh1 <session> <seq> ...), one per           line; a line reading 'tick' advances the hub.  Sessions 0..N-1           are pre-opened.  Default: run a demo workload.")
+  in
+  let run clients script_file =
+    (* Board setup mirrors `zoomie repl`: the Cohort SoC case study. *)
+    let monitor =
+      assertion_exn ~widths:Workloads.Cohort.sva_widths Workloads.Cohort.mmu_sva
+    in
+    let project = create_project (Workloads.Cohort.design ()) in
+    let project =
+      add_debug project ~mut:Workloads.Cohort.accel_module
+        ~interfaces:(Workloads.Cohort.interfaces ())
+        ~watches:(Workloads.Cohort.watches ())
+        ~assertions:[ monitor ]
+    in
+    let run = compile_vendor project in
+    let board = board project in
+    program_vendor board run;
+    Synth.Netsim.poke_input (Bitstream.Board.netsim board) "start"
+      (Rtl.Bits.of_int ~width:1 1);
+    let info = Option.get project.debug_info in
+    let hub = Hub.Hub.create () in
+    let bid =
+      match Hub.Hub.add_board hub board ~info with
+      | Ok id -> id
+      | Error msg -> Fmt.failwith "add_board: %s" msg
+    in
+    let sessions =
+      List.init clients (fun _ ->
+          match Hub.Hub.open_session hub ~board:bid with
+          | Ok id -> id
+          | Error msg -> Fmt.failwith "open_session: %s" msg)
+    in
+    Fmt.pr "hub: board %d (%s), %d sessions (%s)@." bid
+      (Bitstream.Board.device board).Fabric.Device.name clients
+      (String.concat "," (List.map string_of_int sessions));
+    let print_responses rs =
+      List.iter
+        (fun r -> print_endline (Hub.Protocol.response_to_wire r))
+        rs
+    in
+    let drain_events () =
+      List.iter
+        (fun s ->
+          List.iter
+            (fun e -> print_endline (Hub.Protocol.event_to_wire e))
+            (Hub.Hub.events hub ~session:s))
+        sessions
+    in
+    (match script_file with
+    | Some path ->
+      let ic = open_in path in
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      List.iter
+        (fun line ->
+          let line = String.trim line in
+          if line = "" || line.[0] = '#' then ()
+          else if line = "tick" then begin
+            print_responses (Hub.Hub.tick hub);
+            drain_events ()
+          end
+          else
+            match Hub.Protocol.request_of_wire line with
+            | Error msg -> Fmt.pr "error: %s: %s@." msg line
+            | Ok fr -> (
+              match Hub.Hub.submit hub fr with
+              | Ok () -> ()
+              | Error msg -> Fmt.pr "error: %s: %s@." msg line))
+        (String.split_on_char '\n' text);
+      print_responses (Hub.Hub.tick hub);
+      drain_events ()
+    | None ->
+      (* Demo workload: everyone attaches and subscribes, reads an
+         overlapping register selection (one coalesced sweep), then all
+         race a mutator (arbitrated one per tick). *)
+      let req s seq p = Hub.Protocol.frame s seq p in
+      let submit fr =
+        match Hub.Hub.submit hub fr with
+        | Ok () -> ()
+        | Error msg -> Fmt.pr "rejected: %s@." msg
+      in
+      List.iter
+        (fun s -> submit (req s 0 (Hub.Protocol.Attach "accel")))
+        sessions;
+      List.iter (fun s -> submit (req s 1 Hub.Protocol.Subscribe)) sessions;
+      print_responses (Hub.Hub.tick hub);
+      (* Overlapping selections out of the MUT's register inventory. *)
+      let payload = Bitstream.Board.payload board in
+      let sm =
+        Debug.Readback.site_map (Bitstream.Board.device board)
+          payload.Bitstream.Board.netlist payload.Bitstream.Board.locmap
+      in
+      let prefix = "accel.mut." in
+      let names =
+        List.filter_map
+          (fun n ->
+            if String.starts_with ~prefix n then
+              Some (String.sub n (String.length prefix)
+                      (String.length n - String.length prefix))
+            else None)
+          (Debug.Readback.register_names sm)
+      in
+      let shared = List.filteri (fun i _ -> i < 4) names in
+      List.iteri
+        (fun i s ->
+          let extra =
+            List.filteri (fun j _ -> j = 4 + (i mod max 1 (List.length names - 4)))
+              names
+          in
+          submit (req s 2 (Hub.Protocol.Read_registers (shared @ extra))))
+        sessions;
+      print_responses (Hub.Hub.tick hub);
+      List.iter
+        (fun s ->
+          submit (req s 3 (Hub.Protocol.Command (Debug.Repl.Step 20))))
+        sessions;
+      for _ = 1 to clients do
+        print_responses (Hub.Hub.tick hub);
+        drain_events ()
+      done);
+    Fmt.pr "--- hub stats ---@.%s@." (Hub.Stats.summary (Hub.Hub.stats hub))
+  in
+  Cmd.v
+    (Cmd.info "hub"
+       ~doc:
+         "Serve scripted multi-client debug sessions over one board, with           cross-session readback coalescing")
+    Term.(const run $ clients $ script_file)
+
 let main =
   Cmd.group
     (Cmd.info "zoomie" ~version
        ~doc:"Software-like FPGA debugging: compile, program, and debug")
-    [ devices_cmd; sva_cmd; matrix_cmd; demo_cmd; verilog_cmd; repl_cmd ]
+    [ devices_cmd; sva_cmd; matrix_cmd; demo_cmd; verilog_cmd; repl_cmd; hub_cmd ]
 
 let () = exit (Cmd.eval main)

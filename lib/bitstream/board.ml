@@ -33,11 +33,36 @@ type t = {
   mutable dynamic_regions : Region.t list;
   mutable jtag_seconds : float;
   mutable fpga_cycles : int;
+  mutable lease : string option;
+  mutable transfer_count : int;
+  mutable words_transferred : int;
 }
 
 let device t = t.device
 let jtag_seconds t = t.jtag_seconds
 let fpga_cycles t = t.fpga_cycles
+
+(* --- ownership lease (advisory, for multi-session front-ends) --- *)
+
+let lease_owner t = t.lease
+
+let acquire_lease t ~owner =
+  match t.lease with
+  | None ->
+    t.lease <- Some owner;
+    Ok ()
+  | Some o when o = owner -> Ok ()
+  | Some o -> Error (Printf.sprintf "board leased by %S" o)
+
+let release_lease t ~owner =
+  match t.lease with
+  | Some o when o = owner -> t.lease <- None
+  | _ -> ()
+
+(* --- cable transfer accounting (batched-sweep bookkeeping) --- *)
+
+let transfer_count t = t.transfer_count
+let words_transferred t = t.words_transferred
 
 let netsim t =
   match t.design with
@@ -167,6 +192,9 @@ let create device =
       dynamic_regions = [];
       jtag_seconds = 0.0;
       fpga_cycles = 0;
+      lease = None;
+      transfer_count = 0;
+      words_transferred = 0;
     }
   in
   Array.iteri
@@ -264,6 +292,8 @@ let execute t (stream : int array) =
     t.jtag_seconds
     +. Jtag.transfer_seconds ~words:(n + !out_words)
     +. !extra_seconds;
+  t.transfer_count <- t.transfer_count + 1;
+  t.words_transferred <- t.words_transferred + n + !out_words;
   Array.concat (List.rev !out)
 
 (* Carry live state across a partial reconfiguration: FFs and memories

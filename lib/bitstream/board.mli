@@ -43,6 +43,9 @@ type t = {
   mutable dynamic_regions : Region.t list;
   mutable jtag_seconds : float;  (** accumulated modeled cable time *)
   mutable fpga_cycles : int;  (** user-clock cycles executed *)
+  mutable lease : string option;  (** advisory ownership lease *)
+  mutable transfer_count : int;  (** cable transfers executed *)
+  mutable words_transferred : int;  (** command + response words moved *)
 }
 
 val create : Device.t -> t
@@ -53,6 +56,34 @@ val device : t -> Device.t
 val jtag_seconds : t -> float
 
 val fpga_cycles : t -> int
+
+(** {1 Ownership lease}
+
+    An advisory single-owner lease over the cable, for arbitrated
+    front-ends (the hub) that must not share a board with another driver.
+    The board itself does not enforce it — a lone {!Host.t} session on a
+    private board never needs one — but any multiplexer should acquire it
+    before issuing traffic and refuse boards leased elsewhere. *)
+
+(** [Error msg] when another owner already holds the lease.  Re-acquiring
+    under the same owner name is idempotent. *)
+val acquire_lease : t -> owner:string -> (unit, string) result
+
+(** Release only if held by [owner]; otherwise a no-op. *)
+val release_lease : t -> owner:string -> unit
+
+val lease_owner : t -> string option
+
+(** {1 Transfer accounting}
+
+    Batched-sweep bookkeeping: how many {!execute} calls the board has
+    served and how many 32-bit words (command + response) they moved.
+    A coalescing scheduler shows its win here — fewer transfers moving
+    fewer total words than its clients would issue individually. *)
+
+val transfer_count : t -> int
+
+val words_transferred : t -> int
 
 (** Modeled wall-clock of the fabric itself: {!fpga_cycles} at the
     configured user-clock frequency. *)

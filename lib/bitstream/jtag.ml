@@ -22,3 +22,15 @@ let gcapture_seconds = 0.08
 let grestore_seconds = 0.05
 
 let transfer_seconds ~words = float_of_int words *. word_seconds
+
+(* Command-stream overhead of one capture+readback sweep, in words: the
+   sync/desync bracket plus a FAR write and read request per column.  The
+   constant mirrors what Readback's executor actually emits; it exists so
+   schedulers can price a sweep without assembling it. *)
+let sweep_command_words ~columns = 4 + (4 * columns)
+
+let sweep_seconds ~hops ~columns ~words =
+  sync_seconds
+  +. (float_of_int hops *. hop_seconds)
+  +. gcapture_seconds
+  +. transfer_seconds ~words:(words + sweep_command_words ~columns)

@@ -22,3 +22,15 @@ val grestore_seconds : float
 
 (** Total modeled time to move [words] words plus per-transfer overhead. *)
 val transfer_seconds : words:int -> float
+
+(** Command-stream overhead (in words) of one capture+readback sweep
+    addressing [columns] columns: the sync bracket plus FAR writes and
+    read requests. *)
+val sweep_command_words : columns:int -> int
+
+(** Modeled cost of executing one capture+readback sweep on one SLR,
+    standalone: sync, [hops] BOUT hops, GCAPTURE, the command words for
+    [columns] columns and the [words] response words.  This is what a
+    readback plan would cost a session running alone — the baseline a
+    coalescing scheduler compares its batched sweeps against. *)
+val sweep_seconds : hops:int -> columns:int -> words:int -> float

@@ -24,6 +24,7 @@ module Vendor = Zoomie_vendor
 module Sva = Zoomie_sva
 module Pause = Zoomie_pause
 module Debug = Zoomie_debug
+module Hub = Zoomie_hub
 module Vti = Zoomie_vti
 module Workloads = Zoomie_workloads
 

@@ -34,16 +34,44 @@ let watches t = t.info.Controller.cfg.Controller.watches
     [mut] instance level). *)
 let mut_reg t name = t.mut_path ^ ".mut." ^ name
 
-let attach board ~(info : Controller.info) ~mut_path =
+(* Stop polling starts at this granularity and backs off while idle. *)
+let initial_poll_chunk = 256
+let max_poll_chunk = 16384
+
+let attach ?site_map board ~(info : Controller.info) ~mut_path =
   let payload = Board.payload board in
   let netlist = payload.Board.netlist in
   let locmap = payload.Board.locmap in
   let prefix = mut_path ^ "." in
   let select name = String.starts_with ~prefix name in
-  let site_map = Readback.site_map (Board.device board) netlist locmap in
+  let site_map =
+    (* Building the index is the expensive part of attach; sessions that
+       share a design (the hub's, all attached to one board) pass the one
+       they already have. *)
+    match site_map with
+    | Some sm -> sm
+    | None -> Readback.site_map (Board.device board) netlist locmap
+  in
   let mut_plan = Readback.plan_of_select site_map ~select in
   { board; netlist; locmap; info; mut_path; site_map; mut_plan;
-    plan_cache = Hashtbl.create 32; poll_chunk = 256 }
+    plan_cache = Hashtbl.create 32; poll_chunk = initial_poll_chunk }
+
+(* --- introspection (for multiplexing front-ends like the hub) --- *)
+
+let board t = t.board
+
+let mut_path t = t.mut_path
+
+let site_map t = t.site_map
+
+let poll_chunk t = t.poll_chunk
+
+(** Full hierarchical name of a MUT register given its original name. *)
+let full_register_name t name = mut_reg t name
+
+(** Readback plan covering the named MUT registers (original names). *)
+let register_plan t names =
+  Readback.plan_of_names t.site_map (List.map (mut_reg t) names)
 
 (* --- low-level accessors --- *)
 
@@ -135,14 +163,28 @@ let resume t =
   inject t [ (dbg_reg t Controller.ctl_run_reg, Bits.of_int ~width:1 1) ]
 
 (** Let the FPGA run [cycles] of the free clock, polling for a stop.
-    Returns true when the design stopped (breakpoint) within the budget. *)
+    Returns true when the design stopped (breakpoint) within the budget.
+
+    The poll interval is adaptive: every idle poll doubles [poll_chunk]
+    (capped), and a stop resets it — a long-running design costs
+    logarithmically many status readbacks instead of one per chunk, while
+    a design that stops often keeps the tight interval.  Overshooting the
+    free clock is harmless: the breakpoint latches in hardware and the MUT
+    clock gate holds it paused. *)
 let run_until_stop ?(max_cycles = 1_000_000) t =
   let rec go remaining =
     if remaining <= 0 then false
     else begin
       let chunk = min t.poll_chunk remaining in
       Board.run t.board chunk;
-      if is_stopped t then true else go (remaining - chunk)
+      if is_stopped t then begin
+        t.poll_chunk <- initial_poll_chunk;
+        true
+      end
+      else begin
+        t.poll_chunk <- min max_poll_chunk (t.poll_chunk * 2);
+        go (remaining - chunk)
+      end
     end
   in
   go max_cycles

@@ -18,11 +18,43 @@ type t
     (Re)programming the board — including a VTI partial reconfiguration —
     swaps in a new netlist and logic-location map, so attach again
     afterwards, exactly as a hardware debugger reconnects after
-    reprogramming. *)
-val attach : Board.t -> info:Controller.info -> mut_path:string -> t
+    reprogramming.
+
+    [site_map] lets sessions sharing one configured design (a hub's, all
+    attached to the same board) reuse one prebuilt index instead of each
+    rebuilding it — it must describe the board's current payload. *)
+val attach :
+  ?site_map:Readback.site_map ->
+  Board.t ->
+  info:Controller.info ->
+  mut_path:string ->
+  t
 
 (** The trigger unit's watched signals (for UIs encoding break values). *)
 val watches : t -> Trigger.watch list
+
+(** {1 Introspection (for multiplexing front-ends)} *)
+
+val board : t -> Board.t
+
+val mut_path : t -> string
+
+val site_map : t -> Readback.site_map
+
+(** Full hierarchical name of a MUT register given its original name
+    (the wrapper inserts the [mut] instance level). *)
+val full_register_name : t -> string -> string
+
+(** Readback plan covering the named MUT registers (original names) —
+    what a coalescer merges across sessions.
+    @raise Readback.Readback_error when any name is unknown. *)
+val register_plan : t -> string list -> Readback.plan
+
+(** Current stop-poll granularity (design cycles between status reads). *)
+val poll_chunk : t -> int
+
+(** The granularity polling starts at (and resets to on a stop). *)
+val initial_poll_chunk : int
 
 (** {1 Run control} *)
 
@@ -53,7 +85,10 @@ val pause : t -> unit
 val resume : t -> unit
 
 (** Let the FPGA run up to [max_cycles] free-clock cycles, polling for a
-    stop; [true] when a breakpoint fired within the budget. *)
+    stop; [true] when a breakpoint fired within the budget.  Polling is
+    adaptive: each idle poll doubles {!poll_chunk} (capped), and a stop
+    resets it to {!initial_poll_chunk}, so long idle runs cost
+    logarithmically many status readbacks. *)
 val run_until_stop : ?max_cycles:int -> t -> bool
 
 (** Execute exactly [n] MUT cycles then stop (gdb's [until]). *)

@@ -285,6 +285,44 @@ let plan_of_names sm names =
   in
   plan_of_columns ~selected sm.sm_device cols
 
+(** Union of several plans, deduplicating shared columns — the coalescing
+    primitive: k clients' overlapping selections become one sweep whose
+    frame count is the size of the union, not the sum.  A column present
+    in several plans is kept once with the largest frame count; [selected]
+    survives only when every input plan carries it (one anonymous plan
+    forces full-design extraction semantics). *)
+let merge_plans plans =
+  let cols = Hashtbl.create 64 in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun c ->
+          let key = (c.c_slr, c.c_row, c.c_col) in
+          match Hashtbl.find_opt cols key with
+          | Some frames when frames >= c.c_frames -> ()
+          | _ -> Hashtbl.replace cols key c.c_frames)
+        p.columns)
+    plans;
+  let columns =
+    Hashtbl.fold
+      (fun (slr, row, col) frames acc ->
+        { c_slr = slr; c_row = row; c_col = col; c_frames = frames } :: acc)
+      cols []
+    |> List.sort compare
+  in
+  let selected =
+    let rec union acc = function
+      | [] -> Some (Array.of_list (List.sort_uniq compare acc))
+      | { selected = None; _ } :: _ -> None
+      | { selected = Some names; _ } :: rest ->
+        union (Array.to_list names @ acc) rest
+    in
+    union [] plans
+  in
+  { columns;
+    total_frames = List.fold_left (fun a c -> a + c.c_frames) 0 columns;
+    selected }
+
 (* Columns containing any FF (or memory site) whose register name passes
    [select] — compatibility entry point; builds a throwaway site map. *)
 let plan_for device (netlist : Netlist.t) (locmap : Loc.map) ~select =
@@ -423,6 +461,21 @@ let extract_over names sm frames ~select =
   List.rev !out
 
 let extract_registers sm frames ~select = extract_over sm.sm_reg_names sm frames ~select
+
+(** Demultiplex one client's register list out of a (possibly merged)
+    frame response: validate the names, then extract exactly those — the
+    per-session half of a coalesced sweep.
+    @raise Readback_error on an unknown name or a frame the response does
+    not cover. *)
+let extract_registers_named sm frames ~names =
+  (match List.filter (fun n -> not (known_register sm n)) names with
+  | [] -> ()
+  | bad ->
+    readback_error "unknown register%s: %s"
+      (if List.length bad > 1 then "s" else "")
+      (String.concat ", " (List.map (Printf.sprintf "%S") bad)));
+  let ordered = Array.of_list (List.sort_uniq compare names) in
+  extract_over ordered sm frames ~select:(fun _ -> true)
 
 (** Execute a readback plan against a prebuilt site map: register name ->
     value for every FF passing [select].  When the plan records the names

@@ -116,6 +116,12 @@ val plan_of_select : site_map -> select:(string -> bool) -> plan
     @raise Readback_error when any name is unknown. *)
 val plan_of_names : site_map -> string list -> plan
 
+(** Union of several plans, deduplicating shared columns — the coalescing
+    primitive: k overlapping selections become one sweep sized by the
+    union of their columns.  [selected] is the sorted union when every
+    input plan carries one, [None] otherwise. *)
+val merge_plans : plan list -> plan
+
 (** Compatibility planner: builds a throwaway site map each call.  Prefer
     {!site_map} + {!plan_of_select} on repeated paths. *)
 val plan_for : Device.t -> Netlist.t -> Loc.map -> select:(string -> bool) -> plan
@@ -147,6 +153,14 @@ val read_plan_frames : Board.t -> plan -> Frame_index.t
     silent zeros. *)
 val extract_registers :
   site_map -> Frame_index.t -> select:(string -> bool) -> (string * Bits.t) list
+
+(** Demultiplex one named register list out of a (possibly merged) frame
+    response — the per-session half of a coalesced sweep.  Results are
+    sorted by name, duplicates removed.
+    @raise Readback_error on an unknown name or a frame the response does
+    not cover. *)
+val extract_registers_named :
+  site_map -> Frame_index.t -> names:string list -> (string * Bits.t) list
 
 (** Read every FF whose name satisfies [select], as RTL-named registers
     (multi-bit registers are reassembled from their per-bit FFs).  When the

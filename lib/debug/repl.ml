@@ -16,6 +16,8 @@
       state               every MUT register
       inject REG VAL      overwrite a register (decimal or 0x..)
       trace N FILE        step N cycles, dump the waveform as VCD to FILE
+      save FILE           snapshot MUT state to FILE (v2 format)
+      load FILE           restore MUT state from a snapshot FILE
       cause | cycles      stop cause / executed MUT cycles
       status              stopped?
     v}
@@ -42,6 +44,8 @@ type command =
   | State
   | Inject of string * int
   | Trace of int * string
+  | Save of string
+  | Load of string
   | Cause
   | Cycles
   | Status
@@ -113,10 +117,42 @@ let parse_line line : (command, string) result =
     match parse_int n with
     | Some n -> Ok (Trace (n, file))
     | None -> Error "trace: bad cycle count")
+  | [ "save"; file ] -> Ok (Save file)
+  | [ "load"; file ] -> Ok (Load file)
   | [ "cause" ] -> Ok Cause
   | [ "cycles" ] -> Ok Cycles
   | [ "status" ] -> Ok Status
   | w :: _ -> Error (Printf.sprintf "unknown command %S" w)
+
+(** The inverse of {!parse_line}: render a command back to the line syntax
+    (used by wire protocols that carry commands as text).  [Nop] renders
+    as the empty line. *)
+let command_to_string (cmd : command) : string =
+  let pairs l =
+    String.concat " " (List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v) l)
+  in
+  match cmd with
+  | Run n -> Printf.sprintf "run %d" n
+  | Continue n -> Printf.sprintf "continue %d" n
+  | Pause -> "pause"
+  | Resume -> "resume"
+  | Step n -> Printf.sprintf "step %d" n
+  | Break_all l -> "break " ^ pairs l
+  | Break_any l -> "break-any " ^ pairs l
+  | Watch names -> "watch " ^ String.concat " " names
+  | Unwatch names -> "unwatch " ^ String.concat " " names
+  | Clear -> "clear"
+  | Print reg -> Printf.sprintf "print %s" reg
+  | Mem (name, addr) -> Printf.sprintf "mem %s %d" name addr
+  | State -> "state"
+  | Inject (reg, v) -> Printf.sprintf "inject %s %d" reg v
+  | Trace (n, file) -> Printf.sprintf "trace %d %s" n file
+  | Save file -> Printf.sprintf "save %s" file
+  | Load file -> Printf.sprintf "load %s" file
+  | Cause -> "cause"
+  | Cycles -> "cycles"
+  | Status -> "status"
+  | Nop -> ""
 
 (* Width of a named watch (for encoding break values). *)
 let watch_width host name =
@@ -185,6 +221,15 @@ let execute host board (cmd : command) : string =
     Wave.write wave file;
     Printf.sprintf "traced %d cycles of %d signals -> %s" (Wave.cycles wave - 1)
       (Wave.signal_count wave) file
+  | Save file ->
+    let snap = Host.snapshot host in
+    Readback.save_snapshot snap file;
+    Printf.sprintf "saved snapshot at cycle %d -> %s" snap.Readback.snap_cycle file
+  | Load file ->
+    let snap = Readback.load_snapshot file in
+    Host.restore host snap;
+    Printf.sprintf "restored snapshot taken at cycle %d <- %s"
+      snap.Readback.snap_cycle file
   | Cause ->
     let c = Host.stop_cause host in
     Printf.sprintf "value=%b cycle=%b assertion=%b watch=%b" c.Host.value_bp
@@ -204,6 +249,7 @@ let run_script host board script =
              try execute host board cmd with
              | Invalid_argument msg -> "error: " ^ msg
              | Readback.Readback_error msg -> "error: " ^ msg
+             | Readback.Bad_snapshot msg -> "error: bad snapshot: " ^ msg
            in
            Some (Printf.sprintf "> %s\n%s" (String.trim line) out)
          | Error msg -> Some (Printf.sprintf "> %s\nerror: %s" (String.trim line) msg))

@@ -4,7 +4,8 @@
     Commands: [run N], [continue N], [pause], [resume], [step N],
     [break sig=val ...], [break-any sig=val ...], [watch sig ...],
     [unwatch sig ...], [clear], [print reg], [mem name addr], [state],
-    [inject reg val], [trace n file.vcd], [cause], [cycles], [status].
+    [inject reg val], [trace n file.vcd], [save file], [load file],
+    [cause], [cycles], [status].
     Blank lines and [#]-comments are ignored. *)
 
 module Board = Zoomie_bitstream.Board
@@ -25,6 +26,8 @@ type command =
   | State
   | Inject of string * int
   | Trace of int * string
+  | Save of string  (** snapshot MUT state to a file (v2 format) *)
+  | Load of string  (** restore MUT state from a snapshot file *)
   | Cause
   | Cycles
   | Status
@@ -32,6 +35,12 @@ type command =
 
 (** Parse one input line.  [Error msg] describes the syntax problem. *)
 val parse_line : string -> (command, string) result
+
+(** The inverse of {!parse_line}: render a command back to the line
+    syntax — [parse_line (command_to_string c) = Ok c] for every
+    command.  Used by wire protocols that carry commands as text.
+    [Nop] renders as the empty line. *)
+val command_to_string : command -> string
 
 (** Execute one command; the result is the text a user would see.  Errors
     (unknown register, unwatched signal, ...) are caught and reported as

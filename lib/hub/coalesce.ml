@@ -1,0 +1,119 @@
+(** The cross-session readback coalescer — the hub's reason to exist.
+
+    Every queued [Read_registers] of a tick carries its own frame plan;
+    merging them ({!Readback.merge_plans}) deduplicates the columns the
+    sessions share, so k clients with overlapping selections cost one
+    cable sweep sized by the union instead of k sweeps sized by each
+    selection.  The response frames are then demultiplexed per session
+    with {!Readback.extract_registers_named} — a pure host-side parse,
+    no further traffic.
+
+    The saving is accounted in modeled time: the sweep's actual
+    {!Board.jtag_seconds} delta versus the sum of what each request's
+    plan would cost standalone ({!Jtag.sweep_seconds}). *)
+
+open Zoomie_fabric
+module Board = Zoomie_bitstream.Board
+module Jtag = Zoomie_bitstream.Jtag
+module Host = Zoomie_debug.Host
+module Readback = Zoomie_debug.Readback
+
+type read_request = {
+  rd_session : int;
+  rd_seq : int;
+  rd_prefix : string;  (** hierarchical prefix stripped from result names *)
+  rd_names : string list;  (** full hierarchical register names *)
+  rd_plan : Readback.plan;
+}
+
+(** Build one session's coalescable read from its original (unprefixed)
+    register names: resolve them against the session's MUT path and plan
+    their frames.  [Error] on unknown names — validation happens here,
+    before the request can pollute a merged sweep. *)
+let request host ~session ~seq ~names =
+  try
+    let full = List.map (Host.full_register_name host) names in
+    let plan = Readback.plan_of_names (Host.site_map host) full in
+    Ok
+      {
+        rd_session = session;
+        rd_seq = seq;
+        rd_prefix = Host.full_register_name host "";
+        rd_names = full;
+        rd_plan = plan;
+      }
+  with Readback.Readback_error msg -> Error msg
+
+type sweep_result = {
+  sw_values : (int * int * (string * Zoomie_rtl.Bits.t) list) list;
+      (** per request: (session, seq, short-named values) *)
+  sw_frames_read : int;  (** frames in the merged sweep *)
+  sw_frames_requested : int;  (** sum of the individual plans' frames *)
+  sw_seconds : float;  (** actual modeled cable time of the merged sweep *)
+  sw_serial_seconds : float;
+      (** modeled cost had each request swept alone (the baseline) *)
+}
+
+(** Modeled cable cost of executing [plan] standalone: one sweep per SLR
+    it touches, priced by the transport model. *)
+let serial_seconds board (plan : Readback.plan) =
+  let device = Board.device board in
+  let slrs =
+    List.sort_uniq compare
+      (List.map (fun c -> c.Readback.c_slr) plan.Readback.columns)
+  in
+  List.fold_left
+    (fun acc slr ->
+      let cols =
+        List.filter (fun c -> c.Readback.c_slr = slr) plan.Readback.columns
+      in
+      let frames =
+        List.fold_left (fun a c -> a + c.Readback.c_frames) 0 cols
+      in
+      acc
+      +. Jtag.sweep_seconds ~hops:(Readback.hops_to device slr)
+           ~columns:(List.length cols)
+           ~words:(frames * Geometry.words_per_frame))
+    0.0 slrs
+
+let strip_prefix ~prefix name =
+  let plen = String.length prefix in
+  if String.length name >= plen && String.sub name 0 plen = prefix then
+    String.sub name plen (String.length name - plen)
+  else name
+
+(** Execute all requests as one merged sweep and demultiplex: read the
+    union plan once, then extract each session's registers from the
+    shared frame response.  Result names are the original (unprefixed)
+    ones the client asked with. *)
+let sweep board site_map (requests : read_request list) =
+  let merged = Readback.merge_plans (List.map (fun r -> r.rd_plan) requests) in
+  let before = Board.jtag_seconds board in
+  let frames = Readback.read_plan_frames board merged in
+  let sw_seconds = Board.jtag_seconds board -. before in
+  let sw_values =
+    List.map
+      (fun r ->
+        let values =
+          Readback.extract_registers_named site_map frames ~names:r.rd_names
+        in
+        ( r.rd_session,
+          r.rd_seq,
+          List.map
+            (fun (n, v) -> (strip_prefix ~prefix:r.rd_prefix n, v))
+            values ))
+      requests
+  in
+  {
+    sw_values;
+    sw_frames_read = merged.Readback.total_frames;
+    sw_frames_requested =
+      List.fold_left
+        (fun a r -> a + r.rd_plan.Readback.total_frames)
+        0 requests;
+    sw_seconds;
+    sw_serial_seconds =
+      List.fold_left
+        (fun a r -> a +. serial_seconds board r.rd_plan)
+        0.0 requests;
+  }

@@ -1,0 +1,46 @@
+(** The cross-session readback coalescer: merge the frame plans of every
+    read queued in a tick into one deduplicated sweep, then demultiplex
+    per-session results from the shared frame response.  k clients with
+    overlapping selections cost one union-sized cable transfer instead
+    of k selection-sized ones; the saving is accounted against the
+    modeled standalone cost of each plan. *)
+
+module Board = Zoomie_bitstream.Board
+module Host = Zoomie_debug.Host
+module Readback = Zoomie_debug.Readback
+
+type read_request = {
+  rd_session : int;
+  rd_seq : int;
+  rd_prefix : string;  (** hierarchical prefix stripped from result names *)
+  rd_names : string list;  (** full hierarchical register names *)
+  rd_plan : Readback.plan;
+}
+
+(** Build one session's coalescable read from its original (unprefixed)
+    register names.  [Error] on unknown names — validated here, before
+    the request can join a merged sweep. *)
+val request :
+  Host.t ->
+  session:int ->
+  seq:int ->
+  names:string list ->
+  (read_request, string) result
+
+type sweep_result = {
+  sw_values : (int * int * (string * Zoomie_rtl.Bits.t) list) list;
+      (** per request: (session, seq, short-named values) *)
+  sw_frames_read : int;  (** frames in the merged sweep *)
+  sw_frames_requested : int;  (** sum of the individual plans' frames *)
+  sw_seconds : float;  (** actual modeled cable time of the merged sweep *)
+  sw_serial_seconds : float;
+      (** modeled cost had each request swept alone (the baseline) *)
+}
+
+(** Modeled cable cost of executing [plan] standalone: one sweep per SLR
+    it touches, priced by the {!Zoomie_bitstream.Jtag} transport model. *)
+val serial_seconds : Board.t -> Readback.plan -> float
+
+(** Execute all requests as one merged sweep and demultiplex.  Result
+    names are the original (unprefixed) ones each client asked with. *)
+val sweep : Board.t -> Readback.site_map -> read_request list -> sweep_result

@@ -1,0 +1,422 @@
+(** The multi-session debug server: N clients, a pool of boards, one
+    arbiter.
+
+    A hub owns its boards (advisory {!Board.acquire_lease}) and advances
+    in discrete ticks.  Each tick, per board: session-lifecycle ops run
+    first (no cable traffic), then every queued read shares the board —
+    register reads merged into one coalesced sweep ({!Coalesce}) — then
+    exactly one mutating command holds it exclusively ({!Scheduler}).
+    After a mutator runs, one status readback serves every subscribed
+    session: a latched stop becomes a {!Protocol.Stopped} event fanned
+    out to all subscribers, replacing their individual polls.  Sessions
+    idle past the configured tick budget are reaped, their queued work
+    failed and a [Session_closed] event left in their mailbox.
+
+    Everything is deterministic — the hub owns the clock (ticks) and the
+    cable time is the board's modeled {!Board.jtag_seconds} — so the
+    arbitration and coalescing behavior is exactly reproducible in tests
+    and benches. *)
+
+module Board = Zoomie_bitstream.Board
+module Controller = Zoomie_debug.Controller
+module Host = Zoomie_debug.Host
+module Readback = Zoomie_debug.Readback
+module Repl = Zoomie_debug.Repl
+
+type config = {
+  max_sessions_per_board : int;  (** admission: concurrent sessions *)
+  max_queue : int;  (** admission: queued requests per board *)
+  session_timeout_ticks : int;  (** idle ticks before a session is reaped *)
+}
+
+let default_config =
+  { max_sessions_per_board = 64; max_queue = 256; session_timeout_ticks = 100 }
+
+(* The hub's name on the advisory board lease. *)
+let lease_owner = "zoomie-hub"
+
+type board_entry = {
+  be_id : int;
+  be_board : Board.t;
+  be_info : Controller.info;
+  be_site_map : Readback.site_map;
+      (* built once per board; every session attach reuses it *)
+  be_queue : Scheduler.t;
+  mutable be_subscribers : int list;  (* subscription order *)
+}
+
+type t = {
+  config : config;
+  boards : (int, board_entry) Hashtbl.t;
+  mutable next_board : int;
+  sessions : (int, Session.t) Hashtbl.t;
+  mutable next_session : int;
+  mutable now : int;  (* the hub tick clock *)
+  mutable ev_seq : int;  (* event sequence numbers, shared across a fan-out *)
+  stats : Stats.t;
+}
+
+let create ?(config = default_config) () =
+  {
+    config;
+    boards = Hashtbl.create 4;
+    next_board = 0;
+    sessions = Hashtbl.create 16;
+    next_session = 0;
+    now = 0;
+    ev_seq = 0;
+    stats = Stats.create ();
+  }
+
+let stats t = t.stats
+
+(** Put a board under hub ownership.  Fails when another driver holds its
+    lease or it has no configured design.  The per-design site map is
+    built here, once, and shared by every session that attaches. *)
+let add_board t board ~info =
+  match Board.acquire_lease board ~owner:lease_owner with
+  | Error msg -> Error msg
+  | Ok () -> (
+    match
+      try Some (Board.payload board) with Invalid_argument _ -> None
+    with
+    | None ->
+      Board.release_lease board ~owner:lease_owner;
+      Error "board has no configured design"
+    | Some payload ->
+      let id = t.next_board in
+      t.next_board <- id + 1;
+      Hashtbl.replace t.boards id
+        {
+          be_id = id;
+          be_board = board;
+          be_info = info;
+          be_site_map =
+            Readback.site_map (Board.device board) payload.Board.netlist
+              payload.Board.locmap;
+          be_queue = Scheduler.create ~max_queue:t.config.max_queue;
+          be_subscribers = [];
+        };
+      Ok id)
+
+let board_ids t = List.sort compare (Hashtbl.fold (fun k _ l -> k :: l) t.boards [])
+
+let active_sessions_on t board_id =
+  Hashtbl.fold
+    (fun _ (s : Session.t) n ->
+      if s.Session.board_id = board_id && Session.is_active s then n + 1 else n)
+    t.sessions 0
+
+(** Admit a new session bound to [board]. *)
+let open_session t ~board =
+  match Hashtbl.find_opt t.boards board with
+  | None -> Error (Printf.sprintf "no board %d" board)
+  | Some _ ->
+    if active_sessions_on t board >= t.config.max_sessions_per_board then
+      Error
+        (Printf.sprintf "board %d saturated (%d sessions)" board
+           t.config.max_sessions_per_board)
+    else begin
+      let id = t.next_session in
+      t.next_session <- id + 1;
+      Hashtbl.replace t.sessions id
+        (Session.create ~id ~board_id:board ~now:t.now);
+      Ok id
+    end
+
+let session_status t id =
+  Option.map (fun (s : Session.t) -> s.Session.status) (Hashtbl.find_opt t.sessions id)
+
+(** Queue one request.  [Error] when the session is unknown or gone, or
+    when the board's backlog refuses admission. *)
+let submit t (fr : Protocol.request Protocol.frame) =
+  match Hashtbl.find_opt t.sessions fr.Protocol.fr_session with
+  | None -> Error (Printf.sprintf "no session %d" fr.Protocol.fr_session)
+  | Some s when not (Session.is_active s) ->
+    Error
+      (match s.Session.status with
+      | Session.Timed_out -> "session timed out"
+      | _ -> "session closed")
+  | Some s -> (
+    let be = Hashtbl.find t.boards s.Session.board_id in
+    match
+      Scheduler.submit be.be_queue
+        {
+          Scheduler.p_session = fr.Protocol.fr_session;
+          p_seq = fr.Protocol.fr_seq;
+          p_request = fr.Protocol.fr_payload;
+        }
+    with
+    | Ok () ->
+      Session.touch s ~now:t.now;
+      t.stats.Stats.requests <- t.stats.Stats.requests + 1;
+      Ok ()
+    | Error _ as e ->
+      t.stats.Stats.rejected <- t.stats.Stats.rejected + 1;
+      e)
+
+(** Pending events for one session, in delivery order (empties its
+    mailbox).  Works on closed sessions too — the [Session_closed]
+    notice must remain collectable. *)
+let events t ~session =
+  match Hashtbl.find_opt t.sessions session with
+  | None -> []
+  | Some s -> Session.drain_mailbox s
+
+(* --- tick internals -------------------------------------------------- *)
+
+let respond t acc (p : Scheduler.pending) payload =
+  t.stats.Stats.responses <- t.stats.Stats.responses + 1;
+  {
+    Protocol.fr_session = p.Scheduler.p_session;
+    fr_seq = p.Scheduler.p_seq;
+    fr_payload = payload;
+  }
+  :: acc
+
+(* Run one REPL command, mapping the engine's exceptions to Failed. *)
+let exec_command host board cmd =
+  try Protocol.Done (Repl.execute host board cmd) with
+  | Invalid_argument msg -> Protocol.Failed msg
+  | Readback.Readback_error msg -> Protocol.Failed msg
+  | Readback.Bad_snapshot msg -> Protocol.Failed ("bad snapshot: " ^ msg)
+
+let unsubscribe_from be session =
+  be.be_subscribers <- List.filter (fun s -> s <> session) be.be_subscribers
+
+(* Session-lifecycle ops: no cable traffic, never block. *)
+let run_control t be acc (p : Scheduler.pending) =
+  let s = Hashtbl.find t.sessions p.Scheduler.p_session in
+  let payload =
+    match p.Scheduler.p_request with
+    | Protocol.Attach mut_path -> (
+      try
+        s.Session.host <-
+          Some
+            (Host.attach ~site_map:be.be_site_map be.be_board ~info:be.be_info
+               ~mut_path);
+        Protocol.Done ("attached " ^ mut_path)
+      with Invalid_argument msg -> Protocol.Failed msg)
+    | Protocol.Detach ->
+      s.Session.host <- None;
+      s.Session.subscribed <- false;
+      unsubscribe_from be p.Scheduler.p_session;
+      Protocol.Done "detached"
+    | Protocol.Subscribe ->
+      if not s.Session.subscribed then begin
+        s.Session.subscribed <- true;
+        be.be_subscribers <- be.be_subscribers @ [ p.Scheduler.p_session ]
+      end;
+      Protocol.Done "subscribed"
+    | Protocol.Unsubscribe ->
+      s.Session.subscribed <- false;
+      unsubscribe_from be p.Scheduler.p_session;
+      Protocol.Done "unsubscribed"
+    | Protocol.Read_registers _ | Protocol.Command _ ->
+      Protocol.Failed "not a control op"
+  in
+  respond t acc p payload
+
+(* Read-class grants: command reads execute directly; register reads are
+   gathered into one coalesced sweep, then every response is emitted in
+   grant (FIFO) order. *)
+let run_reads t be acc (reads : Scheduler.pending list) =
+  let slots =
+    List.map
+      (fun (p : Scheduler.pending) ->
+        let s = Hashtbl.find t.sessions p.Scheduler.p_session in
+        match (s.Session.host, p.Scheduler.p_request) with
+        | None, _ -> (p, Either.Left (Protocol.Failed "not attached"))
+        | Some host, Protocol.Read_registers names -> (
+          match
+            Coalesce.request host ~session:p.Scheduler.p_session
+              ~seq:p.Scheduler.p_seq ~names
+          with
+          | Ok r -> (p, Either.Right r)
+          | Error msg -> (p, Either.Left (Protocol.Failed msg)))
+        | Some host, Protocol.Command cmd ->
+          if cmd = Repl.Status then
+            t.stats.Stats.status_polls <- t.stats.Stats.status_polls + 1;
+          (p, Either.Left (exec_command host be.be_board cmd))
+        | Some _, _ -> (p, Either.Left (Protocol.Failed "not a read op")))
+      reads
+  in
+  let requests = List.filter_map (fun (_, e) -> Either.find_right e) slots in
+  let swept = Hashtbl.create 8 in
+  if requests <> [] then begin
+    let result = Coalesce.sweep be.be_board be.be_site_map requests in
+    t.stats.Stats.sweeps <- t.stats.Stats.sweeps + 1;
+    t.stats.Stats.coalesced_reads <-
+      t.stats.Stats.coalesced_reads + List.length requests;
+    t.stats.Stats.frames_read <-
+      t.stats.Stats.frames_read + result.Coalesce.sw_frames_read;
+    t.stats.Stats.frames_requested <-
+      t.stats.Stats.frames_requested + result.Coalesce.sw_frames_requested;
+    t.stats.Stats.cable_seconds <-
+      t.stats.Stats.cable_seconds +. result.Coalesce.sw_seconds;
+    t.stats.Stats.serial_cable_seconds <-
+      t.stats.Stats.serial_cable_seconds +. result.Coalesce.sw_serial_seconds;
+    List.iter
+      (fun (session, seq, values) ->
+        Hashtbl.replace swept (session, seq) values)
+      result.Coalesce.sw_values
+  end;
+  List.fold_left
+    (fun acc ((p : Scheduler.pending), slot) ->
+      match slot with
+      | Either.Left payload -> respond t acc p payload
+      | Either.Right _ ->
+        let values =
+          Hashtbl.find swept (p.Scheduler.p_session, p.Scheduler.p_seq)
+        in
+        respond t acc p (Protocol.Values values))
+    acc slots
+
+(* Fan a latched stop out to every subscriber: one status readback by the
+   hub replaces one poll per client. *)
+let poll_events t be =
+  match be.be_subscribers with
+  | [] -> ()
+  | subs -> (
+    let live =
+      List.filter_map
+        (fun id ->
+          match Hashtbl.find_opt t.sessions id with
+          | Some s when Session.is_active s && s.Session.host <> None ->
+            Some (id, Option.get s.Session.host)
+          | _ -> None)
+        subs
+    in
+    match live with
+    | [] -> ()
+    | (_, host) :: _ ->
+      t.stats.Stats.status_polls <- t.stats.Stats.status_polls + 1;
+      if Host.is_stopped host then begin
+        let cause = Host.stop_cause host in
+        let flags =
+          List.filter_map
+            (fun (b, name) -> if b then Some name else None)
+            [
+              (cause.Host.value_bp, "value");
+              (cause.Host.cycle_bp, "cycle");
+              (cause.Host.assertion_bp, "assertion");
+              (cause.Host.watch_bp, "watch");
+            ]
+        in
+        let event =
+          Protocol.Stopped
+            {
+              at_cycle = Host.mut_cycles host;
+              flags;
+              fired = Host.fired_assertions host;
+            }
+        in
+        let seq = t.ev_seq in
+        t.ev_seq <- seq + 1;
+        List.iter
+          (fun (id, _) ->
+            Session.deliver (Hashtbl.find t.sessions id) ~seq event)
+          live;
+        t.stats.Stats.events_published <- t.stats.Stats.events_published + 1;
+        t.stats.Stats.events_delivered <-
+          t.stats.Stats.events_delivered + List.length live;
+        (* every subscriber beyond the poll that detected the stop would
+           have burned its own status readback *)
+        t.stats.Stats.polls_avoided <-
+          t.stats.Stats.polls_avoided + (List.length live - 1)
+      end)
+
+(* Reap sessions idle past the budget: fail their queued work, leave a
+   Session_closed notice in the mailbox, free their board slot. *)
+let reap_timeouts t acc =
+  Hashtbl.fold
+    (fun _ (s : Session.t) acc ->
+      if
+        Session.is_active s
+        && Session.idle_for s ~now:t.now > t.config.session_timeout_ticks
+      then begin
+        let be = Hashtbl.find t.boards s.Session.board_id in
+        let dropped = Scheduler.drop_session be.be_queue s.Session.id in
+        let acc =
+          List.fold_left
+            (fun acc p -> respond t acc p (Protocol.Failed "session timed out"))
+            acc dropped
+        in
+        unsubscribe_from be s.Session.id;
+        let seq = t.ev_seq in
+        t.ev_seq <- seq + 1;
+        Session.deliver s ~seq
+          (Protocol.Session_closed
+             (Printf.sprintf "idle for %d ticks" (Session.idle_for s ~now:t.now)));
+        Session.close s Session.Timed_out;
+        t.stats.Stats.timeouts <- t.stats.Stats.timeouts + 1;
+        acc
+      end
+      else acc)
+    t.sessions acc
+
+(** Advance the hub one tick: per board, grant and run this tick's
+    schedule (control ops, then the coalesced reads, then one exclusive
+    mutator + event fan-out), then reap idle sessions.  Returns the
+    responses produced, in grant order. *)
+let tick t =
+  t.now <- t.now + 1;
+  t.stats.Stats.ticks <- t.stats.Stats.ticks + 1;
+  let acc =
+    List.fold_left
+      (fun acc bid ->
+        let be = Hashtbl.find t.boards bid in
+        let grant = Scheduler.schedule be.be_queue in
+        t.stats.Stats.lock_conflicts <-
+          t.stats.Stats.lock_conflicts + grant.Scheduler.g_conflicts;
+        let acc =
+          List.fold_left (fun acc p -> run_control t be acc p) acc
+            grant.Scheduler.g_control
+        in
+        let acc = run_reads t be acc grant.Scheduler.g_reads in
+        match grant.Scheduler.g_mutate with
+        | None -> acc
+        | Some p ->
+          let s = Hashtbl.find t.sessions p.Scheduler.p_session in
+          let acc =
+            match (s.Session.host, p.Scheduler.p_request) with
+            | None, _ -> respond t acc p (Protocol.Failed "not attached")
+            | Some host, Protocol.Command cmd ->
+              respond t acc p (exec_command host be.be_board cmd)
+            | Some _, _ -> respond t acc p (Protocol.Failed "not a mutate op")
+          in
+          poll_events t be;
+          acc)
+      [] (board_ids t)
+  in
+  let acc = reap_timeouts t acc in
+  List.rev acc
+
+(** Submit one request and tick until its response arrives (convenience
+    for single-threaded drivers; responses to other sessions produced by
+    the intervening ticks are discarded). *)
+let call ?(max_ticks = 100) t (fr : Protocol.request Protocol.frame) =
+  let fail msg =
+    {
+      Protocol.fr_session = fr.Protocol.fr_session;
+      fr_seq = fr.Protocol.fr_seq;
+      fr_payload = Protocol.Failed msg;
+    }
+  in
+  match submit t fr with
+  | Error msg -> fail msg
+  | Ok () ->
+    let rec loop n =
+      if n <= 0 then fail "no response (hub starved?)"
+      else
+        match
+          List.find_opt
+            (fun (r : Protocol.response Protocol.frame) ->
+              r.Protocol.fr_session = fr.Protocol.fr_session
+              && r.Protocol.fr_seq = fr.Protocol.fr_seq)
+            (tick t)
+        with
+        | Some r -> r
+        | None -> loop (n - 1)
+    in
+    loop max_ticks

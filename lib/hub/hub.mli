@@ -1,0 +1,64 @@
+(** The multi-session debug server: N clients multiplexed onto a pool of
+    leased boards, advanced in deterministic ticks.
+
+    Per tick, per board: session-lifecycle ops run first, then every
+    queued read shares the board — register reads merged into one
+    coalesced sweep — then exactly one mutating command holds it
+    exclusively.  After a mutator, one status readback serves all
+    subscribers: a latched stop fans out as a {!Protocol.Stopped} event.
+    Idle sessions are reaped with a [Session_closed] notice. *)
+
+module Board = Zoomie_bitstream.Board
+module Controller = Zoomie_debug.Controller
+
+type config = {
+  max_sessions_per_board : int;  (** admission: concurrent sessions *)
+  max_queue : int;  (** admission: queued requests per board *)
+  session_timeout_ticks : int;  (** idle ticks before a session is reaped *)
+}
+
+val default_config : config
+
+(** The name the hub writes on {!Board.acquire_lease}. *)
+val lease_owner : string
+
+type t
+
+val create : ?config:config -> unit -> t
+
+val stats : t -> Stats.t
+
+(** Put a board under hub ownership; returns its board id.  Fails when
+    another driver holds its lease or it has no configured design.  The
+    per-design site map is built once here and shared by every session
+    that attaches. *)
+val add_board : t -> Board.t -> info:Controller.info -> (int, string) result
+
+(** Admit a new session bound to board [board]; returns the session id.
+    [Error] when the board is unknown or at its session limit. *)
+val open_session : t -> board:int -> (int, string) result
+
+val session_status : t -> int -> Session.status option
+
+(** Queue one request.  [Error] when the session is unknown or gone, or
+    when the board's backlog refuses admission (the request is counted
+    as rejected, not queued). *)
+val submit : t -> Protocol.request Protocol.frame -> (unit, string) result
+
+(** Advance the hub one tick; returns the responses produced, in grant
+    order. *)
+val tick : t -> Protocol.response Protocol.frame list
+
+(** Pending events for one session, in delivery order (empties its
+    mailbox).  Works on closed sessions — the [Session_closed] notice
+    stays collectable. *)
+val events : t -> session:int -> Protocol.event Protocol.frame list
+
+(** Submit one request and tick until its response arrives — convenience
+    for single-threaded drivers.  Responses addressed to other sessions
+    produced by the intervening ticks are discarded. *)
+val call :
+  ?max_ticks:int ->
+  t ->
+  Protocol.request Protocol.frame ->
+  Protocol.response Protocol.frame

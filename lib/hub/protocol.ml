@@ -1,0 +1,189 @@
+(** The hub wire protocol: versioned, line-oriented framing around the
+    {!Zoomie_debug.Repl} command set plus session lifecycle.
+
+    Every frame is one line: [zh<version> <session> <seq> <verb> ...].
+    Commands travel as their REPL line syntax ({!Repl.command_to_string} /
+    {!Repl.parse_line} are exact inverses), register values as
+    [name=<binary>] pairs, and free text with backslash escaping so
+    multi-line transcripts survive the line framing.  A parser seeing a
+    newer version tag refuses the frame instead of guessing. *)
+
+open Zoomie_rtl
+module Repl = Zoomie_debug.Repl
+
+let version = 1
+
+type request =
+  | Attach of string  (** attach to the wrapped MUT at this path *)
+  | Detach
+  | Subscribe  (** join the board's stop-event fan-out *)
+  | Unsubscribe
+  | Read_registers of string list
+      (** original (unprefixed) MUT register names — the coalescable read *)
+  | Command of Repl.command
+
+type response =
+  | Done of string  (** command transcript text *)
+  | Values of (string * Bits.t) list  (** demultiplexed register values *)
+  | Failed of string
+
+type event =
+  | Stopped of { at_cycle : int; flags : string list; fired : string list }
+      (** a breakpoint latched: stop-cause flags + fired assertion names *)
+  | Session_closed of string  (** the hub dropped this session (reason) *)
+
+type 'a frame = { fr_session : int; fr_seq : int; fr_payload : 'a }
+
+(* --- text escaping (free text is the trailing field of its line) ----- *)
+
+let escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let unescape s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (if s.[!i] = '\\' && !i + 1 < n then begin
+       (match s.[!i + 1] with
+       | 'n' -> Buffer.add_char b '\n'
+       | c -> Buffer.add_char b c);
+       i := !i + 1
+     end
+     else Buffer.add_char b s.[!i]);
+    incr i
+  done;
+  Buffer.contents b
+
+(* Comma-joined lists use "-" for empty so the field is never missing. *)
+let join_list = function [] -> "-" | l -> String.concat "," l
+
+let split_list = function "-" -> [] | s -> String.split_on_char ',' s
+
+(* --- emitters -------------------------------------------------------- *)
+
+let header fr = Printf.sprintf "zh%d %d %d" version fr.fr_session fr.fr_seq
+
+let request_to_wire fr =
+  let body =
+    match fr.fr_payload with
+    | Attach path -> "attach " ^ path
+    | Detach -> "detach"
+    | Subscribe -> "subscribe"
+    | Unsubscribe -> "unsubscribe"
+    | Read_registers names -> "read " ^ join_list names
+    | Command cmd -> "cmd " ^ escape (Repl.command_to_string cmd)
+  in
+  header fr ^ " " ^ body
+
+let response_to_wire fr =
+  let body =
+    match fr.fr_payload with
+    | Done text -> "done " ^ escape text
+    | Failed text -> "failed " ^ escape text
+    | Values vs ->
+      "values "
+      ^ join_list
+          (List.map
+             (fun (n, v) -> Printf.sprintf "%s=%s" n (Bits.to_binary_string v))
+             vs)
+  in
+  header fr ^ " " ^ body
+
+let event_to_wire fr =
+  let body =
+    match fr.fr_payload with
+    | Stopped { at_cycle; flags; fired } ->
+      Printf.sprintf "evt-stopped %d %s %s" at_cycle (join_list flags)
+        (join_list fired)
+    | Session_closed reason -> "evt-closed " ^ escape reason
+  in
+  header fr ^ " " ^ body
+
+(* --- parsers --------------------------------------------------------- *)
+
+(* Split [line] into (session, seq, verb, rest-of-line); the rest keeps
+   its spaces so trailing free-text fields survive. *)
+let parse_header line =
+  let fail msg = Error msg in
+  match String.index_opt line ' ' with
+  | None -> fail "truncated frame"
+  | Some _ -> (
+    let words = String.split_on_char ' ' line in
+    match words with
+    | tag :: session :: seq :: verb :: rest ->
+      if tag <> Printf.sprintf "zh%d" version then
+        fail (Printf.sprintf "unsupported protocol version %S" tag)
+      else (
+        match (int_of_string_opt session, int_of_string_opt seq) with
+        | Some session, Some seq -> Ok (session, seq, verb, String.concat " " rest)
+        | _ -> fail "bad session/seq")
+    | _ -> fail "truncated frame")
+
+let frame session seq payload = { fr_session = session; fr_seq = seq; fr_payload = payload }
+
+let request_of_wire line =
+  match parse_header line with
+  | Error _ as e -> e
+  | Ok (session, seq, verb, rest) -> (
+    let ok p = Ok (frame session seq p) in
+    match verb with
+    | "attach" when rest <> "" -> ok (Attach rest)
+    | "detach" -> ok Detach
+    | "subscribe" -> ok Subscribe
+    | "unsubscribe" -> ok Unsubscribe
+    | "read" when rest <> "" -> ok (Read_registers (split_list rest))
+    | "cmd" -> (
+      match Repl.parse_line (unescape rest) with
+      | Ok cmd -> ok (Command cmd)
+      | Error msg -> Error ("bad command: " ^ msg))
+    | v -> Error (Printf.sprintf "unknown request verb %S" v))
+
+let response_of_wire line =
+  match parse_header line with
+  | Error _ as e -> e
+  | Ok (session, seq, verb, rest) -> (
+    let ok p = Ok (frame session seq p) in
+    match verb with
+    | "done" -> ok (Done (unescape rest))
+    | "failed" -> ok (Failed (unescape rest))
+    | "values" -> (
+      try
+        ok
+          (Values
+             (List.map
+                (fun pair ->
+                  match String.index_opt pair '=' with
+                  | Some i ->
+                    ( String.sub pair 0 i,
+                      Bits.of_binary_string
+                        (String.sub pair (i + 1) (String.length pair - i - 1)) )
+                  | None -> failwith pair)
+                (split_list rest)))
+      with _ -> Error "bad values payload")
+    | v -> Error (Printf.sprintf "unknown response verb %S" v))
+
+let event_of_wire line =
+  match parse_header line with
+  | Error _ as e -> e
+  | Ok (session, seq, verb, rest) -> (
+    let ok p = Ok (frame session seq p) in
+    match verb with
+    | "evt-stopped" -> (
+      match String.split_on_char ' ' rest with
+      | [ cycle; flags; fired ] -> (
+        match int_of_string_opt cycle with
+        | Some at_cycle ->
+          ok (Stopped { at_cycle; flags = split_list flags; fired = split_list fired })
+        | None -> Error "bad stop cycle")
+      | _ -> Error "bad stopped event")
+    | "evt-closed" -> ok (Session_closed (unescape rest))
+    | v -> Error (Printf.sprintf "unknown event verb %S" v))

@@ -1,0 +1,50 @@
+(** The hub wire protocol: versioned request/response/event framing
+    around the {!Zoomie_debug.Repl} command set plus session lifecycle.
+
+    One frame per line: [zh<version> <session> <seq> <verb> ...].
+    Commands travel as their REPL line syntax, register values as
+    [name=<binary>] pairs, free text backslash-escaped so multi-line
+    transcripts survive the framing.  Parsers refuse frames tagged with
+    an unknown version instead of guessing. *)
+
+open Zoomie_rtl
+module Repl = Zoomie_debug.Repl
+
+(** Protocol version emitted and accepted by this build. *)
+val version : int
+
+type request =
+  | Attach of string  (** attach to the wrapped MUT at this path *)
+  | Detach
+  | Subscribe  (** join the board's stop-event fan-out *)
+  | Unsubscribe
+  | Read_registers of string list
+      (** original (unprefixed) MUT register names — the coalescable read *)
+  | Command of Repl.command  (** any REPL command, arbitrated by class *)
+
+type response =
+  | Done of string  (** command transcript text *)
+  | Values of (string * Bits.t) list  (** demultiplexed register values *)
+  | Failed of string
+
+type event =
+  | Stopped of { at_cycle : int; flags : string list; fired : string list }
+      (** a breakpoint latched: stop-cause flags + fired assertion names *)
+  | Session_closed of string  (** the hub dropped this session (reason) *)
+
+(** Session-addressed, sequence-numbered envelope. *)
+type 'a frame = { fr_session : int; fr_seq : int; fr_payload : 'a }
+
+val frame : int -> int -> 'a -> 'a frame
+
+val request_to_wire : request frame -> string
+
+val request_of_wire : string -> (request frame, string) result
+
+val response_to_wire : response frame -> string
+
+val response_of_wire : string -> (response frame, string) result
+
+val event_to_wire : event frame -> string
+
+val event_of_wire : string -> (event frame, string) result

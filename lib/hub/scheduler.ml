@@ -1,0 +1,103 @@
+(** Per-board arbitration: a bounded FIFO of pending requests and the
+    grant policy one hub tick applies to it.
+
+    The lock discipline mirrors reader/writer semantics on the cable:
+    control ops (no board traffic) and read-class ops (readback only)
+    share the board freely within a tick — reads are even merged into
+    one sweep downstream — while mutating ops (run control, injection,
+    reprogramming) need the board exclusively, so exactly one is granted
+    per tick and the rest wait their turn in FIFO order.  A mutator made
+    to wait behind another session's grant is a lock conflict, the
+    contention signal the stats report. *)
+
+module Repl = Zoomie_debug.Repl
+
+type op_class = Control_op | Read_op | Mutate_op
+
+(** Which lock a request needs.  Control ops touch only hub state;
+    read-class commands issue readback sweeps; everything that changes
+    board state — run control, breakpoint arming (injection), state
+    injection, snapshot restore — is a mutator. *)
+let classify (req : Protocol.request) =
+  match req with
+  | Protocol.Attach _ | Protocol.Detach | Protocol.Subscribe
+  | Protocol.Unsubscribe ->
+    Control_op
+  | Protocol.Read_registers _ -> Read_op
+  | Protocol.Command cmd -> (
+    match cmd with
+    | Repl.Print _ | Repl.Mem _ | Repl.State | Repl.Cause | Repl.Cycles
+    | Repl.Status | Repl.Save _ | Repl.Nop ->
+      Read_op
+    | Repl.Run _ | Repl.Continue _ | Repl.Pause | Repl.Resume | Repl.Step _
+    | Repl.Break_all _ | Repl.Break_any _ | Repl.Watch _ | Repl.Unwatch _
+    | Repl.Clear | Repl.Inject _ | Repl.Trace _ | Repl.Load _ ->
+      Mutate_op)
+
+type pending = {
+  p_session : int;
+  p_seq : int;
+  p_request : Protocol.request;
+}
+
+type t = {
+  max_queue : int;
+  mutable queue : pending list;  (** newest first; reversed on grant *)
+}
+
+let create ~max_queue = { max_queue; queue = [] }
+
+let length t = List.length t.queue
+
+(** Admission control: a saturated board refuses new work outright
+    rather than growing an unbounded backlog. *)
+let submit t p =
+  if List.length t.queue >= t.max_queue then
+    Error (Printf.sprintf "board saturated (%d requests queued)" t.max_queue)
+  else begin
+    t.queue <- p :: t.queue;
+    Ok ()
+  end
+
+(** What one tick grants. *)
+type grant = {
+  g_control : pending list;
+  g_reads : pending list;  (** coalescable: share the board within a tick *)
+  g_mutate : pending option;  (** at most one exclusive-lock holder *)
+  g_conflicts : int;
+      (** mutators deferred behind another session's exclusive grant *)
+}
+
+(** Drain this tick's grant from the queue, FIFO: every control op, every
+    read, and the first mutator; later mutators stay queued.  Deferred
+    mutators from sessions other than the grant holder count as lock
+    conflicts. *)
+let schedule t =
+  let fifo = List.rev t.queue in
+  let control = ref [] and reads = ref [] and mutate = ref None in
+  let kept = ref [] and conflicts = ref 0 in
+  List.iter
+    (fun p ->
+      match classify p.p_request with
+      | Control_op -> control := p :: !control
+      | Read_op -> reads := p :: !reads
+      | Mutate_op -> (
+        match !mutate with
+        | None -> mutate := Some p
+        | Some holder ->
+          if holder.p_session <> p.p_session then incr conflicts;
+          kept := p :: !kept))
+    fifo;
+  t.queue <- !kept;  (* already newest-first *)
+  {
+    g_control = List.rev !control;
+    g_reads = List.rev !reads;
+    g_mutate = !mutate;
+    g_conflicts = !conflicts;
+  }
+
+(** Remove (and return, FIFO) everything a vanished session had queued. *)
+let drop_session t session =
+  let mine, others = List.partition (fun p -> p.p_session = session) t.queue in
+  t.queue <- others;
+  List.rev mine

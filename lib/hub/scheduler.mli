@@ -1,0 +1,44 @@
+(** Per-board arbitration: a bounded FIFO of pending requests and the
+    grant policy one hub tick applies to it — reader/writer semantics on
+    the cable.  Control and read-class ops share the board within a
+    tick; exactly one mutator gets it exclusively, the rest wait in
+    FIFO order.  A mutator deferred behind another session's grant is a
+    lock conflict. *)
+
+type op_class = Control_op | Read_op | Mutate_op
+
+(** Which lock a request needs.  Control ops touch only hub state;
+    read-class commands issue readback sweeps; everything that changes
+    board state is a mutator. *)
+val classify : Protocol.request -> op_class
+
+type pending = {
+  p_session : int;
+  p_seq : int;
+  p_request : Protocol.request;
+}
+
+type t
+
+val create : max_queue:int -> t
+
+(** Requests currently queued. *)
+val length : t -> int
+
+(** Admission control: [Error] when the board's backlog is full. *)
+val submit : t -> pending -> (unit, string) result
+
+(** What one tick grants. *)
+type grant = {
+  g_control : pending list;
+  g_reads : pending list;  (** coalescable: share the board within a tick *)
+  g_mutate : pending option;  (** at most one exclusive-lock holder *)
+  g_conflicts : int;
+      (** mutators deferred behind another session's exclusive grant *)
+}
+
+(** Drain this tick's grant from the queue (FIFO). *)
+val schedule : t -> grant
+
+(** Remove (and return, FIFO) everything a vanished session had queued. *)
+val drop_session : t -> int -> pending list

@@ -1,0 +1,55 @@
+(** One hub client's slot: its board binding, attached debug session,
+    subscription flag, idle clock, and pending-event mailbox.
+
+    Sessions never touch the cable themselves — the scheduler decides
+    when their requests run.  Time here is hub ticks, not seconds: the
+    hub owns the clock so timeout policy is deterministic and testable. *)
+
+module Host = Zoomie_debug.Host
+
+type status = Active | Timed_out | Closed
+
+type t = {
+  id : int;
+  board_id : int;  (** index of the board this session is bound to *)
+  mutable host : Host.t option;  (** present once attached *)
+  mutable subscribed : bool;
+  mutable last_active : int;  (** hub tick of the last submitted request *)
+  mutable status : status;
+  mutable mailbox : Protocol.event Protocol.frame list;  (** newest first *)
+}
+
+let create ~id ~board_id ~now =
+  {
+    id;
+    board_id;
+    host = None;
+    subscribed = false;
+    last_active = now;
+    status = Active;
+    mailbox = [];
+  }
+
+let is_active t = t.status = Active
+
+let touch t ~now = t.last_active <- now
+
+let idle_for t ~now = now - t.last_active
+
+(** Queue one event; the client collects it on its next poll. *)
+let deliver t ~seq event =
+  t.mailbox <-
+    { Protocol.fr_session = t.id; fr_seq = seq; fr_payload = event } :: t.mailbox
+
+(** Pending events in delivery order; empties the mailbox. *)
+let drain_mailbox t =
+  let events = List.rev t.mailbox in
+  t.mailbox <- [];
+  events
+
+(** Mark the session gone (timed out or closed); drops the attachment and
+    subscription so it can never be granted board traffic again. *)
+let close t status =
+  t.status <- status;
+  t.host <- None;
+  t.subscribed <- false

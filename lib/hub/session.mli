@@ -1,0 +1,35 @@
+(** One hub client's slot: board binding, attached debug session,
+    subscription flag, idle clock, and pending-event mailbox.  Time is
+    hub ticks, not wall seconds — the hub owns the clock so timeout
+    policy is deterministic and testable. *)
+
+module Host = Zoomie_debug.Host
+
+type status = Active | Timed_out | Closed
+
+type t = {
+  id : int;
+  board_id : int;  (** index of the board this session is bound to *)
+  mutable host : Host.t option;  (** present once attached *)
+  mutable subscribed : bool;
+  mutable last_active : int;  (** hub tick of the last submitted request *)
+  mutable status : status;
+  mutable mailbox : Protocol.event Protocol.frame list;  (** newest first *)
+}
+
+val create : id:int -> board_id:int -> now:int -> t
+
+val is_active : t -> bool
+
+val touch : t -> now:int -> unit
+
+val idle_for : t -> now:int -> int
+
+(** Queue one event; the client collects it on its next poll. *)
+val deliver : t -> seq:int -> Protocol.event -> unit
+
+(** Pending events in delivery order; empties the mailbox. *)
+val drain_mailbox : t -> Protocol.event Protocol.frame list
+
+(** Mark the session gone; drops the attachment and subscription. *)
+val close : t -> status -> unit

@@ -1,0 +1,69 @@
+(** Hub service counters: arbitration, coalescing, and event-bus
+    effectiveness, all in modeled units so benches and tests can assert
+    on them deterministically. *)
+
+type t = {
+  mutable ticks : int;
+  mutable requests : int;  (** admitted *)
+  mutable responses : int;
+  mutable rejected : int;  (** refused by admission control *)
+  mutable lock_conflicts : int;  (** mutators deferred behind another session *)
+  mutable timeouts : int;  (** sessions reaped idle *)
+  mutable sweeps : int;  (** merged readback sweeps executed *)
+  mutable coalesced_reads : int;  (** read requests served by those sweeps *)
+  mutable frames_read : int;  (** frames actually swept (union) *)
+  mutable frames_requested : int;  (** frames the plans asked for (sum) *)
+  mutable cable_seconds : float;  (** modeled time of the merged sweeps *)
+  mutable serial_cable_seconds : float;
+      (** modeled time had every read swept alone *)
+  mutable events_published : int;  (** stop events detected *)
+  mutable events_delivered : int;  (** per-subscriber deliveries *)
+  mutable status_polls : int;  (** status readbacks the hub issued *)
+  mutable polls_avoided : int;
+      (** subscriber polls replaced by fan-out (deliveries beyond the
+          one poll that detected the stop) *)
+}
+
+let create () =
+  {
+    ticks = 0;
+    requests = 0;
+    responses = 0;
+    rejected = 0;
+    lock_conflicts = 0;
+    timeouts = 0;
+    sweeps = 0;
+    coalesced_reads = 0;
+    frames_read = 0;
+    frames_requested = 0;
+    cable_seconds = 0.0;
+    serial_cable_seconds = 0.0;
+    events_published = 0;
+    events_delivered = 0;
+    status_polls = 0;
+    polls_avoided = 0;
+  }
+
+(** Modeled cable time the coalescer saved versus serialized sweeps. *)
+let saved_seconds t = t.serial_cable_seconds -. t.cable_seconds
+
+let summary t =
+  String.concat "\n"
+    [
+      Printf.sprintf "ticks=%d requests=%d responses=%d rejected=%d" t.ticks
+        t.requests t.responses t.rejected;
+      Printf.sprintf "lock_conflicts=%d timeouts=%d" t.lock_conflicts
+        t.timeouts;
+      Printf.sprintf
+        "sweeps=%d coalesced_reads=%d frames_read=%d frames_requested=%d"
+        t.sweeps t.coalesced_reads t.frames_read t.frames_requested;
+      Printf.sprintf
+        "cable_seconds=%.4f serial_cable_seconds=%.4f saved_seconds=%.4f"
+        t.cable_seconds t.serial_cable_seconds (saved_seconds t);
+      Printf.sprintf
+        "events_published=%d events_delivered=%d status_polls=%d \
+         polls_avoided=%d"
+        t.events_published t.events_delivered t.status_polls t.polls_avoided;
+    ]
+
+let pp fmt t = Format.pp_print_string fmt (summary t)

@@ -1,0 +1,33 @@
+(** Hub service counters: arbitration, coalescing, and event-bus
+    effectiveness, in modeled units so benches and tests can assert on
+    them deterministically. *)
+
+type t = {
+  mutable ticks : int;
+  mutable requests : int;  (** admitted *)
+  mutable responses : int;
+  mutable rejected : int;  (** refused by admission control *)
+  mutable lock_conflicts : int;  (** mutators deferred behind another session *)
+  mutable timeouts : int;  (** sessions reaped idle *)
+  mutable sweeps : int;  (** merged readback sweeps executed *)
+  mutable coalesced_reads : int;  (** read requests served by those sweeps *)
+  mutable frames_read : int;  (** frames actually swept (union) *)
+  mutable frames_requested : int;  (** frames the plans asked for (sum) *)
+  mutable cable_seconds : float;  (** modeled time of the merged sweeps *)
+  mutable serial_cable_seconds : float;
+      (** modeled time had every read swept alone *)
+  mutable events_published : int;  (** stop events detected *)
+  mutable events_delivered : int;  (** per-subscriber deliveries *)
+  mutable status_polls : int;  (** status readbacks the hub issued *)
+  mutable polls_avoided : int;
+      (** subscriber polls replaced by fan-out *)
+}
+
+val create : unit -> t
+
+(** Modeled cable time the coalescer saved versus serialized sweeps. *)
+val saved_seconds : t -> float
+
+val summary : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -13,6 +13,7 @@ let () =
       ("pause", Test_pause.suite);
       ("debug", Test_debug.suite);
       ("readback", Test_readback.suite);
+      ("hub", Test_hub.suite);
       ("vti", Test_vti.suite);
       ("workloads", Test_workloads.suite);
       ("pnr", Test_pnr.suite);
