@@ -10,16 +10,21 @@ build:
 test: build
 	dune runtest
 
-# The smoke benches double as end-to-end checks: `readback smoke` fails
-# hard if the indexed engine and the association-list baseline disagree
-# on a register; `hub smoke` fails hard if the coalesced multi-session
-# sweep ever diverges bit-for-bit from the serialized single-session path.
+# The smoke benches double as end-to-end checks: `netsim smoke` fails
+# hard if the compiled event-driven engine diverges bit-for-bit from
+# the interpreter on a small manycore (FFs, mems, outputs, injection,
+# forced nets); `readback smoke` fails hard if the indexed engine and
+# the association-list baseline disagree on a register; `hub smoke`
+# fails hard if the coalesced multi-session sweep ever diverges
+# bit-for-bit from the serialized single-session path.
 bench-smoke:
+	dune exec bench/main.exe -- netsim smoke
 	dune exec bench/main.exe -- readback smoke
 	dune exec bench/main.exe -- hub smoke
 
 check: build
 	dune runtest
+	dune exec bench/main.exe -- netsim smoke
 	dune exec bench/main.exe -- readback smoke
 	dune exec bench/main.exe -- hub smoke
 

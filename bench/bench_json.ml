@@ -1,0 +1,48 @@
+(* Machine-readable bench results: each bench case writes
+   BENCH_<case>.json into the working directory (the repo root under
+   `dune exec`), so the perf trajectory is tracked across PRs instead of
+   living only in scrollback. *)
+
+type field =
+  | Str of string
+  | Num of float
+  | Int of int
+  | Bool of bool
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let field_to_string = function
+  | Str s -> Printf.sprintf "\"%s\"" (escape s)
+  | Num f ->
+    if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
+  | Int i -> string_of_int i
+  | Bool b -> if b then "true" else "false"
+
+(** [write ~case fields] writes [BENCH_<case>.json] and returns the
+    path written. *)
+let write ~case fields =
+  let file = Printf.sprintf "BENCH_%s.json" case in
+  let oc = open_out file in
+  output_string oc "{\n";
+  let n = List.length fields in
+  List.iteri
+    (fun i (k, v) ->
+      output_string oc
+        (Printf.sprintf "  \"%s\": %s%s\n" (escape k) (field_to_string v)
+           (if i < n - 1 then "," else "")))
+    fields;
+  output_string oc "}\n";
+  close_out oc;
+  file

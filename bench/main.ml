@@ -5,7 +5,9 @@
      dune exec bench/main.exe            # everything
      dune exec bench/main.exe figure7    # one experiment
    Experiments: table1 table2 figure7 tradeoff table3 figure8 table4
-                case1 case2 case3 figure3 micro readback hub
+                case1 case2 case3 figure3 micro netsim readback hub
+   The netsim/readback/hub cases also run in CI as `<case> smoke` and
+   each writes a machine-readable BENCH_<case>.json.
 
    Absolute times are modeled (our substrate is a simulator, not the
    authors' testbed); the shapes — who wins, by what factor, where the
@@ -516,6 +518,146 @@ let ablation () =
 "
 
 (* ------------------------------------------------------------------ *)
+(* Netlist execution: compiled event-driven engine vs interpreter       *)
+(* ------------------------------------------------------------------ *)
+
+(* The execution substrate under every other measurement: how fast the
+   modeled fabric turns a cycle.  Synthesizes the manycore SoC netlist
+   (hierarchical flow — synthesis itself is not what's measured), checks
+   the compiled engine bit-for-bit against the interpreter (FF state,
+   memory contents, outputs; including a mid-run register injection and
+   a forced net), then times cycles/sec for both engines in two
+   regimes: full activity (cores running) and quiescent (cores never
+   started — the paused/single-stepped debug regime, where the
+   event-driven kernel's per-edge cost collapses to the few nets that
+   still toggle). *)
+let netsim_bench ~smoke () =
+  header
+    (Printf.sprintf "Netsim: compiled event-driven engine vs interpreter (%s manycore)"
+       (if smoke then "smoke-scale" else "n=5400"));
+  let config =
+    if smoke then
+      { Manycore.default_config with Manycore.clusters = 2; cores_per_cluster = 3 }
+    else Manycore.default_config
+  in
+  pf "(synthesizing the %d-core SoC netlist...)\n%!" (Manycore.total_cores config);
+  let design, _ = Manycore.design ~config () in
+  let hier = Synth.Hier.run design ~units:(Manycore.core_units ~config) in
+  let nl = hier.Synth.Hier.netlist in
+  let lut, lutram, ff, _ = Synth.Netlist.resources nl in
+  pf "netlist: %d LUTs, %d FFs, %d nets\n%!" (lut + lutram) ff
+    nl.Synth.Netlist.num_nets;
+  let base = Synth.Netsim_baseline.create nl in
+  let comp = Synth.Netsim.create nl in
+  (* The two engines must agree exactly before we time anything. *)
+  let check_equal tag =
+    for i = 0 to Array.length nl.Synth.Netlist.ffs - 1 do
+      if Synth.Netsim.ff_value comp i <> Synth.Netsim_baseline.ff_value base i
+      then
+        failwith (Printf.sprintf "netsim bench: FF %d diverges (%s)" i tag)
+    done;
+    Array.iteri
+      (fun mi (m : Synth.Netlist.mem) ->
+        for addr = 0 to m.Synth.Netlist.mem_depth - 1 do
+          for bit = 0 to m.Synth.Netlist.mem_width - 1 do
+            if
+              Synth.Netsim.mem_bit comp mi ~addr ~bit
+              <> Synth.Netsim_baseline.mem_bit base mi ~addr ~bit
+            then
+              failwith
+                (Printf.sprintf "netsim bench: mem %d[%d].%d diverges (%s)" mi
+                   addr bit tag)
+          done
+        done)
+      nl.Synth.Netlist.mems;
+    Array.iter
+      (fun (io : Synth.Netlist.io) ->
+        if
+          Synth.Netsim.get comp io.Synth.Netlist.io_net
+          <> Synth.Netsim_baseline.get base io.Synth.Netlist.io_net
+        then
+          failwith
+            (Printf.sprintf "netsim bench: output %s[%d] diverges (%s)"
+               io.Synth.Netlist.io_name io.Synth.Netlist.io_bit tag))
+      nl.Synth.Netlist.outputs
+  in
+  let verify_cycles = if smoke then 200 else 24 in
+  let one = Rtl.Bits.of_int ~width:1 1 in
+  Synth.Netsim.poke_input comp "start" one;
+  Synth.Netsim_baseline.poke_input base "start" one;
+  Synth.Netsim.step ~n:verify_cycles comp "clk";
+  Synth.Netsim_baseline.step ~n:verify_cycles base "clk";
+  check_equal (Printf.sprintf "after %d cycles" verify_cycles);
+  (* Mid-run state injection: flip a register's low bit in both engines. *)
+  let reg_name, _ = nl.Synth.Netlist.ff_names.(0) in
+  let cur = Synth.Netsim_baseline.read_register base reg_name in
+  let flipped = Rtl.Bits.set cur 0 (not (Rtl.Bits.get cur 0)) in
+  Synth.Netsim.write_register comp reg_name flipped;
+  Synth.Netsim_baseline.write_register base reg_name flipped;
+  Synth.Netsim.step ~n:4 comp "clk";
+  Synth.Netsim_baseline.step ~n:4 base "clk";
+  check_equal "after injection";
+  (* Forced net: pin the start pin low over a few cycles, then release. *)
+  (match Synth.Netlist.find_input nl "start" with
+  | { Synth.Netlist.io_net; _ } :: _ ->
+    Synth.Netsim.force comp io_net false;
+    Synth.Netsim_baseline.force base io_net false;
+    Synth.Netsim.step ~n:4 comp "clk";
+    Synth.Netsim_baseline.step ~n:4 base "clk";
+    check_equal "under force";
+    Synth.Netsim.release comp io_net;
+    Synth.Netsim_baseline.release base io_net;
+    Synth.Netsim.step ~n:4 comp "clk";
+    Synth.Netsim_baseline.step ~n:4 base "clk";
+    check_equal "after release"
+  | [] -> ());
+  pf "equivalence: compiled == interpreter over %d cycles (FFs, mems, \
+      outputs; injection + forced net)\n%!"
+    (verify_cycles + 12);
+  (* cycles/sec, adaptive reps aiming for ~1 s per engine. *)
+  let time_cps step_n =
+    let t0 = Unix.gettimeofday () in
+    step_n 1;
+    let once = Unix.gettimeofday () -. t0 in
+    let n = max 1 (min 2_000_000 (int_of_float (1.0 /. max 1e-7 once))) in
+    let t0 = Unix.gettimeofday () in
+    step_n n;
+    float_of_int n /. max 1e-9 (Unix.gettimeofday () -. t0)
+  in
+  let base_cps = time_cps (fun n -> Synth.Netsim_baseline.step ~n base "clk") in
+  let comp_cps = time_cps (fun n -> Synth.Netsim.step ~n comp "clk") in
+  (* Quiescent regime: fresh fabric, cores never started. *)
+  let qbase = Synth.Netsim_baseline.create nl in
+  let qcomp = Synth.Netsim.create nl in
+  let qbase_cps = time_cps (fun n -> Synth.Netsim_baseline.step ~n qbase "clk") in
+  let qcomp_cps = time_cps (fun n -> Synth.Netsim.step ~n qcomp "clk") in
+  pf "\n%-22s %16s %16s %9s\n" "regime" "interpreter" "compiled" "speedup";
+  pf "%-22s %12.0f c/s %12.0f c/s %8.1fx\n" "full activity" base_cps comp_cps
+    (comp_cps /. base_cps);
+  pf "%-22s %12.0f c/s %12.0f c/s %8.1fx\n" "quiescent (not started)" qbase_cps
+    qcomp_cps
+    (qcomp_cps /. qbase_cps);
+  if comp_cps /. base_cps < 10.0 && not smoke then
+    pf "WARNING: full-activity speedup below the 10x acceptance floor\n";
+  let file =
+    Bench_json.write ~case:"netsim"
+      [
+        ("case", Bench_json.Str "netsim");
+        ("smoke", Bench_json.Bool smoke);
+        ("scale_cores", Bench_json.Int (Manycore.total_cores config));
+        ("luts", Bench_json.Int (lut + lutram));
+        ("ffs", Bench_json.Int ff);
+        ("baseline_cycles_per_sec", Bench_json.Num base_cps);
+        ("compiled_cycles_per_sec", Bench_json.Num comp_cps);
+        ("speedup", Bench_json.Num (comp_cps /. base_cps));
+        ("quiescent_baseline_cycles_per_sec", Bench_json.Num qbase_cps);
+        ("quiescent_compiled_cycles_per_sec", Bench_json.Num qcomp_cps);
+        ("quiescent_speedup", Bench_json.Num (qcomp_cps /. qbase_cps));
+      ]
+  in
+  pf "wrote %s\n" file
+
+(* ------------------------------------------------------------------ *)
 (* Register-extraction throughput: indexed engine vs assoc baseline     *)
 (* ------------------------------------------------------------------ *)
 
@@ -609,7 +751,20 @@ let readback_extraction ~smoke () =
   pf "indexed engine      : %10.3f ms/extraction  (%d runs)\n" (t_idx *. 1e3) r_idx;
   pf "speedup             : %10.1fx\n" (t_base /. t_idx);
   if t_base /. t_idx < 10.0 && not smoke then
-    pf "WARNING: speedup below the 10x acceptance floor\n"
+    pf "WARNING: speedup below the 10x acceptance floor\n";
+  let file =
+    Bench_json.write ~case:"readback"
+      [
+        ("case", Bench_json.Str "readback");
+        ("smoke", Bench_json.Bool smoke);
+        ("scale_cores", Bench_json.Int (Manycore.total_cores config));
+        ("ff_sites_selected", Bench_json.Int sites);
+        ("baseline_ms_per_extraction", Bench_json.Num (t_base *. 1e3));
+        ("indexed_ms_per_extraction", Bench_json.Num (t_idx *. 1e3));
+        ("speedup", Bench_json.Num (t_base /. t_idx));
+      ]
+  in
+  pf "wrote %s\n" file
 
 (* ------------------------------------------------------------------ *)
 (* Hub: cross-session readback coalescing, 1 -> 64 clients             *)
@@ -679,6 +834,7 @@ let hub_bench ~smoke () =
   pf "\n%-8s %14s %14s %9s %16s\n" "clients" "serialized" "coalesced" "ratio"
     "frames (sum->1)";
   let ratio16 = ref None in
+  let ratios = ref [] in
   List.iter
     (fun k ->
       let sels = List.init k selection in
@@ -766,6 +922,7 @@ let hub_bench ~smoke () =
         hub_seconds
         (serial_seconds /. hub_seconds)
         stats.Hub.Stats.frames_requested stats.Hub.Stats.frames_read;
+      ratios := (k, serial_seconds /. hub_seconds) :: !ratios;
       if k = 16 then ratio16 := Some (serial_seconds /. hub_seconds))
     ks;
   (match !ratio16 with
@@ -773,7 +930,21 @@ let hub_bench ~smoke () =
     pf "\n16-client coalescing ratio: %.1fx -> %s (acceptance floor: 4x)\n" r
       (if r >= 4.0 then "PASS" else "FAIL")
   | None -> ());
-  pf "(all coalesced results verified bit-for-bit against the serial path)\n"
+  pf "(all coalesced results verified bit-for-bit against the serial path)\n";
+  let file =
+    Bench_json.write ~case:"hub"
+      [
+        ("case", Bench_json.Str "hub");
+        ("smoke", Bench_json.Bool smoke);
+        ("scale_cores", Bench_json.Int (Manycore.total_cores config));
+        ("max_clients", Bench_json.Int (List.fold_left max 0 ks));
+        ( "ratio_max_clients",
+          Bench_json.Num (match !ratios with (_, r) :: _ -> r | [] -> 0.0) );
+        ( "ratio_16_clients",
+          Bench_json.Num (Option.value ~default:0.0 !ratio16) );
+      ]
+  in
+  pf "wrote %s\n" file
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
@@ -883,6 +1054,7 @@ let experiments =
     ("figure3", figure3);
     ("ablation", ablation);
     ("micro", micro);
+    ("netsim", netsim_bench ~smoke:false);
     ("readback", readback_extraction ~smoke:false);
     ("hub", hub_bench ~smoke:false);
   ]
@@ -890,6 +1062,9 @@ let experiments =
 let () =
   match Sys.argv with
   | [| _ |] | [| _; "all" |] -> List.iter (fun (_, f) -> f ()) experiments
+  | [| _; "netsim"; "smoke" |] ->
+    (* CI smoke mode: same engine comparison on a small SoC. *)
+    netsim_bench ~smoke:true ()
   | [| _; "readback"; "smoke" |] ->
     (* CI smoke mode: same measurement on a small SoC, seconds not minutes. *)
     readback_extraction ~smoke:true ()

@@ -181,7 +181,7 @@ let restore_slr t slr =
 (* START: pulse GSR — FFs (within the restriction) take their init value. *)
 let start_slr t slr =
   iter_slr_ffs t ~slr (fun i _site sim ->
-      Netsim.set_ff sim i (netsim t).Netsim.netlist.Netlist.ffs.(i).Netlist.init)
+      Netsim.set_ff sim i (payload t).netlist.Netlist.ffs.(i).Netlist.init)
 
 let create device =
   let t =
@@ -399,6 +399,16 @@ let run t cycles =
   let p, sim = (payload t, netsim t) in
   Netsim.step ~n:cycles sim p.clock_root;
   t.fpga_cycles <- t.fpga_cycles + cycles
+
+(** Advance up to [cycles], stopping early once net [stop_net] settles
+    high after an edge (the debug controller's stop latch, resolved by
+    the host at attach).  Returns the cycles actually run — the clock
+    keeps real-time accounting exact even on early stop. *)
+let run_until t ~stop_net cycles =
+  let p, sim = (payload t, netsim t) in
+  let ran = Netsim.run_until sim p.clock_root ~stop_net ~max_cycles:cycles in
+  t.fpga_cycles <- t.fpga_cycles + ran;
+  ran
 
 (** FPGA wall-clock seconds elapsed so far at the design frequency. *)
 let fpga_seconds t =

@@ -160,3 +160,10 @@ val carry_over_state : t -> Netsim.t -> payload -> dynamic:Region.t list -> unit
 
 (** Advance the user clock [n] cycles (no cable traffic). *)
 val run : t -> int -> unit
+
+(** [run_until t ~stop_net n] advances up to [n] user-clock cycles but
+    returns as soon as net [stop_net] settles high after an edge — the
+    debug controller's stop latch, folded into the simulation kernel's
+    batched loop.  Returns the cycles actually run.  No cable traffic;
+    the host still pays its JTAG polls to {e observe} the stop. *)
+val run_until : t -> stop_net:int -> int -> int

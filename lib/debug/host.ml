@@ -23,6 +23,10 @@ type t = {
   plan_cache : (string, Readback.plan) Hashtbl.t;
       (** per-register plans for the hot single-register poll path *)
   mutable poll_chunk : int;    (** design cycles between stop polls *)
+  stop_net : int option;
+      (** net index of the controller's stop latch, resolved at attach:
+          lets the simulation kernel halt a run chunk the cycle the
+          breakpoint latches instead of overshooting to the poll *)
 }
 
 let dbg_reg t name = t.mut_path ^ "." ^ name
@@ -53,8 +57,20 @@ let attach ?site_map board ~(info : Controller.info) ~mut_path =
     | None -> Readback.site_map (Board.device board) netlist locmap
   in
   let mut_plan = Readback.plan_of_select site_map ~select in
+  (* Resolve the stop latch's Q net once: its FF is named
+     [<mut_path>.dbg_stop_latched] bit 0 in the logic-location data. *)
+  let stop_net =
+    let latch_name = mut_path ^ "." ^ Controller.stop_latched_reg in
+    let found = ref None in
+    Array.iteri
+      (fun i (name, bit) ->
+        if !found = None && name = latch_name && bit = 0 then
+          found := Some netlist.Netlist.ffs.(i).Netlist.q)
+      netlist.Netlist.ff_names;
+    !found
+  in
   { board; netlist; locmap; info; mut_path; site_map; mut_plan;
-    plan_cache = Hashtbl.create 32; poll_chunk = initial_poll_chunk }
+    plan_cache = Hashtbl.create 32; poll_chunk = initial_poll_chunk; stop_net }
 
 (* --- introspection (for multiplexing front-ends like the hub) --- *)
 
@@ -170,13 +186,19 @@ let resume t =
     logarithmically many status readbacks instead of one per chunk, while
     a design that stops often keeps the tight interval.  Overshooting the
     free clock is harmless: the breakpoint latches in hardware and the MUT
-    clock gate holds it paused. *)
+    clock gate holds it paused — but when the stop latch's net was
+    resolved at attach, the kernel's [run_until] halts the chunk the
+    cycle it latches, so the free clock doesn't run past the stop.  The
+    JTAG cost is identical either way: the host still pays one status
+    readback per poll to observe the stop. *)
 let run_until_stop ?(max_cycles = 1_000_000) t =
   let rec go remaining =
     if remaining <= 0 then false
     else begin
       let chunk = min t.poll_chunk remaining in
-      Board.run t.board chunk;
+      (match t.stop_net with
+      | Some stop_net -> ignore (Board.run_until t.board ~stop_net chunk)
+      | None -> Board.run t.board chunk);
       if is_stopped t then begin
         t.poll_chunk <- initial_poll_chunk;
         true

@@ -356,9 +356,9 @@ let reap_timeouts t acc =
     t.sessions acc
 
 (** Advance the hub one tick: per board, grant and run this tick's
-    schedule (control ops, then the coalesced reads, then one exclusive
-    mutator + event fan-out), then reap idle sessions.  Returns the
-    responses produced, in grant order. *)
+    schedule (control ops, then the coalesced reads, then the exclusive
+    holder's mutator batch + event fan-out), then reap idle sessions.
+    Returns the responses produced, in grant order. *)
 let tick t =
   t.now <- t.now + 1;
   t.stats.Stats.ticks <- t.stats.Stats.ticks + 1;
@@ -375,15 +375,19 @@ let tick t =
         in
         let acc = run_reads t be acc grant.Scheduler.g_reads in
         match grant.Scheduler.g_mutate with
-        | None -> acc
-        | Some p ->
-          let s = Hashtbl.find t.sessions p.Scheduler.p_session in
+        | [] -> acc
+        | mutators ->
+          (* The holder's whole batch runs under one exclusive grant. *)
           let acc =
-            match (s.Session.host, p.Scheduler.p_request) with
-            | None, _ -> respond t acc p (Protocol.Failed "not attached")
-            | Some host, Protocol.Command cmd ->
-              respond t acc p (exec_command host be.be_board cmd)
-            | Some _, _ -> respond t acc p (Protocol.Failed "not a mutate op")
+            List.fold_left
+              (fun acc p ->
+                let s = Hashtbl.find t.sessions p.Scheduler.p_session in
+                match (s.Session.host, p.Scheduler.p_request) with
+                | None, _ -> respond t acc p (Protocol.Failed "not attached")
+                | Some host, Protocol.Command cmd ->
+                  respond t acc p (exec_command host be.be_board cmd)
+                | Some _, _ -> respond t acc p (Protocol.Failed "not a mutate op"))
+              acc mutators
           in
           poll_events t be;
           acc)

@@ -5,10 +5,11 @@
     control ops (no board traffic) and read-class ops (readback only)
     share the board freely within a tick — reads are even merged into
     one sweep downstream — while mutating ops (run control, injection,
-    reprogramming) need the board exclusively, so exactly one is granted
-    per tick and the rest wait their turn in FIFO order.  A mutator made
-    to wait behind another session's grant is a lock conflict, the
-    contention signal the stats report. *)
+    reprogramming) need the board exclusively: one session holds the
+    write lock per tick and drains its contiguous FIFO run of mutators,
+    the rest wait their turn in FIFO order.  A mutator made to wait
+    behind another session's grant is a lock conflict, the contention
+    signal the stats report. *)
 
 module Repl = Zoomie_debug.Repl
 
@@ -63,18 +64,23 @@ let submit t p =
 type grant = {
   g_control : pending list;
   g_reads : pending list;  (** coalescable: share the board within a tick *)
-  g_mutate : pending option;  (** at most one exclusive-lock holder *)
+  g_mutate : pending list;
+      (** the exclusive-lock holder's contiguous batch, FIFO order *)
   g_conflicts : int;
       (** mutators deferred behind another session's exclusive grant *)
 }
 
 (** Drain this tick's grant from the queue, FIFO: every control op, every
-    read, and the first mutator; later mutators stay queued.  Deferred
-    mutators from sessions other than the grant holder count as lock
-    conflicts. *)
+    read, and the exclusive holder's mutator batch — the first mutator's
+    session keeps the lock for its contiguous run of queued mutators, up
+    to the first mutator from another session (a session single-stepping
+    in a tight loop drains in one tick instead of one op per tick, while
+    cross-session FIFO fairness is untouched).  Deferred mutators from
+    sessions other than the grant holder count as lock conflicts. *)
 let schedule t =
   let fifo = List.rev t.queue in
-  let control = ref [] and reads = ref [] and mutate = ref None in
+  let control = ref [] and reads = ref [] and mutate = ref [] in
+  let holder = ref None and batching = ref true in
   let kept = ref [] and conflicts = ref 0 in
   List.iter
     (fun p ->
@@ -82,17 +88,25 @@ let schedule t =
       | Control_op -> control := p :: !control
       | Read_op -> reads := p :: !reads
       | Mutate_op -> (
-        match !mutate with
-        | None -> mutate := Some p
-        | Some holder ->
-          if holder.p_session <> p.p_session then incr conflicts;
-          kept := p :: !kept))
+        match !holder with
+        | None ->
+          holder := Some p.p_session;
+          mutate := [ p ]
+        | Some h ->
+          if p.p_session = h && !batching then mutate := p :: !mutate
+          else begin
+            if p.p_session <> h then begin
+              incr conflicts;
+              batching := false
+            end;
+            kept := p :: !kept
+          end))
     fifo;
   t.queue <- !kept;  (* already newest-first *)
   {
     g_control = List.rev !control;
     g_reads = List.rev !reads;
-    g_mutate = !mutate;
+    g_mutate = List.rev !mutate;
     g_conflicts = !conflicts;
   }
 

@@ -32,7 +32,11 @@ val submit : t -> pending -> (unit, string) result
 type grant = {
   g_control : pending list;
   g_reads : pending list;  (** coalescable: share the board within a tick *)
-  g_mutate : pending option;  (** at most one exclusive-lock holder *)
+  g_mutate : pending list;
+      (** the exclusive-lock holder's contiguous mutator batch (FIFO):
+          one session holds the write lock per tick, and its queued run
+          of mutators drains together, up to the first mutator from
+          another session *)
   g_conflicts : int;
       (** mutators deferred behind another session's exclusive grant *)
 }

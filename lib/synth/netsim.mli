@@ -1,27 +1,21 @@
 (** Cycle-accurate netlist simulator — the "fabric" of the simulated board.
 
-    Evaluates a synthesized {!Netlist.t}: LUTs and DSPs in topological
-    order, then FFs and memory ports on each clock tick.  Gated clocks
-    are honored per tick (a tick names its clock net; only FFs in that
-    domain update), which is what makes the Debug Controller's clock
-    pause real at the netlist level.
+    Compiled, event-driven engine: the netlist is lowered once at
+    {!create} into flat typed arrays (levelized LUT/DSP/comb-read
+    schedule, CSR fanout, unboxed truth tables — see {!Netsim_compile});
+    settling drains per-level dirty worklists so only the fanout cone of
+    changed nets re-evaluates, and each clock edge touches only FFs whose
+    D differs from Q.  Gated clocks are honored per tick (precomputed
+    tick sets per enable state), which is what makes the Debug
+    Controller's clock pause real at the netlist level.
 
-    State access is by net index (fast path, used by the board's frame
-    machinery) or by RTL register name (host-facing). *)
+    Bit-for-bit equivalent to the retained interpreter
+    {!Netsim_baseline}; state access is by net index (fast path, used by
+    the board's frame machinery) or by RTL register name (host-facing). *)
 
 open Zoomie_rtl
 
-(** Backing store of one memory cell. *)
-type mem_state = { data : Bytes.t; width : int; depth : int }
-
-type t = {
-  netlist : Netlist.t;
-  values : Bytes.t;  (** one byte per net (current value) *)
-  lut_order : int array;  (** topological order of combinational cells *)
-  mem_states : mem_state array;
-  forced : (int, bool) Hashtbl.t;  (** nets pinned by [force] machinery *)
-  mutable cycles : int;
-}
+type t
 
 val create : Netlist.t -> t
 
@@ -36,6 +30,11 @@ val get : t -> int -> bool
 
 val set : t -> int -> bool -> unit
 
+(** Pin a net: reads observe the pinned value until {!release}. *)
+val force : t -> int -> bool -> unit
+
+val release : t -> int -> unit
+
 (** Integer value of an address bus (LSB first). *)
 val addr_value : t -> int array -> int
 
@@ -48,6 +47,15 @@ val ticking : t -> string -> (string, unit) Hashtbl.t
 
 (** Advance [n] (default 1) cycles of root clock [clock]. *)
 val step : ?n:int -> t -> string -> unit
+
+(** [step_n t clock n] — the batched hot path: same as [step ~n]. *)
+val step_n : t -> string -> int -> unit
+
+(** [run_until t clock ~stop_net ~max_cycles] advances up to
+    [max_cycles] edges, stopping early once [stop_net] settles high
+    after an edge (the trigger/breakpoint check folded into the kernel
+    loop).  Returns the number of cycles actually run. *)
+val run_until : t -> string -> stop_net:int -> max_cycles:int -> int
 
 val cycles : t -> int
 

@@ -1,0 +1,357 @@
+(** The seed netlist interpreter, kept in-tree as the reference
+    implementation the compiled {!Netsim} engine is differentially tested
+    against (the `Readback_baseline` pattern): same cycle semantics, none
+    of the compiled engine's machinery.  Two deliberate fixes over the
+    seed are applied here too, because they are correctness/robustness
+    fixes rather than optimizations: the combinational topological sort
+    uses an explicit work stack (the recursive version overflowed the
+    OCaml stack on long combinational chains — bit-serial adders at
+    manycore scale), and [get] short-circuits the forced-net lookup when
+    nothing is forced. *)
+
+type mem_state = { data : Bytes.t; width : int; depth : int }
+(* One bit per byte, row-major: bit (addr, i) at [addr * width + i]. *)
+
+type t = {
+  netlist : Netlist.t;
+  values : Bytes.t;            (* one byte per net, 0/1 *)
+  lut_order : int array;       (* topological order of LUT indices *)
+  mem_states : mem_state array;
+  forced : (int, bool) Hashtbl.t;
+  mutable forced_count : int;  (* fast path: skip the table when empty *)
+  mutable cycles : int;
+}
+
+let netlist t = t.netlist
+
+(* Combinational evaluation order over LUTs and DSP blocks together:
+   DFS-based topological sort on net dependencies driven by an explicit
+   work stack — the stack encodes [2*i] as "enter cell i" and [2*i + 1]
+   as "leave cell i", so arbitrarily long combinational chains cost heap,
+   not OCaml stack.  Entries >= num_luts denote DSP indices. *)
+let topo_comb (n : Netlist.t) =
+  let num_luts = Array.length n.luts in
+  let num = num_luts + Array.length n.dsps in
+  let producer = Hashtbl.create num in
+  Array.iteri (fun i (l : Netlist.lut) -> Hashtbl.add producer l.out i) n.luts;
+  Array.iteri
+    (fun i (d : Netlist.dsp) ->
+      Array.iter (fun net -> Hashtbl.add producer net (num_luts + i)) d.dsp_out)
+    n.dsps;
+  let inputs_of i =
+    if i < num_luts then n.luts.(i).inputs
+    else begin
+      let d = n.dsps.(i - num_luts) in
+      Array.append d.dsp_a d.dsp_b
+    end
+  in
+  let state = Array.make num 0 in
+  let order = ref [] in
+  let work = ref [] in
+  for root = 0 to num - 1 do
+    if state.(root) = 0 then begin
+      work := (2 * root) :: !work;
+      while !work <> [] do
+        let w = List.hd !work in
+        work := List.tl !work;
+        let i = w lsr 1 in
+        if w land 1 = 1 then begin
+          (* leave: all dependencies emitted *)
+          state.(i) <- 2;
+          order := i :: !order
+        end
+        else
+          match state.(i) with
+          | 2 -> ()
+          | 1 ->
+            (* entered again while still open: a back edge on the DFS path *)
+            invalid_arg "Netsim: combinational cycle in netlist"
+          | _ ->
+            state.(i) <- 1;
+            work := ((2 * i) + 1) :: !work;
+            (* push dependencies in reverse so they are visited in input
+               order, matching the recursive seed implementation *)
+            let inps = inputs_of i in
+            for k = Array.length inps - 1 downto 0 do
+              match Hashtbl.find_opt producer inps.(k) with
+              | Some j when state.(j) <> 2 -> work := (2 * j) :: !work
+              | _ -> ()
+            done
+      done
+    end
+  done;
+  Array.of_list (List.rev !order)
+
+let create (n : Netlist.t) =
+  let values = Bytes.make (max 1 n.num_nets) '\000' in
+  (* Power-on: FFs take their init value; constants are pinned. *)
+  Array.iter
+    (fun (f : Netlist.ff) ->
+      Bytes.set values f.q (if f.init then '\001' else '\000'))
+    n.ffs;
+  List.iter
+    (fun (net, b) -> Bytes.set values net (if b then '\001' else '\000'))
+    n.const_nets;
+  let mem_states =
+    Array.map
+      (fun (m : Netlist.mem) ->
+        let data = Bytes.make (m.mem_width * m.mem_depth) '\000' in
+        (match m.mem_init with
+        | Some init ->
+          Array.iteri
+            (fun addr v ->
+              for bit = 0 to m.mem_width - 1 do
+                if Zoomie_rtl.Bits.get v bit then
+                  Bytes.set data ((addr * m.mem_width) + bit) '\001'
+              done)
+            init
+        | None -> ());
+        { data; width = m.mem_width; depth = m.mem_depth })
+      n.mems
+  in
+  {
+    netlist = n;
+    values;
+    lut_order = topo_comb n;
+    mem_states;
+    forced = Hashtbl.create 4;
+    forced_count = 0;
+    cycles = 0;
+  }
+
+let get t net =
+  (* any_forced fast path: the forced table is almost always empty, and
+     this is the hottest read in the interpreter. *)
+  if t.forced_count = 0 then Bytes.get t.values net <> '\000'
+  else
+    match Hashtbl.find_opt t.forced net with
+    | Some b -> b
+    | None -> Bytes.get t.values net <> '\000'
+
+let set t net b = Bytes.set t.values net (if b then '\001' else '\000')
+
+(** Pin a net to a value: reads observe [b] regardless of what the
+    producing logic drives, until {!release}. *)
+let force t net b =
+  if not (Hashtbl.mem t.forced net) then t.forced_count <- t.forced_count + 1;
+  Hashtbl.replace t.forced net b
+
+let release t net =
+  if Hashtbl.mem t.forced net then begin
+    Hashtbl.remove t.forced net;
+    t.forced_count <- t.forced_count - 1
+  end
+
+let addr_value t (addr : int array) =
+  let v = ref 0 in
+  Array.iteri (fun i n -> if get t n then v := !v lor (1 lsl i)) addr;
+  !v
+
+(* Combinational settle: comb memory reads, then LUTs in topo order.
+   Comb mem reads feed LUTs; LUT-driven addresses of comb reads would need
+   iteration — our synthesis only emits comb reads whose addresses come from
+   FFs/inputs through LUTs, so we settle LUTs, then reads, then LUTs again. *)
+let eval_comb t =
+  let n = t.netlist in
+  let num_luts = Array.length n.luts in
+  let eval_luts () =
+    Array.iter
+      (fun i ->
+        if i < num_luts then begin
+          let l = n.luts.(i) in
+          let idx = ref 0 in
+          Array.iteri
+            (fun k inp -> if get t inp then idx := !idx lor (1 lsl k))
+            l.inputs;
+          set t l.out (Int64.logand (Int64.shift_right_logical l.table !idx) 1L = 1L)
+        end
+        else begin
+          (* DSP block: unsigned multiply, truncated to the output width. *)
+          let d = n.dsps.(i - num_luts) in
+          let value nets =
+            let v = ref Int64.zero in
+            Array.iteri
+              (fun k net ->
+                if get t net then v := Int64.logor !v (Int64.shift_left 1L k))
+              nets;
+            !v
+          in
+          let p = Int64.mul (value d.dsp_a) (value d.dsp_b) in
+          Array.iteri
+            (fun k out ->
+              set t out
+                (Int64.logand (Int64.shift_right_logical p k) 1L = 1L))
+            d.dsp_out
+        end)
+      t.lut_order
+  in
+  eval_luts ();
+  Array.iteri
+    (fun mi (m : Netlist.mem) ->
+      let st = t.mem_states.(mi) in
+      List.iter
+        (fun (r : Netlist.mem_read) ->
+          if r.mr_sync = None then begin
+            let a = addr_value t r.mr_addr in
+            Array.iteri
+              (fun bit out ->
+                let v =
+                  a < st.depth && Bytes.get st.data ((a * st.width) + bit) <> '\000'
+                in
+                set t out v)
+              r.mr_out
+          end)
+        m.mem_reads)
+    n.mems;
+  eval_luts ()
+
+(* Clock tick set for a given root edge, honoring gate enables. *)
+let ticking t root =
+  let n = t.netlist in
+  let ticks = Hashtbl.create 4 in
+  Hashtbl.add ticks root ();
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (c : Netlist.clock_tree_entry) ->
+        match c.ck_parent with
+        | Some parent
+          when (not (Hashtbl.mem ticks c.ck_name)) && Hashtbl.mem ticks parent ->
+          let enabled = match c.ck_enable with None -> true | Some net -> get t net in
+          if enabled then begin
+            Hashtbl.add ticks c.ck_name ();
+            changed := true
+          end
+        | _ -> ())
+      n.clock_tree
+  done;
+  ticks
+
+(** One rising edge of root clock [root]. *)
+let step ?(n = 1) t root =
+  for _ = 1 to n do
+    eval_comb t;
+    let ticks = ticking t root in
+    let nl = t.netlist in
+    (* Sample all FF D inputs pre-edge. *)
+    let ff_next =
+      Array.map
+        (fun (f : Netlist.ff) ->
+          let enabled =
+            match f.ce with None -> true | Some ce -> get t ce
+          in
+          if Hashtbl.mem ticks f.ff_clock && enabled then Some (get t f.d)
+          else None)
+        nl.ffs
+    in
+    (* Memory sync reads sample pre-edge contents; writes commit after. *)
+    let mem_read_updates = ref [] in
+    let mem_writes = ref [] in
+    Array.iteri
+      (fun mi (m : Netlist.mem) ->
+        let st = t.mem_states.(mi) in
+        List.iter
+          (fun (r : Netlist.mem_read) ->
+            match r.mr_sync with
+            | Some clk when Hashtbl.mem ticks clk ->
+              let a = addr_value t r.mr_addr in
+              Array.iteri
+                (fun bit out ->
+                  let v =
+                    a < st.depth && Bytes.get st.data ((a * st.width) + bit) <> '\000'
+                  in
+                  mem_read_updates := (out, v) :: !mem_read_updates)
+                r.mr_out
+            | _ -> ())
+          m.mem_reads;
+        List.iter
+          (fun (w : Netlist.mem_write) ->
+            if Hashtbl.mem ticks w.mw_clock && get t w.mw_enable then begin
+              let a = addr_value t w.mw_addr in
+              if a < st.depth then
+                Array.iteri
+                  (fun bit dnet -> mem_writes := (mi, a, bit, get t dnet) :: !mem_writes)
+                  w.mw_data
+            end)
+          m.mem_writes)
+      nl.mems;
+    Array.iteri
+      (fun i next ->
+        match next with
+        | Some v -> set t nl.ffs.(i).q v
+        | None -> ())
+      ff_next;
+    List.iter (fun (out, v) -> set t out v) !mem_read_updates;
+    List.iter
+      (fun (mi, a, bit, v) ->
+        let st = t.mem_states.(mi) in
+        Bytes.set st.data ((a * st.width) + bit) (if v then '\001' else '\000'))
+      !mem_writes;
+    t.cycles <- t.cycles + 1;
+    eval_comb t
+  done
+
+let cycles t = t.cycles
+
+(** Drive an input port (all bits). *)
+let poke_input t name (v : Zoomie_rtl.Bits.t) =
+  let ios = Netlist.find_input t.netlist name in
+  if ios = [] then
+    invalid_arg (Printf.sprintf "Netsim_baseline.poke_input: unknown %S" name);
+  List.iter
+    (fun (io : Netlist.io) -> set t io.io_net (Zoomie_rtl.Bits.get v io.io_bit))
+    ios
+
+(** Read an output port. *)
+let peek_output t name =
+  let ios = Netlist.find_output t.netlist name in
+  if ios = [] then
+    invalid_arg (Printf.sprintf "Netsim_baseline.peek_output: unknown %S" name);
+  let width = List.length ios in
+  let r = ref (Zoomie_rtl.Bits.zero width) in
+  List.iter
+    (fun (io : Netlist.io) ->
+      if get t io.io_net then r := Zoomie_rtl.Bits.set !r io.io_bit true)
+    ios;
+  !r
+
+(** FF state access by cell index (used by readback capture/restore). *)
+let ff_value t i = get t t.netlist.ffs.(i).q
+let set_ff t i v = set t t.netlist.ffs.(i).q v
+
+(** BRAM/LUTRAM content access by memory cell index and bit position. *)
+let mem_bit t mi ~addr ~bit =
+  let st = t.mem_states.(mi) in
+  Bytes.get st.data ((addr * st.width) + bit) <> '\000'
+
+let set_mem_bit t mi ~addr ~bit v =
+  let st = t.mem_states.(mi) in
+  Bytes.set st.data ((addr * st.width) + bit) (if v then '\001' else '\000')
+
+(** Read back a register by its RTL hierarchical name (via ff_names
+    metadata), returning its multi-bit value. *)
+let read_register t name =
+  let nl = t.netlist in
+  let bits =
+    Array.to_list nl.ff_names
+    |> List.mapi (fun i (n, bit) -> (i, n, bit))
+    |> List.filter (fun (_, n, _) -> n = name)
+  in
+  if bits = [] then
+    invalid_arg (Printf.sprintf "Netsim_baseline.read_register: unknown %S" name);
+  let width = 1 + List.fold_left (fun m (_, _, b) -> max m b) 0 bits in
+  let r = ref (Zoomie_rtl.Bits.zero width) in
+  List.iter
+    (fun (i, _, bit) -> if ff_value t i then r := Zoomie_rtl.Bits.set !r bit true)
+    bits;
+  !r
+
+let write_register t name v =
+  let nl = t.netlist in
+  Array.iteri
+    (fun i (n, bit) ->
+      if n = name && bit < Zoomie_rtl.Bits.width v then
+        set_ff t i (Zoomie_rtl.Bits.get v bit))
+    nl.ff_names;
+  eval_comb t

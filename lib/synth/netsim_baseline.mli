@@ -1,0 +1,76 @@
+(** The seed netlist interpreter, retained as the differential-testing
+    reference and micro-bench baseline for the compiled {!Netsim} engine
+    (the same pattern as {!Zoomie_debug.Readback_baseline}).
+
+    It re-evaluates every combinational cell on every settle and walks
+    every FF on every edge — exactly the semantics the compiled engine
+    must reproduce bit-for-bit, at whatever speed.  Not for production
+    use. *)
+
+open Zoomie_rtl
+
+(** Backing store of one memory cell. *)
+type mem_state = { data : Bytes.t; width : int; depth : int }
+
+type t = {
+  netlist : Netlist.t;
+  values : Bytes.t;  (** one byte per net (current value) *)
+  lut_order : int array;  (** topological order of combinational cells *)
+  mem_states : mem_state array;
+  forced : (int, bool) Hashtbl.t;  (** nets pinned by [force] *)
+  mutable forced_count : int;  (** fast path: table size, 0 almost always *)
+  mutable cycles : int;
+}
+
+val create : Netlist.t -> t
+
+val netlist : t -> Netlist.t
+
+(** Topological order of LUT+DSP cells, via an explicit work stack (safe
+    on arbitrarily long combinational chains). *)
+val topo_comb : Netlist.t -> int array
+
+(** {1 Net-level access} *)
+
+val get : t -> int -> bool
+
+val set : t -> int -> bool -> unit
+
+(** Pin a net: reads observe the pinned value until {!release}. *)
+val force : t -> int -> bool -> unit
+
+val release : t -> int -> unit
+
+(** Integer value of an address bus (LSB first). *)
+val addr_value : t -> int array -> int
+
+(** Settle all combinational logic against current FF/input values. *)
+val eval_comb : t -> unit
+
+(** The transitive set of clock nets that tick when [clock] ticks. *)
+val ticking : t -> string -> (string, unit) Hashtbl.t
+
+(** Advance [n] (default 1) cycles of root clock [clock]. *)
+val step : ?n:int -> t -> string -> unit
+
+val cycles : t -> int
+
+(** {1 Pins} *)
+
+val poke_input : t -> string -> Bits.t -> unit
+
+val peek_output : t -> string -> Bits.t
+
+(** {1 State access} *)
+
+val ff_value : t -> int -> bool
+
+val set_ff : t -> int -> bool -> unit
+
+val mem_bit : t -> int -> addr:int -> bit:int -> bool
+
+val set_mem_bit : t -> int -> addr:int -> bit:int -> bool -> unit
+
+val read_register : t -> string -> Bits.t
+
+val write_register : t -> string -> Bits.t -> unit

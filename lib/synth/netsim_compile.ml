@@ -1,0 +1,476 @@
+(** Netlist compilation for the {!Netsim} execution engine.
+
+    [compile] runs once per {!Netsim.create} and lowers a {!Netlist.t}
+    into flat, contiguous [int array]s: a levelized combinational
+    schedule (Kahn's algorithm with levels over LUTs, DSPs and
+    combinational memory-read ports), CSR fanout adjacency from each net
+    to the cells that consume it, per-net producer indices, truth tables
+    split into unboxed int halves, and per-clock groupings of FFs and
+    memory ports.  Everything the per-cycle kernel touches lives in these
+    arrays — no hashtables, no closures, no option allocation on the hot
+    path. *)
+
+type prog = {
+  nl : Netlist.t;
+  num_nets : int;
+  (* Cell namespace: [0, n_luts) are LUTs, [n_luts, n_luts + n_dsps) are
+     DSPs, [n_luts + n_dsps, n_cells) are combinational mem-read ports. *)
+  n_cells : int;
+  n_luts : int;
+  n_dsps : int;
+  (* LUTs: input spans into [lut_in], truth table split into two unboxed
+     int halves (bits 0-31 / 32-63 of the 6-LUT table). *)
+  lut_in_off : int array;
+  lut_in : int array;
+  lut_tab_lo : int array;
+  lut_tab_hi : int array;
+  lut_out : int array;
+  (* DSPs: operand/result spans; [dsp_narrow] marks products that fit in
+     an OCaml int (the common case) vs the Int64 fallback. *)
+  dsp_a_off : int array;
+  dsp_a : int array;
+  dsp_b_off : int array;
+  dsp_b : int array;
+  dsp_out_off : int array;
+  dsp_out : int array;
+  dsp_narrow : bool array;
+  (* Combinational mem-read ports as schedule cells. *)
+  cr_mem : int array;
+  cr_addr_off : int array;
+  cr_addr : int array;
+  cr_out_off : int array;
+  cr_out : int array;
+  (* Levelized schedule: cells at the same level are independent; every
+     net-dependency edge strictly increases level. *)
+  cell_level : int array;
+  n_levels : int;
+  seg_off : int array;  (* per-level segment offsets into a worklist
+                           buffer of capacity [n_cells] (n_levels+1) *)
+  (* CSR fanout: net -> combinational cells consuming it. *)
+  fan_off : int array;
+  fan : int array;
+  (* Producing cell per net, -1 for nets driven by FFs/inputs/constants. *)
+  producer : int array;
+  (* Comb-read cells per memory (re-evaluated when contents change). *)
+  mem_readers : int array array;
+  (* CSR: net -> FFs whose D or Q is that net (event-driven FF tracking). *)
+  ffdep_off : int array;
+  ffdep : int array;
+  (* FFs, struct-of-arrays, grouped by clock id. *)
+  ff_d : int array;
+  ff_q : int array;
+  ff_ce : int array;  (* -1 when free-running *)
+  ff_clk : int array;
+  (* Clocks. *)
+  clock_ids : (string, int) Hashtbl.t;
+  n_clocks : int;
+  clk_ffs : int array array;
+  (* Synchronous mem-read ports, grouped by clock. *)
+  srd_mem : int array;
+  srd_addr_off : int array;
+  srd_addr : int array;
+  srd_out_off : int array;
+  srd_out : int array;
+  clk_srd : int array array;
+  (* Mem-write ports, grouped by clock. *)
+  mwr_mem : int array;
+  mwr_en : int array;
+  mwr_addr_off : int array;
+  mwr_addr : int array;
+  mwr_data_off : int array;
+  mwr_data : int array;
+  clk_mwr : int array array;
+  (* Clock tree, by entry: clock id, parent id (-1 for roots), enable net
+     (-1 when ungated) and the entry's bit in the enable mask. *)
+  ck_id : int array;
+  ck_parent : int array;
+  ck_enable : int array;
+  ck_en_bit : int array;
+  n_gated : int;  (* gated entries; tick sets are cached per enable mask
+                     only when this fits in an int (<= 60) *)
+  (* Pending-buffer capacities for the edge kernel. *)
+  total_srd_bits : int;
+  total_mwr_bits : int;
+}
+
+(* Flatten a list of (span : int array) into (offsets, flat). *)
+let csr_of_spans (spans : int array list) =
+  let n = List.length spans in
+  let off = Array.make (n + 1) 0 in
+  List.iteri (fun i s -> off.(i + 1) <- off.(i) + Array.length s) spans;
+  let flat = Array.make (max 1 off.(n)) 0 in
+  List.iteri
+    (fun i s -> Array.blit s 0 flat off.(i) (Array.length s))
+    spans;
+  (off, flat)
+
+let compile (nl : Netlist.t) : prog =
+  let num_nets = nl.num_nets in
+  let n_luts = Array.length nl.luts in
+  let n_dsps = Array.length nl.dsps in
+  (* --- combinational read ports as cells --- *)
+  let crs = ref [] in
+  Array.iteri
+    (fun mi (m : Netlist.mem) ->
+      List.iter
+        (fun (r : Netlist.mem_read) ->
+          if r.mr_sync = None then crs := (mi, r.mr_addr, r.mr_out) :: !crs)
+        m.mem_reads)
+    nl.mems;
+  let crs = Array.of_list (List.rev !crs) in
+  let n_crs = Array.length crs in
+  let n_cells = n_luts + n_dsps + n_crs in
+  let cr_mem = Array.map (fun (mi, _, _) -> mi) crs in
+  let cr_addr_off, cr_addr =
+    csr_of_spans (Array.to_list (Array.map (fun (_, a, _) -> a) crs))
+  in
+  let cr_out_off, cr_out =
+    csr_of_spans (Array.to_list (Array.map (fun (_, _, o) -> o) crs))
+  in
+  (* --- LUT tables as unboxed int halves --- *)
+  let lut_in_off, lut_in =
+    csr_of_spans (Array.to_list (Array.map (fun (l : Netlist.lut) -> l.inputs) nl.luts))
+  in
+  let lut_tab_lo =
+    Array.map
+      (fun (l : Netlist.lut) -> Int64.to_int (Int64.logand l.table 0xFFFF_FFFFL))
+      nl.luts
+  in
+  let lut_tab_hi =
+    Array.map
+      (fun (l : Netlist.lut) ->
+        Int64.to_int (Int64.logand (Int64.shift_right_logical l.table 32) 0xFFFF_FFFFL))
+      nl.luts
+  in
+  let lut_out = Array.map (fun (l : Netlist.lut) -> l.out) nl.luts in
+  (* --- DSPs --- *)
+  let dsp_a_off, dsp_a =
+    csr_of_spans (Array.to_list (Array.map (fun (d : Netlist.dsp) -> d.dsp_a) nl.dsps))
+  in
+  let dsp_b_off, dsp_b =
+    csr_of_spans (Array.to_list (Array.map (fun (d : Netlist.dsp) -> d.dsp_b) nl.dsps))
+  in
+  let dsp_out_off, dsp_out =
+    csr_of_spans
+      (Array.to_list (Array.map (fun (d : Netlist.dsp) -> d.dsp_out) nl.dsps))
+  in
+  let dsp_narrow =
+    Array.map
+      (fun (d : Netlist.dsp) ->
+        Array.length d.dsp_a + Array.length d.dsp_b <= 60)
+      nl.dsps
+  in
+  (* --- per-cell input/output views --- *)
+  let iter_cell_inputs c f =
+    if c < n_luts then
+      for k = lut_in_off.(c) to lut_in_off.(c + 1) - 1 do
+        f lut_in.(k)
+      done
+    else if c < n_luts + n_dsps then begin
+      let d = c - n_luts in
+      for k = dsp_a_off.(d) to dsp_a_off.(d + 1) - 1 do
+        f dsp_a.(k)
+      done;
+      for k = dsp_b_off.(d) to dsp_b_off.(d + 1) - 1 do
+        f dsp_b.(k)
+      done
+    end
+    else begin
+      let r = c - n_luts - n_dsps in
+      for k = cr_addr_off.(r) to cr_addr_off.(r + 1) - 1 do
+        f cr_addr.(k)
+      done
+    end
+  in
+  let iter_cell_outputs c f =
+    if c < n_luts then f lut_out.(c)
+    else if c < n_luts + n_dsps then begin
+      let d = c - n_luts in
+      for k = dsp_out_off.(d) to dsp_out_off.(d + 1) - 1 do
+        f dsp_out.(k)
+      done
+    end
+    else begin
+      let r = c - n_luts - n_dsps in
+      for k = cr_out_off.(r) to cr_out_off.(r + 1) - 1 do
+        f cr_out.(k)
+      done
+    end
+  in
+  (* --- producers --- *)
+  let producer = Array.make (max 1 num_nets) (-1) in
+  for c = 0 to n_cells - 1 do
+    iter_cell_outputs c (fun net -> producer.(net) <- c)
+  done;
+  (* --- fanout CSR (net -> consuming cells) --- *)
+  let fan_cnt = Array.make (max 1 num_nets) 0 in
+  for c = 0 to n_cells - 1 do
+    iter_cell_inputs c (fun net -> fan_cnt.(net) <- fan_cnt.(net) + 1)
+  done;
+  let fan_off = Array.make (num_nets + 1) 0 in
+  for i = 0 to num_nets - 1 do
+    fan_off.(i + 1) <- fan_off.(i) + fan_cnt.(i)
+  done;
+  let fan = Array.make (max 1 fan_off.(num_nets)) 0 in
+  let fill = Array.make (max 1 num_nets) 0 in
+  for c = 0 to n_cells - 1 do
+    iter_cell_inputs c (fun net ->
+        fan.(fan_off.(net) + fill.(net)) <- c;
+        fill.(net) <- fill.(net) + 1)
+  done;
+  (* --- levelization: Kahn with levels (iterative, cycle-detecting) --- *)
+  let indeg = Array.make (max 1 n_cells) 0 in
+  for c = 0 to n_cells - 1 do
+    iter_cell_inputs c (fun net -> if producer.(net) >= 0 then indeg.(c) <- indeg.(c) + 1)
+  done;
+  let cell_level = Array.make (max 1 n_cells) 0 in
+  let queue = Array.make (max 1 n_cells) 0 in
+  let qhead = ref 0 and qtail = ref 0 in
+  for c = 0 to n_cells - 1 do
+    if indeg.(c) = 0 then begin
+      queue.(!qtail) <- c;
+      incr qtail
+    end
+  done;
+  while !qhead < !qtail do
+    let c = queue.(!qhead) in
+    incr qhead;
+    let lvl = cell_level.(c) + 1 in
+    iter_cell_outputs c (fun net ->
+        for k = fan_off.(net) to fan_off.(net + 1) - 1 do
+          let consumer = fan.(k) in
+          if cell_level.(consumer) < lvl then cell_level.(consumer) <- lvl;
+          indeg.(consumer) <- indeg.(consumer) - 1;
+          if indeg.(consumer) = 0 then begin
+            queue.(!qtail) <- consumer;
+            incr qtail
+          end
+        done)
+  done;
+  if !qtail < n_cells then invalid_arg "Netsim: combinational cycle in netlist";
+  let n_levels =
+    if n_cells = 0 then 0
+    else 1 + Array.fold_left max 0 (Array.sub cell_level 0 n_cells)
+  in
+  let seg_off = Array.make (n_levels + 1) 0 in
+  for c = 0 to n_cells - 1 do
+    seg_off.(cell_level.(c) + 1) <- seg_off.(cell_level.(c) + 1) + 1
+  done;
+  for l = 0 to n_levels - 1 do
+    seg_off.(l + 1) <- seg_off.(l + 1) + seg_off.(l)
+  done;
+  (* --- comb readers per memory --- *)
+  let mem_readers =
+    Array.init (Array.length nl.mems) (fun mi ->
+        let acc = ref [] in
+        for r = n_crs - 1 downto 0 do
+          if cr_mem.(r) = mi then acc := (n_luts + n_dsps + r) :: !acc
+        done;
+        Array.of_list !acc)
+  in
+  (* --- clock ids --- *)
+  let clock_ids = Hashtbl.create 8 in
+  let intern name =
+    match Hashtbl.find_opt clock_ids name with
+    | Some id -> id
+    | None ->
+      let id = Hashtbl.length clock_ids in
+      Hashtbl.add clock_ids name id;
+      id
+  in
+  List.iter
+    (fun (c : Netlist.clock_tree_entry) ->
+      ignore (intern c.ck_name);
+      match c.ck_parent with Some p -> ignore (intern p) | None -> ())
+    nl.clock_tree;
+  Array.iter (fun (f : Netlist.ff) -> ignore (intern f.ff_clock)) nl.ffs;
+  Array.iter
+    (fun (m : Netlist.mem) ->
+      List.iter (fun (w : Netlist.mem_write) -> ignore (intern w.mw_clock)) m.mem_writes;
+      List.iter
+        (fun (r : Netlist.mem_read) ->
+          match r.mr_sync with Some c -> ignore (intern c) | None -> ())
+        m.mem_reads)
+    nl.mems;
+  let n_clocks = Hashtbl.length clock_ids in
+  (* --- FFs grouped by clock --- *)
+  let n_ffs = Array.length nl.ffs in
+  let ff_d = Array.map (fun (f : Netlist.ff) -> f.d) nl.ffs in
+  let ff_q = Array.map (fun (f : Netlist.ff) -> f.q) nl.ffs in
+  let ff_ce =
+    Array.map
+      (fun (f : Netlist.ff) -> match f.ce with None -> -1 | Some n -> n)
+      nl.ffs
+  in
+  let ff_clk = Array.map (fun (f : Netlist.ff) -> intern f.ff_clock) nl.ffs in
+  let group n_groups key n =
+    let cnt = Array.make (max 1 n_groups) 0 in
+    for i = 0 to n - 1 do
+      cnt.(key i) <- cnt.(key i) + 1
+    done;
+    let groups = Array.init (max 1 n_groups) (fun g -> Array.make cnt.(g) 0) in
+    let fill = Array.make (max 1 n_groups) 0 in
+    for i = 0 to n - 1 do
+      let g = key i in
+      groups.(g).(fill.(g)) <- i;
+      fill.(g) <- fill.(g) + 1
+    done;
+    groups
+  in
+  let clk_ffs = group n_clocks (fun i -> ff_clk.(i)) n_ffs in
+  (* --- ffdep CSR: net -> FFs with that net as D or Q --- *)
+  let dep_cnt = Array.make (max 1 num_nets) 0 in
+  for i = 0 to n_ffs - 1 do
+    dep_cnt.(ff_d.(i)) <- dep_cnt.(ff_d.(i)) + 1;
+    dep_cnt.(ff_q.(i)) <- dep_cnt.(ff_q.(i)) + 1
+  done;
+  let ffdep_off = Array.make (num_nets + 1) 0 in
+  for i = 0 to num_nets - 1 do
+    ffdep_off.(i + 1) <- ffdep_off.(i) + dep_cnt.(i)
+  done;
+  let ffdep = Array.make (max 1 ffdep_off.(num_nets)) 0 in
+  let dep_fill = Array.make (max 1 num_nets) 0 in
+  let add_dep net i =
+    ffdep.(ffdep_off.(net) + dep_fill.(net)) <- i;
+    dep_fill.(net) <- dep_fill.(net) + 1
+  in
+  for i = 0 to n_ffs - 1 do
+    add_dep ff_d.(i) i;
+    add_dep ff_q.(i) i
+  done;
+  (* --- sync read / write ports --- *)
+  let srds = ref [] and mwrs = ref [] in
+  Array.iteri
+    (fun mi (m : Netlist.mem) ->
+      List.iter
+        (fun (r : Netlist.mem_read) ->
+          match r.mr_sync with
+          | Some clk -> srds := (mi, intern clk, r.mr_addr, r.mr_out) :: !srds
+          | None -> ())
+        m.mem_reads;
+      List.iter
+        (fun (w : Netlist.mem_write) ->
+          mwrs :=
+            (mi, intern w.mw_clock, w.mw_enable, w.mw_addr, w.mw_data) :: !mwrs)
+        m.mem_writes)
+    nl.mems;
+  let srds = Array.of_list (List.rev !srds) in
+  let mwrs = Array.of_list (List.rev !mwrs) in
+  let srd_mem = Array.map (fun (mi, _, _, _) -> mi) srds in
+  let srd_clk = Array.map (fun (_, c, _, _) -> c) srds in
+  let srd_addr_off, srd_addr =
+    csr_of_spans (Array.to_list (Array.map (fun (_, _, a, _) -> a) srds))
+  in
+  let srd_out_off, srd_out =
+    csr_of_spans (Array.to_list (Array.map (fun (_, _, _, o) -> o) srds))
+  in
+  let clk_srd = group n_clocks (fun i -> srd_clk.(i)) (Array.length srds) in
+  let mwr_mem = Array.map (fun (mi, _, _, _, _) -> mi) mwrs in
+  let mwr_clk = Array.map (fun (_, c, _, _, _) -> c) mwrs in
+  let mwr_en = Array.map (fun (_, _, e, _, _) -> e) mwrs in
+  let mwr_addr_off, mwr_addr =
+    csr_of_spans (Array.to_list (Array.map (fun (_, _, _, a, _) -> a) mwrs))
+  in
+  let mwr_data_off, mwr_data =
+    csr_of_spans (Array.to_list (Array.map (fun (_, _, _, _, d) -> d) mwrs))
+  in
+  let clk_mwr = group n_clocks (fun i -> mwr_clk.(i)) (Array.length mwrs) in
+  (* --- clock tree arrays --- *)
+  let entries = Array.of_list nl.clock_tree in
+  let ck_id = Array.map (fun (c : Netlist.clock_tree_entry) -> intern c.ck_name) entries in
+  let ck_parent =
+    Array.map
+      (fun (c : Netlist.clock_tree_entry) ->
+        match c.ck_parent with None -> -1 | Some p -> intern p)
+      entries
+  in
+  let ck_enable =
+    Array.map
+      (fun (c : Netlist.clock_tree_entry) ->
+        match c.ck_enable with None -> -1 | Some net -> net)
+      entries
+  in
+  let n_gated = ref 0 in
+  let ck_en_bit =
+    Array.map
+      (fun en ->
+        if en < 0 then -1
+        else begin
+          let b = !n_gated in
+          incr n_gated;
+          b
+        end)
+      ck_enable
+  in
+  {
+    nl;
+    num_nets;
+    n_cells;
+    n_luts;
+    n_dsps;
+    lut_in_off;
+    lut_in;
+    lut_tab_lo;
+    lut_tab_hi;
+    lut_out;
+    dsp_a_off;
+    dsp_a;
+    dsp_b_off;
+    dsp_b;
+    dsp_out_off;
+    dsp_out;
+    dsp_narrow;
+    cr_mem;
+    cr_addr_off;
+    cr_addr;
+    cr_out_off;
+    cr_out;
+    cell_level;
+    n_levels;
+    seg_off;
+    fan_off;
+    fan;
+    producer;
+    mem_readers;
+    ffdep_off;
+    ffdep;
+    ff_d;
+    ff_q;
+    ff_ce;
+    ff_clk;
+    clock_ids;
+    n_clocks;
+    clk_ffs;
+    srd_mem;
+    srd_addr_off;
+    srd_addr;
+    srd_out_off;
+    srd_out;
+    clk_srd;
+    mwr_mem;
+    mwr_en;
+    mwr_addr_off;
+    mwr_addr;
+    mwr_data_off;
+    mwr_data;
+    clk_mwr;
+    ck_id;
+    ck_parent;
+    ck_enable;
+    ck_en_bit;
+    n_gated = !n_gated;
+    total_srd_bits = srd_out_off.(Array.length srds);
+    total_mwr_bits = mwr_data_off.(Array.length mwrs);
+  }
+
+(* Topological order of LUT+DSP cells, recovered from the levelized
+   schedule (exposed for API compatibility with the seed simulator). *)
+let topo_order (p : prog) =
+  let n = p.n_luts + p.n_dsps in
+  let cells = Array.init n (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      let c = compare p.cell_level.(a) p.cell_level.(b) in
+      if c <> 0 then c else compare a b)
+    cells;
+  cells

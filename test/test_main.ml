@@ -8,6 +8,7 @@ let () =
       ("fabric", Test_fabric.suite);
       ("bitstream", Test_bitstream.suite);
       ("synth", Test_synth.suite);
+      ("netsim", Test_netsim.suite);
       ("hier", Test_hier.suite);
       ("sva", Test_sva.suite);
       ("pause", Test_pause.suite);

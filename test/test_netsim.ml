@@ -1,0 +1,414 @@
+(* Differential tests for the compiled event-driven netlist engine
+   (Zoomie_synth.Netsim) against the retained interpreter
+   (Zoomie_synth.Netsim_baseline).  The compiled engine's whole claim is
+   bit-for-bit equivalence at a 10x+ speedup, so the contract here is
+   strict: after any interleaving of pokes, steps, mid-run register
+   injection and forced nets, every FF, every memory bit and every
+   output must agree between the two engines. *)
+
+open Zoomie_rtl
+module Netlist = Zoomie_synth.Netlist
+module Netsim = Zoomie_synth.Netsim
+module Baseline = Zoomie_synth.Netsim_baseline
+module Serv = Zoomie_workloads.Serv
+module Cohort = Zoomie_workloads.Cohort
+
+let bits = Bits.of_int
+
+(* ------------------------------------------------------------------ *)
+(* The differential harness: one netlist, two engines, one script.     *)
+(* ------------------------------------------------------------------ *)
+
+type pair = { nl : Netlist.t; fast : Netsim.t; slow : Baseline.t }
+
+let pair_of netlist =
+  { nl = netlist; fast = Netsim.create netlist; slow = Baseline.create netlist }
+
+let pair_of_circuit c =
+  let netlist, _ = Zoomie_synth.Synthesize.run c in
+  pair_of netlist
+
+(* Compare the complete architectural state: every FF, every bit of
+   every memory, every output net.  Returns [Some msg] on divergence. *)
+let compare_state tag p =
+  let err = ref None in
+  let fail fmt = Printf.ksprintf (fun m -> if !err = None then err := Some m) fmt in
+  Array.iteri
+    (fun i (_ : Netlist.ff) ->
+      if Netsim.ff_value p.fast i <> Baseline.ff_value p.slow i then
+        let name, bit = p.nl.Netlist.ff_names.(i) in
+        fail "%s: FF %d (%s[%d]): compiled=%b interpreter=%b" tag i name bit
+          (Netsim.ff_value p.fast i)
+          (Baseline.ff_value p.slow i))
+    p.nl.Netlist.ffs;
+  Array.iteri
+    (fun m (mem : Netlist.mem) ->
+      for addr = 0 to mem.Netlist.mem_depth - 1 do
+        for bit = 0 to mem.Netlist.mem_width - 1 do
+          if
+            Netsim.mem_bit p.fast m ~addr ~bit
+            <> Baseline.mem_bit p.slow m ~addr ~bit
+          then
+            fail "%s: mem %s[%d].%d: compiled=%b interpreter=%b" tag
+              mem.Netlist.mem_name addr bit
+              (Netsim.mem_bit p.fast m ~addr ~bit)
+              (Baseline.mem_bit p.slow m ~addr ~bit)
+        done
+      done)
+    p.nl.Netlist.mems;
+  Array.iter
+    (fun (io : Netlist.io) ->
+      if Netsim.get p.fast io.Netlist.io_net <> Baseline.get p.slow io.Netlist.io_net
+      then
+        fail "%s: output %s[%d]: compiled=%b interpreter=%b" tag
+          io.Netlist.io_name io.Netlist.io_bit
+          (Netsim.get p.fast io.Netlist.io_net)
+          (Baseline.get p.slow io.Netlist.io_net))
+    p.nl.Netlist.outputs;
+  !err
+
+let poke p name v =
+  Netsim.poke_input p.fast name v;
+  Baseline.poke_input p.slow name v
+
+let step ?n p clock =
+  Netsim.step ?n p.fast clock;
+  Baseline.step ?n p.slow clock
+
+(* Random closed-loop session on one netlist: random input pokes every
+   cycle, occasional mid-run register injections, occasional force /
+   release of input nets, with full-state comparison after each event. *)
+let random_session ?(cycles = 24) st p =
+  let inputs =
+    Array.to_list p.nl.Netlist.inputs
+    |> List.map (fun io -> io.Netlist.io_name)
+    |> List.sort_uniq compare
+  in
+  let input_width name =
+    Array.fold_left
+      (fun acc (io : Netlist.io) ->
+        if io.Netlist.io_name = name then max acc (io.Netlist.io_bit + 1)
+        else acc)
+      0 p.nl.Netlist.inputs
+  in
+  let reg_names =
+    Array.to_list p.nl.Netlist.ff_names
+    |> List.map fst |> List.sort_uniq compare |> Array.of_list
+  in
+  let forced = ref [] in
+  let err = ref None in
+  (try
+     for cycle = 0 to cycles - 1 do
+       List.iter
+         (fun name ->
+           let w = input_width name in
+           let v = Bits.random ~width:w st in
+           poke p name v)
+         inputs;
+       (* Occasionally pin an input net on both engines, or release one. *)
+       if Random.State.int st 5 = 0 && Array.length p.nl.Netlist.inputs > 0
+       then begin
+         let io =
+           p.nl.Netlist.inputs.(Random.State.int st
+                                  (Array.length p.nl.Netlist.inputs))
+         in
+         let v = Random.State.bool st in
+         Netsim.force p.fast io.Netlist.io_net v;
+         Baseline.force p.slow io.Netlist.io_net v;
+         forced := io.Netlist.io_net :: !forced
+       end;
+       if Random.State.int st 6 = 0 && !forced <> [] then begin
+         let net = List.hd !forced in
+         forced := List.tl !forced;
+         Netsim.release p.fast net;
+         Baseline.release p.slow net
+       end;
+       step p "clk";
+       (* Occasionally inject a random value into a random register
+          mid-run, the way the debugger's `inject` path does. *)
+       if Random.State.int st 4 = 0 && Array.length reg_names > 0 then begin
+         let name = reg_names.(Random.State.int st (Array.length reg_names)) in
+         let w = Bits.width (Netsim.read_register p.fast name) in
+         let v = Bits.random ~width:w st in
+         Netsim.write_register p.fast name v;
+         Baseline.write_register p.slow name v
+       end;
+       match compare_state (Printf.sprintf "cycle %d" cycle) p with
+       | Some m ->
+         err := Some m;
+         raise Exit
+       | None -> ()
+     done
+   with Exit -> ());
+  !err
+
+(* ------------------------------------------------------------------ *)
+(* QCheck property: random circuits.                                   *)
+(* ------------------------------------------------------------------ *)
+
+let prop_random_circuits =
+  QCheck2.Test.make ~name:"compiled engine == interpreter (random circuits)"
+    ~count:60 QCheck2.Gen.int (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let circuit = Gen.gen_circuit st in
+      let p = pair_of_circuit circuit in
+      match random_session st p with
+      | None -> true
+      | Some msg -> QCheck2.Test.fail_report msg)
+
+(* ------------------------------------------------------------------ *)
+(* Workload differentials: SERV (zerv) and Cohort.                     *)
+(* ------------------------------------------------------------------ *)
+
+(* zerv executes a real program out of a ROM with a writable scratch
+   memory — FF state, both memories and the result stream must agree
+   cycle for cycle, including across a mid-run PC injection. *)
+let test_serv_differential () =
+  let p = pair_of_circuit (Serv.core ()) in
+  poke p "start" (bits ~width:1 1);
+  poke p "result_ready" (bits ~width:1 1);
+  let check tag =
+    match compare_state tag p with
+    | Some m -> Alcotest.fail m
+    | None -> ()
+  in
+  for cycle = 1 to 400 do
+    step p "clk";
+    if cycle mod 50 = 0 then check (Printf.sprintf "zerv cycle %d" cycle)
+  done;
+  check "zerv after 400 cycles";
+  (* Inject a fresh PC into both engines and keep running: the engines
+     must agree on the re-executed suffix too. *)
+  Netsim.write_register p.fast "pc" (bits ~width:6 0);
+  Baseline.write_register p.slow "pc" (bits ~width:6 0);
+  step ~n:100 p "clk";
+  check "zerv after PC injection + 100 cycles";
+  Alcotest.(check string)
+    "halted output agrees"
+    (Bits.to_string (Baseline.peek_output p.slow "halted"))
+    (Bits.to_string (Netsim.peek_output p.fast "halted"))
+
+(* Cohort: hierarchical SoC with a buggy accelerator that hangs its LSU
+   handshake — a multi-module, multi-memory netlist with plenty of
+   quiescent logic, i.e. the case the event-driven engine optimizes. *)
+let test_cohort_differential () =
+  let netlist, _ = Zoomie_synth.Synthesize.run (Flat.elaborate (Cohort.design ())) in
+  let p = pair_of netlist in
+  poke p "start" (bits ~width:1 1);
+  for chunk = 1 to 8 do
+    step ~n:40 p "clk";
+    match compare_state (Printf.sprintf "cohort after %d cycles" (chunk * 40)) p with
+    | Some m -> Alcotest.fail m
+    | None -> ()
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Targeted unit tests for the new kernel surface.                     *)
+(* ------------------------------------------------------------------ *)
+
+(* step_n / run_until must be exact aliases for repeated step.  zerv's
+   `halted` output is a handy stop net: run_until must stop on the same
+   cycle the interpreter first observes it high. *)
+let test_run_until_stops_like_interpreter () =
+  let p = pair_of_circuit (Serv.core ()) in
+  poke p "start" (bits ~width:1 1);
+  poke p "result_ready" (bits ~width:1 1);
+  let halted_net =
+    let found = ref (-1) in
+    Array.iter
+      (fun (io : Netlist.io) ->
+        if io.Netlist.io_name = "halted" && io.Netlist.io_bit = 0 then
+          found := io.Netlist.io_net)
+      p.nl.Netlist.outputs;
+    !found
+  in
+  Alcotest.(check bool) "found halted net" true (halted_net >= 0);
+  (* Interpreter: step one cycle at a time until halted. *)
+  let slow_cycles = ref 0 in
+  while
+    !slow_cycles < 3000 && not (Baseline.get p.slow halted_net)
+  do
+    Baseline.step p.slow "clk";
+    incr slow_cycles
+  done;
+  Alcotest.(check bool) "interpreter halts" true (!slow_cycles < 3000);
+  (* Compiled: one run_until call must land on the same cycle. *)
+  let ran = Netsim.run_until p.fast "clk" ~stop_net:halted_net ~max_cycles:3000 in
+  Alcotest.(check int) "run_until cycle count" !slow_cycles ran;
+  Alcotest.(check bool) "stop net high" true (Netsim.get p.fast halted_net);
+  Alcotest.(check int) "cycles counter" !slow_cycles (Netsim.cycles p.fast);
+  match compare_state "after run_until" p with
+  | Some m -> Alcotest.fail m
+  | None -> ()
+
+let test_step_n_equals_step () =
+  let seed_circuit = Gen.gen_circuit (Random.State.make [| 42 |]) in
+  let netlist, _ = Zoomie_synth.Synthesize.run seed_circuit in
+  let a = Netsim.create netlist and b = Netsim.create netlist in
+  Netsim.step ~n:17 a "clk";
+  Netsim.step_n b "clk" 17;
+  Array.iteri
+    (fun i (_ : Netlist.ff) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "ff %d" i)
+        (Netsim.ff_value a i) (Netsim.ff_value b i))
+    netlist.Netlist.ffs;
+  Alcotest.(check int) "cycles" (Netsim.cycles a) (Netsim.cycles b)
+
+(* A synthetic straight-line netlist deep enough that the old recursive
+   topo sort would have blown the OCaml stack: 200k chained inverters.
+   Both engines' topo_comb must return a valid schedule, and the chain
+   must still evaluate correctly end to end. *)
+let deep_chain n =
+  {
+    Netlist.design_name = "deep_chain";
+    num_nets = n + 1;
+    luts =
+      Array.init n (fun i ->
+          { Netlist.inputs = [| i |]; table = 0x1L; out = i + 1 });
+    ffs = [||];
+    mems = [||];
+    dsps = [||];
+    inputs = [| { Netlist.io_name = "a"; io_bit = 0; io_net = 0 } |];
+    outputs = [| { Netlist.io_name = "y"; io_bit = 0; io_net = n } |];
+    clock_tree = [];
+    const_nets = [];
+    ff_names = [||];
+  }
+
+let test_topo_deep_chain () =
+  let n = 200_000 in
+  let nl = deep_chain n in
+  let check_order tag order =
+    Alcotest.(check int) (tag ^ " length") n (Array.length order);
+    (* Chained 1-input LUTs admit exactly one valid order. *)
+    Array.iteri
+      (fun i cell ->
+        if cell <> i then
+          Alcotest.failf "%s: position %d holds cell %d" tag i cell)
+      order
+  in
+  check_order "compiled" (Netsim.topo_comb nl);
+  check_order "interpreter" (Baseline.topo_comb nl);
+  let sim = Netsim.create nl in
+  Netsim.poke_input sim "a" (bits ~width:1 1);
+  Netsim.eval_comb sim;
+  (* 200k inverters: even depth returns the input unchanged. *)
+  Alcotest.(check int) "chain output" 1
+    (Bits.to_int (Netsim.peek_output sim "y"))
+
+(* A combinational cycle is a synthesis bug; both engines must refuse
+   the netlist loudly instead of looping or silently mis-evaluating. *)
+let test_comb_cycle_rejected () =
+  let nl =
+    {
+      (deep_chain 2) with
+      Netlist.luts =
+        [|
+          { Netlist.inputs = [| 2 |]; table = 0x1L; out = 1 };
+          { Netlist.inputs = [| 1 |]; table = 0x1L; out = 2 };
+        |];
+    }
+  in
+  let expect_invalid tag f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: combinational cycle accepted" tag
+  in
+  expect_invalid "compiled create" (fun () -> ignore (Netsim.create nl));
+  expect_invalid "interpreter topo" (fun () -> ignore (Baseline.topo_comb nl))
+
+(* Forced nets: the pin must win over both the driver and direct set,
+   and release must restore the underlying driven value — identically
+   in both engines. *)
+let test_force_release () =
+  let p = pair_of_circuit (Serv.core ()) in
+  let start_net =
+    let found = ref (-1) in
+    Array.iter
+      (fun (io : Netlist.io) ->
+        if io.Netlist.io_name = "start" then found := io.Netlist.io_net)
+      p.nl.Netlist.inputs;
+    !found
+  in
+  poke p "start" (bits ~width:1 1);
+  poke p "result_ready" (bits ~width:1 1);
+  Netsim.force p.fast start_net false;
+  Baseline.force p.slow start_net false;
+  Alcotest.(check bool) "forced read (compiled)" false
+    (Netsim.get p.fast start_net);
+  Alcotest.(check bool) "forced read (interpreter)" false
+    (Baseline.get p.slow start_net);
+  step ~n:20 p "clk";
+  (match compare_state "while forced" p with
+  | Some m -> Alcotest.fail m
+  | None -> ());
+  Netsim.release p.fast start_net;
+  Baseline.release p.slow start_net;
+  Alcotest.(check bool) "released read" true (Netsim.get p.fast start_net);
+  step ~n:20 p "clk";
+  match compare_state "after release" p with
+  | Some m -> Alcotest.fail m
+  | None -> ()
+
+(* Gated clock trees: the compiled engine caches tick sets per enable
+   state; across every combination of a two-level gate hierarchy the
+   cached sets (and the counters the gates drive) must match the
+   interpreter's per-tick recomputation. *)
+let gated_circuit () =
+  let b = Builder.create "gated_dut" in
+  let clk = Builder.clock b "clk" in
+  let en_a = Builder.input b "en_a" 1 in
+  let en_b = Builder.input b "en_b" 1 in
+  let gclk_a = Builder.gated_clock b ~name:"gclk_a" ~parent:clk ~enable:en_a in
+  let gclk_b =
+    Builder.gated_clock b ~name:"gclk_b" ~parent:gclk_a ~enable:en_b
+  in
+  let ca =
+    Builder.reg_fb b ~clock:gclk_a "ca" 8 ~next:(fun q ->
+        Expr.(q +: const_int ~width:8 1))
+  in
+  let cb =
+    Builder.reg_fb b ~clock:gclk_b "cb" 8 ~next:(fun q ->
+        Expr.(q +: const_int ~width:8 1))
+  in
+  ignore (Builder.output b "oa" 8 (Expr.Signal ca));
+  ignore (Builder.output b "ob" 8 (Expr.Signal cb));
+  Builder.finish b
+
+let test_ticking_equivalence () =
+  let p = pair_of_circuit (gated_circuit ()) in
+  let keys h = Hashtbl.fold (fun k () acc -> k :: acc) h [] |> List.sort compare in
+  for cycle = 0 to 15 do
+    poke p "en_a" (bits ~width:1 (cycle land 1));
+    poke p "en_b" (bits ~width:1 ((cycle lsr 1) land 1));
+    let a = keys (Netsim.ticking p.fast "clk") in
+    let b = keys (Baseline.ticking p.slow "clk") in
+    Alcotest.(check (list string))
+      (Printf.sprintf "tick set, cycle %d" cycle)
+      b a;
+    step p "clk";
+    match compare_state (Printf.sprintf "gated cycle %d" cycle) p with
+    | Some m -> Alcotest.fail m
+    | None -> ()
+  done
+
+let suite =
+  [
+    Alcotest.test_case "zerv differential (400 cycles + injection)" `Quick
+      test_serv_differential;
+    Alcotest.test_case "cohort differential (320 cycles)" `Quick
+      test_cohort_differential;
+    Alcotest.test_case "run_until stops like the interpreter" `Quick
+      test_run_until_stops_like_interpreter;
+    Alcotest.test_case "step_n == repeated step" `Quick test_step_n_equals_step;
+    Alcotest.test_case "topo_comb survives a 200k-deep chain" `Quick
+      test_topo_deep_chain;
+    Alcotest.test_case "combinational cycles are rejected" `Quick
+      test_comb_cycle_rejected;
+    Alcotest.test_case "force/release pins nets identically" `Quick
+      test_force_release;
+    Alcotest.test_case "tick sets match under gating" `Quick
+      test_ticking_equivalence;
+    QCheck_alcotest.to_alcotest prop_random_circuits;
+  ]
