@@ -16,17 +16,23 @@ test: build
 # forced nets); `readback smoke` fails hard if the indexed engine and
 # the association-list baseline disagree on a register; `hub smoke`
 # fails hard if the coalesced multi-session sweep ever diverges
-# bit-for-bit from the serialized single-session path.
+# bit-for-bit from the serialized single-session path; `vti smoke`
+# fails hard if the incremental compile engine ever produces different
+# bits (netlist, placement, frames, bitstream, timing, modeled cost)
+# from the monolithic baseline flow across an initial compile plus a
+# recompile chain.
 bench-smoke:
 	dune exec bench/main.exe -- netsim smoke
 	dune exec bench/main.exe -- readback smoke
 	dune exec bench/main.exe -- hub smoke
+	dune exec bench/main.exe -- vti smoke
 
 check: build
 	dune runtest
 	dune exec bench/main.exe -- netsim smoke
 	dune exec bench/main.exe -- readback smoke
 	dune exec bench/main.exe -- hub smoke
+	dune exec bench/main.exe -- vti smoke
 
 clean:
 	dune clean

@@ -31,27 +31,34 @@ let set_bit acc slr key ~word ~bit v =
 
 let set_word acc slr key ~word v = (frame acc slr key).(word) <- v land 0xFFFFFFFF
 
-(** Generate all frames configured by [netlist] placed at [locmap]. *)
-let generate (netlist : Netlist.t) (locmap : Loc.map) =
-  let acc : acc = Hashtbl.create 4096 in
+(* Emit every frame write of [netlist] at [locmap] whose site satisfies
+   [keep] into [acc].  Factored out so {!generate} (keep everything),
+   {!generate_region} (keep one region) and the VTI flow's per-partition
+   sharding all share one bit-layout definition. *)
+let emit ~keep (acc : acc) (netlist : Netlist.t) (locmap : Loc.map) =
   (* LUT truth tables: 64 bits split across two words at the site's minor. *)
   Array.iteri
     (fun i (l : Netlist.lut) ->
       let s = locmap.Loc.lut_sites.(i) in
+      if keep ~slr:s.Loc.l_slr ~row:s.Loc.l_row ~col:s.Loc.l_col then begin
       let key_of minor = (s.Loc.l_row, s.Loc.l_col, minor) in
       let lo = Int64.to_int (Int64.logand l.Netlist.table 0xFFFFFFFFL) in
       let hi = Int64.to_int (Int64.shift_right_logical l.Netlist.table 32) in
       let minor, word_lo, _ = Geometry.lut_location ~tile:s.Loc.l_tile ~site:s.Loc.l_index ~bit:0 in
       set_word acc s.Loc.l_slr (key_of minor) ~word:word_lo lo;
       let minor2, word_hi, _ = Geometry.lut_location ~tile:s.Loc.l_tile ~site:s.Loc.l_index ~bit:32 in
-      set_word acc s.Loc.l_slr (key_of minor2) ~word:word_hi hi)
+      set_word acc s.Loc.l_slr (key_of minor2) ~word:word_hi hi
+      end)
     netlist.Netlist.luts;
   (* FF init values land in the state frame (captured/restored later). *)
   Array.iteri
     (fun i (f : Netlist.ff) ->
       let s = locmap.Loc.ff_sites.(i) in
-      let minor, word, bit = Loc.ff_frame_bit s in
-      set_bit acc s.Loc.f_slr (s.Loc.f_row, s.Loc.f_col, minor) ~word ~bit f.Netlist.init)
+      if keep ~slr:s.Loc.f_slr ~row:s.Loc.f_row ~col:s.Loc.f_col then begin
+        let minor, word, bit = Loc.ff_frame_bit s in
+        set_bit acc s.Loc.f_slr (s.Loc.f_row, s.Loc.f_col, minor) ~word ~bit
+          f.Netlist.init
+      end)
     netlist.Netlist.ffs;
   (* Memories initialize to zero: ensure their frames exist so partial
      bitstreams cover them. *)
@@ -61,6 +68,7 @@ let generate (netlist : Netlist.t) (locmap : Loc.map) =
       | Loc.In_bram sites ->
         Array.iter
           (fun (s : Loc.bram_site) ->
+            if keep ~slr:s.Loc.b_slr ~row:s.Loc.b_row ~col:s.Loc.b_col then
             for k = 0 to Geometry.bram_content_frames_per_tile - 1 do
               let minor =
                 Geometry.bram_cfg_frames
@@ -73,14 +81,64 @@ let generate (netlist : Netlist.t) (locmap : Loc.map) =
       | Loc.In_lutram sites ->
         Array.iter
           (fun (s : Loc.lut_site) ->
-            let minor, _, _ =
-              Geometry.lut_location ~tile:s.Loc.l_tile ~site:s.Loc.l_index ~bit:0
-            in
-            ignore (frame acc s.Loc.l_slr (s.Loc.l_row, s.Loc.l_col, minor)))
+            if keep ~slr:s.Loc.l_slr ~row:s.Loc.l_row ~col:s.Loc.l_col then
+              let minor, _, _ =
+                Geometry.lut_location ~tile:s.Loc.l_tile ~site:s.Loc.l_index ~bit:0
+              in
+              ignore (frame acc s.Loc.l_slr (s.Loc.l_row, s.Loc.l_col, minor)))
           sites)
-    locmap.Loc.mem_placements;
+    locmap.Loc.mem_placements
+
+let frames_of_acc (acc : acc) =
   Hashtbl.fold
     (fun (slr, key) data l -> { fw_slr = slr; fw_key = key; fw_data = data } :: l)
+    acc []
+  |> List.sort compare
+
+(** Generate all frames configured by [netlist] placed at [locmap]. *)
+let generate (netlist : Netlist.t) (locmap : Loc.map) =
+  let acc : acc = Hashtbl.create 4096 in
+  emit ~keep:(fun ~slr:_ ~row:_ ~col:_ -> true) acc netlist locmap;
+  frames_of_acc acc
+
+(** Frames of the cells sitting inside [region] only — the region-scoped
+    slice a partition recompile regenerates.  Equal to filtering
+    {!generate}'s output by the region's frame addresses. *)
+let generate_region (region : Region.t) (netlist : Netlist.t) (locmap : Loc.map) =
+  let acc : acc = Hashtbl.create 4096 in
+  emit ~keep:(fun ~slr ~row ~col -> Region.contains region ~slr ~row ~col)
+    acc netlist locmap;
+  frames_of_acc acc
+
+(** OR-merge per-partition frame lists into one sorted frame set.  Exact
+    when no two slices configure the same word of the same frame — true
+    for disjoint site allocations, where a frame shared by two slices
+    (same column, different tiles) still splits into disjoint words.
+    Inputs are never mutated; data arrays are copied lazily, only for
+    frames several slices actually share (the VTI recompile loop merges
+    a ~40k-frame static set every iteration, and eagerly copying every
+    frame cost more than the rest of the merge). *)
+let merge (lists : frame_write list list) =
+  let acc : (int * (int * int * int), int array * bool) Hashtbl.t =
+    Hashtbl.create 4096
+  in
+  List.iter
+    (List.iter (fun fw ->
+         match Hashtbl.find_opt acc (fw.fw_slr, fw.fw_key) with
+         | None -> Hashtbl.add acc (fw.fw_slr, fw.fw_key) (fw.fw_data, false)
+         | Some (data, owned) ->
+           let dst =
+             if owned then data
+             else begin
+               let c = Array.copy data in
+               Hashtbl.replace acc (fw.fw_slr, fw.fw_key) (c, true);
+               c
+             end
+           in
+           Array.iteri (fun w v -> if v <> 0 then dst.(w) <- dst.(w) lor v) fw.fw_data))
+    lists;
+  Hashtbl.fold
+    (fun (slr, key) (data, _) l -> { fw_slr = slr; fw_key = key; fw_data = data } :: l)
     acc []
   |> List.sort compare
 

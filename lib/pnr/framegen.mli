@@ -18,3 +18,13 @@ val generate : Netlist.t -> Loc.map -> frame_write list
 
 (** Total configured words of a frame list (bitstream-size proxy). *)
 val word_count : frame_write list -> int
+
+(** Frames of the cells placed inside one region — what a partition
+    recompile regenerates, instead of generating the full design and
+    filtering. *)
+val generate_region : Region.t -> Netlist.t -> Loc.map -> frame_write list
+
+(** OR-merge per-partition frame lists into one sorted frame set; exact
+    for disjoint site allocations (no two inputs configure the same word).
+    Never mutates its inputs. *)
+val merge : frame_write list list -> frame_write list

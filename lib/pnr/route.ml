@@ -30,9 +30,8 @@ type stats = {
   congestion : float;         (** demand density relative to capacity *)
 }
 
-(** Estimate routing of [netlist] under [locmap]. *)
-let estimate (netlist : Netlist.t) (locmap : Loc.map) =
-  (* Gather every (net, position) incidence. *)
+(* Gather every (net, position) incidence into net -> bounding box. *)
+let net_bounds (netlist : Netlist.t) (locmap : Loc.map) =
   let bounds : (int, int * int * int * int) Hashtbl.t = Hashtbl.create 4096 in
   let touch net (x, y) =
     match Hashtbl.find_opt bounds net with
@@ -79,6 +78,11 @@ let estimate (netlist : Netlist.t) (locmap : Loc.map) =
       Array.iter (fun net -> touch net pos) d.Netlist.dsp_b;
       Array.iter (fun net -> touch net pos) d.Netlist.dsp_out)
     netlist.Netlist.dsps;
+  bounds
+
+(** Estimate routing of [netlist] under [locmap]. *)
+let estimate (netlist : Netlist.t) (locmap : Loc.map) =
+  let bounds = net_bounds netlist locmap in
   let total = ref 0 and count = ref 0 in
   Hashtbl.iter
     (fun _ (x0, x1, y0, y1) ->
@@ -94,6 +98,144 @@ let estimate (netlist : Netlist.t) (locmap : Loc.map) =
      model, longer wire delays in the timing model). *)
   let cells = Netlist.num_cells netlist in
   let congestion = float_of_int !total /. (float_of_int (max 1 cells) *. 20.0) in
+  {
+    total_wirelength = !total;
+    num_routed_nets = !count;
+    avg_net_length = float_of_int !total /. float_of_int num;
+    congestion;
+  }
+
+(* --- incremental estimate (VTI recompile) ----------------------------- *)
+
+type contrib = {
+  ct_shell : (int * (int * int * int * int)) list;
+      (* shell-net id -> this segment's bounding box of its terminals *)
+  ct_wl : int;   (* HPWL sum over segment-internal nets *)
+  ct_nets : int; (* number of segment-internal nets *)
+}
+
+let contrib_of ?bmap ?(shell_remap = fun n -> n) (netlist : Netlist.t)
+    (locmap : Loc.map) =
+  let bounds = net_bounds netlist locmap in
+  let shell = ref [] and wl = ref 0 and nets = ref 0 in
+  Hashtbl.iter
+    (fun net ((x0, x1, y0, y1) as bb) ->
+      let shell_id =
+        match bmap with
+        | None ->
+          (* the shell segment: every net is a shell net, keyed by its
+             final representative (tie-offs can merge shell nets) *)
+          Some (shell_remap net)
+        | Some tbl -> Hashtbl.find_opt tbl net
+      in
+      match shell_id with
+      | Some sn -> shell := (sn, bb) :: !shell
+      | None ->
+        wl := !wl + (x1 - x0) + (y1 - y0);
+        incr nets)
+    bounds;
+  { ct_shell = !shell; ct_wl = !wl; ct_nets = !nets }
+
+type cache = {
+  rc_x0 : int array;
+  rc_x1 : int array;
+  rc_y0 : int array;
+  rc_y1 : int array;
+  rc_touched : Bytes.t;  (* shell nets touched by any static segment *)
+  rc_shell_wl : int;     (* HPWL of the merged static shell-net boxes *)
+  rc_shell_nets : int;
+  rc_wl : int;           (* static segments' internal wirelength *)
+  rc_nets : int;
+}
+
+let cache_of_contribs ~nshell (contribs : contrib list) =
+  let n = max 1 nshell in
+  let x0 = Array.make n 0
+  and x1 = Array.make n 0
+  and y0 = Array.make n 0
+  and y1 = Array.make n 0 in
+  let touched = Bytes.make n '\000' in
+  let wl = ref 0 and nets = ref 0 in
+  List.iter
+    (fun c ->
+      wl := !wl + c.ct_wl;
+      nets := !nets + c.ct_nets;
+      List.iter
+        (fun (sn, (a0, a1, b0, b1)) ->
+          if Bytes.get touched sn = '\000' then begin
+            Bytes.set touched sn '\001';
+            x0.(sn) <- a0;
+            x1.(sn) <- a1;
+            y0.(sn) <- b0;
+            y1.(sn) <- b1
+          end
+          else begin
+            x0.(sn) <- min x0.(sn) a0;
+            x1.(sn) <- max x1.(sn) a1;
+            y0.(sn) <- min y0.(sn) b0;
+            y1.(sn) <- max y1.(sn) b1
+          end)
+        c.ct_shell)
+    contribs;
+  let swl = ref 0 and scount = ref 0 in
+  for i = 0 to n - 1 do
+    if Bytes.get touched i = '\001' then begin
+      swl := !swl + (x1.(i) - x0.(i)) + (y1.(i) - y0.(i));
+      incr scount
+    end
+  done;
+  {
+    rc_x0 = x0;
+    rc_x1 = x1;
+    rc_y0 = y0;
+    rc_y1 = y1;
+    rc_touched = touched;
+    rc_shell_wl = !swl;
+    rc_shell_nets = !scount;
+    rc_wl = !wl;
+    rc_nets = !nets;
+  }
+
+let stats_of_cache (cache : cache) (contribs : contrib list) ~cells =
+  let total = ref (cache.rc_shell_wl + cache.rc_wl) in
+  let count = ref (cache.rc_shell_nets + cache.rc_nets) in
+  (* Merge the replaceable segments' shell-net boxes (two of them may share
+     a shell net), then fold each merged box into the static picture. *)
+  let merged : (int, int * int * int * int) Hashtbl.t = Hashtbl.create 1024 in
+  List.iter
+    (fun c ->
+      total := !total + c.ct_wl;
+      count := !count + c.ct_nets;
+      List.iter
+        (fun (sn, (a0, a1, b0, b1)) ->
+          match Hashtbl.find_opt merged sn with
+          | None -> Hashtbl.replace merged sn (a0, a1, b0, b1)
+          | Some (x0, x1, y0, y1) ->
+            Hashtbl.replace merged sn (min x0 a0, max x1 a1, min y0 b0, max y1 b1))
+        c.ct_shell)
+    contribs;
+  Hashtbl.iter
+    (fun sn (a0, a1, b0, b1) ->
+      if sn < Array.length cache.rc_x0 && Bytes.get cache.rc_touched sn = '\001'
+      then begin
+        let sx0 = cache.rc_x0.(sn)
+        and sx1 = cache.rc_x1.(sn)
+        and sy0 = cache.rc_y0.(sn)
+        and sy1 = cache.rc_y1.(sn) in
+        total :=
+          !total
+          - ((sx1 - sx0) + (sy1 - sy0))
+          + ((max sx1 a1 - min sx0 a0) + (max sy1 b1 - min sy0 b0))
+      end
+      else begin
+        total := !total + (a1 - a0) + (b1 - b0);
+        incr count
+      end)
+    merged;
+  let num = max 1 !count in
+  let congestion =
+    float_of_int !total /. (float_of_int (max 1 cells) *. 20.0)
+  in
   {
     total_wirelength = !total;
     num_routed_nets = !count;

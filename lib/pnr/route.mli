@@ -19,3 +19,43 @@ type stats = {
 }
 
 val estimate : Netlist.t -> Loc.map -> stats
+
+(** {1 Incremental estimate}
+
+    The VTI flow decomposes the design into a static part (shell + static
+    stamps) and per-iterated-stamp segments.  Each segment's {!contrib}
+    is computed from its {e local} netlist and locmap; a {!cache} folds
+    the static contributions once so a recompile only recomputes the
+    changed stamp's contribution.  [stats_of_cache] is exact: HPWL sums
+    are order-independent and per-net boxes merge with min/max. *)
+
+(** One segment's routing contribution: bounding boxes of the shell
+    (boundary) nets it touches, plus internal wirelength and net count. *)
+type contrib = {
+  ct_shell : (int * (int * int * int * int)) list;
+  ct_wl : int;
+  ct_nets : int;
+}
+
+(** [contrib_of ?bmap ?shell_remap netlist locmap]: no [bmap] means the
+    segment IS the shell (every net keyed by [shell_remap] of its id —
+    identity by default; pass {!Link.shell_remap} when stamp tie-offs
+    merged shell nets); with [bmap], nets in the map are shell-keyed and
+    the rest are internal. *)
+val contrib_of :
+  ?bmap:(int, int) Hashtbl.t ->
+  ?shell_remap:(int -> int) ->
+  Netlist.t ->
+  Loc.map ->
+  contrib
+
+type cache
+
+(** Fold the static segments' contributions over a shell of
+    [nshell] nets. *)
+val cache_of_contribs : nshell:int -> contrib list -> cache
+
+(** Full-design {!stats} from the static [cache] plus the current
+    iterated-stamp contributions; [cells] is the merged design's cell
+    count (for the congestion denominator). *)
+val stats_of_cache : cache -> contrib list -> cells:int -> stats

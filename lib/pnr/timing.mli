@@ -47,3 +47,11 @@ val analyze : ?congestion:float -> ?utilization:float -> Netlist.t -> Loc.map ->
 val meets_timing : report -> mhz:float -> bool
 
 val pp_report : Format.formatter -> report -> unit
+
+(** Iterative flat-array evaluation of the same model — bit-for-bit equal
+    to {!analyze} on single-driver acyclic LUT/DSP graphs, several times
+    faster on multi-million-cell designs.  [None] means the netlist has a
+    multi-driven combinational net or a combinational cycle: fall back to
+    {!analyze}, whose DFS order defines the semantics there. *)
+val analyze_fast :
+  ?congestion:float -> ?utilization:float -> Netlist.t -> Loc.map -> report option

@@ -32,6 +32,36 @@ type stamped = {
 
 let is_boundary_name name = String.contains name ':'
 
+(* Shell boundary index: (name, bit) -> net. *)
+let shell_io_table (shell : Netlist.t) =
+  let shell_io = Hashtbl.create 256 in
+  let add (io : Netlist.io) =
+    if is_boundary_name io.Netlist.io_name then
+      Hashtbl.replace shell_io (io.Netlist.io_name, io.Netlist.io_bit) io.Netlist.io_net
+  in
+  Array.iter add shell.Netlist.inputs;
+  Array.iter add shell.Netlist.outputs;
+  shell_io
+
+(* Clock renaming for a stamp: roots via the clock env, gated prefixed
+   with the instance path. *)
+let clock_rename s =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (c : Netlist.clock_tree_entry) ->
+      match c.Netlist.ck_parent with
+      | None ->
+        let mapped =
+          match List.assoc_opt c.Netlist.ck_name s.st_clock_env with
+          | Some f -> f
+          | None -> c.Netlist.ck_name
+        in
+        Hashtbl.replace tbl c.Netlist.ck_name mapped
+      | Some _ ->
+        Hashtbl.replace tbl c.Netlist.ck_name (s.st_path ^ "." ^ c.Netlist.ck_name))
+    s.st_netlist.Netlist.clock_tree;
+  fun name -> match Hashtbl.find_opt tbl name with Some m -> m | None -> name
+
 (** Link [shell] with the stamped unit instances.  Shell boundary IOs are
     named [path ^ ":" ^ port] (see {!Zoomie_rtl.Flat.elaborate_shell}). *)
 let link ~(shell : Netlist.t) (stamps : stamped list) : Netlist.t =
@@ -41,18 +71,7 @@ let link ~(shell : Netlist.t) (stamps : stamped list) : Netlist.t =
       shell.Netlist.num_nets stamps
   in
   let uf = Uf.create total_nets in
-  (* Shell boundary index: (name, bit) -> net. *)
-  let shell_io = Hashtbl.create 256 in
-  Array.iter
-    (fun (io : Netlist.io) ->
-      if is_boundary_name io.Netlist.io_name then
-        Hashtbl.replace shell_io (io.Netlist.io_name, io.Netlist.io_bit) io.Netlist.io_net)
-    shell.Netlist.inputs;
-  Array.iter
-    (fun (io : Netlist.io) ->
-      if is_boundary_name io.Netlist.io_name then
-        Hashtbl.replace shell_io (io.Netlist.io_name, io.Netlist.io_bit) io.Netlist.io_net)
-    shell.Netlist.outputs;
+  let shell_io = shell_io_table shell in
   (* Assign net offsets and unify boundary nets. *)
   let offsets =
     let off = ref shell.Netlist.num_nets in
@@ -75,24 +94,6 @@ let link ~(shell : Netlist.t) (stamps : stamped list) : Netlist.t =
       Array.iter connect s.st_netlist.Netlist.outputs)
     offsets;
   let remap_shell n = Uf.find uf n in
-  (* Clock renaming for each stamp: roots via env, gated prefixed. *)
-  let clock_rename s =
-    let tbl = Hashtbl.create 8 in
-    List.iter
-      (fun (c : Netlist.clock_tree_entry) ->
-        match c.Netlist.ck_parent with
-        | None ->
-          let mapped =
-            match List.assoc_opt c.Netlist.ck_name s.st_clock_env with
-            | Some f -> f
-            | None -> c.Netlist.ck_name
-          in
-          Hashtbl.replace tbl c.Netlist.ck_name mapped
-        | Some _ ->
-          Hashtbl.replace tbl c.Netlist.ck_name (s.st_path ^ "." ^ c.Netlist.ck_name))
-      s.st_netlist.Netlist.clock_tree;
-    fun name -> match Hashtbl.find_opt tbl name with Some m -> m | None -> name
-  in
   (* Merge cells. *)
   let luts = ref [] and ffs = ref [] and mems = ref [] and ff_names = ref [] in
   let dsps = ref [] in
@@ -271,3 +272,396 @@ let link ~(shell : Netlist.t) (stamps : stamped list) : Netlist.t =
     const_nets = !const_nets;
     ff_names = Array.of_list (List.rev !ff_names);
   }
+
+(* --- incremental delta path (VTI recompile) --------------------------- *)
+
+type index = {
+  ix_shell_nets : int;
+  ix_shell_io : (string * int, int) Hashtbl.t;
+  ix_offsets : int array;
+  ix_bmaps : (int, int) Hashtbl.t array;
+      (* per stamp: local io net -> final (root) shell net *)
+  ix_first : (int, int) Hashtbl.t array;
+      (* per stamp: local io net -> first shell net it was tied to *)
+  ix_pairs : (int * int) array array;
+      (* per stamp, in encounter order: the (new shell net, first shell
+         net) unions its aliasing contributed to the global union-find *)
+  ix_shell_root : int array option;
+      (* final shell-net representative; None = identity (no aliasing) *)
+}
+
+(* Boundary scan of one stamp: local io net -> first shell net tied to
+   it, plus the shell-shell union each further tie implies.  In {!link}'s
+   union-find a stamp-local net only ever *joins* a class whose root is a
+   shell net, so aliasing (one local net tied to k > 1 shell nets) merges
+   shell nets with each other and nothing else.  Replaying these pairs in
+   encounter order over a shell-only union-find reproduces the exact
+   roots the full link computes. *)
+let boundary_scan shell_io (s : stamped) =
+  let tbl = Hashtbl.create 64 in
+  let pairs = ref [] in
+  let connect (io : Netlist.io) =
+    let key = (s.st_path ^ ":" ^ io.Netlist.io_name, io.Netlist.io_bit) in
+    match Hashtbl.find_opt shell_io key with
+    | None -> ()
+    | Some shell_net -> (
+      match Hashtbl.find_opt tbl io.Netlist.io_net with
+      | Some first ->
+        if first <> shell_net then pairs := (shell_net, first) :: !pairs
+      | None -> Hashtbl.replace tbl io.Netlist.io_net shell_net)
+  in
+  Array.iter connect s.st_netlist.Netlist.inputs;
+  Array.iter connect s.st_netlist.Netlist.outputs;
+  (tbl, Array.of_list (List.rev !pairs))
+
+(* Replay the per-stamp alias pairs over shell nets only.  Mirrors
+   {!link} exactly: [Uf.union uf sn (local + off)] with the local net
+   already in class rooted at [find first] performs
+   [parent.(find first) <- find sn].  Returns the materialized final
+   root of every shell net, or [None] when nothing aliased. *)
+let replay_pairs ~nshell (pairs : (int * int) array array) =
+  if Array.for_all (fun a -> Array.length a = 0) pairs then None
+  else begin
+    let parent = Array.init nshell (fun i -> i) in
+    let rec find i =
+      if parent.(i) = i then i
+      else begin
+        parent.(i) <- find parent.(i);
+        parent.(i)
+      end
+    in
+    Array.iter
+      (Array.iter (fun (sn, first) ->
+           let ra = find sn and rb = find first in
+           if ra <> rb then parent.(rb) <- ra))
+      pairs;
+    Some (Array.init nshell find)
+  end
+
+let root_of = function None -> fun n -> n | Some roots -> fun n -> roots.(n)
+
+(* Final boundary map of one stamp: local net -> root shell net. *)
+let final_bmap roots first =
+  let r = root_of roots in
+  let tbl = Hashtbl.create (Hashtbl.length first) in
+  Hashtbl.iter (fun local sn -> Hashtbl.replace tbl local (r sn)) first;
+  tbl
+
+let link_indexed ~(shell : Netlist.t) (stamps : stamped list) =
+  let netlist = link ~shell stamps in
+  let shell_io = shell_io_table shell in
+  let n = List.length stamps in
+  let offsets = Array.make n 0 in
+  let first = Array.make n (Hashtbl.create 1) in
+  let pairs = Array.make n [||] in
+  let off = ref shell.Netlist.num_nets in
+  List.iteri
+    (fun i s ->
+      offsets.(i) <- !off;
+      off := !off + s.st_netlist.Netlist.num_nets;
+      let tbl, p = boundary_scan shell_io s in
+      first.(i) <- tbl;
+      pairs.(i) <- p)
+    stamps;
+  let roots = replay_pairs ~nshell:shell.Netlist.num_nets pairs in
+  let bmaps = Array.map (final_bmap roots) first in
+  ( netlist,
+    {
+      ix_shell_nets = shell.Netlist.num_nets;
+      ix_shell_io = shell_io;
+      ix_offsets = offsets;
+      ix_bmaps = bmaps;
+      ix_first = first;
+      ix_pairs = pairs;
+      ix_shell_root = roots;
+    } )
+
+(* Remap of stamp [j] under boundary map [bm] and net offset [off]:
+   boundary nets take their (root) shell id, everything else is offset.
+   This is exactly [Uf.find uf (n + off)] of {!link}. *)
+let stamp_remap bm off n =
+  match Hashtbl.find_opt bm n with Some sn -> sn | None -> n + off
+
+(** Splice one changed stamp into a previously linked netlist.
+
+    [prev] must be the result of {!link_indexed} (or an earlier
+    [relink_stamp]) over [shell] and [old_stamps]; [replacement] carries
+    the same [st_path] as one of them.  Returns the netlist a full
+    {!link} over the updated stamp list would produce — bit-for-bit —
+    plus the updated index, or [None] when the replacement changes the
+    shell-net aliasing structure (its tie-off grouping merges different
+    shell nets than the old stamp did), which would move net
+    representatives globally and defeat the splice. *)
+let relink_stamp ~(shell : Netlist.t) ~(prev : Netlist.t) ~(index : index)
+    ~(old_stamps : stamped list) ~(replacement : stamped) :
+    (Netlist.t * index) option =
+    let old_arr = Array.of_list old_stamps in
+    let k =
+      let r = ref (-1) in
+      Array.iteri (fun i s -> if s.st_path = replacement.st_path then r := i) old_arr;
+      !r
+    in
+    if k < 0 then None
+    else
+      let new_first, new_pairs = boundary_scan index.ix_shell_io replacement in
+      let pairs' = Array.copy index.ix_pairs in
+      pairs'.(k) <- new_pairs;
+      let roots' = replay_pairs ~nshell:index.ix_shell_nets pairs' in
+      let roots_unchanged =
+        match (index.ix_shell_root, roots') with
+        | None, None -> true
+        | Some a, Some b -> a = b
+        | _ -> false
+      in
+      if not roots_unchanged then None
+      else
+        let new_bmap = final_bmap index.ix_shell_root new_first in
+        let old_nl = old_arr.(k).st_netlist in
+        let new_nl = replacement.st_netlist in
+        let off_k = index.ix_offsets.(k) in
+        let old_hi = off_k + old_nl.Netlist.num_nets in
+        let delta = new_nl.Netlist.num_nets - old_nl.Netlist.num_nets in
+        let remap_new = stamp_remap new_bmap off_k in
+        let shift n = if n >= old_hi then n + delta else n in
+        (* Per-kind segment boundaries in [prev]'s concatenated arrays:
+           shell first, then stamps in link order. *)
+        let nsegs = Array.length old_arr + 1 in
+        let seg_nl =
+          Array.init nsegs (fun j -> if j = 0 then shell else old_arr.(j - 1).st_netlist)
+        in
+        (* Single-allocation splice: blit the unchanged prefix and (when
+           the net-count delta is zero) suffix, avoiding the sub/concat
+           intermediates — at manycore scale those copies dominate the
+           whole relink. *)
+        let splice : 'a. (Netlist.t -> int) -> 'a array -> 'a array ->
+            ('a -> 'a) -> 'a array =
+         fun count prev_arr remapped_new shifted ->
+          let lo = ref 0 in
+          for j = 0 to k do
+            lo := !lo + count seg_nl.(j)
+          done;
+          let lo = !lo in
+          let hi = lo + count seg_nl.(k + 1) in
+          let tail = Array.length prev_arr - hi in
+          let nlen = Array.length remapped_new in
+          let total = lo + nlen + tail in
+          if total = 0 then [||]
+          else begin
+            let dummy = if nlen > 0 then remapped_new.(0) else prev_arr.(0) in
+            let r = Array.make total dummy in
+            Array.blit prev_arr 0 r 0 lo;
+            Array.blit remapped_new 0 r lo nlen;
+            if delta = 0 then Array.blit prev_arr hi r (lo + nlen) tail
+            else
+              for t = 0 to tail - 1 do
+                r.(lo + nlen + t) <- shifted prev_arr.(hi + t)
+              done;
+            r
+          end
+        in
+        let luts =
+          splice
+            (fun nl -> Array.length nl.Netlist.luts)
+            prev.Netlist.luts
+            (Array.map
+               (fun (l : Netlist.lut) ->
+                 {
+                   Netlist.inputs = Array.map remap_new l.Netlist.inputs;
+                   table = l.Netlist.table;
+                   out = remap_new l.Netlist.out;
+                 })
+               new_nl.Netlist.luts)
+            (fun (l : Netlist.lut) ->
+              {
+                Netlist.inputs = Array.map shift l.Netlist.inputs;
+                table = l.Netlist.table;
+                out = shift l.Netlist.out;
+              })
+        in
+        let rename = clock_rename replacement in
+        let ffs =
+          splice
+            (fun nl -> Array.length nl.Netlist.ffs)
+            prev.Netlist.ffs
+            (Array.map
+               (fun (f : Netlist.ff) ->
+                 {
+                   Netlist.d = remap_new f.Netlist.d;
+                   q = remap_new f.Netlist.q;
+                   ce = Option.map remap_new f.Netlist.ce;
+                   ff_clock = rename f.Netlist.ff_clock;
+                   init = f.Netlist.init;
+                 })
+               new_nl.Netlist.ffs)
+            (fun (f : Netlist.ff) ->
+              {
+                f with
+                Netlist.d = shift f.Netlist.d;
+                q = shift f.Netlist.q;
+                ce = Option.map shift f.Netlist.ce;
+              })
+        in
+        let ff_names =
+          splice
+            (fun nl -> Array.length nl.Netlist.ffs)
+            prev.Netlist.ff_names
+            (Array.map
+               (fun (name, bit) -> (replacement.st_path ^ "." ^ name, bit))
+               new_nl.Netlist.ff_names)
+            (fun nb -> nb)
+        in
+        let mems =
+          splice
+            (fun nl -> Array.length nl.Netlist.mems)
+            prev.Netlist.mems
+            (Array.map
+               (fun (m : Netlist.mem) ->
+                 let rp (r : Netlist.mem_read) =
+                   {
+                     Netlist.mr_addr = Array.map remap_new r.Netlist.mr_addr;
+                     mr_out = Array.map remap_new r.Netlist.mr_out;
+                     mr_sync = Option.map rename r.Netlist.mr_sync;
+                   }
+                 in
+                 let wp (w : Netlist.mem_write) =
+                   {
+                     Netlist.mw_clock = rename w.Netlist.mw_clock;
+                     mw_enable = remap_new w.Netlist.mw_enable;
+                     mw_addr = Array.map remap_new w.Netlist.mw_addr;
+                     mw_data = Array.map remap_new w.Netlist.mw_data;
+                   }
+                 in
+                 {
+                   m with
+                   Netlist.mem_name = replacement.st_path ^ "." ^ m.Netlist.mem_name;
+                   mem_writes = List.map wp m.Netlist.mem_writes;
+                   mem_reads = List.map rp m.Netlist.mem_reads;
+                 })
+               new_nl.Netlist.mems)
+            (fun (m : Netlist.mem) ->
+              let rp (r : Netlist.mem_read) =
+                {
+                  r with
+                  Netlist.mr_addr = Array.map shift r.Netlist.mr_addr;
+                  mr_out = Array.map shift r.Netlist.mr_out;
+                }
+              in
+              let wp (w : Netlist.mem_write) =
+                {
+                  w with
+                  Netlist.mw_enable = shift w.Netlist.mw_enable;
+                  mw_addr = Array.map shift w.Netlist.mw_addr;
+                  mw_data = Array.map shift w.Netlist.mw_data;
+                }
+              in
+              {
+                m with
+                Netlist.mem_writes = List.map wp m.Netlist.mem_writes;
+                mem_reads = List.map rp m.Netlist.mem_reads;
+              })
+        in
+        let dsps =
+          splice
+            (fun nl -> Array.length nl.Netlist.dsps)
+            prev.Netlist.dsps
+            (Array.map
+               (fun (d : Netlist.dsp) ->
+                 {
+                   Netlist.dsp_a = Array.map remap_new d.Netlist.dsp_a;
+                   dsp_b = Array.map remap_new d.Netlist.dsp_b;
+                   dsp_out = Array.map remap_new d.Netlist.dsp_out;
+                 })
+               new_nl.Netlist.dsps)
+            (fun (d : Netlist.dsp) ->
+              {
+                Netlist.dsp_a = Array.map shift d.Netlist.dsp_a;
+                dsp_b = Array.map shift d.Netlist.dsp_b;
+                dsp_out = Array.map shift d.Netlist.dsp_out;
+              })
+        in
+        (* Updated stamp list / index geometry. *)
+        let stamps' = Array.copy old_arr in
+        stamps'.(k) <- replacement;
+        let offsets' =
+          Array.mapi
+            (fun j o -> if j > k then o + delta else o)
+            index.ix_offsets
+        in
+        let bmaps' = Array.copy index.ix_bmaps in
+        bmaps'.(k) <- new_bmap;
+        (* Const nets: replicate link's push order exactly (the final list
+           is the *unreversed* accumulator: shell first, stamps after, each
+           segment reversed in place). *)
+        let sroot = root_of index.ix_shell_root in
+        let const_nets = ref [] in
+        List.iter
+          (fun (net, b) -> const_nets := (sroot net, b) :: !const_nets)
+          shell.Netlist.const_nets;
+        Array.iteri
+          (fun j st ->
+            let remap = stamp_remap bmaps'.(j) offsets'.(j) in
+            List.iter
+              (fun (net, b) -> const_nets := (remap net, b) :: !const_nets)
+              st.st_netlist.Netlist.const_nets)
+          stamps';
+        (* Clock tree: rebuild the merge (root dedup is order-dependent and
+           the changed stamp may claim or release a root name). *)
+        let clock_tree = ref (List.rev shell.Netlist.clock_tree) in
+        let present = Hashtbl.create 32 in
+        List.iter
+          (fun (e : Netlist.clock_tree_entry) ->
+            Hashtbl.replace present e.Netlist.ck_name ())
+          shell.Netlist.clock_tree;
+        Array.iteri
+          (fun j st ->
+            let remap = stamp_remap bmaps'.(j) offsets'.(j) in
+            let rename = clock_rename st in
+            List.iter
+              (fun (c : Netlist.clock_tree_entry) ->
+                match c.Netlist.ck_parent with
+                | None ->
+                  let mapped = rename c.Netlist.ck_name in
+                  if not (Hashtbl.mem present mapped) then begin
+                    clock_tree :=
+                      { Netlist.ck_name = mapped; ck_parent = None; ck_enable = None }
+                      :: !clock_tree;
+                    Hashtbl.replace present mapped ()
+                  end
+                | Some parent ->
+                  let name = rename c.Netlist.ck_name in
+                  clock_tree :=
+                    {
+                      Netlist.ck_name = name;
+                      ck_parent = Some (rename parent);
+                      ck_enable = Option.map remap c.Netlist.ck_enable;
+                    }
+                    :: !clock_tree;
+                  Hashtbl.replace present name ())
+              st.st_netlist.Netlist.clock_tree)
+          stamps';
+        Some
+          ( {
+              prev with
+              Netlist.num_nets = prev.Netlist.num_nets + delta;
+              luts;
+              ffs;
+              mems;
+              dsps;
+              clock_tree = List.rev !clock_tree;
+              const_nets = !const_nets;
+              ff_names;
+            },
+            {
+              index with
+              ix_offsets = offsets';
+              ix_bmaps = bmaps';
+              ix_first =
+                (let f = Array.copy index.ix_first in
+                 f.(k) <- new_first;
+                 f);
+              ix_pairs = pairs';
+            } )
+
+let shell_remap (ix : index) = root_of ix.ix_shell_root
+
+let stamp_bmap (ix : index) i = ix.ix_bmaps.(i)

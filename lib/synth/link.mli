@@ -30,3 +30,46 @@ type stamped = {
 val is_boundary_name : string -> bool
 
 val link : shell:Netlist.t -> stamped list -> Netlist.t
+
+(** {1 Incremental delta path}
+
+    The VTI recompile loop replaces one stamp at a time.  {!link_indexed}
+    records enough geometry (per-stamp net offsets and boundary maps) to
+    let {!relink_stamp} splice the replacement's cells into the previously
+    linked netlist — bit-for-bit equal to a full {!link} over the updated
+    stamp list — without re-running the union-find over every stamp. *)
+
+(** Net-space geometry of a linked netlist: shell size, the shell's
+    boundary-port index, per-stamp offsets and boundary maps. *)
+type index
+
+(** Like {!link}, but also returns the {!index} needed by
+    {!relink_stamp}. *)
+val link_indexed : shell:Netlist.t -> stamped list -> Netlist.t * index
+
+(** [relink_stamp ~shell ~prev ~index ~old_stamps ~replacement] splices
+    [replacement] (matched by [st_path]) into [prev], the result of
+    linking [shell] with [old_stamps].  Boundary aliasing — one
+    stamp-local net tied to several distinct shell nets, which makes the
+    full link merge *shell* nets — is tolerated as long as the
+    replacement implies the same shell-net merges the old stamp did (the
+    usual case: iterating on a module does not change which output bits
+    are tied off together).  Returns the netlist (and updated index) a
+    full {!link} would produce, or [None] when the replacement changes
+    the merge structure and the caller must fall back to {!link}. *)
+val relink_stamp :
+  shell:Netlist.t ->
+  prev:Netlist.t ->
+  index:index ->
+  old_stamps:stamped list ->
+  replacement:stamped ->
+  (Netlist.t * index) option
+
+(** Final representative of a shell net in the linked netlist (identity
+    unless stamp tie-offs merged shell nets with each other). *)
+val shell_remap : index -> int -> int
+
+(** Boundary map of the [i]-th stamp (link order): stamp-local net ->
+    linked (root shell) net.  Nets absent from the map are
+    stamp-internal. *)
+val stamp_bmap : index -> int -> (int, int) Hashtbl.t

@@ -6,7 +6,21 @@
     everything else is compiled into the static region.  Incremental
     recompiles touch exactly one partition: re-synthesize the changed
     module, re-place-and-route its region, re-link, and emit a *partial*
-    bitstream that reconfigures only that region. *)
+    bitstream that reconfigures only that region.
+
+    This engine makes the incremental claim real in wall-clock, not just
+    in the cost model: a {!build} carries an {!incr_state} — per-stamp net
+    geometry ({!Zoomie_synth.Link.link_indexed}), folded static route
+    contributions ({!Zoomie_pnr.Route.cache_of_contribs}), per-partition
+    frame slices and a module-digest synthesis cache — so {!recompile}
+    splices the changed stamp into the linked netlist
+    ({!Zoomie_synth.Link.relink_stamp}), updates the route estimate from
+    cached contributions and re-merges cached frame slices instead of
+    redoing the whole design.  The Figure 4 fan-out (unique-module
+    synthesis, per-region placement, per-partition frame generation) runs
+    on a {!Pool} of OCaml 5 domains.  Every output is bit-for-bit equal to
+    {!Flow_baseline}, the seed monolithic engine, which the QCheck
+    differential in [test/test_vti.ml] pins. *)
 
 open Zoomie_rtl
 open Zoomie_fabric
@@ -46,6 +60,26 @@ type stamp_build = {
   sb_region : Region.t option;  (* Some = iterated partition *)
 }
 
+(* The delta-path caches that need the no-aliasing guarantee of
+   Link.relink_stamp.  Dropped (None) when a stamp aliases shell nets;
+   recompile then falls back to a full link. *)
+type fast_state = {
+  fs_index : Link.index;
+  fs_route_cache : Route.cache;  (* shell + static stamps, folded *)
+  fs_iter_contribs : (string * Route.contrib) list;  (* iterated path -> *)
+}
+
+type incr_state = {
+  is_fast : fast_state option;
+  is_static_frames : Framegen.frame_write list;
+      (* merged frames of the shell and every static stamp *)
+  is_iter_frames : (string * Framegen.frame_write list) list;
+      (* iterated path -> that partition's frame slice *)
+  is_synth_cache : (string, Netlist.t * Synthesize.stats) Hashtbl.t;
+      (* module-body digest -> synthesis result; append-only, so builds
+         sharing the table (prev and next) stay independently usable *)
+}
+
 type build = {
   project : project;
   shell_netlist : Netlist.t;
@@ -62,13 +96,15 @@ type build = {
   bitstream : Board.bitstream;
   modeled_seconds : float;   (* this run's modeled wall clock *)
   cost : Cost_model.phase;
+  incr : incr_state;
 }
 
 (* Fixed modeled cost of the final link step: loading the routed
    checkpoint of the full design and assembling the (partial) bitstream. *)
 let link_overhead_s = 600.0
 
-(* Parallel partition compiles (the Figure 4 fan-out). *)
+(* Parallel partition compiles (the Figure 4 fan-out) in the cost model;
+   the measured fan-out uses Pool.default_jobs domains. *)
 let parallel_jobs = 8
 
 let demand_of netlist =
@@ -83,24 +119,86 @@ let payload project netlist locmap =
     freq_mhz = project.freq_mhz;
   }
 
-(* Link everything and produce reports + full frame set. *)
-let relink project ~shell_netlist ~stamps =
-  let netlist =
-    Link.link ~shell:shell_netlist
-      (List.map
-         (fun sb ->
-           {
-             Link.st_path = sb.sb_path;
-             st_netlist = sb.sb_netlist;
-             st_clock_env = sb.sb_clock_env;
-           })
-         stamps)
-  in
-  ignore project;
-  netlist
+(* Per-stage CPU-time attribution to stderr when ZOOMIE_VTI_TIMINGS is
+   set in the environment; lets the bench harness (and a curious user)
+   see where an incremental recompile spends its time. *)
+let timers = Sys.getenv_opt "ZOOMIE_VTI_TIMINGS" <> None
+
+let timed name f =
+  if not timers then f ()
+  else begin
+    let t0 = Sys.time () in
+    let r = f () in
+    Printf.eprintf "[vti] %-24s %7.2fs\n%!" name (Sys.time () -. t0);
+    r
+  end
+
+let stamped_of sb =
+  {
+    Link.st_path = sb.sb_path;
+    st_netlist = sb.sb_netlist;
+    st_clock_env = sb.sb_clock_env;
+  }
 
 let merged_locmap ~shell_locmap ~stamps =
   Place.concat_locmaps (shell_locmap :: List.map (fun sb -> sb.sb_locmap) stamps)
+
+(* One-allocation array splice: [prev_arr] with the [old_len] elements at
+   [lo] replaced by [new_seg]. *)
+let splice_array (prev_arr : 'a array) ~lo ~old_len (new_seg : 'a array) =
+  let tail = Array.length prev_arr - lo - old_len in
+  let nlen = Array.length new_seg in
+  let total = lo + nlen + tail in
+  if total = 0 then [||]
+  else begin
+    let dummy = if nlen > 0 then new_seg.(0) else prev_arr.(0) in
+    let r = Array.make total dummy in
+    Array.blit prev_arr 0 r 0 lo;
+    Array.blit new_seg 0 r lo nlen;
+    Array.blit prev_arr (lo + old_len) r (lo + nlen) tail;
+    r
+  end
+
+(* The merged locmap after one stamp's re-place: splice the new segment
+   into the previous merged map instead of re-concatenating all ~5400
+   segments.  Equal to [merged_locmap] over the updated stamp list
+   because concatenation is segment-wise. *)
+let spliced_locmap ~(prev : Loc.map) ~shell_locmap ~old_stamps ~path
+    ~(new_locmap : Loc.map) =
+  let seg_maps =
+    Array.of_list
+      (shell_locmap :: List.map (fun sb -> sb.sb_locmap) old_stamps)
+  in
+  let k =
+    let r = ref (-1) in
+    List.iteri (fun i sb -> if sb.sb_path = path then r := i + 1) old_stamps;
+    !r
+  in
+  let splice count prev_arr new_seg =
+    let lo = ref 0 in
+    for j = 0 to k - 1 do
+      lo := !lo + count seg_maps.(j)
+    done;
+    splice_array prev_arr ~lo:!lo ~old_len:(count seg_maps.(k)) new_seg
+  in
+  {
+    Loc.ff_sites =
+      splice
+        (fun m -> Array.length m.Loc.ff_sites)
+        prev.Loc.ff_sites new_locmap.Loc.ff_sites;
+    lut_sites =
+      splice
+        (fun m -> Array.length m.Loc.lut_sites)
+        prev.Loc.lut_sites new_locmap.Loc.lut_sites;
+    mem_placements =
+      splice
+        (fun m -> Array.length m.Loc.mem_placements)
+        prev.Loc.mem_placements new_locmap.Loc.mem_placements;
+    dsp_sites =
+      splice
+        (fun m -> Array.length m.Loc.dsp_sites)
+        prev.Loc.dsp_sites new_locmap.Loc.dsp_sites;
+  }
 
 (* Modeled compile phases for one component. *)
 let component_cost ~gate_nodes ~cells ~utilization ~wirelength ~congestion ~frames =
@@ -115,25 +213,141 @@ let parallel_wall ~static_s ~partition_s =
   max static_s (max slowest spread) +. (0.03 *. static_s)
 (* 3%: the partition-constraint overhead VTI pays on the static region. *)
 
-(** Initial (from-scratch) VTI compile. *)
-let compile (project : project) : build =
+let device_util project netlist =
+  let used = Place.resources_of_netlist netlist in
+  let cap = Device.resources project.device in
+  List.fold_left
+    (fun acc k ->
+      let c = Resource.get cap k in
+      if c = 0 then acc
+      else Float.max acc (float_of_int (Resource.get used k) /. float_of_int c))
+    0.0 Resource.all_kinds
+
+(* Timing via the flat-array evaluator, falling back to the seed DFS on
+   the graphs (multi-driven nets, combinational cycles) where the DFS
+   order is load-bearing.  Both produce identical reports elsewhere. *)
+let analyze_timing ~congestion ~utilization netlist locmap =
+  match Timing.analyze_fast ~congestion ~utilization netlist locmap with
+  | Some r -> r
+  | None -> Timing.analyze ~congestion ~utilization netlist locmap
+
+(* Content hash of a module body.  Sound as a synthesis-cache key within
+   one build lineage: Hier.synth_module output depends on the circuit and
+   on the modules it instantiates, and the latter never change across
+   recompiles (recompile always submits the changed module itself). *)
+let circuit_digest (c : Circuit.t) = Digest.string (Marshal.to_string c [])
+
+(* Per-segment route contributions (shell first, then stamps in link
+   order).  Shell-aliasing safe: both the shell segment and the stamp
+   boundary maps key nets by their final (root) shell id. *)
+let route_contribs ?jobs ~index ~shell_netlist ~shell_locmap stamps =
+  let seg = Array.of_list stamps in
+  Pool.map_array ?jobs
+    (fun i ->
+      if i = 0 then
+        Route.contrib_of ~shell_remap:(Link.shell_remap index) shell_netlist
+          shell_locmap
+      else
+        let sb = seg.(i - 1) in
+        Route.contrib_of
+          ~bmap:(Link.stamp_bmap index (i - 1))
+          sb.sb_netlist sb.sb_locmap)
+    (Array.init (1 + Array.length seg) Fun.id)
+
+(* Split per-segment contributions into the folded static cache and the
+   per-iterated-stamp list the recompile path swaps entries of. *)
+let route_cache_of ~nshell ~contribs stamps =
+  let static = ref [ contribs.(0) ] and iter = ref [] in
+  List.iteri
+    (fun i sb ->
+      match sb.sb_region with
+      | None -> static := contribs.(i + 1) :: !static
+      | Some _ -> iter := (sb.sb_path, contribs.(i + 1)) :: !iter)
+    stamps;
+  let cache = Route.cache_of_contribs ~nshell (List.rev !static) in
+  (cache, List.rev !iter)
+
+(* Per-segment frame slices, merged into the cached static set and the
+   per-iterated-partition list.  Exact: framegen only reads truth tables,
+   FF inits and placements, never net ids, and site allocations are
+   disjoint across segments. *)
+let frame_slices ?jobs ~shell_netlist ~shell_locmap stamps =
+  let seg = Array.of_list stamps in
+  let slices =
+    Pool.map_array ?jobs
+      (fun i ->
+        if i = 0 then Framegen.generate shell_netlist shell_locmap
+        else Framegen.generate seg.(i - 1).sb_netlist seg.(i - 1).sb_locmap)
+      (Array.init (1 + Array.length seg) Fun.id)
+  in
+  let static = ref [ slices.(0) ] and iter = ref [] in
+  List.iteri
+    (fun i sb ->
+      match sb.sb_region with
+      | None -> static := slices.(i + 1) :: !static
+      | Some _ -> iter := (sb.sb_path, slices.(i + 1)) :: !iter)
+    stamps;
+  (Framegen.merge (List.rev !static), List.rev !iter)
+
+(** Initial (from-scratch) VTI compile.  [jobs] caps the domain fan-out
+    (default {!Pool.default_jobs}); results are independent of it. *)
+let compile ?jobs (project : project) : build =
   let shell_circuit, bbs =
     Flat.elaborate_shell project.design ~units:project.replicated_units
   in
-  let shell_netlist, shell_stats = Synthesize.run shell_circuit in
-  (* One synthesis per unique module. *)
+  (* Unique modules, first-occurrence order. *)
+  let uniq = Hashtbl.create 8 in
+  let modules =
+    List.filter_map
+      (fun (bb : Flat.blackbox) ->
+        if Hashtbl.mem uniq bb.Flat.bb_module then None
+        else begin
+          Hashtbl.add uniq bb.Flat.bb_module ();
+          Some bb.Flat.bb_module
+        end)
+      bbs
+    |> Array.of_list
+  in
+  (* Shell synthesis and one synthesis per unique module — the Figure 4
+     fan-out, on real domains.  Task 0 is the shell. *)
+  let synth_results =
+    Pool.map_array ?jobs
+      (fun i ->
+        if i = 0 then `Shell (Synthesize.run shell_circuit)
+        else `Unit (Zoomie_synth.Hier.synth_module project.design modules.(i - 1)))
+      (Array.init (1 + Array.length modules) Fun.id)
+  in
+  let shell_netlist, shell_stats =
+    match synth_results.(0) with `Shell r -> r | `Unit _ -> assert false
+  in
   let cache = Hashtbl.create 8 in
+  Array.iteri
+    (fun i r ->
+      if i > 0 then
+        match r with
+        | `Unit r -> Hashtbl.add cache modules.(i - 1) r
+        | `Shell _ -> assert false)
+    synth_results;
+  (* Seed the content-hash synthesis cache so a recompile that submits an
+     unchanged module body skips synthesis entirely. *)
+  let synth_cache = Hashtbl.create 8 in
+  Array.iter
+    (fun m ->
+      Hashtbl.replace synth_cache
+        (circuit_digest (Design.find project.design m))
+        (Hashtbl.find cache m))
+    modules;
+  (* Provision regions for iterated instances. *)
+  let bb_by_path = Hashtbl.create (List.length bbs) in
   List.iter
     (fun (bb : Flat.blackbox) ->
-      if not (Hashtbl.mem cache bb.Flat.bb_module) then
-        Hashtbl.add cache bb.Flat.bb_module
-          (Zoomie_synth.Hier.synth_module project.design bb.Flat.bb_module))
+      if not (Hashtbl.mem bb_by_path bb.Flat.bb_path) then
+        Hashtbl.add bb_by_path bb.Flat.bb_path bb)
     bbs;
-  (* Provision regions for iterated instances. *)
   let demands =
     List.map
       (fun path ->
-        match List.find_opt (fun (bb : Flat.blackbox) -> bb.Flat.bb_path = path) bbs with
+        match Hashtbl.find_opt bb_by_path path with
         | None ->
           invalid_arg
             (Printf.sprintf "Vti: iterated path %S is not a replicated instance" path)
@@ -146,21 +360,47 @@ let compile (project : project) : build =
     Estimate.provision project.device ~c:project.c ~debug_slr:project.debug_slr
       demands
   in
-  (* Placement: static allocator shared by shell + static stamps; iterated
-     stamps in their own regions. *)
+  let region_by_path = Hashtbl.create 16 in
+  List.iter
+    (fun (path, r) ->
+      if not (Hashtbl.mem region_by_path path) then
+        Hashtbl.add region_by_path path r)
+    partition_regions;
+  (* Placement: static allocator shared by shell + static stamps (state
+     threads through in list order, so those stay sequential); iterated
+     stamps each place alone in a private region — embarrassingly
+     parallel. *)
   let static_alloc = Sites.create project.device static_regions in
   let shell_place =
     Place.run_with_allocator static_alloc ~regions:static_regions shell_netlist
+  in
+  let iter_locmaps =
+    let iter_bbs =
+      Array.of_list
+        (List.filter
+           (fun (bb : Flat.blackbox) -> Hashtbl.mem region_by_path bb.Flat.bb_path)
+           bbs)
+    in
+    let placed =
+      Pool.map_array ?jobs
+        (fun (bb : Flat.blackbox) ->
+          let nl, _ = Hashtbl.find cache bb.Flat.bb_module in
+          let r = Hashtbl.find region_by_path bb.Flat.bb_path in
+          (bb.Flat.bb_path, (Place.run project.device ~regions:[ r ] nl).Place.locmap))
+        iter_bbs
+    in
+    let t = Hashtbl.create 16 in
+    Array.iter (fun (p, lm) -> Hashtbl.replace t p lm) placed;
+    t
   in
   let stamps =
     List.map
       (fun (bb : Flat.blackbox) ->
         let nl, stats = Hashtbl.find cache bb.Flat.bb_module in
-        let region = List.assoc_opt bb.Flat.bb_path partition_regions in
+        let region = Hashtbl.find_opt region_by_path bb.Flat.bb_path in
         let locmap =
           match region with
-          | Some r ->
-            (Place.run project.device ~regions:[ r ] nl).Place.locmap
+          | Some _ -> Hashtbl.find iter_locmaps bb.Flat.bb_path
           | None ->
             (Place.run_with_allocator static_alloc ~regions:static_regions nl)
               .Place.locmap
@@ -176,30 +416,43 @@ let compile (project : project) : build =
         })
       bbs
   in
-  let netlist = relink project ~shell_netlist ~stamps in
+  let netlist, index =
+    Link.link_indexed ~shell:shell_netlist (List.map stamped_of stamps)
+  in
   let locmap = merged_locmap ~shell_locmap:shell_place.Place.locmap ~stamps in
-  let route = Route.estimate netlist locmap in
-  let device_util =
-    let used = Place.resources_of_netlist netlist in
-    let cap = Device.resources project.device in
-    List.fold_left
-      (fun acc k ->
-        let c = Resource.get cap k in
-        if c = 0 then acc
-        else Float.max acc (float_of_int (Resource.get used k) /. float_of_int c))
-      0.0 Resource.all_kinds
+  let route, fast =
+    let contribs =
+      route_contribs ?jobs ~index ~shell_netlist
+        ~shell_locmap:shell_place.Place.locmap stamps
+    in
+    let cache, iter =
+      route_cache_of ~nshell:shell_netlist.Netlist.num_nets ~contribs stamps
+    in
+    let route =
+      Route.stats_of_cache cache (List.map snd iter)
+        ~cells:(Netlist.num_cells netlist)
+    in
+    ( route,
+      Some { fs_index = index; fs_route_cache = cache; fs_iter_contribs = iter }
+    )
   in
+  let util = device_util project netlist in
   let timing =
-    Timing.analyze ~congestion:route.Route.congestion ~utilization:device_util
-      netlist locmap
+    analyze_timing ~congestion:route.Route.congestion ~utilization:util netlist
+      locmap
   in
-  let frames = Framegen.generate netlist locmap in
+  let static_frames, iter_frames =
+    frame_slices ?jobs ~shell_netlist ~shell_locmap:shell_place.Place.locmap
+      stamps
+  in
+  let frames = Framegen.merge (static_frames :: List.map snd iter_frames) in
   let bitstream =
     Bitgen.full project.device ~frames ~payload:(payload project netlist locmap)
   in
   (* --- modeled cost --- *)
   let total_cells = Netlist.num_cells netlist in
-  let iterated_paths = project.iterated in
+  let iterated_tbl = Hashtbl.create 16 in
+  List.iter (fun p -> Hashtbl.replace iterated_tbl p ()) project.iterated;
   let partition_costs =
     List.filter_map
       (fun sb ->
@@ -225,7 +478,7 @@ let compile (project : project) : build =
     shell_stats.Synthesize.gate_nodes
     + List.fold_left
         (fun acc sb ->
-          if List.mem sb.sb_path iterated_paths then acc
+          if Hashtbl.mem iterated_tbl sb.sb_path then acc
           else acc + sb.sb_stats.Synthesize.gate_nodes)
         0 stamps
   in
@@ -233,7 +486,7 @@ let compile (project : project) : build =
     total_cells
     - List.fold_left
         (fun acc sb ->
-          if List.mem sb.sb_path iterated_paths then
+          if Hashtbl.mem iterated_tbl sb.sb_path then
             acc + Netlist.num_cells sb.sb_netlist
           else acc)
         0 stamps
@@ -266,6 +519,13 @@ let compile (project : project) : build =
     bitstream;
     modeled_seconds = wall;
     cost = static_cost;
+    incr =
+      {
+        is_fast = fast;
+        is_static_frames = static_frames;
+        is_iter_frames = iter_frames;
+        is_synth_cache = synth_cache;
+      };
   }
 
 exception Partition_overflow of string
@@ -273,8 +533,13 @@ exception Partition_overflow of string
 (** Incremental recompile: the designer changed the RTL of the iterated
     instance at [path]; [circuit] is the new module body (it may grow, as
     long as it still fits the provisioned region).  Everything outside the
-    partition is reused from [prev]. *)
+    partition is reused from [prev]: the linked netlist is spliced, the
+    route estimate re-folded from cached contributions, and only the
+    changed partition's frames regenerate.  [prev] itself stays fully
+    usable afterwards (every cache update is functional or append-only) —
+    in particular after a {!Partition_overflow}. *)
 let recompile (prev : build) ~path ~(circuit : Circuit.t) : build =
+  let rc_t0 = Sys.time () in
   let project = prev.project in
   let region =
     match List.assoc_opt path prev.partition_regions with
@@ -282,10 +547,18 @@ let recompile (prev : build) ~path ~(circuit : Circuit.t) : build =
     | None ->
       invalid_arg (Printf.sprintf "Vti.recompile: %S is not an iterated partition" path)
   in
-  (* Re-synthesize just the changed module. *)
-  let design = Design.add_module (Design.copy project.design) circuit in
+  (* Re-synthesize just the changed module — or reuse the digest-matched
+     result of an earlier run with the same body. *)
   let new_netlist, new_stats =
-    Zoomie_synth.Hier.synth_module design circuit.Circuit.name
+    timed "synth" (fun () ->
+        let digest = circuit_digest circuit in
+        match Hashtbl.find_opt prev.incr.is_synth_cache digest with
+        | Some r -> r
+        | None ->
+          let design = Design.add_module (Design.copy project.design) circuit in
+          let r = Zoomie_synth.Hier.synth_module design circuit.Circuit.name in
+          Hashtbl.replace prev.incr.is_synth_cache digest r;
+          r)
   in
   (* Check the provision still holds: ER with the configured coefficient. *)
   let layout = (Device.slr project.device region.Region.slr).Device.layout in
@@ -296,7 +569,8 @@ let recompile (prev : build) ~path ~(circuit : Circuit.t) : build =
          (Fmt.str "partition %s no longer fits %a" path Region.pp region));
   (* Re-place inside the private region only. *)
   let new_locmap =
-    (Place.run project.device ~regions:[ region ] new_netlist).Place.locmap
+    timed "place" (fun () ->
+        (Place.run project.device ~regions:[ region ] new_netlist).Place.locmap)
   in
   let stamps =
     List.map
@@ -312,35 +586,114 @@ let recompile (prev : build) ~path ~(circuit : Circuit.t) : build =
         else sb)
       prev.stamps
   in
-  let netlist = relink project ~shell_netlist:prev.shell_netlist ~stamps in
-  let locmap = merged_locmap ~shell_locmap:prev.shell_locmap ~stamps in
-  let route = Route.estimate netlist locmap in
-  let device_util =
-    let used = Place.resources_of_netlist netlist in
-    let cap = Device.resources project.device in
-    List.fold_left
-      (fun acc k ->
-        let c = Resource.get cap k in
-        if c = 0 then acc
-        else Float.max acc (float_of_int (Resource.get used k) /. float_of_int c))
-      0.0 Resource.all_kinds
+  let replacement =
+    let sb = List.find (fun sb -> sb.sb_path = path) stamps in
+    stamped_of sb
   in
+  (* Link: splice the one changed stamp when the delta path is available,
+     otherwise redo the full link (and rebuild the caches). *)
+  let spliced =
+    timed "relink (splice)" (fun () ->
+        match prev.incr.is_fast with
+        | None -> None
+        | Some fs -> (
+          match
+            Link.relink_stamp ~shell:prev.shell_netlist ~prev:prev.netlist
+              ~index:fs.fs_index
+              ~old_stamps:(List.map stamped_of prev.stamps)
+              ~replacement
+          with
+          | None -> None
+          | Some (netlist, index') -> Some (fs, netlist, index')))
+  in
+  if timers && spliced = None then
+    Printf.eprintf "[vti] splice unavailable -> full link fallback\n%!";
+  let netlist, route, fast =
+    match spliced with
+    | Some (fs, netlist, index') ->
+      let k =
+        let r = ref (-1) in
+        List.iteri (fun i sb -> if sb.sb_path = path then r := i) stamps;
+        !r
+      in
+      let new_contrib =
+        timed "route contrib" (fun () ->
+            Route.contrib_of ~bmap:(Link.stamp_bmap index' k) new_netlist
+              new_locmap)
+      in
+      let iter =
+        List.map
+          (fun (p, c) -> if p = path then (p, new_contrib) else (p, c))
+          fs.fs_iter_contribs
+      in
+      let route =
+        timed "route fold" (fun () ->
+            Route.stats_of_cache fs.fs_route_cache (List.map snd iter)
+              ~cells:(Netlist.num_cells netlist))
+      in
+      ( netlist,
+        route,
+        Some { fs with fs_index = index'; fs_iter_contribs = iter } )
+    | None ->
+      let netlist, index =
+        Link.link_indexed ~shell:prev.shell_netlist (List.map stamped_of stamps)
+      in
+      let contribs =
+        route_contribs ~index ~shell_netlist:prev.shell_netlist
+          ~shell_locmap:prev.shell_locmap stamps
+      in
+      let cache, iter =
+        route_cache_of ~nshell:prev.shell_netlist.Netlist.num_nets ~contribs
+          stamps
+      in
+      let route =
+        Route.stats_of_cache cache (List.map snd iter)
+          ~cells:(Netlist.num_cells netlist)
+      in
+      ( netlist,
+        route,
+        Some
+          { fs_index = index; fs_route_cache = cache; fs_iter_contribs = iter }
+      )
+  in
+  let locmap =
+    timed "locmap splice" (fun () ->
+        spliced_locmap ~prev:prev.locmap ~shell_locmap:prev.shell_locmap
+          ~old_stamps:prev.stamps ~path ~new_locmap)
+  in
+  let util = timed "util" (fun () -> device_util project netlist) in
   let timing =
-    Timing.analyze ~congestion:route.Route.congestion ~utilization:device_util
-      netlist locmap
+    timed "timing" (fun () ->
+        analyze_timing ~congestion:route.Route.congestion ~utilization:util
+          netlist locmap)
   in
-  let frames = Framegen.generate netlist locmap in
+  (* Frames: regenerate the changed partition's slice, re-merge with the
+     cached static set and the other partitions' cached slices. *)
+  let new_slice =
+    timed "framegen slice" (fun () -> Framegen.generate new_netlist new_locmap)
+  in
+  let iter_frames =
+    List.map
+      (fun (p, f) -> if p = path then (p, new_slice) else (p, f))
+      prev.incr.is_iter_frames
+  in
+  let frames =
+    timed "frame merge" (fun () ->
+        Framegen.merge (prev.incr.is_static_frames :: List.map snd iter_frames))
+  in
   (* Partial bitstream: only the partition's frames. *)
   let partial_frames =
-    List.filter
-      (fun (fw : Framegen.frame_write) ->
-        let row, col, _ = fw.Framegen.fw_key in
-        Region.contains region ~slr:fw.Framegen.fw_slr ~row ~col)
-      frames
+    timed "partial filter" (fun () ->
+        List.filter
+          (fun (fw : Framegen.frame_write) ->
+            let row, col, _ = fw.Framegen.fw_key in
+            Region.contains region ~slr:fw.Framegen.fw_slr ~row ~col)
+          frames)
   in
   let bitstream =
-    Bitgen.partial project.device ~frames:partial_frames ~dynamic:[ region ]
-      ~payload:(payload project netlist locmap)
+    timed "bitgen partial" (fun () ->
+        Bitgen.partial project.device ~frames:partial_frames ~dynamic:[ region ]
+          ~payload:(payload project netlist locmap))
   in
   (* Modeled incremental cost: the partition alone, plus startup + link. *)
   let cells = Netlist.num_cells new_netlist in
@@ -355,6 +708,8 @@ let recompile (prev : build) ~path ~(circuit : Circuit.t) : build =
   let wall =
     Cost_model.tool_startup_s +. Cost_model.total part_cost +. link_overhead_s
   in
+  if timers then
+    Printf.eprintf "[vti] %-24s %7.2fs\n%!" "TOTAL (cpu)" (Sys.time () -. rc_t0);
   {
     prev with
     stamps;
@@ -366,6 +721,12 @@ let recompile (prev : build) ~path ~(circuit : Circuit.t) : build =
     bitstream;
     modeled_seconds = wall;
     cost = part_cost;
+    incr =
+      {
+        prev.incr with
+        is_fast = fast;
+        is_iter_frames = iter_frames;
+      };
   }
 
 (** Program the board (full or partial, as the build dictates). *)
@@ -373,13 +734,26 @@ let load_onto board (b : build) = Board.load board b.bitstream
 
 (* --- checkpoint persistence ------------------------------------------ *)
 
-let checkpoint_magic = "ZOOMIE-DCP-1"
+let checkpoint_magic = "ZOOMIE-DCP-2"
+
+let checkpoint_version = 2
+
+(* A marshaled build is only readable by a compatible runtime: guard the
+   raw Marshal payload with the OCaml version, word size and the build
+   record's layout generation so a foreign checkpoint fails loudly
+   instead of segfaulting. *)
+let checkpoint_fingerprint =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "|"
+          [ Sys.ocaml_version; string_of_int Sys.word_size; "vti-build-v2" ]))
 
 (** Persist a build (the routed "design checkpoint") so debugging sessions
     can resume incremental iteration across tool restarts. *)
 let save_checkpoint (b : build) path =
   let oc = open_out_bin path in
   output_string oc checkpoint_magic;
+  Marshal.to_channel oc (checkpoint_version, checkpoint_fingerprint) [];
   Marshal.to_channel oc b [];
   close_out oc
 
@@ -396,6 +770,15 @@ let load_checkpoint path : build =
       try
         let magic = really_input_string ic (String.length checkpoint_magic) in
         if magic <> checkpoint_magic then raise (Bad_checkpoint "bad magic");
+        let version, fingerprint = (Marshal.from_channel ic : int * string) in
+        if version <> checkpoint_version then
+          raise
+            (Bad_checkpoint
+               (Printf.sprintf "checkpoint format version %d, expected %d"
+                  version checkpoint_version));
+        if fingerprint <> checkpoint_fingerprint then
+          raise
+            (Bad_checkpoint "stale checkpoint: toolchain fingerprint mismatch");
         (Marshal.from_channel ic : build)
       with
       | Bad_checkpoint _ as e -> raise e

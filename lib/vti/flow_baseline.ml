@@ -1,0 +1,406 @@
+(** The seed (monolithic) VTI flow, kept as the differential oracle for the
+    incremental engine in {!Flow}: every [recompile] here redoes the full
+    link / route / timing / framegen over all stamps, which is exactly the
+    "from-scratch" computation the incremental path must match bit-for-bit.
+
+    Compilation unit: partition.  Optimization: partition-local.  Linking:
+    after routing.  The designer declares which instances they will iterate
+    on; each gets an over-provisioned private region inside the debug SLR,
+    everything else is compiled into the static region.  Incremental
+    recompiles touch exactly one partition: re-synthesize the changed
+    module, re-place-and-route its region, re-link, and emit a *partial*
+    bitstream that reconfigures only that region. *)
+
+open Zoomie_rtl
+open Zoomie_fabric
+module Netlist = Zoomie_synth.Netlist
+module Synthesize = Zoomie_synth.Synthesize
+module Link = Zoomie_synth.Link
+module Place = Zoomie_pnr.Place
+module Sites = Zoomie_pnr.Sites
+module Route = Zoomie_pnr.Route
+module Timing = Zoomie_pnr.Timing
+module Framegen = Zoomie_pnr.Framegen
+module Cost_model = Zoomie_pnr.Cost_model
+module Board = Zoomie_bitstream.Board
+module Bitgen = Zoomie_vendor.Bitgen
+
+type project = {
+  device : Device.t;
+  design : Design.t;
+  clock_root : string;
+  freq_mhz : float;
+  replicated_units : string list;
+      (** module names synthesized once and stamped per instance *)
+  iterated : string list;
+      (** instance paths the designer will recompile during debugging *)
+  c : float;  (** over-provision coefficient *)
+  debug_slr : int;
+}
+
+(* Per-stamp compilation artifacts, cached across incremental runs. *)
+type stamp_build = {
+  sb_path : string;
+  sb_module : string;
+  sb_netlist : Netlist.t;
+  sb_stats : Synthesize.stats;
+  sb_locmap : Loc.map;
+  sb_clock_env : (string * string) list;
+  sb_region : Region.t option;  (* Some = iterated partition *)
+}
+
+type build = {
+  project : project;
+  shell_netlist : Netlist.t;
+  shell_stats : Synthesize.stats;
+  shell_locmap : Loc.map;
+  stamps : stamp_build list;  (* in link order *)
+  partition_regions : (string * Region.t) list;  (* iterated path -> region *)
+  static_regions : Region.t list;
+  netlist : Netlist.t;       (* linked *)
+  locmap : Loc.map;          (* merged, indexes the linked netlist *)
+  route : Route.stats;
+  timing : Timing.report;
+  frames : Framegen.frame_write list;
+  bitstream : Board.bitstream;
+  modeled_seconds : float;   (* this run's modeled wall clock *)
+  cost : Cost_model.phase;
+}
+
+(* Fixed modeled cost of the final link step: loading the routed
+   checkpoint of the full design and assembling the (partial) bitstream. *)
+let link_overhead_s = 600.0
+
+(* Parallel partition compiles (the Figure 4 fan-out). *)
+let parallel_jobs = 8
+
+let demand_of netlist =
+  let lut, lutram, ff, bram = Netlist.resources netlist in
+  Resource.make ~lut:(lut + lutram) ~lutram ~ff ~bram ()
+
+let payload project netlist locmap =
+  {
+    Board.netlist;
+    locmap;
+    clock_root = project.clock_root;
+    freq_mhz = project.freq_mhz;
+  }
+
+(* Link everything and produce reports + full frame set. *)
+let relink project ~shell_netlist ~stamps =
+  let netlist =
+    Link.link ~shell:shell_netlist
+      (List.map
+         (fun sb ->
+           {
+             Link.st_path = sb.sb_path;
+             st_netlist = sb.sb_netlist;
+             st_clock_env = sb.sb_clock_env;
+           })
+         stamps)
+  in
+  ignore project;
+  netlist
+
+let merged_locmap ~shell_locmap ~stamps =
+  Place.concat_locmaps (shell_locmap :: List.map (fun sb -> sb.sb_locmap) stamps)
+
+(* Modeled compile phases for one component. *)
+let component_cost ~gate_nodes ~cells ~utilization ~wirelength ~congestion ~frames =
+  Cost_model.compile ~gate_nodes ~cells ~utilization ~wirelength ~congestion
+    ~frames
+
+(* Combine parallel partition costs: wall = max(static, slowest partition)
+   approximated as static + partitions/jobs. *)
+let parallel_wall ~static_s ~partition_s =
+  let spread = List.fold_left ( +. ) 0.0 partition_s /. float_of_int parallel_jobs in
+  let slowest = List.fold_left max 0.0 partition_s in
+  max static_s (max slowest spread) +. (0.03 *. static_s)
+(* 3%: the partition-constraint overhead VTI pays on the static region. *)
+
+(** Initial (from-scratch) VTI compile. *)
+let compile (project : project) : build =
+  let shell_circuit, bbs =
+    Flat.elaborate_shell project.design ~units:project.replicated_units
+  in
+  let shell_netlist, shell_stats = Synthesize.run shell_circuit in
+  (* One synthesis per unique module. *)
+  let cache = Hashtbl.create 8 in
+  List.iter
+    (fun (bb : Flat.blackbox) ->
+      if not (Hashtbl.mem cache bb.Flat.bb_module) then
+        Hashtbl.add cache bb.Flat.bb_module
+          (Zoomie_synth.Hier.synth_module project.design bb.Flat.bb_module))
+    bbs;
+  (* Provision regions for iterated instances. *)
+  let demands =
+    List.map
+      (fun path ->
+        match List.find_opt (fun (bb : Flat.blackbox) -> bb.Flat.bb_path = path) bbs with
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Vti: iterated path %S is not a replicated instance" path)
+        | Some bb ->
+          let nl, _ = Hashtbl.find cache bb.Flat.bb_module in
+          (path, demand_of nl))
+      project.iterated
+  in
+  let partition_regions, static_regions =
+    Estimate.provision project.device ~c:project.c ~debug_slr:project.debug_slr
+      demands
+  in
+  (* Placement: static allocator shared by shell + static stamps; iterated
+     stamps in their own regions. *)
+  let static_alloc = Sites.create project.device static_regions in
+  let shell_place =
+    Place.run_with_allocator static_alloc ~regions:static_regions shell_netlist
+  in
+  let stamps =
+    List.map
+      (fun (bb : Flat.blackbox) ->
+        let nl, stats = Hashtbl.find cache bb.Flat.bb_module in
+        let region = List.assoc_opt bb.Flat.bb_path partition_regions in
+        let locmap =
+          match region with
+          | Some r ->
+            (Place.run project.device ~regions:[ r ] nl).Place.locmap
+          | None ->
+            (Place.run_with_allocator static_alloc ~regions:static_regions nl)
+              .Place.locmap
+        in
+        {
+          sb_path = bb.Flat.bb_path;
+          sb_module = bb.Flat.bb_module;
+          sb_netlist = nl;
+          sb_stats = stats;
+          sb_locmap = locmap;
+          sb_clock_env = bb.Flat.bb_clock_env;
+          sb_region = region;
+        })
+      bbs
+  in
+  let netlist = relink project ~shell_netlist ~stamps in
+  let locmap = merged_locmap ~shell_locmap:shell_place.Place.locmap ~stamps in
+  let route = Route.estimate netlist locmap in
+  let device_util =
+    let used = Place.resources_of_netlist netlist in
+    let cap = Device.resources project.device in
+    List.fold_left
+      (fun acc k ->
+        let c = Resource.get cap k in
+        if c = 0 then acc
+        else Float.max acc (float_of_int (Resource.get used k) /. float_of_int c))
+      0.0 Resource.all_kinds
+  in
+  let timing =
+    Timing.analyze ~congestion:route.Route.congestion ~utilization:device_util
+      netlist locmap
+  in
+  let frames = Framegen.generate netlist locmap in
+  let bitstream =
+    Bitgen.full project.device ~frames ~payload:(payload project netlist locmap)
+  in
+  (* --- modeled cost --- *)
+  let total_cells = Netlist.num_cells netlist in
+  let iterated_paths = project.iterated in
+  let partition_costs =
+    List.filter_map
+      (fun sb ->
+        match sb.sb_region with
+        | None -> None
+        | Some r ->
+          let cells = Netlist.num_cells sb.sb_netlist in
+          let share = float_of_int cells /. float_of_int (max 1 total_cells) in
+          Some
+            (Cost_model.total
+               (component_cost
+                  ~gate_nodes:sb.sb_stats.Synthesize.gate_nodes ~cells
+                  ~utilization:(1.0 /. (1.0 +. project.c))
+                  ~wirelength:
+                    (int_of_float (share *. float_of_int route.Route.total_wirelength))
+                  ~congestion:route.Route.congestion
+                  ~frames:(Region.frame_count (Device.slr project.device r.Region.slr).Device.layout r))))
+      stamps
+  in
+  (* Static component: everything not in an iterated partition, compiled
+     monolithically (cost basis: as-if-flat totals). *)
+  let static_gate_nodes =
+    shell_stats.Synthesize.gate_nodes
+    + List.fold_left
+        (fun acc sb ->
+          if List.mem sb.sb_path iterated_paths then acc
+          else acc + sb.sb_stats.Synthesize.gate_nodes)
+        0 stamps
+  in
+  let static_cells =
+    total_cells
+    - List.fold_left
+        (fun acc sb ->
+          if List.mem sb.sb_path iterated_paths then
+            acc + Netlist.num_cells sb.sb_netlist
+          else acc)
+        0 stamps
+  in
+  let static_cost =
+    component_cost ~gate_nodes:static_gate_nodes ~cells:static_cells
+      ~utilization:0.95 ~wirelength:route.Route.total_wirelength
+      ~congestion:route.Route.congestion ~frames:(List.length frames)
+  in
+  let wall =
+    Cost_model.tool_startup_s
+    +. parallel_wall
+         ~static_s:(Cost_model.total static_cost)
+         ~partition_s:partition_costs
+    +. link_overhead_s
+  in
+  {
+    project;
+    shell_netlist;
+    shell_stats;
+    shell_locmap = shell_place.Place.locmap;
+    stamps;
+    partition_regions;
+    static_regions;
+    netlist;
+    locmap;
+    route;
+    timing;
+    frames;
+    bitstream;
+    modeled_seconds = wall;
+    cost = static_cost;
+  }
+
+exception Partition_overflow of string
+
+(** Incremental recompile: the designer changed the RTL of the iterated
+    instance at [path]; [circuit] is the new module body (it may grow, as
+    long as it still fits the provisioned region).  Everything outside the
+    partition is reused from [prev]. *)
+let recompile (prev : build) ~path ~(circuit : Circuit.t) : build =
+  let project = prev.project in
+  let region =
+    match List.assoc_opt path prev.partition_regions with
+    | Some r -> r
+    | None ->
+      invalid_arg (Printf.sprintf "Vti.recompile: %S is not an iterated partition" path)
+  in
+  (* Re-synthesize just the changed module. *)
+  let design = Design.add_module (Design.copy project.design) circuit in
+  let new_netlist, new_stats =
+    Zoomie_synth.Hier.synth_module design circuit.Circuit.name
+  in
+  (* Check the provision still holds: ER with the configured coefficient. *)
+  let layout = (Device.slr project.device region.Region.slr).Device.layout in
+  let capacity = Region.resources layout region in
+  if not (Resource.fits ~demand:(demand_of new_netlist) ~capacity) then
+    raise
+      (Partition_overflow
+         (Fmt.str "partition %s no longer fits %a" path Region.pp region));
+  (* Re-place inside the private region only. *)
+  let new_locmap =
+    (Place.run project.device ~regions:[ region ] new_netlist).Place.locmap
+  in
+  let stamps =
+    List.map
+      (fun sb ->
+        if sb.sb_path = path then
+          {
+            sb with
+            sb_module = circuit.Circuit.name;
+            sb_netlist = new_netlist;
+            sb_stats = new_stats;
+            sb_locmap = new_locmap;
+          }
+        else sb)
+      prev.stamps
+  in
+  let netlist = relink project ~shell_netlist:prev.shell_netlist ~stamps in
+  let locmap = merged_locmap ~shell_locmap:prev.shell_locmap ~stamps in
+  let route = Route.estimate netlist locmap in
+  let device_util =
+    let used = Place.resources_of_netlist netlist in
+    let cap = Device.resources project.device in
+    List.fold_left
+      (fun acc k ->
+        let c = Resource.get cap k in
+        if c = 0 then acc
+        else Float.max acc (float_of_int (Resource.get used k) /. float_of_int c))
+      0.0 Resource.all_kinds
+  in
+  let timing =
+    Timing.analyze ~congestion:route.Route.congestion ~utilization:device_util
+      netlist locmap
+  in
+  let frames = Framegen.generate netlist locmap in
+  (* Partial bitstream: only the partition's frames. *)
+  let partial_frames =
+    List.filter
+      (fun (fw : Framegen.frame_write) ->
+        let row, col, _ = fw.Framegen.fw_key in
+        Region.contains region ~slr:fw.Framegen.fw_slr ~row ~col)
+      frames
+  in
+  let bitstream =
+    Bitgen.partial project.device ~frames:partial_frames ~dynamic:[ region ]
+      ~payload:(payload project netlist locmap)
+  in
+  (* Modeled incremental cost: the partition alone, plus startup + link. *)
+  let cells = Netlist.num_cells new_netlist in
+  let share = float_of_int cells /. float_of_int (max 1 (Netlist.num_cells netlist)) in
+  let part_cost =
+    component_cost ~gate_nodes:new_stats.Synthesize.gate_nodes ~cells
+      ~utilization:(1.0 /. (1.0 +. project.c))
+      ~wirelength:(int_of_float (share *. float_of_int route.Route.total_wirelength))
+      ~congestion:route.Route.congestion
+      ~frames:(List.length partial_frames)
+  in
+  let wall =
+    Cost_model.tool_startup_s +. Cost_model.total part_cost +. link_overhead_s
+  in
+  {
+    prev with
+    stamps;
+    netlist;
+    locmap;
+    route;
+    timing;
+    frames;
+    bitstream;
+    modeled_seconds = wall;
+    cost = part_cost;
+  }
+
+(** Program the board (full or partial, as the build dictates). *)
+let load_onto board (b : build) = Board.load board b.bitstream
+
+(* --- checkpoint persistence ------------------------------------------ *)
+
+let checkpoint_magic = "ZOOMIE-DCP-1"
+
+(** Persist a build (the routed "design checkpoint") so debugging sessions
+    can resume incremental iteration across tool restarts. *)
+let save_checkpoint (b : build) path =
+  let oc = open_out_bin path in
+  output_string oc checkpoint_magic;
+  Marshal.to_channel oc b [];
+  close_out oc
+
+exception Bad_checkpoint of string
+
+let load_checkpoint path : build =
+  let ic =
+    try open_in_bin path
+    with Sys_error msg -> raise (Bad_checkpoint msg)
+  in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      try
+        let magic = really_input_string ic (String.length checkpoint_magic) in
+        if magic <> checkpoint_magic then raise (Bad_checkpoint "bad magic");
+        (Marshal.from_channel ic : build)
+      with
+      | Bad_checkpoint _ as e -> raise e
+      | End_of_file -> raise (Bad_checkpoint "truncated checkpoint")
+      | Failure msg -> raise (Bad_checkpoint ("unreadable checkpoint: " ^ msg)))

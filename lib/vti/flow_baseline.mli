@@ -1,4 +1,6 @@
-(** VTI — Virtual-Time Incremental compilation (§3.5).
+(** The seed VTI flow, kept with the original surface as the differential
+    oracle for {!Flow} (see PR history: the same pattern as
+    [Netsim_baseline] / [Readback_baseline]).
 
     The paper's headline compile-time contribution: the designer declares
     which instances they will iterate on; VTI gives each an
@@ -12,14 +14,7 @@
     Replicated units (the 5400 identical cores of the §5.1 SoC) are
     synthesized once and stamped, which is what makes the initial VTI
     compile competitive with the vendor flow despite the partition
-    constraints.
-
-    This engine is incremental in measured wall-clock, not only in the
-    cost model: a {!build} carries an {!incr_state} (per-stamp link
-    geometry, folded route contributions, per-partition frame slices, a
-    module-digest synthesis cache) and {!compile} fans out across OCaml 5
-    domains.  Outputs are bit-for-bit equal to the seed engine kept as
-    {!Flow_baseline}. *)
+    constraints. *)
 
 module Netlist = Zoomie_synth.Netlist
 module Synthesize = Zoomie_synth.Synthesize
@@ -56,12 +51,6 @@ type stamp_build = {
   sb_region : Region.t option;  (** [Some r] iff this is an iterated partition *)
 }
 
-(** The reusable incremental build state threaded from one (re)compile to
-    the next: link geometry and relink index, folded static route
-    contributions, per-partition frame slices, and the content-hash
-    synthesis cache.  Opaque — {!recompile} maintains it. *)
-type incr_state
-
 (** A full VTI build: shell + stamps, linked; the input to {!recompile}
     and {!load_onto}. *)
 type build = {
@@ -80,7 +69,6 @@ type build = {
   bitstream : Board.bitstream;
   modeled_seconds : float;  (** modeled compile wall-clock (Figure 7) *)
   cost : Cost_model.phase;
-  incr : incr_state;  (** caches reused by the next {!recompile} *)
 }
 
 (** Fixed post-place link/assembly overhead charged to every VTI run. *)
@@ -96,13 +84,9 @@ val demand_of : Netlist.t -> Resource.t
     iterated partitions in the debug SLR, place, link, time, and generate
     the full bitstream.
 
-    Synthesis of unique modules, placement of iterated partitions and
-    per-partition frame generation run on up to [jobs] domains (default
-    {!Pool.default_jobs}); the result is independent of [jobs].
-
     @raise Estimate.Provision_failure if the debug SLR cannot fit the
     requested partitions at coefficient [c]. *)
-val compile : ?jobs:int -> project -> build
+val compile : project -> build
 
 (** The changed instance no longer fits its over-provisioned region —
     the §3.5 failure mode that forces a full recompile. *)
@@ -126,14 +110,6 @@ val load_onto : Board.t -> build -> unit
     a debugging session can resume without the initial compile. *)
 
 val checkpoint_magic : string
-
-(** Bumped whenever the checkpoint byte layout changes. *)
-val checkpoint_version : int
-
-(** Digest of the OCaml version, word size and build-record generation a
-    checkpoint was written under; a mismatch on load raises
-    {!Bad_checkpoint} instead of letting [Marshal] crash the process. *)
-val checkpoint_fingerprint : string
 
 exception Bad_checkpoint of string
 

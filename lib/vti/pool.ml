@@ -1,0 +1,49 @@
+(** A small OCaml 5 [Domain]-based worker pool: the real Figure 4 fan-out.
+
+    Order-preserving parallel map with a shared atomic work counter, capped
+    at {!default_jobs} domains.  Tasks must be pure (or touch only
+    task-local state): the VTI flow uses this for unique-module synthesis,
+    per-region placement of iterated partitions, per-stamp route
+    contributions and frame-generation shards, all of which read shared
+    immutable structures and write task-local ones.  With [jobs = 1] (or a
+    single task) everything runs on the calling domain, which keeps the
+    sequential path allocation-identical for differential testing. *)
+
+let default_jobs () =
+  let n = Domain.recommended_domain_count () in
+  if n < 1 then 1 else min n 16
+
+(* Run [f] over every index in [0, n) from [j] domains (including the
+   calling one), least index first per domain via a shared counter. *)
+let parallel_for ~j ~n f =
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        f i;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let domains = Array.init (j - 1) (fun _ -> Domain.spawn worker) in
+  let main_exn = (try worker (); None with e -> Some e) in
+  let joined =
+    Array.map (fun d -> try Domain.join d; None with e -> Some e) domains
+  in
+  (match main_exn with Some e -> raise e | None -> ());
+  Array.iter (function Some e -> raise e | None -> ()) joined
+
+let map_array ?jobs (f : 'a -> 'b) (a : 'a array) : 'b array =
+  let n = Array.length a in
+  let j = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let j = min j n in
+  if j <= 1 then Array.map f a
+  else begin
+    let out : 'b option array = Array.make n None in
+    parallel_for ~j ~n (fun i -> out.(i) <- Some (f a.(i)));
+    Array.map (function Some v -> v | None -> assert false) out
+  end
+
+let map ?jobs f l = Array.to_list (map_array ?jobs f (Array.of_list l))

@@ -1,0 +1,13 @@
+(** OCaml 5 [Domain]-based worker pool behind the VTI fan-out (Figure 4).
+
+    [map]/[map_array] evaluate [f] over every element on up to [jobs]
+    domains (default {!default_jobs}) and return results in input order.
+    Exceptions raised by tasks are re-raised on the caller after every
+    domain is joined.  Tasks must not share mutable state. *)
+
+(** [Domain.recommended_domain_count], clamped to [1, 16]. *)
+val default_jobs : unit -> int
+
+val map_array : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list

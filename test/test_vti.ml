@@ -334,3 +334,237 @@ let suite =
       Alcotest.test_case "checkpoint corruption rejected" `Quick
         test_checkpoint_bad_file;
     ]
+
+(* --- differential: incremental engine vs the seed monolithic engine --- *)
+
+module Flow_baseline = Zoomie_vti.Flow_baseline
+module Place = Zoomie_pnr.Place
+module Timing = Zoomie_pnr.Timing
+module Synthesize = Zoomie_synth.Synthesize
+
+let baseline_project (p : Vti.project) : Flow_baseline.project =
+  {
+    Flow_baseline.device = p.Vti.device;
+    design = p.Vti.design;
+    clock_root = p.Vti.clock_root;
+    freq_mhz = p.Vti.freq_mhz;
+    replicated_units = p.Vti.replicated_units;
+    iterated = p.Vti.iterated;
+    c = p.Vti.c;
+    debug_slr = p.Vti.debug_slr;
+  }
+
+(* Bit-for-bit equality on every externally visible artifact. *)
+let same_build (b : Vti.build) (o : Flow_baseline.build) =
+  b.Vti.netlist = o.Flow_baseline.netlist
+  && b.Vti.locmap = o.Flow_baseline.locmap
+  && b.Vti.route = o.Flow_baseline.route
+  && b.Vti.timing = o.Flow_baseline.timing
+  && b.Vti.frames = o.Flow_baseline.frames
+  && b.Vti.bitstream = o.Flow_baseline.bitstream
+  && b.Vti.modeled_seconds = o.Flow_baseline.modeled_seconds
+  && b.Vti.cost = o.Flow_baseline.cost
+
+let check_same msg b o =
+  Alcotest.(check bool) (msg ^ ": netlist") true
+    (b.Vti.netlist = o.Flow_baseline.netlist);
+  Alcotest.(check bool) (msg ^ ": locmap") true
+    (b.Vti.locmap = o.Flow_baseline.locmap);
+  Alcotest.(check bool) (msg ^ ": route") true
+    (b.Vti.route = o.Flow_baseline.route);
+  Alcotest.(check bool) (msg ^ ": timing") true
+    (b.Vti.timing = o.Flow_baseline.timing);
+  Alcotest.(check bool) (msg ^ ": frames") true
+    (b.Vti.frames = o.Flow_baseline.frames);
+  Alcotest.(check bool) (msg ^ ": bitstream") true
+    (b.Vti.bitstream = o.Flow_baseline.bitstream);
+  Alcotest.(check bool) (msg ^ ": modeled seconds") true
+    (b.Vti.modeled_seconds = o.Flow_baseline.modeled_seconds);
+  Alcotest.(check bool) (msg ^ ": cost") true (b.Vti.cost = o.Flow_baseline.cost)
+
+let prog_of_imms imms =
+  Array.append
+    (Array.of_list
+       (List.concat_map
+          (fun imm ->
+            [
+              Serv.instr ~op:Serv.op_li ~rd:0 ~rs:0 ~imm;
+              Serv.instr ~op:Serv.op_out ~rd:0 ~rs:0 ~imm:0;
+            ])
+          imms))
+    [| Serv.instr ~op:Serv.op_halt ~rd:0 ~rs:0 ~imm:0 |]
+
+(* Fixed-scenario differential: initial compile (parallel and sequential),
+   then a recompile chain covering a same-size swap (net-count delta = 0
+   against the previous stamp), a grown module (delta <> 0), a recompile
+   branching off an older build (prev stays usable), and a digest-cache
+   hit (same circuit submitted twice). *)
+let test_differential_fixed () =
+  let p = project () in
+  let b0 = Vti.compile p in
+  let b0_seq = Vti.compile ~jobs:1 p in
+  let o0 = Flow_baseline.compile (baseline_project p) in
+  check_same "initial" b0 o0;
+  check_same "initial, jobs=1" b0_seq o0;
+  let path = Manycore.debug_core_path in
+  let c1 = Serv.core ~name:"zerv_diff_v1" ~program:(prog_of_imms [ 11; 22 ]) () in
+  let b1 = Vti.recompile b0 ~path ~circuit:c1 in
+  let o1 = Flow_baseline.recompile o0 ~path ~circuit:c1 in
+  check_same "recompile 1" b1 o1;
+  (* Same instruction count, different constants: same netlist shape. *)
+  let c2 = Serv.core ~name:"zerv_diff_v1" ~program:(prog_of_imms [ 33; 44 ]) () in
+  let b2 = Vti.recompile b1 ~path ~circuit:c2 in
+  let o2 = Flow_baseline.recompile o1 ~path ~circuit:c2 in
+  check_same "recompile 2 (same size)" b2 o2;
+  (* Grown module: the spliced net ids shift. *)
+  let c3 =
+    Serv.core ~name:"zerv_diff_v3" ~program:(prog_of_imms [ 1; 2; 3; 4; 5 ]) ()
+  in
+  let b3 = Vti.recompile b2 ~path ~circuit:c3 in
+  let o3 = Flow_baseline.recompile o2 ~path ~circuit:c3 in
+  check_same "recompile 3 (grown)" b3 o3;
+  (* Branch off the older build: prev must remain fully usable. *)
+  let b3' = Vti.recompile b1 ~path ~circuit:c3 in
+  let o3' = Flow_baseline.recompile o1 ~path ~circuit:c3 in
+  check_same "recompile branched off older build" b3' o3';
+  (* Same circuit as run 1 again: hits the digest cache. *)
+  let b4 = Vti.recompile b3 ~path ~circuit:c1 in
+  let o4 = Flow_baseline.recompile o3 ~path ~circuit:c1 in
+  check_same "recompile 4 (digest-cache hit)" b4 o4
+
+(* Randomized differential over recompile chains. *)
+let prop_recompile_differential =
+  QCheck2.Test.make ~name:"incremental flow == monolithic flow" ~count:6
+    QCheck2.Gen.int (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let p = project () in
+      let b = ref (Vti.compile p) in
+      let o = ref (Flow_baseline.compile (baseline_project p)) in
+      let ok = ref (same_build !b !o) in
+      for k = 0 to 2 do
+        let imms =
+          List.init (1 + Random.State.int st 4) (fun _ -> Random.State.int st 200)
+        in
+        let circuit =
+          Serv.core
+            ~name:(Printf.sprintf "zerv_q%d" k)
+            ~program:(prog_of_imms imms) ()
+        in
+        b := Vti.recompile !b ~path:Manycore.debug_core_path ~circuit;
+        o := Flow_baseline.recompile !o ~path:Manycore.debug_core_path ~circuit;
+        ok := !ok && same_build !b !o
+      done;
+      !ok)
+
+(* The fast timing evaluator against the seed DFS, outside the flow. *)
+let test_analyze_fast_matches () =
+  List.iter
+    (fun (name, xlen) ->
+      let netlist, _ = Synthesize.run (Serv.core ~name ?xlen ()) in
+      let device = Device.u200 () in
+      let regions = Place.whole_device_regions device in
+      let locmap = (Place.run device ~regions netlist).Place.locmap in
+      List.iter
+        (fun (cong, util) ->
+          match
+            Timing.analyze_fast ~congestion:cong ~utilization:util netlist locmap
+          with
+          | None -> Alcotest.failf "%s: fast path unexpectedly bailed" name
+          | Some fast ->
+            let seed =
+              Timing.analyze ~congestion:cong ~utilization:util netlist locmap
+            in
+            Alcotest.(check bool) (name ^ ": report equal") true (fast = seed))
+        [ (1.0, 0.0); (1.7, 0.6); (0.4, 0.96) ])
+    [ ("zerv_tfast", None); ("zerv_tfast_w", Some 31) ]
+
+(* Partition overflow: must raise the typed exception AND leave the
+   previous build usable for further incremental work. *)
+let test_overflow_prev_usable () =
+  let p = project () in
+  let b = Vti.compile p in
+  let o = Flow_baseline.compile (baseline_project p) in
+  let overflowed = ref false in
+  let xlens = [ 31; 63; 95; 127; 191; 255 ] in
+  (try
+     List.iter
+       (fun xlen ->
+         let program =
+           Array.init 48 (fun i -> Serv.instr ~op:Serv.op_li ~rd:0 ~rs:0 ~imm:i)
+         in
+         let circuit =
+           Serv.core ~name:(Printf.sprintf "zerv_of_%d" xlen) ~program ~xlen ()
+         in
+         match Vti.recompile b ~path:Manycore.debug_core_path ~circuit with
+         | _ -> ()
+         | exception Vti.Partition_overflow _ ->
+           overflowed := true;
+           raise Exit)
+       xlens
+   with Exit -> ());
+  Alcotest.(check bool) "a grown core eventually overflows its region" true
+    !overflowed;
+  (* The failed recompile must not have corrupted [b]. *)
+  let circuit = Serv.core ~name:"zerv_after_of" ~program:(prog_of_imms [ 7 ]) () in
+  let b2 = Vti.recompile b ~path:Manycore.debug_core_path ~circuit in
+  let o2 = Flow_baseline.recompile o ~path:Manycore.debug_core_path ~circuit in
+  check_same "recompile after overflow" b2 o2
+
+(* Checkpoint header hardening: version and toolchain-fingerprint
+   mismatches raise the typed error before Marshal ever parses a body. *)
+let test_checkpoint_header_mismatches () =
+  let expect_bad name path =
+    match Vti.load_checkpoint path with
+    | _ -> Alcotest.failf "%s should have been rejected" name
+    | exception Vti.Bad_checkpoint _ -> ()
+    | exception (End_of_file | Failure _) ->
+      Alcotest.failf "%s leaked an untyped exception" name
+  in
+  (* Old-format magic (v1 had no header at all). *)
+  let old_magic = Filename.temp_file "zoomie_v1" ".dcp" in
+  let oc = open_out_bin old_magic in
+  output_string oc "ZOOMIE-DCP-1";
+  output_string oc (Marshal.to_string (1, 2, 3) []);
+  close_out oc;
+  expect_bad "old-format magic" old_magic;
+  Sys.remove old_magic;
+  (* Right magic, wrong format version. *)
+  let bad_version = Filename.temp_file "zoomie_vz" ".dcp" in
+  let oc = open_out_bin bad_version in
+  output_string oc Vti.checkpoint_magic;
+  Marshal.to_channel oc (Vti.checkpoint_version + 1, Vti.checkpoint_fingerprint) [];
+  Marshal.to_channel oc "junk body" [];
+  close_out oc;
+  expect_bad "version mismatch" bad_version;
+  Sys.remove bad_version;
+  (* Right magic and version, foreign toolchain fingerprint. *)
+  let stale = Filename.temp_file "zoomie_fp" ".dcp" in
+  let oc = open_out_bin stale in
+  output_string oc Vti.checkpoint_magic;
+  Marshal.to_channel oc (Vti.checkpoint_version, "0123456789abcdef") [];
+  Marshal.to_channel oc "junk body" [];
+  close_out oc;
+  expect_bad "stale fingerprint" stale;
+  Sys.remove stale;
+  (* Magic + header but truncated before the body. *)
+  let headless = Filename.temp_file "zoomie_hd" ".dcp" in
+  let oc = open_out_bin headless in
+  output_string oc Vti.checkpoint_magic;
+  Marshal.to_channel oc (Vti.checkpoint_version, Vti.checkpoint_fingerprint) [];
+  close_out oc;
+  expect_bad "truncated after header" headless;
+  Sys.remove headless
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "differential: incremental == monolithic" `Quick
+        test_differential_fixed;
+      QCheck_alcotest.to_alcotest prop_recompile_differential;
+      Alcotest.test_case "timing: fast evaluator == seed DFS" `Quick
+        test_analyze_fast_matches;
+      Alcotest.test_case "partition overflow leaves prev usable" `Quick
+        test_overflow_prev_usable;
+      Alcotest.test_case "checkpoint header mismatches rejected" `Quick
+        test_checkpoint_header_mismatches;
+    ]
