@@ -1,6 +1,6 @@
 # Convenience entry points; `make check` is the tier-1 gate.
 
-.PHONY: all build test bench-smoke check clean
+.PHONY: all build test bench-smoke obs-smoke check clean
 
 all: build
 
@@ -27,12 +27,28 @@ bench-smoke:
 	dune exec bench/main.exe -- hub smoke
 	dune exec bench/main.exe -- vti smoke
 
+# Observability gate (expects the smoke benches to have run): the bench
+# records must embed a metrics snapshot with the cross-layer keys, and a
+# traced 4-client hub demo must produce a Chrome trace that names the
+# coalesced sweep.
+obs-smoke:
+	grep -q '"metrics"' BENCH_netsim_smoke.json
+	grep -q '"netsim.events_settled"' BENCH_netsim_smoke.json
+	grep -q '"metrics"' BENCH_hub_smoke.json
+	grep -q '"hub.cable_seconds"' BENCH_hub_smoke.json
+	grep -q '"jtag.seconds"' BENCH_hub_smoke.json
+	grep -q '"metrics"' BENCH_readback_smoke.json
+	grep -q '"metrics"' BENCH_vti_smoke.json
+	dune exec bin/zoomie_cli.exe -- hub --clients 4 --trace hub_trace_smoke.json > /dev/null
+	grep -q '"hub.sweep"' hub_trace_smoke.json
+
 check: build
 	dune runtest
 	dune exec bench/main.exe -- netsim smoke
 	dune exec bench/main.exe -- readback smoke
 	dune exec bench/main.exe -- hub smoke
 	dune exec bench/main.exe -- vti smoke
+	$(MAKE) obs-smoke
 
 clean:
 	dune clean

@@ -8,6 +8,9 @@ type field =
   | Num of float
   | Int of int
   | Bool of bool
+  | Raw of string
+      (* pre-rendered JSON, emitted verbatim — for nesting a metrics
+         snapshot (Obs.snapshot_to_json) inside a bench record *)
 
 let escape s =
   let buf = Buffer.create (String.length s + 8) in
@@ -29,6 +32,7 @@ let field_to_string = function
     if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
   | Int i -> string_of_int i
   | Bool b -> if b then "true" else "false"
+  | Raw json -> json
 
 (** [write ~case fields] writes [BENCH_<case>.json] and returns the
     path written. *)

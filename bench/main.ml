@@ -34,6 +34,24 @@ let header title =
 
 let hours s = s /. 3600.0
 
+(* Every smoke/perf case embeds a snapshot of the metrics registry in its
+   BENCH_*.json record; cases call [Obs.reset_metrics] up front so the
+   snapshot covers only their own run. *)
+let metrics_field () =
+  ("metrics", Bench_json.Raw (Obs.snapshot_to_json (Obs.snapshot ())))
+
+(* The netsim kernel keeps its counters as plain per-instance fields (no
+   registry traffic in the hot loops); publish them as gauges so they
+   appear in the snapshot alongside everything else. *)
+let publish_kernel_counters ns =
+  let c = Synth.Netsim.counters ns in
+  let set name v = Obs.set_gauge (Obs.gauge name) (float_of_int v) in
+  set "netsim.events_settled" c.Synth.Netsim.events_settled;
+  set "netsim.levels_touched" c.Synth.Netsim.levels_touched;
+  set "netsim.edges" c.Synth.Netsim.edges;
+  set "netsim.tick_cache_hits" c.Synth.Netsim.tick_cache_hits;
+  set "netsim.tick_cache_misses" c.Synth.Netsim.tick_cache_misses
+
 (* ------------------------------------------------------------------ *)
 (* Shared full-scale manycore flows                                     *)
 (* ------------------------------------------------------------------ *)
@@ -579,6 +597,7 @@ let netsim_bench ~smoke () =
   header
     (Printf.sprintf "Netsim: compiled event-driven engine vs interpreter (%s manycore)"
        (if smoke then "smoke-scale" else "n=5400"));
+  Obs.reset_metrics ();
   let config =
     if smoke then
       { Manycore.default_config with Manycore.clusters = 2; cores_per_cluster = 3 }
@@ -683,6 +702,7 @@ let netsim_bench ~smoke () =
     (qcomp_cps /. qbase_cps);
   if comp_cps /. base_cps < 10.0 && not smoke then
     pf "WARNING: full-activity speedup below the 10x acceptance floor\n";
+  publish_kernel_counters comp;
   let file =
     Bench_json.write ~case:(if smoke then "netsim_smoke" else "netsim")
       [
@@ -697,6 +717,7 @@ let netsim_bench ~smoke () =
         ("quiescent_baseline_cycles_per_sec", Bench_json.Num qbase_cps);
         ("quiescent_compiled_cycles_per_sec", Bench_json.Num qcomp_cps);
         ("quiescent_speedup", Bench_json.Num (qcomp_cps /. qbase_cps));
+        metrics_field ();
       ]
   in
   pf "wrote %s\n" file
@@ -715,6 +736,7 @@ let readback_extraction ~smoke () =
   header
     (Printf.sprintf "Readback register-extraction throughput (%s manycore)"
        (if smoke then "smoke-scale" else "n=5400"));
+  Obs.reset_metrics ();
   let config =
     if smoke then
       { Manycore.default_config with Manycore.clusters = 6; cores_per_cluster = 3 }
@@ -806,6 +828,7 @@ let readback_extraction ~smoke () =
         ("baseline_ms_per_extraction", Bench_json.Num (t_base *. 1e3));
         ("indexed_ms_per_extraction", Bench_json.Num (t_idx *. 1e3));
         ("speedup", Bench_json.Num (t_base /. t_idx));
+        metrics_field ();
       ]
   in
   pf "wrote %s\n" file
@@ -826,6 +849,7 @@ let hub_bench ~smoke () =
   header
     (Printf.sprintf "Hub: coalesced readback vs serialized sessions (%s manycore)"
        (if smoke then "smoke-scale" else "n=5400"));
+  Obs.reset_metrics ();
   let config =
     if smoke then
       { Manycore.default_config with Manycore.clusters = 6; cores_per_cluster = 3 }
@@ -986,6 +1010,7 @@ let hub_bench ~smoke () =
           Bench_json.Num (match !ratios with (_, r) :: _ -> r | [] -> 0.0) );
         ( "ratio_16_clients",
           Bench_json.Num (Option.value ~default:0.0 !ratio16) );
+        metrics_field ();
       ]
   in
   pf "wrote %s\n" file
@@ -1006,6 +1031,7 @@ let vti_bench ~smoke () =
   header
     (Printf.sprintf "VTI engine: incremental vs monolithic compile (%s manycore)"
        (if smoke then "smoke-scale" else "n=5400"));
+  Obs.reset_metrics ();
   let config =
     if smoke then
       { Manycore.default_config with Manycore.clusters = 2; cores_per_cluster = 3 }
@@ -1141,6 +1167,7 @@ let vti_bench ~smoke () =
         ("incr_recompile_avg_s", Bench_json.Num incr_rc);
         ("recompile_speedup_vs_initial", Bench_json.Num vs_initial);
         ("recompile_speedup_vs_monolithic", Bench_json.Num (base_rc /. incr_rc));
+        metrics_field ();
       ]
   in
   pf "wrote %s\n" file

@@ -10,6 +10,29 @@
 open Cmdliner
 open Zoomie.Zoomie_api
 
+(* Shared --trace FILE option: enable span tracing for the whole command
+   and dump a Chrome trace_event JSON (chrome://tracing, Perfetto) at
+   exit, even if the command raises. *)
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Enable span tracing and write a Chrome trace_event JSON to           $(docv) when the command finishes")
+
+let with_trace trace_file f =
+  match trace_file with
+  | None -> f ()
+  | Some file ->
+    Obs.set_tracing true;
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.set_tracing false;
+        Obs.write_chrome_trace file;
+        Fmt.pr "trace: wrote %d spans -> %s@." (List.length (Obs.spans ())) file)
+      f
+
 let devices_cmd =
   let run () =
     List.iter
@@ -73,7 +96,8 @@ let matrix_cmd =
     Term.(const run $ const ())
 
 let demo_cmd =
-  let run () =
+  let run trace_file =
+    with_trace trace_file @@ fun () ->
     (* A compact version of examples/quickstart.ml. *)
     let open Rtl in
     let mut =
@@ -118,7 +142,7 @@ let demo_cmd =
   in
   Cmd.v
     (Cmd.info "demo" ~doc:"Run a tiny end-to-end compile/program/debug session")
-    Term.(const run $ const ())
+    Term.(const run $ trace_arg)
 
 let verilog_cmd =
   let workload =
@@ -160,7 +184,8 @@ let repl_cmd =
       & info [ "s"; "script" ] ~docv:"FILE"
           ~doc:"Command script to execute (default: read from stdin)")
   in
-  let run script_file =
+  let run script_file trace_file =
+    with_trace trace_file @@ fun () ->
     (* Session on the Cohort SoC (the case study 1 workload). *)
     let monitor =
       assertion_exn ~widths:Workloads.Cohort.sva_widths Workloads.Cohort.mmu_sva
@@ -197,7 +222,7 @@ let repl_cmd =
     (Cmd.info "repl"
        ~doc:
          "Drive a scripted debug session on the bundled Cohort SoC (reads           commands from --script or stdin)")
-    Term.(const run $ script_file)
+    Term.(const run $ script_file $ trace_arg)
 
 let hub_cmd =
   let clients =
@@ -212,7 +237,8 @@ let hub_cmd =
           ~doc:
             "Wire-format request frames (zh1 <session> <seq> ...), one per           line; a line reading 'tick' advances the hub.  Sessions 0..N-1           are pre-opened.  Default: run a demo workload.")
   in
-  let run clients script_file =
+  let run clients script_file trace_file =
+    with_trace trace_file @@ fun () ->
     (* Board setup mirrors `zoomie repl`: the Cohort SoC case study. *)
     let monitor =
       assertion_exn ~widths:Workloads.Cohort.sva_widths Workloads.Cohort.mmu_sva
@@ -336,7 +362,7 @@ let hub_cmd =
     (Cmd.info "hub"
        ~doc:
          "Serve scripted multi-client debug sessions over one board, with           cross-session readback coalescing")
-    Term.(const run $ clients $ script_file)
+    Term.(const run $ clients $ script_file $ trace_arg)
 
 let main =
   Cmd.group

@@ -31,15 +31,14 @@ type t = {
   ucs : Uc.t array;
   mutable design : (payload * Netsim.t) option;
   mutable dynamic_regions : Region.t list;
-  mutable jtag_seconds : float;
+  meter : Jtag.Meter.t;
   mutable fpga_cycles : int;
   mutable lease : string option;
-  mutable transfer_count : int;
-  mutable words_transferred : int;
 }
 
 let device t = t.device
-let jtag_seconds t = t.jtag_seconds
+let jtag_seconds t = Jtag.Meter.seconds t.meter
+let meter t = t.meter
 let fpga_cycles t = t.fpga_cycles
 
 (* --- ownership lease (advisory, for multi-session front-ends) --- *)
@@ -61,8 +60,8 @@ let release_lease t ~owner =
 
 (* --- cable transfer accounting (batched-sweep bookkeeping) --- *)
 
-let transfer_count t = t.transfer_count
-let words_transferred t = t.words_transferred
+let transfer_count t = Jtag.Meter.transfers t.meter
+let words_transferred t = (Jtag.Meter.counts t.meter).Jtag.Meter.m_words
 
 let netsim t =
   match t.design with
@@ -190,11 +189,9 @@ let create device =
       ucs = Array.init (Device.num_slrs device) (fun i -> Uc.create ~device ~slr_index:i);
       design = None;
       dynamic_regions = [];
-      jtag_seconds = 0.0;
+      meter = Jtag.Meter.create ();
       fpga_cycles = 0;
       lease = None;
-      transfer_count = 0;
-      words_transferred = 0;
     }
   in
   Array.iteri
@@ -224,14 +221,17 @@ let execute t (stream : int array) =
     i := !i + Array.length data;
     data
   in
-  let extra_seconds = ref 0.0 in
+  let syncs = ref 0 in
+  let hops = ref 0 in
+  let gcaptures = ref 0 in
+  let grestores = ref 0 in
   let pending_op = ref None in
   while !i < n do
     let w = stream.(!i) in
     incr i;
     match Packet.decode w with
     | Packet.Sync ->
-      extra_seconds := !extra_seconds +. Jtag.sync_seconds;
+      incr syncs;
       target := primary;
       bout_run := 0
     | Packet.Dummy -> ()
@@ -241,7 +241,7 @@ let execute t (stream : int array) =
         (* Consecutive-run semantics: k empty BOUT writes select primary+k. *)
         incr bout_run;
         target := (primary + !bout_run) mod n_slrs;
-        extra_seconds := !extra_seconds +. Jtag.hop_seconds
+        incr hops
       | Some r ->
         bout_run := 0;
         let data = take count in
@@ -250,10 +250,8 @@ let execute t (stream : int array) =
           Array.iter
             (fun v ->
               match Packet.command_of_code v with
-              | Some Packet.Cmd_gcapture ->
-                extra_seconds := !extra_seconds +. Jtag.gcapture_seconds
-              | Some Packet.Cmd_grestore ->
-                extra_seconds := !extra_seconds +. Jtag.grestore_seconds
+              | Some Packet.Cmd_gcapture -> incr gcaptures
+              | Some Packet.Cmd_grestore -> incr grestores
               | _ -> ())
             data
         | _ -> ());
@@ -288,13 +286,81 @@ let execute t (stream : int array) =
       | _ -> ignore (take (match op with Packet.Op_write -> count | _ -> 0)))
     | Packet.Type1 { op = Packet.Op_nop; _ } | Packet.Raw _ -> bout_run := 0
   done;
-  t.jtag_seconds <-
-    t.jtag_seconds
-    +. Jtag.transfer_seconds ~words:(n + !out_words)
-    +. !extra_seconds;
-  t.transfer_count <- t.transfer_count + 1;
-  t.words_transferred <- t.words_transferred + n + !out_words;
+  Jtag.Meter.charge t.meter
+    {
+      Jtag.Meter.m_words = n + !out_words;
+      m_syncs = !syncs;
+      m_hops = !hops;
+      m_gcaptures = !gcaptures;
+      m_grestores = !grestores;
+    };
   Array.concat (List.rev !out)
+
+(** Pure pricing scan: the {!Jtag.Meter.counts} an {!execute} of [stream]
+    would charge, without touching board or uc state.  The response word
+    total is derivable from the stream alone because the ucs answer every
+    read with exactly the requested count.  [price_stream] is the modeled
+    standalone cost of the transfer — what a scheduler uses to price
+    hypothetical traffic through the same {!Jtag.Meter.price} the
+    executor charges with. *)
+let stream_counts (stream : int array) =
+  let i = ref 0 in
+  let n = Array.length stream in
+  let out_words = ref 0 in
+  let syncs = ref 0 in
+  let hops = ref 0 in
+  let gcaptures = ref 0 in
+  let grestores = ref 0 in
+  let pending_op = ref None in
+  let skip count = i := min n (!i + count) in
+  while !i < n do
+    let w = stream.(!i) in
+    incr i;
+    match Packet.decode w with
+    | Packet.Sync -> incr syncs
+    | Packet.Dummy -> ()
+    | Packet.Type1 { op = Packet.Op_write; reg; count } -> (
+      match Packet.reg_of_addr reg with
+      | Some Packet.Bout when count = 0 -> incr hops
+      | Some r ->
+        (match r with
+        | Packet.Cmd ->
+          for k = 0 to min count (n - !i) - 1 do
+            match Packet.command_of_code stream.(!i + k) with
+            | Some Packet.Cmd_gcapture -> incr gcaptures
+            | Some Packet.Cmd_grestore -> incr grestores
+            | _ -> ()
+          done
+        | _ -> ());
+        skip count;
+        if count = 0 && r = Packet.Fdri then pending_op := Some `Write
+      | None -> skip count)
+    | Packet.Type1 { op = Packet.Op_read; reg; count } -> (
+      match Packet.reg_of_addr reg with
+      | Some _ ->
+        if count = 0 then pending_op := Some `Read
+        else out_words := !out_words + count
+      | None -> ())
+    | Packet.Type2 { op; count } -> (
+      match (!pending_op, op) with
+      | Some `Write, Packet.Op_write ->
+        pending_op := None;
+        skip count
+      | Some `Read, Packet.Op_read ->
+        pending_op := None;
+        out_words := !out_words + count
+      | _ -> skip (match op with Packet.Op_write -> count | _ -> 0))
+    | Packet.Type1 { op = Packet.Op_nop; _ } | Packet.Raw _ -> ()
+  done;
+  {
+    Jtag.Meter.m_words = n + !out_words;
+    m_syncs = !syncs;
+    m_hops = !hops;
+    m_gcaptures = !gcaptures;
+    m_grestores = !grestores;
+  }
+
+let price_stream stream = Jtag.Meter.price (stream_counts stream)
 
 (* Carry live state across a partial reconfiguration: FFs and memories
    outside the dynamic regions keep their values (matched by RTL name);

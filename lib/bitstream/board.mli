@@ -41,19 +41,21 @@ type t = {
   ucs : Uc.t array;  (** one configuration uc per SLR *)
   mutable design : (payload * Netsim.t) option;
   mutable dynamic_regions : Region.t list;
-  mutable jtag_seconds : float;  (** accumulated modeled cable time *)
+  meter : Jtag.Meter.t;  (** the instrumented transport meter *)
   mutable fpga_cycles : int;  (** user-clock cycles executed *)
   mutable lease : string option;  (** advisory ownership lease *)
-  mutable transfer_count : int;  (** cable transfers executed *)
-  mutable words_transferred : int;  (** command + response words moved *)
 }
 
 val create : Device.t -> t
 
 val device : t -> Device.t
 
-(** Modeled seconds spent on the JTAG cable so far (§5.3 accounting). *)
+(** Modeled seconds spent on the JTAG cable so far (§5.3 accounting):
+    {!Jtag.Meter.seconds} of the board's meter. *)
 val jtag_seconds : t -> float
+
+(** The board's transport meter — every {!execute} charges it once. *)
+val meter : t -> Jtag.Meter.t
 
 val fpga_cycles : t -> int
 
@@ -145,6 +147,16 @@ val start_slr : t -> int -> unit
     of the stream one SLR further along the ring (§4.4); time is charged
     to {!jtag_seconds} per the transport model in {!module:Jtag}. *)
 val execute : t -> int array -> int array
+
+(** What {!execute}-ing [stream] would charge the meter, computed from
+    the stream alone (no board state touched, no traffic issued). *)
+val stream_counts : int array -> Jtag.Meter.counts
+
+(** [Jtag.Meter.price (stream_counts stream)]: the modeled standalone
+    cost of a transfer, through the same cost function the executor
+    charges with — schedulers price hypothetical traffic here so their
+    baselines can never drift from the transport model. *)
+val price_stream : int array -> float
 
 (** Configure the board from a bitstream.  A full bitstream resets and
     replaces everything.  A partial bitstream ([bs_partial]) swaps in the

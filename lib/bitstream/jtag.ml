@@ -29,8 +29,86 @@ let transfer_seconds ~words = float_of_int words *. word_seconds
    schedulers can price a sweep without assembling it. *)
 let sweep_command_words ~columns = 4 + (4 * columns)
 
+module Meter = struct
+  type counts = {
+    m_words : int;
+    m_syncs : int;
+    m_hops : int;
+    m_gcaptures : int;
+    m_grestores : int;
+  }
+
+  let zero = { m_words = 0; m_syncs = 0; m_hops = 0; m_gcaptures = 0; m_grestores = 0 }
+
+  let add a b =
+    {
+      m_words = a.m_words + b.m_words;
+      m_syncs = a.m_syncs + b.m_syncs;
+      m_hops = a.m_hops + b.m_hops;
+      m_gcaptures = a.m_gcaptures + b.m_gcaptures;
+      m_grestores = a.m_grestores + b.m_grestores;
+    }
+
+  (* THE cost function.  Everything that prices cable traffic — the
+     board's executor, a scheduler pricing a hypothetical sweep, the
+     hub's serial baseline — must come through here, so the constants
+     can never be combined inconsistently in two places. *)
+  let price c =
+    transfer_seconds ~words:c.m_words
+    +. (float_of_int c.m_syncs *. sync_seconds)
+    +. (float_of_int c.m_hops *. hop_seconds)
+    +. (float_of_int c.m_gcaptures *. gcapture_seconds)
+    +. (float_of_int c.m_grestores *. grestore_seconds)
+
+  type t = {
+    mutable total : counts;
+    mutable seconds : float;
+    mutable transfers : int;
+  }
+
+  (* The registry handles are global: several boards (hub benches run
+     two) aggregate into one set of transport counters. *)
+  let obs_words = Zoomie_obs.Obs.counter "jtag.words"
+  let obs_syncs = Zoomie_obs.Obs.counter "jtag.syncs"
+  let obs_hops = Zoomie_obs.Obs.counter "jtag.hops"
+  let obs_gcaptures = Zoomie_obs.Obs.counter "jtag.gcaptures"
+  let obs_grestores = Zoomie_obs.Obs.counter "jtag.grestores"
+  let obs_transfers = Zoomie_obs.Obs.counter "jtag.transfers"
+  let obs_seconds = Zoomie_obs.Obs.gauge "jtag.seconds"
+  let obs_batch_words = Zoomie_obs.Obs.histogram "jtag.transfer_words"
+
+  let create () = { total = zero; seconds = 0.0; transfers = 0 }
+
+  (* One call per cable transfer.  The per-batch accumulation order is
+     deliberate: [seconds] grows by [price batch] exactly as observers
+     sampling the meter around each transfer would sum it, so a span
+     built on the meter's clock can never disagree with the total (float
+     addition is not associative; pricing a grand-total count would). *)
+  let charge t batch =
+    t.total <- add t.total batch;
+    t.seconds <- t.seconds +. price batch;
+    t.transfers <- t.transfers + 1;
+    let module O = Zoomie_obs.Obs in
+    O.incr ~by:batch.m_words obs_words;
+    O.incr ~by:batch.m_syncs obs_syncs;
+    O.incr ~by:batch.m_hops obs_hops;
+    O.incr ~by:batch.m_gcaptures obs_gcaptures;
+    O.incr ~by:batch.m_grestores obs_grestores;
+    O.incr obs_transfers;
+    O.set_gauge obs_seconds (O.gauge_value obs_seconds +. price batch);
+    O.observe obs_batch_words (float_of_int batch.m_words)
+
+  let counts t = t.total
+  let seconds t = t.seconds
+  let transfers t = t.transfers
+end
+
 let sweep_seconds ~hops ~columns ~words =
-  sync_seconds
-  +. (float_of_int hops *. hop_seconds)
-  +. gcapture_seconds
-  +. transfer_seconds ~words:(words + sweep_command_words ~columns)
+  Meter.price
+    {
+      Meter.m_words = words + sweep_command_words ~columns;
+      m_syncs = 1;
+      m_hops = hops;
+      m_gcaptures = 1;
+      m_grestores = 0;
+    }

@@ -28,6 +28,49 @@ val transfer_seconds : words:int -> float
     read requests. *)
 val sweep_command_words : columns:int -> int
 
+(** The single instrumented transport meter.
+
+    All cable-time arithmetic goes through {!Meter.price}: the board's
+    executor charges each transfer's {!Meter.counts} through a meter,
+    and anything that wants to price hypothetical traffic (a scheduler
+    comparing a coalesced sweep against its serial baseline) prices the
+    same counts through the same function — so the two can never drift.
+
+    Pricing is per-batch on purpose: float addition is not associative,
+    and [price (add a b)] differs from [price a +. price b] in the last
+    bits.  A meter accumulates [price batch] once per transfer, which is
+    exactly how any observer sampling {!Meter.seconds} around transfers
+    would sum it. *)
+module Meter : sig
+  (** What one cable transfer moved/did, in model units. *)
+  type counts = {
+    m_words : int;  (** command + response words shifted *)
+    m_syncs : int;
+    m_hops : int;  (** BOUT ring hops *)
+    m_gcaptures : int;
+    m_grestores : int;
+  }
+
+  val zero : counts
+  val add : counts -> counts -> counts
+
+  (** Modeled seconds of a transfer with these counts — the only place
+      the timing constants are combined. *)
+  val price : counts -> float
+
+  type t
+
+  val create : unit -> t
+
+  (** Charge one transfer: accumulates counts and [price batch] seconds,
+      and feeds the global [jtag.*] observability metrics. *)
+  val charge : t -> counts -> unit
+
+  val counts : t -> counts
+  val seconds : t -> float
+  val transfers : t -> int
+end
+
 (** Modeled cost of executing one capture+readback sweep on one SLR,
     standalone: sync, [hops] BOUT hops, GCAPTURE, the command words for
     [columns] columns and the [words] response words.  This is what a

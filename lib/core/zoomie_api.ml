@@ -27,6 +27,7 @@ module Debug = Zoomie_debug
 module Hub = Zoomie_hub
 module Vti = Zoomie_vti
 module Workloads = Zoomie_workloads
+module Obs = Zoomie_obs.Obs
 
 let version = "1.0.0"
 

@@ -29,6 +29,9 @@ module Hub = Zoomie_hub
 module Vti = Zoomie_vti
 module Workloads = Zoomie_workloads
 
+(** The observability registry and tracer shared by the whole stack. *)
+module Obs = Zoomie_obs.Obs
+
 val version : string
 
 (** A hardware project: design sources plus target and clocking choices.

@@ -10,6 +10,14 @@
 open Zoomie_rtl
 module Board = Zoomie_bitstream.Board
 module Netlist = Zoomie_synth.Netlist
+module Obs = Zoomie_obs.Obs
+
+(* Observability: the stop-poll loop is the host's hot cable path, so its
+   shape (polls per run, runs issued) is worth a counter each; the cable
+   time itself is already metered at the board. *)
+let obs_status_polls = Obs.counter "host.status_polls"
+let obs_runs = Obs.counter "host.run_until_stop"
+let obs_stops = Obs.counter "host.stops_observed"
 
 type t = {
   board : Board.t;
@@ -192,6 +200,7 @@ let resume t =
     JTAG cost is identical either way: the host still pays one status
     readback per poll to observe the stop. *)
 let run_until_stop ?(max_cycles = 1_000_000) t =
+  Obs.incr obs_runs;
   let rec go remaining =
     if remaining <= 0 then false
     else begin
@@ -199,8 +208,10 @@ let run_until_stop ?(max_cycles = 1_000_000) t =
       (match t.stop_net with
       | Some stop_net -> ignore (Board.run_until t.board ~stop_net chunk)
       | None -> Board.run t.board chunk);
+      Obs.incr obs_status_polls;
       if is_stopped t then begin
         t.poll_chunk <- initial_poll_chunk;
+        Obs.incr obs_stops;
         true
       end
       else begin
@@ -209,7 +220,10 @@ let run_until_stop ?(max_cycles = 1_000_000) t =
       end
     end
   in
-  go max_cycles
+  Obs.span ~cat:"debug"
+    ~mclock:(fun () -> Board.jtag_seconds t.board)
+    "host.run_until_stop"
+    (fun () -> go max_cycles)
 
 (** Single-step the MUT by [n] design cycles (gdb's [until]): arm the cycle
     breakpoint and resume. *)

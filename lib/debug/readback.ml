@@ -31,6 +31,7 @@ open Zoomie_fabric
 module Board = Zoomie_bitstream.Board
 module Program = Zoomie_bitstream.Program
 module Netlist = Zoomie_synth.Netlist
+module Obs = Zoomie_obs.Obs
 
 (** Typed failure of the readback/injection engine: unknown register or
     memory names, and plans that do not cover the state they are asked to
@@ -359,12 +360,15 @@ let emit_clear_mask prog = Program.set_ctl0 prog ~mask:1 ~value:0
 
 (* --- frame transport --------------------------------------------------- *)
 
-(* Read all frames of the plan's columns on one SLR, capturing live state
-   first, and slice the response into [into] keyed by full frame address. *)
-let read_slr_frames_into into board plan ~slr =
-  let device = Board.device board in
+(* The word stream the [slr] part of [plan] executes — one sweep: sync,
+   hop to the owning SLR, clear the GSR mask, GCAPTURE, a FAR write and
+   frame read per column, desync.  Factored out of the executor so the
+   pricing path below prices exactly the words the board will see; the
+   two can only drift if this function does. *)
+let sweep_program device plan ~slr =
   let cols = List.filter (fun c -> c.c_slr = slr) plan.columns in
-  if cols <> [] then begin
+  if cols = [] then None
+  else begin
     let prog = Program.create () in
     Program.sync prog;
     Program.select_slr prog ~hops:(hops_to device slr);
@@ -376,18 +380,49 @@ let read_slr_frames_into into board plan ~slr =
         Program.read_frames prog ~words:(c.c_frames * Geometry.words_per_frame))
       cols;
     Program.desync prog;
-    let data = Board.execute board (Program.words prog) in
+    Some (cols, Program.words prog)
+  end
+
+(** Modeled standalone cost of the [slr] part of [plan]: the exact word
+    stream the executor would emit, priced through the transport meter's
+    cost function ({!Board.price_stream}).  0 when the plan has no
+    columns on [slr]. *)
+let slr_sweep_cost board plan ~slr =
+  match sweep_program (Board.device board) plan ~slr with
+  | None -> 0.0
+  | Some (_, words) -> Board.price_stream words
+
+(** Modeled standalone cost of executing [plan] alone: per-SLR sweep
+    prices summed in execution order — the same per-transfer batching the
+    meter itself accumulates, so this equals the {!Board.jtag_seconds}
+    delta a lone execution of the plan produces. *)
+let plan_cost board plan =
+  List.fold_left
+    (fun acc slr -> acc +. slr_sweep_cost board plan ~slr)
+    0.0 (plan_slrs plan)
+
+(* Read all frames of the plan's columns on one SLR, capturing live state
+   first, and slice the response into [into] keyed by full frame address. *)
+let read_slr_frames_into into board plan ~slr =
+  match sweep_program (Board.device board) plan ~slr with
+  | None -> ()
+  | Some (cols, words) ->
+    let data =
+      Obs.span ~cat:"readback"
+        ~mclock:(fun () -> Board.jtag_seconds board)
+        (Printf.sprintf "readback.sweep slr%d" slr)
+        (fun () -> Board.execute board words)
+    in
     (* Slice the response back into frames, in request order. *)
     let pos = ref 0 in
     List.iter
       (fun c ->
         for minor = 0 to c.c_frames - 1 do
-          let words = Array.sub data !pos Geometry.words_per_frame in
+          let w = Array.sub data !pos Geometry.words_per_frame in
           pos := !pos + Geometry.words_per_frame;
-          Frame_index.add into (slr, c.c_row, c.c_col, minor) words
+          Frame_index.add into (slr, c.c_row, c.c_col, minor) w
         done)
       cols
-  end
 
 (** Execute the [slr] part of a plan: GCAPTURE, hop to the SLR, read each
     column; returns the indexed frame response. *)
@@ -398,9 +433,15 @@ let read_slr_frames board plan ~slr =
 
 (** Execute a whole plan, SLR by SLR, into one frame index. *)
 let read_plan_frames board plan =
-  let idx = Frame_index.create () in
-  List.iter (fun slr -> read_slr_frames_into idx board plan ~slr) (plan_slrs plan);
-  idx
+  Obs.span ~cat:"readback"
+    ~mclock:(fun () -> Board.jtag_seconds board)
+    "readback.plan"
+    (fun () ->
+      let idx = Frame_index.create () in
+      List.iter
+        (fun slr -> read_slr_frames_into idx board plan ~slr)
+        (plan_slrs plan);
+      idx)
 
 (* Emit the write-back half of a read-modify-write: address each frame of
    one SLR and push its (modified) words, then GRESTORE. *)

@@ -144,6 +144,16 @@ val read_slr_frames : Board.t -> plan -> slr:int -> Frame_index.t
 (** Execute a whole plan, SLR by SLR, into one frame index. *)
 val read_plan_frames : Board.t -> plan -> Frame_index.t
 
+(** Modeled standalone cost of the [slr] part of [plan]: prices the exact
+    word stream {!read_slr_frames} would execute, through the transport
+    meter's cost function — so a scheduler's baseline can never disagree
+    with what the executor charges. *)
+val slr_sweep_cost : Board.t -> plan -> slr:int -> float
+
+(** Modeled standalone cost of executing [plan] alone: per-SLR sweep
+    prices summed in execution order (the meter's own batching). *)
+val plan_cost : Board.t -> plan -> float
+
 (** {1 Registers} *)
 
 (** Pure host-side parse: reassemble every register satisfying [select]

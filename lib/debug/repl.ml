@@ -20,6 +20,9 @@
       load FILE           restore MUT state from a snapshot FILE
       cause | cycles      stop cause / executed MUT cycles
       status              stopped?
+      stats               cable meter + kernel counters + metrics registry
+      trace on|off        enable / disable span tracing
+      trace dump FILE     write collected spans as Chrome trace JSON
     v}
 
     [run_script] executes a whole script and returns the transcript — the
@@ -27,6 +30,8 @@
 
 open Zoomie_rtl
 module Board = Zoomie_bitstream.Board
+module Jtag = Zoomie_bitstream.Jtag
+module Obs = Zoomie_obs.Obs
 
 type command =
   | Run of int
@@ -49,6 +54,9 @@ type command =
   | Cause
   | Cycles
   | Status
+  | Stats
+  | Trace_ctl of bool
+  | Trace_dump of string
   | Nop
 
 let parse_int s =
@@ -113,6 +121,10 @@ let parse_line line : (command, string) result =
     match parse_int v with
     | Some v -> Ok (Inject (reg, v))
     | None -> Error "inject: bad value")
+  | [ "trace"; "on" ] -> Ok (Trace_ctl true)
+  | [ "trace"; "off" ] -> Ok (Trace_ctl false)
+  (* must precede the [trace N FILE] int-parse below *)
+  | [ "trace"; "dump"; file ] -> Ok (Trace_dump file)
   | [ "trace"; n; file ] -> (
     match parse_int n with
     | Some n -> Ok (Trace (n, file))
@@ -122,6 +134,7 @@ let parse_line line : (command, string) result =
   | [ "cause" ] -> Ok Cause
   | [ "cycles" ] -> Ok Cycles
   | [ "status" ] -> Ok Status
+  | [ "stats" ] -> Ok Stats
   | w :: _ -> Error (Printf.sprintf "unknown command %S" w)
 
 (** The inverse of {!parse_line}: render a command back to the line syntax
@@ -152,6 +165,10 @@ let command_to_string (cmd : command) : string =
   | Cause -> "cause"
   | Cycles -> "cycles"
   | Status -> "status"
+  | Stats -> "stats"
+  | Trace_ctl true -> "trace on"
+  | Trace_ctl false -> "trace off"
+  | Trace_dump file -> Printf.sprintf "trace dump %s" file
   | Nop -> ""
 
 (* Width of a named watch (for encoding break values). *)
@@ -236,6 +253,34 @@ let execute host board (cmd : command) : string =
       c.Host.cycle_bp c.Host.assertion_bp c.Host.watch_bp
   | Cycles -> Printf.sprintf "mut cycles = %d" (Host.mut_cycles host)
   | Status -> if Host.is_stopped host then "stopped" else "running"
+  | Stats ->
+    let m = Board.meter board in
+    let k = Jtag.Meter.counts m in
+    let cable =
+      Printf.sprintf
+        "cable: transfers=%d words=%d syncs=%d hops=%d jtag_seconds=%.6f"
+        (Jtag.Meter.transfers m) k.Jtag.Meter.m_words k.Jtag.Meter.m_syncs
+        k.Jtag.Meter.m_hops (Board.jtag_seconds board)
+    in
+    let kernel =
+      match try Some (Board.netsim board) with Invalid_argument _ -> None with
+      | None -> "kernel: no design loaded"
+      | Some ns ->
+        let c = Board.Netsim.counters ns in
+        Printf.sprintf
+          "kernel: events=%d levels=%d edges=%d tick_hits=%d tick_misses=%d"
+          c.Board.Netsim.events_settled c.Board.Netsim.levels_touched
+          c.Board.Netsim.edges c.Board.Netsim.tick_cache_hits
+          c.Board.Netsim.tick_cache_misses
+    in
+    String.concat "\n" [ cable; kernel; Obs.snapshot_summary (Obs.snapshot ()) ]
+  | Trace_ctl on ->
+    Obs.set_tracing on;
+    if on then "tracing on" else "tracing off"
+  | Trace_dump file ->
+    let n = List.length (Obs.spans ()) in
+    Obs.write_chrome_trace file;
+    Printf.sprintf "wrote %d spans -> %s" n file
 
 (** Run a newline-separated script; returns the transcript (one entry per
     non-empty command, prefixed with the command itself). *)

@@ -5,7 +5,8 @@
     [break sig=val ...], [break-any sig=val ...], [watch sig ...],
     [unwatch sig ...], [clear], [print reg], [mem name addr], [state],
     [inject reg val], [trace n file.vcd], [save file], [load file],
-    [cause], [cycles], [status].
+    [cause], [cycles], [status], [stats], [trace on], [trace off],
+    [trace dump file.json].
     Blank lines and [#]-comments are ignored. *)
 
 module Board = Zoomie_bitstream.Board
@@ -31,6 +32,9 @@ type command =
   | Cause
   | Cycles
   | Status
+  | Stats  (** cable meter + kernel counters + metrics registry summary *)
+  | Trace_ctl of bool  (** [trace on] / [trace off]: toggle span tracing *)
+  | Trace_dump of string  (** write collected spans as Chrome trace JSON *)
   | Nop
 
 (** Parse one input line.  [Error msg] describes the syntax problem. *)

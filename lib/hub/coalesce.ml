@@ -10,13 +10,14 @@
 
     The saving is accounted in modeled time: the sweep's actual
     {!Board.jtag_seconds} delta versus the sum of what each request's
-    plan would cost standalone ({!Jtag.sweep_seconds}). *)
+    plan would cost standalone ({!Readback.plan_cost}, which prices the
+    exact word streams through the same transport meter the executor
+    charges — the two sides of the comparison share one cost model). *)
 
-open Zoomie_fabric
 module Board = Zoomie_bitstream.Board
-module Jtag = Zoomie_bitstream.Jtag
 module Host = Zoomie_debug.Host
 module Readback = Zoomie_debug.Readback
+module Obs = Zoomie_obs.Obs
 
 type read_request = {
   rd_session : int;
@@ -54,27 +55,10 @@ type sweep_result = {
       (** modeled cost had each request swept alone (the baseline) *)
 }
 
-(** Modeled cable cost of executing [plan] standalone: one sweep per SLR
-    it touches, priced by the transport model. *)
-let serial_seconds board (plan : Readback.plan) =
-  let device = Board.device board in
-  let slrs =
-    List.sort_uniq compare
-      (List.map (fun c -> c.Readback.c_slr) plan.Readback.columns)
-  in
-  List.fold_left
-    (fun acc slr ->
-      let cols =
-        List.filter (fun c -> c.Readback.c_slr = slr) plan.Readback.columns
-      in
-      let frames =
-        List.fold_left (fun a c -> a + c.Readback.c_frames) 0 cols
-      in
-      acc
-      +. Jtag.sweep_seconds ~hops:(Readback.hops_to device slr)
-           ~columns:(List.length cols)
-           ~words:(frames * Geometry.words_per_frame))
-    0.0 slrs
+(** Modeled cable cost of executing [plan] standalone: the exact word
+    streams the executor would emit, priced through the board's transport
+    meter ({!Readback.plan_cost}) — no second copy of the arithmetic. *)
+let serial_seconds board (plan : Readback.plan) = Readback.plan_cost board plan
 
 let strip_prefix ~prefix name =
   let plen = String.length prefix in
@@ -86,7 +70,7 @@ let strip_prefix ~prefix name =
     union plan once, then extract each session's registers from the
     shared frame response.  Result names are the original (unprefixed)
     ones the client asked with. *)
-let sweep board site_map (requests : read_request list) =
+let sweep_untraced board site_map (requests : read_request list) =
   let merged = Readback.merge_plans (List.map (fun r -> r.rd_plan) requests) in
   let before = Board.jtag_seconds board in
   let frames = Readback.read_plan_frames board merged in
@@ -117,3 +101,13 @@ let sweep board site_map (requests : read_request list) =
         (fun a r -> a +. serial_seconds board r.rd_plan)
         0.0 requests;
   }
+
+(** Execute all requests as one merged sweep and demultiplex.  The span's
+    modeled clock is the board's meter, sampled at the same points the
+    [sw_seconds] accounting samples it — so a trace's hub.sweep modeled
+    durations sum to exactly [Stats.cable_seconds]. *)
+let sweep board site_map (requests : read_request list) =
+  Obs.span ~cat:"hub"
+    ~mclock:(fun () -> Board.jtag_seconds board)
+    "hub.sweep"
+    (fun () -> sweep_untraced board site_map requests)

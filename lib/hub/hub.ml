@@ -22,6 +22,7 @@ module Controller = Zoomie_debug.Controller
 module Host = Zoomie_debug.Host
 module Readback = Zoomie_debug.Readback
 module Repl = Zoomie_debug.Repl
+module Obs = Zoomie_obs.Obs
 
 type config = {
   max_sessions_per_board : int;  (** admission: concurrent sessions *)
@@ -212,6 +213,13 @@ let run_control t be acc (p : Scheduler.pending) =
       s.Session.subscribed <- false;
       unsubscribe_from be p.Scheduler.p_session;
       Protocol.Done "unsubscribed"
+    | Protocol.Stats ->
+      (* Answered from hub state + the metrics registry: no cable
+         traffic, so remote clients can poll server health for free. *)
+      Stats.publish t.stats;
+      Protocol.Done
+        (Stats.summary t.stats ^ "\n"
+        ^ Obs.snapshot_summary (Obs.snapshot ()))
     | Protocol.Read_registers _ | Protocol.Command _ ->
       Protocol.Failed "not a control op"
   in
@@ -366,34 +374,43 @@ let tick t =
     List.fold_left
       (fun acc bid ->
         let be = Hashtbl.find t.boards bid in
-        let grant = Scheduler.schedule be.be_queue in
-        t.stats.Stats.lock_conflicts <-
-          t.stats.Stats.lock_conflicts + grant.Scheduler.g_conflicts;
-        let acc =
-          List.fold_left (fun acc p -> run_control t be acc p) acc
-            grant.Scheduler.g_control
-        in
-        let acc = run_reads t be acc grant.Scheduler.g_reads in
-        match grant.Scheduler.g_mutate with
-        | [] -> acc
-        | mutators ->
-          (* The holder's whole batch runs under one exclusive grant. *)
-          let acc =
-            List.fold_left
-              (fun acc p ->
-                let s = Hashtbl.find t.sessions p.Scheduler.p_session in
-                match (s.Session.host, p.Scheduler.p_request) with
-                | None, _ -> respond t acc p (Protocol.Failed "not attached")
-                | Some host, Protocol.Command cmd ->
-                  respond t acc p (exec_command host be.be_board cmd)
-                | Some _, _ -> respond t acc p (Protocol.Failed "not a mutate op"))
-              acc mutators
-          in
-          poll_events t be;
-          acc)
+        let mclock () = Board.jtag_seconds be.be_board in
+        Obs.span ~cat:"hub" ~mclock "hub.tick" (fun () ->
+            let grant = Scheduler.schedule be.be_queue in
+            t.stats.Stats.lock_conflicts <-
+              t.stats.Stats.lock_conflicts + grant.Scheduler.g_conflicts;
+            let acc =
+              List.fold_left (fun acc p -> run_control t be acc p) acc
+                grant.Scheduler.g_control
+            in
+            let acc = run_reads t be acc grant.Scheduler.g_reads in
+            match grant.Scheduler.g_mutate with
+            | [] -> acc
+            | mutators ->
+              (* The holder's whole batch runs under one exclusive grant. *)
+              let acc =
+                Obs.span ~cat:"hub" ~mclock "hub.mutate" (fun () ->
+                    List.fold_left
+                      (fun acc p ->
+                        let s =
+                          Hashtbl.find t.sessions p.Scheduler.p_session
+                        in
+                        match (s.Session.host, p.Scheduler.p_request) with
+                        | None, _ ->
+                          respond t acc p (Protocol.Failed "not attached")
+                        | Some host, Protocol.Command cmd ->
+                          respond t acc p (exec_command host be.be_board cmd)
+                        | Some _, _ ->
+                          respond t acc p (Protocol.Failed "not a mutate op"))
+                      acc mutators)
+              in
+              Obs.span ~cat:"hub" ~mclock "hub.fanout" (fun () ->
+                  poll_events t be);
+              acc))
       [] (board_ids t)
   in
   let acc = reap_timeouts t acc in
+  Stats.publish t.stats;
   List.rev acc
 
 (** Submit one request and tick until its response arrives (convenience

@@ -21,6 +21,7 @@ type request =
   | Read_registers of string list
       (** original (unprefixed) MUT register names — the coalescable read *)
   | Command of Repl.command
+  | Stats  (** pull the hub's service counters + metrics snapshot *)
 
 type response =
   | Done of string  (** command transcript text *)
@@ -81,6 +82,7 @@ let request_to_wire fr =
     | Unsubscribe -> "unsubscribe"
     | Read_registers names -> "read " ^ join_list names
     | Command cmd -> "cmd " ^ escape (Repl.command_to_string cmd)
+    | Stats -> "stats"
   in
   header fr ^ " " ^ body
 
@@ -141,6 +143,7 @@ let request_of_wire line =
     | "subscribe" -> ok Subscribe
     | "unsubscribe" -> ok Unsubscribe
     | "read" when rest <> "" -> ok (Read_registers (split_list rest))
+    | "stats" -> ok Stats
     | "cmd" -> (
       match Repl.parse_line (unescape rest) with
       | Ok cmd -> ok (Command cmd)

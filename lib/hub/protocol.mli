@@ -21,6 +21,9 @@ type request =
   | Read_registers of string list
       (** original (unprefixed) MUT register names — the coalescable read *)
   | Command of Repl.command  (** any REPL command, arbitrated by class *)
+  | Stats
+      (** pull the hub's service counters and a metrics-registry snapshot
+          (a control op: answered from hub state, no cable traffic) *)
 
 type response =
   | Done of string  (** command transcript text *)

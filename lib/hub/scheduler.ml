@@ -22,13 +22,14 @@ type op_class = Control_op | Read_op | Mutate_op
 let classify (req : Protocol.request) =
   match req with
   | Protocol.Attach _ | Protocol.Detach | Protocol.Subscribe
-  | Protocol.Unsubscribe ->
+  | Protocol.Unsubscribe | Protocol.Stats ->
     Control_op
   | Protocol.Read_registers _ -> Read_op
   | Protocol.Command cmd -> (
     match cmd with
     | Repl.Print _ | Repl.Mem _ | Repl.State | Repl.Cause | Repl.Cycles
-    | Repl.Status | Repl.Save _ | Repl.Nop ->
+    | Repl.Status | Repl.Save _ | Repl.Stats | Repl.Trace_ctl _
+    | Repl.Trace_dump _ | Repl.Nop ->
       Read_op
     | Repl.Run _ | Repl.Continue _ | Repl.Pause | Repl.Resume | Repl.Step _
     | Repl.Break_all _ | Repl.Break_any _ | Repl.Watch _ | Repl.Unwatch _

@@ -48,6 +48,14 @@ let create () =
 let saved_seconds t = t.serial_cable_seconds -. t.cable_seconds
 
 let summary t =
+  (* Before any sweep has run, both cable totals are 0: there is no
+     saving to clamp negative and no ratio to divide — print 0 and n/a
+     rather than -0.0000 / inf / nan. *)
+  let saved = Float.max 0.0 (saved_seconds t) in
+  let ratio =
+    if t.serial_cable_seconds = 0.0 || t.cable_seconds = 0.0 then "n/a"
+    else Printf.sprintf "%.2fx" (t.serial_cable_seconds /. t.cable_seconds)
+  in
   String.concat "\n"
     [
       Printf.sprintf "ticks=%d requests=%d responses=%d rejected=%d" t.ticks
@@ -58,8 +66,9 @@ let summary t =
         "sweeps=%d coalesced_reads=%d frames_read=%d frames_requested=%d"
         t.sweeps t.coalesced_reads t.frames_read t.frames_requested;
       Printf.sprintf
-        "cable_seconds=%.4f serial_cable_seconds=%.4f saved_seconds=%.4f"
-        t.cable_seconds t.serial_cable_seconds (saved_seconds t);
+        "cable_seconds=%.4f serial_cable_seconds=%.4f saved_seconds=%.4f \
+         coalescing=%s"
+        t.cable_seconds t.serial_cable_seconds saved ratio;
       Printf.sprintf
         "events_published=%d events_delivered=%d status_polls=%d \
          polls_avoided=%d"
@@ -67,3 +76,48 @@ let summary t =
     ]
 
 let pp fmt t = Format.pp_print_string fmt (summary t)
+
+(* --- registry mirror --------------------------------------------------- *)
+
+module Obs = Zoomie_obs.Obs
+
+(* The record above stays the hub's authoritative store (tests assert on
+   its fields directly); [publish] rebases the same numbers onto the
+   global metrics registry so the REPL [stats] command, the protocol
+   [Stats] request and the bench snapshots all read hub health from the
+   one substrate.  Gauges, not counters: stats fields are absolute. *)
+let g_ticks = Obs.gauge "hub.ticks"
+let g_requests = Obs.gauge "hub.requests"
+let g_responses = Obs.gauge "hub.responses"
+let g_rejected = Obs.gauge "hub.rejected"
+let g_lock_conflicts = Obs.gauge "hub.lock_conflicts"
+let g_timeouts = Obs.gauge "hub.timeouts"
+let g_sweeps = Obs.gauge "hub.sweeps"
+let g_coalesced_reads = Obs.gauge "hub.coalesced_reads"
+let g_frames_read = Obs.gauge "hub.frames_read"
+let g_frames_requested = Obs.gauge "hub.frames_requested"
+let g_cable_seconds = Obs.gauge "hub.cable_seconds"
+let g_serial_cable_seconds = Obs.gauge "hub.serial_cable_seconds"
+let g_events_published = Obs.gauge "hub.events_published"
+let g_events_delivered = Obs.gauge "hub.events_delivered"
+let g_status_polls = Obs.gauge "hub.status_polls"
+let g_polls_avoided = Obs.gauge "hub.polls_avoided"
+
+let publish t =
+  let fi = float_of_int in
+  Obs.set_gauge g_ticks (fi t.ticks);
+  Obs.set_gauge g_requests (fi t.requests);
+  Obs.set_gauge g_responses (fi t.responses);
+  Obs.set_gauge g_rejected (fi t.rejected);
+  Obs.set_gauge g_lock_conflicts (fi t.lock_conflicts);
+  Obs.set_gauge g_timeouts (fi t.timeouts);
+  Obs.set_gauge g_sweeps (fi t.sweeps);
+  Obs.set_gauge g_coalesced_reads (fi t.coalesced_reads);
+  Obs.set_gauge g_frames_read (fi t.frames_read);
+  Obs.set_gauge g_frames_requested (fi t.frames_requested);
+  Obs.set_gauge g_cable_seconds t.cable_seconds;
+  Obs.set_gauge g_serial_cable_seconds t.serial_cable_seconds;
+  Obs.set_gauge g_events_published (fi t.events_published);
+  Obs.set_gauge g_events_delivered (fi t.events_delivered);
+  Obs.set_gauge g_status_polls (fi t.status_polls);
+  Obs.set_gauge g_polls_avoided (fi t.polls_avoided)

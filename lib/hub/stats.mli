@@ -28,6 +28,14 @@ val create : unit -> t
 (** Modeled cable time the coalescer saved versus serialized sweeps. *)
 val saved_seconds : t -> float
 
+(** Human summary.  Prints [saved_seconds] clamped at 0 and the
+    coalescing ratio as [n/a] while no sweep has accumulated cable time
+    yet (never [inf]/[nan]). *)
 val summary : t -> string
 
 val pp : Format.formatter -> t -> unit
+
+(** Mirror every counter onto the global {!Zoomie_obs.Obs} registry as
+    [hub.*] gauges — the record stays the authoritative store, the
+    registry is how the REPL/protocol/bench surfaces read it. *)
+val publish : t -> unit

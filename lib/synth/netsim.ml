@@ -49,7 +49,33 @@ type t = {
   (* Tick sets cached per (root clock, gate-enable mask). *)
   tick_cache : (int, int array) Hashtbl.t array;
   tick_scratch : bool array;
+  (* Kernel observability: plain fields, not registry handles — the
+     kernel must stay free of any cross-library call on its hot loops.
+     Whoever surfaces them (REPL stats, benches) publishes to the
+     registry from outside. *)
+  mutable n_events : int;  (* cell evaluations settled *)
+  mutable n_levels_touched : int;  (* non-empty levels drained *)
+  mutable n_edges : int;  (* clock edges committed *)
+  mutable n_tick_hits : int;  (* tick-set cache fast-path hits *)
+  mutable n_tick_misses : int;  (* tick sets recomputed *)
 }
+
+type counters = {
+  events_settled : int;
+  levels_touched : int;
+  edges : int;
+  tick_cache_hits : int;
+  tick_cache_misses : int;
+}
+
+let counters t =
+  {
+    events_settled = t.n_events;
+    levels_touched = t.n_levels_touched;
+    edges = t.n_edges;
+    tick_cache_hits = t.n_tick_hits;
+    tick_cache_misses = t.n_tick_misses;
+  }
 
 let netlist t = t.p.C.nl
 
@@ -225,13 +251,21 @@ let eval_cell t c =
 let settle t =
   let p = t.p in
   for l = 0 to p.C.n_levels - 1 do
-    let base = p.C.seg_off.(l) in
-    for k = 0 to t.seg_len.(l) - 1 do
-      let c = t.wl.(base + k) in
-      Bytes.set t.queued c '\000';
-      eval_cell t c
-    done;
-    t.seg_len.(l) <- 0
+    (* An edge strictly increases level, so this level's queue length is
+       fixed by the time the drain reaches it — snapshot it for the
+       counters without changing what gets drained. *)
+    let len = t.seg_len.(l) in
+    if len > 0 then begin
+      t.n_events <- t.n_events + len;
+      t.n_levels_touched <- t.n_levels_touched + 1;
+      let base = p.C.seg_off.(l) in
+      for k = 0 to len - 1 do
+        let c = t.wl.(base + k) in
+        Bytes.set t.queued c '\000';
+        eval_cell t c
+      done;
+      t.seg_len.(l) <- 0
+    end
   done
 
 let eval_comb = settle
@@ -274,7 +308,10 @@ let compute_ticks t root_id =
    per (root, enable-mask) when the gated entries fit in an int key. *)
 let tick_set t root_id =
   let p = t.p in
-  if p.C.n_gated > 60 then compute_ticks t root_id
+  if p.C.n_gated > 60 then begin
+    t.n_tick_misses <- t.n_tick_misses + 1;
+    compute_ticks t root_id
+  end
   else begin
     let mask = ref 0 in
     for e = 0 to Array.length p.C.ck_id - 1 do
@@ -283,8 +320,11 @@ let tick_set t root_id =
     done;
     let cache = t.tick_cache.(root_id) in
     match Hashtbl.find_opt cache !mask with
-    | Some ids -> ids
+    | Some ids ->
+      t.n_tick_hits <- t.n_tick_hits + 1;
+      ids
     | None ->
+      t.n_tick_misses <- t.n_tick_misses + 1;
       let ids = compute_ticks t root_id in
       Hashtbl.add cache !mask ids;
       ids
@@ -310,6 +350,7 @@ let edge t root =
   match Hashtbl.find_opt p.C.clock_ids root with
   | None -> ()
   | Some root_id ->
+    t.n_edges <- t.n_edges + 1;
     let ticks = tick_set t root_id in
     t.pend_ff_n <- 0;
     t.pend_srd_n <- 0;
@@ -478,6 +519,11 @@ let create (n : Netlist.t) =
       pend_mw_n = 0;
       tick_cache = Array.init (max 1 p.C.n_clocks) (fun _ -> Hashtbl.create 4);
       tick_scratch = Array.make (max 1 p.C.n_clocks) false;
+      n_events = 0;
+      n_levels_touched = 0;
+      n_edges = 0;
+      n_tick_hits = 0;
+      n_tick_misses = 0;
     }
   in
   (* Everything is dirty at power-on (first settle is a full pass, like

@@ -59,6 +59,23 @@ val run_until : t -> string -> stop_net:int -> max_cycles:int -> int
 
 val cycles : t -> int
 
+(** {1 Kernel observability}
+
+    Plain per-instance counters maintained by the hot loops (no registry
+    traffic inside the kernel): how much work the event-driven engine
+    actually did.  Surfaces (REPL [stats], benches) read them here and
+    publish to {!Zoomie_obs.Obs} themselves. *)
+
+type counters = {
+  events_settled : int;  (** cell evaluations drained by [settle] *)
+  levels_touched : int;  (** non-empty levels visited across settles *)
+  edges : int;  (** clock edges committed *)
+  tick_cache_hits : int;  (** gated-clock tick sets served from cache *)
+  tick_cache_misses : int;  (** tick sets recomputed *)
+}
+
+val counters : t -> counters
+
 (** {1 Pins} *)
 
 val poke_input : t -> string -> Bits.t -> unit

@@ -124,14 +124,34 @@ let payload project netlist locmap =
    see where an incremental recompile spends its time. *)
 let timers = Sys.getenv_opt "ZOOMIE_VTI_TIMINGS" <> None
 
+module Obs = Zoomie_obs.Obs
+
+(* Compile-flow observability: which path a recompile took (splice vs
+   full link, synthesis cache), and how wide the Domain-pool fan-outs
+   are.  The phase structure itself is traced through [timed]. *)
+let obs_synth_hits = Obs.counter "vti.synth_cache_hits"
+let obs_synth_misses = Obs.counter "vti.synth_cache_misses"
+let obs_relink_splice = Obs.counter "vti.relink_splice"
+let obs_full_link = Obs.counter "vti.full_link"
+let obs_pool_depth = Obs.gauge "vti.pool_queue_depth"
+
+(* Every timed phase is also a trace span, so `zoomie --trace` shows the
+   recompile pipeline without the env var. *)
 let timed name f =
-  if not timers then f ()
-  else begin
-    let t0 = Sys.time () in
-    let r = f () in
-    Printf.eprintf "[vti] %-24s %7.2fs\n%!" name (Sys.time () -. t0);
-    r
-  end
+  Obs.span ~cat:"vti" ("vti." ^ name) (fun () ->
+      if not timers then f ()
+      else begin
+        let t0 = Sys.time () in
+        let r = f () in
+        Printf.eprintf "[vti] %-24s %7.2fs\n%!" name (Sys.time () -. t0);
+        r
+      end)
+
+(* Pool fan-out, with the submitted array length recorded as the queue
+   depth (from the calling domain only — workers never touch obs). *)
+let pool_map ?jobs f a =
+  Obs.max_gauge obs_pool_depth (float_of_int (Array.length a));
+  Pool.map_array ?jobs f a
 
 let stamped_of sb =
   {
@@ -242,7 +262,7 @@ let circuit_digest (c : Circuit.t) = Digest.string (Marshal.to_string c [])
    boundary maps key nets by their final (root) shell id. *)
 let route_contribs ?jobs ~index ~shell_netlist ~shell_locmap stamps =
   let seg = Array.of_list stamps in
-  Pool.map_array ?jobs
+  pool_map ?jobs
     (fun i ->
       if i = 0 then
         Route.contrib_of ~shell_remap:(Link.shell_remap index) shell_netlist
@@ -274,7 +294,7 @@ let route_cache_of ~nshell ~contribs stamps =
 let frame_slices ?jobs ~shell_netlist ~shell_locmap stamps =
   let seg = Array.of_list stamps in
   let slices =
-    Pool.map_array ?jobs
+    pool_map ?jobs
       (fun i ->
         if i = 0 then Framegen.generate shell_netlist shell_locmap
         else Framegen.generate seg.(i - 1).sb_netlist seg.(i - 1).sb_locmap)
@@ -311,11 +331,13 @@ let compile ?jobs (project : project) : build =
   (* Shell synthesis and one synthesis per unique module — the Figure 4
      fan-out, on real domains.  Task 0 is the shell. *)
   let synth_results =
-    Pool.map_array ?jobs
-      (fun i ->
-        if i = 0 then `Shell (Synthesize.run shell_circuit)
-        else `Unit (Zoomie_synth.Hier.synth_module project.design modules.(i - 1)))
-      (Array.init (1 + Array.length modules) Fun.id)
+    timed "synth fan-out" (fun () ->
+        pool_map ?jobs
+          (fun i ->
+            if i = 0 then `Shell (Synthesize.run shell_circuit)
+            else
+              `Unit (Zoomie_synth.Hier.synth_module project.design modules.(i - 1)))
+          (Array.init (1 + Array.length modules) Fun.id))
   in
   let shell_netlist, shell_stats =
     match synth_results.(0) with `Shell r -> r | `Unit _ -> assert false
@@ -372,7 +394,9 @@ let compile ?jobs (project : project) : build =
      parallel. *)
   let static_alloc = Sites.create project.device static_regions in
   let shell_place =
-    Place.run_with_allocator static_alloc ~regions:static_regions shell_netlist
+    timed "place shell" (fun () ->
+        Place.run_with_allocator static_alloc ~regions:static_regions
+          shell_netlist)
   in
   let iter_locmaps =
     let iter_bbs =
@@ -382,7 +406,7 @@ let compile ?jobs (project : project) : build =
            bbs)
     in
     let placed =
-      Pool.map_array ?jobs
+      pool_map ?jobs
         (fun (bb : Flat.blackbox) ->
           let nl, _ = Hashtbl.find cache bb.Flat.bb_module in
           let r = Hashtbl.find region_by_path bb.Flat.bb_path in
@@ -417,10 +441,12 @@ let compile ?jobs (project : project) : build =
       bbs
   in
   let netlist, index =
-    Link.link_indexed ~shell:shell_netlist (List.map stamped_of stamps)
+    timed "link" (fun () ->
+        Link.link_indexed ~shell:shell_netlist (List.map stamped_of stamps))
   in
   let locmap = merged_locmap ~shell_locmap:shell_place.Place.locmap ~stamps in
   let route, fast =
+    timed "route" @@ fun () ->
     let contribs =
       route_contribs ?jobs ~index ~shell_netlist
         ~shell_locmap:shell_place.Place.locmap stamps
@@ -442,8 +468,9 @@ let compile ?jobs (project : project) : build =
       locmap
   in
   let static_frames, iter_frames =
-    frame_slices ?jobs ~shell_netlist ~shell_locmap:shell_place.Place.locmap
-      stamps
+    timed "frames" (fun () ->
+        frame_slices ?jobs ~shell_netlist ~shell_locmap:shell_place.Place.locmap
+          stamps)
   in
   let frames = Framegen.merge (static_frames :: List.map snd iter_frames) in
   let bitstream =
@@ -553,8 +580,11 @@ let recompile (prev : build) ~path ~(circuit : Circuit.t) : build =
     timed "synth" (fun () ->
         let digest = circuit_digest circuit in
         match Hashtbl.find_opt prev.incr.is_synth_cache digest with
-        | Some r -> r
+        | Some r ->
+          Obs.incr obs_synth_hits;
+          r
         | None ->
+          Obs.incr obs_synth_misses;
           let design = Design.add_module (Design.copy project.design) circuit in
           let r = Zoomie_synth.Hier.synth_module design circuit.Circuit.name in
           Hashtbl.replace prev.incr.is_synth_cache digest r;
@@ -608,6 +638,7 @@ let recompile (prev : build) ~path ~(circuit : Circuit.t) : build =
   in
   if timers && spliced = None then
     Printf.eprintf "[vti] splice unavailable -> full link fallback\n%!";
+  Obs.incr (if spliced = None then obs_full_link else obs_relink_splice);
   let netlist, route, fast =
     match spliced with
     | Some (fs, netlist, index') ->

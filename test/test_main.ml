@@ -21,4 +21,5 @@ let () =
       ("ila", Test_ila.suite);
       ("export", Test_export.suite);
       ("api", Test_api.suite);
+      ("obs", Test_obs.suite);
     ]
