@@ -13,8 +13,10 @@ test: build
 # The smoke benches double as end-to-end checks: `netsim smoke` fails
 # hard if the compiled event-driven engine diverges bit-for-bit from
 # the interpreter on a small manycore (FFs, mems, outputs, injection,
-# forced nets); `readback smoke` fails hard if the indexed engine and
-# the association-list baseline disagree on a register; `hub smoke`
+# forced nets); `netsim-batch smoke` fails hard if any lane of the
+# 63-wide bit-parallel kernel diverges from the scalar kernel on
+# de-phased stimulus; `readback smoke` fails hard if the indexed engine
+# and the association-list baseline disagree on a register; `hub smoke`
 # fails hard if the coalesced multi-session sweep ever diverges
 # bit-for-bit from the serialized single-session path; `vti smoke`
 # fails hard if the incremental compile engine ever produces different
@@ -23,6 +25,7 @@ test: build
 # recompile chain.
 bench-smoke:
 	dune exec bench/main.exe -- netsim smoke
+	dune exec bench/main.exe -- netsim-batch smoke
 	dune exec bench/main.exe -- readback smoke
 	dune exec bench/main.exe -- hub smoke
 	dune exec bench/main.exe -- vti smoke
@@ -34,6 +37,9 @@ bench-smoke:
 obs-smoke:
 	grep -q '"metrics"' BENCH_netsim_smoke.json
 	grep -q '"netsim.events_settled"' BENCH_netsim_smoke.json
+	grep -q '"metrics"' BENCH_netsim_batch_smoke.json
+	grep -q '"netsim.batch.lanes"' BENCH_netsim_batch_smoke.json
+	grep -q '"netsim.partition_dispatches"' BENCH_netsim_batch_smoke.json
 	grep -q '"metrics"' BENCH_hub_smoke.json
 	grep -q '"hub.cable_seconds"' BENCH_hub_smoke.json
 	grep -q '"jtag.seconds"' BENCH_hub_smoke.json
@@ -45,6 +51,7 @@ obs-smoke:
 check: build
 	dune runtest
 	dune exec bench/main.exe -- netsim smoke
+	dune exec bench/main.exe -- netsim-batch smoke
 	dune exec bench/main.exe -- readback smoke
 	dune exec bench/main.exe -- hub smoke
 	dune exec bench/main.exe -- vti smoke

@@ -50,7 +50,17 @@ let publish_kernel_counters ns =
   set "netsim.levels_touched" c.Synth.Netsim.levels_touched;
   set "netsim.edges" c.Synth.Netsim.edges;
   set "netsim.tick_cache_hits" c.Synth.Netsim.tick_cache_hits;
-  set "netsim.tick_cache_misses" c.Synth.Netsim.tick_cache_misses
+  set "netsim.tick_cache_misses" c.Synth.Netsim.tick_cache_misses;
+  set "netsim.partition_dispatches" c.Synth.Netsim.partition_dispatches;
+  set "netsim.boundary_syncs" c.Synth.Netsim.boundary_syncs
+
+let publish_batch_counters nb =
+  let c = Synth.Netsim_batch.counters nb in
+  let set name v = Obs.set_gauge (Obs.gauge name) (float_of_int v) in
+  set "netsim.batch.lanes" c.Synth.Netsim_batch.lanes_width;
+  set "netsim.batch.events_settled" c.Synth.Netsim_batch.events_settled;
+  set "netsim.batch.levels_touched" c.Synth.Netsim_batch.levels_touched;
+  set "netsim.batch.edges" c.Synth.Netsim_batch.edges
 
 (* ------------------------------------------------------------------ *)
 (* Shared full-scale manycore flows                                     *)
@@ -723,6 +733,202 @@ let netsim_bench ~smoke () =
   pf "wrote %s\n" file
 
 (* ------------------------------------------------------------------ *)
+(* Batch netsim: 63 lanes per settle vs the scalar compiled kernel      *)
+(* ------------------------------------------------------------------ *)
+
+(* The fuzz-farm multiplier: Netsim_batch packs 63 independent stimulus
+   lanes into one int per net, so one settle advances 63 scenarios.  The
+   figure of merit is aggregate scenario throughput — scenario-cycles
+   per second across all lanes — against running the same scenarios one
+   at a time through the scalar compiled kernel.
+
+   The measured scenario matches the intended workload (ROADMAP fuzz
+   campaign): the SoC background runs in lockstep across lanes while the
+   MUT core carries 63 divergent randomized states — every register of
+   cluster0.core0 is injected with a lane-distinct value, so the MUT's
+   whole cone (PC, datapath, its LUTRAM addressing) runs genuinely
+   different traces per lane while the other 5399 cores ride the
+   uniform-word fast paths, exactly as 63 variants of one core under
+   test would.  The full-scale run additionally reports the
+   full-divergence bound — every lane de-phased, so *all* 5400 cores
+   diverge across lanes and no uniform path ever hits — which is the
+   kernel's worst case, not its workload.  The smoke run uses the
+   de-phased stimulus as its equivalence stress (at 6 cores it is cheap
+   and still clears the floor). *)
+let netsim_batch_bench ~smoke () =
+  header
+    (Printf.sprintf "Netsim batch: 63-lane bit-parallel kernel (%s manycore)"
+       (if smoke then "smoke-scale" else "n=5400"));
+  Obs.reset_metrics ();
+  let config =
+    if smoke then
+      { Manycore.default_config with Manycore.clusters = 2; cores_per_cluster = 3 }
+    else Manycore.default_config
+  in
+  pf "(synthesizing the %d-core SoC netlist...)\n%!" (Manycore.total_cores config);
+  let design, _ = Manycore.design ~config () in
+  let hier = Synth.Hier.run design ~units:(Manycore.core_units ~config) in
+  let nl = hier.Synth.Hier.netlist in
+  let lut, lutram, ff, _ = Synth.Netlist.resources nl in
+  pf "netlist: %d LUTs, %d FFs, %d nets\n%!" (lut + lutram) ff
+    nl.Synth.Netlist.num_nets;
+  let lanes = Synth.Netsim_batch.lanes in
+  let batch = Synth.Netsim_batch.create nl in
+  let scalar = Synth.Netsim.create nl in
+  let one = Rtl.Bits.of_int ~width:1 1 in
+  let stimulus_cycles =
+    if smoke then begin
+      (* De-phase the lanes: lane l sees start rise on cycle l, so every
+         core diverges across lanes and the uniform-word fast paths never
+         hit — the stress regime.  Lane 0's trajectory is cycle-for-cycle
+         the scalar run's. *)
+      Synth.Netsim.poke_input scalar "start" one;
+      for c = 0 to lanes - 1 do
+        Synth.Netsim_batch.poke_input batch ~lane:c "start" one;
+        Synth.Netsim_batch.step batch "clk";
+        Synth.Netsim.step scalar "clk"
+      done;
+      lanes
+    end
+    else begin
+      (* Fuzz-farm scenario: all lanes start in lockstep, then every
+         register of the MUT core gets a lane-distinct value — 63
+         randomized snapshots of the core under test running against a
+         uniform SoC background.  Lane 0's injections are mirrored into
+         the scalar kernel so the equivalence gate below holds. *)
+      Synth.Netsim_batch.poke_input_all batch "start" one;
+      Synth.Netsim.poke_input scalar "start" one;
+      Synth.Netsim_batch.step ~n:8 batch "clk";
+      Synth.Netsim.step ~n:8 scalar "clk";
+      let mut_prefix = "cluster0.core0." in
+      let mut_regs =
+        Array.fold_left
+          (fun acc (name, _) ->
+            if String.starts_with ~prefix:mut_prefix name && not (List.mem name acc)
+            then name :: acc
+            else acc)
+          [] nl.Synth.Netlist.ff_names
+        |> List.rev
+      in
+      let lane_value cur lane =
+        let v = ref cur in
+        for i = 0 to Rtl.Bits.width cur - 1 do
+          let h = ((lane + 1) * 2654435761) lxor ((i + 1) * 40503) in
+          v := Rtl.Bits.set !v i ((h lsr 7) land 1 = 1)
+        done;
+        !v
+      in
+      if mut_regs = [] then
+        failwith
+          (Printf.sprintf
+             "netsim-batch bench: no registers under %S — MUT injection \
+              would be a no-op"
+             mut_prefix);
+      List.iter
+        (fun name ->
+          let cur = Synth.Netsim_batch.read_register batch ~lane:0 name in
+          for lane = 0 to lanes - 1 do
+            let v = lane_value cur lane in
+            Synth.Netsim_batch.write_register batch ~lane name v;
+            if lane = 0 then Synth.Netsim.write_register scalar name v
+          done)
+        mut_regs;
+      pf "injected %d MUT registers with lane-distinct values (%s*)\n%!"
+        (List.length mut_regs) mut_prefix;
+      8
+    end
+  in
+  let settle_cycles = if smoke then 100 else 20 in
+  Synth.Netsim_batch.step ~n:settle_cycles batch "clk";
+  Synth.Netsim.step ~n:settle_cycles scalar "clk";
+  (* Bit-for-bit gate before timing: lane 0 against the scalar kernel
+     (the QCheck suite carries the per-lane interpreter differential). *)
+  for i = 0 to Array.length nl.Synth.Netlist.ffs - 1 do
+    if
+      Synth.Netsim_batch.ff_value batch ~lane:0 i
+      <> Synth.Netsim.ff_value scalar i
+    then failwith (Printf.sprintf "netsim-batch bench: FF %d diverges" i)
+  done;
+  Array.iter
+    (fun (io : Synth.Netlist.io) ->
+      if
+        Synth.Netsim_batch.get batch ~lane:0 io.Synth.Netlist.io_net
+        <> Synth.Netsim.get scalar io.Synth.Netlist.io_net
+      then
+        failwith
+          (Printf.sprintf "netsim-batch bench: output %s[%d] diverges"
+             io.Synth.Netlist.io_name io.Synth.Netlist.io_bit))
+    nl.Synth.Netlist.outputs;
+  pf "equivalence: batch lane 0 == scalar kernel after %d cycles\n%!"
+    (stimulus_cycles + settle_cycles);
+  (* cycles/sec, adaptive reps aiming for ~1 s per engine. *)
+  let time_cps step_n =
+    let t0 = Unix.gettimeofday () in
+    step_n 1;
+    let once = Unix.gettimeofday () -. t0 in
+    let n = max 1 (min 2_000_000 (int_of_float (1.0 /. max 1e-7 once))) in
+    let t0 = Unix.gettimeofday () in
+    step_n n;
+    float_of_int n /. max 1e-9 (Unix.gettimeofday () -. t0)
+  in
+  let scalar_cps = time_cps (fun n -> Synth.Netsim.step ~n scalar "clk") in
+  let batch_cps = time_cps (fun n -> Synth.Netsim_batch.step ~n batch "clk") in
+  let aggregate = float_of_int lanes *. batch_cps in
+  let speedup = aggregate /. scalar_cps in
+  pf "\n%-26s %16s %18s\n" "engine" "cycles/sec" "scenario-cyc/sec";
+  pf "%-26s %12.0f c/s %14.0f sc/s\n" "scalar compiled kernel" scalar_cps
+    scalar_cps;
+  pf "%-26s %12.0f c/s %14.0f sc/s\n"
+    (Printf.sprintf "batch (%d lanes)" lanes)
+    batch_cps aggregate;
+  pf "aggregate scenario throughput: %.1fx the scalar kernel\n" speedup;
+  if speedup < 20.0 && not smoke then
+    pf "WARNING: aggregate speedup below the 20x acceptance floor\n";
+  publish_kernel_counters scalar;
+  publish_batch_counters batch;
+  (* Full-divergence bound (full scale only): de-phase every lane so all
+     cores diverge across lanes and no uniform-word path hits.  This is
+     the kernel's worst case — reported for honesty, not the figure of
+     merit. *)
+  let bound_cps, bound_speedup =
+    if smoke then (0.0, 0.0)
+    else begin
+      let div = Synth.Netsim_batch.create nl in
+      for c = 0 to lanes - 1 do
+        Synth.Netsim_batch.poke_input div ~lane:c "start" one;
+        Synth.Netsim_batch.step div "clk"
+      done;
+      let cps = time_cps (fun n -> Synth.Netsim_batch.step ~n div "clk") in
+      let agg = float_of_int lanes *. cps in
+      pf "full-divergence bound: %.0f c/s (%.0f sc/s, %.1fx scalar)\n" cps agg
+        (agg /. scalar_cps);
+      (cps, agg /. scalar_cps)
+    end
+  in
+  let file =
+    Bench_json.write
+      ~case:(if smoke then "netsim_batch_smoke" else "netsim_batch")
+      [
+        ( "case",
+          Bench_json.Str (if smoke then "netsim_batch_smoke" else "netsim_batch")
+        );
+        ("smoke", Bench_json.Bool smoke);
+        ("scale_cores", Bench_json.Int (Manycore.total_cores config));
+        ("luts", Bench_json.Int (lut + lutram));
+        ("ffs", Bench_json.Int ff);
+        ("lanes", Bench_json.Int lanes);
+        ("scalar_cycles_per_sec", Bench_json.Num scalar_cps);
+        ("batch_cycles_per_sec", Bench_json.Num batch_cps);
+        ("aggregate_scenario_cycles_per_sec", Bench_json.Num aggregate);
+        ("aggregate_speedup", Bench_json.Num speedup);
+        ("divergence_bound_cycles_per_sec", Bench_json.Num bound_cps);
+        ("divergence_bound_aggregate_speedup", Bench_json.Num bound_speedup);
+        metrics_field ();
+      ]
+  in
+  pf "wrote %s\n" file
+
+(* ------------------------------------------------------------------ *)
 (* Register-extraction throughput: indexed engine vs assoc baseline     *)
 (* ------------------------------------------------------------------ *)
 
@@ -1281,6 +1487,7 @@ let experiments =
     ("ablation", ablation);
     ("micro", micro);
     ("netsim", netsim_bench ~smoke:false);
+    ("netsim-batch", netsim_batch_bench ~smoke:false);
     ("readback", readback_extraction ~smoke:false);
     ("hub", hub_bench ~smoke:false);
     ("vti", vti_bench ~smoke:false);
@@ -1292,6 +1499,9 @@ let () =
   | [| _; "netsim"; "smoke" |] ->
     (* CI smoke mode: same engine comparison on a small SoC. *)
     netsim_bench ~smoke:true ()
+  | [| _; "netsim-batch"; "smoke" |] ->
+    (* CI smoke mode: same 63-lane measurement on a small SoC. *)
+    netsim_batch_bench ~smoke:true ()
   | [| _; "readback"; "smoke" |] ->
     (* CI smoke mode: same measurement on a small SoC, seconds not minutes. *)
     readback_extraction ~smoke:true ()

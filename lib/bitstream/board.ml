@@ -10,6 +10,7 @@
 
 open Zoomie_fabric
 module Netsim = Zoomie_synth.Netsim
+module Netsim_batch = Zoomie_synth.Netsim_batch
 module Netlist = Zoomie_synth.Netlist
 
 type payload = {
@@ -30,6 +31,7 @@ type t = {
   device : Device.t;
   ucs : Uc.t array;
   mutable design : (payload * Netsim.t) option;
+  mutable batch : Netsim_batch.t option;  (* lazy 63-lane shadow model *)
   mutable dynamic_regions : Region.t list;
   meter : Jtag.Meter.t;
   mutable fpga_cycles : int;
@@ -72,6 +74,32 @@ let payload t =
   match t.design with
   | Some (p, _) -> p
   | None -> invalid_arg "Board: no design loaded"
+
+(* The 63-lane shadow model of the loaded design, compiled lazily on
+   first use and dropped whenever (re)configuration replaces the design.
+   It runs off-cable: a fuzz farm stepping 63 stimulus scenarios per
+   settle against the same netlist the board executes, without charging
+   the JTAG meter or the board's cycle clock. *)
+let batch_sim t =
+  match t.batch with
+  | Some b -> b
+  | None ->
+    let p =
+      match t.design with
+      | Some (p, _) -> p
+      | None -> invalid_arg "Board: no design loaded"
+    in
+    let b = Netsim_batch.create p.netlist in
+    t.batch <- Some b;
+    b
+
+let run_batch t cycles =
+  let p =
+    match t.design with
+    | Some (p, _) -> p
+    | None -> invalid_arg "Board: no design loaded"
+  in
+  Netsim_batch.step ~n:cycles (batch_sim t) p.clock_root
 
 let uc t i = t.ucs.(i)
 
@@ -188,6 +216,7 @@ let create device =
       device;
       ucs = Array.init (Device.num_slrs device) (fun i -> Uc.create ~device ~slr_index:i);
       design = None;
+      batch = None;
       dynamic_regions = [];
       meter = Jtag.Meter.create ();
       fpga_cycles = 0;
@@ -454,6 +483,7 @@ let load t (bs : bitstream) =
         p.netlist.Netlist.inputs
     | None -> ());
     t.design <- Some (p, fresh);
+    t.batch <- None;
     Netsim.eval_comb fresh
   | None -> ());
   (* The primary µc rejects the whole configuration on IDCODE mismatch. *)

@@ -15,6 +15,7 @@
     unchanged. *)
 
 module Netsim = Zoomie_synth.Netsim
+module Netsim_batch = Zoomie_synth.Netsim_batch
 module Netlist = Zoomie_synth.Netlist
 open Zoomie_fabric
 
@@ -40,6 +41,7 @@ type t = {
   device : Device.t;
   ucs : Uc.t array;  (** one configuration uc per SLR *)
   mutable design : (payload * Netsim.t) option;
+  mutable batch : Netsim_batch.t option;  (** lazy 63-lane shadow model *)
   mutable dynamic_regions : Region.t list;
   meter : Jtag.Meter.t;  (** the instrumented transport meter *)
   mutable fpga_cycles : int;  (** user-clock cycles executed *)
@@ -100,6 +102,19 @@ val netsim : t -> Netsim.t
 (** Netlist + placement of the currently-configured design.
     @raise Invalid_argument if nothing is loaded. *)
 val payload : t -> payload
+
+(** The 63-lane batch shadow model of the loaded design ({!Netsim_batch}),
+    compiled lazily on first use and invalidated whenever {!load}
+    replaces the design.  It is a fuzz farm beside the live model — 63
+    independent stimulus scenarios advance per settle against the same
+    netlist — and runs entirely off-cable: no JTAG charge, no
+    {!fpga_cycles} advance.  @raise Invalid_argument if nothing is
+    loaded. *)
+val batch_sim : t -> Netsim_batch.t
+
+(** Advance the batch shadow model [n] root-clock cycles in all 63 lanes
+    (off-cable; the board's own clock does not move). *)
+val run_batch : t -> int -> unit
 
 (** The configuration microcontroller of SLR [i] (for tests poking at the
     §4 mechanics directly). *)

@@ -120,7 +120,14 @@ let read_one t name =
   with
   | [ (_, v) ] -> v
   | [] -> invalid_arg (Printf.sprintf "Host: register %S not found" name)
-  | _ -> assert false
+  | hits ->
+    (* A register can only legitimately appear once per plan; several hits
+       mean the design's logic-location data double-covers the name. *)
+    invalid_arg
+      (Printf.sprintf
+         "Host: register %S matched %d readback entries (malformed \
+          logic-location data: duplicate plan coverage)"
+         name (List.length hits))
 
 (* --- run control --- *)
 
@@ -306,6 +313,25 @@ let read_register t name = read_one t (mut_reg t name)
 
 (** Overwrite a MUT register (state injection). *)
 let write_register t name v = inject t [ (mut_reg t name, v) ]
+
+(* --- batched (63-lane) fuzz-farm access --- *)
+
+(** The board's 63-lane batch shadow model (compiled lazily; see
+    {!Board.batch_sim}).  Off-cable: probing it costs no JTAG. *)
+let batch t = Board.batch_sim t.board
+
+(** Advance the batch shadow model [n] design-clock cycles in all lanes. *)
+let run_batch t n = Board.run_batch t.board n
+
+(** Read a MUT register by its original name as one batch lane sees it —
+    the per-lane demux of {!read_register}. *)
+let read_register_lane t ~lane name =
+  Zoomie_synth.Netsim_batch.read_register (batch t) ~lane (mut_reg t name)
+
+(** Overwrite a MUT register in one batch lane only (per-lane state
+    injection into the shadow model). *)
+let write_register_lane t ~lane name v =
+  Zoomie_synth.Netsim_batch.write_register (batch t) ~lane (mut_reg t name) v
 
 (** Read the full contents of a MUT memory by its original name. *)
 let read_memory t name =

@@ -125,6 +125,28 @@ val read_register : t -> string -> Bits.t
 (** Overwrite a MUT register (state injection; no recompilation). *)
 val write_register : t -> string -> Bits.t -> unit
 
+(** {1 Batched (63-lane) fuzz-farm access}
+
+    A lazily compiled {!Zoomie_synth.Netsim_batch} shadow of the loaded
+    design runs 63 independent stimulus scenarios per settle beside the
+    live board model.  It is entirely off-cable — probing it charges no
+    JTAG time — which is what makes fuzz campaigns over the MUT
+    tractable.  The shadow is dropped whenever the board is
+    (re)configured. *)
+
+(** The board's batch shadow model ({!Board.batch_sim}). *)
+val batch : t -> Zoomie_synth.Netsim_batch.t
+
+(** Advance the shadow model [n] design-clock cycles in all 63 lanes. *)
+val run_batch : t -> int -> unit
+
+(** Read a MUT register by its original name as one lane sees it — the
+    per-lane demux of {!read_register}. *)
+val read_register_lane : t -> lane:int -> string -> Bits.t
+
+(** Overwrite a MUT register in one lane only. *)
+val write_register_lane : t -> lane:int -> string -> Bits.t -> unit
+
 (** Read the full contents of a MUT memory by its original name. *)
 val read_memory : t -> string -> Bits.t array
 

@@ -268,10 +268,12 @@ let execute host board (cmd : command) : string =
       | Some ns ->
         let c = Board.Netsim.counters ns in
         Printf.sprintf
-          "kernel: events=%d levels=%d edges=%d tick_hits=%d tick_misses=%d"
+          "kernel: events=%d levels=%d edges=%d tick_hits=%d tick_misses=%d \
+           dispatches=%d syncs=%d"
           c.Board.Netsim.events_settled c.Board.Netsim.levels_touched
           c.Board.Netsim.edges c.Board.Netsim.tick_cache_hits
-          c.Board.Netsim.tick_cache_misses
+          c.Board.Netsim.tick_cache_misses c.Board.Netsim.partition_dispatches
+          c.Board.Netsim.boundary_syncs
     in
     String.concat "\n" [ cable; kernel; Obs.snapshot_summary (Obs.snapshot ()) ]
   | Trace_ctl on ->

@@ -158,20 +158,32 @@ let response_of_wire line =
     match verb with
     | "done" -> ok (Done (unescape rest))
     | "failed" -> ok (Failed (unescape rest))
-    | "values" -> (
-      try
-        ok
-          (Values
-             (List.map
-                (fun pair ->
-                  match String.index_opt pair '=' with
-                  | Some i ->
-                    ( String.sub pair 0 i,
-                      Bits.of_binary_string
-                        (String.sub pair (i + 1) (String.length pair - i - 1)) )
-                  | None -> failwith pair)
-                (split_list rest)))
-      with _ -> Error "bad values payload")
+    | "values" ->
+      (* Parse pair-by-pair so a malformed entry yields a descriptive
+         [Error] naming it.  Only the bits parser's [Invalid_argument] is
+         handled — anything else (Out_of_memory, Stack_overflow, other
+         asynchronous exceptions) must keep propagating. *)
+      let parse_pair pair =
+        match String.index_opt pair '=' with
+        | None ->
+          Error (Printf.sprintf "bad values payload: no '=' in pair %S" pair)
+        | Some i -> (
+          let name = String.sub pair 0 i in
+          let bin = String.sub pair (i + 1) (String.length pair - i - 1) in
+          match Bits.of_binary_string bin with
+          | v -> Ok (name, v)
+          | exception Invalid_argument reason ->
+            Error
+              (Printf.sprintf "bad values payload: pair %S: %s" pair reason))
+      in
+      let rec go acc = function
+        | [] -> ok (Values (List.rev acc))
+        | pair :: tl -> (
+          match parse_pair pair with
+          | Ok kv -> go (kv :: acc) tl
+          | Error _ as e -> e)
+      in
+      go [] (split_list rest)
     | v -> Error (Printf.sprintf "unknown response verb %S" v))
 
 let event_of_wire line =

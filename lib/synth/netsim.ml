@@ -18,6 +18,110 @@ module C = Netsim_compile
 type mem_state = { data : Bytes.t; width : int; depth : int }
 (* One bit per byte, row-major: bit (addr, i) at [addr * width + i]. *)
 
+(* Persistent Domain pool for the partitioned settle.  Spawned once at
+   [create ~jobs] (jobs-1 domains) and reused for every level dispatch —
+   spawning per level would cost more than the evaluation itself.
+   Workers park on a condition variable between generations, so on a
+   single-core host the pool is correctness-only, not a busy spin. *)
+type par = {
+  par_jobs : int;
+  mutex : Mutex.t;
+  work : Condition.t;  (* a new generation is available *)
+  donec : Condition.t;  (* all workers finished the generation *)
+  mutable generation : int;
+  mutable pending : int;  (* workers still running this generation *)
+  mutable task : int -> unit;  (* worker slot [1, jobs) -> work *)
+  mutable stopping : bool;
+  mutable failures : (exn * Printexc.raw_backtrace) list;
+  mutable domains : unit Domain.t array;
+}
+
+let par_create jobs =
+  let p =
+    {
+      par_jobs = jobs;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      donec = Condition.create ();
+      generation = 0;
+      pending = 0;
+      task = (fun _ -> ());
+      stopping = false;
+      failures = [];
+      domains = [||];
+    }
+  in
+  let worker slot () =
+    let seen = ref 0 in
+    let running = ref true in
+    while !running do
+      Mutex.lock p.mutex;
+      while p.generation = !seen && not p.stopping do
+        Condition.wait p.work p.mutex
+      done;
+      if p.stopping then begin
+        Mutex.unlock p.mutex;
+        running := false
+      end
+      else begin
+        seen := p.generation;
+        let task = p.task in
+        Mutex.unlock p.mutex;
+        (* A raising task must not strand the barrier: capture with its
+           backtrace, finish the generation, re-raise on the caller. *)
+        let failed =
+          try
+            task slot;
+            None
+          with e -> Some (e, Printexc.get_raw_backtrace ())
+        in
+        Mutex.lock p.mutex;
+        (match failed with
+        | Some f -> p.failures <- f :: p.failures
+        | None -> ());
+        p.pending <- p.pending - 1;
+        if p.pending = 0 then Condition.broadcast p.donec;
+        Mutex.unlock p.mutex
+      end
+    done
+  in
+  p.domains <- Array.init (jobs - 1) (fun i -> Domain.spawn (worker (i + 1)));
+  p
+
+(* Run [task] on every worker slot (the calling domain takes slot 0) and
+   wait for all of them — one boundary synchronization. *)
+let par_run p task =
+  Mutex.lock p.mutex;
+  p.task <- task;
+  p.pending <- p.par_jobs - 1;
+  p.generation <- p.generation + 1;
+  Condition.broadcast p.work;
+  Mutex.unlock p.mutex;
+  let main_failure =
+    try
+      task 0;
+      None
+    with e -> Some (e, Printexc.get_raw_backtrace ())
+  in
+  Mutex.lock p.mutex;
+  while p.pending > 0 do
+    Condition.wait p.donec p.mutex
+  done;
+  let worker_failures = p.failures in
+  p.failures <- [];
+  Mutex.unlock p.mutex;
+  match main_failure, worker_failures with
+  | Some (e, bt), _ | None, (e, bt) :: _ -> Printexc.raise_with_backtrace e bt
+  | None, [] -> ()
+
+let par_shutdown p =
+  Mutex.lock p.mutex;
+  let first = not p.stopping in
+  p.stopping <- true;
+  Condition.broadcast p.work;
+  Mutex.unlock p.mutex;
+  if first then Array.iter Domain.join p.domains
+
 type t = {
   p : C.prog;
   values : Bytes.t;  (* one byte per net, 0/1: the driven value *)
@@ -49,6 +153,17 @@ type t = {
   (* Tick sets cached per (root clock, gate-enable mask). *)
   tick_cache : (int, int array) Hashtbl.t array;
   tick_scratch : bool array;
+  (* Partitioned settle: persistent pool (jobs > 1 only) plus per-worker
+     changed-net journals.  Workers publish driven values straight into
+     [values] (one producer per net, consumers all at higher levels, so
+     the writes race with nothing) and journal which nets moved; the main
+     domain replays the journals in worker order at each level barrier,
+     doing all propagation — worklist enqueue, FF reclassification —
+     sequentially.  Net values are therefore bit-identical for any
+     [jobs]. *)
+  par : par option;
+  chg : int array array;  (* per-worker changed-net journal *)
+  chg_n : int array;
   (* Kernel observability: plain fields, not registry handles — the
      kernel must stay free of any cross-library call on its hot loops.
      Whoever surfaces them (REPL stats, benches) publishes to the
@@ -58,6 +173,8 @@ type t = {
   mutable n_edges : int;  (* clock edges committed *)
   mutable n_tick_hits : int;  (* tick-set cache fast-path hits *)
   mutable n_tick_misses : int;  (* tick sets recomputed *)
+  mutable n_par_dispatches : int;  (* levels fanned out to the pool *)
+  mutable n_boundary_syncs : int;  (* level barriers (journal merges) *)
 }
 
 type counters = {
@@ -66,6 +183,8 @@ type counters = {
   edges : int;
   tick_cache_hits : int;
   tick_cache_misses : int;
+  partition_dispatches : int;
+  boundary_syncs : int;
 }
 
 let counters t =
@@ -75,7 +194,16 @@ let counters t =
     edges = t.n_edges;
     tick_cache_hits = t.n_tick_hits;
     tick_cache_misses = t.n_tick_misses;
+    partition_dispatches = t.n_par_dispatches;
+    boundary_syncs = t.n_boundary_syncs;
   }
+
+let jobs t = match t.par with None -> 1 | Some p -> p.par_jobs
+
+(** Stop the pool's worker domains (idempotent; no-op for [jobs = 1]).
+    Required before the simulator is dropped when it was created with
+    [jobs > 1] — parked domains otherwise outlive it. *)
+let shutdown t = match t.par with None -> () | Some p -> par_shutdown p
 
 let netlist t = t.p.C.nl
 
@@ -245,10 +373,103 @@ let eval_cell t c =
     done
   end
 
+(* --- partitioned settle (jobs > 1) ---------------------------------- *)
+
+(* Journaling write for pool workers: update the driven value, record the
+   net in the worker's private journal when the effective value moved.
+   Propagation (worklist enqueue, FF reclassification) mutates shared
+   structures and is deferred to the main domain's barrier merge. *)
+let set_net_j t buf n net v =
+  if Bytes.get t.values net <> '\000' <> v then begin
+    Bytes.set t.values net (if v then '\001' else '\000');
+    if t.forced_count = 0 || Bytes.get t.forced_mask net = '\000' then begin
+      buf.(!n) <- net;
+      incr n
+    end
+  end
+
+(* [eval_cell] with the journaling sink.  Kept as a separate copy so the
+   sequential hot path pays no indirect call per written bit; the two
+   bodies must stay in lockstep with [eval_cell]. *)
+let eval_cell_j t buf n c =
+  let p = t.p in
+  if c < p.C.n_luts then begin
+    let lo = p.C.lut_in_off.(c) in
+    let idx = ref 0 in
+    for k = lo to p.C.lut_in_off.(c + 1) - 1 do
+      if read t p.C.lut_in.(k) then idx := !idx lor (1 lsl (k - lo))
+    done;
+    let v =
+      if !idx < 32 then (p.C.lut_tab_lo.(c) lsr !idx) land 1 = 1
+      else (p.C.lut_tab_hi.(c) lsr (!idx - 32)) land 1 = 1
+    in
+    set_net_j t buf n p.C.lut_out.(c) v
+  end
+  else if c < p.C.n_luts + p.C.n_dsps then begin
+    let d = c - p.C.n_luts in
+    let alo = p.C.dsp_a_off.(d) and ahi = p.C.dsp_a_off.(d + 1) in
+    let blo = p.C.dsp_b_off.(d) and bhi = p.C.dsp_b_off.(d + 1) in
+    let olo = p.C.dsp_out_off.(d) and ohi = p.C.dsp_out_off.(d + 1) in
+    if p.C.dsp_narrow.(d) then begin
+      let va = ref 0 in
+      for k = alo to ahi - 1 do
+        if read t p.C.dsp_a.(k) then va := !va lor (1 lsl (k - alo))
+      done;
+      let vb = ref 0 in
+      for k = blo to bhi - 1 do
+        if read t p.C.dsp_b.(k) then vb := !vb lor (1 lsl (k - blo))
+      done;
+      let prod = !va * !vb in
+      for k = olo to ohi - 1 do
+        let bit = k - olo in
+        set_net_j t buf n p.C.dsp_out.(k) (bit < 60 && (prod lsr bit) land 1 = 1)
+      done
+    end
+    else begin
+      let value lo hi (nets : int array) =
+        let v = ref 0L in
+        for k = lo to hi - 1 do
+          if read t nets.(k) then
+            v := Int64.logor !v (Int64.shift_left 1L (k - lo))
+        done;
+        !v
+      in
+      let prod = Int64.mul (value alo ahi p.C.dsp_a) (value blo bhi p.C.dsp_b) in
+      for k = olo to ohi - 1 do
+        set_net_j t buf n p.C.dsp_out.(k)
+          (Int64.logand (Int64.shift_right_logical prod (k - olo)) 1L = 1L)
+      done
+    end
+  end
+  else begin
+    let r = c - p.C.n_luts - p.C.n_dsps in
+    let st = t.mem_states.(p.C.cr_mem.(r)) in
+    let alo = p.C.cr_addr_off.(r) in
+    let a = ref 0 in
+    for k = alo to p.C.cr_addr_off.(r + 1) - 1 do
+      if read t p.C.cr_addr.(k) then a := !a lor (1 lsl (k - alo))
+    done;
+    let a = !a in
+    let olo = p.C.cr_out_off.(r) in
+    for k = olo to p.C.cr_out_off.(r + 1) - 1 do
+      let bit = k - olo in
+      let v =
+        a < st.depth && Bytes.get st.data ((a * st.width) + bit) <> '\000'
+      in
+      set_net_j t buf n p.C.cr_out.(k) v
+    done
+  end
+
+(* Below this many queued cells per worker, the barrier costs more than
+   the evaluation: drain the level on the calling domain instead.  The
+   threshold cannot affect results — values never depend on which domain
+   evaluated a cell. *)
+let par_threshold = 48
+
 (* Event-driven settle: drain dirty worklists level by level.  Every
    net-dependency edge strictly increases level, so a level's queue is
    fixed by the time processing reaches it. *)
-let settle t =
+let settle_seq t =
   let p = t.p in
   for l = 0 to p.C.n_levels - 1 do
     (* An edge strictly increases level, so this level's queue length is
@@ -267,6 +488,63 @@ let settle t =
       t.seg_len.(l) <- 0
     end
   done
+
+(* Partitioned settle: same drain, but each level's queue is sliced into
+   [jobs] contiguous blocks evaluated concurrently.  Cells of one level
+   are mutually independent (inputs all come from strictly lower levels,
+   outputs all feed strictly higher ones) and every net has exactly one
+   producer, so workers write disjoint bytes of [values]; the contiguous
+   blocks track enqueue order, which follows netlist construction order —
+   stamped instances stay together, the cheap stand-in for a min-cut /
+   per-SLR partition.  All cross-partition effects (boundary nets waking
+   consumers, FF active-set churn) are journaled per worker and replayed
+   on the main domain at the level barrier, in worker order — the merge
+   order only shapes worklist layout, never values, so results are
+   bit-identical to the sequential drain. *)
+let settle_par t par =
+  let p = t.p in
+  let jobs = par.par_jobs in
+  for l = 0 to p.C.n_levels - 1 do
+    let len = t.seg_len.(l) in
+    if len > 0 then begin
+      t.n_events <- t.n_events + len;
+      t.n_levels_touched <- t.n_levels_touched + 1;
+      let base = p.C.seg_off.(l) in
+      if len < par_threshold * jobs then
+        for k = 0 to len - 1 do
+          let c = t.wl.(base + k) in
+          Bytes.set t.queued c '\000';
+          eval_cell t c
+        done
+      else begin
+        t.n_par_dispatches <- t.n_par_dispatches + 1;
+        let chunk = (len + jobs - 1) / jobs in
+        par_run par (fun w ->
+            let lo = w * chunk in
+            let hi = min len (lo + chunk) in
+            let buf = t.chg.(w) in
+            let n = ref 0 in
+            for k = lo to hi - 1 do
+              let c = t.wl.(base + k) in
+              Bytes.set t.queued c '\000';
+              eval_cell_j t buf n c
+            done;
+            t.chg_n.(w) <- !n);
+        t.n_boundary_syncs <- t.n_boundary_syncs + 1;
+        for w = 0 to jobs - 1 do
+          let buf = t.chg.(w) in
+          for k = 0 to t.chg_n.(w) - 1 do
+            propagate t buf.(k)
+          done;
+          t.chg_n.(w) <- 0
+        done
+      end;
+      t.seg_len.(l) <- 0
+    end
+  done
+
+let settle t =
+  match t.par with Some par -> settle_par t par | None -> settle_seq t
 
 let eval_comb = settle
 
@@ -461,7 +739,8 @@ let run_until t root ~stop_net ~max_cycles =
 
 let cycles t = t.cycles
 
-let create (n : Netlist.t) =
+let create ?(jobs = 1) (n : Netlist.t) =
+  let jobs = max 1 (min jobs 63) in
   let p = C.compile n in
   let values = Bytes.make (max 1 n.num_nets) '\000' in
   (* Power-on: FFs take their init value; constants are pinned. *)
@@ -519,11 +798,21 @@ let create (n : Netlist.t) =
       pend_mw_n = 0;
       tick_cache = Array.init (max 1 p.C.n_clocks) (fun _ -> Hashtbl.create 4);
       tick_scratch = Array.make (max 1 p.C.n_clocks) false;
+      par = (if jobs > 1 then Some (par_create jobs) else None);
+      (* Journal capacity: a worker's slice can change at most one value
+         per net (single producer), so num_nets bounds any level. *)
+      chg =
+        (if jobs > 1 then
+           Array.init jobs (fun _ -> Array.make (max 1 n.num_nets) 0)
+         else [||]);
+      chg_n = (if jobs > 1 then Array.make jobs 0 else [||]);
       n_events = 0;
       n_levels_touched = 0;
       n_edges = 0;
       n_tick_hits = 0;
       n_tick_misses = 0;
+      n_par_dispatches = 0;
+      n_boundary_syncs = 0;
     }
   in
   (* Everything is dirty at power-on (first settle is a full pass, like

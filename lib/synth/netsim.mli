@@ -17,7 +17,25 @@ open Zoomie_rtl
 
 type t
 
-val create : Netlist.t -> t
+(** [create ?jobs netlist] compiles and instantiates the engine.
+
+    [jobs > 1] partitions every settle level across a persistent pool of
+    [jobs] domains (the calling one included): each level's dirty queue
+    is sliced into contiguous blocks — netlist construction order, so
+    stamped instances stay together — evaluated concurrently, with all
+    cross-partition propagation journaled per worker and replayed
+    deterministically at the level barrier.  Results are bit-identical
+    for every [jobs] value (enforced by the QCheck invariance property in
+    [test/test_netsim.ml]).  Call {!shutdown} when done with a [jobs > 1]
+    instance, or its worker domains outlive it. *)
+val create : ?jobs:int -> Netlist.t -> t
+
+(** The pool width the instance was created with (1 = sequential). *)
+val jobs : t -> int
+
+(** Stop the pool's parked worker domains.  Idempotent; no-op when
+    [jobs = 1].  The instance must not be stepped afterwards. *)
+val shutdown : t -> unit
 
 val netlist : t -> Netlist.t
 
@@ -72,6 +90,10 @@ type counters = {
   edges : int;  (** clock edges committed *)
   tick_cache_hits : int;  (** gated-clock tick sets served from cache *)
   tick_cache_misses : int;  (** tick sets recomputed *)
+  partition_dispatches : int;
+      (** levels fanned out to the Domain pool (jobs > 1 only) *)
+  boundary_syncs : int;
+      (** level barriers: per-worker boundary-net journals merged *)
 }
 
 val counters : t -> counters

@@ -1,0 +1,832 @@
+(** Bit-parallel batch simulation: 63 independent stimulus lanes packed
+    into one OCaml [int] per net.
+
+    The engine reuses the {!Netsim_compile} program (levelized schedule,
+    CSR fanout, unboxed truth tables) but widens every net value from a
+    byte to a 63-bit lane word — lane [l] of net [n] is bit [l] of
+    [values.(n)].  One settle therefore evaluates 63 scenarios at once:
+    LUTs evaluate all lanes through a mux-tree reduction of their truth
+    table, FF edges commit lane-masked words, gated clocks resolve to a
+    per-clock {e lane mask} (a gated clock can tick in some lanes and
+    hold in others), and memories keep one lane word per stored bit so
+    the 63 scenarios' BRAM contents diverge freely.
+
+    Every lane is bit-for-bit equivalent to a scalar {!Netsim_baseline}
+    run fed that lane's stimulus (enforced by the QCheck differential in
+    [test/test_netsim.ml]); the lane-wise [~lane] accessors are the
+    demux the [Host]-level probing paths use. *)
+
+module C = Netsim_compile
+
+(* OCaml's native int has 63 usable bits on 64-bit platforms; lanes are
+   bits 0..62 and the all-lanes mask is -1 (all 63 bits set).  Shifts on
+   lane words always use [lsr], so the sign bit is just lane 62. *)
+let lanes = 63
+
+let all_mask = -1
+
+type mem_state = { data : int array; width : int; depth : int }
+(* One lane word per stored bit, row-major like the scalar engine:
+   bit (addr, i) of lane l is bit l of [data.(addr * width + i)]. *)
+
+type t = {
+  p : C.prog;
+  values : int array;  (* driven lane word per net *)
+  forced_mask : int array;  (* per-net lane mask of pinned lanes *)
+  forced_val : int array;
+  mutable forced_count : int;  (* nets with at least one pinned lane *)
+  mem_states : mem_state array;
+  mutable cycles : int;
+  (* Per-level dirty worklists, exactly the scalar engine's shape. *)
+  wl : int array;
+  seg_len : int array;
+  queued : Bytes.t;
+  (* Per-clock FF active sets: an FF is active iff D differs from Q in
+     at least one lane. *)
+  ff_active : int array array;
+  ff_active_n : int array;
+  ff_pos : int array;
+  (* Pre-edge samples: FFs (sampled D word + commit lane mask), sync
+     read-outs (value word + lane mask per out bit), and write ports
+     (per-lane addresses + data words, applied read-before-write). *)
+  pend_ff_i : int array;
+  pend_ff_d : int array;
+  pend_ff_m : int array;
+  mutable pend_ff_n : int;
+  pend_srd_net : int array;
+  pend_srd_v : int array;
+  pend_srd_m : int array;
+  mutable pend_srd_n : int;
+  pend_mwp_port : int array;
+  pend_mwp_mask : int array;
+  pend_mwp_doff : int array;  (* entry -> offset into pend_mwp_data *)
+  pend_mwp_uaddr : int array;  (* entry -> uniform address, -1 = per-lane *)
+  pend_mwp_addr : int array;  (* entry * lanes + lane -> sampled address *)
+  pend_mwp_data : int array;
+  mutable pend_mwp_n : int;
+  mutable pend_mwp_dn : int;
+  (* Per-clock tick lane masks, recomputed each edge (word-level, so no
+     cache is needed: one fixed-point pass covers all 63 lanes). *)
+  tick_mask : int array;
+  (* Scratch: mux-tree reduction buffer + operand/address word buffers. *)
+  mux : int array;
+  wa : int array;
+  wb : int array;
+  (* Kernel observability (plain fields, published by callers). *)
+  mutable n_events : int;
+  mutable n_levels_touched : int;
+  mutable n_edges : int;
+}
+
+type counters = {
+  lanes_width : int;
+  events_settled : int;
+  levels_touched : int;
+  edges : int;
+}
+
+let counters t =
+  {
+    lanes_width = lanes;
+    events_settled = t.n_events;
+    levels_touched = t.n_levels_touched;
+    edges = t.n_edges;
+  }
+
+let netlist t = t.p.C.nl
+
+let cycles t = t.cycles
+
+let check_lane lane =
+  if lane < 0 || lane >= lanes then
+    invalid_arg (Printf.sprintf "Netsim_batch: lane %d out of [0, %d)" lane lanes)
+
+(* Effective lane word of a net: pinned lanes observe the overlay. *)
+let read_word t net =
+  if t.forced_count = 0 then t.values.(net)
+  else begin
+    let fm = t.forced_mask.(net) in
+    if fm = 0 then t.values.(net)
+    else (t.values.(net) land lnot fm) lor (t.forced_val.(net) land fm)
+  end
+
+let get t ~lane net =
+  check_lane lane;
+  (read_word t net lsr lane) land 1 = 1
+
+let word = read_word
+
+let enqueue t c =
+  if Bytes.get t.queued c = '\000' then begin
+    Bytes.set t.queued c '\001';
+    let l = t.p.C.cell_level.(c) in
+    t.wl.(t.p.C.seg_off.(l) + t.seg_len.(l)) <- c;
+    t.seg_len.(l) <- t.seg_len.(l) + 1
+  end
+
+let refresh_ff_active t i =
+  let p = t.p in
+  let want = read_word t p.C.ff_d.(i) <> read_word t p.C.ff_q.(i) in
+  let pos = t.ff_pos.(i) in
+  if want && pos < 0 then begin
+    let c = p.C.ff_clk.(i) in
+    let n = t.ff_active_n.(c) in
+    t.ff_active.(c).(n) <- i;
+    t.ff_pos.(i) <- n;
+    t.ff_active_n.(c) <- n + 1
+  end
+  else if (not want) && pos >= 0 then begin
+    let c = p.C.ff_clk.(i) in
+    let n = t.ff_active_n.(c) - 1 in
+    let last = t.ff_active.(c).(n) in
+    t.ff_active.(c).(pos) <- last;
+    t.ff_pos.(last) <- pos;
+    t.ff_pos.(i) <- -1;
+    t.ff_active_n.(c) <- n
+  end
+
+let propagate t net =
+  let p = t.p in
+  for k = p.C.fan_off.(net) to p.C.fan_off.(net + 1) - 1 do
+    enqueue t p.C.fan.(k)
+  done;
+  for k = p.C.ffdep_off.(net) to p.C.ffdep_off.(net + 1) - 1 do
+    refresh_ff_active t p.C.ffdep.(k)
+  done
+
+(* Internal write of a full lane word; propagates when the effective
+   value moved in at least one unpinned lane. *)
+let set_net_word t net w =
+  let old = t.values.(net) in
+  if old <> w then begin
+    t.values.(net) <- w;
+    let fm = if t.forced_count = 0 then 0 else t.forced_mask.(net) in
+    if (old lxor w) land lnot fm <> 0 then propagate t net
+  end
+
+(* Public writes additionally wake the producing cell, mirroring the
+   scalar [set]'s clobber-at-next-settle semantics. *)
+let set_word t net w =
+  set_net_word t net w;
+  let c = t.p.C.producer.(net) in
+  if c >= 0 then enqueue t c
+
+let set t ~lane net b =
+  check_lane lane;
+  let old = t.values.(net) in
+  set_word t net (if b then old lor (1 lsl lane) else old land lnot (1 lsl lane))
+
+let set_all t net b = set_word t net (if b then all_mask else 0)
+
+let force t ~lane net b =
+  check_lane lane;
+  let bit = 1 lsl lane in
+  let old_eff = read_word t net in
+  if t.forced_mask.(net) = 0 then t.forced_count <- t.forced_count + 1;
+  t.forced_mask.(net) <- t.forced_mask.(net) lor bit;
+  t.forced_val.(net) <-
+    (if b then t.forced_val.(net) lor bit else t.forced_val.(net) land lnot bit);
+  if read_word t net <> old_eff then propagate t net
+
+let release t ~lane net =
+  check_lane lane;
+  let bit = 1 lsl lane in
+  if t.forced_mask.(net) land bit <> 0 then begin
+    let old_eff = read_word t net in
+    t.forced_mask.(net) <- t.forced_mask.(net) land lnot bit;
+    if t.forced_mask.(net) = 0 then t.forced_count <- t.forced_count - 1;
+    if read_word t net <> old_eff then propagate t net
+  end
+
+(* --- cell evaluation, all lanes at once ------------------------------ *)
+
+(* A lane word is "uniform" when every lane agrees on the bit.  Runs of
+   lanes in lockstep (common early in a fuzz campaign, or whenever the
+   scenarios share common-mode behavior) make whole operand/address
+   buses uniform, collapsing the per-lane transpose loops below to one
+   scalar computation — the batch engine then pays roughly one scalar
+   evaluation for all 63 lanes instead of 63 transposes. *)
+let uniform w = w = 0 || w = all_mask
+
+(* Gather [len] lane words starting at [flat.(off)] into [dst]; returns
+   true when every word is uniform (so the bus has one value in every
+   lane, recoverable from the words' low bits). *)
+let gather_words t (dst : int array) (flat : int array) off len =
+  let unif = ref true in
+  for k = 0 to len - 1 do
+    let w = read_word t flat.(off + k) in
+    dst.(k) <- w;
+    if not (uniform w) then unif := false
+  done;
+  !unif
+
+let low_bits_value (words : int array) len =
+  let v = ref 0 in
+  for k = 0 to len - 1 do
+    v := !v lor ((words.(k) land 1) lsl k)
+  done;
+  !v
+
+let eval_cell t c =
+  let p = t.p in
+  if c < p.C.n_luts then begin
+    (* Mux-tree reduction of the truth table: leaves broadcast each table
+       bit to all lanes, then each input folds the tree in half —
+       ~3·2^k word ops evaluate all 63 lanes of a k-input LUT. *)
+    let lo = p.C.lut_in_off.(c) in
+    let nin = p.C.lut_in_off.(c + 1) - lo in
+    let mux = t.mux in
+    let size = 1 lsl nin in
+    let tab_lo = p.C.lut_tab_lo.(c) and tab_hi = p.C.lut_tab_hi.(c) in
+    for j = 0 to size - 1 do
+      let bit =
+        if j < 32 then (tab_lo lsr j) land 1 else (tab_hi lsr (j - 32)) land 1
+      in
+      mux.(j) <- if bit = 1 then all_mask else 0
+    done;
+    let cur = ref size in
+    for i = 0 to nin - 1 do
+      let w = read_word t p.C.lut_in.(lo + i) in
+      let half = !cur lsr 1 in
+      for j = 0 to half - 1 do
+        mux.(j) <- (mux.(2 * j) land lnot w) lor (mux.((2 * j) + 1) land w)
+      done;
+      cur := half
+    done;
+    set_net_word t p.C.lut_out.(c) mux.(0)
+  end
+  else if c < p.C.n_luts + p.C.n_dsps then begin
+    (* DSP: gather operand words once, then transpose per lane — the
+       multiply itself is inherently scalar per scenario. *)
+    let d = c - p.C.n_luts in
+    let alo = p.C.dsp_a_off.(d) and ahi = p.C.dsp_a_off.(d + 1) in
+    let blo = p.C.dsp_b_off.(d) and bhi = p.C.dsp_b_off.(d + 1) in
+    let olo = p.C.dsp_out_off.(d) and ohi = p.C.dsp_out_off.(d + 1) in
+    let wa = ahi - alo and wb = bhi - blo and wo = ohi - olo in
+    let ua = gather_words t t.wa p.C.dsp_a alo wa in
+    let ub = gather_words t t.wb p.C.dsp_b blo wb in
+    if ua && ub then begin
+      (* All lanes multiply the same operands: one scalar product,
+         broadcast per output bit. *)
+      if p.C.dsp_narrow.(d) then begin
+        let prod = low_bits_value t.wa wa * low_bits_value t.wb wb in
+        for k = 0 to wo - 1 do
+          let bit = k < 60 && (prod lsr k) land 1 = 1 in
+          set_net_word t p.C.dsp_out.(olo + k) (if bit then all_mask else 0)
+        done
+      end
+      else begin
+        (* Operands can exceed native-int width on the Int64 path:
+           assemble from the words' low bits directly. *)
+        let value w (words : int array) =
+          let v = ref 0L in
+          for k = 0 to w - 1 do
+            if words.(k) land 1 = 1 then v := Int64.logor !v (Int64.shift_left 1L k)
+          done;
+          !v
+        in
+        let prod = Int64.mul (value wa t.wa) (value wb t.wb) in
+        for k = 0 to wo - 1 do
+          let bit =
+            Int64.logand (Int64.shift_right_logical prod k) 1L = 1L
+          in
+          set_net_word t p.C.dsp_out.(olo + k) (if bit then all_mask else 0)
+        done
+      end
+    end
+    else if p.C.dsp_narrow.(d) then begin
+      for k = 0 to wo - 1 do
+        t.mux.(k) <- 0
+      done;
+      for lane = 0 to lanes - 1 do
+        let va = ref 0 in
+        for k = 0 to wa - 1 do
+          va := !va lor (((t.wa.(k) lsr lane) land 1) lsl k)
+        done;
+        let vb = ref 0 in
+        for k = 0 to wb - 1 do
+          vb := !vb lor (((t.wb.(k) lsr lane) land 1) lsl k)
+        done;
+        let prod = !va * !vb in
+        for k = 0 to wo - 1 do
+          if k < 60 && (prod lsr k) land 1 = 1 then
+            t.mux.(k) <- t.mux.(k) lor (1 lsl lane)
+        done
+      done;
+      for k = 0 to wo - 1 do
+        set_net_word t p.C.dsp_out.(olo + k) t.mux.(k)
+      done
+    end
+    else begin
+      for k = 0 to wo - 1 do
+        t.mux.(k) <- 0
+      done;
+      for lane = 0 to lanes - 1 do
+        let value w (words : int array) =
+          let v = ref 0L in
+          for k = 0 to w - 1 do
+            if (words.(k) lsr lane) land 1 = 1 then
+              v := Int64.logor !v (Int64.shift_left 1L k)
+          done;
+          !v
+        in
+        let prod = Int64.mul (value wa t.wa) (value wb t.wb) in
+        for k = 0 to wo - 1 do
+          if Int64.logand (Int64.shift_right_logical prod k) 1L = 1L then
+            t.mux.(k) <- t.mux.(k) lor (1 lsl lane)
+        done
+      done;
+      for k = 0 to wo - 1 do
+        set_net_word t p.C.dsp_out.(olo + k) t.mux.(k)
+      done
+    end
+  end
+  else begin
+    (* Combinational memory read: addresses differ per lane, so gather
+       the address words once and assemble each lane's row. *)
+    let r = c - p.C.n_luts - p.C.n_dsps in
+    let st = t.mem_states.(p.C.cr_mem.(r)) in
+    let alo = p.C.cr_addr_off.(r) in
+    let abits = p.C.cr_addr_off.(r + 1) - alo in
+    let ua = gather_words t t.wa p.C.cr_addr alo abits in
+    let olo = p.C.cr_out_off.(r) in
+    let width = p.C.cr_out_off.(r + 1) - olo in
+    if ua then begin
+      (* All lanes read the same address: the stored lane words ARE the
+         per-lane outputs — no transpose needed. *)
+      let a = low_bits_value t.wa abits in
+      if a < st.depth then begin
+        let row = a * st.width in
+        for k = 0 to width - 1 do
+          set_net_word t p.C.cr_out.(olo + k) st.data.(row + k)
+        done
+      end
+      else
+        for k = 0 to width - 1 do
+          set_net_word t p.C.cr_out.(olo + k) 0
+        done
+    end
+    else begin
+      for k = 0 to width - 1 do
+        t.mux.(k) <- 0
+      done;
+      for lane = 0 to lanes - 1 do
+        let a = ref 0 in
+        for k = 0 to abits - 1 do
+          a := !a lor (((t.wa.(k) lsr lane) land 1) lsl k)
+        done;
+        if !a < st.depth then begin
+          let row = !a * st.width in
+          for bit = 0 to width - 1 do
+            if (st.data.(row + bit) lsr lane) land 1 = 1 then
+              t.mux.(bit) <- t.mux.(bit) lor (1 lsl lane)
+          done
+        end
+      done;
+      for k = 0 to width - 1 do
+        set_net_word t p.C.cr_out.(olo + k) t.mux.(k)
+      done
+    end
+  end
+
+let settle t =
+  let p = t.p in
+  for l = 0 to p.C.n_levels - 1 do
+    let len = t.seg_len.(l) in
+    if len > 0 then begin
+      t.n_events <- t.n_events + len;
+      t.n_levels_touched <- t.n_levels_touched + 1;
+      let base = p.C.seg_off.(l) in
+      for k = 0 to len - 1 do
+        let c = t.wl.(base + k) in
+        Bytes.set t.queued c '\000';
+        eval_cell t c
+      done;
+      t.seg_len.(l) <- 0
+    end
+  done
+
+let eval_comb = settle
+
+(* Per-clock tick lane masks: the word-level analogue of the scalar tick
+   set.  A gated clock ticks in exactly the lanes where its parent ticks
+   and its enable reads high — one fixed-point pass resolves all 63
+   lanes at once, so no per-enable-state cache is needed. *)
+let compute_tick_masks t root_id =
+  let p = t.p in
+  let m = t.tick_mask in
+  Array.fill m 0 (Array.length m) 0;
+  m.(root_id) <- all_mask;
+  let n_entries = Array.length p.C.ck_id in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for e = 0 to n_entries - 1 do
+      let parent = p.C.ck_parent.(e) in
+      if parent >= 0 && m.(parent) <> 0 then begin
+        let en = p.C.ck_enable.(e) in
+        let add =
+          m.(parent) land (if en < 0 then all_mask else read_word t en)
+        in
+        let id = p.C.ck_id.(e) in
+        if add land lnot m.(id) <> 0 then begin
+          m.(id) <- m.(id) lor add;
+          changed := true
+        end
+      end
+    done
+  done
+
+(* One rising edge of [root] across all lanes: sample everything
+   pre-edge, then commit FFs, sync read-outs and memory writes in the
+   scalar engine's exact order — lane-masked merges reproduce, per lane,
+   precisely what a scalar run of that lane's stimulus would commit. *)
+let edge t root =
+  let p = t.p in
+  match Hashtbl.find_opt p.C.clock_ids root with
+  | None -> ()
+  | Some root_id ->
+    t.n_edges <- t.n_edges + 1;
+    compute_tick_masks t root_id;
+    t.pend_ff_n <- 0;
+    t.pend_srd_n <- 0;
+    t.pend_mwp_n <- 0;
+    t.pend_mwp_dn <- 0;
+    for ck = 0 to p.C.n_clocks - 1 do
+      let m = t.tick_mask.(ck) in
+      if m <> 0 then begin
+        let act = t.ff_active.(ck) in
+        let n_act = t.ff_active_n.(ck) in
+        for k = 0 to n_act - 1 do
+          let i = act.(k) in
+          let ce = p.C.ff_ce.(i) in
+          let cm = m land (if ce < 0 then all_mask else read_word t ce) in
+          if cm <> 0 then begin
+            t.pend_ff_i.(t.pend_ff_n) <- i;
+            t.pend_ff_d.(t.pend_ff_n) <- read_word t p.C.ff_d.(i);
+            t.pend_ff_m.(t.pend_ff_n) <- cm;
+            t.pend_ff_n <- t.pend_ff_n + 1
+          end
+        done;
+        Array.iter
+          (fun r ->
+            let st = t.mem_states.(p.C.srd_mem.(r)) in
+            let alo = p.C.srd_addr_off.(r) in
+            let abits = p.C.srd_addr_off.(r + 1) - alo in
+            let ua = gather_words t t.wa p.C.srd_addr alo abits in
+            let olo = p.C.srd_out_off.(r) in
+            let width = p.C.srd_out_off.(r + 1) - olo in
+            if ua then begin
+              (* Uniform address: sample the stored lane words directly
+                 (lanes outside the tick mask are dropped at commit). *)
+              let a = low_bits_value t.wa abits in
+              let row = a * st.width in
+              for bit = 0 to width - 1 do
+                t.pend_srd_net.(t.pend_srd_n) <- p.C.srd_out.(olo + bit);
+                t.pend_srd_v.(t.pend_srd_n) <-
+                  (if a < st.depth then st.data.(row + bit) else 0);
+                t.pend_srd_m.(t.pend_srd_n) <- m;
+                t.pend_srd_n <- t.pend_srd_n + 1
+              done
+            end
+            else begin
+              for k = 0 to width - 1 do
+                t.mux.(k) <- 0
+              done;
+              for lane = 0 to lanes - 1 do
+                if (m lsr lane) land 1 = 1 then begin
+                  let a = ref 0 in
+                  for k = 0 to abits - 1 do
+                    a := !a lor (((t.wa.(k) lsr lane) land 1) lsl k)
+                  done;
+                  if !a < st.depth then begin
+                    let row = !a * st.width in
+                    for bit = 0 to width - 1 do
+                      if (st.data.(row + bit) lsr lane) land 1 = 1 then
+                        t.mux.(bit) <- t.mux.(bit) lor (1 lsl lane)
+                    done
+                  end
+                end
+              done;
+              for bit = 0 to width - 1 do
+                t.pend_srd_net.(t.pend_srd_n) <- p.C.srd_out.(olo + bit);
+                t.pend_srd_v.(t.pend_srd_n) <- t.mux.(bit);
+                t.pend_srd_m.(t.pend_srd_n) <- m;
+                t.pend_srd_n <- t.pend_srd_n + 1
+              done
+            end)
+          p.C.clk_srd.(ck);
+        Array.iter
+          (fun w ->
+            let en = m land read_word t p.C.mwr_en.(w) in
+            if en <> 0 then begin
+              let e = t.pend_mwp_n in
+              t.pend_mwp_port.(e) <- w;
+              t.pend_mwp_mask.(e) <- en;
+              t.pend_mwp_doff.(e) <- t.pend_mwp_dn;
+              let alo = p.C.mwr_addr_off.(w) in
+              let abits = p.C.mwr_addr_off.(w + 1) - alo in
+              let ua = gather_words t t.wa p.C.mwr_addr alo abits in
+              if ua then
+                t.pend_mwp_uaddr.(e) <- low_bits_value t.wa abits
+              else begin
+                t.pend_mwp_uaddr.(e) <- -1;
+                for lane = 0 to lanes - 1 do
+                  let a = ref 0 in
+                  if (en lsr lane) land 1 = 1 then
+                    for k = 0 to abits - 1 do
+                      a := !a lor (((t.wa.(k) lsr lane) land 1) lsl k)
+                    done;
+                  t.pend_mwp_addr.((e * lanes) + lane) <- !a
+                done
+              end;
+              let dlo = p.C.mwr_data_off.(w) in
+              let dbits = p.C.mwr_data_off.(w + 1) - dlo in
+              for k = 0 to dbits - 1 do
+                t.pend_mwp_data.(t.pend_mwp_dn + k) <-
+                  read_word t p.C.mwr_data.(dlo + k)
+              done;
+              t.pend_mwp_dn <- t.pend_mwp_dn + dbits;
+              t.pend_mwp_n <- e + 1
+            end)
+          p.C.clk_mwr.(ck)
+      end
+    done;
+    (* Commit FFs: lanes outside the commit mask keep their old state. *)
+    for j = 0 to t.pend_ff_n - 1 do
+      let q = p.C.ff_q.(t.pend_ff_i.(j)) in
+      let cm = t.pend_ff_m.(j) in
+      set_net_word t q
+        ((t.values.(q) land lnot cm) lor (t.pend_ff_d.(j) land cm))
+    done;
+    (* Reverse order reproduces the scalar last-pushed-first application
+       (first port wins conflicts), per lane via the masked merge. *)
+    for j = t.pend_srd_n - 1 downto 0 do
+      let net = t.pend_srd_net.(j) in
+      let mk = t.pend_srd_m.(j) in
+      set_net_word t net
+        ((t.values.(net) land lnot mk) lor (t.pend_srd_v.(j) land mk))
+    done;
+    for e = t.pend_mwp_n - 1 downto 0 do
+      let w = t.pend_mwp_port.(e) in
+      let mask = t.pend_mwp_mask.(e) in
+      let st = t.mem_states.(p.C.mwr_mem.(w)) in
+      let doff = t.pend_mwp_doff.(e) in
+      let dbits = p.C.mwr_data_off.(w + 1) - p.C.mwr_data_off.(w) in
+      let changed = ref false in
+      let ua = t.pend_mwp_uaddr.(e) in
+      if ua >= 0 then begin
+        (* Uniform address: merge whole lane words under the enable mask. *)
+        if ua < st.depth then begin
+          let row = ua * st.width in
+          for k = 0 to dbits - 1 do
+            let old = st.data.(row + k) in
+            let nw =
+              (old land lnot mask) lor (t.pend_mwp_data.(doff + k) land mask)
+            in
+            if nw <> old then begin
+              st.data.(row + k) <- nw;
+              changed := true
+            end
+          done
+        end
+      end
+      else
+        for lane = 0 to lanes - 1 do
+          if (mask lsr lane) land 1 = 1 then begin
+            let a = t.pend_mwp_addr.((e * lanes) + lane) in
+            if a < st.depth then begin
+              let row = a * st.width in
+              let bit = 1 lsl lane in
+              for k = 0 to dbits - 1 do
+                let old = st.data.(row + k) in
+                let nw =
+                  if (t.pend_mwp_data.(doff + k) lsr lane) land 1 = 1 then
+                    old lor bit
+                  else old land lnot bit
+                in
+                if nw <> old then begin
+                  st.data.(row + k) <- nw;
+                  changed := true
+                end
+              done
+            end
+          end
+        done;
+      if !changed then
+        Array.iter (fun c -> enqueue t c) p.C.mem_readers.(p.C.mwr_mem.(w))
+    done
+
+(** Advance [n] (default 1) cycles of root clock [root] in all lanes. *)
+let step ?(n = 1) t root =
+  for _ = 1 to n do
+    settle t;
+    edge t root;
+    t.cycles <- t.cycles + 1;
+    settle t
+  done
+
+let step_n t root n = step ~n t root
+
+let create (nl : Netlist.t) =
+  let p = C.compile nl in
+  let values = Array.make (max 1 nl.num_nets) 0 in
+  (* Power-on state is lane-uniform: init values broadcast to all 63
+     lanes, exactly a scalar power-on replicated per lane. *)
+  Array.iter
+    (fun (f : Netlist.ff) -> values.(f.q) <- (if f.init then all_mask else 0))
+    nl.ffs;
+  List.iter
+    (fun (net, b) -> values.(net) <- (if b then all_mask else 0))
+    nl.const_nets;
+  let mem_states =
+    Array.map
+      (fun (m : Netlist.mem) ->
+        let data = Array.make (max 1 (m.mem_width * m.mem_depth)) 0 in
+        (match m.mem_init with
+        | Some init ->
+          Array.iteri
+            (fun addr v ->
+              for bit = 0 to m.mem_width - 1 do
+                if Zoomie_rtl.Bits.get v bit then
+                  data.((addr * m.mem_width) + bit) <- all_mask
+              done)
+            init
+        | None -> ());
+        { data; width = m.mem_width; depth = m.mem_depth })
+      nl.mems
+  in
+  let n_cells = p.C.n_cells in
+  let n_ffs = Array.length nl.ffs in
+  let n_srd = Array.length p.C.srd_mem in
+  let n_mwr = Array.length p.C.mwr_mem in
+  (* The word buffers must hold the widest operand/address span of any
+     cell or port in the design. *)
+  let span (off : int array) =
+    let m = ref 0 in
+    for i = 0 to Array.length off - 2 do
+      m := max !m (off.(i + 1) - off.(i))
+    done;
+    !m
+  in
+  let max_words =
+    List.fold_left max 1
+      [
+        span p.C.dsp_a_off;
+        span p.C.dsp_b_off;
+        span p.C.cr_addr_off;
+        span p.C.srd_addr_off;
+        span p.C.mwr_addr_off;
+      ]
+  in
+  let max_out =
+    List.fold_left max 1
+      [
+        1 lsl p.C.max_lut_ins;
+        span p.C.dsp_out_off;
+        span p.C.cr_out_off;
+        span p.C.srd_out_off;
+      ]
+  in
+  let t =
+    {
+      p;
+      values;
+      forced_mask = Array.make (max 1 nl.num_nets) 0;
+      forced_val = Array.make (max 1 nl.num_nets) 0;
+      forced_count = 0;
+      mem_states;
+      cycles = 0;
+      wl = Array.make (max 1 n_cells) 0;
+      seg_len = Array.make (max 1 p.C.n_levels) 0;
+      queued = Bytes.make (max 1 n_cells) '\000';
+      ff_active =
+        Array.map (fun g -> Array.make (max 1 (Array.length g)) 0) p.C.clk_ffs;
+      ff_active_n = Array.make (max 1 p.C.n_clocks) 0;
+      ff_pos = Array.make (max 1 n_ffs) (-1);
+      pend_ff_i = Array.make (max 1 n_ffs) 0;
+      pend_ff_d = Array.make (max 1 n_ffs) 0;
+      pend_ff_m = Array.make (max 1 n_ffs) 0;
+      pend_ff_n = 0;
+      pend_srd_net = Array.make (max 1 p.C.total_srd_bits) 0;
+      pend_srd_v = Array.make (max 1 p.C.total_srd_bits) 0;
+      pend_srd_m = Array.make (max 1 p.C.total_srd_bits) 0;
+      pend_srd_n = 0;
+      pend_mwp_port = Array.make (max 1 n_mwr) 0;
+      pend_mwp_mask = Array.make (max 1 n_mwr) 0;
+      pend_mwp_doff = Array.make (max 1 n_mwr) 0;
+      pend_mwp_uaddr = Array.make (max 1 n_mwr) (-1);
+      pend_mwp_addr = Array.make (max 1 (n_mwr * lanes)) 0;
+      pend_mwp_data = Array.make (max 1 p.C.total_mwr_bits) 0;
+      pend_mwp_n = 0;
+      pend_mwp_dn = 0;
+      tick_mask = Array.make (max 1 p.C.n_clocks) 0;
+      mux = Array.make (max 64 max_out) 0;
+      wa = Array.make max_words 0;
+      wb = Array.make max_words 0;
+      n_events = 0;
+      n_levels_touched = 0;
+      n_edges = 0;
+    }
+  in
+  ignore n_srd;
+  for c = 0 to n_cells - 1 do
+    enqueue t c
+  done;
+  for i = 0 to n_ffs - 1 do
+    refresh_ff_active t i
+  done;
+  t
+
+(* --- lane-wise pins, state and register demux ------------------------ *)
+
+(** Drive an input port in one lane. *)
+let poke_input t ~lane name (v : Zoomie_rtl.Bits.t) =
+  check_lane lane;
+  let ios = Netlist.find_input (netlist t) name in
+  if ios = [] then
+    invalid_arg (Printf.sprintf "Netsim_batch.poke_input: unknown %S" name);
+  List.iter
+    (fun (io : Netlist.io) ->
+      set t ~lane io.io_net (Zoomie_rtl.Bits.get v io.io_bit))
+    ios
+
+(** Drive an input port identically in every lane. *)
+let poke_input_all t name (v : Zoomie_rtl.Bits.t) =
+  let ios = Netlist.find_input (netlist t) name in
+  if ios = [] then
+    invalid_arg (Printf.sprintf "Netsim_batch.poke_input_all: unknown %S" name);
+  List.iter
+    (fun (io : Netlist.io) ->
+      set_all t io.io_net (Zoomie_rtl.Bits.get v io.io_bit))
+    ios
+
+(** Read an output port as one lane sees it. *)
+let peek_output t ~lane name =
+  check_lane lane;
+  let ios = Netlist.find_output (netlist t) name in
+  if ios = [] then
+    invalid_arg (Printf.sprintf "Netsim_batch.peek_output: unknown %S" name);
+  let width = List.length ios in
+  let r = ref (Zoomie_rtl.Bits.zero width) in
+  List.iter
+    (fun (io : Netlist.io) ->
+      if get t ~lane io.io_net then r := Zoomie_rtl.Bits.set !r io.io_bit true)
+    ios;
+  !r
+
+let ff_value t ~lane i =
+  check_lane lane;
+  (read_word t t.p.C.ff_q.(i) lsr lane) land 1 = 1
+
+let set_ff t ~lane i v =
+  check_lane lane;
+  let q = t.p.C.ff_q.(i) in
+  let old = t.values.(q) in
+  set_net_word t q (if v then old lor (1 lsl lane) else old land lnot (1 lsl lane))
+
+let mem_bit t ~lane mi ~addr ~bit =
+  check_lane lane;
+  let st = t.mem_states.(mi) in
+  (st.data.((addr * st.width) + bit) lsr lane) land 1 = 1
+
+let set_mem_bit t ~lane mi ~addr ~bit v =
+  check_lane lane;
+  let st = t.mem_states.(mi) in
+  let idx = (addr * st.width) + bit in
+  let old = st.data.(idx) in
+  let nw = if v then old lor (1 lsl lane) else old land lnot (1 lsl lane) in
+  if nw <> old then begin
+    st.data.(idx) <- nw;
+    Array.iter (fun c -> enqueue t c) t.p.C.mem_readers.(mi)
+  end
+
+(** Read back a register by RTL name as one lane sees it — the demux
+    behind per-lane [Host] probing. *)
+let read_register t ~lane name =
+  check_lane lane;
+  let nl = netlist t in
+  let bits =
+    Array.to_list nl.ff_names
+    |> List.mapi (fun i (n, bit) -> (i, n, bit))
+    |> List.filter (fun (_, n, _) -> n = name)
+  in
+  if bits = [] then
+    invalid_arg (Printf.sprintf "Netsim_batch.read_register: unknown %S" name);
+  let width = 1 + List.fold_left (fun m (_, _, b) -> max m b) 0 bits in
+  let r = ref (Zoomie_rtl.Bits.zero width) in
+  List.iter
+    (fun (i, _, bit) ->
+      if ff_value t ~lane i then r := Zoomie_rtl.Bits.set !r bit true)
+    bits;
+  !r
+
+let write_register t ~lane name v =
+  check_lane lane;
+  let nl = netlist t in
+  Array.iteri
+    (fun i (n, bit) ->
+      if n = name && bit < Zoomie_rtl.Bits.width v then
+        set_ff t ~lane i (Zoomie_rtl.Bits.get v bit))
+    nl.ff_names;
+  eval_comb t

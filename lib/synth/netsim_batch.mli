@@ -1,0 +1,100 @@
+(** Bit-parallel batch simulation: 63 independent stimulus lanes packed
+    into one OCaml [int] per net.
+
+    Shares the {!Netsim_compile} program with the scalar engine but
+    widens every net to a 63-bit {e lane word}: lane [l] of a net is bit
+    [l] of its word, so one settle evaluates 63 scenarios at once.  LUTs
+    evaluate all lanes via a mux-tree reduction of their unboxed truth
+    table; FF edges, gated clocks, sync read ports and memory writes all
+    commit through per-lane masks, so scenarios may diverge arbitrarily —
+    different inputs, different gated-clock activity, different BRAM
+    contents per lane.
+
+    Every lane is bit-for-bit equivalent to a scalar {!Netsim_baseline}
+    run of that lane's stimulus (the QCheck differential in
+    [test/test_netsim.ml] enforces this); [~lane] accessors are the demux
+    used by the per-lane [Host] probing paths. *)
+
+open Zoomie_rtl
+
+type t
+
+(** Number of lanes in a batch instance: 63, the usable bits of a native
+    OCaml [int] on 64-bit platforms. *)
+val lanes : int
+
+(** Compile the netlist and power on all lanes with identical initial
+    state (FF inits, constants, memory init images). *)
+val create : Netlist.t -> t
+
+val netlist : t -> Netlist.t
+
+val cycles : t -> int
+
+(** {1 Net-level access}
+
+    [~lane] arguments must be in [\[0, lanes)].
+    @raise Invalid_argument otherwise. *)
+
+val get : t -> lane:int -> int -> bool
+
+val set : t -> lane:int -> int -> bool -> unit
+
+(** The full 63-lane word of a net (lane [l] = bit [l]), with any forced
+    overlay applied — the zero-demux fast path for differential checks. *)
+val word : t -> int -> int
+
+(** Drive all 63 lanes of a net from one word. *)
+val set_word : t -> int -> int -> unit
+
+(** Drive a net identically in every lane. *)
+val set_all : t -> int -> bool -> unit
+
+(** Pin a net in one lane only; other lanes keep simulating the driven
+    value. *)
+val force : t -> lane:int -> int -> bool -> unit
+
+val release : t -> lane:int -> int -> unit
+
+(** Settle all combinational logic in every lane. *)
+val eval_comb : t -> unit
+
+(** Advance [n] (default 1) cycles of root clock [clock] in all lanes.
+    A gated clock may tick in some lanes and hold in others. *)
+val step : ?n:int -> t -> string -> unit
+
+val step_n : t -> string -> int -> unit
+
+(** {1 Pins and state, per lane} *)
+
+val poke_input : t -> lane:int -> string -> Bits.t -> unit
+
+(** Drive an input port identically in every lane. *)
+val poke_input_all : t -> string -> Bits.t -> unit
+
+val peek_output : t -> lane:int -> string -> Bits.t
+
+val ff_value : t -> lane:int -> int -> bool
+
+val set_ff : t -> lane:int -> int -> bool -> unit
+
+val mem_bit : t -> lane:int -> int -> addr:int -> bit:int -> bool
+
+val set_mem_bit : t -> lane:int -> int -> addr:int -> bit:int -> bool -> unit
+
+(** {1 State, by RTL name — the per-lane probing demux} *)
+
+val read_register : t -> lane:int -> string -> Bits.t
+
+val write_register : t -> lane:int -> string -> Bits.t -> unit
+
+(** {1 Kernel observability} *)
+
+type counters = {
+  lanes_width : int;  (** scenarios evaluated per settle (always 63) *)
+  events_settled : int;  (** cell evaluations drained by [settle] *)
+  levels_touched : int;  (** non-empty levels visited across settles *)
+  edges : int;  (** clock edges committed *)
+}
+
+val counters : t -> counters

@@ -91,6 +91,12 @@ type prog = {
   (* Pending-buffer capacities for the edge kernel. *)
   total_srd_bits : int;
   total_mwr_bits : int;
+  (* Flat memory geometry (width/depth per memory cell), so the engines
+     never chase the Netlist.mem records on state-access paths. *)
+  mem_widths : int array;
+  mem_depths : int array;
+  (* Widest LUT in the design: sizes the batch engine's mux-tree scratch. *)
+  max_lut_ins : int;
 }
 
 (* Flatten a list of (span : int array) into (offsets, flat). *)
@@ -461,6 +467,12 @@ let compile (nl : Netlist.t) : prog =
     n_gated = !n_gated;
     total_srd_bits = srd_out_off.(Array.length srds);
     total_mwr_bits = mwr_data_off.(Array.length mwrs);
+    mem_widths = Array.map (fun (m : Netlist.mem) -> m.mem_width) nl.mems;
+    mem_depths = Array.map (fun (m : Netlist.mem) -> m.mem_depth) nl.mems;
+    max_lut_ins =
+      Array.fold_left
+        (fun acc (l : Netlist.lut) -> max acc (Array.length l.inputs))
+        0 nl.luts;
   }
 
 (* Topological order of LUT+DSP cells, recovered from the levelized

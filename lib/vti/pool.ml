@@ -14,26 +14,39 @@ let default_jobs () =
   if n < 1 then 1 else min n 16
 
 (* Run [f] over every index in [0, n) from [j] domains (including the
-   calling one), least index first per domain via a shared counter. *)
+   calling one), least index first per domain via a shared counter.
+
+   A raising task must not kill its domain (losing the exception and its
+   backtrace to a bare [Domain.join] re-raise): each worker catches, the
+   first failure is recorded with its backtrace, the remaining indices
+   are abandoned, and the submitting domain re-raises after every domain
+   has been joined — so the pool always winds down cleanly and the
+   caller sees the task's own exception, backtrace intact. *)
 let parallel_for ~j ~n f =
   let next = Atomic.make 0 in
+  let failure = Atomic.make None in
   let worker () =
     let rec loop () =
-      let i = Atomic.fetch_and_add next 1 in
-      if i < n then begin
-        f i;
-        loop ()
+      if Atomic.get failure = None then begin
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (try f i
+           with e ->
+             let bt = Printexc.get_raw_backtrace () in
+             (* First failure wins; concurrent losers are dropped. *)
+             ignore (Atomic.compare_and_set failure None (Some (e, bt))));
+          loop ()
+        end
       end
     in
     loop ()
   in
   let domains = Array.init (j - 1) (fun _ -> Domain.spawn worker) in
-  let main_exn = (try worker (); None with e -> Some e) in
-  let joined =
-    Array.map (fun d -> try Domain.join d; None with e -> Some e) domains
-  in
-  (match main_exn with Some e -> raise e | None -> ());
-  Array.iter (function Some e -> raise e | None -> ()) joined
+  worker ();
+  Array.iter Domain.join domains;
+  match Atomic.get failure with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()
 
 let map_array ?jobs (f : 'a -> 'b) (a : 'a array) : 'b array =
   let n = Array.length a in
@@ -43,7 +56,19 @@ let map_array ?jobs (f : 'a -> 'b) (a : 'a array) : 'b array =
   else begin
     let out : 'b option array = Array.make n None in
     parallel_for ~j ~n (fun i -> out.(i) <- Some (f a.(i)));
-    Array.map (function Some v -> v | None -> assert false) out
+    Array.mapi
+      (fun i slot ->
+        match slot with
+        | Some v -> v
+        | None ->
+          (* parallel_for re-raises task failures before we get here, so
+             an unfilled slot means the work counter itself misbehaved. *)
+          failwith
+            (Printf.sprintf
+               "Pool.map_array: slot %d/%d never produced (work counter \
+                invariant violated)"
+               i n))
+      out
   end
 
 let map ?jobs f l = Array.to_list (map_array ?jobs f (Array.of_list l))

@@ -2,8 +2,11 @@
 
     [map]/[map_array] evaluate [f] over every element on up to [jobs]
     domains (default {!default_jobs}) and return results in input order.
-    Exceptions raised by tasks are re-raised on the caller after every
-    domain is joined.  Tasks must not share mutable state. *)
+    A raising task stops the pool: remaining elements are abandoned, all
+    domains are joined, and the task's exception is re-raised on the
+    calling domain with its original backtrace (when several tasks raise
+    concurrently, the first recorded failure wins).  Tasks must not
+    share mutable state. *)
 
 (** [Domain.recommended_domain_count], clamped to [1, 16]. *)
 val default_jobs : unit -> int

@@ -127,6 +127,45 @@ let test_response_roundtrip () =
   | Ok _ -> Alcotest.fail "values: wrong frame"
   | Error msg -> Alcotest.failf "values: %s" msg
 
+(* Malformed [values] payloads must produce a descriptive [Error] naming
+   the offending pair — never a swallowed exception or a leaked
+   [failwith] of the raw payload. *)
+let test_values_parse_errors () =
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  let parse body = Protocol.response_of_wire ("zh1 2 9 values " ^ body) in
+  (match parse "count=101,broken" with
+  | Error msg ->
+    Alcotest.(check bool)
+      (Printf.sprintf "missing '=' error names the pair: %s" msg)
+      true
+      (contains msg "broken")
+  | Ok _ -> Alcotest.fail "pair without '=' accepted");
+  (match parse "count=10x1" with
+  | Error msg ->
+    Alcotest.(check bool)
+      (Printf.sprintf "bad binary error names the pair: %s" msg)
+      true
+      (contains msg "count=10x1")
+  | Ok _ -> Alcotest.fail "non-binary value accepted");
+  (match parse "count=" with
+  | Error msg ->
+    Alcotest.(check bool)
+      (Printf.sprintf "empty value error names the pair: %s" msg)
+      true
+      (contains msg "count=")
+  | Ok _ -> Alcotest.fail "empty value accepted");
+  (* Well-formed payloads still parse after the narrowing. *)
+  match parse "a=1,b=0110" with
+  | Ok { Protocol.fr_payload = Protocol.Values [ ("a", va); ("b", vb) ]; _ } ->
+    Alcotest.(check int) "a value" 1 (Bits.to_int va);
+    Alcotest.(check int) "b width" 4 (Bits.width vb)
+  | Ok _ -> Alcotest.fail "good payload parsed to wrong frame"
+  | Error msg -> Alcotest.failf "good payload rejected: %s" msg
+
 let test_event_roundtrip () =
   List.iter
     (fun ev ->
@@ -579,6 +618,8 @@ let suite =
     Alcotest.test_case "wire requests round-trip" `Quick test_request_roundtrip;
     Alcotest.test_case "wire responses round-trip" `Quick test_response_roundtrip;
     Alcotest.test_case "wire events round-trip" `Quick test_event_roundtrip;
+    Alcotest.test_case "values parse errors are descriptive" `Quick
+      test_values_parse_errors;
     Alcotest.test_case "unknown versions refused" `Quick test_version_refused;
     Alcotest.test_case "command_to_string inverts parse_line" `Quick
       test_command_to_string_inverse;

@@ -393,6 +393,410 @@ let test_ticking_equivalence () =
     | None -> ()
   done
 
+(* ------------------------------------------------------------------ *)
+(* Batch engine: every lane == a scalar interpreter run of that lane's *)
+(* stimulus.                                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Batch = Zoomie_synth.Netsim_batch
+
+(* Lanes probed in the differentials: both ends of the word, the two
+   lowest, and one in the middle — sign-bit (lane 62) handling included. *)
+let checked_lanes = [| 0; 1; 31; 62 |]
+
+(* Compare one batch lane's complete architectural state against a
+   scalar interpreter instance. *)
+let compare_lane tag nl batch ~lane slow =
+  let err = ref None in
+  let fail fmt = Printf.ksprintf (fun m -> if !err = None then err := Some m) fmt in
+  Array.iteri
+    (fun i (_ : Netlist.ff) ->
+      if Batch.ff_value batch ~lane i <> Baseline.ff_value slow i then
+        let name, bit = nl.Netlist.ff_names.(i) in
+        fail "%s: lane %d FF %d (%s[%d]): batch=%b interpreter=%b" tag lane i
+          name bit
+          (Batch.ff_value batch ~lane i)
+          (Baseline.ff_value slow i))
+    nl.Netlist.ffs;
+  Array.iteri
+    (fun m (mem : Netlist.mem) ->
+      for addr = 0 to mem.Netlist.mem_depth - 1 do
+        for bit = 0 to mem.Netlist.mem_width - 1 do
+          if
+            Batch.mem_bit batch ~lane m ~addr ~bit
+            <> Baseline.mem_bit slow m ~addr ~bit
+          then
+            fail "%s: lane %d mem %s[%d].%d: batch=%b interpreter=%b" tag lane
+              mem.Netlist.mem_name addr bit
+              (Batch.mem_bit batch ~lane m ~addr ~bit)
+              (Baseline.mem_bit slow m ~addr ~bit)
+        done
+      done)
+    nl.Netlist.mems;
+  Array.iter
+    (fun (io : Netlist.io) ->
+      if Batch.get batch ~lane io.Netlist.io_net <> Baseline.get slow io.Netlist.io_net
+      then
+        fail "%s: lane %d output %s[%d]: batch=%b interpreter=%b" tag lane
+          io.Netlist.io_name io.Netlist.io_bit
+          (Batch.get batch ~lane io.Netlist.io_net)
+          (Baseline.get slow io.Netlist.io_net))
+    nl.Netlist.outputs;
+  !err
+
+(* Random batch session: each checked lane gets its own stimulus stream
+   (pokes, per-lane force/release, per-lane register injection), mirrored
+   into a scalar interpreter per lane; one batch step advances all. *)
+let prop_batch_lanes =
+  QCheck2.Test.make
+    ~name:"batch lanes == interpreter per lane (random circuits)" ~count:25
+    QCheck2.Gen.int (fun seed ->
+      let st = Random.State.make [| seed; 7 |] in
+      let circuit = Gen.gen_circuit st in
+      let nl, _ = Zoomie_synth.Synthesize.run circuit in
+      let batch = Batch.create nl in
+      let slows = Array.map (fun _ -> Baseline.create nl) checked_lanes in
+      let inputs =
+        Array.to_list nl.Netlist.inputs
+        |> List.map (fun io -> io.Netlist.io_name)
+        |> List.sort_uniq compare
+      in
+      let input_width name =
+        Array.fold_left
+          (fun acc (io : Netlist.io) ->
+            if io.Netlist.io_name = name then max acc (io.Netlist.io_bit + 1)
+            else acc)
+          0 nl.Netlist.inputs
+      in
+      let reg_names =
+        Array.to_list nl.Netlist.ff_names
+        |> List.map fst |> List.sort_uniq compare |> Array.of_list
+      in
+      let forced = ref [] in
+      let err = ref None in
+      (try
+         for cycle = 0 to 11 do
+           Array.iteri
+             (fun k lane ->
+               List.iter
+                 (fun name ->
+                   let v = Bits.random ~width:(input_width name) st in
+                   Batch.poke_input batch ~lane name v;
+                   Baseline.poke_input slows.(k) name v)
+                 inputs)
+             checked_lanes;
+           (* Per-lane pin of an input net: only that lane must see it. *)
+           if Random.State.int st 4 = 0 && Array.length nl.Netlist.inputs > 0
+           then begin
+             let io =
+               nl.Netlist.inputs.(Random.State.int st
+                                    (Array.length nl.Netlist.inputs))
+             in
+             let k = Random.State.int st (Array.length checked_lanes) in
+             let v = Random.State.bool st in
+             Batch.force batch ~lane:checked_lanes.(k) io.Netlist.io_net v;
+             Baseline.force slows.(k) io.Netlist.io_net v;
+             forced := (k, io.Netlist.io_net) :: !forced
+           end;
+           if Random.State.int st 5 = 0 && !forced <> [] then begin
+             let k, net = List.hd !forced in
+             forced := List.tl !forced;
+             Batch.release batch ~lane:checked_lanes.(k) net;
+             Baseline.release slows.(k) net
+           end;
+           Batch.step batch "clk";
+           Array.iter (fun s -> Baseline.step s "clk") slows;
+           (* Per-lane mid-run register injection (per-lane probe demux). *)
+           if Random.State.int st 4 = 0 && Array.length reg_names > 0 then begin
+             let name = reg_names.(Random.State.int st (Array.length reg_names)) in
+             let k = Random.State.int st (Array.length checked_lanes) in
+             let w = Bits.width (Baseline.read_register slows.(k) name) in
+             let v = Bits.random ~width:w st in
+             Batch.write_register batch ~lane:checked_lanes.(k) name v;
+             Baseline.write_register slows.(k) name v
+           end;
+           Array.iteri
+             (fun k lane ->
+               match
+                 compare_lane (Printf.sprintf "cycle %d" cycle) nl batch ~lane
+                   slows.(k)
+               with
+               | Some m ->
+                 err := Some m;
+                 raise Exit
+               | None ->
+                 (* The name-level demux must agree with the interpreter
+                    too, not just raw FF bits. *)
+                 if Array.length reg_names > 0 then begin
+                   let name = reg_names.(cycle mod Array.length reg_names) in
+                   let a = Batch.read_register batch ~lane name in
+                   let b = Baseline.read_register slows.(k) name in
+                   if not (Bits.equal a b) then begin
+                     err :=
+                       Some
+                         (Printf.sprintf
+                            "cycle %d: lane %d read_register %S: batch=%s \
+                             interpreter=%s"
+                            cycle lane name (Bits.to_string a) (Bits.to_string b));
+                     raise Exit
+                   end
+                 end)
+             checked_lanes
+         done
+       with Exit -> ());
+      match !err with None -> true | Some msg -> QCheck2.Test.fail_report msg)
+
+(* Gated clocks per lane: drive each lane's enables from its lane index,
+   so the same gated clock ticks in some lanes and holds in others within
+   a single batch edge.  Every lane must still match its interpreter. *)
+let test_batch_gated_lanes () =
+  let nl, _ = Zoomie_synth.Synthesize.run (gated_circuit ()) in
+  let batch = Batch.create nl in
+  let lanes = [| 0; 1; 2; 3; 62 |] in
+  let slows = Array.map (fun _ -> Baseline.create nl) lanes in
+  for cycle = 0 to 11 do
+    Array.iteri
+      (fun k lane ->
+        let ea = (lane + cycle) land 1 in
+        let eb = ((lane lsr 1) + cycle) land 1 in
+        Batch.poke_input batch ~lane "en_a" (bits ~width:1 ea);
+        Batch.poke_input batch ~lane "en_b" (bits ~width:1 eb);
+        Baseline.poke_input slows.(k) "en_a" (bits ~width:1 ea);
+        Baseline.poke_input slows.(k) "en_b" (bits ~width:1 eb))
+      lanes;
+    Batch.step batch "clk";
+    Array.iter (fun s -> Baseline.step s "clk") slows;
+    Array.iteri
+      (fun k lane ->
+        match
+          compare_lane (Printf.sprintf "gated cycle %d" cycle) nl batch ~lane
+            slows.(k)
+        with
+        | Some m -> Alcotest.fail m
+        | None -> ())
+      lanes
+  done;
+  let c = Batch.counters batch in
+  Alcotest.(check int) "lane width" 63 c.Batch.lanes_width;
+  Alcotest.(check int) "edges counted" 12 c.Batch.edges
+
+(* zerv in batch: lane 5 runs the program, lane 40 is held in reset by a
+   forced-low start.  The running lane must halt exactly like a scalar
+   interpreter run; the held lane must still be sitting at cycle-0 state. *)
+let test_batch_serv_demux () =
+  let nl, _ = Zoomie_synth.Synthesize.run (Serv.core ()) in
+  let batch = Batch.create nl in
+  let slow = Baseline.create nl in
+  Batch.poke_input_all batch "result_ready" (bits ~width:1 1);
+  Baseline.poke_input slow "result_ready" (bits ~width:1 1);
+  (* Only lane 5 gets start; every other lane keeps start low. *)
+  Batch.poke_input batch ~lane:5 "start" (bits ~width:1 1);
+  Baseline.poke_input slow "start" (bits ~width:1 1);
+  Batch.step ~n:500 batch "clk";
+  Baseline.step ~n:500 slow "clk";
+  (match compare_lane "zerv lane 5" nl batch ~lane:5 slow with
+  | Some m -> Alcotest.fail m
+  | None -> ());
+  Alcotest.(check int) "lane 5 halted" 1
+    (Bits.to_int (Batch.peek_output batch ~lane:5 "halted"));
+  Alcotest.(check int) "idle lane 40 not halted" 0
+    (Bits.to_int (Batch.peek_output batch ~lane:40 "halted"))
+
+(* ------------------------------------------------------------------ *)
+(* Parallel settle: results invariant in the jobs count.               *)
+(* ------------------------------------------------------------------ *)
+
+(* Compare complete state between two compiled instances. *)
+let compare_sims tag nl a b =
+  let err = ref None in
+  let fail fmt = Printf.ksprintf (fun m -> if !err = None then err := Some m) fmt in
+  Array.iteri
+    (fun i (_ : Netlist.ff) ->
+      if Netsim.ff_value a i <> Netsim.ff_value b i then
+        let name, bit = nl.Netlist.ff_names.(i) in
+        fail "%s: FF %d (%s[%d]): jobs=%d says %b, jobs=%d says %b" tag i name
+          bit (Netsim.jobs a) (Netsim.ff_value a i) (Netsim.jobs b)
+          (Netsim.ff_value b i))
+    nl.Netlist.ffs;
+  Array.iteri
+    (fun m (mem : Netlist.mem) ->
+      for addr = 0 to mem.Netlist.mem_depth - 1 do
+        for bit = 0 to mem.Netlist.mem_width - 1 do
+          if Netsim.mem_bit a m ~addr ~bit <> Netsim.mem_bit b m ~addr ~bit then
+            fail "%s: mem %s[%d].%d differs between jobs=%d and jobs=%d" tag
+              mem.Netlist.mem_name addr bit (Netsim.jobs a) (Netsim.jobs b)
+        done
+      done)
+    nl.Netlist.mems;
+  Array.iter
+    (fun (io : Netlist.io) ->
+      if Netsim.get a io.Netlist.io_net <> Netsim.get b io.Netlist.io_net then
+        fail "%s: output %s[%d] differs between jobs=%d and jobs=%d" tag
+          io.Netlist.io_name io.Netlist.io_bit (Netsim.jobs a) (Netsim.jobs b))
+    nl.Netlist.outputs;
+  !err
+
+(* One random script (pokes, force/release, injection) applied to jobs=1,
+   jobs=2 and jobs=4 instances of the same netlist: all three must stay
+   bit-identical every cycle. *)
+let prop_jobs_invariance =
+  QCheck2.Test.make ~name:"parallel settle invariant in jobs (1/2/4)"
+    ~count:12 QCheck2.Gen.int (fun seed ->
+      let st = Random.State.make [| seed; 11 |] in
+      let circuit = Gen.gen_circuit st in
+      let nl, _ = Zoomie_synth.Synthesize.run circuit in
+      let sims =
+        [| Netsim.create ~jobs:1 nl; Netsim.create ~jobs:2 nl;
+           Netsim.create ~jobs:4 nl |]
+      in
+      Fun.protect ~finally:(fun () -> Array.iter Netsim.shutdown sims)
+      @@ fun () ->
+      let inputs =
+        Array.to_list nl.Netlist.inputs
+        |> List.map (fun io -> io.Netlist.io_name)
+        |> List.sort_uniq compare
+      in
+      let input_width name =
+        Array.fold_left
+          (fun acc (io : Netlist.io) ->
+            if io.Netlist.io_name = name then max acc (io.Netlist.io_bit + 1)
+            else acc)
+          0 nl.Netlist.inputs
+      in
+      let reg_names =
+        Array.to_list nl.Netlist.ff_names
+        |> List.map fst |> List.sort_uniq compare |> Array.of_list
+      in
+      let forced = ref [] in
+      let err = ref None in
+      (try
+         for cycle = 0 to 11 do
+           List.iter
+             (fun name ->
+               let v = Bits.random ~width:(input_width name) st in
+               Array.iter (fun s -> Netsim.poke_input s name v) sims)
+             inputs;
+           if Random.State.int st 4 = 0 && Array.length nl.Netlist.inputs > 0
+           then begin
+             let io =
+               nl.Netlist.inputs.(Random.State.int st
+                                    (Array.length nl.Netlist.inputs))
+             in
+             let v = Random.State.bool st in
+             Array.iter (fun s -> Netsim.force s io.Netlist.io_net v) sims;
+             forced := io.Netlist.io_net :: !forced
+           end;
+           if Random.State.int st 5 = 0 && !forced <> [] then begin
+             let net = List.hd !forced in
+             forced := List.tl !forced;
+             Array.iter (fun s -> Netsim.release s net) sims
+           end;
+           Array.iter (fun s -> Netsim.step s "clk") sims;
+           if Random.State.int st 4 = 0 && Array.length reg_names > 0 then begin
+             let name = reg_names.(Random.State.int st (Array.length reg_names)) in
+             let w = Bits.width (Netsim.read_register sims.(0) name) in
+             let v = Bits.random ~width:w st in
+             Array.iter (fun s -> Netsim.write_register s name v) sims
+           end;
+           for i = 1 to 2 do
+             match
+               compare_sims (Printf.sprintf "cycle %d" cycle) nl sims.(0) sims.(i)
+             with
+             | Some m ->
+               err := Some m;
+               raise Exit
+             | None -> ()
+           done
+         done
+       with Exit -> ());
+      match !err with None -> true | Some msg -> QCheck2.Test.fail_report msg)
+
+(* A wide netlist (300 independent inverter columns per level) whose
+   levels exceed the dispatch threshold: the jobs=4 instance must
+   actually fan levels out to the pool (counters prove it) and still
+   match jobs=1 bit for bit. *)
+let wide_netlist n =
+  let lut layer i =
+    { Netlist.inputs = [| (layer * n) + i |]; table = 0x1L; out = ((layer + 1) * n) + i }
+  in
+  (* Net 0..n-1: inputs; layer k outputs occupy nets (k+1)*n .. (k+2)*n-1. *)
+  {
+    Netlist.design_name = "wide";
+    num_nets = 4 * n;
+    luts = Array.init (3 * n) (fun j -> lut (j / n) (j mod n));
+    ffs = [||];
+    mems = [||];
+    dsps = [||];
+    inputs =
+      Array.init n (fun i -> { Netlist.io_name = "a"; io_bit = i; io_net = i });
+    outputs =
+      Array.init n (fun i ->
+          { Netlist.io_name = "y"; io_bit = i; io_net = (3 * n) + i });
+    clock_tree = [];
+    const_nets = [];
+    ff_names = [||];
+  }
+
+let test_parallel_pool_dispatches () =
+  let n = 300 in
+  let nl = wide_netlist n in
+  let s1 = Netsim.create ~jobs:1 nl in
+  let s4 = Netsim.create ~jobs:4 nl in
+  Fun.protect ~finally:(fun () -> Netsim.shutdown s4)
+  @@ fun () ->
+  Alcotest.(check int) "jobs" 4 (Netsim.jobs s4);
+  let st = Random.State.make [| 97 |] in
+  for round = 0 to 4 do
+    let v = Bits.random ~width:n st in
+    Netsim.poke_input s1 "a" v;
+    Netsim.poke_input s4 "a" v;
+    Netsim.eval_comb s1;
+    Netsim.eval_comb s4;
+    let y1 = Netsim.peek_output s1 "y" in
+    let y4 = Netsim.peek_output s4 "y" in
+    if not (Bits.equal y1 y4) then
+      Alcotest.failf "round %d: jobs=1 %s vs jobs=4 %s" round
+        (Bits.to_string y1) (Bits.to_string y4);
+    (* Odd LUT layers invert: 3 layers deep means y = ~a. *)
+    Array.iter
+      (fun (io : Netlist.io) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "round %d bit %d inverted" round io.Netlist.io_bit)
+          (not (Bits.get v io.Netlist.io_bit))
+          (Netsim.get s4 io.Netlist.io_net))
+      nl.Netlist.outputs
+  done;
+  let c = Netsim.counters s4 in
+  Alcotest.(check bool) "levels dispatched to the pool" true
+    (c.Netsim.partition_dispatches > 0);
+  Alcotest.(check bool) "boundary syncs recorded" true
+    (c.Netsim.boundary_syncs >= c.Netsim.partition_dispatches);
+  let c1 = Netsim.counters s1 in
+  Alcotest.(check int) "sequential instance never dispatches" 0
+    c1.Netsim.partition_dispatches
+
+(* Gating + parallel: the gated differential from above, run at jobs=2
+   against jobs=1. *)
+let test_parallel_gated () =
+  let nl, _ = Zoomie_synth.Synthesize.run (gated_circuit ()) in
+  let s1 = Netsim.create ~jobs:1 nl in
+  let s2 = Netsim.create ~jobs:2 nl in
+  Fun.protect ~finally:(fun () -> Netsim.shutdown s2)
+  @@ fun () ->
+  for cycle = 0 to 15 do
+    let ea = bits ~width:1 (cycle land 1) in
+    let eb = bits ~width:1 ((cycle lsr 1) land 1) in
+    List.iter
+      (fun s ->
+        Netsim.poke_input s "en_a" ea;
+        Netsim.poke_input s "en_b" eb;
+        Netsim.step s "clk")
+      [ s1; s2 ];
+    match compare_sims (Printf.sprintf "gated cycle %d" cycle) nl s1 s2 with
+    | Some m -> Alcotest.fail m
+    | None -> ()
+  done
+
 let suite =
   [
     Alcotest.test_case "zerv differential (400 cycles + injection)" `Quick
@@ -410,5 +814,13 @@ let suite =
       test_force_release;
     Alcotest.test_case "tick sets match under gating" `Quick
       test_ticking_equivalence;
+    Alcotest.test_case "batch lanes diverge under gating" `Quick
+      test_batch_gated_lanes;
+    Alcotest.test_case "batch zerv: per-lane demux" `Quick test_batch_serv_demux;
+    Alcotest.test_case "parallel pool dispatches and matches" `Quick
+      test_parallel_pool_dispatches;
+    Alcotest.test_case "parallel settle under gating" `Quick test_parallel_gated;
     QCheck_alcotest.to_alcotest prop_random_circuits;
+    QCheck_alcotest.to_alcotest prop_batch_lanes;
+    QCheck_alcotest.to_alcotest prop_jobs_invariance;
   ]

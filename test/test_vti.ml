@@ -555,9 +555,32 @@ let test_checkpoint_header_mismatches () =
   expect_bad "truncated after header" headless;
   Sys.remove headless
 
+(* A raising task must surface its own exception (not a bare assert, not
+   a hang): the pool abandons remaining work, joins every domain, and
+   re-raises on the submitting domain.  The pool must stay usable for
+   the next call. *)
+let test_pool_raising_task () =
+  let module Pool = Zoomie_vti.Pool in
+  (match
+     Pool.map_array ~jobs:4
+       (fun i -> if i = 7 then failwith "task 7 exploded" else i * 2)
+       (Array.init 64 Fun.id)
+   with
+  | exception Failure msg ->
+    Alcotest.(check string) "task's own exception surfaces" "task 7 exploded"
+      msg
+  | exception e ->
+    Alcotest.failf "wrong exception surfaced: %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "raising task did not propagate");
+  (* Wind-down was clean: a fresh map over the same pool size succeeds. *)
+  let out = Pool.map_array ~jobs:4 (fun i -> i + 1) (Array.init 64 Fun.id) in
+  Alcotest.(check int) "pool usable after failure" 64 out.(63)
+
 let suite =
   suite
   @ [
+      Alcotest.test_case "pool propagates a raising task" `Quick
+        test_pool_raising_task;
       Alcotest.test_case "differential: incremental == monolithic" `Quick
         test_differential_fixed;
       QCheck_alcotest.to_alcotest prop_recompile_differential;
