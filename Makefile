@@ -1,6 +1,6 @@
 # Convenience entry points; `make check` is the tier-1 gate.
 
-.PHONY: all build test bench-smoke obs-smoke check clean
+.PHONY: all build test bench-smoke obs-smoke fuzz-smoke check clean
 
 all: build
 
@@ -22,40 +22,65 @@ test: build
 # fails hard if the incremental compile engine ever produces different
 # bits (netlist, placement, frames, bitstream, timing, modeled cost)
 # from the monolithic baseline flow across an initial compile plus a
-# recompile chain.
+# recompile chain; `fuzz smoke` runs a bounded differential fuzzing
+# campaign (clean operators must find nothing, an injected broken
+# operator must be found AND minimized).  All records land in
+# artifacts/BENCH_*.json.
 bench-smoke:
 	dune exec bench/main.exe -- netsim smoke
 	dune exec bench/main.exe -- netsim-batch smoke
 	dune exec bench/main.exe -- readback smoke
 	dune exec bench/main.exe -- hub smoke
 	dune exec bench/main.exe -- vti smoke
+	dune exec bench/main.exe -- fuzz smoke
 
 # Observability gate (expects the smoke benches to have run): the bench
 # records must embed a metrics snapshot with the cross-layer keys, and a
 # traced 4-client hub demo must produce a Chrome trace that names the
 # coalesced sweep.
 obs-smoke:
-	grep -q '"metrics"' BENCH_netsim_smoke.json
-	grep -q '"netsim.events_settled"' BENCH_netsim_smoke.json
-	grep -q '"metrics"' BENCH_netsim_batch_smoke.json
-	grep -q '"netsim.batch.lanes"' BENCH_netsim_batch_smoke.json
-	grep -q '"netsim.partition_dispatches"' BENCH_netsim_batch_smoke.json
-	grep -q '"metrics"' BENCH_hub_smoke.json
-	grep -q '"hub.cable_seconds"' BENCH_hub_smoke.json
-	grep -q '"jtag.seconds"' BENCH_hub_smoke.json
-	grep -q '"metrics"' BENCH_readback_smoke.json
-	grep -q '"metrics"' BENCH_vti_smoke.json
-	dune exec bin/zoomie_cli.exe -- hub --clients 4 --trace hub_trace_smoke.json > /dev/null
-	grep -q '"hub.sweep"' hub_trace_smoke.json
+	grep -q '"metrics"' artifacts/BENCH_netsim_smoke.json
+	grep -q '"netsim.events_settled"' artifacts/BENCH_netsim_smoke.json
+	grep -q '"metrics"' artifacts/BENCH_netsim_batch_smoke.json
+	grep -q '"netsim.batch.lanes"' artifacts/BENCH_netsim_batch_smoke.json
+	grep -q '"netsim.partition_dispatches"' artifacts/BENCH_netsim_batch_smoke.json
+	grep -q '"metrics"' artifacts/BENCH_hub_smoke.json
+	grep -q '"hub.cable_seconds"' artifacts/BENCH_hub_smoke.json
+	grep -q '"jtag.seconds"' artifacts/BENCH_hub_smoke.json
+	grep -q '"metrics"' artifacts/BENCH_readback_smoke.json
+	grep -q '"metrics"' artifacts/BENCH_vti_smoke.json
+	grep -q '"seed"' artifacts/BENCH_fuzz_smoke.json
+	grep -q '"schedule_digest"' artifacts/BENCH_fuzz_smoke.json
+	mkdir -p artifacts
+	dune exec bin/zoomie_cli.exe -- hub --clients 4 --trace artifacts/hub_trace_smoke.json > /dev/null
+	grep -q '"hub.sweep"' artifacts/hub_trace_smoke.json
+
+# Campaign-level gate for `zoomie fuzz` itself: (1) a split campaign
+# (run 6 cases, then --resume to 12) must land on the same schedule
+# digest as a one-shot 12-case campaign — resumption is deterministic;
+# (2) a --broken-op campaign must find divergences and write at least
+# one minimized reproducer to the corpus.
+fuzz-smoke:
+	rm -rf artifacts/fuzz_smoke_a artifacts/fuzz_smoke_b artifacts/fuzz_smoke_broken
+	dune exec bin/zoomie_cli.exe -- fuzz --oracle netsim --seed 7 --budget 6 \
+	  --corpus artifacts/fuzz_smoke_a
+	dune exec bin/zoomie_cli.exe -- fuzz --oracle netsim --seed 7 --budget 12 \
+	  --corpus artifacts/fuzz_smoke_a --resume
+	dune exec bin/zoomie_cli.exe -- fuzz --oracle netsim --seed 7 --budget 12 \
+	  --corpus artifacts/fuzz_smoke_b
+	grep '"schedule_digest"' artifacts/fuzz_smoke_a/report.json > artifacts/fuzz_digest_a
+	grep '"schedule_digest"' artifacts/fuzz_smoke_b/report.json > artifacts/fuzz_digest_b
+	cmp artifacts/fuzz_digest_a artifacts/fuzz_digest_b
+	dune exec bin/zoomie_cli.exe -- fuzz --oracle netsim --seed 7 --budget 4 \
+	  --corpus artifacts/fuzz_smoke_broken --broken-op --minimize
+	ls artifacts/fuzz_smoke_broken/min/*.repro > /dev/null
 
 check: build
 	dune runtest
-	dune exec bench/main.exe -- netsim smoke
-	dune exec bench/main.exe -- netsim-batch smoke
-	dune exec bench/main.exe -- readback smoke
-	dune exec bench/main.exe -- hub smoke
-	dune exec bench/main.exe -- vti smoke
+	$(MAKE) bench-smoke
 	$(MAKE) obs-smoke
+	$(MAKE) fuzz-smoke
 
 clean:
 	dune clean
+	rm -rf artifacts

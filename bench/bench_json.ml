@@ -1,7 +1,8 @@
 (* Machine-readable bench results: each bench case writes
-   BENCH_<case>.json into the working directory (the repo root under
-   `dune exec`), so the perf trajectory is tracked across PRs instead of
-   living only in scrollback. *)
+   BENCH_<case>.json into artifacts/ (under the working directory — the
+   repo root under `dune exec`), so the perf trajectory is tracked across
+   PRs instead of living only in scrollback.  Every record embeds the
+   bench RNG seed (`--seed N`, default 1) so a run can be reproduced. *)
 
 type field =
   | Str of string
@@ -34,10 +35,26 @@ let field_to_string = function
   | Bool b -> if b then "true" else "false"
   | Raw json -> json
 
-(** [write ~case fields] writes [BENCH_<case>.json] and returns the
-    path written. *)
+(* The bench RNG seed, set once from `--seed N` by the driver; every
+   record written after that carries it. *)
+let seed = ref 1
+
+let set_seed s = seed := s
+let current_seed () = !seed
+
+let out_dir = "artifacts"
+
+(** [write ~case fields] writes [artifacts/BENCH_<case>.json] and returns
+    the path written.  A ["seed"] field is appended unless the caller
+    already supplied one. *)
 let write ~case fields =
-  let file = Printf.sprintf "BENCH_%s.json" case in
+  (try Unix.mkdir out_dir 0o755
+   with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let fields =
+    if List.mem_assoc "seed" fields then fields
+    else fields @ [ ("seed", Int !seed) ]
+  in
+  let file = Filename.concat out_dir (Printf.sprintf "BENCH_%s.json" case) in
   let oc = open_out file in
   output_string oc "{\n";
   let n = List.length fields in

@@ -1379,6 +1379,107 @@ let vti_bench ~smoke () =
   pf "wrote %s\n" file
 
 (* ------------------------------------------------------------------ *)
+(* Fuzz campaign: differential fuzzing over the batch netsim kernel      *)
+(* ------------------------------------------------------------------ *)
+
+(* Two bounded campaigns back to back.  The clean campaign (default
+   semantics-preserving operators) must find NOTHING — any divergence is
+   a real engine bug and fails the bench hard.  The self-test campaign
+   injects the deliberately broken operator and must find divergences
+   AND shrink at least one to a minimized reproducer, proving the
+   detector + minimizer actually work.  The clean campaign runs on the
+   bench `--seed`; the self-test uses a pinned seed known to exercise
+   the broken rewrite within its small budget. *)
+let fuzz_bench ~smoke () =
+  header
+    (if smoke then "Fuzz campaign (netsim oracle, smoke)"
+     else "Fuzz campaign (netsim oracle)");
+  Obs.reset_metrics ();
+  let rec rm p =
+    if Sys.file_exists p then
+      if Sys.is_directory p then begin
+        Array.iter (fun f -> rm (Filename.concat p f)) (Sys.readdir p);
+        Unix.rmdir p
+      end
+      else Sys.remove p
+  in
+  let corpus_root =
+    Filename.concat "artifacts"
+      (if smoke then "fuzz_bench_smoke" else "fuzz_bench")
+  in
+  rm corpus_root;
+  let seed = Bench_json.current_seed () in
+  let budget = if smoke then 8 else 120 in
+  let cfg =
+    {
+      (Fuzz.Campaign.default ~oracle:Fuzz.Oracle.netsim) with
+      Fuzz.Campaign.cfg_budget = budget;
+      cfg_seed = seed;
+      cfg_corpus = Filename.concat corpus_root "clean";
+      cfg_log = (fun s -> pf "  %s\n" s);
+    }
+  in
+  let r =
+    match Fuzz.Campaign.run cfg with
+    | Ok r -> r
+    | Error msg -> failwith ("fuzz bench: " ^ msg)
+  in
+  pf "%s\n" (Fuzz.Campaign.summary r);
+  if r.Fuzz.Campaign.rp_divergence + r.Fuzz.Campaign.rp_crash > 0 then
+    failwith "fuzz bench: clean campaign found divergences — engine bug";
+  (* Injected-fault self-test. *)
+  let broken_seed = 7 in
+  let broken_cfg =
+    {
+      (Fuzz.Campaign.default ~oracle:Fuzz.Oracle.netsim) with
+      Fuzz.Campaign.cfg_budget = (if smoke then 4 else 12);
+      cfg_seed = broken_seed;
+      cfg_corpus = Filename.concat corpus_root "broken";
+      cfg_broken_op = true;
+      cfg_minimize = true;
+      cfg_log = (fun s -> pf "  %s\n" s);
+    }
+  in
+  let rb =
+    match Fuzz.Campaign.run broken_cfg with
+    | Ok r -> r
+    | Error msg -> failwith ("fuzz bench (broken-op): " ^ msg)
+  in
+  pf "%s\n" (Fuzz.Campaign.summary rb);
+  if rb.Fuzz.Campaign.rp_divergence = 0 then
+    failwith "fuzz bench: broken-op self-test found NO divergence";
+  if rb.Fuzz.Campaign.rp_minimized = [] then
+    failwith "fuzz bench: broken-op self-test produced no minimized reproducer";
+  let case = if smoke then "fuzz_smoke" else "fuzz" in
+  let cases_per_s =
+    float_of_int r.Fuzz.Campaign.rp_cases_run
+    /. max 1e-9 r.Fuzz.Campaign.rp_wall_s
+  in
+  let file =
+    Bench_json.write ~case
+      [
+        ("case", Bench_json.Str case);
+        ("smoke", Bench_json.Bool smoke);
+        ("oracle", Bench_json.Str r.Fuzz.Campaign.rp_oracle);
+        ("budget", Bench_json.Int r.Fuzz.Campaign.rp_budget);
+        ("pass", Bench_json.Int r.Fuzz.Campaign.rp_pass);
+        ("divergence", Bench_json.Int r.Fuzz.Campaign.rp_divergence);
+        ("crash", Bench_json.Int r.Fuzz.Campaign.rp_crash);
+        ("wall_s", Bench_json.Num r.Fuzz.Campaign.rp_wall_s);
+        ("cases_per_s", Bench_json.Num cases_per_s);
+        ("lane_cycles", Bench_json.Int r.Fuzz.Campaign.rp_lane_cycles);
+        ("lane_cycles_per_s", Bench_json.Num r.Fuzz.Campaign.rp_lane_cycles_per_s);
+        ("schedule_digest", Bench_json.Str r.Fuzz.Campaign.rp_schedule_digest);
+        ("broken_seed", Bench_json.Int broken_seed);
+        ("broken_divergence", Bench_json.Int rb.Fuzz.Campaign.rp_divergence);
+        ("broken_minimized", Bench_json.Int (List.length rb.Fuzz.Campaign.rp_minimized));
+        ("broken_min_steps", Bench_json.Int rb.Fuzz.Campaign.rp_min_steps);
+        metrics_field ();
+      ]
+  in
+  pf "wrote %s\n" file
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -1491,10 +1592,27 @@ let experiments =
     ("readback", readback_extraction ~smoke:false);
     ("hub", hub_bench ~smoke:false);
     ("vti", vti_bench ~smoke:false);
+    ("fuzz", fuzz_bench ~smoke:false);
   ]
 
 let () =
-  match Sys.argv with
+  (* Strip a global `--seed N` (anywhere in argv) before dispatching, and
+     record it so every BENCH_*.json embeds the seed that produced it. *)
+  let argv =
+    let rec strip = function
+      | "--seed" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some s -> Bench_json.set_seed s
+        | None ->
+          pf "bad --seed value %S\n" n;
+          exit 1);
+        strip rest
+      | a :: rest -> a :: strip rest
+      | [] -> []
+    in
+    Array.of_list (strip (Array.to_list Sys.argv))
+  in
+  match argv with
   | [| _ |] | [| _; "all" |] -> List.iter (fun (_, f) -> f ()) experiments
   | [| _; "netsim"; "smoke" |] ->
     (* CI smoke mode: same engine comparison on a small SoC. *)
@@ -1511,6 +1629,9 @@ let () =
   | [| _; "vti"; "smoke" |] ->
     (* CI smoke mode: same engine differential on a small SoC. *)
     vti_bench ~smoke:true ()
+  | [| _; "fuzz"; "smoke" |] ->
+    (* CI smoke mode: bounded clean campaign + injected-fault self-test. *)
+    fuzz_bench ~smoke:true ()
   | [| _; name |] -> (
     match List.assoc_opt name experiments with
     | Some f -> f ()

@@ -364,10 +364,99 @@ let hub_cmd =
          "Serve scripted multi-client debug sessions over one board, with           cross-session readback coalescing")
     Term.(const run $ clients $ script_file $ trace_arg)
 
+let fuzz_cmd =
+  let oracle_enum =
+    List.map (fun (o : Fuzz.Oracle.t) -> (o.Fuzz.Oracle.o_name, o)) Fuzz.Oracle.all
+  in
+  let oracle =
+    Arg.(
+      value
+      & opt (enum oracle_enum) Fuzz.Oracle.netsim
+      & info [ "oracle" ] ~docv:"ORACLE"
+          ~doc:
+            (Printf.sprintf "Differential oracle to drive: %s"
+               (String.concat " | " (List.map fst oracle_enum))))
+  in
+  let budget =
+    Arg.(
+      value & opt int 50
+      & info [ "budget" ] ~docv:"N"
+          ~doc:"Total campaign case budget (resume continues toward it)")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Master campaign seed")
+  in
+  let corpus =
+    Arg.(
+      value
+      & opt string "artifacts/fuzz"
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:"Corpus directory (state, reproducers, report.json)")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:"Continue the campaign recorded in the corpus directory")
+  in
+  let minimize =
+    Arg.(
+      value & flag
+      & info [ "minimize" ]
+          ~doc:"Delta-debug every divergence down to a minimal reproducer")
+  in
+  let broken_op =
+    Arg.(
+      value & flag
+      & info [ "broken-op" ]
+          ~doc:
+            "Self-test: mutate with a deliberately broken operator; the             campaign then $(b,must) find divergences (exit 1 if it does not)")
+  in
+  let run oracle budget seed corpus resume minimize broken_op trace_file =
+    with_trace trace_file @@ fun () ->
+    let cfg =
+      {
+        (Fuzz.Campaign.default ~oracle) with
+        Fuzz.Campaign.cfg_budget = budget;
+        cfg_seed = seed;
+        cfg_corpus = corpus;
+        cfg_resume = resume;
+        cfg_minimize = minimize;
+        cfg_broken_op = broken_op;
+        cfg_log = (fun s -> Fmt.pr "fuzz: %s@." s);
+      }
+    in
+    match Fuzz.Campaign.run cfg with
+    | Error msg ->
+      Fmt.pr "fuzz: %s@." msg;
+      exit 2
+    | Ok r ->
+      Fmt.pr "%s@." (Fuzz.Campaign.summary r);
+      Fmt.pr "report: %s@." r.Fuzz.Campaign.rp_report_path;
+      let findings = r.Fuzz.Campaign.rp_divergence + r.Fuzz.Campaign.rp_crash in
+      if broken_op then begin
+        if findings = 0 then begin
+          Fmt.pr "fuzz: broken-op self-test found NO divergence@.";
+          exit 1
+        end
+      end
+      else if findings > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Run a differential fuzzing campaign over the batch netsim kernel,           the VTI flow, indexed readback, or the debug hub")
+    Term.(
+      const run $ oracle $ budget $ seed $ corpus $ resume $ minimize
+      $ broken_op $ trace_arg)
+
 let main =
   Cmd.group
     (Cmd.info "zoomie" ~version
        ~doc:"Software-like FPGA debugging: compile, program, and debug")
-    [ devices_cmd; sva_cmd; matrix_cmd; demo_cmd; verilog_cmd; repl_cmd; hub_cmd ]
+    [ devices_cmd; sva_cmd; matrix_cmd; demo_cmd; verilog_cmd; repl_cmd;
+      hub_cmd; fuzz_cmd ]
 
 let () = exit (Cmd.eval main)

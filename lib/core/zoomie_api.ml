@@ -28,6 +28,7 @@ module Hub = Zoomie_hub
 module Vti = Zoomie_vti
 module Workloads = Zoomie_workloads
 module Obs = Zoomie_obs.Obs
+module Fuzz = Zoomie_fuzz
 
 let version = "1.0.0"
 

@@ -32,6 +32,10 @@ module Workloads = Zoomie_workloads
 (** The observability registry and tracer shared by the whole stack. *)
 module Obs = Zoomie_obs.Obs
 
+(** Differential fuzzing: generators, mutation operators, oracles,
+    corpus, minimizer and the campaign driver behind [zoomie fuzz]. *)
+module Fuzz = Zoomie_fuzz
+
 val version : string
 
 (** A hardware project: design sources plus target and clocking choices.

@@ -1,0 +1,342 @@
+(* The campaign driver: a bounded, deterministic, resumable fuzzing loop.
+
+   Case [i] of a campaign is a pure function of (master seed, i): a
+   splitmix-mixed case seed drives circuit generation, the mutation
+   schedule (each entry with its own salt), and the command stream.  The
+   corpus directory checkpoints a cursor + outcome counts + a running
+   chain digest after every case, so `--resume` continues the schedule
+   exactly where it stopped, and a resumed campaign's final digest equals
+   a one-shot run of the same budget — the property `make fuzz-smoke`
+   pins in CI.
+
+   Results are published three ways: zoomie_obs counters/spans, a
+   report.json in the corpus, and reproducer files (raw under [cases/],
+   minimized + a Verilog dump under [min/]). *)
+
+module Obs = Zoomie_obs.Obs
+open Zoomie_rtl
+
+type config = {
+  cfg_oracle : Oracle.t;
+  cfg_budget : int;
+  cfg_seed : int;
+  cfg_corpus : string;
+  cfg_resume : bool;
+  cfg_minimize : bool;
+  cfg_broken_op : bool;
+      (** replace the oracle's operators with the deliberately broken one:
+          the self-test path, which MUST find (and minimize) divergences *)
+  cfg_max_minimize_tests : int;
+  cfg_log : string -> unit;
+}
+
+let default ~oracle =
+  {
+    cfg_oracle = oracle;
+    cfg_budget = 50;
+    cfg_seed = 1;
+    cfg_corpus = "artifacts/fuzz";
+    cfg_resume = false;
+    cfg_minimize = false;
+    cfg_broken_op = false;
+    cfg_max_minimize_tests = 400;
+    cfg_log = ignore;
+  }
+
+type report = {
+  rp_oracle : string;
+  rp_seed : int;
+  rp_budget : int;
+  rp_cases_run : int;  (** cases executed by this invocation *)
+  rp_cursor : int;  (** total cases executed across the campaign *)
+  rp_pass : int;
+  rp_divergence : int;
+  rp_crash : int;
+  rp_buckets : (string * int) list;
+  rp_min_steps : int;
+  rp_minimized : string list;  (** minimized reproducer paths written now *)
+  rp_wall_s : float;
+  rp_lane_cycles : int;  (** batch scenario-cycles simulated this run *)
+  rp_lane_cycles_per_s : float;
+  rp_schedule_digest : string;
+  rp_report_path : string;
+}
+
+let case_id ~oracle ~seed ~index =
+  Digest.to_hex (Digest.string (Printf.sprintf "%s:%d:%d" oracle seed index))
+
+(* Generate case [index] of the campaign: circuit, mutation schedule and
+   command stream, all from the mixed case seed. *)
+let gen_case ~seed ~index =
+  let cs = Gen.case_seed ~campaign:seed ~index in
+  let st = Random.State.make [| cs |] in
+  let original = Gen.gen_circuit st in
+  let n_mut = 1 + Random.State.int st 3 in
+  let schedule =
+    List.init n_mut (fun _ ->
+        let op_index = Random.State.int st 1_000_000 in
+        let salt = Random.State.int st 0x3FFFFFFF in
+        (op_index, salt))
+  in
+  let commands =
+    Gen.gen_commands st ~registers:Oracle.hub_registers ~watches:Oracle.hub_watches
+  in
+  (cs, original, schedule, commands)
+
+(* ------------------------------------------------------------------ *)
+(* Report JSON                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let report_to_json (r : report) =
+  let buf = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"oracle\": \"%s\",\n" (json_escape r.rp_oracle);
+  add "  \"seed\": %d,\n" r.rp_seed;
+  add "  \"budget\": %d,\n" r.rp_budget;
+  add "  \"cases_run\": %d,\n" r.rp_cases_run;
+  add "  \"cursor\": %d,\n" r.rp_cursor;
+  add "  \"pass\": %d,\n" r.rp_pass;
+  add "  \"divergence\": %d,\n" r.rp_divergence;
+  add "  \"crash\": %d,\n" r.rp_crash;
+  add "  \"buckets\": {";
+  List.iteri
+    (fun i (bucket, count) ->
+      add "%s\"%s\": %d" (if i = 0 then "" else ", ") (json_escape bucket) count)
+    r.rp_buckets;
+  add "},\n";
+  add "  \"min_steps\": %d,\n" r.rp_min_steps;
+  add "  \"minimized\": %d,\n" (List.length r.rp_minimized);
+  add "  \"wall_s\": %.6f,\n" r.rp_wall_s;
+  add "  \"lane_cycles\": %d,\n" r.rp_lane_cycles;
+  add "  \"lane_cycles_per_s\": %.6g,\n" r.rp_lane_cycles_per_s;
+  add "  \"schedule_digest\": \"%s\"\n" (json_escape r.rp_schedule_digest);
+  add "}\n";
+  Buffer.contents buf
+
+let summary (r : report) =
+  Printf.sprintf
+    "fuzz[%s]: %d/%d cases (seed %d) — %d pass, %d divergence, %d crash%s; \
+     %.2fs, %.0f lane-cycles/s, digest %s"
+    r.rp_oracle r.rp_cursor r.rp_budget r.rp_seed r.rp_pass r.rp_divergence
+    r.rp_crash
+    (if r.rp_buckets = [] then ""
+     else
+       Printf.sprintf " (%s)"
+         (String.concat ", "
+            (List.map (fun (b, n) -> Printf.sprintf "%s:%d" b n) r.rp_buckets)))
+    r.rp_wall_s r.rp_lane_cycles_per_s r.rp_schedule_digest
+
+(* ------------------------------------------------------------------ *)
+(* The driver                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let c_cases = Obs.counter "fuzz.cases"
+let c_pass = Obs.counter "fuzz.pass"
+let c_divergence = Obs.counter "fuzz.divergence"
+let c_crash = Obs.counter "fuzz.crash"
+let c_min_steps = Obs.counter "fuzz.minimize_steps"
+let h_case_s = Obs.histogram "fuzz.case_seconds"
+
+let run (cfg : config) : (report, string) result =
+  let oracle = cfg.cfg_oracle in
+  let ops =
+    if cfg.cfg_broken_op then [ Mutate.broken_op ] else oracle.Oracle.o_ops
+  in
+  Corpus.mkdir_p cfg.cfg_corpus;
+  let state0 =
+    if cfg.cfg_resume then
+      match Corpus.load_state cfg.cfg_corpus with
+      | None -> Ok (Corpus.fresh_state ~oracle:oracle.Oracle.o_name ~seed:cfg.cfg_seed)
+      | Some s ->
+        if s.Corpus.s_oracle <> oracle.Oracle.o_name then
+          Error
+            (Printf.sprintf
+               "corpus %s belongs to oracle %s, not %s — refusing to resume"
+               cfg.cfg_corpus s.Corpus.s_oracle oracle.Oracle.o_name)
+        else if s.Corpus.s_seed <> cfg.cfg_seed then
+          Error
+            (Printf.sprintf
+               "corpus %s was seeded with %d, not %d — refusing to resume"
+               cfg.cfg_corpus s.Corpus.s_seed cfg.cfg_seed)
+        else Ok s
+    else Ok (Corpus.fresh_state ~oracle:oracle.Oracle.o_name ~seed:cfg.cfg_seed)
+  in
+  match state0 with
+  | Error _ as e -> e
+  | Ok state0 ->
+    let t0 = Unix.gettimeofday () in
+    let cycles0 = Obs.counter_value Oracle.scenario_cycles in
+    let state = ref { state0 with Corpus.s_budget = max state0.Corpus.s_budget cfg.cfg_budget } in
+    let minimized = ref [] in
+    let start_cursor = !state.Corpus.s_cursor in
+    for index = start_cursor to cfg.cfg_budget - 1 do
+      let case_seed, original, schedule, commands = gen_case ~seed:cfg.cfg_seed ~index in
+      let id = case_id ~oracle:oracle.Oracle.o_name ~seed:cfg.cfg_seed ~index in
+      let mutant, applied = Mutate.apply_schedule ~ops original schedule in
+      let input =
+        {
+          Oracle.in_seed = case_seed;
+          in_original = original;
+          in_mutant = mutant;
+          in_commands = commands;
+        }
+      in
+      let case_t0 = Unix.gettimeofday () in
+      let verdict =
+        Obs.span ~cat:"fuzz" "fuzz.case" (fun () -> Oracle.classify oracle input)
+      in
+      Obs.observe h_case_s (Unix.gettimeofday () -. case_t0);
+      Obs.incr c_cases;
+      let outcome_tag =
+        match verdict with
+        | Oracle.Pass -> "pass"
+        | Oracle.Divergence d -> d.bucket
+        | Oracle.Crash d -> d.bucket
+      in
+      let chain =
+        Digest.to_hex
+          (Digest.string (!state.Corpus.s_chain ^ "|" ^ id ^ "=" ^ outcome_tag))
+      in
+      let s = !state in
+      let s =
+        match verdict with
+        | Oracle.Pass ->
+          Obs.incr c_pass;
+          { s with Corpus.s_pass = s.Corpus.s_pass + 1 }
+        | Oracle.Divergence { bucket; detail } | Oracle.Crash { bucket; detail }
+          ->
+          let is_crash = match verdict with Oracle.Crash _ -> true | _ -> false in
+          Obs.incr (if is_crash then c_crash else c_divergence);
+          cfg.cfg_log
+            (Printf.sprintf "case %d (%s): %s — %s" index id bucket detail);
+          let repro =
+            {
+              Corpus.r_id = id;
+              r_oracle = oracle.Oracle.o_name;
+              r_case_seed = case_seed;
+              r_schedule = schedule;
+              r_ops = applied;
+              r_original = original;
+              r_mutant = mutant;
+              r_commands = (if oracle.Oracle.o_uses_commands then commands else []);
+              r_bucket = bucket;
+              r_detail = detail;
+              r_minimized = false;
+              r_min_steps = 0;
+            }
+          in
+          ignore (Corpus.save_repro ~dir:cfg.cfg_corpus ~sub:"cases" repro);
+          let min_steps =
+            if not cfg.cfg_minimize then 0
+            else begin
+              match
+                try
+                  Some
+                    (Minimize.run ~max_tests:cfg.cfg_max_minimize_tests ~oracle
+                       ~ops ~bucket ~case_seed ~original ~schedule ~commands ())
+                with e ->
+                  cfg.cfg_log
+                    (Printf.sprintf "case %d: minimization failed: %s" index
+                       (Printexc.to_string e));
+                  None
+              with
+              | None -> 0
+              | Some m ->
+                Obs.incr ~by:m.Minimize.m_steps c_min_steps;
+                let mr =
+                  {
+                    repro with
+                    Corpus.r_original = m.Minimize.m_original;
+                    r_mutant = m.Minimize.m_mutant;
+                    r_schedule = m.Minimize.m_schedule;
+                    r_commands = m.Minimize.m_commands;
+                    r_minimized = true;
+                    r_min_steps = m.Minimize.m_steps;
+                  }
+                in
+                let path = Corpus.save_repro ~dir:cfg.cfg_corpus ~sub:"min" mr in
+                (* A human-readable companion next to the marshalled file. *)
+                (try
+                   let v =
+                     Verilog.of_design
+                       (Design.create ~top:m.Minimize.m_mutant.Circuit.name
+                          [ m.Minimize.m_mutant ])
+                   in
+                   Corpus.write_atomic
+                     (Filename.concat
+                        (Filename.concat cfg.cfg_corpus "min")
+                        (id ^ ".v"))
+                     v
+                 with _ -> ());
+                minimized := path :: !minimized;
+                cfg.cfg_log
+                  (Printf.sprintf
+                     "case %d: minimized in %d steps (%d oracle runs) -> %s"
+                     index m.Minimize.m_steps m.Minimize.m_tests path);
+                m.Minimize.m_steps
+            end
+          in
+          if is_crash then
+            {
+              s with
+              Corpus.s_crash = s.Corpus.s_crash + 1;
+              s_buckets = Corpus.bump_bucket s.Corpus.s_buckets bucket;
+              s_min_steps = s.Corpus.s_min_steps + min_steps;
+            }
+          else
+            {
+              s with
+              Corpus.s_divergence = s.Corpus.s_divergence + 1;
+              s_buckets = Corpus.bump_bucket s.Corpus.s_buckets bucket;
+              s_min_steps = s.Corpus.s_min_steps + min_steps;
+            }
+      in
+      state := { s with Corpus.s_cursor = index + 1; s_chain = chain };
+      Corpus.save_state cfg.cfg_corpus !state
+    done;
+    (* Also checkpoint campaigns that ran zero new cases (budget already
+       reached), so the report below matches the state file. *)
+    Corpus.save_state cfg.cfg_corpus !state;
+    let wall = Unix.gettimeofday () -. t0 in
+    let lane_cycles = Obs.counter_value Oracle.scenario_cycles - cycles0 in
+    let lane_cps = float_of_int lane_cycles /. max 1e-9 wall in
+    Obs.set_gauge (Obs.gauge "fuzz.lane_cycles_per_s") lane_cps;
+    let s = !state in
+    let report_path = Filename.concat cfg.cfg_corpus "report.json" in
+    let r =
+      {
+        rp_oracle = oracle.Oracle.o_name;
+        rp_seed = cfg.cfg_seed;
+        rp_budget = s.Corpus.s_budget;
+        rp_cases_run = s.Corpus.s_cursor - start_cursor;
+        rp_cursor = s.Corpus.s_cursor;
+        rp_pass = s.Corpus.s_pass;
+        rp_divergence = s.Corpus.s_divergence;
+        rp_crash = s.Corpus.s_crash;
+        rp_buckets = s.Corpus.s_buckets;
+        rp_min_steps = s.Corpus.s_min_steps;
+        rp_minimized = List.rev !minimized;
+        rp_wall_s = wall;
+        rp_lane_cycles = lane_cycles;
+        rp_lane_cycles_per_s = lane_cps;
+        rp_schedule_digest = s.Corpus.s_chain;
+        rp_report_path = report_path;
+      }
+    in
+    Corpus.write_atomic report_path (report_to_json r);
+    Ok r

@@ -1,0 +1,64 @@
+(** The campaign driver behind [zoomie fuzz]: a bounded, deterministic,
+    resumable loop.  Case [i] is a pure function of (master seed, [i]);
+    the corpus checkpoints a cursor and a running chain digest after
+    every case, so a resumed campaign's final digest equals a one-shot
+    run of the same budget.  Results publish as [fuzz.*] Obs metrics, a
+    [report.json] in the corpus, and reproducer files. *)
+
+type config = {
+  cfg_oracle : Oracle.t;
+  cfg_budget : int;  (** total campaign size; resume continues toward it *)
+  cfg_seed : int;
+  cfg_corpus : string;
+  cfg_resume : bool;
+  cfg_minimize : bool;
+  cfg_broken_op : bool;
+      (** replace the oracle's operators with the deliberately broken one:
+          the self-test path, which MUST find (and minimize) divergences *)
+  cfg_max_minimize_tests : int;
+  cfg_log : string -> unit;
+}
+
+(** Budget 50, seed 1, corpus "artifacts/fuzz", everything else off. *)
+val default : oracle:Oracle.t -> config
+
+type report = {
+  rp_oracle : string;
+  rp_seed : int;
+  rp_budget : int;
+  rp_cases_run : int;  (** cases executed by this invocation *)
+  rp_cursor : int;  (** total cases executed across the campaign *)
+  rp_pass : int;
+  rp_divergence : int;
+  rp_crash : int;
+  rp_buckets : (string * int) list;
+  rp_min_steps : int;
+  rp_minimized : string list;  (** minimized reproducer paths written now *)
+  rp_wall_s : float;
+  rp_lane_cycles : int;  (** batch scenario-cycles simulated this run *)
+  rp_lane_cycles_per_s : float;
+  rp_schedule_digest : string;
+  rp_report_path : string;
+}
+
+(** The deterministic id of case [index]. *)
+val case_id : oracle:string -> seed:int -> index:int -> string
+
+(** Generate case [index]: (case seed, circuit, mutation schedule,
+    command stream) — exactly what {!run} executes, exposed for tests. *)
+val gen_case :
+  seed:int ->
+  index:int ->
+  int
+  * Zoomie_rtl.Circuit.t
+  * (int * int) list
+  * Zoomie_debug.Repl.command list
+
+(** Run (or resume) a campaign.  [Error] when [cfg_resume] finds a
+    corpus recorded under a different oracle or seed. *)
+val run : config -> (report, string) result
+
+val report_to_json : report -> string
+
+(** One-line human summary (counts, buckets, throughput, digest). *)
+val summary : report -> string

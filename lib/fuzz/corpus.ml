@@ -1,0 +1,201 @@
+(* Persistent campaign corpus: a directory holding the campaign state
+   (seed, schedule cursor, outcome counts, running schedule digest),
+   reproducers for every divergence under [cases/], and minimized
+   reproducers under [min/].
+
+   The state file is a line-based `key value` format written atomically
+   (tmp + rename) after every case, so `zoomie fuzz --resume` can pick a
+   bounded campaign back up from exactly where it stopped.  Reproducers
+   are marshalled behind a magic+version header so a stale corpus fails
+   loudly instead of deserializing garbage. *)
+
+open Zoomie_rtl
+module Repl = Zoomie_debug.Repl
+
+exception Corrupt of string
+
+let rec mkdir_p dir =
+  if dir = "" || dir = "." || dir = "/" || Sys.file_exists dir then ()
+  else begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let write_atomic path text =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc text;
+  close_out oc;
+  Sys.rename tmp path
+
+(* ------------------------------------------------------------------ *)
+(* Reproducers                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let repro_magic = "zoomie-fuzz-repro"
+let repro_version = 1
+
+type reproducer = {
+  r_id : string;
+  r_oracle : string;
+  r_case_seed : int;
+  r_schedule : (int * int) list;  (** (op index, salt) mutation schedule *)
+  r_ops : string list;  (** applied operator names, for humans *)
+  r_original : Circuit.t;
+  r_mutant : Circuit.t;
+  r_commands : Repl.command list;
+  r_bucket : string;
+  r_detail : string;
+  r_minimized : bool;
+  r_min_steps : int;
+}
+
+let save_repro ~dir ~sub (r : reproducer) =
+  let d = Filename.concat dir sub in
+  mkdir_p d;
+  let path = Filename.concat d (r.r_id ^ ".repro") in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc (Printf.sprintf "%s %d\n" repro_magic repro_version);
+  Marshal.to_channel oc r [];
+  close_out oc;
+  Sys.rename tmp path;
+  path
+
+let load_repro path : reproducer =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let header = try input_line ic with End_of_file -> "" in
+      (match String.split_on_char ' ' header with
+      | [ m; v ] when m = repro_magic ->
+        if int_of_string_opt v <> Some repro_version then
+          raise (Corrupt (Printf.sprintf "%s: reproducer version %s, expected %d"
+                            path v repro_version))
+      | _ -> raise (Corrupt (path ^ ": not a zoomie-fuzz reproducer")));
+      (Marshal.from_channel ic : reproducer))
+
+let list_repros ~dir ~sub =
+  let d = Filename.concat dir sub in
+  if not (Sys.file_exists d) then []
+  else
+    Sys.readdir d |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".repro")
+    |> List.sort compare
+    |> List.map (Filename.concat d)
+
+(* ------------------------------------------------------------------ *)
+(* Campaign state                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let state_magic = "zoomie-fuzz-state"
+let state_version = 1
+
+type state = {
+  s_oracle : string;
+  s_seed : int;
+  s_budget : int;  (** highest budget this campaign has run to *)
+  s_cursor : int;  (** next case index to execute *)
+  s_pass : int;
+  s_divergence : int;
+  s_crash : int;
+  s_min_steps : int;
+  s_buckets : (string * int) list;
+  s_chain : string;  (** hex chain digest over (case id, outcome bucket) *)
+}
+
+let fresh_state ~oracle ~seed =
+  {
+    s_oracle = oracle;
+    s_seed = seed;
+    s_budget = 0;
+    s_cursor = 0;
+    s_pass = 0;
+    s_divergence = 0;
+    s_crash = 0;
+    s_min_steps = 0;
+    s_buckets = [];
+    s_chain = "";
+  }
+
+let state_path dir = Filename.concat dir "state.txt"
+
+let save_state dir (s : state) =
+  mkdir_p dir;
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "%s %d\n" state_magic state_version);
+  Buffer.add_string buf (Printf.sprintf "oracle %s\n" s.s_oracle);
+  Buffer.add_string buf (Printf.sprintf "seed %d\n" s.s_seed);
+  Buffer.add_string buf (Printf.sprintf "budget %d\n" s.s_budget);
+  Buffer.add_string buf (Printf.sprintf "cursor %d\n" s.s_cursor);
+  Buffer.add_string buf (Printf.sprintf "pass %d\n" s.s_pass);
+  Buffer.add_string buf (Printf.sprintf "divergence %d\n" s.s_divergence);
+  Buffer.add_string buf (Printf.sprintf "crash %d\n" s.s_crash);
+  Buffer.add_string buf (Printf.sprintf "min_steps %d\n" s.s_min_steps);
+  Buffer.add_string buf (Printf.sprintf "chain %s\n" s.s_chain);
+  List.iter
+    (fun (bucket, count) ->
+      Buffer.add_string buf (Printf.sprintf "bucket %d %s\n" count bucket))
+    s.s_buckets;
+  write_atomic (state_path dir) (Buffer.contents buf)
+
+let load_state dir : state option =
+  let path = state_path dir in
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in path in
+    let lines = ref [] in
+    (try
+       while true do
+         lines := input_line ic :: !lines
+       done
+     with End_of_file -> close_in ic);
+    match List.rev !lines with
+    | [] -> raise (Corrupt (path ^ ": empty state file"))
+    | header :: rest ->
+      (match String.split_on_char ' ' header with
+      | [ m; v ] when m = state_magic && int_of_string_opt v = Some state_version
+        ->
+        ()
+      | _ -> raise (Corrupt (path ^ ": not a zoomie-fuzz state file")));
+      let state = ref (fresh_state ~oracle:"" ~seed:0) in
+      let int_of key v =
+        match int_of_string_opt v with
+        | Some i -> i
+        | None -> raise (Corrupt (Printf.sprintf "%s: bad %s %S" path key v))
+      in
+      List.iter
+        (fun line ->
+          match String.index_opt line ' ' with
+          | None -> ()
+          | Some i -> (
+            let key = String.sub line 0 i in
+            let v = String.sub line (i + 1) (String.length line - i - 1) in
+            match key with
+            | "oracle" -> state := { !state with s_oracle = v }
+            | "seed" -> state := { !state with s_seed = int_of key v }
+            | "budget" -> state := { !state with s_budget = int_of key v }
+            | "cursor" -> state := { !state with s_cursor = int_of key v }
+            | "pass" -> state := { !state with s_pass = int_of key v }
+            | "divergence" -> state := { !state with s_divergence = int_of key v }
+            | "crash" -> state := { !state with s_crash = int_of key v }
+            | "min_steps" -> state := { !state with s_min_steps = int_of key v }
+            | "chain" -> state := { !state with s_chain = v }
+            | "bucket" -> (
+              match String.index_opt v ' ' with
+              | None -> raise (Corrupt (path ^ ": bad bucket line"))
+              | Some j ->
+                let count = int_of "bucket" (String.sub v 0 j) in
+                let bucket = String.sub v (j + 1) (String.length v - j - 1) in
+                state :=
+                  { !state with s_buckets = !state.s_buckets @ [ (bucket, count) ] })
+            | _ -> () (* forward compatibility: ignore unknown keys *)))
+        rest;
+      Some !state
+  end
+
+let bump_bucket buckets bucket =
+  if List.mem_assoc bucket buckets then
+    List.map (fun (b, n) -> if b = bucket then (b, n + 1) else (b, n)) buckets
+  else buckets @ [ (bucket, 1) ]

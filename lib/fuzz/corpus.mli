@@ -1,0 +1,68 @@
+(** Persistent campaign corpus: a directory holding the campaign state
+    (seed, schedule cursor, outcome counts, running chain digest),
+    reproducers for every divergence under [cases/], and minimized
+    reproducers under [min/].  The state file is written atomically
+    after every case so [zoomie fuzz --resume] continues exactly where
+    a bounded campaign stopped. *)
+
+open Zoomie_rtl
+
+(** A corpus file that fails its magic/version check. *)
+exception Corrupt of string
+
+val mkdir_p : string -> unit
+
+(** Write [text] to [path] atomically (tmp + rename). *)
+val write_atomic : string -> string -> unit
+
+type reproducer = {
+  r_id : string;
+  r_oracle : string;
+  r_case_seed : int;
+  r_schedule : (int * int) list;  (** (op index, salt) mutation schedule *)
+  r_ops : string list;  (** applied operator names, for humans *)
+  r_original : Circuit.t;
+  r_mutant : Circuit.t;
+  r_commands : Zoomie_debug.Repl.command list;
+  r_bucket : string;
+  r_detail : string;
+  r_minimized : bool;
+  r_min_steps : int;
+}
+
+(** [save_repro ~dir ~sub r] writes [dir/sub/<id>.repro] (magic+version
+    header, then marshalled record) atomically; returns the path. *)
+val save_repro : dir:string -> sub:string -> reproducer -> string
+
+(** Load a reproducer; raises {!Corrupt} on a bad header or version. *)
+val load_repro : string -> reproducer
+
+(** Sorted [.repro] paths under [dir/sub] ([] if the directory is
+    missing). *)
+val list_repros : dir:string -> sub:string -> string list
+
+type state = {
+  s_oracle : string;
+  s_seed : int;
+  s_budget : int;  (** highest budget this campaign has run to *)
+  s_cursor : int;  (** next case index to execute *)
+  s_pass : int;
+  s_divergence : int;
+  s_crash : int;
+  s_min_steps : int;
+  s_buckets : (string * int) list;
+  s_chain : string;  (** hex chain digest over (case id, outcome bucket) *)
+}
+
+val fresh_state : oracle:string -> seed:int -> state
+val state_path : string -> string
+
+(** Checkpoint the state into [dir/state.txt] (line-based, atomic). *)
+val save_state : string -> state -> unit
+
+(** [None] if no state file exists; raises {!Corrupt} on a bad header. *)
+val load_state : string -> state option
+
+(** Increment a bucket count, appending new buckets at the end so the
+    order is first-seen. *)
+val bump_bucket : (string * int) list -> string -> (string * int) list

@@ -1,10 +1,26 @@
-(* Random generators shared by the property-test suites: random expressions
-   of a target width over a set of available signals, and random-but-valid
-   flat circuits used for synthesis-equivalence testing. *)
+(* Random generators shared by the property-test suites and the fuzzing
+   campaign driver: random expressions of a target width over a set of
+   available signals, random-but-valid flat circuits, random hierarchical
+   designs, and random debug command streams.  Everything is driven by an
+   explicit [Random.State.t] so campaigns replay deterministically. *)
 
 open Zoomie_rtl
+module Repl = Zoomie_debug.Repl
 
 let pick st l = List.nth l (Random.State.int st (List.length l))
+
+(* Deterministic per-case seed: a splitmix-style mix of the campaign
+   master seed and the case index, so dropping or reordering cases never
+   perturbs any other case's stream. Constants are arbitrary odd numbers
+   that fit OCaml's 63-bit native int. *)
+let mix z =
+  let z = z lxor (z lsr 33) in
+  let z = z * 0x2545F4914F6CDD1D in
+  let z = z lxor (z lsr 29) in
+  let z = z * 0x5851F42D4C958 in
+  (z lxor (z lsr 32)) land max_int
+
+let case_seed ~campaign ~index = mix ((campaign * 0x9E3779B9) lxor ((index + 1) * 0x5DEECE66D))
 
 (* Random expression of width [w] over [signals] (name, id, width), with
    bounded depth. *)
@@ -171,3 +187,50 @@ let gen_hier_design st =
   ignore (Builder.output b "out" 4 !feed);
   ( Design.create ~top:"hier_top" (Builder.finish b :: leaves),
     List.map (fun (c : Circuit.t) -> c.Circuit.name) leaves )
+
+(* Random non-empty subset of [names], preserving order — the overlapping
+   register selections of the hub/readback differentials. *)
+let gen_selection st names =
+  match names with
+  | [] -> []
+  | _ ->
+    let chosen = List.filter (fun _ -> Random.State.bool st) names in
+    if chosen = [] then [ pick st names ] else chosen
+
+(* Random debug command stream over a session whose MUT exposes
+   [registers] (name, width) and [watches] (name, width).  Restricted to
+   commands whose transcripts are deterministic functions of board state
+   (no wall-clock, no file IO), so two sessions fed the same stream must
+   produce identical transcripts. *)
+let gen_commands ?(length = 12) st ~registers ~watches =
+  let value w = Random.State.int st (1 lsl min 16 w) in
+  let cmd () =
+    match Random.State.int st 12 with
+    | 0 -> Repl.Step (1 + Random.State.int st 8)
+    | 1 -> Repl.Run (1 + Random.State.int st 32)
+    | 2 -> Repl.Continue (1 + Random.State.int st 32)
+    | 3 -> Repl.Pause
+    | 4 -> Repl.Resume
+    | 5 ->
+      let n, _ = pick st registers in
+      Repl.Print n
+    | 6 -> Repl.State
+    | 7 -> Repl.Cycles
+    | 8 ->
+      let n, w = pick st registers in
+      Repl.Inject (n, value w)
+    | 9 -> (
+      match watches with
+      | [] -> Repl.Cycles
+      | _ ->
+        let n, w = pick st watches in
+        Repl.Break_all [ (n, value w) ])
+    | 10 -> (
+      match watches with
+      | [] -> Repl.State
+      | _ ->
+        let n, w = pick st watches in
+        Repl.Break_any [ (n, value w) ])
+    | _ -> Repl.Clear
+  in
+  List.init length (fun _ -> cmd ())

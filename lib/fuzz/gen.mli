@@ -1,0 +1,54 @@
+(** Random generators shared by the property-test suites and the fuzzing
+    campaign: expressions, flat circuits, hierarchical designs, register
+    selections, and debug command streams.  Everything draws from an
+    explicit [Random.State.t] so campaigns replay deterministically. *)
+
+open Zoomie_rtl
+
+(** Uniform choice from a non-empty list. *)
+val pick : Random.State.t -> 'a list -> 'a
+
+(** Deterministic per-case seed: a splitmix-style mix of the campaign
+    master seed and the case index, so dropping or reordering cases never
+    perturbs any other case's stream. *)
+val case_seed : campaign:int -> index:int -> int
+
+(** [gen_expr st ~signals ~w ~depth] generates a random expression of
+    width [w] over the [(name, id, width)] signals, with bounded depth. *)
+val gen_expr :
+  Random.State.t ->
+  signals:(string * int * int) list ->
+  w:int ->
+  depth:int ->
+  Expr.t
+
+(** Random valid flat circuit ("random_dut"): clocked inputs, registers
+    with random enables/resets, chained comb wires, outputs exposing
+    every register and wire. *)
+val gen_circuit : ?max_width:int -> Random.State.t -> Circuit.t
+
+(** Drive the RTL simulator and the synthesized netlist engine with the
+    same random stimulus for [cycles] cycles; [Some description] on the
+    first output mismatch, [None] if they agree throughout. *)
+val check_equivalence :
+  ?cycles:int -> Random.State.t -> Circuit.t -> string option
+
+(** Random hierarchical design (a few leaf modules instantiated several
+    times behind a random top); returns it with the leaf module names. *)
+val gen_hier_design : Random.State.t -> Design.t * string list
+
+(** Random non-empty subset of the given names, preserving order — the
+    overlapping register selections of the hub/readback differentials.
+    Empty input yields the empty list. *)
+val gen_selection : Random.State.t -> string list -> string list
+
+(** Random debug command stream over a MUT exposing [registers] and
+    [watches] (name, width pairs).  Restricted to commands whose REPL
+    transcripts are deterministic functions of board state (no
+    wall-clock, no file IO). *)
+val gen_commands :
+  ?length:int ->
+  Random.State.t ->
+  registers:(string * int) list ->
+  watches:(string * int) list ->
+  Zoomie_debug.Repl.command list

@@ -1,0 +1,217 @@
+(* Delta-debugging minimizer: shrink a diverging (circuit, mutation
+   schedule, command stream) triple while the oracle keeps reporting the
+   *same* divergence bucket.
+
+   Three phases, all bounded by a shared oracle-invocation budget:
+
+   1. ddmin over the mutation schedule — each entry carries its own RNG
+      salt, so dropping one never perturbs the draws of the survivors;
+   2. ddmin over the command stream (command-driven oracles only);
+   3. greedy structural reductions on the *original* circuit (demote an
+      output, zero an assign, freeze a register to its init, drop an
+      enable/reset), re-applying the surviving schedule after each — run
+      to fixpoint, committing only reductions that strictly shrink
+      {!size} and keep the bucket alive.
+
+   Reductions never remove signals (ids are array indices), so every
+   schedule salt keeps drawing against a stable signal inventory and the
+   shrunk reproducer stays deterministic. *)
+
+open Zoomie_rtl
+
+type result = {
+  m_original : Circuit.t;
+  m_schedule : (int * int) list;
+  m_commands : Zoomie_debug.Repl.command list;
+  m_mutant : Circuit.t;
+  m_steps : int;  (** committed shrink steps *)
+  m_tests : int;  (** oracle invocations spent *)
+}
+
+(* Size metric the reductions strictly decrease: expression nodes +
+   output count + signal count. *)
+let size (c : Circuit.t) =
+  let assigns =
+    List.fold_left
+      (fun acc (a : Circuit.assign) -> acc + Expr.node_count a.Circuit.rhs)
+      0 c.Circuit.assigns
+  in
+  let regs =
+    List.fold_left
+      (fun acc (r : Circuit.register) ->
+        acc + Expr.node_count r.Circuit.next
+        + (match r.Circuit.enable with Some e -> Expr.node_count e | None -> 0)
+        + (match r.Circuit.reset with Some (e, _) -> Expr.node_count e | None -> 0))
+      0 c.Circuit.registers
+  in
+  assigns + regs
+  + List.length (Circuit.outputs c)
+  + Array.length c.Circuit.signals
+
+(* Zeller-style ddmin over a list: largest chunks first, [test] must stay
+   true for the kept complement. *)
+let ddmin test items =
+  let rec go items n =
+    let len = List.length items in
+    if len <= 1 || n > len then items
+    else begin
+      let chunk = max 1 (len / n) in
+      let rec try_drop start =
+        if start >= len then None
+        else
+          let kept =
+            List.filteri (fun i _ -> i < start || i >= start + chunk) items
+          in
+          if List.length kept < len && test kept then Some kept
+          else try_drop (start + chunk)
+      in
+      match try_drop 0 with
+      | Some kept -> go kept (max 2 (n - 1))
+      | None -> if n >= len then items else go items (min len (2 * n))
+    end
+  in
+  go items 2
+
+(* One-step structural reductions of a circuit, all strictly shrinking. *)
+let reductions (c : Circuit.t) : Circuit.t list =
+  let demote_outputs =
+    Array.to_list c.Circuit.signals
+    |> List.filter (fun (s : Circuit.signal) ->
+           s.Circuit.direction = Some Circuit.Output)
+    |> List.map (fun (s : Circuit.signal) ->
+           {
+             c with
+             Circuit.signals =
+               Array.map
+                 (fun (s' : Circuit.signal) ->
+                   if s'.Circuit.id = s.Circuit.id then
+                     { s' with Circuit.direction = None }
+                   else s')
+                 c.Circuit.signals;
+           })
+  in
+  let zero_assigns =
+    List.filteri (fun _ (a : Circuit.assign) -> Expr.node_count a.Circuit.rhs > 1)
+      c.Circuit.assigns
+    |> List.map (fun (a : Circuit.assign) ->
+           let w = Circuit.signal_width c a.Circuit.lhs in
+           {
+             c with
+             Circuit.assigns =
+               List.map
+                 (fun (a' : Circuit.assign) ->
+                   if a'.Circuit.lhs = a.Circuit.lhs then
+                     { a' with Circuit.rhs = Expr.Const (Bits.zero w) }
+                   else a')
+                 c.Circuit.assigns;
+           })
+  in
+  let freeze_regs =
+    List.filter (fun (r : Circuit.register) -> Expr.node_count r.Circuit.next > 1)
+      c.Circuit.registers
+    |> List.map (fun (r : Circuit.register) ->
+           {
+             c with
+             Circuit.registers =
+               List.map
+                 (fun (r' : Circuit.register) ->
+                   if r'.Circuit.q = r.Circuit.q then
+                     { r' with Circuit.next = Expr.Const r'.Circuit.init }
+                   else r')
+                 c.Circuit.registers;
+           })
+  in
+  let drop_enables =
+    List.filter (fun (r : Circuit.register) -> r.Circuit.enable <> None)
+      c.Circuit.registers
+    |> List.map (fun (r : Circuit.register) ->
+           {
+             c with
+             Circuit.registers =
+               List.map
+                 (fun (r' : Circuit.register) ->
+                   if r'.Circuit.q = r.Circuit.q then { r' with Circuit.enable = None }
+                   else r')
+                 c.Circuit.registers;
+           })
+  in
+  let drop_resets =
+    List.filter (fun (r : Circuit.register) -> r.Circuit.reset <> None)
+      c.Circuit.registers
+    |> List.map (fun (r : Circuit.register) ->
+           {
+             c with
+             Circuit.registers =
+               List.map
+                 (fun (r' : Circuit.register) ->
+                   if r'.Circuit.q = r.Circuit.q then { r' with Circuit.reset = None }
+                   else r')
+                 c.Circuit.registers;
+           })
+  in
+  demote_outputs @ zero_assigns @ freeze_regs @ drop_enables @ drop_resets
+
+let run ?(max_tests = 400) ~oracle ~ops ~bucket ~case_seed ~original ~schedule
+    ~commands () =
+  let tests = ref 0 in
+  let steps = ref 0 in
+  let check ~orig ~sched ~cmds =
+    if !tests >= max_tests then false
+    else begin
+      incr tests;
+      let mutant, _ = Mutate.apply_schedule ~ops orig sched in
+      let input =
+        {
+          Oracle.in_seed = case_seed;
+          in_original = orig;
+          in_mutant = mutant;
+          in_commands = cmds;
+        }
+      in
+      match Oracle.classify oracle input with
+      | Oracle.Divergence d -> d.bucket = bucket
+      | Oracle.Crash d -> d.bucket = bucket
+      | Oracle.Pass -> false
+    end
+  in
+  let orig = ref original in
+  let sched = ref schedule in
+  let cmds = ref commands in
+  (* Phase 1: shrink the mutation schedule. *)
+  let sched' = ddmin (fun s -> check ~orig:!orig ~sched:s ~cmds:!cmds) !sched in
+  steps := !steps + (List.length !sched - List.length sched');
+  sched := sched';
+  (* Phase 2: shrink the command stream. *)
+  if oracle.Oracle.o_uses_commands then begin
+    let cmds' = ddmin (fun cs -> check ~orig:!orig ~sched:!sched ~cmds:cs) !cmds in
+    steps := !steps + (List.length !cmds - List.length cmds');
+    cmds := cmds'
+  end;
+  (* Phase 3: structural reductions to fixpoint. *)
+  let progress = ref true in
+  while !progress && !tests < max_tests do
+    progress := false;
+    (try
+       List.iter
+         (fun candidate ->
+           if
+             size candidate < size !orig
+             && check ~orig:candidate ~sched:!sched ~cmds:!cmds
+           then begin
+             orig := candidate;
+             incr steps;
+             progress := true;
+             raise Exit
+           end)
+         (reductions !orig)
+     with Exit -> ())
+  done;
+  let mutant, _ = Mutate.apply_schedule ~ops !orig !sched in
+  {
+    m_original = !orig;
+    m_schedule = !sched;
+    m_commands = !cmds;
+    m_mutant = mutant;
+    m_steps = !steps;
+    m_tests = !tests;
+  }

@@ -1,0 +1,41 @@
+(** Delta-debugging minimizer: shrink a diverging (circuit, mutation
+    schedule, command stream) triple while the oracle keeps reporting
+    the $(i,same) divergence bucket.  Three phases share one
+    oracle-invocation budget: ddmin over the mutation schedule, ddmin
+    over the command stream, then greedy structural circuit reductions
+    to fixpoint.  Reductions never remove signals, so every schedule
+    salt keeps drawing against a stable signal inventory. *)
+
+open Zoomie_rtl
+
+type result = {
+  m_original : Circuit.t;
+  m_schedule : (int * int) list;
+  m_commands : Zoomie_debug.Repl.command list;
+  m_mutant : Circuit.t;
+  m_steps : int;  (** committed shrink steps *)
+  m_tests : int;  (** oracle invocations spent *)
+}
+
+(** The size metric the structural reductions strictly decrease:
+    expression nodes + output count + signal count. *)
+val size : Circuit.t -> int
+
+(** Zeller-style ddmin over a list: largest chunks first; [test] must
+    stay true for every kept complement. *)
+val ddmin : ('a list -> bool) -> 'a list -> 'a list
+
+(** Minimize a reproducer.  [bucket] is the divergence bucket that must
+    stay alive; [schedule] and [commands] are the original case's.  The
+    result is never larger than the input on any axis. *)
+val run :
+  ?max_tests:int ->
+  oracle:Oracle.t ->
+  ops:Mutate.op list ->
+  bucket:string ->
+  case_seed:int ->
+  original:Circuit.t ->
+  schedule:(int * int) list ->
+  commands:Zoomie_debug.Repl.command list ->
+  unit ->
+  result

@@ -1,0 +1,302 @@
+(* Semantics-preserving mutation operators over flat circuits — the
+   metamorphic half of the differential fuzzer (after Zhang et al.'s
+   mutation-based synthesis-tool testing).  Every operator in
+   [interface_preserving_ops] / [default_ops] must leave the observable
+   behaviour of the circuit's original outputs unchanged; the deliberately
+   wrong [broken_op] is the injected fault used by the self-test path.
+
+   Operators are applied from a (op index, salt) schedule: each entry
+   draws from its own [Random.State] seeded by the salt, so a
+   delta-debugger can drop one entry without perturbing the draws of any
+   other.  Applications that produce an invalid circuit (Check.validate
+   fails) are skipped rather than propagated. *)
+
+open Zoomie_rtl
+
+type op = {
+  op_name : string;
+  op_apply : Random.State.t -> Circuit.t -> Circuit.t option;
+      (* [None] when the operator has no applicable site in this circuit *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Expression-rewrite machinery                                        *)
+(* ------------------------------------------------------------------ *)
+
+type site = Site_assign of int | Site_reg of int
+
+let sites (c : Circuit.t) =
+  List.mapi (fun i _ -> Site_assign i) c.Circuit.assigns
+  @ List.mapi (fun i _ -> Site_reg i) c.Circuit.registers
+
+let site_expr (c : Circuit.t) = function
+  | Site_assign i -> (List.nth c.Circuit.assigns i).Circuit.rhs
+  | Site_reg i -> (List.nth c.Circuit.registers i).Circuit.next
+
+let with_site_expr (c : Circuit.t) site e =
+  match site with
+  | Site_assign i ->
+    {
+      c with
+      Circuit.assigns =
+        List.mapi
+          (fun j (a : Circuit.assign) ->
+            if j = i then { a with Circuit.rhs = e } else a)
+          c.Circuit.assigns;
+    }
+  | Site_reg i ->
+    {
+      c with
+      Circuit.registers =
+        List.mapi
+          (fun j (r : Circuit.register) ->
+            if j = i then { r with Circuit.next = e } else r)
+          c.Circuit.registers;
+    }
+
+(* Rewrite the [target]-th node (preorder) of [e] with [f]; nodes are
+   indexed by visit order, and the rewritten subtree is not descended. *)
+let rewrite_nth e ~target ~f =
+  let k = ref (-1) in
+  let rec go e =
+    incr k;
+    if !k = target then f e
+    else
+      match e with
+      | Expr.Const _ | Expr.Signal _ -> e
+      | Expr.Not a -> Expr.Not (go a)
+      | Expr.And (a, b) -> Expr.And (go a, go b)
+      | Expr.Or (a, b) -> Expr.Or (go a, go b)
+      | Expr.Xor (a, b) -> Expr.Xor (go a, go b)
+      | Expr.Add (a, b) -> Expr.Add (go a, go b)
+      | Expr.Sub (a, b) -> Expr.Sub (go a, go b)
+      | Expr.Mul (a, b) -> Expr.Mul (go a, go b)
+      | Expr.Eq (a, b) -> Expr.Eq (go a, go b)
+      | Expr.Lt (a, b) -> Expr.Lt (go a, go b)
+      | Expr.Mux (s, t, e') -> Expr.Mux (go s, go t, go e')
+      | Expr.Concat (a, b) -> Expr.Concat (go a, go b)
+      | Expr.Slice (a, hi, lo) -> Expr.Slice (go a, hi, lo)
+      | Expr.Shift_left (a, n) -> Expr.Shift_left (go a, n)
+      | Expr.Shift_right (a, n) -> Expr.Shift_right (go a, n)
+      | Expr.Reduce_or a -> Expr.Reduce_or (go a)
+      | Expr.Reduce_and a -> Expr.Reduce_and (go a)
+      | Expr.Reduce_xor a -> Expr.Reduce_xor (go a)
+  in
+  go e
+
+(* Total node count in [rewrite_nth]'s preorder indexing — unlike
+   [Expr.node_count], leaves count too (a bare [Signal] rhs has 1). *)
+let rec total_nodes = function
+  | Expr.Const _ | Expr.Signal _ -> 1
+  | Expr.Not a
+  | Expr.Slice (a, _, _)
+  | Expr.Shift_left (a, _)
+  | Expr.Shift_right (a, _)
+  | Expr.Reduce_or a | Expr.Reduce_and a | Expr.Reduce_xor a ->
+    1 + total_nodes a
+  | Expr.And (a, b) | Expr.Or (a, b) | Expr.Xor (a, b)
+  | Expr.Add (a, b) | Expr.Sub (a, b) | Expr.Mul (a, b)
+  | Expr.Eq (a, b) | Expr.Lt (a, b) | Expr.Concat (a, b) ->
+    1 + total_nodes a + total_nodes b
+  | Expr.Mux (s, a, b) -> 1 + total_nodes s + total_nodes a + total_nodes b
+
+(* An operator that rewrites one random subterm somewhere in the circuit.
+   [f ~width sub] returns the (width-preserving) replacement or [None]
+   when the rewrite does not apply to this node shape; a bounded number
+   of random (site, node) draws is attempted before giving up. *)
+let expr_rewrite_op name (f : width:int -> Expr.t -> Expr.t option) =
+  let apply st (c : Circuit.t) =
+    let all = sites c in
+    if all = [] then None
+    else
+      let width_of e = Expr.width_of (Circuit.signal_width c) e in
+      let n_sites = List.length all in
+      let rec attempt tries =
+        if tries = 0 then None
+        else
+          let s = List.nth all (Random.State.int st n_sites) in
+          let e = site_expr c s in
+          let target = Random.State.int st (total_nodes e) in
+          let hit = ref false in
+          let e' =
+            rewrite_nth e ~target ~f:(fun sub ->
+                match f ~width:(width_of sub) sub with
+                | Some r ->
+                  hit := true;
+                  r
+                | None -> sub)
+          in
+          if !hit then Some (with_site_expr c s e') else attempt (tries - 1)
+      in
+      attempt 16
+  in
+  { op_name = name; op_apply = apply }
+
+(* ------------------------------------------------------------------ *)
+(* Circuit-level helpers                                               *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_name (c : Circuit.t) base =
+  let exists n =
+    Array.exists (fun (s : Circuit.signal) -> s.Circuit.name = n) c.Circuit.signals
+  in
+  let rec go i =
+    let n = Printf.sprintf "%s%d" base i in
+    if exists n then go (i + 1) else n
+  in
+  go (Array.length c.Circuit.signals)
+
+(* Signal ids are indices into [signals]; appended signals take the next
+   index so every existing id stays valid. *)
+let append_signal (c : Circuit.t) ~name ~width ~direction =
+  let id = Array.length c.Circuit.signals in
+  let s = { Circuit.id; name; width; direction } in
+  ({ c with Circuit.signals = Array.append c.Circuit.signals [| s |] }, id)
+
+let readable_signals (c : Circuit.t) =
+  Array.to_list c.Circuit.signals
+  |> List.filter_map (fun (s : Circuit.signal) ->
+         if s.Circuit.width > 0 then Some (s.Circuit.name, s.Circuit.id, s.Circuit.width)
+         else None)
+
+(* ------------------------------------------------------------------ *)
+(* The operator set                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* e == ~~e at any width. *)
+let double_neg =
+  expr_rewrite_op "double-neg" (fun ~width:_ e -> Some (Expr.Not (Expr.Not e)))
+
+(* De Morgan on a random And/Or node. *)
+let demorgan =
+  expr_rewrite_op "demorgan" (fun ~width:_ e ->
+      match e with
+      | Expr.And (a, b) -> Some (Expr.Not (Expr.Or (Expr.Not a, Expr.Not b)))
+      | Expr.Or (a, b) -> Some (Expr.Not (Expr.And (Expr.Not a, Expr.Not b)))
+      | _ -> None)
+
+(* e == e ^ 0. *)
+let xor_zero =
+  expr_rewrite_op "xor-zero" (fun ~width e ->
+      Some (Expr.Xor (e, Expr.Const (Bits.zero width))))
+
+(* e == mux(1, e, 0). *)
+let mux_fold =
+  expr_rewrite_op "mux-fold" (fun ~width e ->
+      Some (Expr.Mux (Expr.vdd, e, Expr.Const (Bits.zero width))))
+
+(* Dead-logic insertion: a fresh wire, driven by a random expression over
+   the existing signals, that nothing reads. *)
+let dead_wire =
+  let apply st (c : Circuit.t) =
+    let signals = readable_signals c in
+    if signals = [] then None
+    else
+      let w = 1 + Random.State.int st 8 in
+      let rhs = Gen.gen_expr st ~signals ~w ~depth:2 in
+      let c', id =
+        append_signal c ~name:(fresh_name c "fz_dead") ~width:w ~direction:None
+      in
+      Some
+        { c' with Circuit.assigns = c'.Circuit.assigns @ [ { Circuit.lhs = id; rhs } ] }
+  in
+  { op_name = "dead-wire"; op_apply = apply }
+
+(* Retiming-safe FF clone: duplicate a random register (same clock, next,
+   enable, reset, init) under a fresh, unread name. *)
+let ff_clone =
+  let apply st (c : Circuit.t) =
+    match c.Circuit.registers with
+    | [] -> None
+    | regs ->
+      let r = List.nth regs (Random.State.int st (List.length regs)) in
+      let w = Circuit.signal_width c r.Circuit.q in
+      let c', id =
+        append_signal c ~name:(fresh_name c "fz_ff") ~width:w ~direction:None
+      in
+      Some
+        { c' with Circuit.registers = c'.Circuit.registers @ [ { r with Circuit.q = id } ] }
+  in
+  { op_name = "ff-clone"; op_apply = apply }
+
+(* Probe perturbation: expose a random internal signal as a new output —
+   what a debugging iteration does before a VTI recompile.  Changes the
+   port list, so it is excluded from [interface_preserving_ops]. *)
+let probe_output =
+  let apply st (c : Circuit.t) =
+    let internal =
+      Array.to_list c.Circuit.signals
+      |> List.filter (fun (s : Circuit.signal) ->
+             s.Circuit.direction = None && s.Circuit.width > 0)
+    in
+    match internal with
+    | [] -> None
+    | l ->
+      let s = List.nth l (Random.State.int st (List.length l)) in
+      let c', id =
+        append_signal c ~name:(fresh_name c "fz_probe") ~width:s.Circuit.width
+          ~direction:(Some Circuit.Output)
+      in
+      Some
+        {
+          c' with
+          Circuit.assigns =
+            c'.Circuit.assigns @ [ { Circuit.lhs = id; Circuit.rhs = Expr.Signal s.Circuit.id } ];
+        }
+  in
+  { op_name = "probe-output"; op_apply = apply }
+
+(* The deliberately broken operator: a semantics-*changing* rewrite kept
+   out of every default set.  `zoomie fuzz --broken-op` and the minimizer
+   tests inject it to prove the campaign detects and shrinks real
+   divergences. *)
+let broken_op =
+  expr_rewrite_op "broken-op" (fun ~width:_ e ->
+      match e with
+      | Expr.And (a, b) -> Some (Expr.Or (a, b))
+      | Expr.Or (a, b) -> Some (Expr.And (a, b))
+      | Expr.Xor (a, b) -> Some (Expr.Or (a, b))
+      | Expr.Add (a, b) -> Some (Expr.Sub (a, b))
+      | Expr.Not a -> Some a
+      | _ -> None)
+
+(* Operators that keep the module interface (port list) intact — required
+   by the VTI oracle, whose mutant must still fit the partition's pins. *)
+let interface_preserving_ops =
+  [ double_neg; demorgan; xor_zero; mux_fold; dead_wire; ff_clone ]
+
+let default_ops = interface_preserving_ops @ [ probe_output ]
+
+let find_op name =
+  List.find_opt (fun o -> o.op_name = name) (broken_op :: default_ops)
+
+(* ------------------------------------------------------------------ *)
+(* Schedule application                                                *)
+(* ------------------------------------------------------------------ *)
+
+let apply_one op ~salt c =
+  let st = Random.State.make [| salt |] in
+  match op.op_apply st c with
+  | None -> None
+  | Some c' -> (
+    try
+      ignore (Check.validate c');
+      Some c'
+    with Check.Check_error _ -> None)
+
+(* Apply a (op index, salt) schedule left to right; entries that do not
+   apply are skipped.  Returns the mutant and the applied operator names. *)
+let apply_schedule ~ops (c : Circuit.t) schedule =
+  let n_ops = List.length ops in
+  let c, applied =
+    List.fold_left
+      (fun (c, applied) (op_index, salt) ->
+        if n_ops = 0 then (c, applied)
+        else
+          let op = List.nth ops (op_index mod n_ops) in
+          match apply_one op ~salt c with
+          | Some c' -> (c', op.op_name :: applied)
+          | None -> (c, applied))
+      (c, []) schedule
+  in
+  (c, List.rev applied)

@@ -1,0 +1,42 @@
+(** Semantics-preserving mutation operators over flat circuits — the
+    metamorphic half of the differential fuzzer.  Operators apply from an
+    [(op index, salt)] schedule; each entry draws from its own RNG seeded
+    by the salt, so a delta-debugger can drop one entry without
+    perturbing the draws of any other. *)
+
+open Zoomie_rtl
+
+type op = {
+  op_name : string;
+  op_apply : Random.State.t -> Circuit.t -> Circuit.t option;
+      (** [None] when the operator has no applicable site in this circuit *)
+}
+
+(** Rewrites preserving the observable behaviour of the original outputs
+    AND the module port list — required by the VTI oracle, whose mutant
+    must still fit the partition's pins: double negation, De Morgan,
+    [x ^ 0], mux folding, dead-logic insertion, retiming-safe FF clones. *)
+val interface_preserving_ops : op list
+
+(** [interface_preserving_ops] plus [probe-output] (exposes a random
+    internal signal as a new output — the shape of a debug-iteration
+    edit; changes the port list). *)
+val default_ops : op list
+
+(** The deliberately semantics-$(i,changing) rewrite kept out of every
+    default set ([a & b -> a | b], [a + b -> a - b], ...): the injected
+    fault behind [zoomie fuzz --broken-op] and the minimizer self-tests. *)
+val broken_op : op
+
+(** Look an operator up by name among [broken_op :: default_ops]. *)
+val find_op : string -> op option
+
+(** Apply one operator with a salt-derived RNG; applications producing an
+    invalid circuit ([Check.validate] fails) yield [None]. *)
+val apply_one : op -> salt:int -> Circuit.t -> Circuit.t option
+
+(** Apply an [(op index, salt)] schedule left to right over [ops] (index
+    taken modulo the list length); entries that do not apply are skipped.
+    Returns the mutant and the applied operator names in order. *)
+val apply_schedule :
+  ops:op list -> Circuit.t -> (int * int) list -> Circuit.t * string list

@@ -1,0 +1,535 @@
+(* Pluggable differential oracles for the fuzzing campaign.  Each oracle
+   takes one candidate (an original circuit, its mutant under a
+   semantics-preserving schedule, and a debug command stream) and decides
+   pass / divergence / crash against an in-tree engine pair:
+
+   - netsim:   mutant vs original on all 63 Netsim_batch lanes
+               (metamorphic), plus lane 0 of each batch vs a scalar
+               Netsim_baseline run (engine differential);
+   - vti:      Flow vs Flow_baseline artifact equality across an initial
+               compile and an incremental recompile of the mutant;
+   - readback: indexed frame extraction vs the association-list baseline
+               over random register selections on the compiled mutant;
+   - hub:      hub-served command transcripts vs a serial Host session on
+               a twin board, replaying the same command stream.
+
+   Divergence buckets are short, stable, space-free strings — they key
+   the corpus statistics and the minimizer's "still the same bug" test. *)
+
+open Zoomie_rtl
+module Netsim = Zoomie_synth.Netsim
+module Netsim_batch = Zoomie_synth.Netsim_batch
+module Netsim_baseline = Zoomie_synth.Netsim_baseline
+module Synthesize = Zoomie_synth.Synthesize
+module Device = Zoomie_fabric.Device
+module Board = Zoomie_bitstream.Board
+module Vivado = Zoomie_vendor.Vivado
+module Place = Zoomie_pnr.Place
+module Readback = Zoomie_debug.Readback
+module Readback_baseline = Zoomie_debug.Readback_baseline
+module Controller = Zoomie_debug.Controller
+module Host = Zoomie_debug.Host
+module Repl = Zoomie_debug.Repl
+module Trigger = Zoomie_debug.Trigger
+module Hub = Zoomie_hub.Hub
+module Protocol = Zoomie_hub.Protocol
+module Flow = Zoomie_vti.Flow
+module Flow_baseline = Zoomie_vti.Flow_baseline
+module Estimate = Zoomie_vti.Estimate
+module Obs = Zoomie_obs.Obs
+
+type input = {
+  in_seed : int;  (** the case seed; oracles derive their stimulus from it *)
+  in_original : Circuit.t;
+  in_mutant : Circuit.t;
+  in_commands : Repl.command list;
+}
+
+type verdict =
+  | Pass
+  | Divergence of { bucket : string; detail : string }
+  | Crash of { bucket : string; detail : string }
+
+type t = {
+  o_name : string;
+  o_ops : Mutate.op list;  (** mutation operators this oracle tolerates *)
+  o_uses_commands : bool;
+  o_run : input -> verdict;
+}
+
+exception Diverged of string * string
+
+let diverge bucket detail = raise (Diverged (bucket, detail))
+
+let scenario_cycles = Obs.counter "fuzz.scenario_cycles"
+
+(* ------------------------------------------------------------------ *)
+(* netsim: 63-lane metamorphic + engine differential                   *)
+(* ------------------------------------------------------------------ *)
+
+let netsim_cycles = 16
+
+let run_netsim (inp : input) =
+  let lanes = Netsim_batch.lanes in
+  let nl_o, _ = Synthesize.run inp.in_original in
+  let nl_m, _ = Synthesize.run inp.in_mutant in
+  let bo = Netsim_batch.create nl_o in
+  let bm = Netsim_batch.create nl_m in
+  let so = Netsim_baseline.create nl_o in
+  let sm = Netsim_baseline.create nl_m in
+  let st = Random.State.make [| inp.in_seed; 0x5eed |] in
+  let inputs = Circuit.inputs inp.in_original in
+  (* Compare the *original* output set only: probe mutations may add
+     outputs, and those have no counterpart to compare against. *)
+  let outputs = Circuit.outputs inp.in_original in
+  for cycle = 0 to netsim_cycles - 1 do
+    List.iter
+      (fun (s : Circuit.signal) ->
+        for lane = 0 to lanes - 1 do
+          let v = Bits.random ~width:s.Circuit.width st in
+          Netsim_batch.poke_input bo ~lane s.Circuit.name v;
+          Netsim_batch.poke_input bm ~lane s.Circuit.name v;
+          if lane = 0 then begin
+            Netsim_baseline.poke_input so s.Circuit.name v;
+            Netsim_baseline.poke_input sm s.Circuit.name v
+          end
+        done)
+      inputs;
+    Netsim_batch.eval_comb bo;
+    Netsim_batch.eval_comb bm;
+    Netsim_baseline.eval_comb so;
+    Netsim_baseline.eval_comb sm;
+    List.iter
+      (fun (s : Circuit.signal) ->
+        let name = s.Circuit.name in
+        for lane = 0 to lanes - 1 do
+          let vo = Netsim_batch.peek_output bo ~lane name in
+          let vm = Netsim_batch.peek_output bm ~lane name in
+          if not (Bits.equal vo vm) then
+            diverge "netsim:mutant-vs-original"
+              (Printf.sprintf "cycle %d lane %d output %s: original=%s mutant=%s"
+                 cycle lane name (Bits.to_string vo) (Bits.to_string vm))
+        done;
+        let check_lane0 tag batch scalar =
+          let b0 = Netsim_batch.peek_output batch ~lane:0 name in
+          let sc = Netsim_baseline.peek_output scalar name in
+          if not (Bits.equal b0 sc) then
+            diverge "netsim:batch-vs-baseline"
+              (Printf.sprintf "cycle %d output %s (%s): batch=%s baseline=%s"
+                 cycle name tag (Bits.to_string b0) (Bits.to_string sc))
+        in
+        check_lane0 "original" bo so;
+        check_lane0 "mutant" bm sm)
+      outputs;
+    Netsim_batch.step bo "clk";
+    Netsim_batch.step bm "clk";
+    Netsim_baseline.step so "clk";
+    Netsim_baseline.step sm "clk"
+  done;
+  (* Final FF-state engine check on lane 0 of both batches. *)
+  let check_ffs tag (nl : Zoomie_synth.Netlist.t) batch scalar =
+    for i = 0 to Array.length nl.Zoomie_synth.Netlist.ffs - 1 do
+      if Netsim_batch.ff_value batch ~lane:0 i <> Netsim_baseline.ff_value scalar i
+      then
+        diverge "netsim:batch-vs-baseline"
+          (Printf.sprintf "final state FF %d (%s): batch and baseline disagree" i
+             tag)
+    done
+  in
+  check_ffs "original" nl_o bo so;
+  check_ffs "mutant" nl_m bm sm;
+  (* Lane throughput accounting: two batch instances, [lanes] scenarios
+     each, [netsim_cycles] cycles. *)
+  Obs.incr ~by:(2 * lanes * netsim_cycles) scenario_cycles;
+  Pass
+
+(* ------------------------------------------------------------------ *)
+(* vti: full vs incremental compile on the mutant                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Wrap the generated leaf as the single iterated instance of a trivial
+   top, mirroring the debug-iteration deployment shape. *)
+let vti_top (leaf : Circuit.t) =
+  let b = Builder.create "fz_top" in
+  ignore (Builder.clock b "clk");
+  let ins =
+    List.map
+      (fun (s : Circuit.signal) ->
+        (s.Circuit.name, Builder.input b ("i_" ^ s.Circuit.name) s.Circuit.width))
+      (Circuit.inputs leaf)
+  in
+  let outs =
+    List.map
+      (fun (s : Circuit.signal) ->
+        (s.Circuit.name, Builder.wire b ("w_" ^ s.Circuit.name) s.Circuit.width,
+         s.Circuit.width))
+      (Circuit.outputs leaf)
+  in
+  Builder.instantiate b ~inst_name:"u_it" ~module_name:leaf.Circuit.name
+    (List.map (fun (n, e) -> Circuit.Drive_input (n, e)) ins
+    @ List.map (fun (n, w, _) -> Circuit.Read_output (n, w)) outs);
+  List.iter
+    (fun (n, w, wd) -> ignore (Builder.output b ("o_" ^ n) wd (Expr.Signal w)))
+    outs;
+  Design.create ~top:"fz_top" [ Builder.finish b; leaf ]
+
+let run_vti (inp : input) =
+  let design = vti_top inp.in_original in
+  let device = Device.u200 () in
+  let project =
+    {
+      Flow.device;
+      design;
+      clock_root = "clk";
+      freq_mhz = 50.0;
+      replicated_units = [ inp.in_original.Circuit.name ];
+      iterated = [ "u_it" ];
+      c = Estimate.default_coefficient;
+      debug_slr = 1;
+    }
+  in
+  let baseline_project =
+    {
+      Flow_baseline.device;
+      design;
+      clock_root = "clk";
+      freq_mhz = 50.0;
+      replicated_units = [ inp.in_original.Circuit.name ];
+      iterated = [ "u_it" ];
+      c = Estimate.default_coefficient;
+      debug_slr = 1;
+    }
+  in
+  let check_same phase (b : Flow.build) (o : Flow_baseline.build) =
+    let fields =
+      [
+        ("netlist", b.Flow.netlist = o.Flow_baseline.netlist);
+        ("locmap", b.Flow.locmap = o.Flow_baseline.locmap);
+        ("route", b.Flow.route = o.Flow_baseline.route);
+        ("timing", b.Flow.timing = o.Flow_baseline.timing);
+        ("frames", b.Flow.frames = o.Flow_baseline.frames);
+        ("bitstream", b.Flow.bitstream = o.Flow_baseline.bitstream);
+        ("modeled-seconds", b.Flow.modeled_seconds = o.Flow_baseline.modeled_seconds);
+      ]
+    in
+    List.iter
+      (fun (field, same) ->
+        if not same then
+          diverge
+            (Printf.sprintf "vti:%s:%s" phase field)
+            (Printf.sprintf "incremental and baseline flows disagree on %s after %s"
+               field phase))
+      fields
+  in
+  let b0 = Flow.compile project in
+  let o0 = Flow_baseline.compile baseline_project in
+  check_same "initial" b0 o0;
+  let incr =
+    try Ok (Flow.recompile b0 ~path:"u_it" ~circuit:inp.in_mutant)
+    with Flow.Partition_overflow m -> Error m
+  in
+  let base =
+    try Ok (Flow_baseline.recompile o0 ~path:"u_it" ~circuit:inp.in_mutant)
+    with Flow_baseline.Partition_overflow m -> Error m
+  in
+  (match (incr, base) with
+  | Ok b1, Ok o1 -> check_same "recompile" b1 o1
+  | Error _, Error _ -> ()  (* both flows rejected the mutant: agreement *)
+  | Ok _, Error m ->
+    diverge "vti:overflow-disagreement"
+      ("baseline overflowed but incremental accepted the mutant: " ^ m)
+  | Error m, Ok _ ->
+    diverge "vti:overflow-disagreement"
+      ("incremental overflowed but baseline accepted the mutant: " ^ m));
+  Pass
+
+(* ------------------------------------------------------------------ *)
+(* readback: indexed vs baseline extraction on the compiled mutant     *)
+(* ------------------------------------------------------------------ *)
+
+let run_readback (inp : input) =
+  let c = inp.in_mutant in
+  let device = Device.u200 () in
+  let design = Design.create ~top:c.Circuit.name [ c ] in
+  let run =
+    Vivado.compile
+      {
+        Vivado.device;
+        design;
+        clock_root = "clk";
+        freq_mhz = 50.0;
+        replicated_units = [];
+      }
+  in
+  let board = Board.create device in
+  Vivado.load_onto board run;
+  let ns = Board.netsim board in
+  let st = Random.State.make [| inp.in_seed; 0xbeef |] in
+  let inputs = Circuit.inputs c in
+  let advance n =
+    for _ = 1 to n do
+      List.iter
+        (fun (s : Circuit.signal) ->
+          Netsim.poke_input ns s.Circuit.name
+            (Bits.random ~width:s.Circuit.width st))
+        inputs;
+      Netsim.step ns "clk"
+    done
+  in
+  advance 12;
+  let netlist = run.Vivado.netlist in
+  let locmap = run.Vivado.placement.Place.locmap in
+  let sm = Readback.site_map device netlist locmap in
+  let names = Readback.register_names sm in
+  if names <> [] then
+    for _round = 1 to 4 do
+      let chosen = Gen.gen_selection st names in
+      let select n = List.mem n chosen in
+      let plan = Readback.plan_of_select sm ~select in
+      let frames = Readback.read_plan_frames board plan in
+      let per_slr =
+        List.map
+          (fun slr -> (slr, Readback.Frame_index.to_assoc frames ~slr))
+          (Readback.Frame_index.slrs frames)
+      in
+      let by_name l = List.sort (fun (a, _) (b, _) -> compare a b) l in
+      let indexed = by_name (Readback.extract_registers sm frames ~select) in
+      let baseline =
+        by_name (Readback_baseline.extract_registers netlist locmap per_slr ~select)
+      in
+      if List.length indexed <> List.length baseline then
+        diverge "readback:extract"
+          (Printf.sprintf "indexed returned %d registers, baseline %d"
+             (List.length indexed) (List.length baseline));
+      List.iter2
+        (fun (n1, v1) (n2, v2) ->
+          if n1 <> n2 then
+            diverge "readback:extract"
+              (Printf.sprintf "register name mismatch: indexed %s vs baseline %s"
+                 n1 n2);
+          if not (Bits.equal v1 v2) then
+            diverge "readback:extract"
+              (Printf.sprintf "register %s: indexed=%s baseline=%s" n1
+                 (Bits.to_string v1) (Bits.to_string v2)))
+        indexed baseline;
+      advance 3
+    done;
+  Pass
+
+(* ------------------------------------------------------------------ *)
+(* hub: served transcripts vs a serial Host session on a twin board    *)
+(* ------------------------------------------------------------------ *)
+
+(* The hub oracle randomizes the *command stream*, not the RTL: a fixed
+   counter MUT (the same shape as the debug test rig) is compiled once,
+   then loaded onto two boards — one behind the hub, one driven by a
+   plain serial session — and the stream replays against both. *)
+let hub_registers = [ ("count", 16); ("pending", 1); ("ev_data_r", 16) ]
+let hub_watches = [ ("dbg_count", 16) ]
+
+let hub_rig =
+  lazy
+    (let mut =
+       let b = Builder.create "fz_count_mut" in
+       let clk = Builder.clock b "clk" in
+       let ev_ready = Builder.input b "ev_ready" 1 in
+       let count = Builder.reg b ~clock:clk "count" 16 in
+       let pending = Builder.reg b ~clock:clk "pending" 1 in
+       let ev_data = Builder.reg b ~clock:clk "ev_data_r" 16 in
+       let fire =
+         Expr.(Slice (Signal count, 2, 0) ==: const_int ~width:3 7)
+       in
+       let go = Expr.(~:(Signal pending)) in
+       Builder.reg_next b count
+         Expr.(mux go (Signal count +: const_int ~width:16 1) (Signal count));
+       Builder.reg_next b pending
+         Expr.(
+           mux (go &: fire) vdd (mux (Signal pending &: ev_ready) gnd (Signal pending)));
+       Builder.reg_next b ev_data
+         Expr.(mux (go &: fire) (Signal count) (Signal ev_data));
+       ignore (Builder.output b "ev_valid" 1 (Expr.Signal pending));
+       ignore (Builder.output b "ev_data" 16 (Expr.Signal ev_data));
+       ignore (Builder.output b "dbg_count" 16 (Expr.Signal count));
+       Builder.finish b
+     in
+     let top =
+       let b = Builder.create "fz_count_top" in
+       ignore (Builder.clock b "clk");
+       let ev_valid = Builder.wire b "ev_valid_w" 1 in
+       let ev_data = Builder.wire b "ev_data_w" 16 in
+       let dbg_count = Builder.wire b "dbg_count_w" 16 in
+       Builder.instantiate b ~inst_name:"dut" ~module_name:"fz_count_mut"
+         [
+           Circuit.Drive_input ("ev_ready", Expr.vdd);
+           Circuit.Read_output ("ev_valid", ev_valid);
+           Circuit.Read_output ("ev_data", ev_data);
+           Circuit.Read_output ("dbg_count", dbg_count);
+         ];
+       ignore (Builder.output b "count" 16 (Expr.Signal dbg_count));
+       Design.create ~top:"fz_count_top" [ Builder.finish b; mut ]
+     in
+     let cfg =
+       {
+         Controller.mut_module = "fz_count_mut";
+         interfaces =
+           [
+             Zoomie_pause.Decoupled.make ~name:"ev" ~data_width:16
+               ~valid:"ev_valid" ~ready:"ev_ready" ~data:"ev_data"
+               ~mut_is_requester:true ();
+           ];
+         watches = List.map (fun (n, w) -> { Trigger.w_name = n; w_width = w }) hub_watches;
+         assertions = [];
+       }
+     in
+     let wrapped, info = Controller.wrap top cfg in
+     let run =
+       Vivado.compile
+         {
+           Vivado.device = Device.u200 ();
+           design = wrapped;
+           clock_root = "clk";
+           freq_mhz = 50.0;
+           replicated_units = [];
+         }
+     in
+     (run, info))
+
+let run_hub (inp : input) =
+  let run, info = Lazy.force hub_rig in
+  let device = Device.u200 () in
+  let board_hub = Board.create device in
+  Vivado.load_onto board_hub run;
+  let board_serial = Board.create device in
+  Vivado.load_onto board_serial run;
+  let hub = Hub.create () in
+  let bid =
+    match Hub.add_board hub board_hub ~info with
+    | Ok id -> id
+    | Error m -> failwith ("hub oracle: add_board: " ^ m)
+  in
+  let sid =
+    match Hub.open_session hub ~board:bid with
+    | Ok id -> id
+    | Error m -> failwith ("hub oracle: open_session: " ^ m)
+  in
+  let seq = ref 0 in
+  let call payload =
+    incr seq;
+    (Hub.call hub (Protocol.frame sid !seq payload)).Protocol.fr_payload
+  in
+  (match call (Protocol.Attach "dut") with
+  | Protocol.Done _ -> ()
+  | _ -> failwith "hub oracle: attach failed");
+  let host = Host.attach board_serial ~info ~mut_path:"dut" in
+  List.iteri
+    (fun i cmd ->
+      let hub_text =
+        match call (Protocol.Command cmd) with
+        | Protocol.Done s -> s
+        | Protocol.Failed s -> "failed: " ^ s
+        | Protocol.Values _ -> "unexpected-values"
+      in
+      let serial_text =
+        try Repl.execute host board_serial cmd with
+        | Invalid_argument m -> "failed: " ^ m
+        | Readback.Readback_error m -> "failed: readback error: " ^ m
+        | Readback.Bad_snapshot m -> "failed: bad snapshot: " ^ m
+      in
+      if hub_text <> serial_text then
+        diverge "hub:transcript"
+          (Printf.sprintf "command #%d (%s): hub=%S serial=%S" i
+             (Repl.command_to_string cmd) hub_text serial_text);
+      (* After every Print, also route the same register through the
+         hub's coalescable read path and the serial Host's readback. *)
+      match cmd with
+      | Repl.Print name -> (
+        let hub_read = call (Protocol.Read_registers [ name ]) in
+        let serial_read =
+          try Ok (Host.read_register host name)
+          with _ -> Error "unreadable"
+        in
+        match (hub_read, serial_read) with
+        | Protocol.Values vs, Ok sv -> (
+          match List.assoc_opt name vs with
+          | Some hv when not (Bits.equal hv sv) ->
+            diverge "hub:read-registers"
+              (Printf.sprintf "register %s: hub=%s serial=%s" name
+                 (Bits.to_string hv) (Bits.to_string sv))
+          | Some _ -> ()
+          | None ->
+            diverge "hub:read-registers"
+              (Printf.sprintf "hub response omitted register %s" name))
+        | Protocol.Failed _, Error _ -> ()
+        | Protocol.Values _, Error _ ->
+          diverge "hub:read-registers"
+            (Printf.sprintf "hub read %s but the serial host could not" name)
+        | Protocol.Failed m, Ok _ ->
+          diverge "hub:read-registers"
+            (Printf.sprintf "serial host read %s but the hub failed: %s" name m)
+        | Protocol.Done _, _ ->
+          diverge "hub:read-registers" "hub answered a read with Done")
+      | _ -> ())
+    inp.in_commands;
+  Pass
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let wrap run inp =
+  try run inp with Diverged (bucket, detail) -> Divergence { bucket; detail }
+
+let netsim =
+  {
+    o_name = "netsim";
+    o_ops = Mutate.default_ops;
+    o_uses_commands = false;
+    o_run = wrap run_netsim;
+  }
+
+let vti =
+  {
+    o_name = "vti";
+    o_ops = Mutate.interface_preserving_ops;
+    o_uses_commands = false;
+    o_run = wrap run_vti;
+  }
+
+let readback =
+  {
+    o_name = "readback";
+    o_ops = Mutate.default_ops;
+    o_uses_commands = false;
+    o_run = wrap run_readback;
+  }
+
+let hub =
+  {
+    o_name = "hub";
+    o_ops = [];  (* the hub oracle fuzzes the command stream, not the RTL *)
+    o_uses_commands = true;
+    o_run = wrap run_hub;
+  }
+
+let all = [ netsim; vti; readback; hub ]
+
+let find name = List.find_opt (fun o -> o.o_name = name) all
+
+(* Exception constructor name, without the payload: stable crash buckets. *)
+let bucket_of_exn e =
+  let s = Printexc.to_string e in
+  let cut =
+    match String.index_opt s '(' with
+    | Some i -> String.trim (String.sub s 0 i)
+    | None -> s
+  in
+  let cut = if cut = "" then "exception" else cut in
+  "crash:" ^ String.map (fun c -> if c = ' ' then '-' else c) cut
+
+(* Run an oracle, folding uncaught exceptions into crash verdicts. *)
+let classify t inp =
+  try t.o_run inp
+  with
+  | Diverged (bucket, detail) -> Divergence { bucket; detail }
+  | Stack_overflow -> Crash { bucket = "crash:Stack_overflow"; detail = "stack overflow" }
+  | e -> Crash { bucket = bucket_of_exn e; detail = Printexc.to_string e }

@@ -1,0 +1,62 @@
+(** Pluggable differential oracles for the fuzzing campaign.  Each
+    oracle takes one candidate (original circuit, mutant, command
+    stream) and decides pass / divergence / crash against an in-tree
+    engine pair.  Divergence buckets are short, stable, space-free
+    strings — they key the corpus statistics and the minimizer's
+    "still the same bug" test. *)
+
+open Zoomie_rtl
+
+type input = {
+  in_seed : int;  (** the case seed; oracles derive their stimulus from it *)
+  in_original : Circuit.t;
+  in_mutant : Circuit.t;
+  in_commands : Zoomie_debug.Repl.command list;
+}
+
+type verdict =
+  | Pass
+  | Divergence of { bucket : string; detail : string }
+  | Crash of { bucket : string; detail : string }
+
+type t = {
+  o_name : string;
+  o_ops : Mutate.op list;  (** mutation operators this oracle tolerates *)
+  o_uses_commands : bool;
+  o_run : input -> verdict;
+}
+
+(** Batch scenario-cycles simulated so far ("fuzz.scenario_cycles") —
+    the campaign's lane-throughput numerator. *)
+val scenario_cycles : Zoomie_obs.Obs.counter
+
+(** Mutant vs original on all 63 [Netsim_batch] lanes (metamorphic),
+    plus lane 0 of each batch vs a scalar [Netsim_baseline] run (engine
+    differential), per cycle and over final FF state. *)
+val netsim : t
+
+(** [Vti.Flow] vs [Vti.Flow_baseline] artifact equality across an
+    initial compile and an incremental recompile of the mutant; both
+    flows rejecting with [Partition_overflow] counts as agreement. *)
+val vti : t
+
+(** Indexed frame extraction vs the association-list baseline over
+    random register selections on the compiled mutant. *)
+val readback : t
+
+(** Hub-served command transcripts vs a serial [Repl.execute] session on
+    a twin board, replaying the same command stream on a fixed rig. *)
+val hub : t
+
+val all : t list
+val find : string -> t option
+
+(** The hub rig's MUT register and watch inventories (name, width) —
+    what [Gen.gen_commands] should target. *)
+val hub_registers : (string * int) list
+
+val hub_watches : (string * int) list
+
+(** Run the oracle, mapping raised exceptions to [Crash] verdicts with
+    [crash:<constructor>] buckets. *)
+val classify : t -> input -> verdict

@@ -1,0 +1,416 @@
+(* The differential fuzzing subsystem: mutation operators preserve
+   semantics, the campaign is deterministic and resumable, the corpus
+   round-trips, and the minimizer shrinks an injected fault to a smaller
+   reproducer with the same divergence bucket. *)
+
+module Gen = Zoomie_fuzz.Gen
+module Mutate = Zoomie_fuzz.Mutate
+module Oracle = Zoomie_fuzz.Oracle
+module Corpus = Zoomie_fuzz.Corpus
+module Minimize = Zoomie_fuzz.Minimize
+module Campaign = Zoomie_fuzz.Campaign
+
+let tmp_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let d =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "zoomie_fuzz_test_%d_%d" (Unix.getpid ()) !n)
+    in
+    let rec rm p =
+      if Sys.is_directory p then begin
+        Array.iter (fun f -> rm (Filename.concat p f)) (Sys.readdir p);
+        Unix.rmdir p
+      end
+      else Sys.remove p
+    in
+    if Sys.file_exists d then rm d;
+    d
+
+(* A deterministic case like the campaign driver generates. *)
+let make_case ~seed ~index =
+  let cs = Gen.case_seed ~campaign:seed ~index in
+  let st = Random.State.make [| cs |] in
+  let original = Gen.gen_circuit st in
+  let n_mut = 1 + Random.State.int st 3 in
+  let schedule =
+    List.init n_mut (fun _ ->
+        let op = Random.State.int st 1_000_000 in
+        let salt = Random.State.int st 0x3FFFFFFF in
+        (op, salt))
+  in
+  (cs, original, schedule)
+
+(* ------------------------------------------------------------------ *)
+(* Mutation operators                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The heart of the metamorphic scheme: every default operator leaves the
+   original outputs bit-identical, which the netsim oracle checks across
+   63 batch lanes *and* differentially against the scalar baseline. *)
+let prop_mutations_preserve_semantics =
+  QCheck2.Test.make ~name:"default mutation operators preserve semantics"
+    ~count:40 QCheck2.Gen.int (fun seed ->
+      let cs, original, schedule = make_case ~seed ~index:0 in
+      let mutant, _ =
+        Mutate.apply_schedule ~ops:Mutate.default_ops original schedule
+      in
+      let input =
+        {
+          Oracle.in_seed = cs;
+          in_original = original;
+          in_mutant = mutant;
+          in_commands = [];
+        }
+      in
+      match Oracle.classify Oracle.netsim input with
+      | Oracle.Pass -> true
+      | Oracle.Divergence { bucket; detail } | Oracle.Crash { bucket; detail } ->
+        QCheck2.Test.fail_report (bucket ^ ": " ^ detail))
+
+let test_broken_op_detected () =
+  (* The injected fault MUST be caught: scan a few seeds and require at
+     least one divergence (not a crash, an output mismatch). *)
+  let found = ref None in
+  let seed = ref 0 in
+  while !found = None && !seed < 30 do
+    let cs, original, schedule = make_case ~seed:!seed ~index:0 in
+    let mutant, applied =
+      Mutate.apply_schedule ~ops:[ Mutate.broken_op ] original schedule
+    in
+    (if applied <> [] then
+       let input =
+         {
+           Oracle.in_seed = cs;
+           in_original = original;
+           in_mutant = mutant;
+           in_commands = [];
+         }
+       in
+       match Oracle.classify Oracle.netsim input with
+       | Oracle.Divergence { bucket; _ } ->
+         found := Some (cs, original, schedule, bucket)
+       | _ -> ());
+    incr seed
+  done;
+  Alcotest.(check bool) "broken-op produces a divergence" true (!found <> None)
+
+let test_schedule_salts_independent () =
+  (* Dropping one schedule entry must not perturb the others' draws: the
+     mutant from the truncated schedule equals applying the surviving
+     entries alone. *)
+  let _, original, schedule = make_case ~seed:11 ~index:2 in
+  let keep = [ List.nth schedule 0 ] in
+  let m1, a1 = Mutate.apply_schedule ~ops:Mutate.default_ops original keep in
+  let m2, a2 = Mutate.apply_schedule ~ops:Mutate.default_ops original keep in
+  Alcotest.(check (list string)) "replay applies same ops" a1 a2;
+  Alcotest.(check bool) "replay is bit-identical" true (m1 = m2)
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_gen_commands_deterministic () =
+  let mk seed =
+    Gen.gen_commands
+      (Random.State.make [| seed |])
+      ~registers:Oracle.hub_registers ~watches:Oracle.hub_watches
+  in
+  let a = mk 3 and b = mk 3 in
+  Alcotest.(check bool) "same seed, same stream" true (a = b);
+  Alcotest.(check bool) "non-empty" true (a <> [])
+
+let test_gen_selection () =
+  let st = Random.State.make [| 9 |] in
+  for _ = 1 to 50 do
+    let sel = Gen.gen_selection st [ "a"; "b"; "c"; "d" ] in
+    Alcotest.(check bool) "non-empty" true (sel <> []);
+    Alcotest.(check bool) "subset, order-preserving" true
+      (List.filter (fun n -> List.mem n sel) [ "a"; "b"; "c"; "d" ] = sel)
+  done;
+  Alcotest.(check (list string)) "empty stays empty" []
+    (Gen.gen_selection st [])
+
+(* ------------------------------------------------------------------ *)
+(* Corpus                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_corpus_roundtrip () =
+  let dir = tmp_dir () in
+  let _, original, schedule = make_case ~seed:21 ~index:0 in
+  let mutant, ops =
+    Mutate.apply_schedule ~ops:Mutate.default_ops original schedule
+  in
+  let r =
+    {
+      Corpus.r_id = "cafe01";
+      r_oracle = "netsim";
+      r_case_seed = 12345;
+      r_schedule = schedule;
+      r_ops = ops;
+      r_original = original;
+      r_mutant = mutant;
+      r_commands = [ Zoomie_debug.Repl.Step 3; Zoomie_debug.Repl.State ];
+      r_bucket = "netsim:mutant-vs-original";
+      r_detail = "detail";
+      r_minimized = false;
+      r_min_steps = 0;
+    }
+  in
+  let path = Corpus.save_repro ~dir ~sub:"cases" r in
+  let r' = Corpus.load_repro path in
+  Alcotest.(check bool) "reproducer round-trips" true (r = r');
+  Alcotest.(check (list string)) "listed" [ path ]
+    (Corpus.list_repros ~dir ~sub:"cases");
+  (* State round-trip, including bucket counts. *)
+  let s =
+    {
+      (Corpus.fresh_state ~oracle:"netsim" ~seed:7) with
+      Corpus.s_budget = 12;
+      s_cursor = 5;
+      s_pass = 3;
+      s_divergence = 2;
+      s_buckets = [ ("netsim:mutant-vs-original", 2) ];
+      s_chain = "abcd";
+    }
+  in
+  Corpus.save_state dir s;
+  (match Corpus.load_state dir with
+  | None -> Alcotest.fail "state did not round-trip"
+  | Some s' -> Alcotest.(check bool) "state round-trips" true (s = s'));
+  (* A corrupt header fails loudly. *)
+  let oc = open_out (Corpus.state_path dir) in
+  output_string oc "not-a-state-file 1\ncursor 3\n";
+  close_out oc;
+  (match Corpus.load_state dir with
+  | exception Corpus.Corrupt _ -> ()
+  | _ -> Alcotest.fail "corrupt state file should raise")
+
+(* ------------------------------------------------------------------ *)
+(* Minimizer                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Fixed fixture: find a diverging broken-op case, then require the
+   minimizer to keep the bucket alive while never growing the input. *)
+let find_divergence ~max_seed =
+  let rec go seed =
+    if seed >= max_seed then None
+    else
+      let cs, original, schedule = make_case ~seed ~index:0 in
+      let mutant, _ =
+        Mutate.apply_schedule ~ops:[ Mutate.broken_op ] original schedule
+      in
+      let input =
+        {
+          Oracle.in_seed = cs;
+          in_original = original;
+          in_mutant = mutant;
+          in_commands = [];
+        }
+      in
+      match Oracle.classify Oracle.netsim input with
+      | Oracle.Divergence { bucket; _ } -> Some (cs, original, schedule, bucket)
+      | _ -> go (seed + 1)
+  in
+  go 0
+
+let check_minimized (cs, original, schedule, bucket) =
+  let m =
+    Minimize.run ~max_tests:200 ~oracle:Oracle.netsim
+      ~ops:[ Mutate.broken_op ] ~bucket ~case_seed:cs ~original ~schedule
+      ~commands:[] ()
+  in
+  (* Still diverges, with the same bucket. *)
+  let input =
+    {
+      Oracle.in_seed = cs;
+      in_original = m.Minimize.m_original;
+      in_mutant = m.Minimize.m_mutant;
+      in_commands = [];
+    }
+  in
+  (match Oracle.classify Oracle.netsim input with
+  | Oracle.Divergence { bucket = b; _ } ->
+    Alcotest.(check string) "same bucket" bucket b
+  | Oracle.Pass -> Alcotest.fail "minimized reproducer no longer diverges"
+  | Oracle.Crash { bucket = b; _ } ->
+    Alcotest.fail ("minimized reproducer crashes: " ^ b));
+  (* Never larger than the original on any axis. *)
+  Alcotest.(check bool) "schedule no longer" true
+    (List.length m.Minimize.m_schedule <= List.length schedule);
+  Alcotest.(check bool) "circuit no larger" true
+    (Minimize.size m.Minimize.m_original <= Minimize.size original);
+  m
+
+let test_minimizer_fixture () =
+  match find_divergence ~max_seed:30 with
+  | None -> Alcotest.fail "no broken-op divergence in 30 seeds"
+  | Some fixture ->
+    let m = check_minimized fixture in
+    Alcotest.(check bool) "minimizer made progress" true
+      (m.Minimize.m_steps > 0)
+
+let prop_minimizer_sound =
+  QCheck2.Test.make ~name:"minimized reproducer still diverges, never larger"
+    ~count:8
+    QCheck2.Gen.(int_range 0 1000)
+    (fun salt ->
+      (* Vary the search window start so different fixtures get exercised. *)
+      let rec go seed =
+        if seed >= salt + 40 then true (* no divergence in window: vacuous *)
+        else
+          let cs, original, schedule = make_case ~seed ~index:1 in
+          let mutant, _ =
+            Mutate.apply_schedule ~ops:[ Mutate.broken_op ] original schedule
+          in
+          let input =
+            {
+              Oracle.in_seed = cs;
+              in_original = original;
+              in_mutant = mutant;
+              in_commands = [];
+            }
+          in
+          match Oracle.classify Oracle.netsim input with
+          | Oracle.Divergence { bucket; _ } ->
+            ignore (check_minimized (cs, original, schedule, bucket));
+            true
+          | _ -> go (seed + 1)
+      in
+      go salt)
+
+(* ------------------------------------------------------------------ *)
+(* Campaign                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let run_campaign ?(resume = false) ?(broken_op = false) ?(minimize = false)
+    ~corpus ~budget ~seed () =
+  let cfg =
+    {
+      (Campaign.default ~oracle:Oracle.netsim) with
+      Campaign.cfg_budget = budget;
+      cfg_seed = seed;
+      cfg_corpus = corpus;
+      cfg_resume = resume;
+      cfg_broken_op = broken_op;
+      cfg_minimize = minimize;
+    }
+  in
+  match Campaign.run cfg with
+  | Ok r -> r
+  | Error msg -> Alcotest.fail msg
+
+let test_campaign_deterministic_resume () =
+  let a = tmp_dir () and b = tmp_dir () in
+  (* Split campaign: 4 cases, then resume to 8. *)
+  let _ = run_campaign ~corpus:a ~budget:4 ~seed:13 () in
+  let ra = run_campaign ~resume:true ~corpus:a ~budget:8 ~seed:13 () in
+  Alcotest.(check int) "resume ran the remainder" 4 ra.Campaign.rp_cases_run;
+  (* One-shot campaign of the same total budget. *)
+  let rb = run_campaign ~corpus:b ~budget:8 ~seed:13 () in
+  Alcotest.(check string) "resumed digest == one-shot digest"
+    rb.Campaign.rp_schedule_digest ra.Campaign.rp_schedule_digest;
+  Alcotest.(check int) "same pass count" rb.Campaign.rp_pass ra.Campaign.rp_pass;
+  (* Resuming an already-complete campaign runs nothing and keeps the
+     digest. *)
+  let rc = run_campaign ~resume:true ~corpus:a ~budget:8 ~seed:13 () in
+  Alcotest.(check int) "nothing left to run" 0 rc.Campaign.rp_cases_run;
+  Alcotest.(check string) "digest stable" ra.Campaign.rp_schedule_digest
+    rc.Campaign.rp_schedule_digest;
+  (* Wrong seed refuses to resume rather than corrupting the corpus. *)
+  let cfg =
+    {
+      (Campaign.default ~oracle:Oracle.netsim) with
+      Campaign.cfg_budget = 9;
+      cfg_seed = 14;
+      cfg_corpus = a;
+      cfg_resume = true;
+    }
+  in
+  (match Campaign.run cfg with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "seed mismatch must refuse to resume")
+
+let test_campaign_broken_op_end_to_end () =
+  (* The acceptance-criteria path: an injected fault yields a divergence
+     and a minimized reproducer in the corpus that still diverges. *)
+  let dir = tmp_dir () in
+  let r =
+    run_campaign ~broken_op:true ~minimize:true ~corpus:dir ~budget:4 ~seed:7 ()
+  in
+  Alcotest.(check bool) "found divergences" true (r.Campaign.rp_divergence > 0);
+  Alcotest.(check bool) "wrote minimized reproducers" true
+    (r.Campaign.rp_minimized <> []);
+  Alcotest.(check bool) "report written" true
+    (Sys.file_exists r.Campaign.rp_report_path);
+  let min_path = List.hd r.Campaign.rp_minimized in
+  let mr = Corpus.load_repro min_path in
+  Alcotest.(check bool) "marked minimized" true mr.Corpus.r_minimized;
+  let mutant, _ =
+    Mutate.apply_schedule ~ops:[ Mutate.broken_op ] mr.Corpus.r_original
+      mr.Corpus.r_schedule
+  in
+  Alcotest.(check bool) "schedule reproduces stored mutant" true
+    (mutant = mr.Corpus.r_mutant);
+  let input =
+    {
+      Oracle.in_seed = mr.Corpus.r_case_seed;
+      in_original = mr.Corpus.r_original;
+      in_mutant = mr.Corpus.r_mutant;
+      in_commands = [];
+    }
+  in
+  (match Oracle.classify Oracle.netsim input with
+  | Oracle.Divergence { bucket; _ } ->
+    Alcotest.(check string) "bucket preserved" mr.Corpus.r_bucket bucket
+  | _ -> Alcotest.fail "stored minimized reproducer does not diverge")
+
+(* ------------------------------------------------------------------ *)
+(* The other oracles (single-case smokes)                              *)
+(* ------------------------------------------------------------------ *)
+
+let oracle_smoke oracle () =
+  let cs, original, schedule = make_case ~seed:5 ~index:0 in
+  let st = Random.State.make [| cs |] in
+  let mutant, _ =
+    Mutate.apply_schedule ~ops:oracle.Oracle.o_ops original schedule
+  in
+  let commands =
+    Gen.gen_commands st ~registers:Oracle.hub_registers
+      ~watches:Oracle.hub_watches
+  in
+  let input =
+    {
+      Oracle.in_seed = cs;
+      in_original = original;
+      in_mutant = mutant;
+      in_commands = commands;
+    }
+  in
+  match Oracle.classify oracle input with
+  | Oracle.Pass -> ()
+  | Oracle.Divergence { bucket; detail } | Oracle.Crash { bucket; detail } ->
+    Alcotest.fail (bucket ^ ": " ^ detail)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_mutations_preserve_semantics;
+    Alcotest.test_case "broken-op is detected" `Quick test_broken_op_detected;
+    Alcotest.test_case "schedule salts independent" `Quick
+      test_schedule_salts_independent;
+    Alcotest.test_case "gen_commands deterministic" `Quick
+      test_gen_commands_deterministic;
+    Alcotest.test_case "gen_selection subset" `Quick test_gen_selection;
+    Alcotest.test_case "corpus round-trip" `Quick test_corpus_roundtrip;
+    Alcotest.test_case "minimizer fixture" `Quick test_minimizer_fixture;
+    QCheck_alcotest.to_alcotest prop_minimizer_sound;
+    Alcotest.test_case "campaign resume is deterministic" `Quick
+      test_campaign_deterministic_resume;
+    Alcotest.test_case "broken-op campaign minimizes end to end" `Quick
+      test_campaign_broken_op_end_to_end;
+    Alcotest.test_case "vti oracle smoke" `Slow (oracle_smoke Oracle.vti);
+    Alcotest.test_case "readback oracle smoke" `Slow
+      (oracle_smoke Oracle.readback);
+    Alcotest.test_case "hub oracle smoke" `Slow (oracle_smoke Oracle.hub);
+  ]

@@ -3,6 +3,7 @@
    hierarchical register names. *)
 
 open Zoomie_rtl
+module Gen = Zoomie_fuzz.Gen
 
 let bits = Bits.of_int
 

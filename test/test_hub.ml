@@ -576,11 +576,7 @@ let prop_hub_matches_oracle =
           List.map
             (fun sid ->
               let subset =
-                List.filter (fun _ -> Random.State.bool st) (Array.to_list names)
-              in
-              let subset =
-                if subset = [] then [ names.(Random.State.int st (Array.length names)) ]
-                else subset
+                Zoomie_fuzz.Gen.gen_selection st (Array.to_list names)
               in
               (match
                  Hub.submit hub

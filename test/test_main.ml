@@ -22,4 +22,5 @@ let () =
       ("export", Test_export.suite);
       ("api", Test_api.suite);
       ("obs", Test_obs.suite);
+      ("fuzz", Test_fuzz.suite);
     ]

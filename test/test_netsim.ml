@@ -7,6 +7,7 @@
    output must agree between the two engines. *)
 
 open Zoomie_rtl
+module Gen = Zoomie_fuzz.Gen
 module Netlist = Zoomie_synth.Netlist
 module Netsim = Zoomie_synth.Netsim
 module Baseline = Zoomie_synth.Netsim_baseline

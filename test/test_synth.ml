@@ -3,6 +3,7 @@
    property that underpins trust in the whole toolchain. *)
 
 open Zoomie_rtl
+module Gen = Zoomie_fuzz.Gen
 
 let bits = Bits.of_int
 
