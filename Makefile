@@ -1,6 +1,6 @@
 # Convenience entry points; `make check` is the tier-1 gate.
 
-.PHONY: all build test bench-smoke obs-smoke fuzz-smoke check clean
+.PHONY: all build test bench-smoke hub-farm-smoke obs-smoke fuzz-smoke check clean
 
 all: build
 
@@ -34,6 +34,13 @@ bench-smoke:
 	dune exec bench/main.exe -- vti smoke
 	dune exec bench/main.exe -- fuzz smoke
 
+# The socketed farm, end to end: 64 loopback clients against 2 board
+# shards, with the scripted session checked bit-for-bit against the
+# in-process tick path and per-shard coalescing ratios recorded in
+# artifacts/BENCH_hub_farm_smoke.json.
+hub-farm-smoke:
+	dune exec bench/main.exe -- hub-farm smoke
+
 # Observability gate (expects the smoke benches to have run): the bench
 # records must embed a metrics snapshot with the cross-layer keys, and a
 # traced 4-client hub demo must produce a Chrome trace that names the
@@ -51,6 +58,13 @@ obs-smoke:
 	grep -q '"metrics"' artifacts/BENCH_vti_smoke.json
 	grep -q '"seed"' artifacts/BENCH_fuzz_smoke.json
 	grep -q '"schedule_digest"' artifacts/BENCH_fuzz_smoke.json
+	grep -q '"metrics"' artifacts/BENCH_hub_farm_smoke.json
+	grep -q '"farm.shard0.coalescing_ratio"' artifacts/BENCH_hub_farm_smoke.json
+	grep -q '"sharded_speedup"' artifacts/BENCH_hub_farm_smoke.json
+	for f in artifacts/BENCH_*.json; do \
+	  grep -q '"metrics"' $$f || { echo "$$f: no metrics"; exit 1; }; \
+	  grep -q '"seed"' $$f || { echo "$$f: no seed"; exit 1; }; \
+	done
 	mkdir -p artifacts
 	dune exec bin/zoomie_cli.exe -- hub --clients 4 --trace artifacts/hub_trace_smoke.json > /dev/null
 	grep -q '"hub.sweep"' artifacts/hub_trace_smoke.json
@@ -78,6 +92,7 @@ fuzz-smoke:
 check: build
 	dune runtest
 	$(MAKE) bench-smoke
+	$(MAKE) hub-farm-smoke
 	$(MAKE) obs-smoke
 	$(MAKE) fuzz-smoke
 

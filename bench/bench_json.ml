@@ -54,6 +54,12 @@ let write ~case fields =
     if List.mem_assoc "seed" fields then fields
     else fields @ [ ("seed", Int !seed) ]
   in
+  (* Every record must carry a metrics snapshot: a bench result without
+     its zoomie_obs context can't be compared across PRs.  Fail the run
+     loudly rather than writing a crippled record. *)
+  if not (List.mem_assoc "metrics" fields) then
+    invalid_arg
+      (Printf.sprintf "BENCH_%s.json: record has no \"metrics\" field" case);
   let file = Filename.concat out_dir (Printf.sprintf "BENCH_%s.json" case) in
   let oc = open_out file in
   output_string oc "{\n";

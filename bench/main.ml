@@ -5,8 +5,8 @@
      dune exec bench/main.exe            # everything
      dune exec bench/main.exe figure7    # one experiment
    Experiments: table1 table2 figure7 tradeoff table3 figure8 table4
-                case1 case2 case3 figure3 micro netsim readback hub
-   The netsim/readback/hub/vti cases also run in CI as `<case> smoke`;
+                case1 case2 case3 figure3 micro netsim readback hub hub-farm
+   The netsim/readback/hub/hub-farm/vti cases also run in CI as `<case> smoke`;
    each writes a machine-readable BENCH_<case>.json (smoke runs write
    BENCH_<case>_smoke.json so they never clobber full-scale numbers).
 
@@ -233,6 +233,7 @@ let figure7 () =
             (vendor_initial.Vendor.Vivado.modeled_seconds /. avg vti_modeled) );
         ( "measured_recompile_speedup",
           Bench_json.Num (vti_initial_wall /. avg vti_wall) );
+        metrics_field ();
       ]
   in
   pf "wrote %s\n" file
@@ -1222,6 +1223,390 @@ let hub_bench ~smoke () =
   pf "wrote %s\n" file
 
 (* ------------------------------------------------------------------ *)
+(* Hub farm: the socketed, domain-sharded multi-board debug farm        *)
+(* ------------------------------------------------------------------ *)
+
+(* A raw pipelined farm client for the throughput phase.  Net.Client is
+   strictly blocking (one call in flight); here a driver thread writes
+   one request for every client in its charge and only then collects
+   the responses, so up to [clients] requests hit the farm's admission
+   control at once. *)
+type farm_client = {
+  fc_fd : Unix.file_descr;
+  mutable fc_seq : int;
+  mutable fc_gsid : int;
+}
+
+let fc_connect addr =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd addr;
+  Unix.setsockopt fd Unix.TCP_NODELAY true;
+  { fc_fd = fd; fc_seq = 0; fc_gsid = 0 }
+
+let fc_write c req =
+  Hub.Framing.write_frame c.fc_fd
+    (Hub.Protocol.request_to_wire (Hub.Protocol.frame c.fc_gsid c.fc_seq req))
+
+let fc_send c req =
+  c.fc_seq <- c.fc_seq + 1;
+  fc_write c req
+
+(* Read until this client's outstanding response arrives; event frames
+   and stale responses are skipped. *)
+let rec fc_read c =
+  match Hub.Framing.read_frame c.fc_fd with
+  | None -> failwith "farm bench: connection closed"
+  | Some line -> (
+    match Hub.Protocol.response_of_wire line with
+    | Ok r when r.Hub.Protocol.fr_seq = c.fc_seq -> r.Hub.Protocol.fr_payload
+    | Ok _ | Error _ -> fc_read c)
+
+(* Complete one outstanding request, retrying through [Busy] with the
+   same linear backoff Net.Client uses.  Returns the number of Busy
+   refusals retried. *)
+let fc_complete c req =
+  let rec go busy =
+    match fc_read c with
+    | Hub.Protocol.Busy n ->
+      Thread.delay (0.0002 *. float_of_int (1 + n));
+      fc_write c req;
+      go (busy + 1)
+    | Hub.Protocol.Failed msg -> failwith ("farm bench: request failed: " ^ msg)
+    | Hub.Protocol.Done _ | Hub.Protocol.Values _ -> busy
+  in
+  go 0
+
+let fc_open c =
+  fc_send c (Hub.Protocol.Open_session "any");
+  let rec go () =
+    match fc_read c with
+    | Hub.Protocol.Busy n ->
+      Thread.delay (0.0002 *. float_of_int (1 + n));
+      fc_write c (Hub.Protocol.Open_session "any");
+      go ()
+    | Hub.Protocol.Done text -> (
+      match String.split_on_char ' ' text with
+      | [ "session"; g ] -> c.fc_gsid <- int_of_string g
+      | _ -> failwith ("farm bench: bad open response: " ^ text))
+    | Hub.Protocol.Failed msg -> failwith ("farm bench: open failed: " ^ msg)
+    | Hub.Protocol.Values _ -> failwith "farm bench: bad open response"
+  in
+  go ()
+
+(* Two measurements on the same fleet and workload:
+
+   1. Bit-for-bit: one scripted session driven over loopback TCP through
+      the router/shard/socket stack must produce exactly the wire
+      transcript of the same frames driven through the in-process
+      [Hub.call] tick path — the farm adds routing, never behavior.
+
+   2. Throughput under cable occupancy and admission control: N
+      pipelined clients against (a) one shard owning all the boards and
+      (b) one shard per board.  The boards, the hub config, and the
+      per-shard inbox capacity are identical.  Fleet boards run with
+      wall-clock cable emulation ([Board.set_cable_scale]): each
+      board's JTAG transfers occupy real time, serial per cable, so a
+      shard domain overlaps its board's transfers with every other
+      shard's while the single-shard farm drags all the cables through
+      one tick loop — the structural win of sharding a farm, on any
+      core count.  Admission compounds it: with more in-flight requests
+      than one inbox admits, the single-shard farm sheds load as [Busy]
+      and the clients back off; the sharded farm absorbs the burst. *)
+let hub_farm_bench ~smoke () =
+  header
+    (Printf.sprintf "Hub farm: socketed, sharded multi-board debug farm (%s)"
+       (if smoke then "smoke scale" else "full scale"));
+  Obs.reset_metrics ();
+  (* The farm axes are clients and shards; SoC scale is a constant
+     factor on every configuration, so both modes use a compact SoC. *)
+  let config =
+    if smoke then
+      { Manycore.default_config with Manycore.clusters = 2; cores_per_cluster = 2 }
+    else
+      { Manycore.default_config with Manycore.clusters = 4; cores_per_cluster = 3 }
+  in
+  let clients = if smoke then 64 else 256 in
+  let threads = if smoke then 4 else 8 in
+  let rounds = if smoke then 6 else 12 in
+  let farm_boards = if smoke then 2 else 4 in
+  pf "(compiling the %d-core SoC and programming the fleet...)\n%!"
+    (Manycore.total_cores config);
+  let design, units = Manycore.design ~config () in
+  let project = create_project design ~replicated_units:units in
+  let project =
+    add_debug project ~mut:Manycore.debug_core_module
+      ~interfaces:[ Serv.result_interface () ]
+      ~watches:[ { Debug.Trigger.w_name = "halted"; w_width = 1 } ]
+  in
+  let run = compile_vendor project in
+  let info = Option.get project.debug_info in
+  let tag = "manycore-farm" in
+  let fresh_board () =
+    let b = board project in
+    program_vendor b run;
+    b
+  in
+  (* Register inventory off a probe session (same pattern as hub_bench). *)
+  let probe = attach project (fresh_board ()) ~mut_path:Manycore.debug_core_path in
+  let mut_prefix = Host.full_register_name probe "" in
+  let names =
+    List.filter_map
+      (fun n ->
+        if String.starts_with ~prefix:mut_prefix n then
+          Some
+            (String.sub n (String.length mut_prefix)
+               (String.length n - String.length mut_prefix))
+        else None)
+      (Debug.Readback.register_names (Host.site_map probe))
+  in
+  let sel = List.filteri (fun i _ -> i < 6) names in
+  let hub_config =
+    {
+      Hub.Hub.max_sessions_per_board = 2 * clients;
+      max_queue = 2 * clients;
+      session_timeout_ticks = 1_000_000;
+    }
+  in
+  (* Leases effectively never expire here: migration has its own tests;
+     this bench measures routing, admission, and coalescing. *)
+  let farm_config =
+    { Hub.Shard.inbox_capacity = 128; lease_ticks = 1_000_000; hub_config }
+  in
+  (* --- Part 1: bit-for-bit, loopback farm vs in-process tick path --- *)
+  let script =
+    [
+      Hub.Protocol.Attach Manycore.debug_core_path;
+      Hub.Protocol.Subscribe;
+      Hub.Protocol.Read_registers sel;
+      Hub.Protocol.Command (Debug.Repl.Step 3);
+      Hub.Protocol.Read_registers sel;
+      Hub.Protocol.Command (Debug.Repl.Break_any [ ("halted", 1) ]);
+      Hub.Protocol.Command (Debug.Repl.Run 4000);
+      Hub.Protocol.Read_registers sel;
+      Hub.Protocol.Command Debug.Repl.Cycles;
+      Hub.Protocol.Detach;
+    ]
+  in
+  let fleet = List.init 2 (fun _ -> [ (fresh_board (), info, tag) ]) in
+  let router = Hub.Router.create ~config:farm_config ~fleet () in
+  Hub.Router.start router;
+  let srv =
+    Hub.Net.serve ~router (Unix.ADDR_INET (Unix.inet_addr_loopback, 0))
+  in
+  let addr = Hub.Net.bound_addr srv in
+  let cl = Hub.Net.Client.connect addr in
+  let gsid =
+    match Hub.Net.Client.open_session cl with
+    | Ok g -> g
+    | Error msg -> failwith ("farm bench: open over loopback: " ^ msg)
+  in
+  let farm_resps =
+    List.map
+      (fun req ->
+        match Hub.Net.Client.call cl req with
+        | Ok r -> Hub.Protocol.response_to_wire r
+        | Error msg -> failwith ("farm bench: loopback call: " ^ msg))
+      script
+  in
+  let farm_events =
+    List.map Hub.Protocol.event_to_wire (Hub.Net.Client.events cl)
+  in
+  Hub.Net.Client.close cl;
+  Hub.Net.shutdown srv;
+  Hub.Router.stop router;
+  (* The oracle: a fresh identically-programmed board, same frames,
+     driven through the in-process tick path. *)
+  let hub = Hub.Hub.create ~config:hub_config () in
+  let bid =
+    match Hub.Hub.add_board hub (fresh_board ()) ~info with
+    | Ok id -> id
+    | Error msg -> failwith ("farm bench: oracle add_board: " ^ msg)
+  in
+  let sid =
+    match Hub.Hub.open_session hub ~board:bid with
+    | Ok id -> id
+    | Error msg -> failwith ("farm bench: oracle open_session: " ^ msg)
+  in
+  if gsid <> sid then
+    failwith
+      (Printf.sprintf "farm bench: farm gsid %d <> in-process sid %d" gsid sid);
+  let oracle_resps = ref [] in
+  let oracle_events = ref [] in
+  (* The farm client's open consumed seq 1; the script ran on 2..n+1. *)
+  List.iteri
+    (fun i req ->
+      let r = Hub.Hub.call hub (Hub.Protocol.frame sid (i + 2) req) in
+      oracle_resps := Hub.Protocol.response_to_wire r :: !oracle_resps;
+      List.iter
+        (fun ev ->
+          oracle_events := Hub.Protocol.event_to_wire ev :: !oracle_events)
+        (Hub.Hub.events hub ~session:sid))
+    script;
+  let oracle_resps = List.rev !oracle_resps in
+  let oracle_events = List.rev !oracle_events in
+  let check what farm oracle =
+    if List.length farm <> List.length oracle then
+      failwith
+        (Printf.sprintf
+           "farm bench: %s transcript diverges: %d lines over loopback vs %d \
+            in-process"
+           what (List.length farm) (List.length oracle));
+    List.iter2
+      (fun f o ->
+        if f <> o then
+          failwith
+            (Printf.sprintf
+               "farm bench: %s line diverges:\n  loopback   %s\n  in-process %s"
+               what f o))
+      farm oracle
+  in
+  check "response" farm_resps oracle_resps;
+  check "event" farm_events oracle_events;
+  pf
+    "bit-for-bit: %d response + %d event wire lines identical, loopback farm \
+     vs in-process\n%!"
+    (List.length farm_resps) (List.length farm_events);
+  (* --- Part 2: throughput under admission control ------------------- *)
+  (* Wall-clock cable emulation: the farm's scarce resource is one JTAG
+     cable per board — serial per board, concurrent across boards.  Each
+     fleet board sleeps [cable_wall_scale] wall seconds per modeled
+     cable second inside execute, so a shard domain occupies its own
+     board's cable while other shards' cables keep moving; the
+     single-shard config serializes all four cables through one domain.
+     Both configs get the identical scale; 0.04 compresses the ~minutes
+     of modeled cable a step-heavy drive generates into tens of wall
+     seconds while staying far above scheduler noise. *)
+  let cable_wall_scale = 0.04 in
+  let mk_fleet shards boards_per_shard =
+    List.init shards (fun _ ->
+        List.init boards_per_shard (fun _ ->
+            let b = fresh_board () in
+            Board.set_cable_scale b cable_wall_scale;
+            (b, info, tag)))
+  in
+  let run_config ~label ~fleet =
+    let router = Hub.Router.create ~config:farm_config ~fleet () in
+    Hub.Router.start router;
+    let srv =
+      Hub.Net.serve ~router (Unix.ADDR_INET (Unix.inet_addr_loopback, 0))
+    in
+    let addr = Hub.Net.bound_addr srv in
+    let cs = Array.init clients (fun _ -> fc_connect addr) in
+    Array.iter fc_open cs;
+    Array.iter
+      (fun c ->
+        let att = Hub.Protocol.Attach Manycore.debug_core_path in
+        fc_send c att;
+        ignore (fc_complete c att))
+      cs;
+    let per = clients / threads in
+    let busy_total = Atomic.make 0 in
+    (* ~3:1 read:step mix, staggered so steps spread across clients *)
+    let op round i =
+      if (round + i) mod 4 = 0 then Hub.Protocol.Command (Debug.Repl.Step 1)
+      else Hub.Protocol.Read_registers sel
+    in
+    let drive ti =
+      let mine = Array.sub cs (ti * per) per in
+      for round = 1 to rounds do
+        Array.iteri (fun j c -> fc_send c (op round ((ti * per) + j))) mine;
+        Array.iteri
+          (fun j c ->
+            let busy = fc_complete c (op round ((ti * per) + j)) in
+            if busy > 0 then
+              ignore (Atomic.fetch_and_add busy_total busy))
+          mine
+      done
+    in
+    let t0 = Unix.gettimeofday () in
+    let ths = List.init threads (fun ti -> Thread.create drive ti) in
+    List.iter Thread.join ths;
+    let dt = Unix.gettimeofday () -. t0 in
+    Array.iter (fun c -> try Unix.close c.fc_fd with Unix.Unix_error _ -> ()) cs;
+    Hub.Net.shutdown srv;
+    Hub.Router.stop router;
+    let ratios =
+      Array.to_list
+        (Array.map
+           (fun sh ->
+             let st = Hub.Hub.stats (Hub.Shard.hub sh) in
+             if st.Hub.Stats.cable_seconds > 0.0 then
+               st.Hub.Stats.serial_cable_seconds /. st.Hub.Stats.cable_seconds
+             else 1.0)
+           (Hub.Router.shards router))
+    in
+    let cable_total =
+      Array.fold_left
+        (fun acc sh ->
+          acc +. (Hub.Hub.stats (Hub.Shard.hub sh)).Hub.Stats.cable_seconds)
+        0.0 (Hub.Router.shards router)
+    in
+    let ops = clients * rounds in
+    let rps = float_of_int ops /. dt in
+    pf "%-24s %6d ops in %6.2fs = %9.0f req/s   busy retried: %d\n" label ops
+      dt rps
+      (Atomic.get busy_total);
+    pf "%-24s per-shard coalescing: %s   cable %.1fs modeled\n%!" ""
+      (String.concat " " (List.map (Printf.sprintf "%.2fx") ratios))
+      cable_total;
+    (rps, Atomic.get busy_total, ratios)
+  in
+  pf
+    "\n%d pipelined loopback clients, %d driver threads, %d rounds, ~3:1 \
+     read:step mix, %d boards per config\n\n"
+    clients threads rounds farm_boards;
+  let multi_rps, multi_busy, multi_ratios =
+    run_config
+      ~label:(Printf.sprintf "%d shards x 1 board" farm_boards)
+      ~fleet:(mk_fleet farm_boards 1)
+  in
+  let single_rps, single_busy, single_ratios =
+    run_config
+      ~label:(Printf.sprintf "1 shard x %d boards" farm_boards)
+      ~fleet:(mk_fleet 1 farm_boards)
+  in
+  let speedup = multi_rps /. single_rps in
+  pf
+    "\nsharded/single goodput: %.2fx  (%d cables overlapped vs serialized; \
+     admission %d vs %d against %d in-flight)\n"
+    speedup farm_boards
+    (farm_boards * farm_config.Hub.Shard.inbox_capacity)
+    farm_config.Hub.Shard.inbox_capacity clients;
+  if (not smoke) && speedup <= 1.0 then
+    failwith
+      "farm bench: multi-shard farm did not beat the single-shard farm on \
+       the same workload";
+  let json_floats l =
+    "[" ^ String.concat "," (List.map (Printf.sprintf "%.4g") l) ^ "]"
+  in
+  let file =
+    Bench_json.write ~case:(if smoke then "hub_farm_smoke" else "hub_farm")
+      [
+        ("case", Bench_json.Str (if smoke then "hub_farm_smoke" else "hub_farm"));
+        ("smoke", Bench_json.Bool smoke);
+        ("scale_cores", Bench_json.Int (Manycore.total_cores config));
+        ("clients", Bench_json.Int clients);
+        ("driver_threads", Bench_json.Int threads);
+        ("rounds", Bench_json.Int rounds);
+        ("shards_multi", Bench_json.Int farm_boards);
+        ("cable_wall_scale", Bench_json.Num cable_wall_scale);
+        ("bit_for_bit", Bench_json.Bool true);
+        ( "bit_for_bit_lines",
+          Bench_json.Int (List.length farm_resps + List.length farm_events) );
+        ("multi_req_s", Bench_json.Num multi_rps);
+        ("single_req_s", Bench_json.Num single_rps);
+        ("sharded_speedup", Bench_json.Num speedup);
+        ("busy_retries_multi", Bench_json.Int multi_busy);
+        ("busy_retries_single", Bench_json.Int single_busy);
+        ("coalescing_per_shard_multi", Bench_json.Raw (json_floats multi_ratios));
+        ( "coalescing_per_shard_single",
+          Bench_json.Raw (json_floats single_ratios) );
+        metrics_field ();
+      ]
+  in
+  pf "wrote %s\n" file
+
+(* ------------------------------------------------------------------ *)
 (* VTI engine: incremental recompilation vs the monolithic baseline     *)
 (* ------------------------------------------------------------------ *)
 
@@ -1591,6 +1976,7 @@ let experiments =
     ("netsim-batch", netsim_batch_bench ~smoke:false);
     ("readback", readback_extraction ~smoke:false);
     ("hub", hub_bench ~smoke:false);
+    ("hub-farm", hub_farm_bench ~smoke:false);
     ("vti", vti_bench ~smoke:false);
     ("fuzz", fuzz_bench ~smoke:false);
   ]
@@ -1626,6 +2012,10 @@ let () =
   | [| _; "hub"; "smoke" |] ->
     (* CI smoke mode: same coalescing measurement on a small SoC. *)
     hub_bench ~smoke:true ()
+  | [| _; "hub-farm"; "smoke" |] ->
+    (* CI smoke mode: same bit-for-bit + admission measurement, fewer
+       clients and boards. *)
+    hub_farm_bench ~smoke:true ()
   | [| _; "vti"; "smoke" |] ->
     (* CI smoke mode: same engine differential on a small SoC. *)
     vti_bench ~smoke:true ()

@@ -224,6 +224,59 @@ let repl_cmd =
          "Drive a scripted debug session on the bundled Cohort SoC (reads           commands from --script or stdin)")
     Term.(const run $ script_file $ trace_arg)
 
+(* --listen HOST:PORT or --listen PATH (unix socket). *)
+let addr_of_spec spec =
+  if String.contains spec '/' then Unix.ADDR_UNIX spec
+  else
+    match Hub.Net.parse_addr spec with
+    | Ok addr -> addr
+    | Error msg -> Fmt.failwith "--listen: %s" msg
+
+(* The socketed farm: shards x 1 Cohort board behind the zh1 listener,
+   until SIGINT.  Shutdown order matters: stop admitting (close the
+   listener), drain and join the shard domains, then release every
+   board lease so another front-end can claim the fleet; the --trace
+   flush runs after all of it via with_trace's finally. *)
+let hub_serve ~project ~run ~info ~spec ~shards =
+  let fleet =
+    List.init shards (fun _ ->
+        let b = board project in
+        program_vendor b run;
+        Synth.Netsim.poke_input (Bitstream.Board.netsim b) "start"
+          (Rtl.Bits.of_int ~width:1 1);
+        [ (b, info, "cohort") ])
+  in
+  let router = Hub.Router.create ~fleet () in
+  Hub.Router.start router;
+  let srv = Hub.Net.serve ~router (addr_of_spec spec) in
+  (match Hub.Net.bound_addr srv with
+  | Unix.ADDR_INET (ip, port) ->
+    Fmt.pr "zoomie hub: %d shard(s) x 1 board serving zh1 on %s:%d@." shards
+      (Unix.string_of_inet_addr ip) port
+  | Unix.ADDR_UNIX path ->
+    Fmt.pr "zoomie hub: %d shard(s) x 1 board serving zh1 on %s@." shards path);
+  Fmt.pr "zoomie hub: Ctrl-C to shut down@.";
+  let stop = Atomic.make false in
+  let prev =
+    Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> Atomic.set stop true))
+  in
+  while not (Atomic.get stop) do
+    try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  Sys.set_signal Sys.sigint prev;
+  Fmt.pr "zoomie hub: shutting down (%d sessions live)@."
+    (Hub.Router.session_count router);
+  Hub.Net.shutdown srv;
+  Hub.Router.stop router;
+  Array.iteri
+    (fun i sh ->
+      let h = Hub.Shard.hub sh in
+      List.iter
+        (fun bid -> ignore (Hub.Hub.remove_board h bid))
+        (Hub.Hub.board_ids h);
+      Fmt.pr "--- shard %d ---@.%s@." i (Hub.Stats.summary (Hub.Hub.stats h)))
+    (Hub.Router.shards router)
+
 let hub_cmd =
   let clients =
     Arg.(
@@ -237,7 +290,20 @@ let hub_cmd =
           ~doc:
             "Wire-format request frames (zh1 <session> <seq> ...), one per           line; a line reading 'tick' advances the hub.  Sessions 0..N-1           are pre-opened.  Default: run a demo workload.")
   in
-  let run clients script_file trace_file =
+  let listen =
+    Arg.(
+      value & opt (some string) None
+      & info [ "l"; "listen" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Serve the zh1 protocol over TCP (HOST:PORT, port 0 picks one) or           a unix socket (a path) instead of running the in-process demo;           Ctrl-C shuts the farm down cleanly")
+  in
+  let shards =
+    Arg.(
+      value & opt int 2
+      & info [ "shards" ] ~docv:"N"
+          ~doc:"Board shards (one domain + one board each) under --listen")
+  in
+  let run clients script_file listen shards trace_file =
     with_trace trace_file @@ fun () ->
     (* Board setup mirrors `zoomie repl`: the Cohort SoC case study. *)
     let monitor =
@@ -251,11 +317,16 @@ let hub_cmd =
         ~assertions:[ monitor ]
     in
     let run = compile_vendor project in
+    let info = Option.get project.debug_info in
+    match listen with
+    | Some spec ->
+      if shards < 1 then Fmt.failwith "--shards must be >= 1";
+      hub_serve ~project ~run ~info ~spec ~shards
+    | None ->
     let board = board project in
     program_vendor board run;
     Synth.Netsim.poke_input (Bitstream.Board.netsim board) "start"
       (Rtl.Bits.of_int ~width:1 1);
-    let info = Option.get project.debug_info in
     let hub = Hub.Hub.create () in
     let bid =
       match Hub.Hub.add_board hub board ~info with
@@ -361,8 +432,8 @@ let hub_cmd =
   Cmd.v
     (Cmd.info "hub"
        ~doc:
-         "Serve scripted multi-client debug sessions over one board, with           cross-session readback coalescing")
-    Term.(const run $ clients $ script_file $ trace_arg)
+         "Serve multi-client debug sessions: scripted in-process over one           board, or (--listen) a socketed multi-shard farm speaking zh1")
+    Term.(const run $ clients $ script_file $ listen $ shards $ trace_arg)
 
 let fuzz_cmd =
   let oracle_enum =

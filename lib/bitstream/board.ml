@@ -27,6 +27,16 @@ type bitstream = {
   bs_dynamic : Region.t list;  (** regions being reconfigured *)
 }
 
+(* State bits resident in one configuration frame — the inverse of the
+   locmap walks below, precomputed per design so capture/restore touch
+   only the frames a readback actually transfers instead of sweeping
+   every state bit on the SLR. *)
+type frame_bits = {
+  fb_ffs : (int * int * int) array;  (* ff index, frame word, frame bit *)
+  fb_mems : (int * int * int * int * int) array;
+      (* mem index, addr, mem bit, frame word, frame bit *)
+}
+
 type t = {
   device : Device.t;
   ucs : Uc.t array;
@@ -36,12 +46,30 @@ type t = {
   meter : Jtag.Meter.t;
   mutable fpga_cycles : int;
   mutable lease : string option;
+  mutable state_index :
+    (payload * (int * int * int, frame_bits) Hashtbl.t array) option;
+      (* per-SLR frame-key -> state-bits map for the keyed payload *)
+  mutable cable_scale : float;
+      (* wall seconds slept per modeled cable second during execute;
+         0 = pure model (default) *)
+  mutable cable_debt : float;
+      (* accumulated unslept cable wall time; paid off in >=5ms chunks
+         so sub-millisecond transfers don't each eat a scheduler tick *)
 }
 
 let device t = t.device
 let jtag_seconds t = Jtag.Meter.seconds t.meter
 let meter t = t.meter
 let fpga_cycles t = t.fpga_cycles
+
+(* Wall-clock cable emulation: when set, every execute sleeps
+   [cable_scale] wall seconds per modeled cable second it charged.  The
+   transport is the resource a debug farm shards — one cable per board,
+   transfers overlapping across boards but serial on each — so a farm
+   harness enables this to make cable occupancy real to the scheduler.
+   Off (0.0) everywhere else: the model stays purely virtual-time. *)
+let set_cable_scale t s = t.cable_scale <- max 0.0 s
+let cable_scale t = t.cable_scale
 
 (* --- ownership lease (advisory, for multi-session front-ends) --- *)
 
@@ -183,27 +211,174 @@ let iter_slr_mem_bits t ~slr f =
           done)
       p.locmap.Loc.mem_placements
 
-(* GCAPTURE: live state -> frames of SLR [slr]. *)
-let capture_slr t slr =
-  let frames = (uc t slr).Uc.frames in
-  iter_slr_ffs t ~slr (fun i site sim ->
-      let minor, word, bit = Loc.ff_frame_bit site in
-      Frames.set_bit frames (site.Loc.f_row, site.Loc.f_col, minor) ~word ~bit
-        (Netsim.ff_value sim i));
-  iter_slr_mem_bits t ~slr (fun ~mi ~addr ~bit ~key ~word ~fbit sim ->
-      Frames.set_bit frames key ~word ~bit:fbit (Netsim.mem_bit sim mi ~addr ~bit))
+(* --- frame-key -> state-bits reverse index ----------------------------- *)
 
-(* GRESTORE: frames of SLR [slr] -> live state. *)
-let restore_slr t slr =
-  let frames = (uc t slr).Uc.frames in
-  iter_slr_ffs t ~slr (fun i site sim ->
+(* One walk over the whole design (all SLRs at once), mirroring the bit
+   layout of [iter_slr_ffs]/[iter_slr_mem_bits] exactly.  Visibility
+   (GSR restriction + dynamic regions) is NOT baked in: it depends on
+   runtime CTL0 state, and every site in a frame shares the frame key's
+   (row, col), so the filter collapses to one check per frame at use
+   time. *)
+let build_state_index t (p : payload) =
+  let n = Array.length t.ucs in
+  let tmp = Array.init n (fun _ -> Hashtbl.create 1024) in
+  let cell slr key =
+    let tbl = tmp.(slr) in
+    match Hashtbl.find_opt tbl key with
+    | Some c -> c
+    | None ->
+      let c = (ref [], ref []) in
+      Hashtbl.add tbl key c;
+      c
+  in
+  Array.iteri
+    (fun i (site : Loc.ff_site) ->
       let minor, word, bit = Loc.ff_frame_bit site in
-      Netsim.set_ff sim i
-        (Frames.get_bit frames (site.Loc.f_row, site.Loc.f_col, minor) ~word ~bit));
-  iter_slr_mem_bits t ~slr (fun ~mi ~addr ~bit ~key ~word ~fbit sim ->
-      Netsim.set_mem_bit sim mi ~addr ~bit
-        (Frames.get_bit frames key ~word ~bit:fbit));
-  (match t.design with Some (_, sim) -> Netsim.eval_comb sim | None -> ())
+      let ffs, _ = cell site.Loc.f_slr (site.Loc.f_row, site.Loc.f_col, minor) in
+      ffs := (i, word, bit) :: !ffs)
+    p.locmap.Loc.ff_sites;
+  Array.iteri
+    (fun mi placement ->
+      let m = p.netlist.Netlist.mems.(mi) in
+      match placement with
+      | Loc.In_bram sites ->
+        let width_blocks = (m.Netlist.mem_width + 35) / 36 in
+        for addr = 0 to m.Netlist.mem_depth - 1 do
+          for bit = 0 to m.Netlist.mem_width - 1 do
+            let brow, bcol, within =
+              Loc.bram_bit_position ~depth:m.Netlist.mem_depth ~addr ~bit
+            in
+            let ordinal = (brow * width_blocks) + bcol in
+            if ordinal < Array.length sites then begin
+              let site = sites.(ordinal) in
+              let minor, word, fbit =
+                Geometry.bram_location ~tile:site.Loc.b_tile ~bit:within
+              in
+              let _, mems =
+                cell site.Loc.b_slr (site.Loc.b_row, site.Loc.b_col, minor)
+              in
+              mems := (mi, addr, bit, word, fbit) :: !mems
+            end
+          done
+        done
+      | Loc.In_lutram sites ->
+        let depth_units = (m.Netlist.mem_depth + 63) / 64 in
+        for addr = 0 to m.Netlist.mem_depth - 1 do
+          for bit = 0 to m.Netlist.mem_width - 1 do
+            let depth_unit, bitcol, within = Loc.lutram_bit_position ~addr ~bit in
+            let ordinal = (bitcol * depth_units) + depth_unit in
+            if ordinal < Array.length sites then begin
+              let site = sites.(ordinal) in
+              let minor, word, fbit =
+                Geometry.lut_location ~tile:site.Loc.l_tile
+                  ~site:site.Loc.l_index ~bit:within
+              in
+              let _, mems =
+                cell site.Loc.l_slr (site.Loc.l_row, site.Loc.l_col, minor)
+              in
+              mems := (mi, addr, bit, word, fbit) :: !mems
+            end
+          done
+        done)
+    p.locmap.Loc.mem_placements;
+  Array.map
+    (fun tbl ->
+      let out = Hashtbl.create (max 16 (Hashtbl.length tbl)) in
+      Hashtbl.iter
+        (fun key (ffs, mems) ->
+          Hashtbl.add out key
+            {
+              fb_ffs = Array.of_list (List.rev !ffs);
+              fb_mems = Array.of_list (List.rev !mems);
+            })
+        tbl;
+      out)
+    tmp
+
+(* Keyed on the payload's physical identity: (re)configuration installs a
+   fresh payload, which invalidates the cache by construction. *)
+let state_index t (p : payload) =
+  match t.state_index with
+  | Some (p', idx) when p' == p -> idx
+  | _ ->
+    let idx = build_state_index t p in
+    t.state_index <- Some (p, idx);
+    idx
+
+(* Every site in a frame shares the key's (row, col), so the GSR
+   restriction check of [iter_slr_ffs]/[iter_slr_mem_bits] is one test
+   per frame here. *)
+let frame_visible t ~slr key =
+  (not (Uc.gsr_restricted t.ucs.(slr)))
+  ||
+  let row, col, _ = key in
+  Region.contains_any t.dynamic_regions ~slr ~row ~col
+
+(* The lazy half of GCAPTURE: refresh the state bits of one frame from
+   the live design, at FDRO read time. *)
+let fill_frame t slr key =
+  match t.design with
+  | None -> ()
+  | Some (p, sim) -> (
+    match Hashtbl.find_opt (state_index t p).(slr) key with
+    | None -> ()
+    | Some fb ->
+      if frame_visible t ~slr key then begin
+        let frames = t.ucs.(slr).Uc.frames in
+        Array.iter
+          (fun (i, word, bit) ->
+            Frames.set_bit frames key ~word ~bit (Netsim.ff_value sim i))
+          fb.fb_ffs;
+        Array.iter
+          (fun (mi, addr, bit, word, fbit) ->
+            Frames.set_bit frames key ~word ~bit:fbit
+              (Netsim.mem_bit sim mi ~addr ~bit))
+          fb.fb_mems
+      end)
+
+(* GCAPTURE, eagerly: arm the µc and materialize every state frame of
+   SLR [slr].  The packet-stream path never calls this — FDRO reads
+   materialize lazily via [fill_frame] — but the exported entry point
+   keeps the "snapshot now" contract for direct frame inspection. *)
+let capture_slr t slr =
+  Uc.arm_capture t.ucs.(slr);
+  match t.design with
+  | None -> ()
+  | Some (p, _) ->
+    Hashtbl.iter (fun key _ -> fill_frame t slr key) (state_index t p).(slr)
+
+(* GRESTORE: drive the frames written since the last GCAPTURE back into
+   live state.  Clean frames either mirror the fabric already (captured)
+   or predate the capture that superseded them — either way the full-SLR
+   sweep they used to get was a no-op. *)
+let restore_slr t slr =
+  match t.design with
+  | None -> ()
+  | Some (p, sim) ->
+    let u = t.ucs.(slr) in
+    let idx = (state_index t p).(slr) in
+    let applied = ref false in
+    List.iter
+      (fun key ->
+        match Hashtbl.find_opt idx key with
+        | None -> ()
+        | Some fb ->
+          if frame_visible t ~slr key then begin
+            applied := true;
+            Uc.mark_clean u key;
+            let frames = u.Uc.frames in
+            Array.iter
+              (fun (i, word, bit) ->
+                Netsim.set_ff sim i (Frames.get_bit frames key ~word ~bit))
+              fb.fb_ffs;
+            Array.iter
+              (fun (mi, addr, bit, word, fbit) ->
+                Netsim.set_mem_bit sim mi ~addr ~bit
+                  (Frames.get_bit frames key ~word ~bit:fbit))
+              fb.fb_mems
+          end)
+      (Uc.dirty_keys u);
+    if !applied then Netsim.eval_comb sim
 
 (* START: pulse GSR — FFs (within the restriction) take their init value. *)
 let start_slr t slr =
@@ -221,15 +396,21 @@ let create device =
       meter = Jtag.Meter.create ();
       fpga_cycles = 0;
       lease = None;
+      state_index = None;
+      cable_scale = 0.0;
+      cable_debt = 0.0;
     }
   in
   Array.iteri
     (fun i u ->
       Uc.set_hooks u
         {
-          Uc.on_gcapture = (fun () -> capture_slr t i);
+          (* GCAPTURE itself is bookkeeping only (the µc arms lazy
+             readout); frames materialize per-key as FDRO serves them. *)
+          Uc.on_gcapture = (fun () -> ());
           on_grestore = (fun () -> restore_slr t i);
           on_start = (fun () -> start_slr t i);
+          on_frame_read = (fun key -> fill_frame t i key);
         })
     t.ucs;
   t
@@ -315,6 +496,7 @@ let execute t (stream : int array) =
       | _ -> ignore (take (match op with Packet.Op_write -> count | _ -> 0)))
     | Packet.Type1 { op = Packet.Op_nop; _ } | Packet.Raw _ -> bout_run := 0
   done;
+  let before = Jtag.Meter.seconds t.meter in
   Jtag.Meter.charge t.meter
     {
       Jtag.Meter.m_words = n + !out_words;
@@ -323,6 +505,21 @@ let execute t (stream : int array) =
       m_gcaptures = !gcaptures;
       m_grestores = !grestores;
     };
+  if t.cable_scale > 0.0 then begin
+    (* occupy the cable in wall time (scaled); the executing domain
+       blocks exactly as a thread driving a real JTAG adapter would,
+       letting other boards' cables run concurrently.  Debt below 5ms
+       carries over — sleeping it immediately would round every tiny
+       transfer up to a whole scheduler tick and inflate the total far
+       beyond [cable_scale]'s compression factor. *)
+    t.cable_debt <-
+      t.cable_debt +. (t.cable_scale *. (Jtag.Meter.seconds t.meter -. before));
+    if t.cable_debt >= 0.005 then begin
+      let d = t.cable_debt in
+      t.cable_debt <- 0.0;
+      Unix.sleepf d
+    end
+  end;
   Array.concat (List.rev !out)
 
 (** Pure pricing scan: the {!Jtag.Meter.counts} an {!execute} of [stream]
@@ -484,6 +681,7 @@ let load t (bs : bitstream) =
     | None -> ());
     t.design <- Some (p, fresh);
     t.batch <- None;
+    t.state_index <- None;
     Netsim.eval_comb fresh
   | None -> ());
   (* The primary µc rejects the whole configuration on IDCODE mismatch. *)

@@ -37,6 +37,15 @@ type bitstream = {
   bs_dynamic : Region.t list;  (** regions being reconfigured *)
 }
 
+(** The state bits resident in one configuration frame (reverse of the
+    locmap): precomputed per design so capture/restore touch only the
+    frames a readback actually transfers. *)
+type frame_bits = {
+  fb_ffs : (int * int * int) array;  (** ff index, frame word, frame bit *)
+  fb_mems : (int * int * int * int * int) array;
+      (** mem index, addr, mem bit, frame word, frame bit *)
+}
+
 type t = {
   device : Device.t;
   ucs : Uc.t array;  (** one configuration uc per SLR *)
@@ -46,6 +55,13 @@ type t = {
   meter : Jtag.Meter.t;  (** the instrumented transport meter *)
   mutable fpga_cycles : int;  (** user-clock cycles executed *)
   mutable lease : string option;  (** advisory ownership lease *)
+  mutable state_index :
+    (payload * (int * int * int, frame_bits) Hashtbl.t array) option;
+      (** per-SLR frame-key -> state-bits cache for the keyed payload *)
+  mutable cable_scale : float;
+      (** wall seconds slept per modeled cable second (0 = pure model) *)
+  mutable cable_debt : float;
+      (** unslept cable wall time, paid off in >=5ms chunks *)
 }
 
 val create : Device.t -> t
@@ -58,6 +74,16 @@ val jtag_seconds : t -> float
 
 (** The board's transport meter — every {!execute} charges it once. *)
 val meter : t -> Jtag.Meter.t
+
+(** Wall-clock cable emulation: sleep [scale] wall seconds per modeled
+    cable second inside every {!execute}.  A debug farm enables this so
+    cable occupancy is real to the scheduler — one cable per board,
+    serial on each board, overlapping across boards — at a compression
+    factor the harness picks.  0 (the default) keeps the transport
+    purely virtual-time; tests and single-board flows never need it. *)
+val set_cable_scale : t -> float -> unit
+
+val cable_scale : t -> float
 
 val fpga_cycles : t -> int
 
@@ -146,10 +172,16 @@ val iter_slr_mem_bits :
   unit) ->
   unit
 
-(** GCAPTURE on one SLR: snapshot live FF/memory state into its frames. *)
+(** GCAPTURE on one SLR, eagerly: snapshot live FF/memory state into its
+    frames.  The packet-stream path is lazier — a GCAPTURE command only
+    arms the µc, and each frame's state bits materialize when an FDRO
+    read actually serves that frame — but this entry point materializes
+    everything at once for direct frame inspection. *)
 val capture_slr : t -> int -> unit
 
-(** GRESTORE on one SLR: drive frame contents back into live state. *)
+(** GRESTORE on one SLR: drive the frames written since the last
+    GCAPTURE back into live state (clean frames already mirror the
+    fabric, so the full-SLR sweep they used to get was a no-op). *)
 val restore_slr : t -> int -> unit
 
 (** Release the start-up sequence on one SLR (end of configuration). *)

@@ -11,14 +11,24 @@ type mode = Mode_idle | Mode_wcfg | Mode_rcfg
 
 type hooks = {
   on_gcapture : unit -> unit;
-      (** copy live FF/BRAM state of this SLR into its frames *)
+      (** a GCAPTURE was issued (capture itself is lazy — see
+          [on_frame_read]) *)
   on_grestore : unit -> unit;
-      (** load FF/BRAM state of this SLR from its frames *)
+      (** load FF/BRAM state of this SLR from its dirty frames *)
   on_start : unit -> unit;  (** start clocks / pulse GSR *)
+  on_frame_read : int * int * int -> unit;
+      (** refresh the live state bits of one frame before FDRO serves
+          it — the lazy half of GCAPTURE.  Called only for armed,
+          non-dirty frames. *)
 }
 
 let null_hooks =
-  { on_gcapture = (fun () -> ()); on_grestore = (fun () -> ()); on_start = (fun () -> ()) }
+  {
+    on_gcapture = (fun () -> ());
+    on_grestore = (fun () -> ());
+    on_start = (fun () -> ());
+    on_frame_read = (fun _ -> ());
+  }
 
 type t = {
   slr_index : int;
@@ -35,6 +45,11 @@ type t = {
   mutable idcode_writes : int list;  (* §4.5 observability *)
   mutable idcode_error : bool;
   mutable synced : bool;
+  dirty : (int * int * int, unit) Hashtbl.t;
+      (* frames written via FDRI since the last GCAPTURE: exactly the set
+         a GRESTORE must drive back into the fabric, and the set whose
+         written content must win over a lazy capture refresh *)
+  mutable captured : bool;  (* a GCAPTURE has armed lazy state readout *)
 }
 
 let create ~device ~slr_index =
@@ -54,9 +69,29 @@ let create ~device ~slr_index =
     idcode_writes = [];
     idcode_error = false;
     synced = false;
+    dirty = Hashtbl.create 64;
+    captured = false;
   }
 
 let set_hooks t hooks = t.hooks <- hooks
+
+(* --- dirty-frame bookkeeping for lazy capture/restore ----------------- *)
+
+(* GCAPTURE supersedes earlier FDRI writes: from here on the fabric is
+   the source of truth for every state bit, so the dirty set resets. *)
+let arm_capture t =
+  Hashtbl.reset t.dirty;
+  t.captured <- true
+
+let capture_armed t = t.captured
+
+let mark_dirty t key = Hashtbl.replace t.dirty key ()
+
+let frame_dirty t key = Hashtbl.mem t.dirty key
+
+let mark_clean t key = Hashtbl.remove t.dirty key
+
+let dirty_keys t = Hashtbl.fold (fun k () l -> k :: l) t.dirty []
 
 (** Is GSR / capture currently restricted to the dynamic region?  CTL0 bit 0,
     left set by partial reconfiguration unless explicitly cleared (§4.7). *)
@@ -88,6 +123,7 @@ let write_fdri_words t data =
       for k = 0 to take - 1 do
         Frames.write_word t.frames (row, col, minor) k data.(!i + k)
       done;
+      mark_dirty t (row, col, minor);
       i := !i + take;
       advance_far t
     end
@@ -101,6 +137,10 @@ let read_fdro_words t ~count =
   while !i < count do
     if far_valid t then begin
       let row, col, minor = t.far in
+      (* Lazy GCAPTURE: materialize this frame's state bits only now that
+         someone reads them.  Dirty frames keep their written content. *)
+      if t.captured && not (frame_dirty t (row, col, minor)) then
+        t.hooks.on_frame_read (row, col, minor);
       let take = min wpf (count - !i) in
       for k = 0 to take - 1 do
         out.(!i + k) <- Frames.read_word t.frames (row, col, minor) k
@@ -124,7 +164,9 @@ let write_reg t (reg : Packet.reg) (values : int array) =
         match Packet.command_of_code v with
         | Some Packet.Cmd_wcfg -> t.mode <- Mode_wcfg
         | Some Packet.Cmd_rcfg -> t.mode <- Mode_rcfg
-        | Some Packet.Cmd_gcapture -> t.hooks.on_gcapture ()
+        | Some Packet.Cmd_gcapture ->
+          arm_capture t;
+          t.hooks.on_gcapture ()
         | Some Packet.Cmd_grestore -> t.hooks.on_grestore ()
         | Some Packet.Cmd_start -> t.hooks.on_start ()
         | Some Packet.Cmd_desync -> t.synced <- false

@@ -13,11 +13,18 @@ open Zoomie_fabric
 type mode = Mode_idle | Mode_wcfg | Mode_rcfg
 
 (** Callbacks into the board when configuration commands demand fabric
-    action (GCAPTURE/GRESTORE/START). *)
+    action (GCAPTURE/GRESTORE/START).  Capture is lazy: GCAPTURE only
+    arms the µc; [on_frame_read] then materializes the state bits of
+    each frame on demand when FDRO actually serves it, so a readback
+    pays only for the frames it transfers. *)
 type hooks = {
   on_gcapture : unit -> unit;
   on_grestore : unit -> unit;
   on_start : unit -> unit;
+  on_frame_read : int * int * int -> unit;
+      (** refresh the live state bits of frame [(row, col, minor)]
+          before an FDRO read serves it; called only when a GCAPTURE is
+          armed and the frame has not been written since *)
 }
 
 val null_hooks : hooks
@@ -37,11 +44,32 @@ type t = {
   mutable idcode_writes : int list;  (** every IDCODE value seen (newest first) *)
   mutable idcode_error : bool;  (** primary-only: IDCODE mismatch latched *)
   mutable synced : bool;
+  dirty : (int * int * int, unit) Hashtbl.t;
+      (** frames written via FDRI since the last GCAPTURE — what a
+          GRESTORE drives back, and what a lazy capture must not clobber *)
+  mutable captured : bool;  (** a GCAPTURE has armed lazy state readout *)
 }
 
 val create : device:Device.t -> slr_index:int -> t
 
 val set_hooks : t -> hooks -> unit
+
+(** Arm lazy capture and reset the dirty set — GCAPTURE's bookkeeping
+    (the fabric becomes the source of truth for every state bit). *)
+val arm_capture : t -> unit
+
+val capture_armed : t -> bool
+
+val mark_dirty : t -> int * int * int -> unit
+
+val frame_dirty : t -> int * int * int -> bool
+
+(** Forget a frame's dirty bit — after a GRESTORE applied it, frame and
+    fabric agree again. *)
+val mark_clean : t -> int * int * int -> unit
+
+(** Frames written since the last GCAPTURE (unordered). *)
+val dirty_keys : t -> (int * int * int) list
 
 (** Is the CTL0 GSR-mask restriction in force (left set by a partial
     bitstream until readback clears it, §4.7)? *)

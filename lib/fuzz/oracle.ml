@@ -427,6 +427,7 @@ let run_hub (inp : input) =
         match call (Protocol.Command cmd) with
         | Protocol.Done s -> s
         | Protocol.Failed s -> "failed: " ^ s
+        | Protocol.Busy _ -> "unexpected-busy"
         | Protocol.Values _ -> "unexpected-values"
       in
       let serial_text =
@@ -467,7 +468,10 @@ let run_hub (inp : input) =
           diverge "hub:read-registers"
             (Printf.sprintf "serial host read %s but the hub failed: %s" name m)
         | Protocol.Done _, _ ->
-          diverge "hub:read-registers" "hub answered a read with Done")
+          diverge "hub:read-registers" "hub answered a read with Done"
+        | Protocol.Busy _, _ ->
+          diverge "hub:read-registers"
+            "hub answered a read with Busy (no farm in the oracle)")
       | _ -> ())
     inp.in_commands;
   Pass

@@ -1,0 +1,103 @@
+(** Length-prefixed framing for zh1 lines on a byte stream.
+
+    The wire protocol is line-shaped ([zh1 <session> <seq> <verb> ...])
+    but sockets deliver arbitrary byte runs, so each line travels behind
+    a 4-byte big-endian length prefix.  Two surfaces: blocking
+    [write_frame]/[read_frame] for simple clients, and an incremental
+    {!decoder} for the server's select loop, which must never block on a
+    half-received frame. *)
+
+exception Frame_error of string
+
+(* A frame is one protocol line; anything near a megabyte is a bug or an
+   attack, not a transcript. *)
+let max_frame = 1 lsl 20
+
+let encode payload =
+  let n = String.length payload in
+  if n > max_frame then
+    raise (Frame_error (Printf.sprintf "frame too large (%d bytes)" n));
+  let b = Bytes.create (4 + n) in
+  Bytes.set_int32_be b 0 (Int32.of_int n);
+  Bytes.blit_string payload 0 b 4 n;
+  b
+
+(* Loop until the whole buffer is on the wire; Unix.write may be short. *)
+let write_all fd b =
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done
+
+let write_frame fd payload = write_all fd (encode payload)
+
+(* Read exactly [n] bytes, or [None] on a clean EOF at a frame boundary
+   ([exact] false).  EOF mid-frame is a protocol error. *)
+let read_exactly fd n ~exact =
+  let b = Bytes.create n in
+  let off = ref 0 in
+  let eof = ref false in
+  while (not !eof) && !off < n do
+    match Unix.read fd b !off (n - !off) with
+    | 0 ->
+      if !off = 0 && not exact then eof := true
+      else raise (Frame_error "connection closed mid-frame")
+    | k -> off := !off + k
+  done;
+  if !eof then None else Some b
+
+let read_frame fd =
+  match read_exactly fd 4 ~exact:false with
+  | None -> None
+  | Some hdr ->
+    let n = Int32.to_int (Bytes.get_int32_be hdr 0) in
+    if n < 0 || n > max_frame then
+      raise (Frame_error (Printf.sprintf "bad frame length %d" n));
+    if n = 0 then Some ""
+    else (
+      match read_exactly fd n ~exact:true with
+      | None -> assert false (* exact:true never yields None *)
+      | Some b -> Some (Bytes.to_string b))
+
+(* --- incremental decoder --------------------------------------------- *)
+
+type decoder = {
+  buf : Buffer.t;  (** bytes received, not yet consumed *)
+  mutable consumed : int;  (** prefix of [buf] already decoded *)
+}
+
+let decoder () = { buf = Buffer.create 256; consumed = 0 }
+
+let feed d bytes ~off ~len = Buffer.add_subbytes d.buf bytes off len
+
+(* Compact once the consumed prefix dominates, so a long-lived connection
+   doesn't grow its buffer forever. *)
+let compact d =
+  if d.consumed > 4096 && d.consumed * 2 > Buffer.length d.buf then begin
+    let rest =
+      Buffer.sub d.buf d.consumed (Buffer.length d.buf - d.consumed)
+    in
+    Buffer.clear d.buf;
+    Buffer.add_string d.buf rest;
+    d.consumed <- 0
+  end
+
+let next d =
+  let avail = Buffer.length d.buf - d.consumed in
+  if avail < 4 then None
+  else begin
+    let n =
+      Int32.to_int
+        (String.get_int32_be (Buffer.sub d.buf d.consumed 4) 0)
+    in
+    if n < 0 || n > max_frame then
+      raise (Frame_error (Printf.sprintf "bad frame length %d" n));
+    if avail < 4 + n then None
+    else begin
+      let payload = Buffer.sub d.buf (d.consumed + 4) n in
+      d.consumed <- d.consumed + 4 + n;
+      compact d;
+      Some payload
+    end
+  end

@@ -1,0 +1,31 @@
+(** Length-prefixed framing for zh1 lines on a byte stream: each
+    protocol line travels behind a 4-byte big-endian length prefix.
+    Blocking [write_frame]/[read_frame] for clients; an incremental
+    {!decoder} for the server's select loop. *)
+
+exception Frame_error of string
+
+(** Hard per-frame size cap; larger frames raise {!Frame_error}. *)
+val max_frame : int
+
+(** The on-wire bytes (prefix + payload) for one frame. *)
+val encode : string -> bytes
+
+(** Write [bytes] fully (loops over short writes). *)
+val write_all : Unix.file_descr -> bytes -> unit
+
+val write_frame : Unix.file_descr -> string -> unit
+
+(** Blocking read of one frame; [None] on clean EOF at a frame boundary.
+    EOF mid-frame, or a bad length, raises {!Frame_error}. *)
+val read_frame : Unix.file_descr -> string option
+
+type decoder
+
+val decoder : unit -> decoder
+
+(** Append [len] bytes of received data starting at [off]. *)
+val feed : decoder -> bytes -> off:int -> len:int -> unit
+
+(** The next complete frame, if one has fully arrived. *)
+val next : decoder -> string option

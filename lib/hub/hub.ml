@@ -19,6 +19,7 @@
 
 module Board = Zoomie_bitstream.Board
 module Controller = Zoomie_debug.Controller
+module Device = Zoomie_fabric.Device
 module Host = Zoomie_debug.Host
 module Readback = Zoomie_debug.Readback
 module Repl = Zoomie_debug.Repl
@@ -44,10 +45,19 @@ type board_entry = {
       (* built once per board; every session attach reuses it *)
   be_queue : Scheduler.t;
   mutable be_subscribers : int list;  (* subscription order *)
+  mutable be_last_used : int;
+      (* hub tick of the last cable traffic (reads or mutators) on this
+         board — the lease-idle clock.  Control ops don't touch it: a
+         session polling [Stats] keeps itself alive while its board goes
+         cable-idle, which is exactly when the farm wants to migrate. *)
 }
 
 type t = {
   config : config;
+  publish_globals : bool;
+      (* farm shards run one hub per domain: publishing the shared
+         [hub.*] gauges from every shard would be last-writer-wins noise,
+         so shards publish only through their own [Stats.mirror] *)
   boards : (int, board_entry) Hashtbl.t;
   mutable next_board : int;
   sessions : (int, Session.t) Hashtbl.t;
@@ -57,9 +67,10 @@ type t = {
   stats : Stats.t;
 }
 
-let create ?(config = default_config) () =
+let create ?(config = default_config) ?(publish_globals = true) () =
   {
     config;
+    publish_globals;
     boards = Hashtbl.create 4;
     next_board = 0;
     sessions = Hashtbl.create 16;
@@ -70,6 +81,8 @@ let create ?(config = default_config) () =
   }
 
 let stats t = t.stats
+
+let now t = t.now
 
 (** Put a board under hub ownership.  Fails when another driver holds its
     lease or it has no configured design.  The per-design site map is
@@ -97,10 +110,27 @@ let add_board t board ~info =
               payload.Board.locmap;
           be_queue = Scheduler.create ~max_queue:t.config.max_queue;
           be_subscribers = [];
+          be_last_used = t.now;
         };
       Ok id)
 
 let board_ids t = List.sort compare (Hashtbl.fold (fun k _ l -> k :: l) t.boards [])
+
+let board t board_id =
+  Option.map (fun be -> be.be_board) (Hashtbl.find_opt t.boards board_id)
+
+let board_device t board_id =
+  match Hashtbl.find_opt t.boards board_id with
+  | None -> None
+  | Some be -> Some (Board.device be.be_board).Device.name
+
+(** Hub ticks since this board last saw cable traffic — the farm's
+    lease-idle clock, measured on the shard's own tick counter so expiry
+    policy stays deterministic. *)
+let board_idle_for t board_id =
+  match Hashtbl.find_opt t.boards board_id with
+  | None -> None
+  | Some be -> Some (t.now - be.be_last_used)
 
 let active_sessions_on t board_id =
   Hashtbl.fold
@@ -164,6 +194,110 @@ let events t ~session =
   | None -> []
   | Some s -> Session.drain_mailbox s
 
+let unsubscribe_from be session =
+  be.be_subscribers <- List.filter (fun s -> s <> session) be.be_subscribers
+
+(** Requests queued across every board — a shard drains its hub by
+    ticking while this is non-zero. *)
+let queued t =
+  Hashtbl.fold (fun _ be n -> n + Scheduler.length be.be_queue) t.boards 0
+
+let queued_for t board_id =
+  match Hashtbl.find_opt t.boards board_id with
+  | None -> 0
+  | Some be -> Scheduler.length be.be_queue
+
+let set_migrating t session v =
+  match Hashtbl.find_opt t.sessions session with
+  | Some s -> s.Session.migrating <- v
+  | None -> ()
+
+(* Detach a session from hub bookkeeping without producing responses:
+   queue dropped, subscription removed.  The caller decides what story
+   (if any) the client hears. *)
+let detach_session_quietly t (s : Session.t) =
+  (match Hashtbl.find_opt t.boards s.Session.board_id with
+  | Some be ->
+    ignore (Scheduler.drop_session be.be_queue s.Session.id);
+    unsubscribe_from be s.Session.id
+  | None -> ());
+  s.Session.host <- None;
+  s.Session.subscribed <- false
+
+(** Close a session without an event or failure responses — the farm's
+    path for a client that disconnected (nobody is left to read the
+    mailbox) and for freeing a slot after export. *)
+let close_session t session =
+  match Hashtbl.find_opt t.sessions session with
+  | None -> ()
+  | Some s ->
+    detach_session_quietly t s;
+    Session.close s Session.Closed
+
+(** Lift a session out of this hub for migration: returns what the target
+    hub needs to rebuild it ([mut_path] of its attachment, subscription
+    flag), then removes it.  The caller must have quiesced its queued
+    work first; anything still pending is dropped. *)
+let export_session t session =
+  match Hashtbl.find_opt t.sessions session with
+  | None -> Error (Printf.sprintf "no session %d" session)
+  | Some s when not (Session.is_active s) -> Error "session not active"
+  | Some s ->
+    let mut_path = Option.map Host.mut_path s.Session.host in
+    let subscribed = s.Session.subscribed in
+    detach_session_quietly t s;
+    Hashtbl.remove t.sessions session;
+    Ok (mut_path, subscribed)
+
+(** Rebuild an exported session on [board] (freshly restored from the
+    source board's snapshot, so a re-attach sees identical fabric state —
+    breakpoints, latched stops, cycle counter and all).  The new session
+    is touched with THIS hub's clock: a migrated session must never be
+    reaped because its [last_active] came from another shard's timeline.
+    Bypasses the admission cap — migration is the hub rebalancing its own
+    load, not new demand. *)
+let import_session t ~board ~mut_path ~subscribed =
+  match Hashtbl.find_opt t.boards board with
+  | None -> Error (Printf.sprintf "no board %d" board)
+  | Some be -> (
+    let id = t.next_session in
+    let s = Session.create ~id ~board_id:board ~now:t.now in
+    match
+      Option.map
+        (fun mut_path ->
+          Host.attach ~site_map:be.be_site_map be.be_board ~info:be.be_info
+            ~mut_path)
+        mut_path
+    with
+    | exception Invalid_argument msg -> Error ("re-attach failed: " ^ msg)
+    | host ->
+      t.next_session <- id + 1;
+      s.Session.host <- host;
+      if subscribed then begin
+        s.Session.subscribed <- true;
+        be.be_subscribers <- be.be_subscribers @ [ id ]
+      end;
+      Hashtbl.replace t.sessions id s;
+      Ok id)
+
+(** Release a board from hub ownership (migration source after its
+    sessions are exported).  Refuses while active sessions are bound to
+    it.  Releases the advisory lease and returns the board so the caller
+    can snapshot or retire it. *)
+let remove_board t board_id =
+  match Hashtbl.find_opt t.boards board_id with
+  | None -> Error (Printf.sprintf "no board %d" board_id)
+  | Some be ->
+    if active_sessions_on t board_id > 0 then
+      Error
+        (Printf.sprintf "board %d has %d active sessions" board_id
+           (active_sessions_on t board_id))
+    else begin
+      Hashtbl.remove t.boards board_id;
+      Board.release_lease be.be_board ~owner:lease_owner;
+      Ok be.be_board
+    end
+
 (* --- tick internals -------------------------------------------------- *)
 
 let respond t acc (p : Scheduler.pending) payload =
@@ -181,9 +315,6 @@ let exec_command host board cmd =
   | Invalid_argument msg -> Protocol.Failed msg
   | Readback.Readback_error msg -> Protocol.Failed msg
   | Readback.Bad_snapshot msg -> Protocol.Failed ("bad snapshot: " ^ msg)
-
-let unsubscribe_from be session =
-  be.be_subscribers <- List.filter (fun s -> s <> session) be.be_subscribers
 
 (* Session-lifecycle ops: no cable traffic, never block. *)
 let run_control t be acc (p : Scheduler.pending) =
@@ -216,10 +347,14 @@ let run_control t be acc (p : Scheduler.pending) =
     | Protocol.Stats ->
       (* Answered from hub state + the metrics registry: no cable
          traffic, so remote clients can poll server health for free. *)
-      Stats.publish t.stats;
+      if t.publish_globals then Stats.publish t.stats;
       Protocol.Done
         (Stats.summary t.stats ^ "\n"
         ^ Obs.snapshot_summary (Obs.snapshot ()))
+    | Protocol.Open_session _ ->
+      (* Session admission is the router's job in a farm; a hub that
+         sees this frame has no front-end to route it. *)
+      Protocol.Failed "open: not routed by a hub (connect through a farm)"
     | Protocol.Read_registers _ | Protocol.Command _ ->
       Protocol.Failed "not a control op"
   in
@@ -341,6 +476,7 @@ let reap_timeouts t acc =
     (fun _ (s : Session.t) acc ->
       if
         Session.is_active s
+        && (not s.Session.migrating)
         && Session.idle_for s ~now:t.now > t.config.session_timeout_ticks
       then begin
         let be = Hashtbl.find t.boards s.Session.board_id in
@@ -383,6 +519,8 @@ let tick t =
               List.fold_left (fun acc p -> run_control t be acc p) acc
                 grant.Scheduler.g_control
             in
+            if grant.Scheduler.g_reads <> [] || grant.Scheduler.g_mutate <> []
+            then be.be_last_used <- t.now;
             let acc = run_reads t be acc grant.Scheduler.g_reads in
             match grant.Scheduler.g_mutate with
             | [] -> acc
@@ -410,7 +548,7 @@ let tick t =
       [] (board_ids t)
   in
   let acc = reap_timeouts t acc in
-  Stats.publish t.stats;
+  if t.publish_globals then Stats.publish t.stats;
   List.rev acc
 
 (** Submit one request and tick until its response arrives (convenience

@@ -1,0 +1,114 @@
+(** Hot session migration: lift every session off a cable-idle board,
+    capture the board's complete fabric state, and rebuild both on a
+    compatible spare.
+
+    The capture is a full-fabric snapshot ({!Readback.full_slr_plan}
+    merged across every SLR), not just the MUT columns: the debug
+    controller's breakpoint registers, latched stop cause and cycle
+    counter live in fabric flops too, so a restored board answers
+    [cause]/[cycles]/[status] exactly as the source would have — the
+    QCheck transcript-equality property leans on this.
+
+    Compatibility is device name + design tag: a snapshot only means
+    the same thing on a board programmed with the identical compiled
+    run, which the farm guarantees by loading one run per (device, tag)
+    onto every board wearing that tag. *)
+
+module Board = Zoomie_bitstream.Board
+module Device = Zoomie_fabric.Device
+module Readback = Zoomie_debug.Readback
+
+type moved_session = {
+  ms_gsid : int;  (** farm-global session id — stable across the move *)
+  ms_mut_path : string option;  (** attachment to rebuild, if any *)
+  ms_subscribed : bool;
+  ms_respond : string -> unit;  (** the session's wire sinks travel too *)
+  ms_event : string -> unit;
+}
+
+type capsule = {
+  c_device : string;
+  c_tag : string;  (** design tag; restore targets must match exactly *)
+  c_snapshot : Readback.snapshot;
+  c_sessions : moved_session list;
+}
+
+let snapshot_board board =
+  let device = Board.device board in
+  Readback.take_snapshot board
+    (Readback.merge_plans
+       (List.init (Device.num_slrs device) (fun slr ->
+            Readback.full_slr_plan device ~slr)))
+
+(** Capture [board] out of [hub]: export each listed session (caller has
+    already quiesced their queued work), snapshot the full fabric,
+    release the board from the hub.  Returns the capsule and the freed
+    board so the caller can re-admit it as a spare. *)
+let capture hub ~board:board_id ~tag ~sessions =
+  match Hub.board hub board_id with
+  | None -> Error (Printf.sprintf "no board %d" board_id)
+  | Some b -> (
+    let device = (Board.device b).Device.name in
+    let rec export acc = function
+      | [] -> Ok (List.rev acc)
+      | (gsid, lsid, respond, event) :: rest -> (
+        match Hub.export_session hub lsid with
+        | Error msg ->
+          Error (Printf.sprintf "export session %d: %s" gsid msg)
+        | Ok (ms_mut_path, ms_subscribed) ->
+          export
+            ({
+               ms_gsid = gsid;
+               ms_mut_path;
+               ms_subscribed;
+               ms_respond = respond;
+               ms_event = event;
+             }
+            :: acc)
+            rest)
+    in
+    match export [] sessions with
+    | Error _ as e -> e
+    | Ok c_sessions -> (
+      let c_snapshot = snapshot_board b in
+      match Hub.remove_board hub board_id with
+      | Error msg -> Error ("remove board: " ^ msg)
+      | Ok freed ->
+        Ok
+          ( { c_device = device; c_tag = tag; c_snapshot; c_sessions },
+            freed )))
+
+(** Rebuild a capsule on [board] of [hub] (a zero-session spare wearing
+    the same device + tag): restore the fabric snapshot, then re-import
+    every session.  Returns [(gsid, new lsid)] pairs for the router's
+    table.  The imported sessions are touched with the target hub's
+    clock — a migrated session must never inherit another shard's idle
+    timeline. *)
+let plant hub ~board:board_id ~tag capsule =
+  match Hub.board hub board_id with
+  | None -> Error (Printf.sprintf "no board %d" board_id)
+  | Some b ->
+    let device = (Board.device b).Device.name in
+    if device <> capsule.c_device || tag <> capsule.c_tag then
+      Error
+        (Printf.sprintf "incompatible target: %s/%s vs capsule %s/%s" device
+           tag capsule.c_device capsule.c_tag)
+    else if Hub.active_sessions_on hub board_id > 0 then
+      Error (Printf.sprintf "target board %d is not a spare" board_id)
+    else (
+      match Readback.restore_snapshot b capsule.c_snapshot with
+      | exception Readback.Bad_snapshot msg -> Error ("restore: " ^ msg)
+      | exception Readback.Readback_error msg -> Error ("restore: " ^ msg)
+      | () ->
+        let rec import acc = function
+          | [] -> Ok (List.rev acc)
+          | ms :: rest -> (
+            match
+              Hub.import_session hub ~board:board_id
+                ~mut_path:ms.ms_mut_path ~subscribed:ms.ms_subscribed
+            with
+            | Error msg ->
+              Error (Printf.sprintf "import session %d: %s" ms.ms_gsid msg)
+            | Ok lsid -> import ((ms, lsid) :: acc) rest)
+        in
+        import [] capsule.c_sessions)

@@ -1,0 +1,48 @@
+(** Hot session migration: lift every session off a cable-idle board via
+    a full-fabric snapshot and rebuild them on a compatible spare.  The
+    snapshot covers the debug controller's own registers (breakpoints,
+    latched stop cause, cycle counter), so a migrated session's
+    transcript is bit-for-bit the unmigrated one.  Compatibility is
+    device name + design tag. *)
+
+module Board = Zoomie_bitstream.Board
+module Readback = Zoomie_debug.Readback
+
+type moved_session = {
+  ms_gsid : int;  (** farm-global session id — stable across the move *)
+  ms_mut_path : string option;  (** attachment to rebuild, if any *)
+  ms_subscribed : bool;
+  ms_respond : string -> unit;  (** the session's wire sinks travel too *)
+  ms_event : string -> unit;
+}
+
+type capsule = {
+  c_device : string;
+  c_tag : string;  (** design tag; restore targets must match exactly *)
+  c_snapshot : Readback.snapshot;
+  c_sessions : moved_session list;
+}
+
+(** Full-fabric snapshot of one board, every SLR merged into one plan. *)
+val snapshot_board : Board.t -> Readback.snapshot
+
+(** Capture [board] out of [hub]: export each [(gsid, lsid, respond,
+    event)] session (queued work already quiesced by the caller),
+    snapshot the fabric, release the board.  Returns the capsule and
+    the freed board for re-admission as a spare. *)
+val capture :
+  Hub.t ->
+  board:int ->
+  tag:string ->
+  sessions:(int * int * (string -> unit) * (string -> unit)) list ->
+  (capsule * Board.t, string) result
+
+(** Rebuild a capsule on a zero-session spare of [hub]: restore the
+    snapshot, re-import every session (touched with the target hub's
+    clock).  Returns each moved session paired with its new local id. *)
+val plant :
+  Hub.t ->
+  board:int ->
+  tag:string ->
+  capsule ->
+  ((moved_session * int) list, string) result

@@ -1,0 +1,324 @@
+(** The socket layer: a single-threaded select loop speaking
+    length-prefixed zh1 frames ({!Framing}) in front of a {!Router}, and
+    a small blocking {!Client} for drivers, benches, and tests.
+
+    The loop owns every fd.  Shard domains never touch a socket: their
+    respond/event sinks append to a per-connection outbox (mutex-guarded
+    bytes) and poke a wake pipe so the loop flushes promptly.  A frame
+    that fails to parse — including a protocol version mismatch — is
+    answered with a descriptive [Failed] on session 0 and the connection
+    stays open: the peer learns which end speaks which version instead
+    of watching the socket drop. *)
+
+module P = Protocol
+
+let ignore_sigpipe () =
+  (* a peer closing mid-write must surface as EPIPE, not kill the farm *)
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ()
+
+(* --- address parsing -------------------------------------------------- *)
+
+(** Parse ["host:port"] ([""] or ["*"] host = all interfaces). *)
+let parse_addr s =
+  match String.rindex_opt s ':' with
+  | None -> Error (Printf.sprintf "bad address %S (want HOST:PORT)" s)
+  | Some i -> (
+    let host = String.sub s 0 i in
+    let port = String.sub s (i + 1) (String.length s - i - 1) in
+    match int_of_string_opt port with
+    | None -> Error (Printf.sprintf "bad port %S" port)
+    | Some port -> (
+      match host with
+      | "" | "*" -> Ok (Unix.ADDR_INET (Unix.inet_addr_any, port))
+      | "localhost" -> Ok (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+      | host -> (
+        match Unix.inet_addr_of_string host with
+        | addr -> Ok (Unix.ADDR_INET (addr, port))
+        | exception Failure _ -> (
+          match Unix.gethostbyname host with
+          | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
+            Error (Printf.sprintf "cannot resolve %S" host)
+          | { Unix.h_addr_list; _ } ->
+            Ok (Unix.ADDR_INET (h_addr_list.(0), port))))))
+
+(* --- server ----------------------------------------------------------- *)
+
+type conn = {
+  c_fd : Unix.file_descr;
+  c_dec : Framing.decoder;
+  c_mu : Mutex.t;
+  mutable c_out : string;  (** encoded frames awaiting write *)
+  mutable c_gsids : int list;  (** sessions opened on this connection *)
+  mutable c_dead : bool;
+}
+
+type t = {
+  s_fd : Unix.file_descr;
+  s_addr : Unix.sockaddr;  (** actually bound (resolves port 0) *)
+  s_router : Router.t;
+  mutable s_conns : conn list;
+  s_stop : bool Atomic.t;
+  s_wake_r : Unix.file_descr;
+  s_wake_w : Unix.file_descr;
+  s_heartbeat : float option;
+  mutable s_thread : Thread.t option;
+}
+
+let bound_addr t = t.s_addr
+
+let wake t =
+  try ignore (Unix.write t.s_wake_w (Bytes.make 1 '!') 0 1)
+  with Unix.Unix_error _ -> ()
+
+(* Sinks run on shard domains: buffer under the connection mutex, then
+   poke the loop.  Frames for a connection that died are dropped. *)
+let enqueue t conn line =
+  Mutex.lock conn.c_mu;
+  if not conn.c_dead then
+    conn.c_out <- conn.c_out ^ Bytes.to_string (Framing.encode line);
+  Mutex.unlock conn.c_mu;
+  wake t
+
+let close_conn t conn =
+  Mutex.lock conn.c_mu;
+  conn.c_dead <- true;
+  Mutex.unlock conn.c_mu;
+  List.iter (Router.close_session t.s_router) conn.c_gsids;
+  (try Unix.close conn.c_fd with Unix.Unix_error _ -> ());
+  t.s_conns <- List.filter (fun c -> c != conn) t.s_conns
+
+let handle_frame t conn line =
+  let respond = enqueue t conn in
+  match P.request_of_wire line with
+  | Error msg ->
+    (* descriptive refusal (version mismatch and all) — stay connected *)
+    respond (P.response_to_wire (P.frame 0 0 (P.Failed msg)))
+  | Ok { P.fr_session; fr_seq; fr_payload = P.Open_session spec } -> (
+    match
+      Router.open_session t.s_router ~session:fr_session ~seq:fr_seq ~spec
+        ~respond ~event:respond
+    with
+    | Some gsid -> conn.c_gsids <- gsid :: conn.c_gsids
+    | None -> ())
+  | Ok fr -> Router.dispatch t.s_router fr ~respond
+
+let read_conn t conn =
+  let buf = Bytes.create 8192 in
+  match Unix.read conn.c_fd buf 0 (Bytes.length buf) with
+  | 0 -> close_conn t conn
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+    close_conn t conn
+  | n -> (
+    Framing.feed conn.c_dec buf ~off:0 ~len:n;
+    try
+      let rec drain () =
+        match Framing.next conn.c_dec with
+        | Some line ->
+          handle_frame t conn line;
+          drain ()
+        | None -> ()
+      in
+      drain ()
+    with Framing.Frame_error _ -> close_conn t conn)
+
+let flush_conn t conn =
+  Mutex.lock conn.c_mu;
+  let out = conn.c_out in
+  Mutex.unlock conn.c_mu;
+  if out <> "" then begin
+    match Unix.write_substring conn.c_fd out 0 (String.length out) with
+    | written ->
+      Mutex.lock conn.c_mu;
+      conn.c_out <-
+        String.sub conn.c_out written (String.length conn.c_out - written);
+      Mutex.unlock conn.c_mu
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+      close_conn t conn
+  end
+
+let has_pending conn =
+  Mutex.lock conn.c_mu;
+  let p = conn.c_out <> "" in
+  Mutex.unlock conn.c_mu;
+  p
+
+let loop t =
+  let last_beat = ref (Unix.gettimeofday ()) in
+  while not (Atomic.get t.s_stop) do
+    let rds = t.s_fd :: t.s_wake_r :: List.map (fun c -> c.c_fd) t.s_conns in
+    let wrs =
+      List.filter_map
+        (fun c -> if has_pending c then Some c.c_fd else None)
+        t.s_conns
+    in
+    let readable, writable, _ =
+      try Unix.select rds wrs [] 0.05
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    (* drain the wake pipe *)
+    if List.mem t.s_wake_r readable then begin
+      let b = Bytes.create 64 in
+      try ignore (Unix.read t.s_wake_r b 0 64) with Unix.Unix_error _ -> ()
+    end;
+    if List.mem t.s_fd readable then begin
+      match Unix.accept t.s_fd with
+      | fd, _ ->
+        t.s_conns <-
+          {
+            c_fd = fd;
+            c_dec = Framing.decoder ();
+            c_mu = Mutex.create ();
+            c_out = "";
+            c_gsids = [];
+            c_dead = false;
+          }
+          :: t.s_conns
+      | exception Unix.Unix_error _ -> ()
+    end;
+    List.iter
+      (fun conn -> if List.mem conn.c_fd readable then read_conn t conn)
+      t.s_conns;
+    List.iter
+      (fun conn -> if List.mem conn.c_fd writable then flush_conn t conn)
+      t.s_conns;
+    Router.house_keep t.s_router;
+    match t.s_heartbeat with
+    | Some dt when Unix.gettimeofday () -. !last_beat > dt ->
+      last_beat := Unix.gettimeofday ();
+      Array.iter
+        (fun sh -> ignore (Shard.post sh Shard.Heartbeat))
+        (Router.shards t.s_router)
+    | _ -> ()
+  done;
+  (* final flush so responses already produced reach their clients *)
+  List.iter (fun conn -> flush_conn t conn) t.s_conns
+
+(** Bind, listen, and run the select loop on its own thread.  The shard
+    domains must be started separately ({!Router.start}).  [heartbeat]
+    posts a clock-advancing tick to every shard at that wall interval —
+    leave it off for deterministic runs. *)
+let serve ?heartbeat ~router addr =
+  ignore_sigpipe ();
+  let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+  (match addr with
+  | Unix.ADDR_UNIX path ->
+      (* a stale socket file from a crashed server would make bind fail *)
+      (try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Unix.ADDR_INET _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true);
+  Unix.bind fd addr;
+  Unix.listen fd 64;
+  let wake_r, wake_w = Unix.pipe () in
+  let t =
+    {
+      s_fd = fd;
+      s_addr = Unix.getsockname fd;
+      s_router = router;
+      s_conns = [];
+      s_stop = Atomic.make false;
+      s_wake_r = wake_r;
+      s_wake_w = wake_w;
+      s_heartbeat = heartbeat;
+      s_thread = None;
+    }
+  in
+  t.s_thread <- Some (Thread.create loop t);
+  t
+
+(** Stop accepting, flush, close every fd, join the loop thread. *)
+let shutdown t =
+  Atomic.set t.s_stop true;
+  wake t;
+  Option.iter Thread.join t.s_thread;
+  t.s_thread <- None;
+  List.iter (fun conn -> close_conn t conn) t.s_conns;
+  List.iter
+    (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+    [ t.s_fd; t.s_wake_r; t.s_wake_w ];
+  match t.s_addr with
+  | Unix.ADDR_UNIX path when path <> "" -> (
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+  | _ -> ()
+
+(* --- blocking client -------------------------------------------------- *)
+
+module Client = struct
+  type t = {
+    fd : Unix.file_descr;
+    mutable session : int;  (** gsid once opened; 0 before *)
+    mutable seq : int;
+    mutable events : P.event P.frame list;  (** stash, newest first *)
+    mutable busy_retries : int;
+  }
+
+  let connect addr =
+    ignore_sigpipe ();
+    let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+    Unix.connect fd addr;
+    (match addr with
+    | Unix.ADDR_INET _ -> Unix.setsockopt fd Unix.TCP_NODELAY true
+    | _ -> ());
+    { fd; session = 0; seq = 0; events = []; busy_retries = 0 }
+
+  let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+  (** Drained event stash, oldest first. *)
+  let events t =
+    let evs = List.rev t.events in
+    t.events <- [];
+    evs
+
+  let busy_retries t = t.busy_retries
+
+  (* Read frames until the response with [seq] arrives; events along the
+     way are stashed. *)
+  let rec read_until t ~seq =
+    match Framing.read_frame t.fd with
+    | None -> Error "connection closed"
+    | Some line -> (
+      match P.response_of_wire line with
+      | Ok r when r.P.fr_seq = seq -> Ok r
+      | Ok _ -> read_until t ~seq (* stale response from a retried seq *)
+      | Error _ -> (
+        match P.event_of_wire line with
+        | Ok ev ->
+          t.events <- ev :: t.events;
+          read_until t ~seq
+        | Error msg -> Error ("unparsable frame: " ^ msg)))
+
+  (** Send one request and block for its response.  [Busy] answers are
+      retried transparently with linear backoff unless [retry:false], in
+      which case the [Busy] frame is returned as-is. *)
+  let call ?(retry = true) t req =
+    t.seq <- t.seq + 1;
+    let seq = t.seq in
+    let rec go () =
+      Framing.write_frame t.fd
+        (P.request_to_wire (P.frame t.session seq req));
+      match read_until t ~seq with
+      | Ok { P.fr_payload = P.Busy n; _ } when retry ->
+        t.busy_retries <- t.busy_retries + 1;
+        (* back off proportionally to the reported backlog *)
+        Thread.delay (0.0002 *. float_of_int (1 + n));
+        go ()
+      | r -> r
+    in
+    go ()
+
+  (** Admit a session on a board matching [spec]; the gsid becomes this
+      client's session id for every later call. *)
+  let open_session ?(spec = "any") t =
+    match call t (P.Open_session spec) with
+    | Error _ as e -> e
+    | Ok { P.fr_payload = P.Done text; _ } -> (
+      match String.split_on_char ' ' text with
+      | [ "session"; g ] -> (
+        match int_of_string_opt g with
+        | Some gsid ->
+          t.session <- gsid;
+          Ok gsid
+        | None -> Error ("bad open response: " ^ text))
+      | _ -> Error ("bad open response: " ^ text))
+    | Ok { P.fr_payload = P.Failed msg; _ } -> Error msg
+    | Ok { P.fr_payload = P.Busy _; _ } -> Error "busy"
+    | Ok { P.fr_payload = P.Values _; _ } -> Error "bad open response"
+end

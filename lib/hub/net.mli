@@ -1,0 +1,53 @@
+(** The socket layer: a single-threaded select loop speaking
+    length-prefixed zh1 frames in front of a {!Router}, plus a blocking
+    {!Client}.  Unparsable frames — protocol version mismatches
+    included — are answered with a descriptive [Failed] on session 0;
+    the connection stays open. *)
+
+module P = Protocol
+
+(** Parse ["host:port"] ([""] or ["*"] host = all interfaces;
+    ["localhost"], dotted quads, and resolvable names accepted). *)
+val parse_addr : string -> (Unix.sockaddr, string) result
+
+type t
+
+(** Bind, listen, and run the select loop on its own thread.  TCP
+    ([ADDR_INET]) and Unix-domain ([ADDR_UNIX]) addresses both work; a
+    stale Unix socket file is unlinked before bind and the live one on
+    {!shutdown}.  Start the shard domains separately ({!Router.start}).
+    [heartbeat] posts a clock-advancing tick to every shard at that wall
+    interval — leave it off for deterministic runs. *)
+val serve : ?heartbeat:float -> router:Router.t -> Unix.sockaddr -> t
+
+(** The actually-bound address (resolves port 0 to the kernel's pick). *)
+val bound_addr : t -> Unix.sockaddr
+
+(** Stop accepting, flush pending output, close every fd, join. *)
+val shutdown : t -> unit
+
+module Client : sig
+  type t
+
+  val connect : Unix.sockaddr -> t
+
+  val close : t -> unit
+
+  (** Admit a session on a board matching [spec] (default ["any"]); the
+      gsid becomes this client's session id for every later call. *)
+  val open_session : ?spec:string -> t -> (int, string) result
+
+  (** Send one request, block for its response.  [Busy] answers retry
+      transparently with linear backoff unless [retry:false]. *)
+  val call :
+    ?retry:bool ->
+    t ->
+    P.request ->
+    (P.response P.frame, string) result
+
+  (** Drained stash of events received so far, oldest first. *)
+  val events : t -> P.event P.frame list
+
+  (** How many [Busy] refusals this client has retried through. *)
+  val busy_retries : t -> int
+end

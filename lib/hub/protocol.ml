@@ -14,6 +14,10 @@ module Repl = Zoomie_debug.Repl
 let version = 1
 
 type request =
+  | Open_session of string
+      (** farm front-ends: admit a session on a board matching this device
+          spec (a device name, or ["any"]).  Routed by {!Router}, never by
+          a hub directly. *)
   | Attach of string  (** attach to the wrapped MUT at this path *)
   | Detach
   | Subscribe  (** join the board's stop-event fan-out *)
@@ -27,6 +31,9 @@ type response =
   | Done of string  (** command transcript text *)
   | Values of (string * Bits.t) list  (** demultiplexed register values *)
   | Failed of string
+  | Busy of int
+      (** backpressure: the shard's inbox refused admission; retry after
+          this many shard-clock ticks' worth of backlog has drained *)
 
 type event =
   | Stopped of { at_cycle : int; flags : string list; fired : string list }
@@ -76,6 +83,7 @@ let header fr = Printf.sprintf "zh%d %d %d" version fr.fr_session fr.fr_seq
 let request_to_wire fr =
   let body =
     match fr.fr_payload with
+    | Open_session spec -> "open " ^ spec
     | Attach path -> "attach " ^ path
     | Detach -> "detach"
     | Subscribe -> "subscribe"
@@ -91,6 +99,7 @@ let response_to_wire fr =
     match fr.fr_payload with
     | Done text -> "done " ^ escape text
     | Failed text -> "failed " ^ escape text
+    | Busy retry_after -> Printf.sprintf "busy %d" retry_after
     | Values vs ->
       "values "
       ^ join_list
@@ -112,6 +121,27 @@ let event_to_wire fr =
 
 (* --- parsers --------------------------------------------------------- *)
 
+(* The numeric version of a [zh<N>] frame tag, when it is one. *)
+let version_of_tag tag =
+  if String.length tag > 2 && String.sub tag 0 2 = "zh" then
+    int_of_string_opt (String.sub tag 2 (String.length tag - 2))
+  else None
+
+(* A frame tagged with a version we don't speak gets a descriptive
+   refusal naming both sides, so the peer can report which end needs the
+   upgrade — never a silent drop, never a guess at the newer syntax. *)
+let version_mismatch tag =
+  match version_of_tag tag with
+  | Some v ->
+    Printf.sprintf
+      "protocol version mismatch: peer frame is zh%d, this endpoint speaks \
+       zh%d (upgrade the zh%d side)"
+      v version
+      (min v version)
+  | None ->
+    Printf.sprintf "unsupported protocol tag %S (this endpoint speaks zh%d)"
+      tag version
+
 (* Split [line] into (session, seq, verb, rest-of-line); the rest keeps
    its spaces so trailing free-text fields survive. *)
 let parse_header line =
@@ -122,8 +152,7 @@ let parse_header line =
     let words = String.split_on_char ' ' line in
     match words with
     | tag :: session :: seq :: verb :: rest ->
-      if tag <> Printf.sprintf "zh%d" version then
-        fail (Printf.sprintf "unsupported protocol version %S" tag)
+      if tag <> Printf.sprintf "zh%d" version then fail (version_mismatch tag)
       else (
         match (int_of_string_opt session, int_of_string_opt seq) with
         | Some session, Some seq -> Ok (session, seq, verb, String.concat " " rest)
@@ -138,6 +167,7 @@ let request_of_wire line =
   | Ok (session, seq, verb, rest) -> (
     let ok p = Ok (frame session seq p) in
     match verb with
+    | "open" -> ok (Open_session (if rest = "" then "any" else rest))
     | "attach" when rest <> "" -> ok (Attach rest)
     | "detach" -> ok Detach
     | "subscribe" -> ok Subscribe
@@ -158,6 +188,10 @@ let response_of_wire line =
     match verb with
     | "done" -> ok (Done (unescape rest))
     | "failed" -> ok (Failed (unescape rest))
+    | "busy" -> (
+      match int_of_string_opt rest with
+      | Some n -> ok (Busy n)
+      | None -> Error "bad busy retry-after")
     | "values" ->
       (* Parse pair-by-pair so a malformed entry yields a descriptive
          [Error] naming it.  Only the bits parser's [Invalid_argument] is

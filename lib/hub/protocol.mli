@@ -14,6 +14,10 @@ module Repl = Zoomie_debug.Repl
 val version : int
 
 type request =
+  | Open_session of string
+      (** farm front-ends: admit a session on a board matching this device
+          spec (a device name, or ["any"]).  Routed by the farm router,
+          never answered by a hub directly. *)
   | Attach of string  (** attach to the wrapped MUT at this path *)
   | Detach
   | Subscribe  (** join the board's stop-event fan-out *)
@@ -29,6 +33,9 @@ type response =
   | Done of string  (** command transcript text *)
   | Values of (string * Bits.t) list  (** demultiplexed register values *)
   | Failed of string
+  | Busy of int
+      (** backpressure: the shard's inbox refused admission; retry after
+          roughly this many requests' worth of backlog has drained *)
 
 type event =
   | Stopped of { at_cycle : int; flags : string list; fired : string list }

@@ -1,0 +1,325 @@
+(** The farm front-end: owns the fleet of shards, assigns farm-global
+    session ids, routes request frames to the right shard, refuses work
+    with [Busy] when a shard's inbox refuses admission, and runs the
+    lease-expiry → hot-migration state machine.
+
+    Thread model: the router's table is mutex-protected and every entry
+    point is safe to call from the socket thread while shard domains
+    run; shard slot state is read lock-free through Atomics.  The same
+    code runs single-threaded for tests and deterministic benches via
+    {!step}/{!settle} — shard callbacks then execute synchronously
+    inside the step, so a migration completes in a bounded number of
+    steps with no wall-clock dependence. *)
+
+module Board = Zoomie_bitstream.Board
+module Controller = Zoomie_debug.Controller
+module Obs = Zoomie_obs.Obs
+
+(* How many backlog units a client should wait out before retrying a
+   session that's mid-migration.  Any small constant works — the client
+   backoff scales with it. *)
+let migration_retry_after = 8
+
+type route = {
+  mutable r_shard : int;
+  mutable r_slot : int;
+  mutable r_inflight : bool;  (** mid-migration: answer [Busy], don't route *)
+}
+
+type t = {
+  mutable shards : Shard.t array;
+  mu : Mutex.t;
+  table : (int, route) Hashtbl.t;  (* gsid -> route *)
+  mutable next_gsid : int;
+  mutable migrating : bool;  (* at most one migration in flight, farm-wide *)
+  m_opened : Obs.counter;
+  m_migrations : Obs.counter;
+  m_busy : Obs.counter;
+}
+
+let with_lock t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+(** [create ~fleet ()]: one shard per inner list of
+    [(board, info, design-tag)] triples. *)
+let create ?config ~fleet () =
+  let t =
+    {
+      shards = [||];
+      mu = Mutex.create ();
+      table = Hashtbl.create 256;
+      next_gsid = 0;
+      migrating = false;
+      m_opened = Obs.counter "farm.sessions_opened";
+      m_migrations = Obs.counter "farm.migrations";
+      m_busy = Obs.counter "farm.busy_refusals";
+    }
+  in
+  let on_drop gsid = with_lock t (fun () -> Hashtbl.remove t.table gsid) in
+  t.shards <-
+    Array.of_list
+      (List.mapi
+         (fun i boards -> Shard.create ?config ~id:i ~boards ~on_drop ())
+         fleet);
+  t
+
+let shards t = t.shards
+
+let session_count t = with_lock t (fun () -> Hashtbl.length t.table)
+
+let respond_with respond ~session ~seq payload =
+  respond (Protocol.response_to_wire (Protocol.frame session seq payload))
+
+(* Least-loaded placement across every shard's compatible, unreserved
+   slots.  [spec] is a device name or "any". *)
+let pick_slot t spec =
+  let best = ref None in
+  Array.iteri
+    (fun si sh ->
+      for k = 0 to Shard.num_slots sh - 1 do
+        if
+          (not (Shard.slot_reserved sh k))
+          && (spec = "any" || Shard.slot_device sh k = spec)
+        then begin
+          let load = Shard.slot_sessions sh k in
+          match !best with
+          | Some (_, _, l) when l <= load -> ()
+          | _ -> best := Some (si, k, load)
+        end
+      done)
+    t.shards;
+  !best
+
+(** Admit a session: pick the least-loaded compatible board, assign a
+    gsid, route an [Open] to its shard.  Every outcome is answered on
+    [respond] (success asynchronously by the shard, with the gsid in the
+    [Done] text).  Returns the gsid when admitted into the table, so the
+    connection can track what to close on disconnect. *)
+let open_session t ~session ~seq ~spec ~respond ~event =
+  let placed =
+    with_lock t (fun () ->
+        match pick_slot t spec with
+        | None -> None
+        | Some (si, k, _) ->
+          let gsid = t.next_gsid in
+          t.next_gsid <- gsid + 1;
+          Hashtbl.replace t.table gsid
+            { r_shard = si; r_slot = k; r_inflight = false };
+          Some (gsid, si, k))
+  in
+  match placed with
+  | None ->
+    respond_with respond ~session ~seq
+      (Protocol.Failed (Printf.sprintf "no compatible board for %S" spec));
+    None
+  | Some (gsid, si, k) -> (
+    let sh = t.shards.(si) in
+    match Shard.post sh (Shard.Open { gsid; slot = k; seq; respond; event }) with
+    | Shard.Accepted ->
+      Obs.incr t.m_opened;
+      Some gsid
+    | Shard.Rejected backlog ->
+      with_lock t (fun () -> Hashtbl.remove t.table gsid);
+      Shard.note_busy sh;
+      Obs.incr t.m_busy;
+      respond_with respond ~session ~seq (Protocol.Busy backlog);
+      None)
+
+(** Route one request frame.  Unknown session → [Failed]; session
+    mid-migration or shard inbox full → [Busy] (the router itself never
+    blocks on a shard). *)
+let dispatch t (fr : Protocol.request Protocol.frame) ~respond =
+  let gsid = fr.Protocol.fr_session in
+  let seq = fr.Protocol.fr_seq in
+  let r =
+    with_lock t (fun () ->
+        match Hashtbl.find_opt t.table gsid with
+        | None -> None
+        | Some r -> Some (r.r_shard, r.r_inflight))
+  in
+  match r with
+  | None ->
+    respond_with respond ~session:gsid ~seq
+      (Protocol.Failed (Printf.sprintf "no session %d" gsid))
+  | Some (_, true) ->
+    Obs.incr t.m_busy;
+    respond_with respond ~session:gsid ~seq
+      (Protocol.Busy migration_retry_after)
+  | Some (si, false) -> (
+    let sh = t.shards.(si) in
+    match
+      Shard.post sh
+        (Shard.Request
+           {
+             gsid;
+             seq;
+             req = fr.Protocol.fr_payload;
+             t0 = Unix.gettimeofday ();
+             respond;
+           })
+    with
+    | Shard.Accepted -> ()
+    | Shard.Rejected backlog ->
+      Shard.note_busy sh;
+      Obs.incr t.m_busy;
+      respond_with respond ~session:gsid ~seq (Protocol.Busy backlog))
+
+(** Drop a session (client disconnected).  Quiet on both ends. *)
+let close_session t gsid =
+  let r =
+    with_lock t (fun () ->
+        let r = Hashtbl.find_opt t.table gsid in
+        Hashtbl.remove t.table gsid;
+        r)
+  in
+  match r with
+  | None -> ()
+  | Some r -> ignore (Shard.post t.shards.(r.r_shard) (Shard.Close { gsid }))
+
+(* --- migration state machine ------------------------------------------ *)
+
+(* Routes bound to one slot, for marking in-flight / re-targeting. *)
+let routes_on t si k =
+  Hashtbl.fold
+    (fun gsid r acc ->
+      if r.r_shard = si && r.r_slot = k then (gsid, r) :: acc else acc)
+    t.table []
+
+(** One housekeeping pass: if no migration is in flight, look for an
+    expired slot with sessions aboard and a compatible zero-session
+    spare, and kick off the move.  The completion callbacks run on the
+    shard domains (or synchronously under {!step} in inline mode). *)
+let house_keep t =
+  let plan =
+    with_lock t (fun () ->
+        if t.migrating then None
+        else begin
+          (* source: expired with sessions; target: compatible empty spare *)
+          let src = ref None and dst = ref None in
+          Array.iteri
+            (fun si sh ->
+              for k = 0 to Shard.num_slots sh - 1 do
+                if
+                  !src = None
+                  && Shard.slot_expired sh k
+                  && Shard.slot_sessions sh k > 0
+                  && not (Shard.slot_reserved sh k)
+                then src := Some (si, k)
+              done)
+            t.shards;
+          (match !src with
+          | None -> ()
+          | Some (si, k) ->
+            let device = Shard.slot_device t.shards.(si) k in
+            let tag = Shard.slot_tag t.shards.(si) k in
+            Array.iteri
+              (fun tj sh ->
+                for m = 0 to Shard.num_slots sh - 1 do
+                  if
+                    !dst = None
+                    && (tj <> si || m <> k)
+                    && Shard.slot_device sh m = device
+                    && Shard.slot_tag sh m = tag
+                    && Shard.slot_sessions sh m = 0
+                    && (not (Shard.slot_reserved sh m))
+                    && not (Shard.slot_expired sh m)
+                  then dst := Some (tj, m)
+                done)
+              t.shards;
+            ());
+          match (!src, !dst) with
+          | Some (si, k), Some (tj, m) ->
+            t.migrating <- true;
+            Shard.reserve t.shards.(tj) m true;
+            List.iter (fun (_, r) -> r.r_inflight <- true) (routes_on t si k);
+            Some ((si, k), (tj, m))
+          | _ -> None
+        end)
+  in
+  match plan with
+  | None -> ()
+  | Some ((si, k), (tj, m)) ->
+    let abort () =
+      with_lock t (fun () ->
+          List.iter (fun (_, r) -> r.r_inflight <- false) (routes_on t si k);
+          Shard.reserve t.shards.(tj) m false;
+          t.migrating <- false)
+    in
+    let on_planted result =
+      with_lock t (fun () ->
+          (match result with
+          | Ok pairs ->
+            List.iter
+              (fun ((ms : Migrate.moved_session), _lsid) ->
+                match Hashtbl.find_opt t.table ms.Migrate.ms_gsid with
+                | Some r ->
+                  r.r_shard <- tj;
+                  r.r_slot <- m;
+                  r.r_inflight <- false
+                | None -> ())
+              pairs;
+            Obs.incr t.m_migrations
+          | Error _ ->
+            (* exported but not planted: those sessions are gone — the
+               k2 wrapper already told each client; drop the routes *)
+            List.iter
+              (fun (gsid, _) -> Hashtbl.remove t.table gsid)
+              (routes_on t si k));
+          t.migrating <- false)
+    in
+    let on_captured result =
+      match result with
+      | Error _ -> abort ()
+      | Ok capsule -> (
+        (* deliver the bad news per session if planting fails *)
+        let k2 result =
+          (match result with
+          | Error msg ->
+            List.iter
+              (fun (ms : Migrate.moved_session) ->
+                ms.Migrate.ms_event
+                  (Protocol.event_to_wire
+                     (Protocol.frame ms.Migrate.ms_gsid 0
+                        (Protocol.Session_closed ("migration failed: " ^ msg)))))
+              capsule.Migrate.c_sessions
+          | Ok _ -> ());
+          on_planted result
+        in
+        match
+          Shard.post t.shards.(tj)
+            (Shard.Migrate_in { slot = m; capsule; k = k2 })
+        with
+        | Shard.Accepted -> ()
+        | Shard.Rejected _ -> assert false (* migration msgs always enqueue *))
+    in
+    (match
+       Shard.post t.shards.(si)
+         (Shard.Migrate_out { slot = k; k = on_captured })
+     with
+    | Shard.Accepted -> ()
+    | Shard.Rejected _ -> assert false)
+
+(* --- drivers ---------------------------------------------------------- *)
+
+(** One inline turn over the whole farm: step every shard, then run a
+    housekeeping pass.  Deterministic — this is what tests and benches
+    drive instead of {!start}. *)
+let step t =
+  let worked =
+    Array.fold_left (fun w sh -> if Shard.step sh then true else w) false
+      t.shards
+  in
+  house_keep t;
+  worked
+
+(** Step until quiescent (no shard did work and no migration pending). *)
+let settle ?(max_rounds = 10_000) t =
+  let rec go n =
+    if n > 0 && (step t || with_lock t (fun () -> t.migrating)) then go (n - 1)
+  in
+  go max_rounds
+
+let start t = Array.iter Shard.start t.shards
+
+let stop t = Array.iter Shard.stop t.shards

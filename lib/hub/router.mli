@@ -1,0 +1,61 @@
+(** The farm front-end: owns the shard fleet, assigns farm-global
+    session ids (gsids), routes frames, answers [Busy] when a shard's
+    inbox refuses admission (never blocks on a shard), and runs the
+    lease-expiry → hot-migration state machine.  Safe to call from the
+    socket thread while shard domains run; equally drivable inline and
+    single-threaded via {!step}/{!settle} for deterministic tests. *)
+
+module Board = Zoomie_bitstream.Board
+module Controller = Zoomie_debug.Controller
+
+type t
+
+(** [create ~fleet ()]: one shard per inner list of
+    [(board, info, design-tag)] triples. *)
+val create :
+  ?config:Shard.config ->
+  fleet:(Board.t * Controller.info * string) list list ->
+  unit ->
+  t
+
+val shards : t -> Shard.t array
+
+(** Sessions currently routed. *)
+val session_count : t -> int
+
+(** Admit a session on a board matching [spec] (device name or ["any"]),
+    least-loaded first.  Every outcome is answered on [respond]
+    (admission success arrives asynchronously from the shard, carrying
+    the gsid in the [Done] text).  Returns the gsid when one was
+    assigned, so the connection can close it on disconnect. *)
+val open_session :
+  t ->
+  session:int ->
+  seq:int ->
+  spec:string ->
+  respond:(string -> unit) ->
+  event:(string -> unit) ->
+  int option
+
+(** Route one request frame.  Unknown session → [Failed]; mid-migration
+    or inbox-full → [Busy]. *)
+val dispatch :
+  t -> Protocol.request Protocol.frame -> respond:(string -> unit) -> unit
+
+(** Drop a session (client disconnected); quiet on both ends. *)
+val close_session : t -> int -> unit
+
+(** One housekeeping pass of the migration state machine.  The socket
+    loop calls this periodically; {!step} calls it inline. *)
+val house_keep : t -> unit
+
+(** One inline deterministic turn: step every shard, then housekeep. *)
+val step : t -> bool
+
+(** Step until quiescent (no work anywhere, no migration pending). *)
+val settle : ?max_rounds:int -> t -> unit
+
+(** Spawn every shard's domain loop / stop and join them all. *)
+val start : t -> unit
+
+val stop : t -> unit

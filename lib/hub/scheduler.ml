@@ -21,8 +21,8 @@ type op_class = Control_op | Read_op | Mutate_op
     injection, snapshot restore — is a mutator. *)
 let classify (req : Protocol.request) =
   match req with
-  | Protocol.Attach _ | Protocol.Detach | Protocol.Subscribe
-  | Protocol.Unsubscribe | Protocol.Stats ->
+  | Protocol.Open_session _ | Protocol.Attach _ | Protocol.Detach
+  | Protocol.Subscribe | Protocol.Unsubscribe | Protocol.Stats ->
     Control_op
   | Protocol.Read_registers _ -> Read_op
   | Protocol.Command cmd -> (

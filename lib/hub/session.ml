@@ -16,6 +16,9 @@ type t = {
   mutable subscribed : bool;
   mutable last_active : int;  (** hub tick of the last submitted request *)
   mutable status : status;
+  mutable migrating : bool;
+      (** mid-flight to another board: exempt from idle reaping so the
+          shard clock can't expire a session the farm is busy moving *)
   mutable mailbox : Protocol.event Protocol.frame list;  (** newest first *)
 }
 
@@ -27,6 +30,7 @@ let create ~id ~board_id ~now =
     subscribed = false;
     last_active = now;
     status = Active;
+    migrating = false;
     mailbox = [];
   }
 

@@ -14,6 +14,8 @@ type t = {
   mutable subscribed : bool;
   mutable last_active : int;  (** hub tick of the last submitted request *)
   mutable status : status;
+  mutable migrating : bool;
+      (** mid-flight to another board: exempt from idle reaping *)
   mutable mailbox : Protocol.event Protocol.frame list;  (** newest first *)
 }
 

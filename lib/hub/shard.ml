@@ -1,0 +1,467 @@
+(** One board shard of the debug farm: a deterministic tick-engine hub
+    plus the machinery that lets it live on its own OCaml 5 domain.
+
+    The shard's core IS the existing {!Hub} — same scheduler, same
+    coalescer, same tick clock — so everything test_hub.ml pins stays
+    pinned.  Around it: a bounded inbox fed by the router (admission
+    control happens at {!post}: a full inbox refuses the message with
+    the current backlog instead of ever blocking the caller), a
+    gsid↔lsid translation layer (the router speaks farm-global session
+    ids; the hub hands out its own), migration in/out handlers, and a
+    per-shard metrics surface ([farm.shard<i>.*]) so N domains never
+    race each other on the global [hub.*] gauges.
+
+    Determinism: {!step} is a plain function — tests and benches call it
+    inline, single-threaded, and get bit-for-bit the in-process hub
+    behavior (the shard clock is the hub tick counter, which advances
+    only when work is processed).  {!start} merely runs the same [step]
+    in a domain loop; wall time enters nowhere except the optional
+    [Heartbeat] message posted by the socket layer. *)
+
+module Board = Zoomie_bitstream.Board
+module Controller = Zoomie_debug.Controller
+module Device = Zoomie_fabric.Device
+module Obs = Zoomie_obs.Obs
+
+type config = {
+  inbox_capacity : int;
+      (** admission: [Open]/[Request] messages refused beyond this *)
+  lease_ticks : int;
+      (** board cable-idle ticks before its lease expires (migration) *)
+  hub_config : Hub.config;
+}
+
+let default_config =
+  { inbox_capacity = 128; lease_ticks = 200; hub_config = Hub.default_config }
+
+(* A board slot as the router sees it: placement decisions read the
+   Atomics lock-free from the router thread; the shard domain is the
+   only writer (except [reserve], router-owned by protocol). *)
+type slot = {
+  sl_index : int;
+  sl_device : string;
+  sl_tag : string;  (** design tag; migration compatibility key *)
+  sl_info : Controller.info;
+  mutable sl_hub_board : int;  (** hub board id; changes after a capture *)
+  sl_sessions : int Atomic.t;
+  sl_expired : bool Atomic.t;  (** lease expired with sessions aboard *)
+  sl_reserved : bool Atomic.t;  (** held by the router as a migration target *)
+}
+
+(* One farm session living on this shard. *)
+type binding = {
+  b_gsid : int;
+  b_lsid : int;
+  b_slot : int;
+  b_respond : string -> unit;  (** wire-encoded response lines out *)
+  b_event : string -> unit;  (** wire-encoded event lines out *)
+}
+
+type msg =
+  | Open of {
+      gsid : int;
+      slot : int;
+      seq : int;
+      respond : string -> unit;
+      event : string -> unit;
+    }
+  | Close of { gsid : int }
+  | Request of {
+      gsid : int;
+      seq : int;
+      req : Protocol.request;
+      t0 : float;  (** post stamp, metrics only — never steers behavior *)
+      respond : string -> unit;
+    }
+  | Migrate_out of {
+      slot : int;
+      k : (Migrate.capsule, string) result -> unit;
+    }
+  | Migrate_in of {
+      slot : int;
+      capsule : Migrate.capsule;
+      k : ((Migrate.moved_session * int) list, string) result -> unit;
+    }
+  | Heartbeat  (** advance the shard clock once despite an empty queue *)
+
+type t = {
+  sh_id : int;
+  hub : Hub.t;
+  slots : slot array;
+  config : config;
+  (* inbox *)
+  mu : Mutex.t;
+  cond : Condition.t;
+  inbox : msg Queue.t;
+  mutable stopping : bool;
+  mutable domain : unit Domain.t option;
+  (* shard-domain-only state *)
+  by_gsid : (int, binding) Hashtbl.t;
+  by_lsid : (int, binding) Hashtbl.t;
+  pending_t0 : (int * int, float) Hashtbl.t;  (* (lsid, seq) -> post stamp *)
+  on_drop : int -> unit;
+      (* the shard abandoned this gsid on its own (open refused by the
+         hub, session reaped idle) — the router must drop its route *)
+  (* metrics *)
+  mirror : Stats.mirror;
+  m_inbox_depth : Obs.gauge;
+  m_queue_depth : Obs.gauge;
+  m_sessions : Obs.gauge;
+  m_coalescing : Obs.gauge;
+  m_latency : Obs.histogram;
+  m_busy : Obs.counter;
+  m_migrations_out : Obs.counter;
+  m_migrations_in : Obs.counter;
+}
+
+let id t = t.sh_id
+
+let hub t = t.hub
+
+let create ?(config = default_config) ~id ~boards ~on_drop () =
+  let hub = Hub.create ~config:config.hub_config ~publish_globals:false () in
+  let slots =
+    Array.of_list
+      (List.mapi
+         (fun i (board, info, tag) ->
+           match Hub.add_board hub board ~info with
+           | Error msg ->
+             invalid_arg
+               (Printf.sprintf "shard %d: board %d: %s" id i msg)
+           | Ok bid ->
+             {
+               sl_index = i;
+               sl_device = (Board.device board).Device.name;
+               sl_tag = tag;
+               sl_info = info;
+               sl_hub_board = bid;
+               sl_sessions = Atomic.make 0;
+               sl_expired = Atomic.make false;
+               sl_reserved = Atomic.make false;
+             })
+         boards)
+  in
+  let prefix = Printf.sprintf "farm.shard%d" id in
+  {
+    sh_id = id;
+    hub;
+    slots;
+    config;
+    mu = Mutex.create ();
+    cond = Condition.create ();
+    inbox = Queue.create ();
+    stopping = false;
+    domain = None;
+    by_gsid = Hashtbl.create 64;
+    by_lsid = Hashtbl.create 64;
+    pending_t0 = Hashtbl.create 64;
+    on_drop;
+    mirror = Stats.mirror prefix;
+    m_inbox_depth = Obs.gauge (prefix ^ ".inbox_depth");
+    m_queue_depth = Obs.gauge (prefix ^ ".queue_depth");
+    m_sessions = Obs.gauge (prefix ^ ".sessions");
+    m_coalescing = Obs.gauge (prefix ^ ".coalescing_ratio");
+    m_latency = Obs.histogram (prefix ^ ".latency_s");
+    m_busy = Obs.counter (prefix ^ ".busy");
+    m_migrations_out = Obs.counter (prefix ^ ".migrations_out");
+    m_migrations_in = Obs.counter (prefix ^ ".migrations_in");
+  }
+
+(* --- router-facing slot view (lock-free reads) ------------------------ *)
+
+let num_slots t = Array.length t.slots
+
+let slot_device t i = t.slots.(i).sl_device
+
+let slot_tag t i = t.slots.(i).sl_tag
+
+let slot_sessions t i = Atomic.get t.slots.(i).sl_sessions
+
+let slot_expired t i = Atomic.get t.slots.(i).sl_expired
+
+let slot_reserved t i = Atomic.get t.slots.(i).sl_reserved
+
+let reserve t i v = Atomic.set t.slots.(i).sl_reserved v
+
+let note_busy t = Obs.incr t.m_busy
+
+(* --- inbox ------------------------------------------------------------ *)
+
+type admission = Accepted | Rejected of int  (** backlog at refusal *)
+
+(** Never blocks.  [Open]/[Request] are admission-controlled; lifecycle
+    and migration messages always enqueue (refusing a [Close] would leak
+    the session, refusing a migration would wedge the router's state
+    machine). *)
+let post t msg =
+  Mutex.lock t.mu;
+  let result =
+    match msg with
+    | (Open _ | Request _) when Queue.length t.inbox >= t.config.inbox_capacity
+      ->
+      Rejected (Queue.length t.inbox)
+    | _ ->
+      Queue.push msg t.inbox;
+      Condition.signal t.cond;
+      Accepted
+  in
+  Mutex.unlock t.mu;
+  result
+
+let drain_inbox t =
+  Mutex.lock t.mu;
+  let n = Queue.length t.inbox in
+  let msgs = List.of_seq (Queue.to_seq t.inbox) in
+  Queue.clear t.inbox;
+  Mutex.unlock t.mu;
+  Obs.set_gauge t.m_inbox_depth (float_of_int n);
+  msgs
+
+(* --- shard-domain engine ---------------------------------------------- *)
+
+let rewire fr gsid = { fr with Protocol.fr_session = gsid }
+
+let deliver_responses t resps =
+  List.iter
+    (fun (r : Protocol.response Protocol.frame) ->
+      match Hashtbl.find_opt t.by_lsid r.Protocol.fr_session with
+      | None -> ()  (* the session vanished between submit and response *)
+      | Some b ->
+        let key = (r.Protocol.fr_session, r.Protocol.fr_seq) in
+        (match Hashtbl.find_opt t.pending_t0 key with
+        | Some t0 ->
+          Hashtbl.remove t.pending_t0 key;
+          Obs.observe t.m_latency (Unix.gettimeofday () -. t0)
+        | None -> ());
+        b.b_respond (Protocol.response_to_wire (rewire r b.b_gsid)))
+    resps
+
+let deliver_events t =
+  Hashtbl.iter
+    (fun _ b ->
+      List.iter
+        (fun ev -> b.b_event (Protocol.event_to_wire (rewire ev b.b_gsid)))
+        (Hub.events t.hub ~session:b.b_lsid))
+    t.by_gsid
+
+(* Tick until the hub's queues are empty, routing responses and events
+   out as they appear.  The shard clock advances exactly as much as the
+   queued work demands — no work, no ticks. *)
+let rec drain_hub t =
+  if Hub.queued t.hub > 0 then begin
+    deliver_responses t (Hub.tick t.hub);
+    deliver_events t;
+    drain_hub t
+  end
+
+let slot_of t idx = t.slots.(idx)
+
+let remove_binding t b =
+  Hashtbl.remove t.by_gsid b.b_gsid;
+  Hashtbl.remove t.by_lsid b.b_lsid;
+  let sl = slot_of t b.b_slot in
+  Atomic.set sl.sl_sessions (max 0 (Atomic.get sl.sl_sessions - 1))
+
+(* Sessions the hub reaped on its own (idle timeout): flush their final
+   mailbox (the Session_closed notice), drop the binding, and tell the
+   router the route is dead. *)
+let sweep_dead t =
+  let dead =
+    Hashtbl.fold
+      (fun _ b acc ->
+        match Hub.session_status t.hub b.b_lsid with
+        | Some Session.Active -> acc
+        | _ -> b :: acc)
+      t.by_gsid []
+  in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun ev -> b.b_event (Protocol.event_to_wire (rewire ev b.b_gsid)))
+        (Hub.events t.hub ~session:b.b_lsid);
+      remove_binding t b;
+      t.on_drop b.b_gsid)
+    dead
+
+let bindings_on t slot =
+  Hashtbl.fold
+    (fun _ b acc -> if b.b_slot = slot then b :: acc else acc)
+    t.by_gsid []
+  |> List.sort (fun a b -> compare a.b_gsid b.b_gsid)
+
+let wire_response gsid seq payload =
+  Protocol.response_to_wire (Protocol.frame gsid seq payload)
+
+let process t msg =
+  match msg with
+  | Open { gsid; slot; seq; respond; event } -> (
+    let sl = slot_of t slot in
+    match Hub.open_session t.hub ~board:sl.sl_hub_board with
+    | Error msg ->
+      respond (wire_response gsid seq (Protocol.Failed msg));
+      t.on_drop gsid
+    | Ok lsid ->
+      let b =
+        { b_gsid = gsid; b_lsid = lsid; b_slot = slot; b_respond = respond;
+          b_event = event }
+      in
+      Hashtbl.replace t.by_gsid gsid b;
+      Hashtbl.replace t.by_lsid lsid b;
+      Atomic.incr sl.sl_sessions;
+      respond
+        (wire_response gsid seq
+           (Protocol.Done (Printf.sprintf "session %d" gsid))))
+  | Close { gsid } -> (
+    match Hashtbl.find_opt t.by_gsid gsid with
+    | None -> ()
+    | Some b ->
+      Hub.close_session t.hub b.b_lsid;
+      remove_binding t b)
+  | Request { gsid; seq; req; t0; respond } -> (
+    match Hashtbl.find_opt t.by_gsid gsid with
+    | None ->
+      (* the route raced a drop; never leave the client hanging *)
+      respond (wire_response gsid seq (Protocol.Failed "no session"))
+    | Some b -> (
+      match
+        Hub.submit t.hub (Protocol.frame b.b_lsid seq req)
+      with
+      | Ok () -> Hashtbl.replace t.pending_t0 (b.b_lsid, seq) t0
+      | Error _ ->
+        (* the hub's own per-board backlog refused it: backpressure,
+           same as an inbox refusal *)
+        Obs.incr t.m_busy;
+        respond
+          (wire_response gsid seq
+             (Protocol.Busy (Hub.queued_for t.hub (slot_of t b.b_slot).sl_hub_board)))))
+  | Migrate_out { slot; k } -> (
+    let sl = slot_of t slot in
+    let victims = bindings_on t slot in
+    (* Exempt them from idle reaping for the duration: the whole reason
+       they're migrating is that they've been idle on the cable. *)
+    List.iter (fun b -> Hub.set_migrating t.hub b.b_lsid true) victims;
+    drain_hub t;
+    let sessions =
+      List.map (fun b -> (b.b_gsid, b.b_lsid, b.b_respond, b.b_event)) victims
+    in
+    match
+      Migrate.capture t.hub ~board:sl.sl_hub_board ~tag:sl.sl_tag ~sessions
+    with
+    | Error msg ->
+      List.iter (fun b -> Hub.set_migrating t.hub b.b_lsid false) victims;
+      k (Error msg)
+    | Ok (capsule, freed) ->
+      List.iter (fun b -> remove_binding t b) victims;
+      (* The freed board rejoins this shard as a zero-session spare with
+         a fresh idle clock; a slot whose board can't be re-admitted is
+         parked via the reserved flag instead of crashing the shard. *)
+      (match Hub.add_board t.hub freed ~info:sl.sl_info with
+      | Ok bid -> sl.sl_hub_board <- bid
+      | Error _ -> Atomic.set sl.sl_reserved true);
+      Atomic.set sl.sl_sessions 0;
+      Atomic.set sl.sl_expired false;
+      Obs.incr t.m_migrations_out;
+      k (Ok capsule))
+  | Migrate_in { slot; capsule; k } -> (
+    let sl = slot_of t slot in
+    match Migrate.plant t.hub ~board:sl.sl_hub_board ~tag:sl.sl_tag capsule with
+    | Error msg ->
+      Atomic.set sl.sl_reserved false;
+      k (Error msg)
+    | Ok pairs ->
+      List.iter
+        (fun ((ms : Migrate.moved_session), lsid) ->
+          let b =
+            {
+              b_gsid = ms.Migrate.ms_gsid;
+              b_lsid = lsid;
+              b_slot = slot;
+              b_respond = ms.Migrate.ms_respond;
+              b_event = ms.Migrate.ms_event;
+            }
+          in
+          Hashtbl.replace t.by_gsid b.b_gsid b;
+          Hashtbl.replace t.by_lsid b.b_lsid b)
+        pairs;
+      Atomic.set sl.sl_sessions (List.length pairs);
+      Atomic.set sl.sl_reserved false;
+      Obs.incr t.m_migrations_in;
+      k (Ok pairs))
+  | Heartbeat ->
+    (* One tick with an empty queue: advances the shard clock so idle
+       leases age even on a quiet farm.  Socket-layer only — tests and
+       benches never post it, keeping their clocks purely work-driven. *)
+    deliver_responses t (Hub.tick t.hub);
+    deliver_events t
+
+(* Expire leases: a board that has gone [lease_ticks] without cable
+   traffic while sessions are still bound is flagged for the router's
+   migration pass.  Shard-clock arithmetic only. *)
+let scan_leases t =
+  Array.iter
+    (fun sl ->
+      if not (Atomic.get sl.sl_reserved) then begin
+        let sessions = Atomic.get sl.sl_sessions in
+        match Hub.board_idle_for t.hub sl.sl_hub_board with
+        | Some idle when sessions > 0 && idle > t.config.lease_ticks ->
+          Atomic.set sl.sl_expired true
+        | Some _ -> Atomic.set sl.sl_expired false
+        | None -> ()
+      end)
+    t.slots
+
+let publish t =
+  let st = Hub.stats t.hub in
+  Obs.set_gauge t.m_queue_depth (float_of_int (Hub.queued t.hub));
+  Obs.set_gauge t.m_sessions (float_of_int (Hashtbl.length t.by_gsid));
+  if st.Stats.cable_seconds > 0.0 then
+    Obs.set_gauge t.m_coalescing
+      (st.Stats.serial_cable_seconds /. st.Stats.cable_seconds);
+  Stats.publish_to t.mirror st
+
+(** One deterministic turn: drain the inbox, process every message in
+    arrival order, tick the hub dry, sweep reaped sessions, age leases,
+    publish metrics.  Returns whether any work was done. *)
+let step t =
+  let msgs = drain_inbox t in
+  let worked = msgs <> [] || Hub.queued t.hub > 0 in
+  List.iter (process t) msgs;
+  drain_hub t;
+  sweep_dead t;
+  scan_leases t;
+  publish t;
+  worked
+
+(* --- domain loop ------------------------------------------------------ *)
+
+let start t =
+  match t.domain with
+  | Some _ -> ()
+  | None ->
+    t.domain <-
+      Some
+        (Domain.spawn (fun () ->
+             let running = ref true in
+             while !running do
+               ignore (step t);
+               Mutex.lock t.mu;
+               while Queue.is_empty t.inbox && not t.stopping do
+                 Condition.wait t.cond t.mu
+               done;
+               if t.stopping then running := false;
+               Mutex.unlock t.mu
+             done;
+             (* final flush: everything posted before the stop drains *)
+             ignore (step t)))
+
+let stop t =
+  match t.domain with
+  | None -> ()
+  | Some d ->
+    Mutex.lock t.mu;
+    t.stopping <- true;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.mu;
+    Domain.join d;
+    t.domain <- None;
+    t.stopping <- false

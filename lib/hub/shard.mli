@@ -1,0 +1,109 @@
+(** One board shard of the debug farm: the deterministic {!Hub} tick
+    engine behind a bounded, never-blocking inbox, with gsid↔lsid
+    translation, migration handlers, and a per-shard [farm.shard<i>.*]
+    metrics surface.  {!step} runs one turn inline (deterministic — what
+    tests and benches call); {!start} runs the same loop on an OCaml 5
+    domain. *)
+
+module Board = Zoomie_bitstream.Board
+module Controller = Zoomie_debug.Controller
+
+type config = {
+  inbox_capacity : int;
+      (** admission: [Open]/[Request] messages refused beyond this *)
+  lease_ticks : int;
+      (** board cable-idle ticks before its lease expires (migration) *)
+  hub_config : Hub.config;
+}
+
+val default_config : config
+
+type t
+
+type msg =
+  | Open of {
+      gsid : int;
+      slot : int;
+      seq : int;
+      respond : string -> unit;
+      event : string -> unit;
+    }
+  | Close of { gsid : int }
+  | Request of {
+      gsid : int;
+      seq : int;
+      req : Protocol.request;
+      t0 : float;  (** post stamp, metrics only — never steers behavior *)
+      respond : string -> unit;
+    }
+  | Migrate_out of {
+      slot : int;
+      k : (Migrate.capsule, string) result -> unit;
+    }
+  | Migrate_in of {
+      slot : int;
+      capsule : Migrate.capsule;
+      k : ((Migrate.moved_session * int) list, string) result -> unit;
+    }
+  | Heartbeat  (** advance the shard clock once despite an empty queue *)
+
+(** [create ~id ~boards ~on_drop ()] builds a shard owning [boards]
+    (each with its controller info and design tag).  [on_drop gsid] is
+    called when the shard abandons a session on its own (open refused,
+    idle-reaped) so the router can drop the route.  Raises
+    [Invalid_argument] if a board can't be admitted. *)
+val create :
+  ?config:config ->
+  id:int ->
+  boards:(Board.t * Controller.info * string) list ->
+  on_drop:(int -> unit) ->
+  unit ->
+  t
+
+val id : t -> int
+
+(** The shard's hub — read-only use (stats) from the shard's own thread
+    of control; tests drive it inline. *)
+val hub : t -> Hub.t
+
+(** {2 Router-facing slot view} — lock-free reads for placement. *)
+
+val num_slots : t -> int
+
+val slot_device : t -> int -> string
+
+val slot_tag : t -> int -> string
+
+val slot_sessions : t -> int -> int
+
+(** Lease expired with sessions still aboard: a migration candidate. *)
+val slot_expired : t -> int -> bool
+
+val slot_reserved : t -> int -> bool
+
+(** Router-owned: hold/release a slot as a migration target. *)
+val reserve : t -> int -> bool -> unit
+
+(** Count a router-side admission refusal on this shard's metrics. *)
+val note_busy : t -> unit
+
+(** {2 Inbox} *)
+
+type admission = Accepted | Rejected of int  (** backlog at refusal *)
+
+(** Never blocks.  [Open]/[Request] are refused with the backlog size
+    when the inbox is at capacity; lifecycle and migration messages
+    always enqueue. *)
+val post : t -> msg -> admission
+
+(** One deterministic turn: drain the inbox, process messages in arrival
+    order, tick the hub dry (routing responses and events out), sweep
+    reaped sessions, age leases, publish metrics.  Returns whether any
+    work was done. *)
+val step : t -> bool
+
+(** Run {!step} on a dedicated domain until {!stop}. *)
+val start : t -> unit
+
+(** Signal the domain loop, drain what was already posted, join. *)
+val stop : t -> unit

@@ -103,6 +103,70 @@ let g_events_delivered = Obs.gauge "hub.events_delivered"
 let g_status_polls = Obs.gauge "hub.status_polls"
 let g_polls_avoided = Obs.gauge "hub.polls_avoided"
 
+(* A farm shard mirrors its hub's stats under its own prefix
+   ([farm.shard<i>.hub.*]) so per-shard health is visible without the
+   shards racing each other on the global [hub.*] gauges (the registry
+   is mutex-protected, but last-writer-wins across domains would make
+   the globals meaningless).  Handles are created once per shard. *)
+type mirror = {
+  m_ticks : Obs.gauge;
+  m_requests : Obs.gauge;
+  m_responses : Obs.gauge;
+  m_rejected : Obs.gauge;
+  m_lock_conflicts : Obs.gauge;
+  m_timeouts : Obs.gauge;
+  m_sweeps : Obs.gauge;
+  m_coalesced_reads : Obs.gauge;
+  m_frames_read : Obs.gauge;
+  m_frames_requested : Obs.gauge;
+  m_cable_seconds : Obs.gauge;
+  m_serial_cable_seconds : Obs.gauge;
+  m_events_published : Obs.gauge;
+  m_events_delivered : Obs.gauge;
+  m_status_polls : Obs.gauge;
+  m_polls_avoided : Obs.gauge;
+}
+
+let mirror prefix =
+  let g name = Obs.gauge (prefix ^ "." ^ name) in
+  {
+    m_ticks = g "hub.ticks";
+    m_requests = g "hub.requests";
+    m_responses = g "hub.responses";
+    m_rejected = g "hub.rejected";
+    m_lock_conflicts = g "hub.lock_conflicts";
+    m_timeouts = g "hub.timeouts";
+    m_sweeps = g "hub.sweeps";
+    m_coalesced_reads = g "hub.coalesced_reads";
+    m_frames_read = g "hub.frames_read";
+    m_frames_requested = g "hub.frames_requested";
+    m_cable_seconds = g "hub.cable_seconds";
+    m_serial_cable_seconds = g "hub.serial_cable_seconds";
+    m_events_published = g "hub.events_published";
+    m_events_delivered = g "hub.events_delivered";
+    m_status_polls = g "hub.status_polls";
+    m_polls_avoided = g "hub.polls_avoided";
+  }
+
+let publish_to m t =
+  let fi = float_of_int in
+  Obs.set_gauge m.m_ticks (fi t.ticks);
+  Obs.set_gauge m.m_requests (fi t.requests);
+  Obs.set_gauge m.m_responses (fi t.responses);
+  Obs.set_gauge m.m_rejected (fi t.rejected);
+  Obs.set_gauge m.m_lock_conflicts (fi t.lock_conflicts);
+  Obs.set_gauge m.m_timeouts (fi t.timeouts);
+  Obs.set_gauge m.m_sweeps (fi t.sweeps);
+  Obs.set_gauge m.m_coalesced_reads (fi t.coalesced_reads);
+  Obs.set_gauge m.m_frames_read (fi t.frames_read);
+  Obs.set_gauge m.m_frames_requested (fi t.frames_requested);
+  Obs.set_gauge m.m_cable_seconds t.cable_seconds;
+  Obs.set_gauge m.m_serial_cable_seconds t.serial_cable_seconds;
+  Obs.set_gauge m.m_events_published (fi t.events_published);
+  Obs.set_gauge m.m_events_delivered (fi t.events_delivered);
+  Obs.set_gauge m.m_status_polls (fi t.status_polls);
+  Obs.set_gauge m.m_polls_avoided (fi t.polls_avoided)
+
 let publish t =
   let fi = float_of_int in
   Obs.set_gauge g_ticks (fi t.ticks);

@@ -39,3 +39,12 @@ val pp : Format.formatter -> t -> unit
     [hub.*] gauges — the record stays the authoritative store, the
     registry is how the REPL/protocol/bench surfaces read it. *)
 val publish : t -> unit
+
+(** A prefixed set of gauge handles ([<prefix>.hub.*]) for farm shards:
+    each shard mirrors its own hub's stats under its own prefix instead
+    of racing the other domains on the global [hub.*] gauges. *)
+type mirror
+
+val mirror : string -> mirror
+
+val publish_to : mirror -> t -> unit

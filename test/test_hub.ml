@@ -49,6 +49,7 @@ let expect_done what (r : Protocol.response Protocol.frame) =
   match r.Protocol.fr_payload with
   | Protocol.Done _ -> ()
   | Protocol.Failed msg -> Alcotest.failf "%s failed: %s" what msg
+  | Protocol.Busy n -> Alcotest.failf "%s: unexpected busy %d" what n
   | Protocol.Values _ -> Alcotest.failf "%s: unexpected values" what
 
 (* Open a session and attach it to the wrapped MUT at "dut". *)
@@ -64,6 +65,8 @@ let attached hub bid =
 let test_request_roundtrip () =
   let reqs =
     [
+      Protocol.Open_session "any";
+      Protocol.Open_session "xcu250";
       Protocol.Attach "dut";
       Protocol.Detach;
       Protocol.Subscribe;
@@ -114,6 +117,8 @@ let test_response_roundtrip () =
       Protocol.Done "attached dut";
       Protocol.Done "line one\nline two \\ backslash";
       Protocol.Failed "error: unknown register \"x\"";
+      Protocol.Busy 17;
+      Protocol.Busy 0;
     ];
   (* Register values round-trip bit-for-bit. *)
   let vs = [ ("count", bits ~width:16 37); ("pending", bits ~width:1 1) ] in
@@ -191,7 +196,27 @@ let test_version_refused () =
       "zh1 x 1 detach" (* bad session *);
       "zh1 1 1 frobnicate" (* unknown verb *);
       "zh1" (* truncated *);
-    ]
+    ];
+  (* The refusal is a negotiation message naming BOTH versions — the
+     peer's and ours — so either side of a mixed deployment can tell
+     which end needs the upgrade.  Never a silent drop. *)
+  let infix = Astring.String.is_infix in
+  (match Protocol.request_of_wire "zh2 1 1 detach" with
+  | Error msg ->
+    Alcotest.(check bool)
+      (Printf.sprintf "names the peer version: %s" msg)
+      true (infix ~affix:"zh2" msg);
+    Alcotest.(check bool)
+      (Printf.sprintf "names our version: %s" msg)
+      true (infix ~affix:"zh1" msg)
+  | Ok _ -> Alcotest.fail "zh2 accepted");
+  match Protocol.request_of_wire "banana 1 1 detach" with
+  | Error msg ->
+    Alcotest.(check bool)
+      (Printf.sprintf "unparsable tag still names our version: %s" msg)
+      true
+      (infix ~affix:"banana" msg && infix ~affix:"zh1" msg)
+  | Ok _ -> Alcotest.fail "non-zh tag accepted"
 
 (* The protocol carries commands as their REPL line syntax, so the
    emitter must be an exact inverse of the parser. *)
@@ -248,6 +273,7 @@ let test_hub_read_matches_host () =
           (Bits.equal v (Host.read_register probe n)))
       vs
   | Protocol.Failed msg -> Alcotest.failf "read failed: %s" msg
+  | Protocol.Busy _ -> Alcotest.fail "read: unexpected busy"
   | Protocol.Done _ -> Alcotest.fail "read: unexpected transcript"
 
 let test_read_requires_attach () =
