@@ -1,6 +1,6 @@
 # Convenience entry points; `make check` is the tier-1 gate.
 
-.PHONY: all build test bench-smoke hub-farm-smoke obs-smoke fuzz-smoke check clean
+.PHONY: all build test bench-smoke hub-farm-smoke obs-smoke fuzz-smoke timeline-smoke check clean
 
 all: build
 
@@ -89,12 +89,27 @@ fuzz-smoke:
 	  --corpus artifacts/fuzz_smoke_broken --broken-op --minimize
 	ls artifacts/fuzz_smoke_broken/min/*.repro > /dev/null
 
+# Flight-recorder gate: `timeline smoke` fails hard if recording the
+# session costs more than 10% extra cable time, if a saved recording
+# does not replay bit-for-bit on a fresh rig, or if reverse-continue
+# misses its target cycle.  It leaves a sample recording in
+# artifacts/timeline_sample.zrec (uploaded by CI) that `zoomie replay`
+# can re-drive; the trailing greps pin the timeline.* instrumentation
+# into the bench record.
+timeline-smoke:
+	dune exec bench/main.exe -- timeline smoke
+	grep -q '"metrics"' artifacts/BENCH_timeline_smoke.json
+	grep -q '"timeline.checkpoints"' artifacts/BENCH_timeline_smoke.json
+	grep -q '"timeline.restore_jtag_s"' artifacts/BENCH_timeline_smoke.json
+	dune exec bin/zoomie_cli.exe -- replay artifacts/timeline_sample.zrec > /dev/null
+
 check: build
 	dune runtest
 	$(MAKE) bench-smoke
 	$(MAKE) hub-farm-smoke
 	$(MAKE) obs-smoke
 	$(MAKE) fuzz-smoke
+	$(MAKE) timeline-smoke
 
 clean:
 	dune clean

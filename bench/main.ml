@@ -1955,6 +1955,141 @@ let micro () =
         ols)
     tests
 
+(* Flight recorder: record-mode overhead against a plain session, replay
+   fidelity, and reverse-debug latency, all on the fuzz-hub rig (the same
+   fixed board/design pair the fuzz minimizer records against).  The same
+   scripted workload runs twice — once through Repl.execute, once through
+   a recording Timeline session — and the modeled-cable-seconds overhead
+   of recording must stay within 10%. *)
+let timeline_bench ~smoke () =
+  header
+    (Printf.sprintf "Timeline: flight-recorder overhead and reverse debug (%s)"
+       (if smoke then "smoke" else "full"));
+  Obs.reset_metrics ();
+  let fresh_rig () =
+    let run, info = Fuzz.Oracle.hub_rig_build () in
+    let b = Board.create (Fabric.Device.u200 ()) in
+    Vendor.Vivado.load_onto b run;
+    let h = Host.attach b ~info ~mut_path:"dut" in
+    (b, h)
+  in
+  let rounds = if smoke then 40 else 300 in
+  let commands =
+    (* Clear first: it disarms the recorder's conservative trigger shadow,
+       so step cycle-accounting stays pure arithmetic. *)
+    Debug.Repl.Clear
+    :: List.concat
+         (List.init rounds (fun i ->
+              [
+                Debug.Repl.Step 25;
+                Debug.Repl.Inject ("count", i land 0xFFFF);
+                Debug.Repl.Print "count";
+                Debug.Repl.Step 10;
+              ]))
+  in
+  let mut_cycles = rounds * 35 in
+  (* ~6 checkpoints across the run, however it is scaled. *)
+  let cadence = max 1 (mut_cycles / 6) in
+  pf "workload: %d commands, %d MUT cycles; checkpoint cadence %d\n%!"
+    (List.length commands) mut_cycles cadence;
+  (* Plain session: the no-recorder baseline. *)
+  let board_p, host_p = fresh_rig () in
+  let w0 = Unix.gettimeofday () in
+  let t0 = Board.jtag_seconds board_p in
+  let plain_transcript =
+    List.map (fun c -> Debug.Repl.execute host_p board_p c) commands
+  in
+  let plain_jtag = Board.jtag_seconds board_p -. t0 in
+  let plain_wall = Unix.gettimeofday () -. w0 in
+  (* Recording session: same commands, flight recorder on (the measured
+     window includes the initial checkpoint the record verb takes). *)
+  let board_r, host_r = fresh_rig () in
+  let ts = Debug.Timeline.session ~rig:"fuzz-hub" host_r board_r in
+  let w1 = Unix.gettimeofday () in
+  let t1 = Board.jtag_seconds board_r in
+  ignore (Debug.Timeline.execute ts (Debug.Repl.Record (Some cadence)));
+  let rec_transcript =
+    List.map (fun c -> Debug.Timeline.execute ts c) commands
+  in
+  let rec_jtag = Board.jtag_seconds board_r -. t1 in
+  let rec_wall = Unix.gettimeofday () -. w1 in
+  (* The recorder must be an observer: the live transcript is unchanged. *)
+  List.iter2
+    (fun p r ->
+      if p <> r then
+        failwith
+          (Printf.sprintf
+             "timeline bench: recording changed the transcript: %S vs %S" p r))
+    plain_transcript rec_transcript;
+  let entries = Debug.Timeline.entry_count ts in
+  let checkpoints = Debug.Timeline.checkpoint_count ts in
+  let overhead = (rec_jtag -. plain_jtag) /. plain_jtag in
+  pf "plain:  %.6f cable-s  (%.2f wall-s)\n" plain_jtag plain_wall;
+  pf "record: %.6f cable-s  (%.2f wall-s)  %d entries, %d checkpoints\n"
+    rec_jtag rec_wall entries checkpoints;
+  pf "record overhead: %+.2f%%\n%!" (100.0 *. overhead);
+  (* Persist a sample recording (CI uploads it as an artifact) and prove
+     it replays bit-for-bit on a third fresh copy of the rig. *)
+  (try Unix.mkdir "artifacts" 0o755
+   with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let sample = Filename.concat "artifacts" "timeline_sample.zrec" in
+  ignore (Debug.Timeline.execute ts (Debug.Repl.Record_save sample));
+  let recording = Debug.Timeline.load sample in
+  let board_c, host_c = fresh_rig () in
+  let replayed, divergence = Debug.Timeline.replay recording host_c board_c in
+  (match divergence with
+  | Some d ->
+    failwith
+      (Printf.sprintf "timeline bench: replay diverged at entry %d: %s"
+         d.Debug.Timeline.div_index d.Debug.Timeline.div_got)
+  | None -> ());
+  pf "replay: %d entries reproduced bit-for-bit -> %s\n%!"
+    (List.length replayed) sample;
+  (* when-did over the banked checkpoints: count the host-side probes. *)
+  let c_probes = Obs.counter "timeline.when_did_probes" in
+  let p0 = Obs.counter_value c_probes in
+  let answer = Debug.Timeline.execute ts (Debug.Repl.When_did "count") in
+  let probes = Obs.counter_value c_probes - p0 in
+  pf "when-did count: %s\n" answer;
+  (* Reverse-continue halfway back: restore + deterministic re-execution. *)
+  let here = Host.mut_cycles host_r in
+  let t2 = Board.jtag_seconds board_r in
+  let r = Debug.Timeline.execute ts (Debug.Repl.Reverse_continue (here / 2)) in
+  let reverse_jtag = Board.jtag_seconds board_r -. t2 in
+  pf "reverse-continue %d: %s\n  (%.6f cable-s)\n%!" (here / 2) r reverse_jtag;
+  if Host.mut_cycles host_r <> here / 2 then
+    failwith "timeline bench: reverse-continue missed its target cycle";
+  let case = if smoke then "timeline_smoke" else "timeline" in
+  let file =
+    Bench_json.write ~case
+      [
+        ("case", Bench_json.Str case);
+        ("smoke", Bench_json.Bool smoke);
+        ("rounds", Bench_json.Int rounds);
+        ("mut_cycles", Bench_json.Int mut_cycles);
+        ("cadence", Bench_json.Int cadence);
+        ("entries", Bench_json.Int entries);
+        ("checkpoints", Bench_json.Int checkpoints);
+        ("plain_jtag_s", Bench_json.Num plain_jtag);
+        ("record_jtag_s", Bench_json.Num rec_jtag);
+        ("overhead_ratio", Bench_json.Num overhead);
+        ("plain_wall_s", Bench_json.Num plain_wall);
+        ("record_wall_s", Bench_json.Num rec_wall);
+        ("replay_entries", Bench_json.Int (List.length replayed));
+        ("replay_ok", Bench_json.Bool (divergence = None));
+        ("when_did_probes", Bench_json.Int probes);
+        ("reverse_jtag_s", Bench_json.Num reverse_jtag);
+        ("sample_recording", Bench_json.Str sample);
+        metrics_field ();
+      ]
+  in
+  pf "wrote %s\n%!" file;
+  (* The acceptance gate: recording must cost no more than 10% cable time. *)
+  if overhead > 0.10 then
+    failwith
+      (Printf.sprintf "timeline bench: record overhead %.1f%% exceeds 10%%"
+         (100.0 *. overhead))
+
 (* ------------------------------------------------------------------ *)
 
 let experiments =
@@ -1979,6 +2114,7 @@ let experiments =
     ("hub-farm", hub_farm_bench ~smoke:false);
     ("vti", vti_bench ~smoke:false);
     ("fuzz", fuzz_bench ~smoke:false);
+    ("timeline", timeline_bench ~smoke:false);
   ]
 
 let () =
@@ -2022,6 +2158,10 @@ let () =
   | [| _; "fuzz"; "smoke" |] ->
     (* CI smoke mode: bounded clean campaign + injected-fault self-test. *)
     fuzz_bench ~smoke:true ()
+  | [| _; "timeline"; "smoke" |] ->
+    (* CI smoke mode: same overhead/replay/reverse measurement, smaller
+       workload. *)
+    timeline_bench ~smoke:true ()
   | [| _; name |] -> (
     match List.assoc_opt name experiments with
     | Some f -> f ()

@@ -216,13 +216,90 @@ let repl_cmd =
         s
       | None -> In_channel.input_all stdin
     in
-    List.iter print_endline (Debug.Repl.run_script host board script)
+    (* The Timeline front-end understands everything Repl does plus the
+       flight-recorder verbs (record / reverse-step / reverse-continue /
+       when-did / record save). *)
+    let ts = Debug.Timeline.session ~rig:"cohort" host board in
+    List.iter print_endline (Debug.Timeline.run_script ts script)
   in
   Cmd.v
     (Cmd.info "repl"
        ~doc:
          "Drive a scripted debug session on the bundled Cohort SoC (reads           commands from --script or stdin)")
     Term.(const run $ script_file $ trace_arg)
+
+(* Rebuild the board+host a recording was captured on, keyed by its rig
+   tag.  Recordings are replayable only because the rigs are themselves
+   deterministic builds. *)
+let replay_rig (r : Debug.Timeline.recording) =
+  match r.Debug.Timeline.rec_rig with
+  | "cohort" ->
+    let monitor =
+      assertion_exn ~widths:Workloads.Cohort.sva_widths Workloads.Cohort.mmu_sva
+    in
+    let project = create_project (Workloads.Cohort.design ()) in
+    let project =
+      add_debug project ~mut:Workloads.Cohort.accel_module
+        ~interfaces:(Workloads.Cohort.interfaces ())
+        ~watches:(Workloads.Cohort.watches ())
+        ~assertions:[ monitor ]
+    in
+    let run = compile_vendor project in
+    let board = board project in
+    program_vendor board run;
+    let host = attach project board ~mut_path:r.Debug.Timeline.rec_mut_path in
+    Synth.Netsim.poke_input (Bitstream.Board.netsim board) "start"
+      (Rtl.Bits.of_int ~width:1 1);
+    (host, board)
+  | "fuzz-hub" ->
+    let run, info = Fuzz.Oracle.hub_rig_build () in
+    let board = Bitstream.Board.create (Fabric.Device.u200 ()) in
+    Vendor.Vivado.load_onto board run;
+    let host =
+      Debug.Host.attach board ~info ~mut_path:r.Debug.Timeline.rec_mut_path
+    in
+    (host, board)
+  | rig ->
+    Fmt.failwith "unknown rig %S (known rigs: cohort, fuzz-hub)" rig
+
+let replay_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:"A flight recording written by 'record save' or the fuzz           minimizer (.zrec)")
+  in
+  let run file trace_file =
+    with_trace trace_file @@ fun () ->
+    let r =
+      try Debug.Timeline.load file
+      with Debug.Timeline.Bad_recording msg ->
+        Fmt.pr "replay: bad recording: %s@." msg;
+        exit 2
+    in
+    Fmt.pr "replay: %s: rig %s, mut path %s, %d entries, %d checkpoints@." file
+      r.Debug.Timeline.rec_rig r.Debug.Timeline.rec_mut_path
+      (Array.length r.Debug.Timeline.rec_entries)
+      (Array.length r.Debug.Timeline.rec_checkpoints);
+    let host, board = replay_rig r in
+    let transcript, divergence = Debug.Timeline.replay r host board in
+    List.iter print_endline transcript;
+    match divergence with
+    | None ->
+      Fmt.pr "replay: ok — %d entries reproduced bit-for-bit@."
+        (Array.length r.Debug.Timeline.rec_entries)
+    | Some d ->
+      Fmt.pr "replay: DIVERGENCE at entry %d@.  recorded: %s@.  got:      %s@."
+        d.Debug.Timeline.div_index d.Debug.Timeline.div_expected
+        d.Debug.Timeline.div_got;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Re-drive a recorded debug session headlessly and check the           transcript reproduces bit-for-bit")
+    Term.(const run $ file $ trace_arg)
 
 (* --listen HOST:PORT or --listen PATH (unix socket). *)
 let addr_of_spec spec =
@@ -528,6 +605,6 @@ let main =
     (Cmd.info "zoomie" ~version
        ~doc:"Software-like FPGA debugging: compile, program, and debug")
     [ devices_cmd; sva_cmd; matrix_cmd; demo_cmd; verilog_cmd; repl_cmd;
-      hub_cmd; fuzz_cmd ]
+      replay_cmd; hub_cmd; fuzz_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -42,6 +42,11 @@ let dbg_reg t name = t.mut_path ^ "." ^ name
 (** The trigger unit's watched signals (for UIs encoding break values). *)
 let watches t = t.info.Controller.cfg.Controller.watches
 
+(** Whether any assertions are compiled into the wrapper — their
+    breakpoints can stop a [step] before its cycle budget, which cycle
+    accounting (the timeline recorder) needs to know statically. *)
+let has_assertions t = t.info.Controller.cfg.Controller.assertions <> []
+
 (** Hierarchical path of a register inside the MUT (the wrapper inserts the
     [mut] instance level). *)
 let mut_reg t name = t.mut_path ^ ".mut." ^ name
@@ -383,7 +388,10 @@ let trace ?(signals = fun _ -> true) t ~cycles =
 
 (** Registers that differ between two {!read_state} results (or any two
     (name, value) association lists): [(name, before, after)].  Names
-    present in only one side pair with [None]. *)
+    present in only one side pair with [None].  The result is canonical —
+    sorted by full register name — regardless of input order or hash-table
+    iteration order, because replay-divergence reports and [when-did]
+    binary search compare diffs structurally. *)
 let diff_states before after =
   let tbl = Hashtbl.create 64 in
   List.iter (fun (n, v) -> Hashtbl.replace tbl n v) before;
@@ -398,4 +406,6 @@ let diff_states before after =
       after
   in
   let removed = Hashtbl.fold (fun n v acc -> (n, Some v, None) :: acc) tbl [] in
-  List.sort compare (changed @ removed)
+  List.sort
+    (fun (a, _, _) (b, _, _) -> String.compare a b)
+    (changed @ removed)

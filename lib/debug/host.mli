@@ -33,6 +33,10 @@ val attach :
 (** The trigger unit's watched signals (for UIs encoding break values). *)
 val watches : t -> Trigger.watch list
 
+(** Whether any assertions are compiled into the wrapper (their
+    breakpoints can stop a [step] before its cycle budget). *)
+val has_assertions : t -> bool
+
 (** {1 Introspection (for multiplexing front-ends)} *)
 
 val board : t -> Board.t
@@ -174,9 +178,11 @@ val jtag_seconds : t -> float
 val trace : ?signals:(string -> bool) -> t -> cycles:int -> Wave.t
 
 (** Registers that differ between two {!read_state} results:
-    [(name, before, after)], sorted by name; a [None] side means the name
-    was absent there.  Pure function — handy for "what moved while I
-    stepped" interrogation. *)
+    [(name, before, after)], canonically sorted by full register name
+    (independent of input order — replay-divergence reports and
+    [when-did]'s binary search compare diffs structurally); a [None] side
+    means the name was absent there.  Pure function — handy for "what
+    moved while I stepped" interrogation. *)
 val diff_states :
   (string * Bits.t) list ->
   (string * Bits.t) list ->

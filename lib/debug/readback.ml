@@ -629,8 +629,10 @@ let restore_snapshot board (snap : snapshot) =
 let snapshot_magic = 0x5A4F4F4D (* "ZOOM" *)
 let snapshot_version = 2
 
-let save_snapshot (snap : snapshot) path =
-  let oc = open_out_bin path in
+(** Emit one snapshot onto an (already binary-mode) channel — the
+    building block {!save_snapshot} wraps, also used by recorder formats
+    that embed checkpoints inline in a larger stream. *)
+let output_snapshot oc (snap : snapshot) =
   let w32 v = output_binary_int oc v in
   w32 snapshot_magic;
   w32 snapshot_version;
@@ -653,51 +655,59 @@ let save_snapshot (snap : snapshot) path =
           w32 (Array.length words);
           Array.iter w32 words)
         frames)
-    slrs;
-  close_out oc
+    slrs
+
+let save_snapshot (snap : snapshot) path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_snapshot oc snap)
 
 exception Bad_snapshot of string
+
+(** Read one snapshot back off a channel, leaving the channel positioned
+    just past it — the inverse of {!output_snapshot}.
+    @raise Bad_snapshot on truncation or a bad magic/version. *)
+let input_snapshot ic : snapshot =
+  let r32 () =
+    try input_binary_int ic
+    with End_of_file -> raise (Bad_snapshot "truncated snapshot")
+  in
+  if r32 () <> snapshot_magic then raise (Bad_snapshot "bad magic");
+  let version = r32 () in
+  let snap_cycle =
+    match version with
+    | 1 ->
+      (* v1: one signed 32-bit field; mask to the unsigned value the
+         writer actually recorded. *)
+      r32 () land 0xFFFFFFFF
+    | 2 ->
+      let hi = r32 () land 0xFFFFFFFF in
+      let lo = r32 () land 0xFFFFFFFF in
+      (hi lsl 32) lor lo
+    | _ -> raise (Bad_snapshot "bad version")
+  in
+  let n_slrs = r32 () in
+  let snap_frames = Frame_index.create () in
+  for _ = 1 to n_slrs do
+    let slr = r32 () in
+    let n = r32 () in
+    for _ = 1 to n do
+      let row = r32 () in
+      let col = r32 () in
+      let minor = r32 () in
+      let len = r32 () in
+      Frame_index.add snap_frames (slr, row, col, minor)
+        (Array.init len (fun _ -> r32 () land 0xFFFFFFFF))
+    done
+  done;
+  { snap_frames; snap_cycle }
 
 let load_snapshot path : snapshot =
   let ic =
     try open_in_bin path with Sys_error msg -> raise (Bad_snapshot msg)
   in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let r32 () =
-        try input_binary_int ic
-        with End_of_file -> raise (Bad_snapshot "truncated snapshot")
-      in
-      if r32 () <> snapshot_magic then raise (Bad_snapshot "bad magic");
-      let version = r32 () in
-      let snap_cycle =
-        match version with
-        | 1 ->
-          (* v1: one signed 32-bit field; mask to the unsigned value the
-             writer actually recorded. *)
-          r32 () land 0xFFFFFFFF
-        | 2 ->
-          let hi = r32 () land 0xFFFFFFFF in
-          let lo = r32 () land 0xFFFFFFFF in
-          (hi lsl 32) lor lo
-        | _ -> raise (Bad_snapshot "bad version")
-      in
-      let n_slrs = r32 () in
-      let snap_frames = Frame_index.create () in
-      for _ = 1 to n_slrs do
-        let slr = r32 () in
-        let n = r32 () in
-        for _ = 1 to n do
-          let row = r32 () in
-          let col = r32 () in
-          let minor = r32 () in
-          let len = r32 () in
-          Frame_index.add snap_frames (slr, row, col, minor)
-            (Array.init len (fun _ -> r32 () land 0xFFFFFFFF))
-        done
-      done;
-      { snap_frames; snap_cycle })
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> input_snapshot ic)
 
 (* --- memory contents (3.2/3.3 cover memories, not just registers) ---- *)
 

@@ -236,7 +236,17 @@ val snapshot_version : int
 
 val save_snapshot : snapshot -> string -> unit
 
+(** Emit one snapshot onto an already-open binary channel — what
+    {!save_snapshot} wraps.  Lets container formats (the timeline
+    recorder) embed checkpoints inline in a larger stream. *)
+val output_snapshot : out_channel -> snapshot -> unit
+
 exception Bad_snapshot of string
 
 (** @raise Bad_snapshot on a missing, truncated or wrong-version file. *)
 val load_snapshot : string -> snapshot
+
+(** Read one snapshot off a channel, leaving it positioned just past the
+    snapshot — the inverse of {!output_snapshot}.
+    @raise Bad_snapshot on truncation or a bad magic/version. *)
+val input_snapshot : in_channel -> snapshot

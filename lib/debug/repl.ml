@@ -23,7 +23,18 @@
       stats               cable meter + kernel counters + metrics registry
       trace on|off        enable / disable span tracing
       trace dump FILE     write collected spans as Chrome trace JSON
+      record [CADENCE]    start the session flight recorder
+      record save FILE    persist the recording (versioned .zrec format)
+      record status       entries / checkpoints / cadence of the recorder
+      reverse-step [N]    travel N MUT cycles backwards (default 1)
+      reverse-continue C  travel back to recorded MUT cycle C
+      when-did REG        binary-search checkpoints for REG's last change
     v}
+
+    The time-travel verbs ([record*], [reverse-*], [when-did]) parse and
+    print here so they travel over wire protocols, but executing them
+    needs the flight recorder: {!Timeline.execute} wraps {!execute} and
+    handles them; bare {!execute} raises [Invalid_argument].
 
     [run_script] executes a whole script and returns the transcript — the
     debugging equivalent of a testbench, and how the test suite drives it. *)
@@ -57,6 +68,12 @@ type command =
   | Stats
   | Trace_ctl of bool
   | Trace_dump of string
+  | Record of int option
+  | Record_save of string
+  | Record_status
+  | Reverse_step of int
+  | Reverse_continue of int
+  | When_did of string
   | Nop
 
 let parse_int s =
@@ -131,6 +148,27 @@ let parse_line line : (command, string) result =
     | None -> Error "trace: bad cycle count")
   | [ "save"; file ] -> Ok (Save file)
   | [ "load"; file ] -> Ok (Load file)
+  | [ "record" ] -> Ok (Record None)
+  (* must precede the [record CADENCE] int-parse below *)
+  | [ "record"; "save"; file ] -> Ok (Record_save file)
+  | [ "record"; "status" ] -> Ok Record_status
+  | [ "record"; n ] -> (
+    match parse_int n with
+    | Some n when n > 0 -> Ok (Record (Some n))
+    | Some _ -> Error "record: cadence must be positive"
+    | None -> Error "record: bad checkpoint cadence")
+  | [ "reverse-step" ] -> Ok (Reverse_step 1)
+  | [ "reverse-step"; n ] -> (
+    match parse_int n with
+    | Some n when n > 0 -> Ok (Reverse_step n)
+    | Some _ -> Error "reverse-step: count must be positive"
+    | None -> Error "reverse-step: bad cycle count")
+  | [ "reverse-continue"; n ] -> (
+    match parse_int n with
+    | Some n when n >= 0 -> Ok (Reverse_continue n)
+    | Some _ -> Error "reverse-continue: bad target cycle"
+    | None -> Error "reverse-continue: bad target cycle")
+  | [ "when-did"; reg ] -> Ok (When_did reg)
   | [ "cause" ] -> Ok Cause
   | [ "cycles" ] -> Ok Cycles
   | [ "status" ] -> Ok Status
@@ -169,6 +207,13 @@ let command_to_string (cmd : command) : string =
   | Trace_ctl true -> "trace on"
   | Trace_ctl false -> "trace off"
   | Trace_dump file -> Printf.sprintf "trace dump %s" file
+  | Record None -> "record"
+  | Record (Some n) -> Printf.sprintf "record %d" n
+  | Record_save file -> Printf.sprintf "record save %s" file
+  | Record_status -> "record status"
+  | Reverse_step n -> Printf.sprintf "reverse-step %d" n
+  | Reverse_continue n -> Printf.sprintf "reverse-continue %d" n
+  | When_did reg -> Printf.sprintf "when-did %s" reg
   | Nop -> ""
 
 (* Width of a named watch (for encoding break values). *)
@@ -283,6 +328,11 @@ let execute host board (cmd : command) : string =
     let n = List.length (Obs.spans ()) in
     Obs.write_chrome_trace file;
     Printf.sprintf "wrote %d spans -> %s" n file
+  | Record _ | Record_save _ | Record_status | Reverse_step _
+  | Reverse_continue _ | When_did _ ->
+    (* Time-travel verbs live one layer up: they need the session flight
+       recorder ({!Timeline.execute}), which wraps this interpreter. *)
+    invalid_arg "timeline commands need a recorder-capable front-end"
 
 (** Run a newline-separated script; returns the transcript (one entry per
     non-empty command, prefixed with the command itself). *)

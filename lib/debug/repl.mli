@@ -6,7 +6,9 @@
     [unwatch sig ...], [clear], [print reg], [mem name addr], [state],
     [inject reg val], [trace n file.vcd], [save file], [load file],
     [cause], [cycles], [status], [stats], [trace on], [trace off],
-    [trace dump file.json].
+    [trace dump file.json], [record \[cadence\]], [record save file],
+    [record status], [reverse-step \[n\]], [reverse-continue cycle],
+    [when-did reg].
     Blank lines and [#]-comments are ignored. *)
 
 module Board = Zoomie_bitstream.Board
@@ -35,6 +37,15 @@ type command =
   | Stats  (** cable meter + kernel counters + metrics registry summary *)
   | Trace_ctl of bool  (** [trace on] / [trace off]: toggle span tracing *)
   | Trace_dump of string  (** write collected spans as Chrome trace JSON *)
+  | Record of int option
+      (** [record \[CADENCE\]]: start the flight recorder, checkpointing
+          every CADENCE MUT cycles (handled by {!Timeline.execute}) *)
+  | Record_save of string  (** persist the recording (.zrec format) *)
+  | Record_status  (** recorder entry/checkpoint/cadence summary *)
+  | Reverse_step of int  (** travel N MUT cycles backwards *)
+  | Reverse_continue of int  (** travel back to a recorded MUT cycle *)
+  | When_did of string
+      (** binary-search checkpoints for a register's last change *)
   | Nop
 
 (** Parse one input line.  [Error msg] describes the syntax problem. *)
@@ -48,7 +59,10 @@ val command_to_string : command -> string
 
 (** Execute one command; the result is the text a user would see.  Errors
     (unknown register, unwatched signal, ...) are caught and reported as
-    ["error: ..."] rather than aborting the session. *)
+    ["error: ..."] rather than aborting the session.  The time-travel
+    verbs ([Record*], [Reverse_*], [When_did]) need the session flight
+    recorder and raise [Invalid_argument] here — drive them through
+    {!Timeline.execute}, which wraps this interpreter. *)
 val execute : Host.t -> Board.t -> command -> string
 
 (** Run a newline-separated script; returns the per-command transcript

@@ -1,0 +1,774 @@
+(* Session flight recorder + reverse debugging (see timeline.mli).
+
+   Layering: this module sits *above* Repl — it intercepts the
+   time-travel verbs and delegates everything else to Repl.execute,
+   recording (command, response, mut-cycle) triples chained under a
+   running MD5 digest, plus periodic full-state checkpoints.  Reverse
+   execution is restore-nearest-checkpoint + deterministic forward
+   re-execution: the board model is cycle-driven and every cycle the MUT
+   executes is driven by a recorded command, so replaying the command
+   prefix reproduces MUT state bit-for-bit (the free-running clock may
+   differ — stop polling is adaptive — but the MUT is clock-gated the
+   moment a breakpoint latches, so its state doesn't depend on it). *)
+
+open Zoomie_rtl
+module Board = Zoomie_bitstream.Board
+module Obs = Zoomie_obs.Obs
+
+exception Bad_recording of string
+
+let bad_recording fmt =
+  Printf.ksprintf (fun msg -> raise (Bad_recording msg)) fmt
+
+type entry = {
+  e_cmd : Repl.command;
+  e_response : string;
+  e_cycle : int;
+  e_chain : string;
+}
+
+type checkpoint = {
+  ck_index : int;
+  ck_mut_cycle : int;
+  ck_snap : Readback.snapshot;
+}
+
+type t = {
+  tl_mut_path : string;
+  tl_rig : string;
+  tl_cadence : int;
+  tl_start_cycle : int;
+  tl_init_chain : string;
+  mutable tl_entries : entry list;  (* newest first *)
+  mutable tl_n_entries : int;
+  mutable tl_checkpoints : checkpoint list;  (* newest first *)
+  mutable tl_chain : string;
+  mutable tl_last_cycle : int;  (* MUT cycle after the last entry *)
+  mutable tl_last_ck_cycle : int;
+  mutable tl_value_bp : bool;  (* a value breakpoint may be armed *)
+  mutable tl_watched : string list;  (* armed watchpoints *)
+}
+
+type session = {
+  ts_host : Host.t;
+  ts_board : Board.t;
+  ts_rig : string;
+  mutable ts_timeline : t option;
+}
+
+let default_cadence = 4096
+
+let session ?(rig = "custom") host board =
+  { ts_host = host; ts_board = board; ts_rig = rig; ts_timeline = None }
+
+let is_recording s = s.ts_timeline <> None
+
+let entry_count s =
+  match s.ts_timeline with Some tl -> tl.tl_n_entries | None -> 0
+
+let checkpoint_count s =
+  match s.ts_timeline with
+  | Some tl -> List.length tl.tl_checkpoints
+  | None -> 0
+
+(* --- metrics (handles held once; recording is O(1) per event) -------- *)
+
+let m_entries = Obs.counter "timeline.entries"
+let m_checkpoints = Obs.counter "timeline.checkpoints"
+let m_checkpoint_bytes = Obs.counter "timeline.checkpoint_bytes"
+let m_restores = Obs.counter "timeline.restores"
+let m_probes = Obs.counter "timeline.when_did_probes"
+let g_cadence = Obs.gauge "timeline.cadence_cycles"
+let h_restore = Obs.histogram "timeline.restore_jtag_s"
+let h_reexec = Obs.histogram "timeline.reexec_jtag_s"
+
+(* --- chain digest ---------------------------------------------------- *)
+
+let chain_step prev cmd_text response cycle =
+  Digest.to_hex
+    (Digest.string (Printf.sprintf "%s|%s|%s|%d" prev cmd_text response cycle))
+
+let init_chain ~mut_path ~rig ~cadence ~start_cycle =
+  Digest.to_hex
+    (Digest.string
+       (Printf.sprintf "zoomie-timeline|%s|%s|%d|%d" mut_path rig cadence
+          start_cycle))
+
+(* On-disk size of one snapshot (mirrors Readback's binary layout):
+   magic+version+cycle halves+slr count, 8 bytes per SLR section header,
+   16 bytes per frame header + 4 per frame word. *)
+let snapshot_bytes (snap : Readback.snapshot) =
+  let header =
+    20 + (8 * List.length (Readback.Frame_index.slrs snap.Readback.snap_frames))
+  in
+  Readback.Frame_index.fold
+    (fun _ words acc -> acc + 16 + (4 * Array.length words))
+    snap.Readback.snap_frames header
+
+(* --- recording plumbing ---------------------------------------------- *)
+
+(* Which commands enter the recording.  Everything that can influence or
+   observe MUT state is in — including reads, whose responses verify the
+   replay — while out-of-band verbs are not: Stats reports wall/cable
+   meters (nondeterministic across runs), the trace/span toggles and
+   [save] write host-side files, and the timeline verbs themselves are
+   the recorder's own controls. *)
+let recorded_cmd = function
+  | Repl.Stats | Repl.Trace_ctl _ | Repl.Trace_dump _ | Repl.Save _
+  | Repl.Nop | Repl.Record _ | Repl.Record_save _ | Repl.Record_status
+  | Repl.Reverse_step _ | Repl.Reverse_continue _ | Repl.When_did _ ->
+    false
+  | _ -> true
+
+(* Run one command the way Repl.run_script would render a failure, but
+   keep the exception so callers preserve Repl.execute's contract. *)
+let exec_catching host board cmd =
+  match Repl.execute host board cmd with
+  | r -> (r, None)
+  | exception (Invalid_argument msg as e) -> ("error: " ^ msg, Some e)
+  | exception (Readback.Readback_error msg as e) -> ("error: " ^ msg, Some e)
+  | exception (Readback.Bad_snapshot msg as e) ->
+    ("error: bad snapshot: " ^ msg, Some e)
+
+(* MUT cycle counter after [cmd].  Cheap bookkeeping where the command
+   semantics pin it; one real counter readback where they don't:
+   run/continue/trace/load can stop anywhere (breakpoints, budgets,
+   snapshot restores), and a step can stop early only when something
+   else can fire mid-step (value breakpoints, watchpoints, compiled-in
+   assertions). *)
+let cycle_after s tl ~failed cmd =
+  let read () = Host.mut_cycles s.ts_host in
+  let step_may_stop_early () =
+    tl.tl_value_bp || tl.tl_watched <> []
+    || Host.has_assertions s.ts_host
+  in
+  match cmd with
+  | Repl.Run _ | Repl.Continue _ | Repl.Trace _ | Repl.Load _ -> read ()
+  | Repl.Step n ->
+    if failed || step_may_stop_early () then read ()
+    else tl.tl_last_cycle + n
+  | _ -> tl.tl_last_cycle
+
+(* Shadow the armed-trigger state the recorded commands imply, so the
+   step fast path above stays sound.  [Load] restores trigger registers
+   wholesale from a snapshot — go conservative. *)
+let note_arms tl = function
+  | Repl.Break_all _ | Repl.Break_any _ -> tl.tl_value_bp <- true
+  | Repl.Clear -> tl.tl_value_bp <- false
+  | Repl.Watch names ->
+    tl.tl_watched <-
+      List.sort_uniq String.compare (names @ tl.tl_watched)
+  | Repl.Unwatch names ->
+    tl.tl_watched <-
+      List.filter (fun n -> not (List.mem n names)) tl.tl_watched
+  | Repl.Load _ -> tl.tl_value_bp <- true
+  | _ -> ()
+
+let append tl cmd response cycle =
+  let chain = chain_step tl.tl_chain (Repl.command_to_string cmd) response cycle in
+  tl.tl_entries <-
+    { e_cmd = cmd; e_response = response; e_cycle = cycle; e_chain = chain }
+    :: tl.tl_entries;
+  tl.tl_n_entries <- tl.tl_n_entries + 1;
+  tl.tl_chain <- chain;
+  tl.tl_last_cycle <- cycle;
+  Obs.incr m_entries
+
+let mclock_of s () = Board.jtag_seconds s.ts_board
+
+let take_checkpoint s tl =
+  let mclock = mclock_of s in
+  let snap =
+    Obs.span ~cat:"timeline" ~mclock "timeline.checkpoint" (fun () ->
+        Host.snapshot s.ts_host)
+  in
+  tl.tl_checkpoints <-
+    { ck_index = tl.tl_n_entries; ck_mut_cycle = tl.tl_last_cycle; ck_snap = snap }
+    :: tl.tl_checkpoints;
+  tl.tl_last_ck_cycle <- tl.tl_last_cycle;
+  Obs.incr m_checkpoints;
+  Obs.incr ~by:(snapshot_bytes snap) m_checkpoint_bytes
+
+let maybe_checkpoint s tl =
+  if tl.tl_last_cycle - tl.tl_last_ck_cycle >= tl.tl_cadence then
+    take_checkpoint s tl
+
+(* --- the timeline verbs ---------------------------------------------- *)
+
+let require s verb =
+  match s.ts_timeline with
+  | Some tl -> tl
+  | None ->
+    invalid_arg
+      (verb ^ ": no active recording (start one with: record [CADENCE])")
+
+let start_recording s cadence_opt =
+  (match s.ts_timeline with
+  | Some _ ->
+    invalid_arg
+      "record: already recording (record status / record save FILE)"
+  | None -> ());
+  let cadence = Option.value cadence_opt ~default:default_cadence in
+  let start_cycle = Host.mut_cycles s.ts_host in
+  let mut_path = Host.mut_path s.ts_host in
+  let tl =
+    {
+      tl_mut_path = mut_path;
+      tl_rig = s.ts_rig;
+      tl_cadence = cadence;
+      tl_start_cycle = start_cycle;
+      tl_init_chain =
+        init_chain ~mut_path ~rig:s.ts_rig ~cadence ~start_cycle;
+      tl_entries = [];
+      tl_n_entries = 0;
+      tl_checkpoints = [];
+      tl_chain = init_chain ~mut_path ~rig:s.ts_rig ~cadence ~start_cycle;
+      tl_last_cycle = start_cycle;
+      tl_last_ck_cycle = start_cycle;
+      tl_value_bp = true;  (* attach-time trigger state is unknown *)
+      tl_watched = [];
+    }
+  in
+  s.ts_timeline <- Some tl;
+  Obs.set_gauge g_cadence (float_of_int cadence);
+  take_checkpoint s tl;
+  Printf.sprintf
+    "recording (checkpoint cadence %d MUT cycles, started at mut cycle %d)"
+    cadence start_cycle
+
+let status s =
+  match s.ts_timeline with
+  | None -> "not recording"
+  | Some tl ->
+    Printf.sprintf
+      "recording: %d entries, %d checkpoints (cadence %d, started at mut \
+       cycle %d, now at mut cycle %d, chain %s)"
+      tl.tl_n_entries
+      (List.length tl.tl_checkpoints)
+      tl.tl_cadence tl.tl_start_cycle tl.tl_last_cycle
+      (String.sub tl.tl_chain 0 8)
+
+(* --- on-disk format --------------------------------------------------
+
+   Text header + per-entry lines (backslash-escaped free text, one
+   command and one response line per entry), then the checkpoints with
+   their snapshots embedded in Readback's binary format, then the final
+   chain digest as a trailer.  Versioned like the wire protocol: a
+   reader seeing a newer version refuses instead of guessing. *)
+
+let format_version = 1
+
+let escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let unescape s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (if s.[!i] = '\\' && !i + 1 < n then begin
+       (match s.[!i + 1] with
+       | 'n' -> Buffer.add_char b '\n'
+       | c -> Buffer.add_char b c);
+       i := !i + 1
+     end
+     else Buffer.add_char b s.[!i]);
+    incr i
+  done;
+  Buffer.contents b
+
+let write_recording oc ~mut_path ~rig ~cadence ~start_cycle ~entries
+    ~checkpoints ~chain =
+  let pf fmt = Printf.fprintf oc fmt in
+  pf "zoomie-timeline %d\n" format_version;
+  pf "mut_path %s\n" mut_path;
+  pf "rig %s\n" rig;
+  pf "cadence %d\n" cadence;
+  pf "start_cycle %d\n" start_cycle;
+  pf "entries %d\n" (List.length entries);
+  List.iter
+    (fun e ->
+      pf "entry %d %s %s\n" e.e_cycle e.e_chain
+        (escape (Repl.command_to_string e.e_cmd));
+      pf "response %s\n" (escape e.e_response))
+    entries;
+  pf "checkpoints %d\n" (List.length checkpoints);
+  List.iter
+    (fun ck ->
+      pf "checkpoint %d %d\n" ck.ck_index ck.ck_mut_cycle;
+      Readback.output_snapshot oc ck.ck_snap;
+      (* keep the line framing intact after the binary blob *)
+      output_char oc '\n')
+    checkpoints;
+  pf "chain %s\n" chain
+
+let save_recording tl path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      write_recording oc ~mut_path:tl.tl_mut_path ~rig:tl.tl_rig
+        ~cadence:tl.tl_cadence ~start_cycle:tl.tl_start_cycle
+        ~entries:(List.rev tl.tl_entries)
+        ~checkpoints:(List.rev tl.tl_checkpoints)
+        ~chain:tl.tl_chain)
+
+type recording = {
+  rec_mut_path : string;
+  rec_rig : string;
+  rec_cadence : int;
+  rec_start_cycle : int;
+  rec_entries : entry array;
+  rec_checkpoints : checkpoint array;
+  rec_chain : string;
+}
+
+let load path : recording =
+  let ic =
+    try open_in_bin path with Sys_error msg -> raise (Bad_recording msg)
+  in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let line () =
+        try input_line ic
+        with End_of_file -> bad_recording "truncated recording"
+      in
+      let field key =
+        let l = line () in
+        match String.index_opt l ' ' with
+        | Some i when String.sub l 0 i = key ->
+          String.sub l (i + 1) (String.length l - i - 1)
+        | _ -> bad_recording "expected %S line, got %S" key l
+      in
+      let int_field key =
+        let v = field key in
+        match int_of_string_opt v with
+        | Some n -> n
+        | None -> bad_recording "bad %s value %S" key v
+      in
+      (match int_of_string_opt (field "zoomie-timeline") with
+      | Some v when v = format_version -> ()
+      | Some v ->
+        bad_recording
+          "recording is format version %d, this reader speaks %d" v
+          format_version
+      | None -> bad_recording "bad format version");
+      let mut_path = field "mut_path" in
+      let rig = field "rig" in
+      let cadence = int_field "cadence" in
+      let start_cycle = int_field "start_cycle" in
+      let n_entries = int_field "entries" in
+      let entries =
+        Array.init n_entries (fun i ->
+            let l = line () in
+            match String.split_on_char ' ' l with
+            | "entry" :: cycle :: chain :: rest -> (
+              let cmd_text = unescape (String.concat " " rest) in
+              let cycle =
+                match int_of_string_opt cycle with
+                | Some c -> c
+                | None -> bad_recording "entry %d: bad cycle %S" i cycle
+              in
+              let cmd =
+                match Repl.parse_line cmd_text with
+                | Ok c -> c
+                | Error msg ->
+                  bad_recording "entry %d: unparsable command %S (%s)" i
+                    cmd_text msg
+              in
+              let response = unescape (field "response") in
+              { e_cmd = cmd; e_response = response; e_cycle = cycle;
+                e_chain = chain })
+            | _ -> bad_recording "entry %d: malformed line %S" i l)
+      in
+      let n_checkpoints = int_field "checkpoints" in
+      let checkpoints =
+        Array.init n_checkpoints (fun i ->
+            let l = line () in
+            match String.split_on_char ' ' l with
+            | [ "checkpoint"; index; mut_cycle ] -> (
+              match (int_of_string_opt index, int_of_string_opt mut_cycle)
+              with
+              | Some ck_index, Some ck_mut_cycle ->
+                let ck_snap =
+                  try Readback.input_snapshot ic
+                  with Readback.Bad_snapshot msg ->
+                    bad_recording "checkpoint %d: %s" i msg
+                in
+                (* consume the newline after the binary blob *)
+                (match input_line ic with
+                | "" -> ()
+                | l -> bad_recording "checkpoint %d: trailing junk %S" i l
+                | exception End_of_file ->
+                  bad_recording "truncated recording");
+                { ck_index; ck_mut_cycle; ck_snap }
+              | _ -> bad_recording "checkpoint %d: malformed line %S" i l)
+            | _ -> bad_recording "checkpoint %d: malformed line %S" i l)
+      in
+      let chain = field "chain" in
+      (* Verify the whole digest chain, entry by entry. *)
+      let final =
+        Array.fold_left
+          (fun prev e ->
+            let c =
+              chain_step prev (Repl.command_to_string e.e_cmd) e.e_response
+                e.e_cycle
+            in
+            if c <> e.e_chain then
+              bad_recording
+                "chain digest mismatch at mut cycle %d: recording tampered \
+                 or truncated"
+                e.e_cycle;
+            c)
+          (init_chain ~mut_path ~rig ~cadence ~start_cycle)
+          entries
+      in
+      if final <> chain then
+        bad_recording "final chain digest mismatch (file says %s)" chain;
+      {
+        rec_mut_path = mut_path;
+        rec_rig = rig;
+        rec_cadence = cadence;
+        rec_start_cycle = start_cycle;
+        rec_entries = entries;
+        rec_checkpoints = checkpoints;
+        rec_chain = chain;
+      })
+
+let transcript (r : recording) =
+  Array.to_list r.rec_entries
+  |> List.map (fun e ->
+         Printf.sprintf "> %s\n%s" (Repl.command_to_string e.e_cmd)
+           e.e_response)
+
+(* --- reverse execution ----------------------------------------------- *)
+
+(* Restore the nearest checkpoint at or before the target, re-execute the
+   recorded prefix, step up to the exact cycle, and truncate the future:
+   after time travel the recording's history ends at [target] (plus a
+   synthetic [step] entry for any partial advance), exactly as if the
+   session had stopped there live. *)
+let reverse s tl ~target =
+  let host = s.ts_host and board = s.ts_board in
+  let entries = Array.of_list (List.rev tl.tl_entries) in
+  let n = Array.length entries in
+  (* first entry strictly past the target cycle *)
+  let j = ref 0 in
+  while !j < n && entries.(!j).e_cycle <= target do incr j done;
+  let j = !j in
+  let ck =
+    (* newest-first, so the first eligible one is the nearest *)
+    match List.find_opt (fun ck -> ck.ck_index <= j) tl.tl_checkpoints with
+    | Some ck -> ck
+    | None -> bad_recording "no checkpoint at or before the target cycle"
+  in
+  let mclock = mclock_of s in
+  Obs.span ~cat:"timeline" ~mclock "timeline.reverse" (fun () ->
+      let t0 = mclock () in
+      Obs.span ~cat:"timeline" ~mclock "timeline.restore" (fun () ->
+          Host.restore host ck.ck_snap);
+      Obs.incr m_restores;
+      Obs.observe h_restore (mclock () -. t0);
+      let t1 = mclock () in
+      let reexec = j - ck.ck_index in
+      Obs.span ~cat:"timeline" ~mclock "timeline.reexec" (fun () ->
+          for i = ck.ck_index to j - 1 do
+            let e = entries.(i) in
+            let resp, _ = exec_catching host board e.e_cmd in
+            if resp <> e.e_response then
+              bad_recording
+                "replay divergence at entry %d (%s): recorded %S, \
+                 re-execution produced %S"
+                i
+                (Repl.command_to_string e.e_cmd)
+                e.e_response resp
+          done);
+      Obs.observe h_reexec (mclock () -. t1);
+      let cur = Host.mut_cycles host in
+      let expected =
+        if j = 0 then tl.tl_start_cycle else entries.(j - 1).e_cycle
+      in
+      if cur <> expected then
+        bad_recording
+          "re-execution reached mut cycle %d where the recording reached %d"
+          cur expected;
+      (* truncate the future *)
+      tl.tl_entries <- List.rev (Array.to_list (Array.sub entries 0 j));
+      tl.tl_n_entries <- j;
+      tl.tl_chain <-
+        (if j = 0 then tl.tl_init_chain else entries.(j - 1).e_chain);
+      tl.tl_checkpoints <-
+        List.filter (fun c -> c.ck_index <= j) tl.tl_checkpoints;
+      tl.tl_last_cycle <- cur;
+      (match tl.tl_checkpoints with
+      | c :: _ -> tl.tl_last_ck_cycle <- c.ck_mut_cycle
+      | [] -> tl.tl_last_ck_cycle <- tl.tl_start_cycle);
+      (* restored trigger state came from a snapshot — don't trust the
+         shadow flags any more *)
+      tl.tl_value_bp <- true;
+      let stepped = target - cur in
+      if stepped > 0 then begin
+        Host.step host stepped;
+        append tl (Repl.Step stepped)
+          (Printf.sprintf "stepped %d cycles" stepped)
+          target;
+        maybe_checkpoint s tl
+      end;
+      Printf.sprintf
+        "reversed to mut cycle %d (restored checkpoint at mut cycle %d, \
+         re-executed %d command%s%s)"
+        target ck.ck_mut_cycle reexec
+        (if reexec = 1 then "" else "s")
+        (if stepped > 0 then Printf.sprintf ", stepped %d" stepped else ""))
+
+(* --- when-did --------------------------------------------------------- *)
+
+(* Checkpoint state is probed purely host-side: the banked frames parse
+   through the same site map readback uses, so a probe costs zero cable
+   traffic and never disturbs the board. *)
+let checkpoint_state host ck =
+  let prefix = Host.mut_path host ^ ".mut." in
+  Readback.extract_registers (Host.site_map host) ck.ck_snap.Readback.snap_frames
+    ~select:(fun n -> String.starts_with ~prefix n)
+
+let when_did s reg =
+  let tl = require s "when-did" in
+  let host = s.ts_host in
+  let full = Host.full_register_name host reg in
+  let mclock = mclock_of s in
+  Obs.span ~cat:"timeline" ~mclock "timeline.when_did" (fun () ->
+      let now_v =
+        match List.assoc_opt full (Host.read_state host) with
+        | Some v -> v
+        | None -> invalid_arg (Printf.sprintf "when-did: unknown register %S" reg)
+      in
+      let cks = Array.of_list (List.rev tl.tl_checkpoints) in
+      let n = Array.length cks in
+      if n = 0 then "no checkpoints recorded yet"
+      else begin
+        let probes = ref 0 in
+        let cache = Hashtbl.create 8 in
+        let value_at i =
+          match Hashtbl.find_opt cache i with
+          | Some v -> v
+          | None ->
+            incr probes;
+            Obs.incr m_probes;
+            let v =
+              match
+                Readback.extract_registers (Host.site_map host)
+                  cks.(i).ck_snap.Readback.snap_frames
+                  ~select:(fun nm -> nm = full)
+              with
+              | [ (_, v) ] -> Some v
+              | _ -> None
+            in
+            Hashtbl.add cache i v;
+            v
+        in
+        let equal_now i =
+          match value_at i with
+          | Some v -> Bits.equal v now_v
+          | None -> false
+        in
+        (* Smallest checkpoint index whose banked value equals the live
+           one; index [n] is the virtual "now", equal by definition.
+           ≤ ⌈log₂(n+1)⌉ probes, all pure — zero restores. *)
+        let lo = ref 0 and hi = ref n in
+        while !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          if equal_now mid then hi := mid else lo := mid + 1
+        done;
+        let i0 = !lo in
+        let footer =
+          Printf.sprintf "[%d probes over %d checkpoints, 0 restores]"
+            !probes n
+        in
+        if i0 = 0 then
+          Printf.sprintf
+            "%s = %s since the first checkpoint (mut cycle %d): no \
+             observed change %s"
+            reg (Bits.to_string now_v)
+            cks.(0).ck_mut_cycle footer
+        else begin
+          let before =
+            (* probed during the search (the last lo-move tested i0-1) *)
+            match value_at (i0 - 1) with
+            | Some v -> Bits.to_string v
+            | None -> "<absent>"
+          in
+          if i0 = n then
+            Printf.sprintf
+              "%s changed to %s (was %s) between mut cycle %d and now \
+               (mut cycle %d) %s"
+              reg (Bits.to_string now_v) before
+              cks.(n - 1).ck_mut_cycle tl.tl_last_cycle footer
+          else
+            Printf.sprintf
+              "%s changed to %s (was %s) between mut cycle %d and mut \
+               cycle %d %s"
+              reg (Bits.to_string now_v) before
+              cks.(i0 - 1).ck_mut_cycle
+              cks.(i0).ck_mut_cycle footer
+        end
+      end)
+
+(* --- the execute wrapper ---------------------------------------------- *)
+
+let execute s (cmd : Repl.command) : string =
+  match cmd with
+  | Repl.Record cadence -> start_recording s cadence
+  | Repl.Record_status -> status s
+  | Repl.Record_save file ->
+    let tl = require s "record save" in
+    save_recording tl file;
+    Printf.sprintf "saved recording: %d entries, %d checkpoints -> %s"
+      tl.tl_n_entries
+      (List.length tl.tl_checkpoints)
+      file
+  | Repl.Reverse_step n ->
+    let tl = require s "reverse-step" in
+    let target = tl.tl_last_cycle - n in
+    if target < tl.tl_start_cycle then
+      invalid_arg
+        (Printf.sprintf
+           "reverse-step: only %d recorded cycle%s behind (now at mut cycle \
+            %d, recording started at %d)"
+           (tl.tl_last_cycle - tl.tl_start_cycle)
+           (if tl.tl_last_cycle - tl.tl_start_cycle = 1 then "" else "s")
+           tl.tl_last_cycle tl.tl_start_cycle);
+    reverse s tl ~target
+  | Repl.Reverse_continue c ->
+    let tl = require s "reverse-continue" in
+    if c < tl.tl_start_cycle then
+      invalid_arg
+        (Printf.sprintf
+           "reverse-continue: mut cycle %d predates the recording (started \
+            at mut cycle %d)"
+           c tl.tl_start_cycle);
+    if c > tl.tl_last_cycle then
+      invalid_arg
+        (Printf.sprintf
+           "reverse-continue: mut cycle %d is ahead of the present (mut \
+            cycle %d); reverse only travels backwards"
+           c tl.tl_last_cycle);
+    reverse s tl ~target:c
+  | Repl.When_did reg -> when_did s reg
+  | _ -> (
+    match s.ts_timeline with
+    | Some tl when recorded_cmd cmd ->
+      let resp, exn = exec_catching s.ts_host s.ts_board cmd in
+      let cycle = cycle_after s tl ~failed:(exn <> None) cmd in
+      append tl cmd resp cycle;
+      if exn = None then note_arms tl cmd;
+      maybe_checkpoint s tl;
+      (match exn with Some e -> raise e | None -> resp)
+    | _ -> Repl.execute s.ts_host s.ts_board cmd)
+
+let run_script s script =
+  String.split_on_char '\n' script
+  |> List.filter_map (fun line ->
+         match Repl.parse_line line with
+         | Ok Repl.Nop -> None
+         | Ok cmd ->
+           let out =
+             try execute s cmd with
+             | Invalid_argument msg -> "error: " ^ msg
+             | Readback.Readback_error msg -> "error: " ^ msg
+             | Readback.Bad_snapshot msg -> "error: bad snapshot: " ^ msg
+             | Bad_recording msg -> "error: bad recording: " ^ msg
+           in
+           Some (Printf.sprintf "> %s\n%s" (String.trim line) out)
+         | Error msg ->
+           Some (Printf.sprintf "> %s\nerror: %s" (String.trim line) msg))
+
+(* --- replay ----------------------------------------------------------- *)
+
+type divergence = {
+  div_index : int;
+  div_expected : string;
+  div_got : string;
+}
+
+let replay (r : recording) host board =
+  if Host.mut_path host <> r.rec_mut_path then
+    bad_recording "recording is for MUT path %S, session is attached at %S"
+      r.rec_mut_path (Host.mut_path host);
+  let ck0 =
+    match
+      Array.to_list r.rec_checkpoints
+      |> List.find_opt (fun ck -> ck.ck_index = 0)
+    with
+    | Some ck -> ck
+    | None -> bad_recording "recording has no initial checkpoint"
+  in
+  (* checkpoints keyed by the entry index they follow, for the
+     cycle-counter spot checks below *)
+  let ck_at = Hashtbl.create 8 in
+  Array.iter (fun ck -> Hashtbl.replace ck_at ck.ck_index ck) r.rec_checkpoints;
+  Host.restore host ck0.ck_snap;
+  Obs.incr m_restores;
+  let out = ref [] in
+  let divergence = ref None in
+  (try
+     Array.iteri
+       (fun i e ->
+         let resp, _ = exec_catching host board e.e_cmd in
+         out :=
+           Printf.sprintf "> %s\n%s" (Repl.command_to_string e.e_cmd) resp
+           :: !out;
+         if resp <> e.e_response then begin
+           divergence :=
+             Some
+               { div_index = i; div_expected = e.e_response; div_got = resp };
+           raise Exit
+         end;
+         match Hashtbl.find_opt ck_at (i + 1) with
+         | Some ck ->
+           let cur = Host.mut_cycles host in
+           if cur <> ck.ck_mut_cycle then begin
+             divergence :=
+               Some
+                 {
+                   div_index = i;
+                   div_expected =
+                     Printf.sprintf "mut cycle %d at checkpoint after entry %d"
+                       ck.ck_mut_cycle i;
+                   div_got = Printf.sprintf "mut cycle %d" cur;
+                 };
+             raise Exit
+           end
+         | None -> ())
+       r.rec_entries
+   with Exit -> ());
+  (List.rev !out, !divergence)
+
+(* --- fuzz-minimizer companion writer ---------------------------------- *)
+
+let record_commands ?(rig = "fuzz-hub") ?(cadence = default_cadence) host
+    board commands ~path =
+  let s = session ~rig host board in
+  ignore (start_recording s (Some cadence));
+  List.iter
+    (fun cmd ->
+      if recorded_cmd cmd then
+        try ignore (execute s cmd) with
+        | Invalid_argument _ | Readback.Readback_error _
+        | Readback.Bad_snapshot _ ->
+          (* recorded with its error text; replay reproduces the error *)
+          ())
+    commands;
+  match s.ts_timeline with
+  | Some tl ->
+    save_recording tl path;
+    tl.tl_n_entries
+  | None -> assert false

@@ -1,0 +1,169 @@
+(** Session flight recorder and reverse debugging — time travel for a
+    {!Host} session.
+
+    Wrap a session in {!session} and drive it through {!execute} (a
+    superset of {!Repl.execute}): every state-relevant command is
+    recorded together with its transcript response and the MUT cycle it
+    reached, chained under a running digest, and the recorder banks a
+    full {!Readback.snapshot} checkpoint every [cadence] MUT cycles.
+    On top of that history the time-travel verbs work:
+
+    - [reverse-step N] / [reverse-continue C] restore the nearest
+      checkpoint at or before the target cycle and deterministically
+      re-execute the recorded commands forward (verifying each response
+      against the recording — divergence raises {!Bad_recording});
+    - [when-did REG] binary-searches the checkpoints for the last
+      observable change of a register, probing checkpoint state purely
+      host-side (zero cable traffic, ≤ ⌈log₂ n⌉+1 frame extractions);
+    - [record save FILE] persists the whole recording in a versioned
+      on-disk format that {!load}/{!replay} (and [zoomie replay FILE])
+      re-drive headlessly, bit-for-bit.
+
+    Everything is instrumented through [zoomie_obs]: [timeline.*]
+    counters/gauges/histograms and spans (which nest under hub request
+    spans when the hub drives the session). *)
+
+open Zoomie_rtl
+module Board = Zoomie_bitstream.Board
+
+(** A malformed/corrupt recording file, or replay divergence: the
+    re-executed session stopped matching the recorded one. *)
+exception Bad_recording of string
+
+(** One recorded command: what ran, the transcript text it produced,
+    the MUT cycle counter after it completed, and the running chain
+    digest up to and including it. *)
+type entry = {
+  e_cmd : Repl.command;
+  e_response : string;
+  e_cycle : int;
+  e_chain : string;
+}
+
+(** A banked full-state snapshot: taken after [ck_index] entries, with
+    the MUT cycle counter at [ck_mut_cycle].  ([ck_snap.snap_cycle] is
+    the free-running clock, not the MUT's — hence the separate field.) *)
+type checkpoint = {
+  ck_index : int;
+  ck_mut_cycle : int;
+  ck_snap : Readback.snapshot;
+}
+
+(** An active recorder (opaque; owned by a {!session}). *)
+type t
+
+(** A recorder-capable front-end around one attached session.  [ts_rig]
+    names the board/design rig so [zoomie replay] can rebuild it. *)
+type session = {
+  ts_host : Host.t;
+  ts_board : Board.t;
+  ts_rig : string;
+  mutable ts_timeline : t option;
+}
+
+(** Checkpoint cadence (MUT cycles) used when [record] gives none. *)
+val default_cadence : int
+
+val session : ?rig:string -> Host.t -> Board.t -> session
+
+val is_recording : session -> bool
+
+(** Entries recorded so far (0 when not recording). *)
+val entry_count : session -> int
+
+(** Checkpoints banked so far (0 when not recording). *)
+val checkpoint_count : session -> int
+
+(** Execute one command.  Non-timeline commands delegate to
+    {!Repl.execute} with identical results and exception behavior; when
+    a recording is active they are also appended to it (including
+    failures, recorded as their ["error: ..."] transcript text before
+    the exception propagates).  The timeline verbs ([record],
+    [record save], [record status], [reverse-step], [reverse-continue],
+    [when-did]) are handled here.
+    @raise Invalid_argument on misuse (no active recording, target cycle
+    out of the recorded range, unknown register).
+    @raise Bad_recording when re-execution diverges from the recording. *)
+val execute : session -> Repl.command -> string
+
+(** Run a newline-separated script (the {!Repl.run_script} of this
+    layer); errors — including {!Bad_recording} divergence — become
+    ["error: ..."] transcript entries. *)
+val run_script : session -> string -> string list
+
+(** {1 The on-disk recording} *)
+
+(** Version tag written in the [zoomie-timeline N] header line. *)
+val format_version : int
+
+(** A loaded recording: header, entries oldest-first, checkpoints
+    oldest-first (always at least the initial one at [ck_index = 0]),
+    and the final chain digest. *)
+type recording = {
+  rec_mut_path : string;
+  rec_rig : string;
+  rec_cadence : int;
+  rec_start_cycle : int;
+  rec_entries : entry array;
+  rec_checkpoints : checkpoint array;
+  rec_chain : string;
+}
+
+(** Load and verify a recording: the whole digest chain is recomputed
+    and checked entry by entry.
+    @raise Bad_recording on a missing/malformed/tampered file. *)
+val load : string -> recording
+
+(** The recorded transcript, one ["> cmd\nresponse"] string per entry —
+    what the live session saw, and what {!replay} must reproduce. *)
+val transcript : recording -> string list
+
+(** Where a replay stopped matching the recording. *)
+type divergence = {
+  div_index : int;  (** entry index (or the boundary after it) *)
+  div_expected : string;
+  div_got : string;
+}
+
+(** Re-drive a recording against a freshly attached session: restore the
+    initial checkpoint, then re-execute every entry, comparing each
+    response to the recorded one and the MUT cycle counter at every
+    checkpoint boundary.  Returns the replayed transcript and the first
+    divergence, if any (the transcript stops there).
+    @raise Bad_recording when the session's MUT path does not match, or
+    the recording lacks its initial checkpoint. *)
+val replay : recording -> Host.t -> Board.t -> string list * divergence option
+
+(** {1 Companion writing (fuzz minimizer integration)} *)
+
+(** Record a command list as a replayable recording file: attach-time
+    checkpoint + one entry per command, executed on the given session.
+    Used by the fuzz minimizer to emit [.zrec] companions next to
+    [.repro] files.  Returns the number of entries written. *)
+val record_commands :
+  ?rig:string ->
+  ?cadence:int ->
+  Host.t ->
+  Board.t ->
+  Repl.command list ->
+  path:string ->
+  int
+
+(** {1 Metric names}
+
+    Registered on first use: [timeline.entries], [timeline.checkpoints],
+    [timeline.checkpoint_bytes], [timeline.restores],
+    [timeline.when_did_probes] (counters); [timeline.cadence_cycles]
+    (gauge); [timeline.restore_jtag_s], [timeline.reexec_jtag_s]
+    (histograms of modeled cable seconds). *)
+
+(**/**)
+
+(** Exposed for tests: the running digest step. *)
+val chain_step : string -> string -> string -> int -> string
+
+val snapshot_bytes : Readback.snapshot -> int
+
+(** Exposed for tests: live register values a checkpoint holds, parsed
+    purely host-side from its banked frames (no cable traffic). *)
+val checkpoint_state : Host.t -> checkpoint -> (string * Bits.t) list

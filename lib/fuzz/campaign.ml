@@ -152,6 +152,23 @@ let c_crash = Obs.counter "fuzz.crash"
 let c_min_steps = Obs.counter "fuzz.minimize_steps"
 let h_case_s = Obs.histogram "fuzz.case_seconds"
 
+(* A recorder-format companion next to a command-driven minimized
+   finding: re-drive the minimized command stream on a fresh copy of the
+   hub oracle's fixed rig and save the resulting flight recording, so
+   `zoomie replay min/<id>.zrec` reproduces the finding headlessly with
+   checkpoints and the full reverse-debug vocabulary available. *)
+let write_recording_companion ~dir ~id commands =
+  let run, info = Oracle.hub_rig_build () in
+  let board = Zoomie_bitstream.Board.create (Zoomie_fabric.Device.u200 ()) in
+  Zoomie_vendor.Vivado.load_onto board run;
+  let host = Zoomie_debug.Host.attach board ~info ~mut_path:"dut" in
+  let path = Filename.concat dir (id ^ ".zrec") in
+  let n =
+    Zoomie_debug.Timeline.record_commands ~rig:"fuzz-hub" host board commands
+      ~path
+  in
+  (path, n)
+
 let run (cfg : config) : (report, string) result =
   let oracle = cfg.cfg_oracle in
   let ops =
@@ -283,6 +300,15 @@ let run (cfg : config) : (report, string) result =
                         (id ^ ".v"))
                      v
                  with _ -> ());
+                (* For command-driven findings, also a flight recording:
+                   `zoomie replay` loads it directly. *)
+                if oracle.Oracle.o_uses_commands then
+                  (try
+                     ignore
+                       (write_recording_companion
+                          ~dir:(Filename.concat cfg.cfg_corpus "min")
+                          ~id m.Minimize.m_commands)
+                   with _ -> ());
                 minimized := path :: !minimized;
                 cfg.cfg_log
                   (Printf.sprintf

@@ -44,6 +44,13 @@ type report = {
 (** The deterministic id of case [index]. *)
 val case_id : oracle:string -> seed:int -> index:int -> string
 
+(** Write [dir/<id>.zrec]: a {!Zoomie_debug.Timeline} flight recording of
+    [commands] re-driven on a fresh copy of the hub oracle's fixed rig —
+    the companion the minimizer leaves next to command-driven findings so
+    [zoomie replay] loads them directly.  Returns (path, entry count). *)
+val write_recording_companion :
+  dir:string -> id:string -> Zoomie_debug.Repl.command list -> string * int
+
 (** Generate case [index]: (case seed, circuit, mutation schedule,
     command stream) — exactly what {!run} executes, exposed for tests. *)
 val gen_case :

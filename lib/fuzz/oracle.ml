@@ -394,6 +394,8 @@ let hub_rig =
      in
      (run, info))
 
+let hub_rig_build () = Lazy.force hub_rig
+
 let run_hub (inp : input) =
   let run, info = Lazy.force hub_rig in
   let device = Device.u200 () in

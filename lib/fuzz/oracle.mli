@@ -57,6 +57,14 @@ val hub_registers : (string * int) list
 
 val hub_watches : (string * int) list
 
+(** The hub oracle's compiled fixed rig (built once, shared): program a
+    fresh board with the returned run and attach at mut path ["dut"] to
+    re-drive recorded command streams — how [zoomie replay] rebuilds the
+    ["fuzz-hub"] rig and how the minimizer's recorder companions are
+    produced. *)
+val hub_rig_build :
+  unit -> Zoomie_vendor.Vivado.run * Zoomie_debug.Controller.info
+
 (** Run the oracle, mapping raised exceptions to [Crash] verdicts with
     [crash:<constructor>] buckets. *)
 val classify : t -> input -> verdict

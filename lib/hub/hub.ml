@@ -23,6 +23,7 @@ module Device = Zoomie_fabric.Device
 module Host = Zoomie_debug.Host
 module Readback = Zoomie_debug.Readback
 module Repl = Zoomie_debug.Repl
+module Timeline = Zoomie_debug.Timeline
 module Obs = Zoomie_obs.Obs
 
 type config = {
@@ -222,6 +223,7 @@ let detach_session_quietly t (s : Session.t) =
     unsubscribe_from be s.Session.id
   | None -> ());
   s.Session.host <- None;
+  s.Session.tl <- None;
   s.Session.subscribed <- false
 
 (** Close a session without an event or failure responses — the farm's
@@ -309,12 +311,27 @@ let respond t acc (p : Scheduler.pending) payload =
   }
   :: acc
 
-(* Run one REPL command, mapping the engine's exceptions to Failed. *)
-let exec_command host board cmd =
-  try Protocol.Done (Repl.execute host board cmd) with
+(* The session's recorder-capable command front-end, created lazily the
+   first time a command runs after an attach and replaced whenever the
+   attachment's host changes (re-attach, migration import): a recording
+   is per-attachment state, exactly like breakpoints. *)
+let timeline_session (s : Session.t) host be =
+  match s.Session.tl with
+  | Some ts when ts.Timeline.ts_host == host -> ts
+  | _ ->
+    let ts = Timeline.session ~rig:"hub" host be.be_board in
+    s.Session.tl <- Some ts;
+    ts
+
+(* Run one REPL command — through the session's timeline layer, so the
+   time-travel verbs work over the hub — mapping the engine's exceptions
+   to Failed. *)
+let exec_command ts cmd =
+  try Protocol.Done (Timeline.execute ts cmd) with
   | Invalid_argument msg -> Protocol.Failed msg
   | Readback.Readback_error msg -> Protocol.Failed msg
   | Readback.Bad_snapshot msg -> Protocol.Failed ("bad snapshot: " ^ msg)
+  | Timeline.Bad_recording msg -> Protocol.Failed ("bad recording: " ^ msg)
 
 (* Session-lifecycle ops: no cable traffic, never block. *)
 let run_control t be acc (p : Scheduler.pending) =
@@ -331,6 +348,7 @@ let run_control t be acc (p : Scheduler.pending) =
       with Invalid_argument msg -> Protocol.Failed msg)
     | Protocol.Detach ->
       s.Session.host <- None;
+      s.Session.tl <- None;
       s.Session.subscribed <- false;
       unsubscribe_from be p.Scheduler.p_session;
       Protocol.Done "detached"
@@ -380,7 +398,7 @@ let run_reads t be acc (reads : Scheduler.pending list) =
         | Some host, Protocol.Command cmd ->
           if cmd = Repl.Status then
             t.stats.Stats.status_polls <- t.stats.Stats.status_polls + 1;
-          (p, Either.Left (exec_command host be.be_board cmd))
+          (p, Either.Left (exec_command (timeline_session s host be) cmd))
         | Some _, _ -> (p, Either.Left (Protocol.Failed "not a read op")))
       reads
   in
@@ -537,7 +555,8 @@ let tick t =
                         | None, _ ->
                           respond t acc p (Protocol.Failed "not attached")
                         | Some host, Protocol.Command cmd ->
-                          respond t acc p (exec_command host be.be_board cmd)
+                          respond t acc p
+                            (exec_command (timeline_session s host be) cmd)
                         | Some _, _ ->
                           respond t acc p (Protocol.Failed "not a mutate op"))
                       acc mutators)

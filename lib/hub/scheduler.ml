@@ -31,10 +31,18 @@ let classify (req : Protocol.request) =
     | Repl.Status | Repl.Save _ | Repl.Stats | Repl.Trace_ctl _
     | Repl.Trace_dump _ | Repl.Nop ->
       Read_op
+    (* Recorder bookkeeping never touches the cable, and [when-did]
+       probes checkpoints purely host-side — read-class, coalescable. *)
+    | Repl.Record _ | Repl.Record_save _ | Repl.Record_status
+    | Repl.When_did _ ->
+      Read_op
     | Repl.Run _ | Repl.Continue _ | Repl.Pause | Repl.Resume | Repl.Step _
     | Repl.Break_all _ | Repl.Break_any _ | Repl.Watch _ | Repl.Unwatch _
     | Repl.Clear | Repl.Inject _ | Repl.Trace _ | Repl.Load _ ->
-      Mutate_op)
+      Mutate_op
+    (* Time travel restores a checkpoint and re-executes forward: board
+       state changes wholesale — exclusive lock, like [Load]. *)
+    | Repl.Reverse_step _ | Repl.Reverse_continue _ -> Mutate_op)
 
 type pending = {
   p_session : int;

@@ -6,6 +6,7 @@
     hub owns the clock so timeout policy is deterministic and testable. *)
 
 module Host = Zoomie_debug.Host
+module Timeline = Zoomie_debug.Timeline
 
 type status = Active | Timed_out | Closed
 
@@ -13,6 +14,10 @@ type t = {
   id : int;
   board_id : int;  (** index of the board this session is bound to *)
   mutable host : Host.t option;  (** present once attached *)
+  mutable tl : Timeline.session option;
+      (** the recorder-capable front-end around [host]; created lazily on
+          the first command after an attach, dropped with the attachment
+          (a recording is per-attachment state) *)
   mutable subscribed : bool;
   mutable last_active : int;  (** hub tick of the last submitted request *)
   mutable status : status;
@@ -27,6 +32,7 @@ let create ~id ~board_id ~now =
     id;
     board_id;
     host = None;
+    tl = None;
     subscribed = false;
     last_active = now;
     status = Active;
@@ -56,4 +62,5 @@ let drain_mailbox t =
 let close t status =
   t.status <- status;
   t.host <- None;
+  t.tl <- None;
   t.subscribed <- false

@@ -4,6 +4,7 @@
     policy is deterministic and testable. *)
 
 module Host = Zoomie_debug.Host
+module Timeline = Zoomie_debug.Timeline
 
 type status = Active | Timed_out | Closed
 
@@ -11,6 +12,10 @@ type t = {
   id : int;
   board_id : int;  (** index of the board this session is bound to *)
   mutable host : Host.t option;  (** present once attached *)
+  mutable tl : Timeline.session option;
+      (** recorder-capable front-end around [host]; created lazily on the
+          first command after an attach and dropped with the attachment —
+          a recording is per-attachment state, like breakpoints *)
   mutable subscribed : bool;
   mutable last_active : int;  (** hub tick of the last submitted request *)
   mutable status : status;

@@ -752,7 +752,22 @@ let test_diff_states () =
   Alcotest.(check bool) "count is among the changes" true
     (List.exists (fun (n, _, _) -> n = "dut.mut.count") diff);
   Alcotest.(check (list (triple string (option pass) (option pass))))
-    "identical states diff to nothing" [] (Host.diff_states s2 s2)
+    "identical states diff to nothing" [] (Host.diff_states s2 s2);
+  (* Canonical ordering: sorted by full register name, independent of
+     input order, removed names interleaved — the structural contract
+     when-did probes and replay-divergence reports rely on. *)
+  let names d = List.map (fun (n, _, _) -> n) d in
+  Alcotest.(check (list string)) "diff sorted by name"
+    (List.sort String.compare (names diff))
+    (names diff);
+  let b1 = Bits.of_int ~width:4 1 and b2 = Bits.of_int ~width:4 2 in
+  let sa = [ ("z.reg", b1); ("a.reg", b1); ("m.gone", b1) ] in
+  let sb = [ ("a.reg", b2); ("z.reg", b2) ] in
+  let d = Host.diff_states sa sb in
+  Alcotest.(check (list string)) "removals interleave in name order"
+    [ "a.reg"; "m.gone"; "z.reg" ] (names d);
+  Alcotest.(check bool) "order independent of input order" true
+    (Host.diff_states (List.rev sa) (List.rev sb) = d)
 
 let test_repl_trace_command () =
   let board, host = session () in

@@ -635,6 +635,49 @@ let prop_hub_matches_oracle =
       done;
       !ok)
 
+(* The timeline verbs travel the zh1 wire like any other command: record /
+   step / when-did / reverse-step all round-trip Done through the hub
+   (reverse verbs in the exclusive mutator slot), and misuse maps to
+   Failed rather than an exception escaping the scheduler. *)
+let test_timeline_verbs_over_hub () =
+  let hub, _board, _info, bid = hub_rig () in
+  let sid = attached hub bid in
+  let cmd seq c = Hub.call hub (Protocol.frame sid seq (Protocol.Command c)) in
+  let done_text what (r : Protocol.response Protocol.frame) =
+    match r.Protocol.fr_payload with
+    | Protocol.Done s -> s
+    | Protocol.Failed m -> Alcotest.failf "%s failed: %s" what m
+    | _ -> Alcotest.failf "%s: expected Done" what
+  in
+  let infix affix s = Astring.String.is_infix ~affix s in
+  let r = done_text "record" (cmd 1 (Repl.Record (Some 8))) in
+  Alcotest.(check bool) "record acked" true (infix "recording" r);
+  expect_done "step" (cmd 2 (Repl.Step 20));
+  expect_done "inject" (cmd 3 (Repl.Inject ("count", 5)));
+  expect_done "step again" (cmd 4 (Repl.Step 12));
+  let s = done_text "record status" (cmd 5 Repl.Record_status) in
+  Alcotest.(check bool) "status reports entries" true (infix "entries" s);
+  let w = done_text "when-did" (cmd 6 (Repl.When_did "count")) in
+  Alcotest.(check bool) "when-did probes host-side" true
+    (infix "0 restores" w);
+  let v = done_text "reverse-step" (cmd 7 (Repl.Reverse_step 10)) in
+  Alcotest.(check bool) "reverse-step reversed" true (infix "reversed" v);
+  (match (cmd 8 (Repl.Reverse_continue 999_999)).Protocol.fr_payload with
+  | Protocol.Failed _ -> ()
+  | _ -> Alcotest.fail "reverse-continue ahead of the present must fail");
+  (* The verbs also survive the wire encoding both ways. *)
+  List.iter
+    (fun c ->
+      let line = Repl.command_to_string c in
+      match Repl.parse_line line with
+      | Ok c' -> Alcotest.(check bool) (line ^ " round-trips") true (c = c')
+      | Error m -> Alcotest.failf "%s does not parse back: %s" line m)
+    [
+      Repl.Record None; Repl.Record (Some 512); Repl.Record_save "min.zrec";
+      Repl.Record_status; Repl.Reverse_step 3; Repl.Reverse_continue 40;
+      Repl.When_did "count";
+    ]
+
 let suite =
   [
     Alcotest.test_case "wire requests round-trip" `Quick test_request_roundtrip;
@@ -656,5 +699,7 @@ let suite =
     Alcotest.test_case "board lease arbitration" `Quick test_board_lease;
     Alcotest.test_case "repl save/load round-trip" `Quick test_repl_save_load;
     Alcotest.test_case "adaptive poll granularity" `Quick test_adaptive_poll_chunk;
+    Alcotest.test_case "timeline verbs over the hub" `Quick
+      test_timeline_verbs_over_hub;
     QCheck_alcotest.to_alcotest prop_hub_matches_oracle;
   ]

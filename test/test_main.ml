@@ -15,6 +15,7 @@ let () =
       ("debug", Test_debug.suite);
       ("readback", Test_readback.suite);
       ("hub", Test_hub.suite);
+      ("timeline", Test_timeline.suite);
       ("farm", Test_farm.suite);
       ("vti", Test_vti.suite);
       ("workloads", Test_workloads.suite);

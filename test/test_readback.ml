@@ -106,6 +106,55 @@ let test_snapshot_live_roundtrip () =
     snap'.Readback.snap_cycle;
   check_frames_equal snap.Readback.snap_frames snap'.Readback.snap_frames
 
+(* A v1 file is not merely parseable — it still drives the full
+   load -> checkpoint -> restore path the flight recorder rides on.
+   Take a live snapshot, re-frame it on disk as v1 (the frame payload
+   layout never changed; only the cycle field widened in v2), reload,
+   and restore onto the advanced, clobbered board: the MUT state must
+   come back bit-for-bit. *)
+let test_snapshot_v1_restore_roundtrip () =
+  let board, host = session () in
+  Board.run board 23;
+  Host.pause host;
+  Host.write_register host "count" (Bits.of_int ~width:16 777);
+  let snap = Host.snapshot host in
+  let state0 = Host.read_state host in
+  let path = Filename.temp_file "zoomie_v2src" ".snap" in
+  Readback.save_snapshot snap path;
+  let ic = open_in_bin path in
+  let v2 = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  (* v2 header: magic, version, cycle hi, cycle lo.  v1: magic, version,
+     one 32-bit cycle.  The body after the header is identical. *)
+  let path_v1 = Filename.temp_file "zoomie_v1rt" ".snap" in
+  let oc = open_out_bin path_v1 in
+  output_string oc (String.sub v2 0 4);
+  output_binary_int oc 1;
+  output_string oc (String.sub v2 12 4);
+  output_string oc (String.sub v2 16 (String.length v2 - 16));
+  close_out oc;
+  (* Advance and clobber the board, then restore from the v1 file. *)
+  Board.run board 50;
+  Host.pause host;
+  Host.write_register host "count" (Bits.of_int ~width:16 1);
+  let loaded = Readback.load_snapshot path_v1 in
+  Sys.remove path;
+  Sys.remove path_v1;
+  Alcotest.(check int) "v1 cycle preserved" snap.Readback.snap_cycle
+    loaded.Readback.snap_cycle;
+  Host.restore host loaded;
+  let state1 = Host.read_state host in
+  Alcotest.(check int) "same register count" (List.length state0)
+    (List.length state1);
+  List.iter2
+    (fun (n0, v0) (n1, v1) ->
+      Alcotest.(check string) "same register" n0 n1;
+      Alcotest.(check bool) (n0 ^ " restored bit-for-bit") true
+        (Bits.equal v0 v1))
+    state0 state1;
+  Alcotest.(check int) "injected value back" 777
+    (Bits.to_int (Host.read_register host "count"))
+
 (* --- coverage: a plan that misses frames must raise, never read zeros -- *)
 
 let test_uncovered_readback_raises () =
@@ -319,6 +368,8 @@ let suite =
       test_snapshot_v1_still_loads;
     Alcotest.test_case "live snapshot disk roundtrip" `Quick
       test_snapshot_live_roundtrip;
+    Alcotest.test_case "v1 load -> checkpoint -> restore roundtrip" `Quick
+      test_snapshot_v1_restore_roundtrip;
     Alcotest.test_case "uncovered readback raises (no silent zeros)" `Quick
       test_uncovered_readback_raises;
     Alcotest.test_case "unknown-name injection raises" `Quick

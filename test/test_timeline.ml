@@ -1,0 +1,374 @@
+(* Time-travel debugging: the session flight recorder, reverse-step /
+   reverse-continue over checkpointed state, the when-did binary search,
+   and the versioned on-disk recording format behind `zoomie replay`.
+
+   The headline properties:
+   - a replayed recording reproduces the live transcript bit-for-bit
+     (QCheck, over random command streams including injection, clock
+     gating and breakpoints);
+   - reverse-continue lands on bit-for-bit identical MUT state;
+   - when-did stays within its O(log) probe budget and performs zero
+     snapshot restores;
+   - tampering with a recording is detected by the chain digest. *)
+
+open Zoomie_rtl
+module Board = Zoomie_bitstream.Board
+module Vivado = Zoomie_vendor.Vivado
+module Host = Zoomie_debug.Host
+module Repl = Zoomie_debug.Repl
+module Timeline = Zoomie_debug.Timeline
+module Obs = Zoomie_obs.Obs
+module Oracle = Zoomie_fuzz.Oracle
+module Gen = Zoomie_fuzz.Gen
+
+let infix affix s = Astring.String.is_infix ~affix s
+
+(* A fresh copy of the fuzz hub rig — the fixed board/design pair that
+   minimizer companions record against and `zoomie replay` rebuilds. *)
+let hub_rig_session () =
+  let run, info = Oracle.hub_rig_build () in
+  let board = Board.create (Zoomie_fabric.Device.u200 ()) in
+  Vivado.load_onto board run;
+  let host = Host.attach board ~info ~mut_path:"dut" in
+  (board, host)
+
+let recording_session ?(cadence = 10) () =
+  let board, host = hub_rig_session () in
+  let ts = Timeline.session ~rig:"fuzz-hub" host board in
+  let r = Timeline.execute ts (Repl.Record (Some cadence)) in
+  Alcotest.(check bool) "record acked" true (infix "recording" r);
+  (board, host, ts)
+
+let exec ts c = Timeline.execute ts c
+
+(* --- recording lifecycle, save/load, chain verification --------------- *)
+
+let test_record_save_load_roundtrip () =
+  let _board, host, ts = recording_session ~cadence:8 () in
+  ignore (exec ts (Repl.Step 20));
+  ignore (exec ts (Repl.Inject ("count", 42)));
+  ignore (exec ts (Repl.Step 11));
+  ignore (exec ts (Repl.Print "count"));
+  Alcotest.(check int) "four entries" 4 (Timeline.entry_count ts);
+  Alcotest.(check bool) "checkpoints banked" true
+    (Timeline.checkpoint_count ts >= 2);
+  let path = Filename.temp_file "zoomie_tl" ".zrec" in
+  ignore (exec ts (Repl.Record_save path));
+  let r = Timeline.load path in
+  Sys.remove path;
+  Alcotest.(check string) "mut path" (Host.mut_path host)
+    r.Timeline.rec_mut_path;
+  Alcotest.(check string) "rig" "fuzz-hub" r.Timeline.rec_rig;
+  Alcotest.(check int) "cadence" 8 r.Timeline.rec_cadence;
+  Alcotest.(check int) "entries survive" 4 (Array.length r.Timeline.rec_entries);
+  Alcotest.(check int) "checkpoints survive" (Timeline.checkpoint_count ts)
+    (Array.length r.Timeline.rec_checkpoints);
+  Alcotest.(check int) "initial checkpoint present" 0
+    r.Timeline.rec_checkpoints.(0).Timeline.ck_index;
+  (* The transcript is recoverable from the recording alone. *)
+  let t = Timeline.transcript r in
+  Alcotest.(check int) "transcript entries" 4 (List.length t);
+  Alcotest.(check bool) "first line is the step" true
+    (infix "> step 20" (List.hd t));
+  (* MUT cycles recorded per entry are monotone and end at the present. *)
+  let cycles =
+    Array.to_list (Array.map (fun e -> e.Timeline.e_cycle) r.Timeline.rec_entries)
+  in
+  Alcotest.(check bool) "entry cycles monotone" true
+    (List.sort compare cycles = cycles);
+  Alcotest.(check int) "final entry cycle = live mut cycle"
+    (Host.mut_cycles host)
+    (List.nth cycles 3)
+
+let test_tampering_detected () =
+  let _board, _host, ts = recording_session ~cadence:8 () in
+  ignore (exec ts (Repl.Step 20));
+  ignore (exec ts (Repl.Step 13));
+  let path = Filename.temp_file "zoomie_tl" ".zrec" in
+  ignore (exec ts (Repl.Record_save path));
+  let ic = open_in_bin path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let tampered which replace_from replace_to =
+    let idx = Astring.String.find_sub ~sub:replace_from text in
+    match idx with
+    | None -> Alcotest.failf "%s: %S not in recording" which replace_from
+    | Some i ->
+      let t =
+        String.sub text 0 i ^ replace_to
+        ^ String.sub text
+            (i + String.length replace_from)
+            (String.length text - i - String.length replace_from)
+      in
+      let oc = open_out_bin path in
+      output_string oc t;
+      close_out oc;
+      (match Timeline.load path with
+      | _ -> Alcotest.failf "%s: tampering not detected" which
+      | exception Timeline.Bad_recording _ -> ())
+  in
+  (* Flip a recorded response: the chain digest must catch it. *)
+  tampered "response edit" "stepped 13" "stepped 14";
+  (* Flip a command: same. *)
+  tampered "command edit" "step 20" "step 21";
+  (* Truncation and version skew are refused too. *)
+  let oc = open_out_bin path in
+  output_string oc (String.sub text 0 (String.length text / 2));
+  close_out oc;
+  (match Timeline.load path with
+  | _ -> Alcotest.fail "truncation not detected"
+  | exception Timeline.Bad_recording _ -> ());
+  let oc = open_out_bin path in
+  output_string oc "zoomie-timeline 99\n";
+  close_out oc;
+  (match Timeline.load path with
+  | _ -> Alcotest.fail "future version accepted"
+  | exception Timeline.Bad_recording _ -> ());
+  Sys.remove path
+
+let test_misuse_is_typed () =
+  let board, host = hub_rig_session () in
+  let ts = Timeline.session ~rig:"fuzz-hub" host board in
+  let expect_invalid what c =
+    match Timeline.execute ts c with
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" what
+    | exception Invalid_argument _ -> ()
+  in
+  expect_invalid "reverse-step without recording" (Repl.Reverse_step 1);
+  expect_invalid "when-did without recording" (Repl.When_did "count");
+  expect_invalid "save without recording" (Repl.Record_save "/tmp/x.zrec");
+  Alcotest.(check string) "status without recording" "not recording"
+    (Timeline.execute ts Repl.Record_status);
+  ignore (Timeline.execute ts (Repl.Record None));
+  expect_invalid "double record" (Repl.Record None);
+  ignore (Timeline.execute ts (Repl.Step 5));
+  expect_invalid "reverse-step past the start" (Repl.Reverse_step 6);
+  expect_invalid "reverse-continue ahead" (Repl.Reverse_continue 99);
+  expect_invalid "when-did unknown register" (Repl.When_did "ghost")
+
+(* --- reverse-continue: bit-for-bit state reproduction ----------------- *)
+
+let test_reverse_restores_state_bitforbit () =
+  let _board, host, ts = recording_session ~cadence:8 () in
+  (* March forward, stashing the full MUT state at each stop. *)
+  let stash = Hashtbl.create 8 in
+  let note () = Hashtbl.replace stash (Host.mut_cycles host) (Host.read_state host) in
+  note ();
+  ignore (exec ts (Repl.Step 17));
+  note ();
+  ignore (exec ts (Repl.Inject ("count", 999)));
+  note ();
+  ignore (exec ts (Repl.Step 9));
+  note ();
+  (* Same-cycle semantics: reverse lands after *all* recorded entries at
+     the target cycle, so the stash is taken after the inject too. *)
+  ignore (exec ts (Repl.Inject ("ev_data_r", 77)));
+  note ();
+  ignore (exec ts (Repl.Step 21));
+  note ();
+  let targets = Hashtbl.fold (fun c _ acc -> c :: acc) stash [] in
+  let targets = List.rev (List.sort compare targets) in
+  (* Walk backwards through every stashed stop (reverse only travels
+     backwards); each landing must reproduce the stashed state exactly. *)
+  List.iter
+    (fun target ->
+      if target < Host.mut_cycles host then begin
+        let r = exec ts (Repl.Reverse_continue target) in
+        Alcotest.(check bool) "reversed" true (infix "reversed" r)
+      end;
+      Alcotest.(check int) "landed on the target cycle" target
+        (Host.mut_cycles host);
+      let want = Hashtbl.find stash target in
+      let got = Host.read_state host in
+      Alcotest.(check int)
+        (Printf.sprintf "cycle %d: same register count" target)
+        (List.length want) (List.length got);
+      List.iter2
+        (fun (n1, v1) (n2, v2) ->
+          Alcotest.(check string) "same register" n1 n2;
+          Alcotest.(check bool)
+            (Printf.sprintf "cycle %d: %s bit-for-bit" target n1)
+            true (Bits.equal v1 v2))
+        want got)
+    targets;
+  (* History was truncated to the oldest target; the session keeps
+     working forward from there. *)
+  let r = exec ts (Repl.Step 3) in
+  Alcotest.(check bool) "forward after reverse" true (infix "stepped" r)
+
+let test_reverse_step_counts_cycles () =
+  let _board, host, ts = recording_session ~cadence:4 () in
+  ignore (exec ts (Repl.Step 30));
+  let here = Host.mut_cycles host in
+  ignore (exec ts (Repl.Reverse_step 7));
+  Alcotest.(check int) "exactly 7 cycles back" (here - 7)
+    (Host.mut_cycles host);
+  ignore (exec ts (Repl.Reverse_step 1));
+  Alcotest.(check int) "one more back" (here - 8) (Host.mut_cycles host)
+
+(* --- when-did: O(log) probes, zero restores --------------------------- *)
+
+let ceil_log2 n =
+  let rec go k p = if p >= n then k else go (k + 1) (p * 2) in
+  go 0 1
+
+let test_when_did_probe_budget () =
+  let _board, host, ts = recording_session ~cadence:4 () in
+  (* Accumulate a pile of checkpoints with an injected change mid-way. *)
+  for _ = 1 to 6 do
+    ignore (exec ts (Repl.Step 7))
+  done;
+  ignore (exec ts (Repl.Inject ("ev_data_r", 1234)));
+  for _ = 1 to 6 do
+    ignore (exec ts (Repl.Step 7))
+  done;
+  let n = Timeline.checkpoint_count ts in
+  Alcotest.(check bool) "enough checkpoints to search" true (n >= 8);
+  let c_probes = Obs.counter "timeline.when_did_probes" in
+  let c_restores = Obs.counter "timeline.restores" in
+  let p0 = Obs.counter_value c_probes and r0 = Obs.counter_value c_restores in
+  let answer = exec ts (Repl.When_did "ev_data_r") in
+  let probes = Obs.counter_value c_probes - p0 in
+  let restores = Obs.counter_value c_restores - r0 in
+  Alcotest.(check int) "zero restores" 0 restores;
+  Alcotest.(check bool)
+    (Printf.sprintf "%d probes within ceil(log2 %d)+1" probes n)
+    true
+    (probes <= ceil_log2 n + 1);
+  Alcotest.(check bool) "answer brackets the change" true
+    (infix "ev_data_r changed" answer);
+  Alcotest.(check bool) "answer reports zero restores" true
+    (infix "0 restores" answer);
+  (* The probes are truthful: the same pure host-side extraction, applied
+     to the banked initial checkpoint, sees the attach-time state. *)
+  let path = Filename.temp_file "zoomie_tl" ".zrec" in
+  ignore (exec ts (Repl.Record_save path));
+  let r = Timeline.load path in
+  Sys.remove path;
+  let ck0 = r.Timeline.rec_checkpoints.(0) in
+  let state0 = Timeline.checkpoint_state host ck0 in
+  Alcotest.(check bool) "checkpoint 0 probes to the reset state" true
+    (List.exists
+       (fun (n, v) -> infix "ev_data_r" n && Bits.to_int v = 0)
+       state0)
+
+(* --- the replay property: recorded == replayed, bit for bit ----------- *)
+
+let replay_roundtrip commands ~cadence =
+  let board_a, host_a = hub_rig_session () in
+  let path = Filename.temp_file "zoomie_tl" ".zrec" in
+  let n =
+    Timeline.record_commands ~rig:"fuzz-hub" ~cadence host_a board_a commands
+      ~path
+  in
+  let r = Timeline.load path in
+  Sys.remove path;
+  Alcotest.(check int) "entry count" n (Array.length r.Timeline.rec_entries);
+  let board_b, host_b = hub_rig_session () in
+  let transcript, divergence = Timeline.replay r host_b board_b in
+  (r, transcript, divergence)
+
+let prop_replay_matches_live =
+  QCheck2.Test.make
+    ~name:"replayed transcript == live transcript (bit-for-bit)" ~count:8
+    QCheck2.Gen.int (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let commands =
+        Gen.gen_commands ~length:(8 + Random.State.int st 8) st
+          ~registers:Oracle.hub_registers ~watches:Oracle.hub_watches
+      in
+      let cadence = 4 + Random.State.int st 13 in
+      let r, transcript, divergence = replay_roundtrip commands ~cadence in
+      (match divergence with
+      | Some d ->
+        QCheck2.Test.fail_reportf
+          "replay diverged at entry %d:\nrecorded: %s\nreplayed: %s"
+          d.Timeline.div_index d.Timeline.div_expected d.Timeline.div_got
+      | None -> ());
+      List.for_all2 ( = ) transcript (Timeline.transcript r))
+
+(* --- fuzz minimizer companions ---------------------------------------- *)
+
+let test_minimizer_companion () =
+  let dir = Filename.temp_file "zoomie_min" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let commands =
+    [
+      Repl.Step 20;
+      Repl.Inject ("count", 7);
+      Repl.Step 5;
+      Repl.Print "count";
+      Repl.Watch [ "dbg_count" ];
+      Repl.Continue 40;
+    ]
+  in
+  let path, n =
+    Zoomie_fuzz.Campaign.write_recording_companion ~dir ~id:"case42" commands
+  in
+  Alcotest.(check string) "companion path" (Filename.concat dir "case42.zrec")
+    path;
+  Alcotest.(check int) "every command recorded" (List.length commands) n;
+  let r = Timeline.load path in
+  Alcotest.(check string) "companion carries the rig tag" "fuzz-hub"
+    r.Timeline.rec_rig;
+  (* The companion replays cleanly on a fresh copy of the rig — exactly
+     what `zoomie replay min/case42.zrec` does. *)
+  let board, host = hub_rig_session () in
+  let transcript, divergence = Timeline.replay r host board in
+  (match divergence with
+  | Some d -> Alcotest.failf "companion diverged: %s" d.Timeline.div_got
+  | None -> ());
+  Alcotest.(check int) "full transcript replayed" n (List.length transcript);
+  Sys.remove path;
+  Unix.rmdir dir
+
+(* --- instrumentation: the recorder shows up in zoomie_obs ------------- *)
+
+let test_metrics_registered () =
+  let c_entries = Obs.counter "timeline.entries" in
+  let c_cks = Obs.counter "timeline.checkpoints" in
+  let c_bytes = Obs.counter "timeline.checkpoint_bytes" in
+  let e0 = Obs.counter_value c_entries in
+  let k0 = Obs.counter_value c_cks in
+  let b0 = Obs.counter_value c_bytes in
+  let _board, _host, ts = recording_session ~cadence:6 () in
+  ignore (exec ts (Repl.Step 20));
+  ignore (exec ts (Repl.Step 20));
+  Alcotest.(check int) "entry counter tracks entries"
+    (Timeline.entry_count ts)
+    (Obs.counter_value c_entries - e0);
+  Alcotest.(check int) "checkpoint counter tracks checkpoints"
+    (Timeline.checkpoint_count ts)
+    (Obs.counter_value c_cks - k0);
+  Alcotest.(check bool) "checkpoint bytes accounted" true
+    (Obs.counter_value c_bytes - b0 > 0);
+  (* Reverse emits restore + re-execution latency observations. *)
+  ignore (exec ts (Repl.Reverse_step 5));
+  let json = Obs.snapshot_to_json (Obs.snapshot ()) in
+  List.iter
+    (fun m -> Alcotest.(check bool) (m ^ " in snapshot") true (infix m json))
+    [
+      "timeline.entries"; "timeline.checkpoints"; "timeline.cadence_cycles";
+      "timeline.restore_jtag_s"; "timeline.reexec_jtag_s";
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "record / save / load round-trip" `Quick
+      test_record_save_load_roundtrip;
+    Alcotest.test_case "chain digest detects tampering" `Quick
+      test_tampering_detected;
+    Alcotest.test_case "misuse raises typed errors" `Quick test_misuse_is_typed;
+    Alcotest.test_case "reverse-continue restores state bit-for-bit" `Quick
+      test_reverse_restores_state_bitforbit;
+    Alcotest.test_case "reverse-step counts cycles exactly" `Quick
+      test_reverse_step_counts_cycles;
+    Alcotest.test_case "when-did stays in its probe budget" `Quick
+      test_when_did_probe_budget;
+    Alcotest.test_case "fuzz minimizer companion replays" `Quick
+      test_minimizer_companion;
+    Alcotest.test_case "timeline metrics registered" `Quick
+      test_metrics_registered;
+    QCheck_alcotest.to_alcotest prop_replay_matches_live;
+  ]
